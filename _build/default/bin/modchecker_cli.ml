@@ -1,0 +1,545 @@
+(* The modchecker command-line tool.
+
+   Because the whole testbed is simulated, every subcommand first builds a
+   cloud (VM count, cores, and seed are flags), optionally stages an
+   infection, and then runs the requested analysis against it. *)
+
+open Cmdliner
+
+module Cloud = Mc_hypervisor.Cloud
+module Orchestrator = Modchecker.Orchestrator
+module Report = Modchecker.Report
+
+(* --- common flags ------------------------------------------------------ *)
+
+let verbose_arg =
+  let doc = "Enable debug logging on stderr." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let vms_arg =
+  let doc = "Number of DomU guests in the simulated cloud." in
+  Arg.(value & opt int 15 & info [ "vms" ] ~docv:"N" ~doc)
+
+let cores_arg =
+  let doc = "Physical cores of the simulated host." in
+  Arg.(value & opt int 8 & info [ "cores" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Deterministic seed for the cloud (module load bases etc.)." in
+  Arg.(value & opt int64 2012L & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let module_arg =
+  let doc = "Kernel module to check (e.g. hal.dll, http.sys)." in
+  Arg.(value & opt string "hal.dll" & info [ "m"; "module" ] ~docv:"NAME" ~doc)
+
+let vm_arg =
+  let doc = "Target DomU index, 0-based (Dom1 is index 0)." in
+  Arg.(value & opt int 0 & info [ "vm" ] ~docv:"I" ~doc)
+
+let infect_arg =
+  let doc =
+    "Stage an infection before checking: one of 'opcode', 'hook', 'stub', \
+     'dll-inject', 'hide'."
+  in
+  Arg.(
+    value
+    & opt (some (enum
+           [ ("opcode", `Opcode); ("hook", `Hook); ("stub", `Stub);
+             ("dll-inject", `Dll); ("hide", `Hide) ]))
+        None
+    & info [ "infect" ] ~docv:"TECHNIQUE" ~doc)
+
+let workers_arg =
+  let doc = "Dom0 worker domains for parallel checking (1 = sequential)." in
+  Arg.(value & opt int 1 & info [ "j"; "workers" ] ~docv:"W" ~doc)
+
+let json_arg =
+  let doc = "Emit the result as JSON on stdout instead of tables." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let pinpoint_arg =
+  let doc =
+    "After a .text mismatch, name the patched function(s) using the\n\
+     module's symbols (dAnubis-style)."
+  in
+  Arg.(value & flag & info [ "pinpoint" ] ~doc)
+
+let make_cloud vms cores seed = Cloud.create ~vms ~cores ~seed ()
+
+let stage_infection cloud vm = function
+  | None -> Ok None
+  | Some technique ->
+      let open Mc_malware.Infect in
+      let r =
+        match technique with
+        | `Opcode -> single_opcode_replacement cloud ~vm
+        | `Hook -> inline_hook cloud ~vm
+        | `Stub -> stub_modification cloud ~vm
+        | `Dll -> dll_injection cloud ~vm
+        | `Hide -> hide_module cloud ~vm ~module_name:"http.sys"
+      in
+      Result.map Option.some r
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      exit 1
+
+(* --- check ------------------------------------------------------------- *)
+
+(* Fetch one VM's module artifacts directly (for pinpointing). *)
+let fetch_for_pinpoint cloud vm module_name =
+  let dom = Cloud.vm cloud vm in
+  let vmi =
+    Mc_vmi.Vmi.init dom
+      (Mc_vmi.Symbols.of_variant
+         (Mc_winkernel.Kernel.os_variant (Mc_hypervisor.Dom.kernel_exn dom)))
+  in
+  match Modchecker.Searcher.fetch vmi ~name:module_name with
+  | None -> None
+  | Some (info, buf) -> (
+      match Modchecker.Parser.artifacts buf with
+      | Ok artifacts -> Some (info, artifacts)
+      | Error _ -> None)
+
+let print_pinpoint cloud outcome module_name vm =
+  let report = outcome.Orchestrator.report in
+  let flagged_text =
+    List.exists
+      (fun k ->
+        Modchecker.Artifact.equal_kind k (Modchecker.Artifact.Section_data ".text"))
+      report.Report.flagged_artifacts
+  in
+  if not flagged_text then
+    print_endline "pinpoint: .text is not among the flagged artifacts"
+  else begin
+    (* Any other VM serves as the reference: the majority of the pool is
+       clean whenever the verdict is meaningful. *)
+    let peer =
+      List.find_opt (fun v -> v <> vm) (List.init (Cloud.vm_count cloud) Fun.id)
+    in
+    match peer with
+    | None -> ()
+    | Some peer -> (
+        match
+          ( fetch_for_pinpoint cloud vm module_name,
+            fetch_for_pinpoint cloud peer module_name )
+        with
+        | Some (i1, a1), Some (i2, a2) -> (
+            let symbols =
+              Mc_pe.Catalog.symbols (Mc_pe.Catalog.image module_name)
+            in
+            match
+              Modchecker.Pinpoint.analyze_text_pair
+                ~base1:i1.Modchecker.Searcher.mi_base a1
+                ~base2:i2.Modchecker.Searcher.mi_base a2 ~symbols
+            with
+            | Ok findings ->
+                Printf.printf "pinpoint (vs Dom%d):\n" (peer + 1);
+                List.iter
+                  (fun f ->
+                    Printf.printf
+                      "  %s (rva 0x%x): %d byte(s) changed, first at rva 0x%x\n"
+                      f.Modchecker.Pinpoint.pf_function
+                      f.Modchecker.Pinpoint.pf_fn_rva
+                      f.Modchecker.Pinpoint.pf_diff_bytes
+                      f.Modchecker.Pinpoint.pf_first_diff_rva)
+                  findings
+            | Error e -> Printf.printf "pinpoint failed: %s\n" e)
+        | _ -> print_endline "pinpoint: could not fetch both copies")
+  end
+
+let run_check verbose vms cores seed module_name vm infect workers pinpoint
+    json =
+  setup_logs verbose;
+  let cloud = make_cloud vms cores seed in
+  (match or_die (stage_infection cloud vm infect) with
+  | Some inf ->
+      Printf.printf "staged: %s on Dom%d (%s)\n" inf.Mc_malware.Infect.technique
+        (vm + 1) inf.Mc_malware.Infect.details
+  | None -> ());
+  let mode =
+    if workers <= 1 then Orchestrator.Sequential
+    else Orchestrator.Parallel (Mc_parallel.Pool.create workers)
+  in
+  let outcome =
+    or_die (Orchestrator.check_module ~mode cloud ~target_vm:vm ~module_name)
+  in
+  (match mode with
+  | Orchestrator.Parallel pool -> Mc_parallel.Pool.shutdown pool
+  | Orchestrator.Sequential -> ());
+  if json then
+    print_endline (Mc_util.Json.to_string_pretty (Report.to_json outcome.report))
+  else begin
+    Printf.printf "%s\n" (Report.to_table outcome.report);
+    Printf.printf "verdict: %s\n" (Report.verdict_string outcome.report);
+    let costs = Mc_hypervisor.Costs.default in
+    let p = Orchestrator.phase_seconds costs outcome in
+    Printf.printf
+      "simulated cost: searcher %.2f ms, parser %.2f ms, checker %.2f ms\n"
+      (p.Orchestrator.searcher_s *. 1e3)
+      (p.Orchestrator.parser_s *. 1e3)
+      (p.Orchestrator.checker_s *. 1e3);
+    if pinpoint && not outcome.report.Report.majority_ok then
+      print_pinpoint cloud outcome module_name vm
+  end;
+  if not outcome.report.Report.majority_ok then exit 2
+
+let check_cmd =
+  let doc = "Check one module's integrity across the VM pool." in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(
+      const run_check $ verbose_arg $ vms_arg $ cores_arg $ seed_arg
+      $ module_arg $ vm_arg $ infect_arg $ workers_arg $ pinpoint_arg
+      $ json_arg)
+
+(* --- survey ------------------------------------------------------------ *)
+
+let run_survey vms cores seed module_name infect vm json =
+  let cloud = make_cloud vms cores seed in
+  (match or_die (stage_infection cloud vm infect) with
+  | Some inf ->
+      if not json then
+        Printf.printf "staged: %s on Dom%d\n" inf.Mc_malware.Infect.technique
+          (vm + 1)
+  | None -> ());
+  let s = Orchestrator.survey cloud ~module_name in
+  if json then
+    print_endline (Mc_util.Json.to_string_pretty (Report.survey_to_json s))
+  else begin
+    Printf.printf "module: %s\n" s.Report.survey_module;
+    let show name vms =
+      Printf.printf "%s: %s\n" name
+        (if vms = [] then "(none)"
+         else
+           String.concat ", "
+             (List.map (fun v -> Printf.sprintf "Dom%d" (v + 1)) vms))
+    in
+    show "missing on" s.Report.missing_on;
+    show "deviant (failed majority vote)" s.Report.deviant_vms
+  end;
+  if s.Report.deviant_vms <> [] || s.Report.missing_on <> [] then exit 2
+
+let survey_cmd =
+  let doc = "Full-mesh comparison of one module across every VM." in
+  Cmd.v
+    (Cmd.info "survey" ~doc)
+    Term.(
+      const run_survey $ vms_arg $ cores_arg $ seed_arg $ module_arg
+      $ infect_arg $ vm_arg $ json_arg)
+
+(* --- list-modules ------------------------------------------------------ *)
+
+let run_list vms cores seed vm =
+  let cloud = make_cloud vms cores seed in
+  let vmi =
+    Mc_vmi.Vmi.init (Cloud.vm cloud vm) Mc_vmi.Symbols.windows_xp_sp2
+  in
+  let mods = Modchecker.Searcher.list_modules vmi in
+  let rows =
+    List.map
+      (fun (m : Modchecker.Searcher.module_info) ->
+        [
+          m.mi_name;
+          Printf.sprintf "0x%08x" m.mi_base;
+          Printf.sprintf "0x%x" m.mi_size;
+          m.mi_full_name;
+        ])
+      mods
+  in
+  print_string
+    (Mc_util.Table.render ~header:[ "module"; "base"; "size"; "path" ] rows)
+
+let list_cmd =
+  let doc = "Walk PsLoadedModuleList of one guest over VMI." in
+  Cmd.v
+    (Cmd.info "list-modules" ~doc)
+    Term.(const run_list $ vms_arg $ cores_arg $ seed_arg $ vm_arg)
+
+(* --- detect (the paper's evaluation suite) ----------------------------- *)
+
+let run_detect vms seed =
+  print_string
+    (Mc_harness.Render.detection_table (Mc_harness.Scenario.run_all ~vms ~seed ()))
+
+let detect_cmd =
+  let doc = "Run the paper's four detection experiments plus DKOM hiding." in
+  Cmd.v
+    (Cmd.info "detect" ~doc)
+    Term.(const run_detect $ vms_arg $ seed_arg)
+
+(* --- figures ------------------------------------------------------------ *)
+
+type which_figure =
+  | Fig7 | Fig8 | Fig9 | Ablation | Parallelism | Baselines | Strategy
+  | PatrolFig | All
+
+let which_arg =
+  let doc = "Which figure/table to regenerate." in
+  Arg.(
+    value
+    & opt (enum
+           [ ("fig7", Fig7); ("fig8", Fig8); ("fig9", Fig9);
+             ("ablation", Ablation); ("parallel", Parallelism);
+             ("baselines", Baselines); ("strategy", Strategy);
+             ("patrol", PatrolFig); ("all", All) ])
+        All
+    & info [ "which" ] ~docv:"WHICH" ~doc)
+
+let run_figures which vms cores seed =
+  let max_vms = max 1 (vms - 1) in
+  let fig7 () =
+    print_string
+      (Mc_harness.Render.fig_series ~title:"Fig 7: runtime, mostly idle VMs"
+         (Mc_harness.Figures.fig7_idle ~max_vms ~cores ~seed ()))
+  in
+  let fig8 () =
+    print_string
+      (Mc_harness.Render.fig_series ~title:"Fig 8: runtime, heavily loaded VMs"
+         (Mc_harness.Figures.fig8_loaded ~max_vms ~cores ~seed ()))
+  in
+  let fig9 () =
+    print_string (Mc_harness.Render.fig9 (Mc_harness.Figures.fig9_guest_impact ()))
+  in
+  let ablation () =
+    print_string
+      (Mc_harness.Render.ablation_table (Mc_harness.Figures.alignment_ablation ()));
+    print_string
+      (Mc_harness.Render.cross_pointer_table
+         (Mc_harness.Figures.cross_pointer_ablation ()))
+  in
+  let parallelism () =
+    print_string
+      (Mc_harness.Render.parallel_table
+         (Mc_harness.Figures.parallel_sweep ~vms ~cores ~seed ()))
+  in
+  let baselines () =
+    print_string
+      (Mc_harness.Render.baseline_table (Mc_harness.Figures.baseline_table ~seed ()))
+  in
+  let strategy () =
+    print_string
+      (Mc_harness.Render.strategy_table
+         (Mc_harness.Figures.survey_strategy_table ~vms ~seed ()))
+  in
+  let patrol_fig () =
+    print_string
+      (Mc_harness.Render.patrol_table (Mc_harness.Figures.patrol_tradeoff ~seed ()))
+  in
+  match which with
+  | Fig7 -> fig7 ()
+  | Fig8 -> fig8 ()
+  | Fig9 -> fig9 ()
+  | Ablation -> ablation ()
+  | Parallelism -> parallelism ()
+  | Baselines -> baselines ()
+  | Strategy -> strategy ()
+  | PatrolFig -> patrol_fig ()
+  | All ->
+      fig7 ();
+      fig8 ();
+      fig9 ();
+      ablation ();
+      parallelism ();
+      baselines ();
+      strategy ();
+      patrol_fig ()
+
+let figures_cmd =
+  let doc = "Regenerate the paper's evaluation figures and the extensions." in
+  Cmd.v
+    (Cmd.info "figures" ~doc)
+    Term.(const run_figures $ which_arg $ vms_arg $ cores_arg $ seed_arg)
+
+(* --- health --------------------------------------------------------------- *)
+
+let run_health vms cores seed infect vm canonical json =
+  let cloud = make_cloud vms cores seed in
+  (match or_die (stage_infection cloud vm infect) with
+  | Some inf ->
+      if not json then
+        Printf.printf "staged: %s on Dom%d\n" inf.Mc_malware.Infect.technique
+          (vm + 1)
+  | None -> ());
+  let strategy =
+    if canonical then Orchestrator.Canonical else Orchestrator.Pairwise
+  in
+  let report = Modchecker.Fleet.assess ~strategy cloud in
+  if json then
+    print_endline
+      (Mc_util.Json.to_string_pretty (Modchecker.Fleet.to_json report))
+  else begin
+    print_string (Modchecker.Fleet.to_table report);
+    print_endline (Modchecker.Fleet.summary report)
+  end;
+  if not report.Modchecker.Fleet.fr_clean then exit 2
+
+let health_cmd =
+  let doc = "Assess every module on every VM: the fleet dashboard." in
+  let canonical_arg =
+    Arg.(value & flag & info [ "canonical" ]
+         ~doc:"Use the O(t) canonical survey strategy.")
+  in
+  Cmd.v
+    (Cmd.info "health" ~doc)
+    Term.(
+      const run_health $ vms_arg $ cores_arg $ seed_arg $ infect_arg $ vm_arg
+      $ canonical_arg $ json_arg)
+
+(* --- patrol -------------------------------------------------------------- *)
+
+let run_patrol verbose vms cores seed duration interval infect vm infect_at
+    canonical =
+  setup_logs verbose;
+  let cloud = make_cloud vms cores seed in
+  let events =
+    match infect with
+    | None -> []
+    | Some technique ->
+        [
+          ( infect_at,
+            fun cloud ->
+              match stage_infection cloud vm (Some technique) with
+              | Ok (Some inf) ->
+                  Printf.printf "[t=%6.1fs] staged: %s on Dom%d\n" infect_at
+                    inf.Mc_malware.Infect.technique (vm + 1)
+              | Ok None -> ()
+              | Error e -> prerr_endline ("infection failed: " ^ e) );
+        ]
+  in
+  let config =
+    {
+      Modchecker.Patrol.default_config with
+      Modchecker.Patrol.interval_s = interval;
+      strategy =
+        (if canonical then Orchestrator.Canonical else Orchestrator.Pairwise);
+    }
+  in
+  let o = Modchecker.Patrol.run ~config ~events cloud ~until:duration in
+  Printf.printf
+    "patrol finished: %d sweeps over %.1fs virtual, %.3fs Dom0 CPU \
+     (%.3f%% duty), mean sweep %.1f ms\n"
+    o.Modchecker.Patrol.sweeps o.Modchecker.Patrol.virtual_elapsed
+    o.Modchecker.Patrol.cpu_spent
+    (100.0 *. o.Modchecker.Patrol.cpu_spent
+    /. o.Modchecker.Patrol.virtual_elapsed)
+    (o.Modchecker.Patrol.mean_sweep_wall *. 1e3);
+  if o.Modchecker.Patrol.alarms = [] then print_endline "no alarms."
+  else begin
+    print_endline "alarm log:";
+    List.iter
+      (fun a ->
+        Printf.printf "  [t=%6.1fs] %-25s %s on %s\n" a.Modchecker.Patrol.at
+          (Modchecker.Patrol.alarm_kind_string a.Modchecker.Patrol.kind)
+          a.Modchecker.Patrol.alarm_module
+          (String.concat ","
+             (List.map
+                (fun v -> Printf.sprintf "Dom%d" (v + 1))
+                a.Modchecker.Patrol.alarm_vms)))
+      o.Modchecker.Patrol.alarms;
+    exit 2
+  end
+
+let patrol_cmd =
+  let doc = "Run the patrol service on the simulated cloud's clock." in
+  let duration_arg =
+    Arg.(value & opt float 300.0 & info [ "duration" ] ~docv:"SECONDS"
+         ~doc:"Virtual seconds to patrol.")
+  in
+  let interval_arg =
+    Arg.(value & opt float 30.0 & info [ "interval" ] ~docv:"SECONDS"
+         ~doc:"Sweep interval.")
+  in
+  let infect_at_arg =
+    Arg.(value & opt float 65.0 & info [ "infect-at" ] ~docv:"SECONDS"
+         ~doc:"Virtual time at which to stage the --infect technique.")
+  in
+  let canonical_arg =
+    Arg.(value & flag & info [ "canonical" ]
+         ~doc:"Use the O(t) canonical survey strategy.")
+  in
+  Cmd.v
+    (Cmd.info "patrol" ~doc)
+    Term.(
+      const run_patrol $ verbose_arg $ vms_arg $ cores_arg $ seed_arg
+      $ duration_arg $ interval_arg $ infect_arg $ vm_arg $ infect_at_arg
+      $ canonical_arg)
+
+(* --- disasm --------------------------------------------------------------- *)
+
+let run_disasm vms cores seed vm module_name func count =
+  let cloud = make_cloud vms cores seed in
+  let dom = Cloud.vm cloud vm in
+  let vmi =
+    Mc_vmi.Vmi.init dom
+      (Mc_vmi.Symbols.of_variant
+         (Mc_winkernel.Kernel.os_variant (Mc_hypervisor.Dom.kernel_exn dom)))
+  in
+  match Modchecker.Searcher.fetch vmi ~name:module_name with
+  | None ->
+      prerr_endline ("module not found: " ^ module_name);
+      exit 1
+  | Some (info, buf) ->
+      let rva =
+        match func with
+        | None -> (
+            match Mc_pe.Read.parse ~layout:Memory buf with
+            | Ok image -> image.optional_header.address_of_entry_point
+            | Error _ -> 0x1000)
+        | Some name -> (
+            match
+              List.assoc_opt name
+                (Mc_pe.Catalog.symbols (Mc_pe.Catalog.image module_name))
+            with
+            | Some rva -> rva
+            | None ->
+                prerr_endline ("unknown function: " ^ name);
+                exit 1)
+      in
+      Printf.printf "%s!%s in Dom%d at 0x%08x:\n" module_name
+        (Option.value ~default:"<entry>" func)
+        (vm + 1)
+        (info.Modchecker.Searcher.mi_base + rva);
+      print_string
+        (Mc_pe.Codegen.listing ~base:info.Modchecker.Searcher.mi_base buf
+           ~start:rva ~count)
+
+let disasm_cmd =
+  let doc = "Disassemble a function of a guest's in-memory module over VMI." in
+  let func_arg =
+    Arg.(value & opt (some string) None
+         & info [ "f"; "function" ] ~docv:"NAME"
+             ~doc:"Function name (from the module's symbols); defaults to \
+                   the entry point.")
+  in
+  let count_arg =
+    Arg.(value & opt int 12 & info [ "n" ] ~docv:"COUNT"
+         ~doc:"Instructions to decode.")
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc)
+    Term.(
+      const run_disasm $ vms_arg $ cores_arg $ seed_arg $ vm_arg $ module_arg
+      $ func_arg $ count_arg)
+
+(* --- main --------------------------------------------------------------- *)
+
+let () =
+  let doc =
+    "kernel module integrity checking across a pool of identical VMs \
+     (reproduction of ModChecker, ICPP 2012)"
+  in
+  let info = Cmd.info "modchecker" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            check_cmd; survey_cmd; list_cmd; detect_cmd; figures_cmd;
+            patrol_cmd; health_cmd; disasm_cmd;
+          ]))

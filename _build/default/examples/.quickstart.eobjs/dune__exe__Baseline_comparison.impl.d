@@ -1,0 +1,1 @@
+examples/baseline_comparison.ml: List Mc_baselines Mc_harness Mc_pe Printf

@@ -1,0 +1,1 @@
+examples/cloud_sweep.ml: List Mc_harness Printf

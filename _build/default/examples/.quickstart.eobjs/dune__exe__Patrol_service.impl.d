@@ -1,0 +1,1 @@
+examples/patrol_service.ml: List Mc_harness Mc_hypervisor Mc_malware Modchecker Printf String

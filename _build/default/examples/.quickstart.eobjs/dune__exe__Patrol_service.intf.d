@@ -1,0 +1,1 @@
+examples/patrol_service.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Mc_hypervisor Mc_malware Modchecker Printf String

@@ -1,0 +1,1 @@
+examples/rootkit_hunt.ml: Bytes List Mc_hypervisor Mc_malware Mc_memsim Mc_pe Mc_util Mc_vmi Mc_winkernel Modchecker Option Printf String

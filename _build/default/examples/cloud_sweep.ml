@@ -1,0 +1,40 @@
+(* Cloud sweep: capacity planning for an integrity-checking service.
+
+   How long does a sweep of one module across N guests take when the cloud
+   is idle versus saturated, and what does Dom0-side parallelism buy? This
+   drives the same machinery as the paper's Fig. 7/8 and its "parallel
+   access" discussion.
+
+   Run with:  dune exec examples/cloud_sweep.exe *)
+
+let () =
+  let cores = 8 in
+
+  Printf.printf "sweeping http.sys across 1..10 comparison VMs (idle)\n\n";
+  let idle = Mc_harness.Figures.fig7_idle ~max_vms:10 ~cores () in
+  print_string
+    (Mc_harness.Render.fig_series ~title:"idle guests (cf. paper Fig. 7)" idle);
+
+  Printf.printf "\nsame sweep with HeavyLoad saturating every guest\n\n";
+  let loaded = Mc_harness.Figures.fig8_loaded ~max_vms:10 ~cores () in
+  print_string
+    (Mc_harness.Render.fig_series ~title:"loaded guests (cf. paper Fig. 8)"
+       loaded);
+
+  (* The knee: once loaded guest vCPUs exceed the cores, Dom0's share
+     shrinks and wall time grows superlinearly. *)
+  let slope lo hi (pts : Mc_harness.Figures.fig_point list) =
+    let t n =
+      (List.find (fun (p : Mc_harness.Figures.fig_point) -> p.n_vms = n) pts)
+        .total_ms
+    in
+    (t hi -. t lo) /. float_of_int (hi - lo)
+  in
+  Printf.printf
+    "\nloaded-sweep slope before the knee: %.1f ms/VM; after: %.1f ms/VM\n"
+    (slope 2 5 loaded) (slope 8 10 loaded);
+
+  Printf.printf "\nDom0 parallel workers at 15 VMs (idle):\n";
+  print_string
+    (Mc_harness.Render.parallel_table
+       (Mc_harness.Figures.parallel_sweep ~vms:15 ~cores ()))

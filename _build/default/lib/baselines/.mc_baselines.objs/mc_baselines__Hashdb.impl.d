@@ -1,0 +1,1 @@
+lib/baselines/hashdb.ml: Hashtbl List Mc_md5 Mc_pe String

@@ -1,0 +1,1 @@
+lib/baselines/hashdb.mli: Bytes

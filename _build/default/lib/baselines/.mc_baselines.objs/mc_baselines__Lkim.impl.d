@@ -1,0 +1,1 @@
+lib/baselines/lkim.ml: List Mc_hypervisor Mc_pe Mc_vmi Mc_winkernel Modchecker Printf Result

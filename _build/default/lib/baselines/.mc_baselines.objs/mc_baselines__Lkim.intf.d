@@ -1,0 +1,1 @@
+lib/baselines/lkim.mli: Bytes Mc_hypervisor Modchecker

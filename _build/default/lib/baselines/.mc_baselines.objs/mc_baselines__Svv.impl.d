@@ -1,0 +1,1 @@
+lib/baselines/svv.ml: List Mc_hypervisor Mc_memsim Mc_winkernel Modchecker Printf Result

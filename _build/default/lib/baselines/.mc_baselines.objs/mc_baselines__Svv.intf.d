@@ -1,0 +1,1 @@
+lib/baselines/svv.mli: Mc_hypervisor Modchecker

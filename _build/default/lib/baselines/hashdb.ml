@@ -1,0 +1,39 @@
+module Md5 = Mc_md5.Md5
+module Catalog = Mc_pe.Catalog
+
+type t = {
+  table : (string, string) Hashtbl.t;  (** lowercase name → hex MD5 *)
+  mutable stale_hits : int;
+}
+
+type load_verdict = Verified | Unknown_module | Hash_mismatch
+
+let create () = { table = Hashtbl.create 16; stale_hits = 0 }
+
+let key = String.lowercase_ascii
+
+let register t ~name file =
+  Hashtbl.replace t.table (key name) (Md5.to_hex (Md5.digest_bytes file))
+
+let build_for_catalog ?(version = 1) names =
+  let t = create () in
+  List.iter
+    (fun name -> register t ~name (Catalog.image ~version name).Catalog.file)
+    names;
+  t
+
+let entries t = Hashtbl.length t.table
+
+let check_load t ~name file =
+  match Hashtbl.find_opt t.table (key name) with
+  | None -> Unknown_module
+  | Some known ->
+      if String.equal known (Md5.to_hex (Md5.digest_bytes file)) then Verified
+      else begin
+        t.stale_hits <- t.stale_hits + 1;
+        Hash_mismatch
+      end
+
+let check_memory_noop () = `Not_supported
+
+let maintenance_misses t = t.stale_hits

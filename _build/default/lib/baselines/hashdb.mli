@@ -1,0 +1,37 @@
+(** The signed-module dictionary baseline (§II): a vendor-maintained
+    database of known-good module hashes, checked when a module is loaded
+    — the MS Windows driver-signature model the paper contrasts with.
+
+    Strengths: catches disk infections at load time, even cloud-wide ones.
+    Weaknesses the paper calls out: (1) it never re-checks a module after
+    it is in memory, so in-memory patching is invisible; (2) every
+    legitimate update, third-party driver, or customized module demands a
+    database refresh — stale entries produce false alarms, counted here as
+    [maintenance_misses]. *)
+
+type t
+
+type load_verdict = Verified | Unknown_module | Hash_mismatch
+
+val create : unit -> t
+
+val register : t -> name:string -> Bytes.t -> unit
+(** [register t ~name file] stores the file's MD5 as the known-good hash
+    (re-registering replaces — a "database update"). *)
+
+val build_for_catalog : ?version:int -> string list -> t
+(** [build_for_catalog names] registers the catalog images of [names]. *)
+
+val entries : t -> int
+
+val check_load : t -> name:string -> Bytes.t -> load_verdict
+(** [check_load t ~name file] is the load-time signature check. *)
+
+val check_memory_noop : unit -> [ `Not_supported ]
+(** The model performs no post-load checking — this is the documented gap,
+    kept explicit for the comparison table. *)
+
+val maintenance_misses : t -> int
+(** Number of [Hash_mismatch] verdicts caused so far by files that were
+    {e legitimately} different versions of a registered module (detected by
+    name match + mismatch); the dictionary-maintenance burden of §I. *)

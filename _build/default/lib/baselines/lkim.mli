@@ -1,0 +1,30 @@
+(** LKIM-style baseline (Loscocco et al., §II): integrity measurement with
+    an {e external, untainted} reference copy and loader metadata.
+
+    Given the module's load base (from the kernel's loading information —
+    here, the LDR entry read over VMI) LKIM simulates loading its pristine
+    reference copy at that base and hash-compares the result against guest
+    memory. It detects both memory-only and disk-then-load infections, but
+    needs a maintained reference for every module version — the very
+    dictionary burden ModChecker avoids. *)
+
+type verdict = {
+  lkim_module : string;
+  mismatched : Modchecker.Artifact.kind list;
+  clean : bool;
+}
+
+val check :
+  Mc_hypervisor.Dom.t ->
+  module_name:string ->
+  reference:Bytes.t ->
+  (verdict, string) result
+(** [check dom ~module_name ~reference] introspects the module from the
+    guest and compares it to a simulated load of [reference] at the same
+    base. *)
+
+val reference_relocs : Bytes.t -> (int list, string) result
+(** [reference_relocs file] is the reference's relocation slot RVAs — the
+    loader metadata that enables {e exact} RVA reversal
+    ([Modchecker.Rva.adjust_with_relocs]); the alignment-ablation
+    experiment contrasts this with Algorithm 2's heuristic. *)

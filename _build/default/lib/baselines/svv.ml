@@ -1,0 +1,50 @@
+module Dom = Mc_hypervisor.Dom
+module Kernel = Mc_winkernel.Kernel
+module Fs = Mc_winkernel.Fs
+module Loader = Mc_winkernel.Loader
+module As = Mc_memsim.Addr_space
+module Artifact = Modchecker.Artifact
+module Parser = Modchecker.Parser
+module Checker = Modchecker.Checker
+
+type verdict = {
+  svv_module : string;
+  mismatched : Modchecker.Artifact.kind list;
+  clean : bool;
+}
+
+let ( let* ) = Result.bind
+
+let check dom ~module_name =
+  let kernel = Dom.kernel_exn dom in
+  let* entry =
+    match Kernel.find_module kernel module_name with
+    | Some e -> Ok e
+    | None -> Error (Printf.sprintf "%s is not loaded" module_name)
+  in
+  let* file =
+    match Fs.read_file (Kernel.fs kernel) (Fs.module_path module_name) with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "%s has no on-disk file" module_name)
+  in
+  let memory_image =
+    As.read_bytes (Kernel.aspace kernel) entry.dll_base entry.size_of_image
+  in
+  let* reference =
+    Loader.simulate_load file ~base:entry.dll_base
+    |> Result.map_error Loader.error_to_string
+  in
+  let* mem_artifacts = Parser.artifacts memory_image in
+  let* ref_artifacts = Parser.artifacts reference in
+  (* Same base on both sides: straight hash comparison, no adjustment. *)
+  let pair =
+    Checker.compare_pair ~base1:entry.dll_base mem_artifacts
+      ~base2:entry.dll_base ref_artifacts
+  in
+  let mismatched =
+    List.filter_map
+      (fun v ->
+        if v.Checker.av_match then None else Some v.Checker.av_kind)
+      pair.Checker.verdicts
+  in
+  Ok { svv_module = module_name; mismatched; clean = mismatched = [] }

@@ -1,0 +1,20 @@
+(** System Virginity Verifier baseline (Rutkowska, §II).
+
+    SVV runs {e inside} the guest and cross-views the in-memory code of a
+    module against the corresponding PE file on the guest's own disk
+    (simulating the load at the observed base to account for relocation).
+    Its blind spot, which the paper uses to motivate ModChecker: malware
+    that infects the file on disk {e first} and then loads it leaves memory
+    and disk consistent, so SVV sees nothing. *)
+
+type verdict = {
+  svv_module : string;
+  mismatched : Modchecker.Artifact.kind list;
+  clean : bool;
+}
+
+val check :
+  Mc_hypervisor.Dom.t -> module_name:string -> (verdict, string) result
+(** [check dom ~module_name] compares the module's in-memory artifacts
+    against a simulated load of the {e guest's own} on-disk file at the
+    same base. No RVA adjustment is needed: both sides share the base. *)

@@ -1,0 +1,1 @@
+lib/core/artifact.ml: Bytes List Printf String

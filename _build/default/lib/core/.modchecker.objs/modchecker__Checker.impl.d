@@ -1,0 +1,1 @@
+lib/core/checker.ml: Artifact Bytes List Mc_hypervisor Mc_md5 Rva String

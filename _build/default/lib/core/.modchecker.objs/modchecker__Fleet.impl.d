@@ -1,0 +1,1 @@
+lib/core/fleet.ml: Fun Hashtbl List Mc_hypervisor Mc_util Mc_vmi Mc_winkernel Option Orchestrator Printf Report Searcher String

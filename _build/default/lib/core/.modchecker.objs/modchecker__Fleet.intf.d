@@ -1,0 +1,1 @@
+lib/core/fleet.mli: Mc_hypervisor Mc_util Orchestrator

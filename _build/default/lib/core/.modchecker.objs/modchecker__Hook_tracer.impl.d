@@ -1,0 +1,1 @@
+lib/core/hook_tracer.ml: Artifact Bytes List Mc_pe Option Pinpoint Printf Rva

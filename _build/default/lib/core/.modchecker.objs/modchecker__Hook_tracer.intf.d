@@ -1,0 +1,1 @@
+lib/core/hook_tracer.mli: Artifact

@@ -1,0 +1,1 @@
+lib/core/orchestrator.ml: Array Artifact Bytes Checker Fun Hashtbl List Log Mc_hypervisor Mc_md5 Mc_parallel Mc_vmi Mc_winkernel Option Parser Printf Report Rva Searcher String

@@ -1,0 +1,1 @@
+lib/core/orchestrator.mli: Mc_hypervisor Mc_parallel Report

@@ -1,0 +1,1 @@
+lib/core/parser.ml: Artifact Bytes List Mc_hypervisor Mc_pe

@@ -1,0 +1,1 @@
+lib/core/parser.mli: Artifact Bytes Mc_hypervisor Mc_pe

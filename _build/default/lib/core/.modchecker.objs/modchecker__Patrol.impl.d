@@ -1,0 +1,1 @@
+lib/core/patrol.ml: List Log Mc_hypervisor Mc_pe Mc_util Orchestrator Report String

@@ -1,0 +1,1 @@
+lib/core/patrol.mli: Mc_hypervisor Mc_util Orchestrator

@@ -1,0 +1,1 @@
+lib/core/pinpoint.ml: Artifact Bytes Hashtbl List Rva

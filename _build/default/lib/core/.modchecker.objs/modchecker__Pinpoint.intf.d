@@ -1,0 +1,1 @@
+lib/core/pinpoint.mli: Artifact Bytes

@@ -1,0 +1,1 @@
+lib/core/report.ml: Artifact Checker Format List Mc_util Printf String

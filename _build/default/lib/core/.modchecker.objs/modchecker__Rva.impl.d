@@ -1,0 +1,1 @@
+lib/core/rva.ml: Array Bytes Hashtbl List Mc_util Option

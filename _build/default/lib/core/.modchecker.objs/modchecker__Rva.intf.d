@@ -1,0 +1,1 @@
+lib/core/rva.mli: Bytes

@@ -1,0 +1,1 @@
+lib/core/searcher.ml: Bytes List Mc_hypervisor Mc_memsim Mc_util Mc_vmi Mc_winkernel Printf

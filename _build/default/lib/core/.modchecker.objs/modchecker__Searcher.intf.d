@@ -1,0 +1,1 @@
+lib/core/searcher.mli: Bytes Mc_hypervisor Mc_vmi

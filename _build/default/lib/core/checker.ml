@@ -1,0 +1,85 @@
+module Md5 = Mc_md5.Md5
+module Meter = Mc_hypervisor.Meter
+
+type artifact_verdict = {
+  av_kind : Artifact.kind;
+  av_match : bool;
+  av_digest1 : string;
+  av_digest2 : string;
+  av_adjusted : int;
+}
+
+type pair_result = {
+  verdicts : artifact_verdict list;
+  all_match : bool;
+  total_adjusted : int;
+}
+
+let bump meter f = match meter with Some m -> f m | None -> ()
+
+let hash_bytes ?meter data =
+  bump meter (fun m -> Meter.add_bytes_hashed m (Bytes.length data));
+  Md5.to_hex (Md5.digest_bytes data)
+
+let hash_artifact ?meter (a : Artifact.t) = hash_bytes ?meter a.data
+
+let compare_one ?meter ~base1 ~base2 (a1 : Artifact.t) (a2 : Artifact.t) =
+  if
+    Artifact.is_section_data a1
+    && Bytes.length a1.data = Bytes.length a2.data
+  then begin
+    (* Work on copies: adjustment must not corrupt the cached artifacts
+       used by the other pairwise comparisons. *)
+    let d1 = Bytes.copy a1.data and d2 = Bytes.copy a2.data in
+    bump meter (fun m ->
+        Meter.add_bytes_scanned m (Bytes.length d1 + Bytes.length d2));
+    let stats = Rva.adjust_pair ~base1 ~base2 d1 d2 in
+    let h1 = hash_bytes ?meter d1 and h2 = hash_bytes ?meter d2 in
+    {
+      av_kind = a1.kind;
+      av_match = String.equal h1 h2;
+      av_digest1 = h1;
+      av_digest2 = h2;
+      av_adjusted = stats.Rva.adjusted;
+    }
+  end
+  else begin
+    let h1 = hash_bytes ?meter a1.data and h2 = hash_bytes ?meter a2.data in
+    {
+      av_kind = a1.kind;
+      av_match = String.equal h1 h2;
+      av_digest1 = h1;
+      av_digest2 = h2;
+      av_adjusted = 0;
+    }
+  end
+
+let missing kind digest_side =
+  {
+    av_kind = kind;
+    av_match = false;
+    av_digest1 = (if digest_side = `First then "-" else "(absent)");
+    av_digest2 = (if digest_side = `First then "(absent)" else "-");
+    av_adjusted = 0;
+  }
+
+let compare_pair ?meter ~base1 arts1 ~base2 arts2 =
+  let verdicts =
+    List.map
+      (fun (a1 : Artifact.t) ->
+        match Artifact.find arts2 a1.kind with
+        | Some a2 -> compare_one ?meter ~base1 ~base2 a1 a2
+        | None -> missing a1.kind `First)
+      arts1
+    @ List.filter_map
+        (fun (a2 : Artifact.t) ->
+          match Artifact.find arts1 a2.kind with
+          | Some _ -> None
+          | None -> Some (missing a2.kind `Second))
+        arts2
+  in
+  {
+    verdicts;
+    all_match = List.for_all (fun v -> v.av_match) verdicts;
+    total_adjusted = List.fold_left (fun n v -> n + v.av_adjusted) 0 verdicts;
+  }

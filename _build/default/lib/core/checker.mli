@@ -1,0 +1,35 @@
+(** Integrity-Checker (§III-B.3, §IV-C): hashes artifacts with MD5 and
+    compares a module across a VM pair, adjusting RVAs in section data
+    before hashing. *)
+
+type artifact_verdict = {
+  av_kind : Artifact.kind;
+  av_match : bool;
+  av_digest1 : string;  (** Hex MD5 on the first VM (after adjustment). *)
+  av_digest2 : string;
+  av_adjusted : int;  (** Addresses rewritten to RVAs in this artifact. *)
+}
+
+type pair_result = {
+  verdicts : artifact_verdict list;
+  all_match : bool;
+  total_adjusted : int;
+}
+
+val hash_artifact : ?meter:Mc_hypervisor.Meter.t -> Artifact.t -> string
+(** [hash_artifact a] is the hex MD5 of the artifact's bytes (metered as
+    bytes hashed). Section data is hashed as-is — use [compare_pair] for
+    cross-VM comparison, which adjusts first. *)
+
+val compare_pair :
+  ?meter:Mc_hypervisor.Meter.t ->
+  base1:int ->
+  Artifact.t list ->
+  base2:int ->
+  Artifact.t list ->
+  pair_result
+(** [compare_pair ~base1 arts1 ~base2 arts2] matches artifacts by kind.
+    Section-data artifacts are copied, RVA-adjusted against each other
+    (Algorithm 2), then hashed; header artifacts are hashed directly.
+    An artifact present on one side only, or section data of different
+    lengths, is an immediate mismatch. *)

@@ -1,0 +1,176 @@
+module Codegen = Mc_pe.Codegen
+
+type hook = {
+  hook_at_rva : int;
+  hook_function : string option;
+  cave_rva : int;
+  payload_len : int;
+  resumes_at_rva : int option;
+}
+
+type patch = {
+  patch_at_rva : int;
+  patch_function : string option;
+  patch_len : int;
+}
+
+type classification =
+  | Inline_hook of hook
+  | Code_patch of patch
+  | Section_resized of { old_len : int; new_len : int }
+
+(* Group ascending diff offsets into regions, bridging gaps of up to
+   [slack] equal bytes (a patch that preserves an interior byte is still
+   one region). *)
+let regions ?(slack = 8) offsets =
+  match offsets with
+  | [] -> []
+  | first :: rest ->
+      let finish (start, last) = (start, last - start + 1) in
+      let rec loop (start, last) acc = function
+        | [] -> List.rev (finish (start, last) :: acc)
+        | o :: rest ->
+            if o - last <= slack then loop (start, o) acc rest
+            else loop (o, o) (finish (start, last) :: acc) rest
+      in
+      loop (first, first) [] rest
+
+let containing_function symbols rva =
+  match symbols with
+  | None -> None
+  | Some syms ->
+      List.fold_left
+        (fun acc (name, fn_rva) ->
+          match acc with
+          | Some (_, best) when best >= fn_rva -> acc
+          | _ -> if fn_rva <= rva then Some (name, fn_rva) else acc)
+        None syms
+      |> Option.map fst
+
+let is_zero_run reference ~off ~len =
+  let n = Bytes.length reference in
+  let stop = min n (off + len) in
+  off >= 0 && off < n
+  &&
+  let rec check i = i >= stop || (Bytes.get reference i = '\000' && check (i + 1)) in
+  check off
+
+(* Follow a payload from [cave_off]: linear-sweep until a Jmp_rel leaving
+   the neighbourhood (the "jmp back"), bounded to 256 bytes. *)
+let trace_payload infected ~cave_off =
+  let limit = min (Bytes.length infected) (cave_off + 256) in
+  let rec sweep pos =
+    if pos >= limit then (pos - cave_off, None)
+    else
+      match Codegen.decode infected pos with
+      | Some (Codegen.Jmp_rel d, len) ->
+          let target = pos + len + d in
+          if target < cave_off || target > limit then
+            (pos + len - cave_off, Some target)
+          else sweep (pos + len)
+      | Some (Codegen.Cave _, _) | None -> (pos - cave_off, None)
+      | Some (_, len) -> sweep (pos + len)
+  in
+  sweep cave_off
+
+let classify_region ~symbols ~sec_rva ~infected ~reference (start, len) =
+  match Codegen.decode infected start with
+  | Some (Codegen.Jmp_rel d, jmp_len) -> (
+      let target = start + jmp_len + d in
+      (* An inline hook's jmp lands where the clean copy held zeros. *)
+      if
+        target >= 0
+        && target < Bytes.length reference
+        && is_zero_run reference ~off:target ~len:16
+      then begin
+        let payload_len, resume = trace_payload infected ~cave_off:target in
+        Inline_hook
+          {
+            hook_at_rva = sec_rva + start;
+            hook_function = containing_function symbols (sec_rva + start);
+            cave_rva = sec_rva + target;
+            payload_len;
+            resumes_at_rva = Option.map (fun t -> sec_rva + t) resume;
+          }
+      end
+      else
+        Code_patch
+          {
+            patch_at_rva = sec_rva + start;
+            patch_function = containing_function symbols (sec_rva + start);
+            patch_len = len;
+          })
+  | _ ->
+      Code_patch
+        {
+          patch_at_rva = sec_rva + start;
+          patch_function = containing_function symbols (sec_rva + start);
+          patch_len = len;
+        }
+
+let analyze ?symbols ~base_infected infected_arts ~base_reference
+    reference_arts =
+  let text arts = Artifact.find arts (Artifact.Section_data ".text") in
+  match (text infected_arts, text reference_arts) with
+  | None, _ | _, None -> Error "no .text artifact to analyze"
+  | Some ti, Some tr ->
+      let li = Bytes.length ti.Artifact.data in
+      let lr = Bytes.length tr.Artifact.data in
+      if li <> lr then Ok [ Section_resized { old_len = lr; new_len = li } ]
+      else begin
+        let d_inf = Bytes.copy ti.Artifact.data in
+        let d_ref = Bytes.copy tr.Artifact.data in
+        ignore
+          (Rva.adjust_pair ~base1:base_infected ~base2:base_reference d_inf
+             d_ref);
+        let diffs = Pinpoint.diff_offsets d_inf d_ref in
+        (* Classification reads raw (unadjusted) infected bytes so decoded
+           operands are the real in-memory values. *)
+        let classified =
+          List.map
+            (classify_region ~symbols ~sec_rva:ti.Artifact.sec_rva
+               ~infected:ti.Artifact.data ~reference:tr.Artifact.data)
+            (regions diffs)
+        in
+        (* A hook's cave payload is itself a diff region; once the hook has
+           been traced, reporting the payload again as a separate "code
+           patch" is noise. *)
+        let cave_extents =
+          List.filter_map
+            (function
+              | Inline_hook h -> Some (h.cave_rva, h.cave_rva + h.payload_len)
+              | Code_patch _ | Section_resized _ -> None)
+            classified
+        in
+        let inside_cave rva =
+          List.exists (fun (lo, hi) -> rva >= lo && rva < hi) cave_extents
+        in
+        Ok
+          (List.filter
+             (function
+               | Code_patch p -> not (inside_cave p.patch_at_rva)
+               | Inline_hook _ | Section_resized _ -> true)
+             classified)
+      end
+
+let to_string = function
+  | Inline_hook h ->
+      Printf.sprintf
+        "inline hook at rva 0x%x%s: payload in cave 0x%x (%d bytes)%s"
+        h.hook_at_rva
+        (match h.hook_function with
+        | Some f -> Printf.sprintf " (%s)" f
+        | None -> "")
+        h.cave_rva h.payload_len
+        (match h.resumes_at_rva with
+        | Some r -> Printf.sprintf ", resumes at 0x%x" r
+        | None -> ", no return jmp found")
+  | Code_patch p ->
+      Printf.sprintf "code patch at rva 0x%x%s: %d byte(s)" p.patch_at_rva
+        (match p.patch_function with
+        | Some f -> Printf.sprintf " (%s)" f
+        | None -> "")
+        p.patch_len
+  | Section_resized { old_len; new_len } ->
+      Printf.sprintf ".text resized: %d -> %d bytes (structural injection)"
+        old_len new_len

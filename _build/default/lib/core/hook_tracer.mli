@@ -1,0 +1,46 @@
+(** The "more comprehensive, deeper analysis tool" the paper's conclusion
+    hands off to: once ModChecker flags a module's .text, this tracer
+    explains {e how} it was patched.
+
+    It RVA-adjusts the infected copy against a clean peer, groups the
+    residual differences into patch regions, and classifies each by
+    disassembling at the patch site: a [jmp] rewrite whose target lands in
+    what used to be an opcode cave is an inline hook (and the tracer
+    follows it — payload extent and the jmp back); anything else is a
+    plain code patch. *)
+
+type hook = {
+  hook_at_rva : int;  (** Where the prologue was overwritten. *)
+  hook_function : string option;  (** Containing function, with symbols. *)
+  cave_rva : int;  (** The payload's home — zeros in the clean copy. *)
+  payload_len : int;  (** Bytes from cave start through the jmp back. *)
+  resumes_at_rva : int option;
+      (** Where the payload jumps back to (original code after the stolen
+          prologue); [None] if no return jmp was found. *)
+}
+
+type patch = {
+  patch_at_rva : int;
+  patch_function : string option;
+  patch_len : int;  (** Extent of this contiguous difference region. *)
+}
+
+type classification =
+  | Inline_hook of hook
+  | Code_patch of patch
+  | Section_resized of { old_len : int; new_len : int }
+      (** Different VirtualSize (e.g. DLL injection) — region analysis
+          does not apply. *)
+
+val analyze :
+  ?symbols:(string * int) list ->
+  base_infected:int ->
+  Artifact.t list ->
+  base_reference:int ->
+  Artifact.t list ->
+  (classification list, string) result
+(** [analyze ~base_infected infected ~base_reference reference] classifies
+    every patch region of the infected .text. An empty list means the
+    sections reconcile. *)
+
+val to_string : classification -> string

@@ -1,0 +1,7 @@
+(* The library's log source. Applications enable it with
+   [Logs.Src.set_level Modchecker.Log.src (Some Debug)] or globally via
+   [Logs.set_level]; the CLI's --verbose does this. *)
+
+let src = Logs.Src.create "modchecker" ~doc:"ModChecker integrity checking"
+
+include (val Logs.src_log src : Logs.LOG)

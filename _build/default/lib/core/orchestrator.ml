@@ -1,0 +1,360 @@
+module Cloud = Mc_hypervisor.Cloud
+module Dom = Mc_hypervisor.Dom
+module Meter = Mc_hypervisor.Meter
+module Costs = Mc_hypervisor.Costs
+module Vmi = Mc_vmi.Vmi
+module Symbols = Mc_vmi.Symbols
+module Pool = Mc_parallel.Pool
+
+type mode = Sequential | Parallel of Pool.t
+
+type vm_work = { work_vm : int; work_meter : Meter.t }
+
+type outcome = { report : Report.module_report; work : vm_work list }
+
+type phase_seconds = {
+  searcher_s : float;
+  parser_s : float;
+  checker_s : float;
+}
+
+(* Fetch one VM's copy of the module and parse it into artifacts, phased
+   against [meter]. *)
+let profile_for dom =
+  Symbols.of_variant
+    (Mc_winkernel.Kernel.os_variant (Mc_hypervisor.Dom.kernel_exn dom))
+
+let fetch_artifacts cloud ~vm ~module_name ~meter =
+  let dom = Cloud.vm cloud vm in
+  Meter.set_phase meter Searcher;
+  let vmi = Vmi.init ~meter dom (profile_for dom) in
+  match Searcher.fetch ~meter vmi ~name:module_name with
+  | None -> None
+  | Some (info, buf) -> (
+      Meter.set_phase meter Parser;
+      match Parser.artifacts ~meter buf with
+      | Error _ -> None
+      | Ok artifacts -> Some (info, artifacts))
+
+let map_vms mode f vms =
+  match mode with
+  | Sequential -> List.map f vms
+  | Parallel pool -> Pool.parallel_map pool f vms
+
+(* A comparison VM that lacks the module (or whose copy does not even
+   parse) fails the comparison outright: every target artifact is reported
+   absent on the other side. *)
+let absent_result target_artifacts =
+  Checker.
+    {
+      verdicts =
+        List.map
+          (fun (a : Artifact.t) ->
+            {
+              av_kind = a.Artifact.kind;
+              av_match = false;
+              av_digest1 = "-";
+              av_digest2 = "(absent)";
+              av_adjusted = 0;
+            })
+          target_artifacts;
+      all_match = false;
+      total_adjusted = 0;
+    }
+
+let check_module ?(mode = Sequential) ?others cloud ~target_vm ~module_name =
+  let others =
+    match others with
+    | Some vs -> vs
+    | None ->
+        List.filter
+          (fun v -> v <> target_vm)
+          (List.init (Cloud.vm_count cloud) Fun.id)
+  in
+  if others = [] then Error "no comparison VMs available"
+  else begin
+    Log.info (fun m ->
+        m "checking %s on Dom%d against %d VM(s)" module_name (target_vm + 1)
+          (List.length others));
+    let target_meter = Meter.create () in
+    match
+      fetch_artifacts cloud ~vm:target_vm ~module_name ~meter:target_meter
+    with
+    | None ->
+        Error
+          (Printf.sprintf "module %s not found in Dom%d" module_name
+             (target_vm + 1))
+    | Some (target_info, target_artifacts) ->
+        let compare_against vm =
+          let meter = Meter.create () in
+          let result =
+            match fetch_artifacts cloud ~vm ~module_name ~meter with
+            | None -> absent_result target_artifacts
+            | Some (info, artifacts) ->
+                Meter.set_phase meter Checker;
+                Checker.compare_pair ~meter
+                  ~base1:target_info.Searcher.mi_base target_artifacts
+                  ~base2:info.Searcher.mi_base artifacts
+          in
+          ( { Report.other_vm = vm; result },
+            { work_vm = vm; work_meter = meter } )
+        in
+        let results = map_vms mode compare_against others in
+        let comparisons = List.map fst results in
+        let work =
+          { work_vm = target_vm; work_meter = target_meter }
+          :: List.map snd results
+        in
+        let report = Report.make ~module_name ~target_vm comparisons in
+        if report.Report.majority_ok then
+          Log.debug (fun m -> m "%a" Report.pp report)
+        else Log.warn (fun m -> m "%a" Report.pp report);
+        Ok { report; work }
+  end
+
+type survey_strategy = Pairwise | Canonical
+
+(* Canonical strategy: per-VM fingerprints. Every artifact kind maps to a
+   digest; section data is digested after t-way canonicalization, so clean
+   copies collapse to one digest per kind. *)
+let canonical_fingerprints ?meter present =
+  let bump f = match meter with Some m -> f m | None -> () in
+  let kinds =
+    List.concat_map
+      (fun (_, (_, arts)) -> List.map (fun (a : Artifact.t) -> a.Artifact.kind) arts)
+      present
+    |> List.fold_left
+         (fun acc k ->
+           if List.exists (Artifact.equal_kind k) acc then acc else k :: acc)
+         []
+    |> List.rev
+  in
+  let tables =
+    List.map
+      (fun kind ->
+        let holders =
+          List.filter_map
+            (fun (vm, ((info : Searcher.module_info), arts)) ->
+              Option.map
+                (fun (a : Artifact.t) -> (vm, info.Searcher.mi_base, a))
+                (Artifact.find arts kind))
+            present
+        in
+        let raw_digest (vm, _, (a : Artifact.t)) =
+          bump (fun m -> Meter.add_bytes_hashed m (Bytes.length a.Artifact.data));
+          (vm, Mc_md5.Md5.to_hex (Mc_md5.Md5.digest_bytes a.Artifact.data))
+        in
+        let digests =
+          match holders with
+          | (_, _, first) :: _ when Artifact.is_section_data first ->
+              (* Canonicalize within each equal-length group (a resized
+                 copy — e.g. a DLL injection — forms its own group and
+                 keeps its distinct digest); groups of one hash raw. *)
+              let groups = Hashtbl.create 4 in
+              List.iter
+                (fun ((_, _, (a : Artifact.t)) as h) ->
+                  let len = Bytes.length a.Artifact.data in
+                  Hashtbl.replace groups len
+                    (h :: Option.value ~default:[] (Hashtbl.find_opt groups len)))
+                holders;
+              Hashtbl.fold
+                (fun _ group acc ->
+                  match group with
+                  | [ single ] -> raw_digest single :: acc
+                  | _ ->
+                      let group = List.rev group in
+                      let bases =
+                        Array.of_list (List.map (fun (_, b, _) -> b) group)
+                      in
+                      let buffers =
+                        Array.of_list
+                          (List.map
+                             (fun (_, _, (a : Artifact.t)) ->
+                               Bytes.copy a.Artifact.data)
+                             group)
+                      in
+                      bump (fun m ->
+                          Array.iter
+                            (fun b -> Meter.add_bytes_scanned m (Bytes.length b))
+                            buffers);
+                      ignore (Rva.canonicalize ~bases buffers);
+                      List.mapi
+                        (fun i (vm, _, _) ->
+                          bump (fun m ->
+                              Meter.add_bytes_hashed m
+                                (Bytes.length buffers.(i)));
+                          ( vm,
+                            Mc_md5.Md5.to_hex
+                              (Mc_md5.Md5.digest_bytes buffers.(i)) ))
+                        group
+                      @ acc)
+                groups []
+          | _ -> List.map raw_digest holders
+        in
+        (kind, digests))
+      kinds
+  in
+  (* Fingerprint: for each kind, the VM's digest or "(absent)". *)
+  List.map
+    (fun (vm, _) ->
+      ( vm,
+        List.map
+          (fun (_, digests) ->
+            match List.assoc_opt vm digests with
+            | Some d -> d
+            | None -> "(absent)")
+          tables ))
+    present
+
+let survey ?(mode = Sequential) ?(strategy = Pairwise) ?meter cloud
+    ~module_name =
+  let vms = List.init (Cloud.vm_count cloud) Fun.id in
+  let fetch vm =
+    match meter with
+    | Some m -> (vm, fetch_artifacts cloud ~vm ~module_name ~meter:m)
+    | None ->
+        let m = Meter.create () in
+        (vm, fetch_artifacts cloud ~vm ~module_name ~meter:m)
+  in
+  let fetched =
+    match meter with
+    | Some _ -> List.map fetch vms (* a shared meter is not thread-safe *)
+    | None -> map_vms mode fetch vms
+  in
+  let present =
+    List.filter_map
+      (fun (vm, r) -> Option.map (fun x -> (vm, x)) r)
+      fetched
+  in
+  let missing_on = List.filter_map
+      (fun (vm, r) -> if r = None then Some vm else None)
+      fetched
+  in
+  (match meter with Some m -> Meter.set_phase m Checker | None -> ());
+  let pairwise =
+    match strategy with
+    | Pairwise ->
+        let rec pairs = function
+          | [] -> []
+          | (v, x) :: rest ->
+              List.map (fun (u, y) -> ((v, x), (u, y))) rest @ pairs rest
+        in
+        let compare_one
+            (((v, (info_v, arts_v)), (u, (info_u, arts_u))) :
+              (int * (Searcher.module_info * Artifact.t list))
+              * (int * (Searcher.module_info * Artifact.t list))) =
+          let result =
+            Checker.compare_pair ?meter ~base1:info_v.Searcher.mi_base arts_v
+              ~base2:info_u.Searcher.mi_base arts_u
+          in
+          ((v, u), result.Checker.all_match)
+        in
+        (match meter with
+        | Some _ -> List.map compare_one (pairs present)
+        | None -> map_vms mode compare_one (pairs present))
+    | Canonical ->
+        let prints = canonical_fingerprints ?meter present in
+        let rec pairs = function
+          | [] -> []
+          | (v, fp) :: rest ->
+              List.map (fun (u, fq) -> ((v, fp), (u, fq))) rest @ pairs rest
+        in
+        List.map
+          (fun ((v, fp), (u, fq)) -> ((v, u), fp = fq))
+          (pairs prints)
+  in
+  (* Partition the present VMs into agreement classes (the match relation
+     unions clean clones into one class). The largest class, when it is a
+     strict majority, is the trusted pool; everyone outside deviates. With
+     no majority class the pool is inconsistent beyond attribution and
+     every VM is flagged for deeper analysis (paper §III-B discussion). *)
+  let vms_present = List.map fst present in
+  let agreement_classes =
+    match vms_present with
+    | [] -> []
+    | _ ->
+        let classes = ref (List.map (fun v -> [ v ]) vms_present) in
+        List.iter
+          (fun ((a, b), ok) ->
+            if ok then begin
+              let ca = List.find (List.mem a) !classes in
+              let cb = List.find (List.mem b) !classes in
+              if ca != cb then
+                classes :=
+                  (ca @ cb)
+                  :: List.filter (fun c -> c != ca && c != cb) !classes
+            end)
+          pairwise;
+        List.map (List.sort compare) !classes
+        |> List.sort (fun a b -> compare (List.length b) (List.length a))
+  in
+  let deviant_vms =
+    match agreement_classes with
+    | [] | [ _ ] -> []
+    | largest :: _ ->
+        if 2 * List.length largest > List.length vms_present then
+          List.filter (fun v -> not (List.mem v largest)) vms_present
+          |> List.sort compare
+        else vms_present
+  in
+  Report.
+    {
+      survey_module = module_name;
+      vm_indices = vms;
+      missing_on;
+      deviant_vms;
+      agreement_classes;
+      pairwise_matches = pairwise;
+    }
+
+type list_discrepancy = {
+  ld_module : string;
+  present_on : int list;
+  missing_on : int list;
+}
+
+let compare_module_lists cloud =
+  let vms = List.init (Cloud.vm_count cloud) Fun.id in
+  let listings =
+    List.map
+      (fun vm ->
+        let dom = Cloud.vm cloud vm in
+        let vmi = Vmi.init dom (profile_for dom) in
+        ( vm,
+          List.map
+            (fun (i : Searcher.module_info) ->
+              String.lowercase_ascii i.Searcher.mi_name)
+            (Searcher.list_modules vmi) ))
+      vms
+  in
+  let all_names =
+    List.sort_uniq compare (List.concat_map snd listings)
+  in
+  List.filter_map
+    (fun name ->
+      let present_on =
+        List.filter_map
+          (fun (vm, names) -> if List.mem name names then Some vm else None)
+          listings
+      in
+      let missing_on = List.filter (fun v -> not (List.mem v present_on)) vms in
+      if missing_on = [] then None
+      else Some { ld_module = name; present_on; missing_on })
+    all_names
+
+let phase_seconds costs outcome =
+  let sum phase =
+    List.fold_left
+      (fun acc w -> acc +. Meter.cpu_seconds costs (Meter.get w.work_meter phase))
+      0.0 outcome.work
+  in
+  {
+    searcher_s = sum Meter.Searcher;
+    parser_s = sum Meter.Parser;
+    checker_s = sum Meter.Checker;
+  }
+
+let per_vm_seconds costs outcome =
+  List.map
+    (fun w -> Meter.total_cpu_seconds costs w.work_meter)
+    outcome.work

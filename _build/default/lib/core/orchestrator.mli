@@ -1,0 +1,80 @@
+(** The ModChecker driver: runs the Searcher → Parser → Checker pipeline
+    from Dom0 across the VM pool and applies the majority vote.
+
+    Sequential mode visits VMs one after another, as the paper's prototype
+    does (and as its Fig. 7 linear growth reflects). Parallel mode maps the
+    per-VM pipeline over a domain pool — the "parallel access of virtual
+    machines' memory" the paper names as the natural enhancement. *)
+
+type mode = Sequential | Parallel of Mc_parallel.Pool.t
+
+type vm_work = { work_vm : int; work_meter : Mc_hypervisor.Meter.t }
+(** Operation counts incurred on behalf of one compared VM — the unit the
+    timing model schedules. *)
+
+type outcome = {
+  report : Report.module_report;
+  work : vm_work list;  (** Target VM first, then each compared VM. *)
+}
+
+type phase_seconds = {
+  searcher_s : float;
+  parser_s : float;
+  checker_s : float;
+}
+
+val check_module :
+  ?mode:mode ->
+  ?others:int list ->
+  Mc_hypervisor.Cloud.t ->
+  target_vm:int ->
+  module_name:string ->
+  (outcome, string) result
+(** [check_module cloud ~target_vm ~module_name] fetches the module from
+    the target and from every other VM ([others] defaults to the rest of
+    the pool), compares pairwise, and votes. Errors when the module is not
+    loaded on the target or no comparison VM is available. A module
+    missing on a {e comparison} VM counts as a failed comparison, not an
+    error. *)
+
+type survey_strategy =
+  | Pairwise
+      (** The paper's approach: compare every pair with Algorithm 2;
+          O(t²) comparisons and hashes. *)
+  | Canonical
+      (** Extension: t-way canonicalization ({!Rva.canonicalize}) rewrites
+          every copy's address slots to the pool's majority RVAs, then each
+          copy is hashed once and compared by digest — O(t) hashing. *)
+
+val survey :
+  ?mode:mode ->
+  ?strategy:survey_strategy ->
+  ?meter:Mc_hypervisor.Meter.t ->
+  Mc_hypervisor.Cloud.t ->
+  module_name:string ->
+  Report.survey
+(** [survey cloud ~module_name] compares every VM's copy against every
+    other and partitions the pool into consistent and deviant VMs — the
+    "detect discrepancies and trigger deeper analysis" use of §III-B.
+    [strategy] defaults to [Pairwise]; both strategies produce the same
+    verdicts (a property the tests check), differing only in cost. When
+    [meter] is given, all work is counted into it (under its phases). *)
+
+type list_discrepancy = {
+  ld_module : string;
+  present_on : int list;
+  missing_on : int list;
+}
+
+val compare_module_lists : Mc_hypervisor.Cloud.t -> list_discrepancy list
+(** Extension: cross-VM comparison of the load lists themselves; a module
+    present on most VMs but absent from a few is how a DKOM-hidden module
+    betrays itself. Only non-uniform modules are returned. *)
+
+val phase_seconds : Mc_hypervisor.Costs.t -> outcome -> phase_seconds
+(** Price the outcome's metered operations into per-component virtual CPU
+    seconds (Fig. 7/8's three component curves). *)
+
+val per_vm_seconds : Mc_hypervisor.Costs.t -> outcome -> float list
+(** Per-compared-VM virtual CPU seconds — the job list for the
+    scheduler. *)

@@ -1,0 +1,65 @@
+module Read = Mc_pe.Read
+module Types = Mc_pe.Types
+module Flags = Mc_pe.Flags
+module Meter = Mc_hypervisor.Meter
+
+(* Discardable sections (.reloc, INIT) are freed by the kernel after boot;
+   what Module-Searcher copies out of those ranges is not module content,
+   so their data is not hashed (their 40-byte headers still are). *)
+let hashable_section (sec : Types.section_header) =
+  Flags.section_hashable sec.sec_characteristics
+  && sec.sec_characteristics land Flags.mem_discardable = 0
+
+let artifacts ?meter buf =
+  match Read.parse ~layout:Memory buf with
+  | Error e -> Error (Read.error_to_string e)
+  | Ok image ->
+      let header_artifacts =
+        Artifact.
+          [
+            { kind = Dos_header; data = image.dos_header; sec_rva = 0 };
+            { kind = Nt_header; data = image.nt_header_raw; sec_rva = 0 };
+            { kind = File_header; data = image.file_header_raw; sec_rva = 0 };
+            {
+              kind = Optional_header;
+              data = image.optional_header_raw;
+              sec_rva = 0;
+            };
+          ]
+      in
+      let section_artifacts =
+        List.concat
+          (List.map2
+             (fun ((sec : Types.section_header), data) raw_header ->
+               let header =
+                 Artifact.
+                   {
+                     kind = Section_header sec.sec_name;
+                     data = raw_header;
+                     sec_rva = 0;
+                   }
+               in
+               if hashable_section sec then
+                 [
+                   header;
+                   Artifact.
+                     {
+                       kind = Section_data sec.sec_name;
+                       data;
+                       sec_rva = sec.virtual_address;
+                     };
+                 ]
+               else [ header ])
+             image.sections image.section_headers_raw)
+      in
+      (match meter with
+      | Some m ->
+          let header_bytes =
+            List.fold_left
+              (fun n (a : Artifact.t) -> n + Bytes.length a.data)
+              0 header_artifacts
+          in
+          Meter.add_bytes_parsed m header_bytes;
+          Meter.add_sections_parsed m (List.length image.sections)
+      | None -> ());
+      Ok (header_artifacts @ section_artifacts)

@@ -1,0 +1,17 @@
+(** Module-Parser (§III-B.2, §IV-B, Algorithm 1).
+
+    Takes the raw in-memory module copied out by Module-Searcher and
+    extracts the artifact list: DOS header (with stub), NT/FILE/OPTIONAL
+    headers, every section header, and the data of every section whose
+    characteristics make it integrity-relevant (code, or read-only
+    non-writable data — writable sections legitimately diverge across
+    VMs). *)
+
+val artifacts :
+  ?meter:Mc_hypervisor.Meter.t -> Bytes.t -> (Artifact.t list, string) result
+(** [artifacts buf] parses a memory-layout module image. The meter (under
+    its current phase, normally [Parser]) counts header bytes parsed and
+    sections processed. *)
+
+val hashable_section : Mc_pe.Types.section_header -> bool
+(** Exposed for tests: should this section's data be hashed? *)

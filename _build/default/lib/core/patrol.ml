@@ -1,0 +1,187 @@
+module Cloud = Mc_hypervisor.Cloud
+module Costs = Mc_hypervisor.Costs
+module Meter = Mc_hypervisor.Meter
+module Sched = Mc_hypervisor.Sched
+
+type alarm_kind = Hash_deviation | Missing_module | List_discrepancy
+
+type alarm = {
+  at : float;
+  alarm_module : string;
+  alarm_vms : int list;
+  kind : alarm_kind;
+}
+
+type config = {
+  watch : string list;
+  interval_s : float;
+  costs : Costs.t;
+  workers : int;
+  compare_lists : bool;
+  strategy : Orchestrator.survey_strategy;
+}
+
+let default_config =
+  {
+    watch = Mc_pe.Catalog.standard_modules;
+    interval_s = 30.0;
+    costs = Costs.default;
+    workers = 1;
+    compare_lists = true;
+    strategy = Orchestrator.Pairwise;
+  }
+
+type outcome = {
+  alarms : alarm list;
+  sweeps : int;
+  virtual_elapsed : float;
+  cpu_spent : float;
+  mean_sweep_wall : float;
+}
+
+let alarm_kind_string = function
+  | Hash_deviation -> "hash deviation"
+  | Missing_module -> "missing module"
+  | List_discrepancy -> "module-list discrepancy"
+
+let run ?(config = default_config) ?(events = []) cloud ~until =
+  let clock = ref 0.0 in
+  let cpu = ref 0.0 in
+  let sweeps = ref 0 in
+  let walls = ref [] in
+  let alarms = ref [] in
+  let pending = ref (List.sort (fun (a, _) (b, _) -> compare a b) events) in
+  while !clock < until do
+    (* Fire events whose time has come before this sweep observes the
+       cloud. *)
+    let rec fire () =
+      match !pending with
+      | (t, f) :: rest when t <= !clock ->
+          f cloud;
+          pending := rest;
+          fire ()
+      | _ -> ()
+    in
+    fire ();
+    let sweep_started = !clock in
+    let module_costs = ref [] in
+    let sweep_alarms = ref [] in
+    List.iter
+      (fun module_name ->
+        (* One meter per module: each watched module is a schedulable job,
+           so multiple Dom0 workers can survey modules concurrently. *)
+        let meter = Meter.create () in
+        let s =
+          Orchestrator.survey ~strategy:config.strategy ~meter cloud
+            ~module_name
+        in
+        module_costs :=
+          Meter.total_cpu_seconds config.costs meter :: !module_costs;
+        if s.Report.deviant_vms <> [] then
+          sweep_alarms :=
+            {
+              at = 0.0;
+              alarm_module = module_name;
+              alarm_vms = s.Report.deviant_vms;
+              kind = Hash_deviation;
+            }
+            :: !sweep_alarms;
+        if s.Report.missing_on <> [] then
+          sweep_alarms :=
+            {
+              at = 0.0;
+              alarm_module = module_name;
+              alarm_vms = s.Report.missing_on;
+              kind = Missing_module;
+            }
+            :: !sweep_alarms)
+      config.watch;
+    if config.compare_lists then
+      List.iter
+        (fun (d : Orchestrator.list_discrepancy) ->
+          (* Only alarm on list entries we are not already alarming on as
+             a missing watched module. *)
+          if not (List.mem d.Orchestrator.ld_module config.watch) then
+            sweep_alarms :=
+              {
+                at = 0.0;
+                alarm_module = d.Orchestrator.ld_module;
+                alarm_vms = d.Orchestrator.missing_on;
+                kind = List_discrepancy;
+              }
+              :: !sweep_alarms)
+        (Orchestrator.compare_module_lists cloud);
+    (* Price the sweep and advance the virtual clock under current load. *)
+    let sweep_cpu = List.fold_left ( +. ) 0.0 !module_costs in
+    let bus =
+      Sched.bus_factor config.costs ~busy_vms:(Cloud.busy_vms cloud)
+        ~cores:cloud.Cloud.cores
+    in
+    let wall =
+      Sched.run_jobs ~cores:cloud.Cloud.cores
+        ~busy_guest_vcpus:(Cloud.busy_guest_vcpus cloud)
+        ~workers:config.workers
+        (List.map (fun c -> c *. bus) !module_costs)
+    in
+    cpu := !cpu +. sweep_cpu;
+    walls := wall :: !walls;
+    incr sweeps;
+    clock := sweep_started +. wall;
+    Log.debug (fun m ->
+        m "patrol sweep %d at t=%.1fs: %.1f ms wall, %d alarm(s)" !sweeps
+          sweep_started (wall *. 1e3)
+          (List.length !sweep_alarms));
+    List.iter
+      (fun a ->
+        Log.warn (fun m ->
+            m "patrol alarm at t=%.1fs: %s on %s (VMs %s)" !clock
+              (alarm_kind_string a.kind) a.alarm_module
+              (String.concat ","
+                 (List.map (fun v -> string_of_int (v + 1)) a.alarm_vms))))
+      !sweep_alarms;
+    alarms :=
+      List.rev_append
+        (List.rev_map (fun a -> { a with at = !clock }) !sweep_alarms)
+        !alarms;
+    (* Sleep until the next interval boundary (if the sweep overran the
+       interval, start again immediately). *)
+    let next_start = sweep_started +. config.interval_s in
+    if next_start > !clock then clock := next_start
+  done;
+  {
+    alarms = List.rev !alarms;
+    sweeps = !sweeps;
+    virtual_elapsed = !clock;
+    cpu_spent = !cpu;
+    mean_sweep_wall = Mc_util.Stats.mean !walls;
+  }
+
+let to_json o =
+  let open Mc_util.Json in
+  Obj
+    [
+      ("sweeps", Int o.sweeps);
+      ("virtual_elapsed_s", Float o.virtual_elapsed);
+      ("cpu_spent_s", Float o.cpu_spent);
+      ("mean_sweep_wall_s", Float o.mean_sweep_wall);
+      ( "alarms",
+        List
+          (List.map
+             (fun a ->
+               Obj
+                 [
+                   ("at_s", Float a.at);
+                   ("kind", String (alarm_kind_string a.kind));
+                   ("module", String a.alarm_module);
+                   ("vms", List (List.map (fun v -> Int v) a.alarm_vms));
+                 ])
+             o.alarms) );
+    ]
+
+let time_to_detect outcome ~module_name ~infected_at =
+  List.find_map
+    (fun a ->
+      if a.alarm_module = module_name && a.at >= infected_at then
+        Some (a.at -. infected_at)
+      else None)
+    outcome.alarms

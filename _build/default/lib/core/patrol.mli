@@ -1,0 +1,66 @@
+(** The patrol service: ModChecker as a continuously running cloud
+    monitor.
+
+    The paper positions ModChecker as an "initial light-weight consistency
+    check" that triggers deeper analysis. This module operationalizes
+    that: it sweeps a set of modules across the pool on the simulated
+    cloud clock, raising alarms for hash deviations, missing modules, and
+    module-list discrepancies, and accounting both the CPU it burned and
+    the wall time each sweep cost under the current guest load. The
+    interval/time-to-detect trade-off it exposes is measured by the bench
+    harness. *)
+
+type alarm_kind =
+  | Hash_deviation  (** A VM's copy fails the majority vote. *)
+  | Missing_module  (** A watched module is absent from a VM. *)
+  | List_discrepancy  (** Module-list comparison found a hidden module. *)
+
+type alarm = {
+  at : float;  (** Virtual time the sweep that saw it completed. *)
+  alarm_module : string;
+  alarm_vms : int list;
+  kind : alarm_kind;
+}
+
+type config = {
+  watch : string list;  (** Modules checked each sweep. *)
+  interval_s : float;  (** Idle time between sweep starts (minimum). *)
+  costs : Mc_hypervisor.Costs.t;
+  workers : int;  (** Dom0 vCPUs driving the sweep. *)
+  compare_lists : bool;  (** Also run the DKOM list comparison. *)
+  strategy : Orchestrator.survey_strategy;
+}
+
+val default_config : config
+(** Watches the standard catalog, 30 s interval, one worker, pairwise. *)
+
+type outcome = {
+  alarms : alarm list;  (** In raising order; duplicates across sweeps kept. *)
+  sweeps : int;
+  virtual_elapsed : float;  (** Clock at the end of the run. *)
+  cpu_spent : float;  (** Dom0 CPU-seconds consumed by checking. *)
+  mean_sweep_wall : float;
+}
+
+val run :
+  ?config:config ->
+  ?events:(float * (Mc_hypervisor.Cloud.t -> unit)) list ->
+  Mc_hypervisor.Cloud.t ->
+  until:float ->
+  outcome
+(** [run cloud ~until] patrols from virtual time 0 until the clock passes
+    [until]. Each sweep surveys every watched module, advancing the clock
+    by the scheduler-priced wall time of the metered work, then sleeps to
+    the next interval boundary. [events] are timed cloud mutations (e.g.
+    staging an infection at t=70 s); each fires once, just before the
+    first sweep that starts at or after its time. *)
+
+val time_to_detect :
+  outcome -> module_name:string -> infected_at:float -> float option
+(** [time_to_detect outcome ~module_name ~infected_at] is the delay from
+    infection to the first alarm naming the module at or after that time;
+    [None] when no such alarm fired. *)
+
+val alarm_kind_string : alarm_kind -> string
+
+val to_json : outcome -> Mc_util.Json.t

@@ -1,0 +1,154 @@
+type comparison = { other_vm : int; result : Checker.pair_result }
+
+type module_report = {
+  module_name : string;
+  target_vm : int;
+  comparisons : comparison list;
+  matches : int;
+  total : int;
+  majority_ok : bool;
+  flagged_artifacts : Artifact.kind list;
+}
+
+type survey = {
+  survey_module : string;
+  vm_indices : int list;
+  missing_on : int list;
+  deviant_vms : int list;
+  agreement_classes : int list list;
+  pairwise_matches : ((int * int) * bool) list;
+}
+
+let make ~module_name ~target_vm comparisons =
+  let total = List.length comparisons in
+  let matches =
+    List.length
+      (List.filter (fun c -> c.result.Checker.all_match) comparisons)
+  in
+  (* An artifact is the *target's* problem when it disagrees with a strict
+     majority of the pool; a single disagreeing peer indicts the peer. *)
+  let kinds =
+    match comparisons with
+    | [] -> []
+    | c :: _ -> List.map (fun v -> v.Checker.av_kind) c.result.Checker.verdicts
+  in
+  let mismatch_count kind =
+    List.length
+      (List.filter
+         (fun c ->
+           List.exists
+             (fun v ->
+               Artifact.equal_kind v.Checker.av_kind kind
+               && not v.Checker.av_match)
+             c.result.Checker.verdicts)
+         comparisons)
+  in
+  let flagged_artifacts =
+    List.filter (fun kind -> 2 * mismatch_count kind > total) kinds
+  in
+  {
+    module_name;
+    target_vm;
+    comparisons;
+    matches;
+    total;
+    majority_ok = 2 * matches > total;
+    flagged_artifacts;
+  }
+
+let verdict_string r =
+  if r.majority_ok then Printf.sprintf "INTACT (%d/%d)" r.matches r.total
+  else
+    Printf.sprintf "SUSPICIOUS (%d/%d): %s" r.matches r.total
+      (String.concat ", " (List.map Artifact.kind_name r.flagged_artifacts))
+
+let to_table r =
+  let kinds =
+    match r.comparisons with
+    | [] -> []
+    | c :: _ -> List.map (fun v -> v.Checker.av_kind) c.result.Checker.verdicts
+  in
+  let header =
+    "artifact"
+    :: List.map (fun c -> Printf.sprintf "vs Dom%d" (c.other_vm + 1)) r.comparisons
+  in
+  let rows =
+    List.map
+      (fun kind ->
+        Artifact.kind_name kind
+        :: List.map
+             (fun c ->
+               match
+                 List.find_opt
+                   (fun v -> Artifact.equal_kind v.Checker.av_kind kind)
+                   c.result.Checker.verdicts
+               with
+               | Some v -> if v.Checker.av_match then "match" else "MISMATCH"
+               | None -> "?")
+             r.comparisons)
+      kinds
+  in
+  Mc_util.Table.render ~header rows
+
+let pp fmt r =
+  Format.fprintf fmt "%s on Dom%d: %s" r.module_name (r.target_vm + 1)
+    (verdict_string r)
+
+let to_json r =
+  let open Mc_util.Json in
+  Obj
+    [
+      ("module", String r.module_name);
+      ("target_vm", Int r.target_vm);
+      ("majority_ok", Bool r.majority_ok);
+      ("matches", Int r.matches);
+      ("total", Int r.total);
+      ( "flagged_artifacts",
+        List
+          (List.map (fun k -> String (Artifact.kind_name k)) r.flagged_artifacts)
+      );
+      ( "comparisons",
+        List
+          (List.map
+             (fun c ->
+               Obj
+                 [
+                   ("other_vm", Int c.other_vm);
+                   ("all_match", Bool c.result.Checker.all_match);
+                   ( "artifacts",
+                     List
+                       (List.map
+                          (fun v ->
+                            Obj
+                              [
+                                ( "artifact",
+                                  String (Artifact.kind_name v.Checker.av_kind)
+                                );
+                                ("match", Bool v.Checker.av_match);
+                                ("md5_target", String v.Checker.av_digest1);
+                                ("md5_other", String v.Checker.av_digest2);
+                                ("addresses_adjusted", Int v.Checker.av_adjusted);
+                              ])
+                          c.result.Checker.verdicts) );
+                 ])
+             r.comparisons) );
+    ]
+
+let survey_to_json s =
+  let open Mc_util.Json in
+  let vms l = List (List.map (fun v -> Int v) l) in
+  Obj
+    [
+      ("module", String s.survey_module);
+      ("vms", vms s.vm_indices);
+      ("missing_on", vms s.missing_on);
+      ("deviant_vms", vms s.deviant_vms);
+      ( "agreement_classes",
+        List (List.map (fun c -> vms c) s.agreement_classes) );
+      ( "pairwise",
+        List
+          (List.map
+             (fun ((a, b), ok) ->
+               Obj [ ("a", Int a); ("b", Int b); ("match", Bool ok) ])
+             s.pairwise_matches) );
+    ]

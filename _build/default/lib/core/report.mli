@@ -1,0 +1,54 @@
+(** Check results: the majority vote of §III-B ("Discussion") and
+    per-artifact detail for operators. *)
+
+type comparison = {
+  other_vm : int;  (** DomU index compared against. *)
+  result : Checker.pair_result;
+}
+
+type module_report = {
+  module_name : string;
+  target_vm : int;
+  comparisons : comparison list;
+  matches : int;  (** n — comparisons in which every artifact matched. *)
+  total : int;  (** t-1 — number of comparisons performed. *)
+  majority_ok : bool;  (** n > (t-1)/2: the module is considered intact. *)
+  flagged_artifacts : Artifact.kind list;
+      (** Artifacts mismatching in a strict majority of comparisons —
+          i.e. the target's own deviations, not some other VM's. *)
+}
+
+type survey = {
+  survey_module : string;
+  vm_indices : int list;
+  missing_on : int list;  (** VMs where the module was not found. *)
+  deviant_vms : int list;
+      (** VMs whose module fails the majority vote against the pool. *)
+  agreement_classes : int list list;
+      (** Partition of the present VMs into mutually-matching factions,
+          largest first. One class = a healthy pool; two large classes is
+          the §III-B SQL-Slammer scenario (mass infection splits the cloud
+          into factions and no majority can be trusted — everything is
+          flagged for deeper analysis). *)
+  pairwise_matches : ((int * int) * bool) list;
+}
+(** A full-mesh sweep: every VM's copy voted against every other. *)
+
+val make :
+  module_name:string -> target_vm:int -> comparison list -> module_report
+(** [make ~module_name ~target_vm comparisons] computes the vote and the
+    flagged artifact set. *)
+
+val verdict_string : module_report -> string
+(** ["INTACT (n/t)"] or ["SUSPICIOUS (n/t): <artifacts>"]. *)
+
+val to_table : module_report -> string
+(** Render the per-comparison, per-artifact detail as an ASCII table. *)
+
+val pp : Format.formatter -> module_report -> unit
+
+val to_json : module_report -> Mc_util.Json.t
+(** Machine-readable form: verdict, vote counts, flagged artifacts, and
+    per-comparison per-artifact digests. *)
+
+val survey_to_json : survey -> Mc_util.Json.t

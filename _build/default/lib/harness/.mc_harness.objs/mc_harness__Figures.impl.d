@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Bytes Int64 List Mc_baselines Mc_hypervisor Mc_malware Mc_md5 Mc_parallel Mc_pe Mc_util Mc_winkernel Mc_workload Modchecker Printf

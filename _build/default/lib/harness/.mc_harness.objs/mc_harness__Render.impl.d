@@ -1,0 +1,1 @@
+lib/harness/render.ml: Figures Float List Mc_util Mc_workload Printf Scenario String

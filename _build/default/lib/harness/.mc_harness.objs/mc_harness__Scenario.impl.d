@@ -1,0 +1,1 @@
+lib/harness/scenario.ml: List Mc_hypervisor Mc_malware Modchecker Result

@@ -1,0 +1,490 @@
+module Cloud = Mc_hypervisor.Cloud
+module Costs = Mc_hypervisor.Costs
+module Sched = Mc_hypervisor.Sched
+module Meter = Mc_hypervisor.Meter
+module Stress = Mc_workload.Stress
+module Monitor = Mc_workload.Monitor
+module Orchestrator = Modchecker.Orchestrator
+module Rva = Modchecker.Rva
+module Parser = Modchecker.Parser
+module Checker = Modchecker.Checker
+module Loader = Mc_winkernel.Loader
+module Catalog = Mc_pe.Catalog
+module Md5 = Mc_md5.Md5
+module Rng = Mc_util.Rng
+module Infect = Mc_malware.Infect
+module Pool = Mc_parallel.Pool
+
+type fig_point = {
+  n_vms : int;
+  searcher_ms : float;
+  parser_ms : float;
+  checker_ms : float;
+  total_ms : float;
+}
+
+let ms s = s *. 1000.0
+
+(* One sweep point: run the real pipeline against [n] comparison VMs, then
+   price and schedule the metered work. [busy_participants] marks whether
+   the involved guests are stress-loaded (Fig. 8) or idle (Fig. 7). *)
+let sweep_point ~costs ~cloud ~module_name ~n ~loaded ~workers =
+  let others = List.init n (fun i -> i + 1) in
+  match
+    Orchestrator.check_module cloud ~target_vm:0 ~others ~module_name
+  with
+  | Error e -> failwith ("Figures.sweep_point: " ^ e)
+  | Ok outcome ->
+      let busy_vcpus = if loaded then n + 1 else 0 in
+      let bus =
+        if loaded then
+          Sched.bus_factor costs ~busy_vms:(n + 1) ~cores:cloud.Cloud.cores
+        else 1.0
+      in
+      let jobs =
+        List.map (fun s -> s *. bus) (Orchestrator.per_vm_seconds costs outcome)
+      in
+      let wall =
+        Sched.run_jobs ~cores:cloud.Cloud.cores ~busy_guest_vcpus:busy_vcpus
+          ~workers jobs
+      in
+      let phases = Orchestrator.phase_seconds costs outcome in
+      let cpu_total =
+        phases.Orchestrator.searcher_s +. phases.Orchestrator.parser_s
+        +. phases.Orchestrator.checker_s
+      in
+      (* Components stretch uniformly with the overall slowdown. *)
+      let stretch = if cpu_total > 0.0 then wall /. cpu_total else 1.0 in
+      {
+        n_vms = n;
+        searcher_ms = ms (phases.Orchestrator.searcher_s *. stretch);
+        parser_ms = ms (phases.Orchestrator.parser_s *. stretch);
+        checker_ms = ms (phases.Orchestrator.checker_s *. stretch);
+        total_ms = ms wall;
+      }
+
+let sweep ~max_vms ~cores ~module_name ~seed ~loaded =
+  let costs = Costs.default in
+  let cloud = Cloud.create ~vms:(max_vms + 1) ~cores ~seed () in
+  if loaded then Cloud.set_workload_all cloud Stress.heavyload;
+  List.init max_vms (fun i ->
+      sweep_point ~costs ~cloud ~module_name ~n:(i + 1) ~loaded ~workers:1)
+
+let fig7_idle ?(max_vms = 14) ?(cores = 8) ?(module_name = "http.sys")
+    ?(seed = 2012L) () =
+  sweep ~max_vms ~cores ~module_name ~seed ~loaded:false
+
+let fig8_loaded ?(max_vms = 14) ?(cores = 8) ?(module_name = "http.sys")
+    ?(seed = 2012L) () =
+  sweep ~max_vms ~cores ~module_name ~seed ~loaded:true
+
+type fig9_result = {
+  samples : Monitor.sample list;
+  windows : (float * float) list;
+  perturbation_pct : float;
+}
+
+let fig9_guest_impact ?(seed = 42L) () =
+  let windows = [ (20.0, 25.0); (40.0, 45.0) ] in
+  let config = { Monitor.default_config with seed } in
+  let samples =
+    Monitor.run ~config ~stressed:false ~introspection_windows:windows ()
+  in
+  {
+    samples;
+    windows;
+    perturbation_pct = Monitor.perturbation samples;
+  }
+
+type ablation_row = {
+  alignment : int;
+  trials : int;
+  heuristic_ok : int;
+  exact_ok : int;
+  mean_residual_diffs : float;
+}
+
+let count_diffs a b =
+  let n = min (Bytes.length a) (Bytes.length b) in
+  let c = ref (abs (Bytes.length a - Bytes.length b)) in
+  for i = 0 to n - 1 do
+    if Bytes.get a i <> Bytes.get b i then incr c
+  done;
+  !c
+
+let text_of_memory_image mem =
+  match Parser.artifacts mem with
+  | Error e -> failwith e
+  | Ok artifacts -> (
+      match
+        Modchecker.Artifact.find artifacts (Modchecker.Artifact.Section_data ".text")
+      with
+      | Some a -> (Bytes.copy a.Modchecker.Artifact.data, a.Modchecker.Artifact.sec_rva)
+      | None -> failwith "no .text artifact")
+
+let alignment_trial rng ~file ~relocs ~alignment =
+  (* Two random driver-region bases at the given alignment. *)
+  let region = Mc_winkernel.Layout.driver_region_start in
+  let slot () = region + (Rng.int rng 0x4000 * alignment) in
+  let base1 = slot () in
+  let base2 =
+    let rec distinct () =
+      let b = slot () in
+      if b = base1 then distinct () else b
+    in
+    distinct ()
+  in
+  let load base =
+    match Loader.simulate_load file ~base with
+    | Ok mem -> mem
+    | Error e -> failwith (Loader.error_to_string e)
+  in
+  let mem1 = load base1 and mem2 = load base2 in
+  let d1, rva = text_of_memory_image mem1 in
+  let d2, _ = text_of_memory_image mem2 in
+  (* Heuristic (Algorithm 2). *)
+  let h1 = Bytes.copy d1 and h2 = Bytes.copy d2 in
+  ignore (Rva.adjust_pair ~base1 ~base2 h1 h2);
+  let heuristic_ok = Bytes.equal h1 h2 in
+  let residual = count_diffs h1 h2 in
+  (* Exact (reloc-guided). *)
+  ignore (Rva.adjust_with_relocs ~base:base1 ~section_rva:rva ~relocs d1);
+  ignore (Rva.adjust_with_relocs ~base:base2 ~section_rva:rva ~relocs d2);
+  let exact_ok = Bytes.equal d1 d2 in
+  (heuristic_ok, exact_ok, residual)
+
+let alignment_ablation ?(module_name = "http.sys") ?(trials = 40)
+    ?(seed = 7L) () =
+  let file = (Catalog.image module_name).Catalog.file in
+  let relocs =
+    match Mc_baselines.Lkim.reference_relocs file with
+    | Ok r -> r
+    | Error e -> failwith e
+  in
+  List.map
+    (fun alignment ->
+      let rng = Rng.create (Int64.add seed (Int64.of_int alignment)) in
+      let heuristic_ok = ref 0 and exact_ok = ref 0 and residual = ref 0 in
+      for _ = 1 to trials do
+        let h, e, r = alignment_trial rng ~file ~relocs ~alignment in
+        if h then incr heuristic_ok;
+        if e then incr exact_ok;
+        residual := !residual + r
+      done;
+      {
+        alignment;
+        trials;
+        heuristic_ok = !heuristic_ok;
+        exact_ok = !exact_ok;
+        mean_residual_diffs = float_of_int !residual /. float_of_int trials;
+      })
+    [ Mc_winkernel.Layout.default_module_alignment; 0x1000 ]
+
+type cross_pointer_row = {
+  cross_pointers : int;
+  cp_trials : int;
+  heuristic_clean : int;
+  exact_clean : int;
+  mean_residual : float;
+}
+
+(* Synthesize a section pair that is a faithful relocated clean pair, then
+   plant [k] import-style slots whose values follow a *different* module's
+   per-VM bases. *)
+let cross_pointer_trial rng ~file ~relocs ~cross_pointers =
+  let alignment = Mc_winkernel.Layout.default_module_alignment in
+  let region = Mc_winkernel.Layout.driver_region_start in
+  let slot () = region + (Rng.int rng 0x4000 * alignment) in
+  let base1 = slot () and base2 = slot () + alignment in
+  let other1 = slot () and other2 = slot () + (2 * alignment) in
+  let load base =
+    match Loader.simulate_load file ~base with
+    | Ok mem -> mem
+    | Error e -> failwith (Loader.error_to_string e)
+  in
+  let d1, rva = text_of_memory_image (load base1) in
+  let d2, _ = text_of_memory_image (load base2) in
+  let len = Bytes.length d1 in
+  (* Overwrite k aligned positions with bound import pointers: the same
+     foreign RVA added to each VM's *other-module* base. *)
+  for i = 0 to cross_pointers - 1 do
+    let pos = 16 * (1 + Rng.int rng ((len / 16) - 2)) in
+    let foreign_rva = Rng.int rng 0x8000 in
+    Mc_util.Le.set_u32_int d1 pos (other1 + foreign_rva);
+    Mc_util.Le.set_u32_int d2 pos (other2 + foreign_rva);
+    ignore i
+  done;
+  let h1 = Bytes.copy d1 and h2 = Bytes.copy d2 in
+  ignore (Rva.adjust_pair ~base1 ~base2 h1 h2);
+  let heuristic_clean = Bytes.equal h1 h2 in
+  let residual = count_diffs h1 h2 in
+  ignore (Rva.adjust_with_relocs ~base:base1 ~section_rva:rva ~relocs d1);
+  ignore (Rva.adjust_with_relocs ~base:base2 ~section_rva:rva ~relocs d2);
+  let exact_clean = Bytes.equal d1 d2 in
+  (heuristic_clean, exact_clean, residual)
+
+let cross_pointer_ablation ?(trials = 20) ?(seed = 11L) () =
+  let file = (Catalog.image "http.sys").Catalog.file in
+  let relocs =
+    match Mc_baselines.Lkim.reference_relocs file with
+    | Ok r -> r
+    | Error e -> failwith e
+  in
+  List.map
+    (fun cross_pointers ->
+      let rng = Rng.create (Int64.add seed (Int64.of_int cross_pointers)) in
+      let heuristic_clean = ref 0 and exact_clean = ref 0 and residual = ref 0 in
+      for _ = 1 to trials do
+        let h, e, r = cross_pointer_trial rng ~file ~relocs ~cross_pointers in
+        if h then incr heuristic_clean;
+        if e then incr exact_clean;
+        residual := !residual + r
+      done;
+      {
+        cross_pointers;
+        cp_trials = trials;
+        heuristic_clean = !heuristic_clean;
+        exact_clean = !exact_clean;
+        mean_residual = float_of_int !residual /. float_of_int trials;
+      })
+    [ 0; 1; 4; 16 ]
+
+type parallel_row = { workers : int; wall_ms : float; speedup : float }
+
+let parallel_sweep ?(vms = 15) ?(cores = 8) ?(module_name = "http.sys")
+    ?(seed = 2012L) () =
+  let costs = Costs.default in
+  let cloud = Cloud.create ~vms ~cores ~seed () in
+  let run workers =
+    let mode =
+      if workers = 1 then Orchestrator.Sequential
+      else Orchestrator.Parallel (Pool.create workers)
+    in
+    let outcome =
+      match
+        Orchestrator.check_module ~mode cloud ~target_vm:0 ~module_name
+      with
+      | Ok o -> o
+      | Error e -> failwith e
+    in
+    (match mode with
+    | Orchestrator.Parallel pool -> Pool.shutdown pool
+    | Orchestrator.Sequential -> ());
+    let jobs = Orchestrator.per_vm_seconds costs outcome in
+    Sched.run_jobs ~cores ~busy_guest_vcpus:0 ~workers jobs
+  in
+  let base_wall = run 1 in
+  List.map
+    (fun workers ->
+      let wall = if workers = 1 then base_wall else run workers in
+      { workers; wall_ms = ms wall; speedup = base_wall /. wall })
+    [ 1; 2; 4; 8 ]
+
+type strategy_row = {
+  st_name : string;
+  st_bytes_hashed : int;
+  st_bytes_scanned : int;
+  st_checker_ms : float;
+  st_deviants : int list;
+}
+
+let survey_strategy_table ?(vms = 15) ?(seed = 2012L)
+    ?(module_name = "http.sys") () =
+  let cloud = Cloud.create ~vms ~seed () in
+  (match Infect.inline_hook cloud ~vm:(min 4 (vms - 1)) with
+  | Ok _ -> ()
+  | Error e -> failwith e);
+  (* The hook is in hal.dll; also survey the hooked module so the table
+     shows an infected case. *)
+  let run name strategy label =
+    let meter = Meter.create () in
+    let s = Orchestrator.survey ~strategy ~meter cloud ~module_name:name in
+    let c = Meter.get meter Meter.Checker in
+    {
+      st_name = Printf.sprintf "%s (%s)" label name;
+      st_bytes_hashed = c.Meter.bytes_hashed;
+      st_bytes_scanned = c.Meter.bytes_scanned;
+      st_checker_ms = Meter.cpu_seconds Costs.default c *. 1000.0;
+      st_deviants = s.Modchecker.Report.deviant_vms;
+    }
+  in
+  [
+    run module_name Orchestrator.Pairwise "pairwise";
+    run module_name Orchestrator.Canonical "canonical";
+    run "hal.dll" Orchestrator.Pairwise "pairwise";
+    run "hal.dll" Orchestrator.Canonical "canonical";
+  ]
+
+type patrol_row = {
+  pt_interval_s : float;
+  pt_ttd_s : float;
+  pt_sweeps : int;
+  pt_cpu_duty_pct : float;
+}
+
+let patrol_tradeoff ?(vms = 6) ?(seed = 2012L) () =
+  List.map
+    (fun interval ->
+      let cloud = Cloud.create ~vms ~seed () in
+      let infect cloud =
+        match Infect.inline_hook cloud ~vm:(min 2 (vms - 1)) with
+        | Ok _ -> ()
+        | Error e -> failwith e
+      in
+      let config =
+        {
+          Modchecker.Patrol.default_config with
+          Modchecker.Patrol.watch = [ "hal.dll"; "http.sys"; "ntoskrnl.exe" ];
+          interval_s = interval;
+        }
+      in
+      let o =
+        Modchecker.Patrol.run ~config ~events:[ (50.0, infect) ] cloud
+          ~until:(50.0 +. (4.0 *. interval) +. 10.0)
+      in
+      let ttd =
+        match
+          Modchecker.Patrol.time_to_detect o ~module_name:"hal.dll"
+            ~infected_at:50.0
+        with
+        | Some t -> t
+        | None -> nan
+      in
+      {
+        pt_interval_s = interval;
+        pt_ttd_s = ttd;
+        pt_sweeps = o.Modchecker.Patrol.sweeps;
+        pt_cpu_duty_pct =
+          100.0 *. o.Modchecker.Patrol.cpu_spent
+          /. o.Modchecker.Patrol.virtual_elapsed;
+      })
+    [ 10.0; 30.0; 60.0; 120.0 ]
+
+type baseline_cell = Detected | Missed | False_alarm | Clean
+
+let baseline_cell_string = function
+  | Detected -> "detected"
+  | Missed -> "MISSED"
+  | False_alarm -> "FALSE ALARM"
+  | Clean -> "clean"
+
+type baseline_row = {
+  scenario : string;
+  svv : baseline_cell;
+  hashdb : baseline_cell;
+  lkim : baseline_cell;
+  modchecker : baseline_cell;
+}
+
+let svv_cell ~infected dom name =
+  match Mc_baselines.Svv.check dom ~module_name:name with
+  | Error e -> failwith ("svv: " ^ e)
+  | Ok v ->
+      if v.Mc_baselines.Svv.clean then if infected then Missed else Clean
+      else if infected then Detected
+      else False_alarm
+
+let lkim_cell ~infected dom name ~reference =
+  match Mc_baselines.Lkim.check dom ~module_name:name ~reference with
+  | Error e -> failwith ("lkim: " ^ e)
+  | Ok v ->
+      if v.Mc_baselines.Lkim.clean then if infected then Missed else Clean
+      else if infected then Detected
+      else False_alarm
+
+let hashdb_cell ~infected db dom name =
+  let fs = Mc_winkernel.Kernel.fs (Mc_hypervisor.Dom.kernel_exn dom) in
+  match Mc_winkernel.Fs.read_file fs (Mc_winkernel.Fs.module_path name) with
+  | None -> failwith "hashdb: file missing"
+  | Some file -> (
+      match Mc_baselines.Hashdb.check_load db ~name file with
+      | Mc_baselines.Hashdb.Verified -> if infected then Missed else Clean
+      | Mc_baselines.Hashdb.Hash_mismatch | Mc_baselines.Hashdb.Unknown_module
+        ->
+          if infected then Detected else False_alarm)
+
+let modchecker_cell ~infected cloud vm name =
+  match Orchestrator.check_module cloud ~target_vm:vm ~module_name:name with
+  | Error e -> failwith ("modchecker: " ^ e)
+  | Ok o ->
+      if o.Orchestrator.report.majority_ok then
+        if infected then Missed else Clean
+      else if infected then Detected
+      else False_alarm
+
+let baseline_table ?(vms = 5) ?(seed = 2012L) () =
+  let reference = (Catalog.image "hal.dll").Catalog.file in
+  let db = Mc_baselines.Hashdb.build_for_catalog Catalog.standard_modules in
+  (* Scenario 1: memory-only inline hook on one VM. *)
+  let row1 =
+    let cloud = Cloud.create ~vms ~seed () in
+    (match Infect.inline_hook cloud ~vm:1 with
+    | Ok _ -> ()
+    | Error e -> failwith e);
+    let dom = Cloud.vm cloud 1 in
+    {
+      scenario = "memory-only inline hook";
+      svv = svv_cell ~infected:true dom "hal.dll";
+      hashdb = hashdb_cell ~infected:true db dom "hal.dll";
+      lkim = lkim_cell ~infected:true dom "hal.dll" ~reference;
+      modchecker = modchecker_cell ~infected:true cloud 1 "hal.dll";
+    }
+  in
+  (* Scenario 2: disk infection then load (experiment 1 style). *)
+  let row2 =
+    let cloud = Cloud.create ~vms ~seed () in
+    (match Infect.single_opcode_replacement cloud ~vm:1 with
+    | Ok _ -> ()
+    | Error e -> failwith e);
+    let dom = Cloud.vm cloud 1 in
+    {
+      scenario = "disk-then-load opcode patch";
+      svv = svv_cell ~infected:true dom "hal.dll";
+      hashdb = hashdb_cell ~infected:true db dom "hal.dll";
+      lkim = lkim_cell ~infected:true dom "hal.dll" ~reference;
+      modchecker = modchecker_cell ~infected:true cloud 1 "hal.dll";
+    }
+  in
+  (* Scenario 3: a legitimate hal.dll update rolled out to every VM. *)
+  let row3 =
+    let cloud = Cloud.create ~vms ~seed () in
+    let v2 = (Catalog.image ~version:2 "hal.dll").Catalog.file in
+    for i = 0 to vms - 1 do
+      Infect.write_module_file (Cloud.vm cloud i) ~name:"hal.dll" v2;
+      Cloud.reboot_vm cloud i
+    done;
+    let dom = Cloud.vm cloud 1 in
+    {
+      scenario = "legitimate update, all VMs";
+      svv = svv_cell ~infected:false dom "hal.dll";
+      hashdb = hashdb_cell ~infected:false db dom "hal.dll";
+      lkim = lkim_cell ~infected:false dom "hal.dll" ~reference;
+      modchecker = modchecker_cell ~infected:false cloud 1 "hal.dll";
+    }
+  in
+  (* Scenario 4: identical disk infection on every VM (SQL-Slammer-style
+     mass spread — ModChecker's documented blind spot). *)
+  let row4 =
+    let cloud = Cloud.create ~vms ~seed () in
+    let infected_file =
+      match
+        Mc_malware.Opcode_patch.infect_file ~module_name:"hal.dll"
+          ~func:"HalInitSystem" ()
+      with
+      | Ok (f, _) -> f
+      | Error e -> failwith e
+    in
+    for i = 0 to vms - 1 do
+      Infect.write_module_file (Cloud.vm cloud i) ~name:"hal.dll" infected_file;
+      Cloud.reboot_vm cloud i
+    done;
+    let dom = Cloud.vm cloud 1 in
+    {
+      scenario = "identical infection, all VMs";
+      svv = svv_cell ~infected:true dom "hal.dll";
+      hashdb = hashdb_cell ~infected:true db dom "hal.dll";
+      lkim = lkim_cell ~infected:true dom "hal.dll" ~reference;
+      modchecker = modchecker_cell ~infected:true cloud 1 "hal.dll";
+    }
+  in
+  [ row1; row2; row3; row4 ]

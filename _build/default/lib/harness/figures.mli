@@ -1,0 +1,134 @@
+(** Generators for every evaluation figure, plus the ablation/extension
+    experiments from DESIGN.md. *)
+
+type fig_point = {
+  n_vms : int;  (** Number of comparison VMs (Fig. 7/8 x-axis). *)
+  searcher_ms : float;
+  parser_ms : float;
+  checker_ms : float;
+  total_ms : float;  (** Simulated wall time of the whole check. *)
+}
+
+val fig7_idle :
+  ?max_vms:int -> ?cores:int -> ?module_name:string -> ?seed:int64 -> unit ->
+  fig_point list
+(** Fig. 7: runtime vs number of mostly-idle VMs compared ([http.sys] by
+    default, as in §V-C.1). The real pipeline runs against the simulated
+    guests; metered operation counts are priced and scheduled. *)
+
+val fig8_loaded :
+  ?max_vms:int -> ?cores:int -> ?module_name:string -> ?seed:int64 -> unit ->
+  fig_point list
+(** Fig. 8: the same sweep with every participating VM running the
+    HeavyLoad-equivalent; nonlinear growth appears once loaded vCPUs exceed
+    the core count. *)
+
+type fig9_result = {
+  samples : Mc_workload.Monitor.sample list;
+  windows : (float * float) list;
+  perturbation_pct : float;
+      (** |CPU busy inside − outside| introspection windows. *)
+}
+
+val fig9_guest_impact : ?seed:int64 -> unit -> fig9_result
+(** Fig. 9: in-guest resource readings while ModChecker introspects during
+    two windows. *)
+
+type ablation_row = {
+  alignment : int;  (** Module-base alignment under test. *)
+  trials : int;
+  heuristic_ok : int;
+      (** Trials where Algorithm 2 made the section pair hash-equal. *)
+  exact_ok : int;  (** Trials where the reloc-guided adjuster did. *)
+  mean_residual_diffs : float;
+      (** Mean byte positions still differing after Algorithm 2. *)
+}
+
+val alignment_ablation :
+  ?module_name:string -> ?trials:int -> ?seed:int64 -> unit -> ablation_row list
+(** X1a: Algorithm 2's offset heuristic versus the reloc-guided adjuster
+    across base alignments (64 KiB Windows default, and 4 KiB page).
+    Result: both are exact at both alignments — for pure relocation
+    differences the first differing byte of the two absolute addresses
+    provably sits at the same position as the first differing byte of the
+    two bases (equal bytes below it imply equal carries into it), so the
+    offset back-up always lands on the slot start. The interesting failure
+    mode is elsewhere — see {!cross_pointer_ablation}. *)
+
+type cross_pointer_row = {
+  cross_pointers : int;
+      (** Import-style slots in the hashed section whose values are bound
+          to {e another} module's per-VM base. *)
+  cp_trials : int;
+  heuristic_clean : int;
+      (** Trials where Algorithm 2 still made the pair hash-equal. *)
+  exact_clean : int;  (** Same for the reloc-guided adjuster. *)
+  mean_residual : float;
+}
+
+val cross_pointer_ablation :
+  ?trials:int -> ?seed:int64 -> unit -> cross_pointer_row list
+(** X1b: what actually breaks RVA adjustment. When a hashed section holds
+    pointers bound to another module's load address (an IAT in .rdata, say),
+    the value difference across VMs is {e that} module's base delta, not
+    this one's: [addr - own_base] differs per VM, so Algorithm 2 cannot
+    reconcile the slots, and neither can the reloc-guided adjuster — both
+    report a false mismatch. The paper's design avoids this only because
+    import tables live in writable (unhashed) sections. *)
+
+type parallel_row = {
+  workers : int;
+  wall_ms : float;  (** Simulated wall time at 15 VMs. *)
+  speedup : float;
+}
+
+val parallel_sweep :
+  ?vms:int -> ?cores:int -> ?module_name:string -> ?seed:int64 -> unit ->
+  parallel_row list
+(** X2: the paper's proposed parallel memory access — per-VM pipelines
+    scheduled on 1, 2, 4 and 8 Dom0 workers. *)
+
+type strategy_row = {
+  st_name : string;
+  st_bytes_hashed : int;
+  st_bytes_scanned : int;
+  st_checker_ms : float;  (** Priced Integrity-Checker CPU time. *)
+  st_deviants : int list;
+}
+
+val survey_strategy_table :
+  ?vms:int -> ?seed:int64 -> ?module_name:string -> unit -> strategy_row list
+(** X4: pairwise (paper) vs canonical (extension) survey of one module
+    across the pool, with an infected VM present — same verdicts, O(t²) vs
+    O(t) hashing. *)
+
+type patrol_row = {
+  pt_interval_s : float;
+  pt_ttd_s : float;  (** Time from infection to first alarm. *)
+  pt_sweeps : int;
+  pt_cpu_duty_pct : float;  (** Dom0 CPU spent checking / elapsed time. *)
+}
+
+val patrol_tradeoff :
+  ?vms:int -> ?seed:int64 -> unit -> patrol_row list
+(** X5: the patrol service's interval ↔ time-to-detect ↔ CPU-duty
+    trade-off; an inline hook lands at t=50 s and each row patrols with a
+    different sweep interval. *)
+
+type baseline_cell = Detected | Missed | False_alarm | Clean
+
+val baseline_cell_string : baseline_cell -> string
+
+type baseline_row = {
+  scenario : string;
+  svv : baseline_cell;
+  hashdb : baseline_cell;
+  lkim : baseline_cell;
+  modchecker : baseline_cell;
+}
+
+val baseline_table : ?vms:int -> ?seed:int64 -> unit -> baseline_row list
+(** X3: SVV / signed-hash DB / LKIM / ModChecker across four scenarios:
+    memory-only hook, disk-then-load patch, legitimate cloud-wide update,
+    and cloud-wide identical infection (ModChecker's documented blind
+    spot). *)

@@ -1,0 +1,25 @@
+(** Text rendering of the reproduced figures and tables, shared by the
+    bench harness and the CLI. *)
+
+val detection_table : (Scenario.detection, string) result list -> string
+(** The §V-B results as one table: expected vs observed flags, verdicts. *)
+
+val fig_series : title:string -> Figures.fig_point list -> string
+(** Fig. 7/8 rendering: a table of per-component and total times plus an
+    ASCII chart of the four series. *)
+
+val fig9 : Figures.fig9_result -> string
+(** Fig. 9 rendering: CPU/memory time series with introspection windows
+    marked, and the perturbation summary line. *)
+
+val ablation_table : Figures.ablation_row list -> string
+
+val cross_pointer_table : Figures.cross_pointer_row list -> string
+
+val parallel_table : Figures.parallel_row list -> string
+
+val strategy_table : Figures.strategy_row list -> string
+
+val patrol_table : Figures.patrol_row list -> string
+
+val baseline_table : Figures.baseline_row list -> string

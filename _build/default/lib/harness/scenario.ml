@@ -1,0 +1,129 @@
+module Cloud = Mc_hypervisor.Cloud
+module Infect = Mc_malware.Infect
+module Orchestrator = Modchecker.Orchestrator
+module Artifact = Modchecker.Artifact
+
+type detection = {
+  exp_id : string;
+  technique : string;
+  infected_module : string;
+  target_vm : int;
+  expected_flags : string list;
+  observed_flags : string list;
+  detected : bool;
+  flags_exact : bool;
+  clean_vm_ok : bool;
+  details : string;
+}
+
+let ( let* ) = Result.bind
+
+let sorted = List.sort compare
+
+(* Run ModChecker on the infected VM and on a clean control VM, then score
+   the observation against the expectation. *)
+let score ~exp_id ~vms:_ ~cloud ~infection ~expected_flags =
+  let target = infection.Infect.target_vm in
+  let module_name = infection.Infect.infected_module in
+  let* outcome =
+    Orchestrator.check_module cloud ~target_vm:target ~module_name
+  in
+  let control_vm = if target = 0 then 1 else 0 in
+  let* control =
+    Orchestrator.check_module cloud ~target_vm:control_vm ~module_name
+  in
+  let observed_flags =
+    List.map Artifact.kind_name outcome.report.flagged_artifacts
+  in
+  Ok
+    {
+      exp_id;
+      technique = infection.Infect.technique;
+      infected_module = module_name;
+      target_vm = target;
+      expected_flags;
+      observed_flags;
+      detected = not outcome.report.majority_ok;
+      flags_exact = sorted observed_flags = sorted expected_flags;
+      clean_vm_ok = control.report.majority_ok;
+      details = infection.Infect.details;
+    }
+
+let default_vms = 15
+
+let exp1_single_opcode ?(vms = default_vms) ?(seed = 2012L) () =
+  let cloud = Cloud.create ~vms ~seed () in
+  let* infection = Infect.single_opcode_replacement cloud ~vm:(min 3 (vms - 1)) in
+  score ~exp_id:"E1" ~vms ~cloud ~infection ~expected_flags:[ ".text" ]
+
+let exp2_inline_hook ?(vms = default_vms) ?(seed = 2012L) () =
+  let cloud = Cloud.create ~vms ~seed () in
+  let* infection = Infect.inline_hook cloud ~vm:(min 5 (vms - 1)) in
+  score ~exp_id:"E2" ~vms ~cloud ~infection ~expected_flags:[ ".text" ]
+
+let exp3_stub_modification ?(vms = default_vms) ?(seed = 2012L) () =
+  let cloud = Cloud.create ~vms ~seed () in
+  let* infection = Infect.stub_modification cloud ~vm:(min 7 (vms - 1)) in
+  score ~exp_id:"E3" ~vms ~cloud ~infection
+    ~expected_flags:[ "IMAGE_DOS_HEADER" ]
+
+let exp4_dll_injection ?(vms = default_vms) ?(seed = 2012L) () =
+  let cloud = Cloud.create ~vms ~seed () in
+  let* infection = Infect.dll_injection cloud ~vm:(min 9 (vms - 1)) in
+  score ~exp_id:"E4" ~vms ~cloud ~infection
+    ~expected_flags:
+      [
+        "IMAGE_NT_HEADER";
+        "IMAGE_OPTIONAL_HEADER";
+        "SECTION_HEADER(.text)";
+        "SECTION_HEADER(.rdata)";
+        "SECTION_HEADER(.data)";
+        "SECTION_HEADER(.reloc)";
+        ".text";
+      ]
+
+let ext_dkom_hiding ?(vms = default_vms) ?(seed = 2012L) () =
+  let cloud = Cloud.create ~vms ~seed () in
+  let* infection = Infect.hide_module cloud ~vm:2 ~module_name:"http.sys" in
+  let discrepancies = Orchestrator.compare_module_lists cloud in
+  let hit =
+    List.find_opt
+      (fun d ->
+        d.Orchestrator.ld_module = "http.sys"
+        && d.Orchestrator.missing_on = [ 2 ])
+      discrepancies
+  in
+  Ok
+    {
+      exp_id = "X-DKOM";
+      technique = infection.Infect.technique;
+      infected_module = "http.sys";
+      target_vm = 2;
+      expected_flags = [ "module-list discrepancy" ];
+      observed_flags =
+        (match hit with
+        | Some _ -> [ "module-list discrepancy" ]
+        | None -> []);
+      detected = hit <> None;
+      flags_exact = hit <> None;
+      clean_vm_ok = List.length discrepancies = 1;
+      details = infection.Infect.details;
+    }
+
+let ext_pointer_hook ?(vms = default_vms) ?(seed = 2012L) () =
+  let cloud = Cloud.create ~vms ~seed () in
+  let* infection = Infect.pointer_hook cloud ~vm:(min 4 (vms - 1)) in
+  (* The redirected slot is an .rdata mismatch no RVA adjustment can
+     reconcile; the payload is a .text mismatch. *)
+  score ~exp_id:"X-PTR" ~vms ~cloud ~infection
+    ~expected_flags:[ ".rdata"; ".text" ]
+
+let run_all ?(vms = default_vms) ?(seed = 2012L) () =
+  [
+    exp1_single_opcode ~vms ~seed ();
+    exp2_inline_hook ~vms ~seed ();
+    exp3_stub_modification ~vms ~seed ();
+    exp4_dll_injection ~vms ~seed ();
+    ext_dkom_hiding ~vms ~seed ();
+    ext_pointer_hook ~vms ~seed ();
+  ]

@@ -1,0 +1,39 @@
+(** The paper's detection experiments (§V-B) as runnable scenarios.
+
+    Each experiment stages one infection technique on a fresh cloud, runs
+    ModChecker against the infected VM and against a clean control VM, and
+    records which artifacts were flagged versus what the paper reports. *)
+
+type detection = {
+  exp_id : string;  (** "E1".."E4", "X-DKOM". *)
+  technique : string;
+  infected_module : string;
+  target_vm : int;
+  expected_flags : string list;
+      (** Artifact names the paper reports mismatching. *)
+  observed_flags : string list;
+  detected : bool;  (** The infected VM failed the majority vote. *)
+  flags_exact : bool;  (** Observed set equals the expected set. *)
+  clean_vm_ok : bool;  (** A clean VM still votes INTACT. *)
+  details : string;
+}
+
+val exp1_single_opcode : ?vms:int -> ?seed:int64 -> unit -> (detection, string) result
+
+val exp2_inline_hook : ?vms:int -> ?seed:int64 -> unit -> (detection, string) result
+
+val exp3_stub_modification :
+  ?vms:int -> ?seed:int64 -> unit -> (detection, string) result
+
+val exp4_dll_injection :
+  ?vms:int -> ?seed:int64 -> unit -> (detection, string) result
+
+val ext_dkom_hiding : ?vms:int -> ?seed:int64 -> unit -> (detection, string) result
+(** Extension: module hidden by DKOM, caught by cross-VM module-list
+    comparison rather than by hashing. *)
+
+val ext_pointer_hook : ?vms:int -> ?seed:int64 -> unit -> (detection, string) result
+(** Extension: SSDT-style function-pointer redirection in read-only data;
+    flags .rdata (the slot) and .text (the cave payload). *)
+
+val run_all : ?vms:int -> ?seed:int64 -> unit -> (detection, string) result list

@@ -1,0 +1,1 @@
+lib/hypervisor/cloud.ml: Array Dom Int64 List Mc_pe Mc_winkernel Mc_workload Printf

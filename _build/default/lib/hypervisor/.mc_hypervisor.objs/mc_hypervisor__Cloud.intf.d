@@ -1,0 +1,1 @@
+lib/hypervisor/cloud.mli: Dom Mc_winkernel Mc_workload

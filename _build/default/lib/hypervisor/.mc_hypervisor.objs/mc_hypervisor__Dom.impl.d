@@ -1,0 +1,1 @@
+lib/hypervisor/dom.ml: Mc_winkernel Mc_workload Printf

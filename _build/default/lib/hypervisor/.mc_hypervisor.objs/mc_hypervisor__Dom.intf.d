@@ -1,0 +1,1 @@
+lib/hypervisor/dom.mli: Mc_winkernel Mc_workload

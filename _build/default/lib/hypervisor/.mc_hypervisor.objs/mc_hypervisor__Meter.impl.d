@@ -1,0 +1,1 @@
+lib/hypervisor/meter.ml: Costs

@@ -1,0 +1,1 @@
+lib/hypervisor/sched.ml: Array Costs List Queue

@@ -1,0 +1,1 @@
+lib/hypervisor/sched.mli: Costs

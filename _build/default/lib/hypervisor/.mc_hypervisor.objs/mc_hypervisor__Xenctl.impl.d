@@ -1,0 +1,1 @@
+lib/hypervisor/xenctl.ml: Dom Mc_memsim Mc_winkernel Meter

@@ -1,0 +1,1 @@
+lib/hypervisor/xenctl.mli: Bytes Dom Meter

@@ -1,0 +1,93 @@
+module Fs = Mc_winkernel.Fs
+module Kernel = Mc_winkernel.Kernel
+module Catalog = Mc_pe.Catalog
+module Stress = Mc_workload.Stress
+
+type t = {
+  dom0 : Dom.t;
+  domus : Dom.t array;
+  cores : int;
+  golden_fs : Fs.t;
+  cloud_seed : int64;
+  module_alignment : int;
+  os_variant : Mc_winkernel.Layout.os_variant;
+}
+
+let golden_filesystem ?(extra_modules = []) () =
+  let fs = Fs.create () in
+  List.iter
+    (fun name ->
+      let built = Catalog.image name in
+      Fs.write_file fs (Fs.module_path name) built.Catalog.file)
+    (Catalog.standard_modules @ extra_modules);
+  fs
+
+let vm_seed cloud_seed i =
+  Int64.add cloud_seed (Int64.of_int ((i + 1) * 0x9E37))
+
+let boot_vm ~fs ~module_alignment ~os_variant ~seed ~generation =
+  match Kernel.boot ~module_alignment ~generation ~os_variant ~fs ~seed () with
+  | Ok k -> k
+  | Error e -> failwith ("Cloud: VM boot failed: " ^ Kernel.error_to_string e)
+
+let create ?(vms = 15) ?(cores = 8) ?(module_alignment = Mc_winkernel.Layout.default_module_alignment)
+    ?(extra_modules = []) ?(seed = 2012L)
+    ?(os_variant = Mc_winkernel.Layout.Xp_sp2) () =
+  let golden_fs = golden_filesystem ~extra_modules () in
+  let dom0 = Dom.create ~dom_id:0 ~dom_name:"Domain-0" ~vcpus:2 None in
+  let domus =
+    Array.init vms (fun i ->
+        let fs = Fs.clone golden_fs in
+        let kernel =
+          boot_vm ~fs ~module_alignment ~os_variant ~seed:(vm_seed seed i)
+            ~generation:0
+        in
+        Dom.create ~dom_id:(i + 1)
+          ~dom_name:(Printf.sprintf "Dom%d" (i + 1))
+          (Some kernel))
+  in
+  { dom0; domus; cores; golden_fs; cloud_seed = seed; module_alignment;
+    os_variant }
+
+let vm t i =
+  if i < 0 || i >= Array.length t.domus then
+    invalid_arg (Printf.sprintf "Cloud.vm: no DomU index %d" i);
+  t.domus.(i)
+
+let vm_count t = Array.length t.domus
+
+let reboot_vm t i =
+  let dom = vm t i in
+  let old_kernel = Dom.kernel_exn dom in
+  let kernel =
+    boot_vm
+      ~fs:(Kernel.fs old_kernel)
+      ~module_alignment:t.module_alignment
+      ~os_variant:(Kernel.os_variant old_kernel)
+      ~seed:(Kernel.seed old_kernel)
+      ~generation:(Kernel.generation old_kernel + 1)
+  in
+  dom.kernel <- Some kernel
+
+type vm_snapshot = Kernel.snapshot
+
+let snapshot_vm t i = Kernel.snapshot (Dom.kernel_exn (vm t i))
+
+let restore_vm t i snap =
+  let dom = vm t i in
+  dom.kernel <- Some (Kernel.restore snap)
+
+let busy_guest_vcpus t =
+  Array.fold_left
+    (fun n dom -> if Dom.cpu_busy dom then n + dom.Dom.vcpus else n)
+    0 t.domus
+
+let set_workload_all t w =
+  Array.iter (fun (dom : Dom.t) -> dom.workload <- w) t.domus
+
+let busy_vms t =
+  Array.fold_left
+    (fun n (dom : Dom.t) ->
+      if Stress.bus_pressure dom.workload > 0.0 && not dom.paused then n + 1
+      else n)
+    0 t.domus

@@ -1,0 +1,62 @@
+(** The cloud testbed: one privileged Dom0 plus N DomU clones booted from a
+    single golden installation (the paper's §V-A setup: 15 identical
+    Windows XP clones under Xen on an 8-core host). *)
+
+type t = {
+  dom0 : Dom.t;
+  domus : Dom.t array;
+  cores : int;
+  golden_fs : Mc_winkernel.Fs.t;
+  cloud_seed : int64;
+  module_alignment : int;
+  os_variant : Mc_winkernel.Layout.os_variant;
+}
+
+val golden_filesystem : ?extra_modules:string list -> unit -> Mc_winkernel.Fs.t
+(** [golden_filesystem ()] writes every standard catalog module (plus
+    [extra_modules]) to a fresh filesystem — the single installation all
+    VMs are cloned from. *)
+
+val create :
+  ?vms:int ->
+  ?cores:int ->
+  ?module_alignment:int ->
+  ?extra_modules:string list ->
+  ?seed:int64 ->
+  ?os_variant:Mc_winkernel.Layout.os_variant ->
+  unit ->
+  t
+(** [create ()] builds the testbed: default 15 DomUs ([Dom1]..[Dom15]) on
+    8 cores, each cloning the golden filesystem and booting with a per-VM
+    seed (so module load bases differ across VMs, as in Fig. 4). *)
+
+val vm : t -> int -> Dom.t
+(** [vm t i] is DomU index [i] (0-based). Raises [Invalid_argument] when
+    out of range. *)
+
+val vm_count : t -> int
+
+val reboot_vm : t -> int -> unit
+(** [reboot_vm t i] re-boots DomU [i] from its own (possibly infected)
+    filesystem with a bumped generation — experiment 1's "upon system
+    restart". Raises [Failure] if the boot fails. *)
+
+type vm_snapshot
+(** A frozen capture of one DomU: memory, disk, kernel bookkeeping. *)
+
+val snapshot_vm : t -> int -> vm_snapshot
+(** [snapshot_vm t i] captures DomU [i]'s clean state (paper §III-B: "it
+    is possible to keep clean snapshots of VMs"). *)
+
+val restore_vm : t -> int -> vm_snapshot -> unit
+(** [restore_vm t i snap] reverts DomU [i] — flushing disk {e and}
+    memory-resident infections, which a mere reboot from an infected disk
+    would not. Restorable any number of times. *)
+
+val busy_guest_vcpus : t -> int
+(** Number of guest vCPUs kept runnable by their workloads. *)
+
+val set_workload_all : t -> Mc_workload.Stress.t -> unit
+
+val busy_vms : t -> int
+(** Number of DomUs whose workload exerts memory-bus pressure. *)

@@ -1,0 +1,24 @@
+type t = {
+  page_map_s : float;
+  copy_byte_s : float;
+  struct_read_s : float;
+  parse_byte_s : float;
+  parse_section_s : float;
+  scan_byte_s : float;
+  hash_byte_s : float;
+  vm_session_s : float;
+  bus_slowdown_per_busy_vm : float;
+}
+
+let default =
+  {
+    page_map_s = 28e-6;
+    copy_byte_s = 1.1e-9;
+    struct_read_s = 9e-6;
+    parse_byte_s = 0.7e-9;
+    parse_section_s = 4e-6;
+    scan_byte_s = 1.0e-9;
+    hash_byte_s = 2.8e-9;
+    vm_session_s = 180e-6;
+    bus_slowdown_per_busy_vm = 0.06;
+  }

@@ -1,0 +1,27 @@
+(** The timing cost model.
+
+    The paper measures ModChecker on a real Xen testbed; this repository
+    replays the same operations against simulated guests and converts the
+    {e operation counts} (metered while the real OCaml code runs) into
+    virtual CPU seconds with these constants. Constants are set to yield
+    millisecond-scale checks comparable to VMI tooling of the paper's era;
+    only the {e shape} of the resulting curves is claimed, never absolute
+    equality with the authors' hardware. *)
+
+type t = {
+  page_map_s : float;  (** Mapping one foreign guest page from Dom0. *)
+  copy_byte_s : float;  (** Copying one byte out of a mapped page. *)
+  struct_read_s : float;
+      (** One structure-sized VMI read during the list walk (an
+          LDR entry, a UNICODE_STRING, a pointer chase). *)
+  parse_byte_s : float;  (** Parsing one header byte. *)
+  parse_section_s : float;  (** Fixed cost per section processed. *)
+  scan_byte_s : float;  (** RVA-adjustment scan, per byte compared. *)
+  hash_byte_s : float;  (** MD5, per byte. *)
+  vm_session_s : float;  (** Per-VM introspection session setup/teardown. *)
+  bus_slowdown_per_busy_vm : float;
+      (** Fractional slowdown of memory-bound work per concurrently
+          bus-hungry VM (saturating at the core count). *)
+}
+
+val default : t

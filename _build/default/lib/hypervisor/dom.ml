@@ -1,0 +1,28 @@
+type t = {
+  dom_id : int;
+  dom_name : string;
+  mutable kernel : Mc_winkernel.Kernel.t option;
+  mutable workload : Mc_workload.Stress.t;
+  mutable paused : bool;
+  vcpus : int;
+}
+
+let create ~dom_id ~dom_name ?(vcpus = 1) kernel =
+  {
+    dom_id;
+    dom_name;
+    kernel;
+    workload = Mc_workload.Stress.idle;
+    paused = false;
+    vcpus;
+  }
+
+let is_privileged t = t.dom_id = 0
+
+let kernel_exn t =
+  match t.kernel with
+  | Some k -> k
+  | None -> failwith (Printf.sprintf "domain %s has no kernel" t.dom_name)
+
+let cpu_busy t =
+  (not t.paused) && Mc_workload.Stress.is_cpu_busy t.workload

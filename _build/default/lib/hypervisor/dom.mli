@@ -1,0 +1,26 @@
+(** A Xen-style domain: a guest VM with its kernel, or the privileged
+    Dom0. *)
+
+type t = {
+  dom_id : int;  (** 0 is the privileged domain. *)
+  dom_name : string;
+  mutable kernel : Mc_winkernel.Kernel.t option;
+      (** The booted guest; [None] for Dom0 (whose OS is not simulated) and
+          for guests that are shut down. *)
+  mutable workload : Mc_workload.Stress.t;
+  mutable paused : bool;
+  vcpus : int;
+}
+
+val create :
+  dom_id:int -> dom_name:string -> ?vcpus:int -> Mc_winkernel.Kernel.t option -> t
+
+val is_privileged : t -> bool
+
+val kernel_exn : t -> Mc_winkernel.Kernel.t
+(** [kernel_exn t] — raises [Failure] when the domain has no booted
+    kernel. *)
+
+val cpu_busy : t -> bool
+(** [cpu_busy t] is true when the domain's workload keeps its vCPU
+    runnable (and it is not paused). *)

@@ -1,0 +1,95 @@
+type phase = Searcher | Parser | Checker
+
+let phase_name = function
+  | Searcher -> "Module-Searcher"
+  | Parser -> "Module-Parser"
+  | Checker -> "Integrity-Checker"
+
+type counts = {
+  mutable pages_mapped : int;
+  mutable bytes_copied : int;
+  mutable struct_reads : int;
+  mutable bytes_parsed : int;
+  mutable sections_parsed : int;
+  mutable bytes_scanned : int;
+  mutable bytes_hashed : int;
+  mutable vm_sessions : int;
+}
+
+let zero () =
+  {
+    pages_mapped = 0;
+    bytes_copied = 0;
+    struct_reads = 0;
+    bytes_parsed = 0;
+    sections_parsed = 0;
+    bytes_scanned = 0;
+    bytes_hashed = 0;
+    vm_sessions = 0;
+  }
+
+type t = {
+  searcher : counts;
+  parser : counts;
+  checker : counts;
+  mutable selected : phase;
+}
+
+let create () =
+  { searcher = zero (); parser = zero (); checker = zero (); selected = Searcher }
+
+let clear c =
+  c.pages_mapped <- 0;
+  c.bytes_copied <- 0;
+  c.struct_reads <- 0;
+  c.bytes_parsed <- 0;
+  c.sections_parsed <- 0;
+  c.bytes_scanned <- 0;
+  c.bytes_hashed <- 0;
+  c.vm_sessions <- 0
+
+let reset t =
+  clear t.searcher;
+  clear t.parser;
+  clear t.checker;
+  t.selected <- Searcher
+
+let set_phase t p = t.selected <- p
+
+let get t = function
+  | Searcher -> t.searcher
+  | Parser -> t.parser
+  | Checker -> t.checker
+
+let current t = get t t.selected
+
+let add_pages_mapped t n = (current t).pages_mapped <- (current t).pages_mapped + n
+
+let add_bytes_copied t n = (current t).bytes_copied <- (current t).bytes_copied + n
+
+let add_struct_reads t n = (current t).struct_reads <- (current t).struct_reads + n
+
+let add_bytes_parsed t n = (current t).bytes_parsed <- (current t).bytes_parsed + n
+
+let add_sections_parsed t n =
+  (current t).sections_parsed <- (current t).sections_parsed + n
+
+let add_bytes_scanned t n = (current t).bytes_scanned <- (current t).bytes_scanned + n
+
+let add_bytes_hashed t n = (current t).bytes_hashed <- (current t).bytes_hashed + n
+
+let add_vm_sessions t n = (current t).vm_sessions <- (current t).vm_sessions + n
+
+let cpu_seconds (c : Costs.t) k =
+  (float_of_int k.pages_mapped *. c.page_map_s)
+  +. (float_of_int k.bytes_copied *. c.copy_byte_s)
+  +. (float_of_int k.struct_reads *. c.struct_read_s)
+  +. (float_of_int k.bytes_parsed *. c.parse_byte_s)
+  +. (float_of_int k.sections_parsed *. c.parse_section_s)
+  +. (float_of_int k.bytes_scanned *. c.scan_byte_s)
+  +. (float_of_int k.bytes_hashed *. c.hash_byte_s)
+  +. (float_of_int k.vm_sessions *. c.vm_session_s)
+
+let total_cpu_seconds costs t =
+  cpu_seconds costs t.searcher +. cpu_seconds costs t.parser
+  +. cpu_seconds costs t.checker

@@ -1,0 +1,58 @@
+(** Operation counters, kept per ModChecker component.
+
+    The real OCaml implementation runs against the simulated guests while
+    a meter counts what it does (pages mapped, bytes copied, hashed,
+    scanned...). [cpu_seconds] then prices those counts with a {!Costs.t}.
+    This keeps the timing model honest: the counts are produced by the
+    actual code paths, only the per-operation prices are assumed. *)
+
+type phase = Searcher | Parser | Checker
+
+val phase_name : phase -> string
+
+type counts = {
+  mutable pages_mapped : int;
+  mutable bytes_copied : int;
+  mutable struct_reads : int;
+  mutable bytes_parsed : int;
+  mutable sections_parsed : int;
+  mutable bytes_scanned : int;
+  mutable bytes_hashed : int;
+  mutable vm_sessions : int;
+}
+
+type t
+
+val create : unit -> t
+
+val reset : t -> unit
+
+val set_phase : t -> phase -> unit
+(** [set_phase t p] routes subsequent counter bumps to [p]'s counts. *)
+
+val get : t -> phase -> counts
+(** [get t p] is [p]'s live counter record. *)
+
+val current : t -> counts
+(** The counts of the phase currently selected. *)
+
+val add_pages_mapped : t -> int -> unit
+
+val add_bytes_copied : t -> int -> unit
+
+val add_struct_reads : t -> int -> unit
+
+val add_bytes_parsed : t -> int -> unit
+
+val add_sections_parsed : t -> int -> unit
+
+val add_bytes_scanned : t -> int -> unit
+
+val add_bytes_hashed : t -> int -> unit
+
+val add_vm_sessions : t -> int -> unit
+
+val cpu_seconds : Costs.t -> counts -> float
+(** [cpu_seconds costs c] prices the counts into virtual CPU seconds. *)
+
+val total_cpu_seconds : Costs.t -> t -> float

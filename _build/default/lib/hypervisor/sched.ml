@@ -1,0 +1,52 @@
+let share ~cores ~runnable =
+  if runnable <= 0 then 1.0
+  else min 1.0 (float_of_int cores /. float_of_int runnable)
+
+let bus_factor (costs : Costs.t) ~busy_vms ~cores =
+  1.0 +. (costs.bus_slowdown_per_busy_vm *. float_of_int (min busy_vms cores))
+
+(* Event-driven proportional share: between events (a worker finishing its
+   current job) the share is constant, so we can jump straight to the next
+   completion. *)
+let run_jobs ~cores ~busy_guest_vcpus ~workers jobs =
+  if workers <= 0 then invalid_arg "Sched.run_jobs: need at least one worker";
+  let queue = Queue.create () in
+  List.iter (fun j -> if j > 0.0 then Queue.add j queue) jobs;
+  let running = Array.make workers None in
+  let refill () =
+    Array.iteri
+      (fun i slot ->
+        if slot = None && not (Queue.is_empty queue) then
+          running.(i) <- Some (Queue.pop queue))
+      running
+  in
+  let clock = ref 0.0 in
+  refill ();
+  let rec step () =
+    let active =
+      Array.fold_left (fun n s -> if s = None then n else n + 1) 0 running
+    in
+    if active = 0 then !clock
+    else begin
+      let rate = share ~cores ~runnable:(active + busy_guest_vcpus) in
+      (* Next event: the smallest remaining work among active workers. *)
+      let shortest =
+        Array.fold_left
+          (fun acc s -> match s with Some w -> min acc w | None -> acc)
+          infinity running
+      in
+      let dt = shortest /. rate in
+      clock := !clock +. dt;
+      Array.iteri
+        (fun i s ->
+          match s with
+          | Some w ->
+              let w = w -. shortest in
+              running.(i) <- (if w <= 1e-15 then None else Some w)
+          | None -> ())
+        running;
+      refill ();
+      step ()
+    end
+  in
+  step ()

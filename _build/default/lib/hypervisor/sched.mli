@@ -1,0 +1,24 @@
+(** Proportional-share CPU scheduler for the virtual-time model.
+
+    Dom0's checking job(s) compete with the guests' vCPUs for [cores]
+    physical cores, each runnable vCPU receiving an equal share — the
+    first-order behaviour of Xen's credit scheduler with equal weights.
+    While runnable vCPUs ≤ cores every vCPU runs at full speed; beyond
+    that, Dom0's share shrinks and wall time grows superlinearly — the
+    mechanism behind the paper's Fig. 8 knee. *)
+
+val share : cores:int -> runnable:int -> float
+(** [share ~cores ~runnable] is the CPU fraction each runnable vCPU gets:
+    [min 1 (cores / runnable)]. *)
+
+val run_jobs :
+  cores:int -> busy_guest_vcpus:int -> workers:int -> float list -> float
+(** [run_jobs ~cores ~busy_guest_vcpus ~workers jobs] simulates [workers]
+    Dom0 worker vCPUs draining the queue of sequential [jobs] (CPU-second
+    costs) while [busy_guest_vcpus] guest vCPUs spin. Returns the wall
+    time until all jobs complete. Exact event-driven simulation, no
+    quantum error. *)
+
+val bus_factor : Costs.t -> busy_vms:int -> cores:int -> float
+(** [bus_factor costs ~busy_vms ~cores] scales memory-bound work for
+    bus contention: [1 + slowdown * min busy_vms cores]. *)

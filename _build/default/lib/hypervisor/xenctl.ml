@@ -1,0 +1,22 @@
+module Phys = Mc_memsim.Phys
+module Kernel = Mc_winkernel.Kernel
+
+let get_vcpu_cr3 dom = Kernel.cr3 (Dom.kernel_exn dom)
+
+let pause (dom : Dom.t) = dom.paused <- true
+
+let resume (dom : Dom.t) = dom.paused <- false
+
+let bump meter f = match meter with Some m -> f m | None -> ()
+
+let map_foreign_page ?meter dom pfn =
+  bump meter (fun m -> Meter.add_pages_mapped m 1);
+  Phys.read_page (Kernel.phys (Dom.kernel_exn dom)) pfn
+
+let read_foreign_pa ?meter dom paddr dst off len =
+  let page = Phys.frame_size in
+  let first = paddr / page and last = (paddr + len - 1) / page in
+  bump meter (fun m ->
+      Meter.add_pages_mapped m (last - first + 1);
+      Meter.add_bytes_copied m len);
+  Phys.read (Kernel.phys (Dom.kernel_exn dom)) paddr dst off len

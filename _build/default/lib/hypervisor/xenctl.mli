@@ -1,0 +1,22 @@
+(** The hypervisor control interface Dom0 tooling uses — the parts of
+    libxc/xenctrl that libVMI needs: vCPU context access and foreign page
+    mapping. All accesses are metered so the timing model can price them. *)
+
+val get_vcpu_cr3 : Dom.t -> int
+(** [get_vcpu_cr3 dom] is the guest's page-directory base, as read from the
+    virtual CPU's control registers. *)
+
+val pause : Dom.t -> unit
+
+val resume : Dom.t -> unit
+
+val map_foreign_page : ?meter:Meter.t -> Dom.t -> int -> Bytes.t
+(** [map_foreign_page dom pfn] copies guest frame [pfn] into Dom0 (the
+    simulation's equivalent of mapping it), bumping the meter's page
+    count. *)
+
+val read_foreign_pa :
+  ?meter:Meter.t -> Dom.t -> int -> Bytes.t -> int -> int -> unit
+(** [read_foreign_pa dom paddr dst off len] reads guest-physical memory,
+    metering one page map per page boundary the range touches plus the
+    bytes copied. *)

@@ -1,0 +1,1 @@
+lib/md5/md5.ml: Array Buffer Bytes Char Int32 Int64 Printf String

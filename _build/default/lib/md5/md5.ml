@@ -1,0 +1,148 @@
+(* RFC 1321. State words are kept in OCaml ints and masked to 32 bits; on a
+   64-bit host this is exact and avoids Int32 boxing in the hot loop. *)
+
+type digest = string
+
+let mask = 0xFFFFFFFF
+
+type ctx = {
+  mutable a : int;
+  mutable b : int;
+  mutable c : int;
+  mutable d : int;
+  mutable total : int64; (* message length so far, in bytes *)
+  block : Bytes.t; (* 64-byte staging buffer *)
+  mutable fill : int; (* valid bytes in [block] *)
+}
+
+let init () =
+  {
+    a = 0x67452301;
+    b = 0xEFCDAB89;
+    c = 0x98BADCFE;
+    d = 0x10325476;
+    total = 0L;
+    block = Bytes.create 64;
+    fill = 0;
+  }
+
+(* Per-round rotation amounts and sine-table constants, in round order. *)
+let s =
+  [|
+    7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22; 7; 12; 17; 22;
+    5; 9; 14; 20; 5; 9; 14; 20; 5; 9; 14; 20; 5; 9; 14; 20;
+    4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23; 4; 11; 16; 23;
+    6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21; 6; 10; 15; 21;
+  |]
+
+let k =
+  [|
+    0xd76aa478; 0xe8c7b756; 0x242070db; 0xc1bdceee; 0xf57c0faf; 0x4787c62a;
+    0xa8304613; 0xfd469501; 0x698098d8; 0x8b44f7af; 0xffff5bb1; 0x895cd7be;
+    0x6b901122; 0xfd987193; 0xa679438e; 0x49b40821; 0xf61e2562; 0xc040b340;
+    0x265e5a51; 0xe9b6c7aa; 0xd62f105d; 0x02441453; 0xd8a1e681; 0xe7d3fbc8;
+    0x21e1cde6; 0xc33707d6; 0xf4d50d87; 0x455a14ed; 0xa9e3e905; 0xfcefa3f8;
+    0x676f02d9; 0x8d2a4c8a; 0xfffa3942; 0x8771f681; 0x6d9d6122; 0xfde5380c;
+    0xa4beea44; 0x4bdecfa9; 0xf6bb4b60; 0xbebfbc70; 0x289b7ec6; 0xeaa127fa;
+    0xd4ef3085; 0x04881d05; 0xd9d4d039; 0xe6db99e5; 0x1fa27cf8; 0xc4ac5665;
+    0xf4292244; 0x432aff97; 0xab9423a7; 0xfc93a039; 0x655b59c3; 0x8f0ccc92;
+    0xffeff47d; 0x85845dd1; 0x6fa87e4f; 0xfe2ce6e0; 0xa3014314; 0x4e0811a1;
+    0xf7537e82; 0xbd3af235; 0x2ad7d2bb; 0xeb86d391;
+  |]
+
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask
+
+let transform ctx buf off =
+  let m = Array.make 16 0 in
+  for i = 0 to 15 do
+    let o = off + (i * 4) in
+    m.(i) <-
+      Char.code (Bytes.get buf o)
+      lor (Char.code (Bytes.get buf (o + 1)) lsl 8)
+      lor (Char.code (Bytes.get buf (o + 2)) lsl 16)
+      lor (Char.code (Bytes.get buf (o + 3)) lsl 24)
+  done;
+  let a = ref ctx.a and b = ref ctx.b and c = ref ctx.c and d = ref ctx.d in
+  for i = 0 to 63 do
+    let f, g =
+      if i < 16 then ((!b land !c) lor (lnot !b land !d) land mask, i)
+      else if i < 32 then
+        ((!d land !b) lor (lnot !d land !c) land mask, ((5 * i) + 1) mod 16)
+      else if i < 48 then (!b lxor !c lxor !d, ((3 * i) + 5) mod 16)
+      else ((!c lxor (!b lor (lnot !d land mask))) land mask, (7 * i) mod 16)
+    in
+    let f = f land mask in
+    let tmp = !d in
+    d := !c;
+    c := !b;
+    let sum = (!a + f + k.(i) + m.(g)) land mask in
+    b := (!b + rotl sum s.(i)) land mask;
+    a := tmp
+  done;
+  ctx.a <- (ctx.a + !a) land mask;
+  ctx.b <- (ctx.b + !b) land mask;
+  ctx.c <- (ctx.c + !c) land mask;
+  ctx.d <- (ctx.d + !d) land mask
+
+let update ctx buf off len =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Md5.update: range out of bounds";
+  ctx.total <- Int64.add ctx.total (Int64.of_int len);
+  let off = ref off and len = ref len in
+  (* Top up a partially filled staging block first. *)
+  if ctx.fill > 0 then begin
+    let take = min !len (64 - ctx.fill) in
+    Bytes.blit buf !off ctx.block ctx.fill take;
+    ctx.fill <- ctx.fill + take;
+    off := !off + take;
+    len := !len - take;
+    if ctx.fill = 64 then begin
+      transform ctx ctx.block 0;
+      ctx.fill <- 0
+    end
+  end;
+  while !len >= 64 do
+    transform ctx buf !off;
+    off := !off + 64;
+    len := !len - 64
+  done;
+  if !len > 0 then begin
+    Bytes.blit buf !off ctx.block ctx.fill !len;
+    ctx.fill <- ctx.fill + !len
+  end
+
+let update_string ctx s = update ctx (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let final ctx =
+  let bit_len = Int64.mul ctx.total 8L in
+  let pad_len =
+    let rem = Int64.to_int (Int64.rem ctx.total 64L) in
+    if rem < 56 then 56 - rem else 120 - rem
+  in
+  let padding = Bytes.make pad_len '\000' in
+  Bytes.set padding 0 '\x80';
+  update ctx padding 0 pad_len;
+  let tail = Bytes.create 8 in
+  Bytes.set_int64_le tail 0 bit_len;
+  update ctx tail 0 8;
+  assert (ctx.fill = 0);
+  let out = Bytes.create 16 in
+  Bytes.set_int32_le out 0 (Int32.of_int ctx.a);
+  Bytes.set_int32_le out 4 (Int32.of_int ctx.b);
+  Bytes.set_int32_le out 8 (Int32.of_int ctx.c);
+  Bytes.set_int32_le out 12 (Int32.of_int ctx.d);
+  Bytes.unsafe_to_string out
+
+let digest_sub b off len =
+  let ctx = init () in
+  update ctx b off len;
+  final ctx
+
+let digest_bytes b = digest_sub b 0 (Bytes.length b)
+
+let digest_string s = digest_bytes (Bytes.of_string s)
+
+let to_hex d =
+  let buf = Buffer.create 32 in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) d;
+  Buffer.contents buf

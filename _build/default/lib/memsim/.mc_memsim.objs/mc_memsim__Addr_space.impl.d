@@ -1,0 +1,1 @@
+lib/memsim/addr_space.ml: Bytes Mc_util Pagetable Phys

@@ -1,0 +1,1 @@
+lib/memsim/addr_space.mli: Bytes Phys

@@ -1,0 +1,1 @@
+lib/memsim/pagetable.ml: Int32 Phys

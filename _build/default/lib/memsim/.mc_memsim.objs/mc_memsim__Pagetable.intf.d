@@ -1,0 +1,1 @@
+lib/memsim/pagetable.mli: Phys

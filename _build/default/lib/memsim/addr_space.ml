@@ -1,0 +1,71 @@
+type t = { phys : Phys.t; tables : Pagetable.t }
+
+exception Page_fault of int
+
+let page_size = Phys.frame_size
+
+let create phys = { phys; tables = Pagetable.create phys }
+
+let of_cr3 phys cr3 = { phys; tables = Pagetable.of_cr3 phys cr3 }
+
+let phys t = t.phys
+
+let cr3 t = Pagetable.cr3 t.tables
+
+let translate t va = Pagetable.translate t.tables va
+
+let is_mapped t va = translate t va <> None
+
+let map_range t ~va ~size =
+  if va mod page_size <> 0 then invalid_arg "Addr_space.map_range: unaligned va";
+  let pages = (size + page_size - 1) / page_size in
+  for i = 0 to pages - 1 do
+    let page_va = va + (i * page_size) in
+    if not (is_mapped t page_va) then
+      Pagetable.map t.tables ~va:page_va ~pfn:(Phys.alloc_frame t.phys)
+  done
+
+let access t va len f =
+  (* Split [va, va+len) into page-bounded chunks and apply [f pa off len']
+     to each; raises on any unmapped page. *)
+  let rec loop va off len =
+    if len > 0 then begin
+      match translate t va with
+      | None -> raise (Page_fault va)
+      | Some pa ->
+          let chunk = min len (page_size - (va mod page_size)) in
+          f pa off chunk;
+          loop (va + chunk) (off + chunk) (len - chunk)
+    end
+  in
+  loop va 0 len
+
+let read t va dst dst_off len =
+  access t va len (fun pa off chunk -> Phys.read t.phys pa dst (dst_off + off) chunk)
+
+let write t va src src_off len =
+  access t va len (fun pa off chunk -> Phys.write t.phys pa src (src_off + off) chunk)
+
+let read_bytes t va len =
+  let b = Bytes.create len in
+  read t va b 0 len;
+  b
+
+let write_bytes t va b = write t va b 0 (Bytes.length b)
+
+let read_u32 t va =
+  let b = read_bytes t va 4 in
+  Bytes.get_int32_le b 0
+
+let write_u32 t va v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 v;
+  write t va b 0 4
+
+let read_u16 t va =
+  let b = read_bytes t va 2 in
+  Bytes.get_uint16_le b 0
+
+let read_u32_int t va = Mc_util.Le.int_of_u32 (read_u32 t va)
+
+let write_u32_int t va v = write_u32 t va (Mc_util.Le.u32_of_int v)

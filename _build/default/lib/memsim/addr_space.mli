@@ -1,0 +1,55 @@
+(** A guest virtual address space: page tables plus mapped-range accessors.
+
+    This is the guest kernel's own view of memory (its MMU); reads and
+    writes translate virtual addresses page by page and fault on unmapped
+    pages, so the loader and the in-guest malware behave like privileged
+    guest code. *)
+
+type t
+
+exception Page_fault of int
+(** Raised with the faulting virtual address on access to an unmapped
+    page. *)
+
+val create : Phys.t -> t
+
+val of_cr3 : Phys.t -> int -> t
+(** [of_cr3 phys cr3] views an existing address space whose page directory
+    lives at physical address [cr3] (e.g. in a deep-copied memory). *)
+
+val phys : t -> Phys.t
+
+val cr3 : t -> int
+(** [cr3 t] is what the virtual CPU's CR3 register would hold. *)
+
+val map_range : t -> va:int -> size:int -> unit
+(** [map_range t ~va ~size] allocates frames and maps the pages covering
+    [va, va+size). [va] must be page-aligned. Already-mapped pages in the
+    range are left untouched. *)
+
+val is_mapped : t -> int -> bool
+(** [is_mapped t va] is true when the page containing [va] is present. *)
+
+val translate : t -> int -> int option
+
+val read : t -> int -> Bytes.t -> int -> int -> unit
+(** [read t va dst dst_off len] copies out of the address space, page by
+    page. Raises [Page_fault] on an unmapped page. *)
+
+val write : t -> int -> Bytes.t -> int -> int -> unit
+
+val read_bytes : t -> int -> int -> Bytes.t
+(** [read_bytes t va len] is a convenience wrapper allocating the
+    destination. *)
+
+val write_bytes : t -> int -> Bytes.t -> unit
+
+val read_u32 : t -> int -> int32
+
+val write_u32 : t -> int -> int32 -> unit
+
+val read_u16 : t -> int -> int
+
+val read_u32_int : t -> int -> int
+
+val write_u32_int : t -> int -> int -> unit

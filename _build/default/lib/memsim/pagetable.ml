@@ -1,0 +1,62 @@
+let present_bit = 1l
+
+type t = { phys : Phys.t; dir_pa : int }
+
+let page_size = Phys.frame_size
+
+let create phys =
+  let pfn = Phys.alloc_frame phys in
+  { phys; dir_pa = pfn * page_size }
+
+let cr3 t = t.dir_pa
+
+let of_cr3 phys cr3 =
+  if cr3 mod page_size <> 0 then invalid_arg "Pagetable.of_cr3: unaligned cr3";
+  { phys; dir_pa = cr3 }
+
+let entry_present e = Int32.logand e present_bit <> 0l
+
+let entry_frame e = Int32.to_int (Int32.shift_right_logical e 12) land 0xFFFFF
+
+let make_entry pfn = Int32.logor (Int32.shift_left (Int32.of_int pfn) 12) present_bit
+
+let indices va =
+  let vpn = va lsr 12 in
+  (vpn lsr 10 land 0x3FF, vpn land 0x3FF)
+
+let map t ~va ~pfn =
+  if va mod page_size <> 0 then invalid_arg "Pagetable.map: unaligned va";
+  let pde_idx, pte_idx = indices va in
+  let pde_pa = t.dir_pa + (pde_idx * 4) in
+  let pde = Phys.read_u32 t.phys pde_pa in
+  let table_pfn =
+    if entry_present pde then entry_frame pde
+    else begin
+      let table_pfn = Phys.alloc_frame t.phys in
+      Phys.write_u32 t.phys pde_pa (make_entry table_pfn);
+      table_pfn
+    end
+  in
+  let pte_pa = (table_pfn * page_size) + (pte_idx * 4) in
+  Phys.write_u32 t.phys pte_pa (make_entry pfn)
+
+let unmap t ~va =
+  if va mod page_size <> 0 then invalid_arg "Pagetable.unmap: unaligned va";
+  let pde_idx, pte_idx = indices va in
+  let pde = Phys.read_u32 t.phys (t.dir_pa + (pde_idx * 4)) in
+  if entry_present pde then
+    Phys.write_u32 t.phys
+      ((entry_frame pde * page_size) + (pte_idx * 4))
+      0l
+
+let walk phys ~cr3 va =
+  let pde_idx, pte_idx = indices va in
+  let pde = Phys.read_u32 phys (cr3 + (pde_idx * 4)) in
+  if not (entry_present pde) then None
+  else begin
+    let pte = Phys.read_u32 phys ((entry_frame pde * page_size) + (pte_idx * 4)) in
+    if not (entry_present pte) then None
+    else Some ((entry_frame pte * page_size) + (va land 0xFFF))
+  end
+
+let translate t va = walk t.phys ~cr3:t.dir_pa va

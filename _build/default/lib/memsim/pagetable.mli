@@ -1,0 +1,35 @@
+(** 32-bit x86 (non-PAE) two-level page tables, stored {e in guest physical
+    memory}.
+
+    A page directory frame (whose physical address is CR3) holds 1024 PDEs;
+    each present PDE points at a page-table frame of 1024 PTEs; each present
+    PTE maps one 4 KiB page. Entry format: bit 0 = present, bits 12..31 =
+    frame base. The guest MMU ([translate]) and the VMI library both walk
+    these same in-memory structures, exactly as libVMI walks a real guest's
+    tables. *)
+
+type t
+
+val create : Phys.t -> t
+(** [create phys] allocates an empty page directory in [phys]. *)
+
+val cr3 : t -> int
+(** [cr3 t] is the physical address of the page directory frame. *)
+
+val of_cr3 : Phys.t -> int -> t
+(** [of_cr3 phys cr3] views existing tables rooted at [cr3]. *)
+
+val map : t -> va:int -> pfn:int -> unit
+(** [map t ~va ~pfn] maps the page containing [va] to frame [pfn],
+    allocating the page-table frame if needed. [va] must be page-aligned. *)
+
+val unmap : t -> va:int -> unit
+(** [unmap t ~va] clears the PTE; a no-op when not mapped. *)
+
+val translate : t -> int -> int option
+(** [translate t va] walks the directory and table, returning the physical
+    address for [va] or [None] on a non-present entry. *)
+
+val walk : Phys.t -> cr3:int -> int -> int option
+(** [walk phys ~cr3 va] is the raw two-level walk used by external
+    introspection: no [t] required, only CR3 and physical memory. *)

@@ -1,0 +1,68 @@
+let frame_size = 4096
+
+type t = {
+  frames : (int, Bytes.t) Hashtbl.t;
+  max_frames : int;
+  mutable next_pfn : int;
+}
+
+let create ?(max_frames = 65536) () =
+  { frames = Hashtbl.create 1024; max_frames; next_pfn = 1 }
+(* pfn 0 is reserved (a null physical page), as on real chipsets. *)
+
+let alloc_frame t =
+  if Hashtbl.length t.frames >= t.max_frames then
+    failwith "Phys.alloc_frame: out of physical memory";
+  let pfn = t.next_pfn in
+  t.next_pfn <- t.next_pfn + 1;
+  Hashtbl.replace t.frames pfn (Bytes.make frame_size '\000');
+  pfn
+
+let frames_allocated t = Hashtbl.length t.frames
+
+let frame_exists t pfn = Hashtbl.mem t.frames pfn
+
+let rec read t paddr dst dst_off len =
+  if len > 0 then begin
+    let pfn = paddr / frame_size in
+    let off = paddr mod frame_size in
+    let chunk = min len (frame_size - off) in
+    (match Hashtbl.find_opt t.frames pfn with
+    | Some frame -> Bytes.blit frame off dst dst_off chunk
+    | None -> Bytes.fill dst dst_off chunk '\000');
+    read t (paddr + chunk) dst (dst_off + chunk) (len - chunk)
+  end
+
+let rec write t paddr src src_off len =
+  if len > 0 then begin
+    let pfn = paddr / frame_size in
+    let off = paddr mod frame_size in
+    let chunk = min len (frame_size - off) in
+    (match Hashtbl.find_opt t.frames pfn with
+    | Some frame -> Bytes.blit src src_off frame off chunk
+    | None ->
+        invalid_arg
+          (Printf.sprintf "Phys.write: unallocated frame 0x%x (paddr 0x%x)" pfn
+             paddr));
+    write t (paddr + chunk) src (src_off + chunk) (len - chunk)
+  end
+
+let read_u32 t paddr =
+  let b = Bytes.create 4 in
+  read t paddr b 0 4;
+  Bytes.get_int32_le b 0
+
+let write_u32 t paddr v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 v;
+  write t paddr b 0 4
+
+let deep_copy t =
+  let frames = Hashtbl.create (Hashtbl.length t.frames) in
+  Hashtbl.iter (fun pfn data -> Hashtbl.replace frames pfn (Bytes.copy data)) t.frames;
+  { frames; max_frames = t.max_frames; next_pfn = t.next_pfn }
+
+let read_page t pfn =
+  let b = Bytes.create frame_size in
+  read t (pfn * frame_size) b 0 frame_size;
+  b

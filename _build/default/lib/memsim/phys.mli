@@ -1,0 +1,45 @@
+(** Guest physical memory.
+
+    Frames (4 KiB) are allocated sparsely on demand, so a 4 GiB guest
+    physical address space costs only what the guest actually touches.
+    Addresses are guest-physical byte addresses. *)
+
+type t
+
+val frame_size : int
+(** 4096. *)
+
+val create : ?max_frames:int -> unit -> t
+(** [create ()] makes an empty physical memory; [max_frames] bounds the
+    number of allocatable frames (default 65536 = 256 MiB). *)
+
+val alloc_frame : t -> int
+(** [alloc_frame t] reserves a fresh zeroed frame and returns its frame
+    number (pfn). Raises [Failure] when [max_frames] is exhausted. *)
+
+val frames_allocated : t -> int
+
+val frame_exists : t -> int -> bool
+(** [frame_exists t pfn] is true once [pfn] has been allocated. *)
+
+val read : t -> int -> Bytes.t -> int -> int -> unit
+(** [read t paddr dst dst_off len] copies guest-physical bytes into [dst];
+    the range may cross frame boundaries. Reading an unallocated frame
+    yields zeros (as real RAM reads of untouched pages would). *)
+
+val write : t -> int -> Bytes.t -> int -> int -> unit
+(** [write t paddr src src_off len] copies bytes into guest memory.
+    Writing an unallocated frame raises [Invalid_argument] — the simulated
+    MMU only maps allocated frames, so this catches wild writes. *)
+
+val read_u32 : t -> int -> int32
+
+val write_u32 : t -> int -> int32 -> unit
+
+val deep_copy : t -> t
+(** [deep_copy t] duplicates the whole physical memory (every allocated
+    frame) — the substrate of VM snapshots. *)
+
+val read_page : t -> int -> Bytes.t
+(** [read_page t pfn] copies out one whole frame — the unit of access used
+    by the hypervisor's foreign-page mapping (and thus by VMI). *)

@@ -1,0 +1,31 @@
+type 'a t = { queue : 'a Queue.t; mutex : Mutex.t; nonempty : Condition.t }
+
+let create () =
+  { queue = Queue.create (); mutex = Mutex.create (); nonempty = Condition.create () }
+
+let push t v =
+  Mutex.lock t.mutex;
+  Queue.add v t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mutex
+
+let pop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue do
+    Condition.wait t.nonempty t.mutex
+  done;
+  let v = Queue.pop t.queue in
+  Mutex.unlock t.mutex;
+  v
+
+let try_pop t =
+  Mutex.lock t.mutex;
+  let v = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+  Mutex.unlock t.mutex;
+  v
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.mutex;
+  n

@@ -1,0 +1,17 @@
+(** A blocking multi-producer multi-consumer queue built on
+    [Mutex]/[Condition], used by the domain pool. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** [push t v] enqueues and wakes one waiting consumer. *)
+
+val pop : 'a t -> 'a
+(** [pop t] blocks until an element is available. *)
+
+val try_pop : 'a t -> 'a option
+(** [try_pop t] is non-blocking. *)
+
+val length : 'a t -> int

@@ -1,0 +1,16 @@
+(** A write-once result cell, filled by a pool worker and awaited by the
+    caller. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val fill : 'a t -> ('a, exn) result -> unit
+(** [fill t r] stores the outcome and wakes waiters. Filling twice raises
+    [Invalid_argument]. *)
+
+val await : 'a t -> 'a
+(** [await t] blocks until filled, then returns the value or re-raises the
+    stored exception. *)
+
+val is_filled : 'a t -> bool

@@ -1,0 +1,60 @@
+type task = Task of (unit -> unit) | Stop
+
+type t = {
+  tasks : task Chan.t;
+  workers : unit Domain.t array;
+  mutable alive : bool;
+}
+
+let worker_loop tasks =
+  let rec loop () =
+    match Chan.pop tasks with
+    | Stop -> ()
+    | Task f ->
+        f ();
+        loop ()
+  in
+  loop ()
+
+let create n =
+  if n <= 0 then invalid_arg "Pool.create: need a positive worker count";
+  let tasks = Chan.create () in
+  let workers = Array.init n (fun _ -> Domain.spawn (fun () -> worker_loop tasks)) in
+  { tasks; workers; alive = true }
+
+let size t = Array.length t.workers
+
+let run t task =
+  if not t.alive then invalid_arg "Pool.run: pool is shut down";
+  let d = Deferred.create () in
+  Chan.push t.tasks
+    (Task
+       (fun () ->
+         let r = try Ok (task ()) with e -> Error e in
+         Deferred.fill d r));
+  d
+
+let parallel_map t f xs =
+  let handles = List.map (fun x -> run t (fun () -> f x)) xs in
+  (* Await everything before re-raising so no task outlives the call. *)
+  let results =
+    List.map (fun d -> try Ok (Deferred.await d) with e -> Error e) handles
+  in
+  List.map (function Ok v -> v | Error e -> raise e) results
+
+let shutdown t =
+  if t.alive then begin
+    t.alive <- false;
+    Array.iter (fun _ -> Chan.push t.tasks Stop) t.workers;
+    Array.iter Domain.join t.workers
+  end
+
+let with_pool n f =
+  let t = create n in
+  match f t with
+  | v ->
+      shutdown t;
+      v
+  | exception e ->
+      shutdown t;
+      raise e

@@ -1,0 +1,30 @@
+(** A fixed pool of OCaml 5 domains with a shared task queue.
+
+    Implements the paper's "modular design can support parallel access of
+    virtual machines' memory" extension: the orchestrator's parallel mode
+    maps the per-VM search/parse/hash pipeline over this pool. Each guest's
+    memory is a distinct heap object, so per-VM tasks share nothing and
+    parallelize cleanly. *)
+
+type t
+
+val create : int -> t
+(** [create n] spawns [n] worker domains. [n] must be positive. *)
+
+val size : t -> int
+
+val run : t -> (unit -> 'a) -> 'a Deferred.t
+(** [run t task] schedules [task] and returns a handle to await. *)
+
+val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [parallel_map t f xs] applies [f] to every element on the pool,
+    preserving order. An exception raised by any [f x] is re-raised in the
+    caller (after all tasks settle). Safe to call from one caller at a
+    time per pool. *)
+
+val shutdown : t -> unit
+(** [shutdown t] joins all workers; the pool is unusable afterwards.
+    Idempotent. *)
+
+val with_pool : int -> (t -> 'a) -> 'a
+(** [with_pool n f] runs [f] with a fresh pool, always shutting it down. *)

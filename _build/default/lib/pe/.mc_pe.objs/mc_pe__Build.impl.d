@@ -1,0 +1,1 @@
+lib/pe/build.ml: Array Bytes Checksum Flags List Mc_util String Types

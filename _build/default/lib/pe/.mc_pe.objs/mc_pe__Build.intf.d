@@ -1,0 +1,1 @@
+lib/pe/build.mli: Bytes Types

@@ -1,0 +1,1 @@
+lib/pe/catalog.ml: Array Build Bytes Char Codegen Export Filename Flags Hashtbl Import Int32 List Mc_util Printf String Types

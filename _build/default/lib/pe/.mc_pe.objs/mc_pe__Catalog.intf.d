@@ -1,0 +1,1 @@
+lib/pe/catalog.mli: Bytes Codegen

@@ -1,0 +1,1 @@
+lib/pe/checksum.ml: Bytes Char Int32

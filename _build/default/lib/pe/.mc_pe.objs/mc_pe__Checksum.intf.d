@@ -1,0 +1,1 @@
+lib/pe/checksum.mli: Bytes

@@ -1,0 +1,1 @@
+lib/pe/codegen.ml: Buffer Bytes Char Format List Mc_util

@@ -1,0 +1,1 @@
+lib/pe/codegen.mli: Bytes Format Mc_util

@@ -1,0 +1,1 @@
+lib/pe/export.ml: Array Bytes Fun List Mc_util Option Read String Types

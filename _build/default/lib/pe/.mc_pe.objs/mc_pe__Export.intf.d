@@ -1,0 +1,1 @@
+lib/pe/export.mli: Bytes Read Types

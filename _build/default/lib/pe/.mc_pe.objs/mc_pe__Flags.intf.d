@@ -1,0 +1,1 @@
+lib/pe/flags.mli:

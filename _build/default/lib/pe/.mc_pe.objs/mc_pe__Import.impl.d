@@ -1,0 +1,1 @@
+lib/pe/import.ml: Array Bytes Flags Hashtbl List Mc_util Option Read Types

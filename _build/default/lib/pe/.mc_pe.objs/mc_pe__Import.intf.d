@@ -1,0 +1,1 @@
+lib/pe/import.mli: Bytes Read Types

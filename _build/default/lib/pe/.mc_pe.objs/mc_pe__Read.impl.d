@@ -1,0 +1,1 @@
+lib/pe/read.ml: Array Bytes Checksum Flags Int32 List Mc_util Printf Result String Types

@@ -1,0 +1,1 @@
+lib/pe/read.mli: Bytes Types

@@ -1,0 +1,1 @@
+lib/pe/types.ml: Bytes Flags Format Printf

@@ -1,0 +1,1 @@
+lib/pe/types.mli: Bytes Format

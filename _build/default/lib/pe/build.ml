@@ -1,0 +1,283 @@
+module Bytebuf = Mc_util.Bytebuf
+module Le = Mc_util.Le
+
+type section_spec = {
+  spec_name : string;
+  spec_data : Bytes.t;
+  spec_characteristics : int;
+  spec_relocs : int list;
+}
+
+let section_alignment = 0x1000
+
+let file_alignment = 0x200
+
+let default_stub_message = "This program cannot be run in DOS mode."
+
+let align v a = (v + a - 1) / a * a
+
+(* The 16-bit DOS stub program: standard int 21h print-and-exit prologue
+   followed by the message text. Only the text matters to the experiments;
+   the prologue bytes are the canonical ones found in MSVC-linked files. *)
+let stub_program message =
+  let prologue =
+    "\x0e\x1f\xba\x0e\x00\xb4\x09\xcd\x21\xb8\x01\x4c\xcd\x21"
+  in
+  prologue ^ message ^ "\r\r\n$"
+
+let layout_specs specs =
+  (* RVA assignment: sections in order, each section-aligned. *)
+  let rec assign rva = function
+    | [] -> []
+    | spec :: rest ->
+        let size = Bytes.length spec.spec_data in
+        (spec, rva) :: assign (align (max size 1) section_alignment + rva) rest
+  in
+  assign section_alignment specs
+
+let layout_rvas specs =
+  List.map (fun (s, rva) -> (s.spec_name, rva)) (layout_specs specs)
+
+(* Base relocation blocks: for each 4 KiB page with slots, a block of
+   {page_rva; size; u16 entries}, entries padded to a 4-byte block size with
+   ABSOLUTE entries. *)
+let build_reloc_section placed =
+  let slots =
+    List.concat_map
+      (fun (spec, rva) -> List.map (fun off -> rva + off) spec.spec_relocs)
+      placed
+    |> List.sort compare
+  in
+  if slots = [] then None
+  else begin
+    let buf = Bytebuf.create () in
+    let flush page entries =
+      let entries = List.rev entries in
+      let count = List.length entries in
+      let padded = if count mod 2 = 0 then count else count + 1 in
+      Bytebuf.add_u32_int buf page;
+      Bytebuf.add_u32_int buf (8 + (padded * 2));
+      List.iter
+        (fun rva ->
+          let entry =
+            (Flags.reloc_based_highlow lsl 12) lor (rva - page) land 0xFFFF
+          in
+          Bytebuf.add_u16 buf entry)
+        entries;
+      if padded <> count then
+        Bytebuf.add_u16 buf (Flags.reloc_based_absolute lsl 12)
+    in
+    let rec group page entries = function
+      | [] -> if entries <> [] then flush page entries
+      | rva :: rest ->
+          let p = rva land lnot 0xFFF in
+          if p = page then group page (rva :: entries) rest
+          else begin
+            if entries <> [] then flush page entries;
+            group p [ rva ] rest
+          end
+    in
+    group (-1) [] slots;
+    Some (Bytebuf.contents buf)
+  end
+
+let build ?(stub_message = default_stub_message) ?(timestamp = 0x4F000000l)
+    ?entry_rva ?(dirs = []) ?(image_base = 0x00010000) specs =
+  let stub = stub_program stub_message in
+  let e_lfanew = align (Types.dos_header_size + String.length stub) 8 in
+  let placed = layout_specs specs in
+  let reloc_data = build_reloc_section placed in
+  let all_placed =
+    match reloc_data with
+    | None -> placed
+    | Some data ->
+        let reloc_spec =
+          {
+            spec_name = ".reloc";
+            spec_data = data;
+            spec_characteristics =
+              Flags.cnt_initialized_data lor Flags.mem_read
+              lor Flags.mem_discardable;
+            spec_relocs = [];
+          }
+        in
+        let next_rva =
+          match List.rev placed with
+          | [] -> section_alignment
+          | (last, rva) :: _ ->
+              rva
+              + align (max (Bytes.length last.spec_data) 1) section_alignment
+        in
+        placed @ [ (reloc_spec, next_rva) ]
+  in
+  let n_sections = List.length all_placed in
+  let headers_size =
+    e_lfanew + 4 + Types.file_header_size + Types.optional_header_size
+    + (n_sections * Types.section_header_size)
+  in
+  let size_of_headers = align headers_size file_alignment in
+  (* Raw file offsets for section data, in order. *)
+  let raw_offsets =
+    let rec assign off = function
+      | [] -> []
+      | (spec, _) :: rest ->
+          let raw = align (Bytes.length spec.spec_data) file_alignment in
+          off :: assign (off + raw) rest
+    in
+    assign size_of_headers all_placed
+  in
+  let size_of_image =
+    match List.rev all_placed with
+    | [] -> section_alignment
+    | (spec, rva) :: _ ->
+        rva + align (max (Bytes.length spec.spec_data) 1) section_alignment
+  in
+  let is_code spec = spec.spec_characteristics land Flags.cnt_code <> 0 in
+  let size_of_code =
+    List.fold_left
+      (fun acc (spec, _) ->
+        if is_code spec then acc + align (Bytes.length spec.spec_data) file_alignment
+        else acc)
+      0 all_placed
+  in
+  let size_of_initialized_data =
+    List.fold_left
+      (fun acc (spec, _) ->
+        if is_code spec then acc
+        else acc + align (Bytes.length spec.spec_data) file_alignment)
+      0 all_placed
+  in
+  let entry_rva =
+    match entry_rva with
+    | Some rva -> rva
+    | None -> (
+        match List.find_opt (fun (spec, _) -> is_code spec) all_placed with
+        | Some (_, rva) -> rva
+        | None -> 0)
+  in
+  let base_of_code =
+    match List.find_opt (fun (spec, _) -> is_code spec) all_placed with
+    | Some (_, rva) -> rva
+    | None -> 0
+  in
+  let base_of_data =
+    match List.find_opt (fun (spec, _) -> not (is_code spec)) all_placed with
+    | Some (_, rva) -> rva
+    | None -> 0
+  in
+  let buf = Bytebuf.create ~capacity:(size_of_headers * 2) () in
+  (* --- IMAGE_DOS_HEADER (64 bytes) --- *)
+  Bytebuf.add_u16 buf Flags.dos_magic (* e_magic "MZ" *);
+  Bytebuf.add_u16 buf 0x0090 (* e_cblp *);
+  Bytebuf.add_u16 buf 0x0003 (* e_cp *);
+  Bytebuf.add_u16 buf 0x0000 (* e_crlc *);
+  Bytebuf.add_u16 buf 0x0004 (* e_cparhdr *);
+  Bytebuf.add_u16 buf 0x0000 (* e_minalloc *);
+  Bytebuf.add_u16 buf 0xFFFF (* e_maxalloc *);
+  Bytebuf.add_u16 buf 0x0000 (* e_ss *);
+  Bytebuf.add_u16 buf 0x00B8 (* e_sp *);
+  Bytebuf.add_u16 buf 0x0000 (* e_csum *);
+  Bytebuf.add_u16 buf 0x0000 (* e_ip *);
+  Bytebuf.add_u16 buf 0x0000 (* e_cs *);
+  Bytebuf.add_u16 buf 0x0040 (* e_lfarlc *);
+  Bytebuf.add_u16 buf 0x0000 (* e_ovno *);
+  for _ = 1 to 4 do Bytebuf.add_u16 buf 0 done (* e_res *);
+  Bytebuf.add_u16 buf 0x0000 (* e_oemid *);
+  Bytebuf.add_u16 buf 0x0000 (* e_oeminfo *);
+  for _ = 1 to 10 do Bytebuf.add_u16 buf 0 done (* e_res2 *);
+  assert (Bytebuf.length buf = Types.e_lfanew_offset);
+  Bytebuf.add_u32_int buf e_lfanew;
+  (* --- DOS stub program --- *)
+  Bytebuf.add_string buf stub;
+  Bytebuf.pad_to buf e_lfanew 0x00;
+  (* --- IMAGE_NT_HEADERS: signature + FILE header --- *)
+  Bytebuf.add_u32 buf Flags.nt_signature;
+  Bytebuf.add_u16 buf Flags.machine_i386;
+  Bytebuf.add_u16 buf n_sections;
+  Bytebuf.add_u32 buf timestamp;
+  Bytebuf.add_u32 buf 0l (* PointerToSymbolTable *);
+  Bytebuf.add_u32 buf 0l (* NumberOfSymbols *);
+  Bytebuf.add_u16 buf Types.optional_header_size;
+  Bytebuf.add_u16 buf (Flags.file_executable_image lor Flags.file_32bit_machine);
+  (* --- IMAGE_OPTIONAL_HEADER32 --- *)
+  let checksum_offset = Bytebuf.length buf + 64 in
+  Bytebuf.add_u16 buf Flags.pe32_magic;
+  Bytebuf.add_u8 buf 7 (* MajorLinkerVersion *);
+  Bytebuf.add_u8 buf 10 (* MinorLinkerVersion *);
+  Bytebuf.add_u32_int buf size_of_code;
+  Bytebuf.add_u32_int buf size_of_initialized_data;
+  Bytebuf.add_u32_int buf 0 (* SizeOfUninitializedData *);
+  Bytebuf.add_u32_int buf entry_rva;
+  Bytebuf.add_u32_int buf base_of_code;
+  Bytebuf.add_u32_int buf base_of_data;
+  Bytebuf.add_u32_int buf image_base;
+  Bytebuf.add_u32_int buf section_alignment;
+  Bytebuf.add_u32_int buf file_alignment;
+  Bytebuf.add_u16 buf 5 (* MajorOperatingSystemVersion *);
+  Bytebuf.add_u16 buf 1 (* MinorOperatingSystemVersion *);
+  Bytebuf.add_u16 buf 5 (* MajorImageVersion *);
+  Bytebuf.add_u16 buf 1 (* MinorImageVersion *);
+  Bytebuf.add_u16 buf 5 (* MajorSubsystemVersion *);
+  Bytebuf.add_u16 buf 1 (* MinorSubsystemVersion *);
+  Bytebuf.add_u32 buf 0l (* Win32VersionValue *);
+  Bytebuf.add_u32_int buf size_of_image;
+  Bytebuf.add_u32_int buf size_of_headers;
+  Bytebuf.add_u32 buf 0l (* CheckSum, patched below *);
+  Bytebuf.add_u16 buf 1 (* Subsystem: NATIVE *);
+  Bytebuf.add_u16 buf 0 (* DllCharacteristics *);
+  Bytebuf.add_u32_int buf 0x40000 (* SizeOfStackReserve *);
+  Bytebuf.add_u32_int buf 0x1000 (* SizeOfStackCommit *);
+  Bytebuf.add_u32_int buf 0x100000 (* SizeOfHeapReserve *);
+  Bytebuf.add_u32_int buf 0x1000 (* SizeOfHeapCommit *);
+  Bytebuf.add_u32 buf 0l (* LoaderFlags *);
+  Bytebuf.add_u32_int buf 16 (* NumberOfRvaAndSizes *);
+  let directories = Array.make 16 Types.{ dir_rva = 0; dir_size = 0 } in
+  List.iter
+    (fun (idx, dir) ->
+      if idx < 0 || idx >= 16 then invalid_arg "Build.build: bad directory index";
+      directories.(idx) <- dir)
+    dirs;
+  (match reloc_data with
+  | Some data ->
+      let rva =
+        match List.rev all_placed with
+        | (_, rva) :: _ -> rva
+        | [] -> assert false
+      in
+      directories.(Flags.dir_basereloc) <-
+        Types.{ dir_rva = rva; dir_size = Bytes.length data }
+  | None -> ());
+  Array.iter
+    (fun Types.{ dir_rva; dir_size } ->
+      Bytebuf.add_u32_int buf dir_rva;
+      Bytebuf.add_u32_int buf dir_size)
+    directories;
+  (* --- Section table --- *)
+  List.iter2
+    (fun (spec, rva) raw_off ->
+      let name = spec.spec_name in
+      if String.length name > 8 then invalid_arg "Build.build: section name too long";
+      Bytebuf.add_string buf name;
+      Bytebuf.add_fill buf (8 - String.length name) 0x00;
+      Bytebuf.add_u32_int buf (Bytes.length spec.spec_data) (* VirtualSize *);
+      Bytebuf.add_u32_int buf rva;
+      Bytebuf.add_u32_int buf (align (Bytes.length spec.spec_data) file_alignment);
+      Bytebuf.add_u32_int buf raw_off;
+      Bytebuf.add_u32_int buf 0 (* PointerToRelocations *);
+      Bytebuf.add_u32_int buf 0 (* PointerToLinenumbers *);
+      Bytebuf.add_u16 buf 0 (* NumberOfRelocations *);
+      Bytebuf.add_u16 buf 0 (* NumberOfLinenumbers *);
+      Bytebuf.add_u32_int buf spec.spec_characteristics)
+    all_placed raw_offsets;
+  Bytebuf.pad_to buf size_of_headers 0x00;
+  (* --- Section raw data --- *)
+  List.iter2
+    (fun (spec, _) raw_off ->
+      Bytebuf.pad_to buf raw_off 0x00;
+      Bytebuf.add_bytes buf spec.spec_data;
+      Bytebuf.align_to buf file_alignment 0x00)
+    all_placed raw_offsets;
+  let image = Bytebuf.contents buf in
+  let checksum = Checksum.compute image ~checksum_offset in
+  Le.set_u32 image checksum_offset checksum;
+  image

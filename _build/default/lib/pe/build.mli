@@ -1,0 +1,49 @@
+(** PE32 image writer.
+
+    Lays out a driver file: DOS header + stub, NT headers, section table,
+    section raw data, and a generated [.reloc] section in the real base
+    relocation block format covering every [Addr] slot the sections declare.
+
+    Address slots in the emitted file hold {e RVAs}; the simulated kernel
+    loader rewrites each slot to [base + RVA] when mapping the module (the
+    paper's §I model of relocation, which Algorithm 2 then reverses). *)
+
+type section_spec = {
+  spec_name : string;  (** Section name, at most 8 bytes. *)
+  spec_data : Bytes.t;
+  spec_characteristics : int;
+  spec_relocs : int list;
+      (** Offsets within [spec_data] of 4-byte address slots to cover with
+          base relocations. *)
+}
+
+val section_alignment : int
+(** 0x1000 — in-memory alignment of section data. *)
+
+val file_alignment : int
+(** 0x200 — on-disk alignment of section raw data. *)
+
+val default_stub_message : string
+(** ["This program cannot be run in DOS mode."] — experiment 3 patches the
+    word [DOS] inside this text. *)
+
+val layout_rvas : section_spec list -> (string * int) list
+(** [layout_rvas specs] predicts the RVA each named section will receive,
+    without building; the catalog uses this for two-pass symbol
+    resolution. The generated [.reloc] section is not included. *)
+
+val build :
+  ?stub_message:string ->
+  ?timestamp:int32 ->
+  ?entry_rva:int ->
+  ?dirs:(int * Types.data_directory) list ->
+  ?image_base:int ->
+  section_spec list ->
+  Bytes.t
+(** [build specs] produces the complete file image. Sections receive RVAs in
+    list order starting at [section_alignment]; a [.reloc] section is
+    appended when any spec declares relocations, and data directory 5 points
+    at it. [dirs] sets further data-directory entries (e.g. the import
+    table, for the DLL-injection malware). [entry_rva] defaults to the RVA
+    of the first executable section. The OPTIONAL header checksum field is
+    computed over the final file. *)

@@ -1,0 +1,20 @@
+let compute image ~checksum_offset =
+  let n = Bytes.length image in
+  let sum = ref 0 in
+  let add16 v =
+    sum := !sum + v;
+    sum := (!sum land 0xFFFF) + (!sum lsr 16)
+  in
+  let word off =
+    let lo = Char.code (Bytes.get image off) in
+    let hi = if off + 1 < n then Char.code (Bytes.get image (off + 1)) else 0 in
+    lo lor (hi lsl 8)
+  in
+  let off = ref 0 in
+  while !off < n do
+    if !off >= checksum_offset && !off < checksum_offset + 4 then ()
+    else add16 (word !off);
+    off := !off + 2
+  done;
+  sum := (!sum land 0xFFFF) + (!sum lsr 16);
+  Int32.of_int ((!sum + n) land 0xFFFFFFFF)

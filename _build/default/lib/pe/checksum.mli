@@ -1,0 +1,10 @@
+(** The Windows PE image checksum (as computed by [CheckSumMappedFile]).
+
+    16-bit one's-complement-style sum over the whole file with the 4-byte
+    CheckSum field treated as zero, plus the file length. The loader of the
+    simulated kernel validates it, and the DLL-injection malware must forge
+    it — exactly the dance real PE infectors perform. *)
+
+val compute : Bytes.t -> checksum_offset:int -> int32
+(** [compute image ~checksum_offset] computes the checksum of [image],
+    skipping the 4 bytes at [checksum_offset]. *)

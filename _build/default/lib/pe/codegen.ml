@@ -1,0 +1,243 @@
+module Bytebuf = Mc_util.Bytebuf
+
+type operand = Imm of int32 | Addr of int32
+
+type insn =
+  | Nop
+  | Ret
+  | Int3
+  | Push_ebp
+  | Mov_ebp_esp
+  | Pop_ebp
+  | Leave
+  | Dec_ecx
+  | Sub_ecx_1
+  | Inc_eax
+  | Xor_eax_eax
+  | Test_eax_eax
+  | Mov_eax_ebp_disp8 of int
+  | Jz_rel8 of int
+  | Jnz_rel8 of int
+  | Push_imm32 of operand
+  | Mov_eax_imm of operand
+  | Mov_ecx_imm of operand
+  | Mov_eax_moffs of operand
+  | Mov_moffs_eax of operand
+  | Call_ind of operand
+  | Jmp_ind of operand
+  | Call_rel of int
+  | Jmp_rel of int
+  | Cave of int
+  | Db of int
+
+let encoded_length = function
+  | Nop | Ret | Int3 | Push_ebp | Pop_ebp | Leave | Dec_ecx | Inc_eax -> 1
+  | Db _ -> 1
+  | Mov_ebp_esp | Xor_eax_eax | Test_eax_eax -> 2
+  | Jz_rel8 _ | Jnz_rel8 _ -> 2
+  | Sub_ecx_1 | Mov_eax_ebp_disp8 _ -> 3
+  | Push_imm32 _ | Mov_eax_imm _ | Mov_ecx_imm _ | Mov_eax_moffs _
+  | Mov_moffs_eax _ | Call_rel _ | Jmp_rel _ ->
+      5
+  | Call_ind _ | Jmp_ind _ -> 6
+  | Cave n -> n
+
+let emit_operand buf relocs op =
+  match op with
+  | Imm v -> Bytebuf.add_u32 buf v
+  | Addr v ->
+      relocs := Bytebuf.length buf :: !relocs;
+      Bytebuf.add_u32 buf v
+
+let encode buf ~relocs i =
+  let byte = Bytebuf.add_u8 buf in
+  match i with
+  | Nop -> byte 0x90
+  | Ret -> byte 0xC3
+  | Int3 -> byte 0xCC
+  | Push_ebp -> byte 0x55
+  | Mov_ebp_esp ->
+      byte 0x8B;
+      byte 0xEC
+  | Pop_ebp -> byte 0x5D
+  | Leave -> byte 0xC9
+  | Dec_ecx -> byte 0x49
+  | Sub_ecx_1 ->
+      byte 0x83;
+      byte 0xE9;
+      byte 0x01
+  | Inc_eax -> byte 0x40
+  | Xor_eax_eax ->
+      byte 0x33;
+      byte 0xC0
+  | Test_eax_eax ->
+      byte 0x85;
+      byte 0xC0
+  | Mov_eax_ebp_disp8 d ->
+      byte 0x8B;
+      byte 0x45;
+      byte (d land 0xFF)
+  | Jz_rel8 d ->
+      byte 0x74;
+      byte (d land 0xFF)
+  | Jnz_rel8 d ->
+      byte 0x75;
+      byte (d land 0xFF)
+  | Push_imm32 op ->
+      byte 0x68;
+      emit_operand buf relocs op
+  | Mov_eax_imm op ->
+      byte 0xB8;
+      emit_operand buf relocs op
+  | Mov_ecx_imm op ->
+      byte 0xB9;
+      emit_operand buf relocs op
+  | Mov_eax_moffs op ->
+      byte 0xA1;
+      emit_operand buf relocs op
+  | Mov_moffs_eax op ->
+      byte 0xA3;
+      emit_operand buf relocs op
+  | Call_ind op ->
+      byte 0xFF;
+      byte 0x15;
+      emit_operand buf relocs op
+  | Jmp_ind op ->
+      byte 0xFF;
+      byte 0x25;
+      emit_operand buf relocs op
+  | Call_rel d ->
+      byte 0xE8;
+      Bytebuf.add_u32 buf (Mc_util.Le.u32_of_int d)
+  | Jmp_rel d ->
+      byte 0xE9;
+      Bytebuf.add_u32 buf (Mc_util.Le.u32_of_int d)
+  | Cave n -> Bytebuf.add_fill buf n 0x00
+  | Db b -> byte b
+
+let assemble insns =
+  let buf = Bytebuf.create ~capacity:1024 () in
+  let relocs = ref [] in
+  List.iter (encode buf ~relocs) insns;
+  (Bytebuf.contents buf, List.sort compare !relocs)
+
+let sign_extend_32 v =
+  let v = Mc_util.Le.int_of_u32 v in
+  if v land 0x8000_0000 <> 0 then v - 0x1_0000_0000 else v
+
+let sign_extend_8 v = if v land 0x80 <> 0 then v - 0x100 else v
+
+let decode code pos =
+  let n = Bytes.length code in
+  if pos >= n then None
+  else
+    let u8 off = Char.code (Bytes.get code off) in
+    let have k = pos + k <= n in
+    let u32 off = Bytes.get_int32_le code off in
+    let op off = Imm (u32 off) in
+    match u8 pos with
+    | 0x90 -> Some (Nop, 1)
+    | 0xC3 -> Some (Ret, 1)
+    | 0xCC -> Some (Int3, 1)
+    | 0x55 -> Some (Push_ebp, 1)
+    | 0x5D -> Some (Pop_ebp, 1)
+    | 0xC9 -> Some (Leave, 1)
+    | 0x49 -> Some (Dec_ecx, 1)
+    | 0x40 -> Some (Inc_eax, 1)
+    | 0x8B when have 2 && u8 (pos + 1) = 0xEC -> Some (Mov_ebp_esp, 2)
+    | 0x8B when have 3 && u8 (pos + 1) = 0x45 ->
+        Some (Mov_eax_ebp_disp8 (u8 (pos + 2)), 3)
+    | 0x33 when have 2 && u8 (pos + 1) = 0xC0 -> Some (Xor_eax_eax, 2)
+    | 0x85 when have 2 && u8 (pos + 1) = 0xC0 -> Some (Test_eax_eax, 2)
+    | 0x74 when have 2 -> Some (Jz_rel8 (sign_extend_8 (u8 (pos + 1))), 2)
+    | 0x75 when have 2 -> Some (Jnz_rel8 (sign_extend_8 (u8 (pos + 1))), 2)
+    | 0x83 when have 3 && u8 (pos + 1) = 0xE9 && u8 (pos + 2) = 0x01 ->
+        Some (Sub_ecx_1, 3)
+    | 0x68 when have 5 -> Some (Push_imm32 (op (pos + 1)), 5)
+    | 0xB8 when have 5 -> Some (Mov_eax_imm (op (pos + 1)), 5)
+    | 0xB9 when have 5 -> Some (Mov_ecx_imm (op (pos + 1)), 5)
+    | 0xA1 when have 5 -> Some (Mov_eax_moffs (op (pos + 1)), 5)
+    | 0xA3 when have 5 -> Some (Mov_moffs_eax (op (pos + 1)), 5)
+    | 0xFF when have 6 && u8 (pos + 1) = 0x15 -> Some (Call_ind (op (pos + 2)), 6)
+    | 0xFF when have 6 && u8 (pos + 1) = 0x25 -> Some (Jmp_ind (op (pos + 2)), 6)
+    | 0xE8 when have 5 -> Some (Call_rel (sign_extend_32 (u32 (pos + 1))), 5)
+    | 0xE9 when have 5 -> Some (Jmp_rel (sign_extend_32 (u32 (pos + 1))), 5)
+    | 0x00 ->
+        (* Greedy run of zero bytes: an opcode cave. *)
+        let rec run i = if i < n && u8 i = 0x00 then run (i + 1) else i in
+        Some (Cave (run pos - pos), run pos - pos)
+    | b -> Some (Db b, 1)
+
+let boundaries code ~start ~count =
+  let rec loop pos k acc =
+    if k = 0 then List.rev acc
+    else
+      match decode code pos with
+      | None -> List.rev acc
+      | Some (i, len) -> loop (pos + len) (k - 1) ((pos, i) :: acc)
+  in
+  loop start count []
+
+let find_cave code ~min_len ~from =
+  let n = Bytes.length code in
+  let rec scan pos =
+    if pos >= n then None
+    else if Bytes.get code pos = '\000' then begin
+      let rec run i = if i < n && Bytes.get code i = '\000' then run (i + 1) else i in
+      let stop = run pos in
+      if stop - pos >= min_len then Some pos else scan stop
+    end
+    else scan (pos + 1)
+  in
+  scan from
+
+let pp_operand fmt = function
+  | Imm v -> Format.fprintf fmt "%s" (Mc_util.Le.string_of_u32 v)
+  | Addr v -> Format.fprintf fmt "addr:%s" (Mc_util.Le.string_of_u32 v)
+
+let pp fmt = function
+  | Nop -> Format.pp_print_string fmt "nop"
+  | Ret -> Format.pp_print_string fmt "ret"
+  | Int3 -> Format.pp_print_string fmt "int3"
+  | Push_ebp -> Format.pp_print_string fmt "push ebp"
+  | Mov_ebp_esp -> Format.pp_print_string fmt "mov ebp, esp"
+  | Pop_ebp -> Format.pp_print_string fmt "pop ebp"
+  | Leave -> Format.pp_print_string fmt "leave"
+  | Dec_ecx -> Format.pp_print_string fmt "dec ecx"
+  | Sub_ecx_1 -> Format.pp_print_string fmt "sub ecx, 1"
+  | Inc_eax -> Format.pp_print_string fmt "inc eax"
+  | Xor_eax_eax -> Format.pp_print_string fmt "xor eax, eax"
+  | Test_eax_eax -> Format.pp_print_string fmt "test eax, eax"
+  | Mov_eax_ebp_disp8 d -> Format.fprintf fmt "mov eax, [ebp+0x%x]" d
+  | Jz_rel8 d -> Format.fprintf fmt "jz %+d" d
+  | Jnz_rel8 d -> Format.fprintf fmt "jnz %+d" d
+  | Push_imm32 op -> Format.fprintf fmt "push %a" pp_operand op
+  | Mov_eax_imm op -> Format.fprintf fmt "mov eax, %a" pp_operand op
+  | Mov_ecx_imm op -> Format.fprintf fmt "mov ecx, %a" pp_operand op
+  | Mov_eax_moffs op -> Format.fprintf fmt "mov eax, [%a]" pp_operand op
+  | Mov_moffs_eax op -> Format.fprintf fmt "mov [%a], eax" pp_operand op
+  | Call_ind op -> Format.fprintf fmt "call [%a]" pp_operand op
+  | Jmp_ind op -> Format.fprintf fmt "jmp [%a]" pp_operand op
+  | Call_rel d -> Format.fprintf fmt "call %+d" d
+  | Jmp_rel d -> Format.fprintf fmt "jmp %+d" d
+  | Cave n -> Format.fprintf fmt "<cave %d>" n
+  | Db b -> Format.fprintf fmt "db 0x%02x" b
+
+let listing ?(base = 0) code ~start ~count =
+  let rec lines pos count acc =
+    if count = 0 then List.rev acc
+    else
+      match decode code pos with
+      | None -> List.rev acc
+      | Some (insn, len) -> lines (pos + len) (count - 1) ((pos, insn, len) :: acc)
+  in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (pos, insn, len) ->
+      let raw = Mc_util.Hexdump.bytes_inline (Bytes.sub code pos (min len 8)) in
+      Buffer.add_string buf
+        (Format.asprintf "%08x  %-23s  %a\n" (base + pos)
+           (if len > 8 then raw ^ " ..." else raw)
+           pp insn))
+    (lines start count []);
+  Buffer.contents buf

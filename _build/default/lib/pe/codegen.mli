@@ -1,0 +1,82 @@
+(** Synthetic x86 (IA-32) code generation for driver .text sections.
+
+    The integrity checker's hard problem is that loaded code embeds absolute
+    virtual addresses, which differ per VM because modules load at different
+    bases.  This module emits a realistic subset of real IA-32 encodings in
+    which some instructions carry 32-bit {e address} operands (subject to
+    base relocation, recorded in the image's .reloc section) while others
+    carry plain immediates or PC-relative displacements (identical across
+    VMs).  A linear-sweep disassembler for the same subset supports the
+    inline-hooking malware (instruction-boundary discovery) and tests. *)
+
+type operand =
+  | Imm of int32  (** Plain immediate; identical across VMs. *)
+  | Addr of int32
+      (** An RVA that the module loader rebases to an absolute virtual
+          address; emitted into the relocation table. *)
+
+type insn =
+  | Nop  (** 90 *)
+  | Ret  (** C3 *)
+  | Int3  (** CC *)
+  | Push_ebp  (** 55 *)
+  | Mov_ebp_esp  (** 8B EC *)
+  | Pop_ebp  (** 5D *)
+  | Leave  (** C9 *)
+  | Dec_ecx  (** 49 — experiment 1 replaces this... *)
+  | Sub_ecx_1  (** 83 E9 01 — ...with this. *)
+  | Inc_eax  (** 40 *)
+  | Xor_eax_eax  (** 33 C0 *)
+  | Test_eax_eax  (** 85 C0 *)
+  | Mov_eax_ebp_disp8 of int  (** 8B 45 ib *)
+  | Jz_rel8 of int  (** 74 rb *)
+  | Jnz_rel8 of int  (** 75 rb *)
+  | Push_imm32 of operand  (** 68 id *)
+  | Mov_eax_imm of operand  (** B8 id *)
+  | Mov_ecx_imm of operand  (** B9 id *)
+  | Mov_eax_moffs of operand  (** A1 id — load from absolute address *)
+  | Mov_moffs_eax of operand  (** A3 id — store to absolute address *)
+  | Call_ind of operand  (** FF 15 id — call through a pointer slot *)
+  | Jmp_ind of operand  (** FF 25 id *)
+  | Call_rel of int  (** E8 cd — PC-relative, stable across VMs *)
+  | Jmp_rel of int  (** E9 cd *)
+  | Cave of int  (** [n] zero bytes of inter-function padding ("opcode
+                      cave"); 00 00 decodes as [add [eax], al], which is why
+                      rootkits use such runs to hide payloads (Fig. 5). *)
+  | Db of int  (** Escape hatch: one literal byte. *)
+
+val encoded_length : insn -> int
+(** [encoded_length i] is the number of bytes [i] assembles to; independent
+    of operand values, which makes two-pass layout trivial. *)
+
+val encode : Mc_util.Bytebuf.t -> relocs:int list ref -> insn -> unit
+(** [encode buf ~relocs i] appends the encoding of [i] to [buf]; offsets (in
+    [buf]) of any 4-byte [Addr] slots are prepended to [relocs]. *)
+
+val assemble : insn list -> Bytes.t * int list
+(** [assemble insns] is the flat encoding plus the sorted offsets of all
+    [Addr] slots relative to the start of the buffer. *)
+
+val decode : Bytes.t -> int -> (insn * int) option
+(** [decode code pos] decodes one instruction at [pos], returning it with
+    its length, or [None] at end of buffer. Unknown opcodes decode as
+    [Db _] of length 1. PC-relative and immediate operands are recovered;
+    [Addr]/[Imm] distinction cannot be recovered from bytes alone, so all
+    32-bit operands decode as [Imm]. *)
+
+val boundaries : Bytes.t -> start:int -> count:int -> (int * insn) list
+(** [boundaries code ~start ~count] linear-sweeps [count] instructions from
+    [start], returning their offsets — used by the inline hooker to find how
+    many whole instructions cover the first 5 bytes of a function. *)
+
+val find_cave : Bytes.t -> min_len:int -> from:int -> int option
+(** [find_cave code ~min_len ~from] is the offset of the first run of at
+    least [min_len] zero bytes at or after [from]. *)
+
+val pp : Format.formatter -> insn -> unit
+(** [pp fmt i] renders an assembly-like mnemonic. *)
+
+val listing : ?base:int -> Bytes.t -> start:int -> count:int -> string
+(** [listing code ~start ~count] renders a debugger-style disassembly of
+    [count] instructions from offset [start]: address (offset plus
+    [base]), raw bytes, mnemonic — one per line. *)

@@ -1,0 +1,120 @@
+module Bytebuf = Mc_util.Bytebuf
+module Le = Mc_util.Le
+
+let directory_size = 40
+
+let build ~module_name ~exports ~edata_rva =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) exports in
+  let n = List.length sorted in
+  let buf = Bytebuf.create () in
+  (* Layout: directory | AddressOfFunctions | AddressOfNames |
+     AddressOfNameOrdinals | module name | export name strings. *)
+  let functions_off = directory_size in
+  let names_off = functions_off + (4 * n) in
+  let ordinals_off = names_off + (4 * n) in
+  let strings_off = ordinals_off + (2 * n) in
+  (* Pre-compute string offsets. *)
+  let module_name_off = strings_off in
+  let name_offsets = ref [] in
+  let cursor = ref (module_name_off + String.length module_name + 1) in
+  List.iter
+    (fun (name, _) ->
+      name_offsets := (name, !cursor) :: !name_offsets;
+      cursor := !cursor + String.length name + 1)
+    sorted;
+  let name_offsets = List.rev !name_offsets in
+  (* IMAGE_EXPORT_DIRECTORY. *)
+  Bytebuf.add_u32 buf 0l (* Characteristics *);
+  Bytebuf.add_u32 buf 0x4F000000l (* TimeDateStamp *);
+  Bytebuf.add_u16 buf 0 (* MajorVersion *);
+  Bytebuf.add_u16 buf 0 (* MinorVersion *);
+  Bytebuf.add_u32_int buf (edata_rva + module_name_off) (* Name *);
+  Bytebuf.add_u32_int buf 1 (* Base (ordinal base) *);
+  Bytebuf.add_u32_int buf n (* NumberOfFunctions *);
+  Bytebuf.add_u32_int buf n (* NumberOfNames *);
+  Bytebuf.add_u32_int buf (edata_rva + functions_off);
+  Bytebuf.add_u32_int buf (edata_rva + names_off);
+  Bytebuf.add_u32_int buf (edata_rva + ordinals_off);
+  (* AddressOfFunctions: export RVAs, indexed by (ordinal - base). Here
+     ordinal i simply maps to sorted entry i. *)
+  List.iter (fun (_, rva) -> Bytebuf.add_u32_int buf rva) sorted;
+  (* AddressOfNames: RVAs of the sorted name strings. *)
+  List.iter
+    (fun (_, off) -> Bytebuf.add_u32_int buf (edata_rva + off))
+    name_offsets;
+  (* AddressOfNameOrdinals: name i → unbiased ordinal i. *)
+  List.iteri (fun i _ -> Bytebuf.add_u16 buf i) sorted;
+  (* Strings. *)
+  Bytebuf.add_string buf module_name;
+  Bytebuf.add_u8 buf 0;
+  List.iter
+    (fun (name, _) ->
+      Bytebuf.add_string buf name;
+      Bytebuf.add_u8 buf 0)
+    sorted;
+  Bytebuf.contents buf
+
+(* Translate an RVA to an offset in [buf] under the requested layout. *)
+let rva_to_off ~layout (image : Types.image) rva =
+  match layout with
+  | Read.Memory -> Some rva
+  | Read.File ->
+      List.find_map
+        (fun ((s : Types.section_header), _) ->
+          if
+            rva >= s.virtual_address
+            && rva < s.virtual_address + max s.virtual_size s.size_of_raw_data
+          then Some (s.pointer_to_raw_data + (rva - s.virtual_address))
+          else None)
+        image.sections
+
+let read_cstring buf off =
+  let n = Bytes.length buf in
+  let rec len i = if i < n && Bytes.get buf i <> '\000' then len (i + 1) else i in
+  if off >= n then None else Some (Bytes.sub_string buf off (len off - off))
+
+let parse ~layout buf (image : Types.image) =
+  let dir = image.optional_header.data_directories.(0) in
+  if dir.dir_size < directory_size then []
+  else
+    match rva_to_off ~layout image dir.dir_rva with
+    | None -> []
+    | Some off ->
+        if off + directory_size > Bytes.length buf then []
+        else begin
+          let u32 o = Le.get_u32_int buf (o) in
+          let n_names = u32 (off + 24) in
+          let functions_rva = u32 (off + 28) in
+          let names_rva = u32 (off + 32) in
+          let ordinals_rva = u32 (off + 36) in
+          match
+            ( rva_to_off ~layout image functions_rva,
+              rva_to_off ~layout image names_rva,
+              rva_to_off ~layout image ordinals_rva )
+          with
+          | Some f_off, Some n_off, Some o_off ->
+              let ok upper = upper <= Bytes.length buf in
+              if
+                not
+                  (ok (n_off + (4 * n_names)) && ok (o_off + (2 * n_names)))
+              then []
+              else
+                List.filter_map
+                  (fun i ->
+                    let name_rva = u32 (n_off + (4 * i)) in
+                    let ordinal = Le.get_u16 buf (o_off + (2 * i)) in
+                    let fn_slot = f_off + (4 * ordinal) in
+                    if fn_slot + 4 > Bytes.length buf then None
+                    else
+                      match rva_to_off ~layout image name_rva with
+                      | None -> None
+                      | Some name_off ->
+                          Option.map
+                            (fun name -> (name, u32 fn_slot))
+                            (read_cstring buf name_off))
+                  (List.init n_names Fun.id)
+          | _ -> []
+        end
+
+let lookup ~layout buf image name =
+  List.assoc_opt name (parse ~layout buf image)

@@ -1,0 +1,31 @@
+(** PE export directories (IMAGE_EXPORT_DIRECTORY) — how a kernel module
+    publishes functions for other modules to import ([ntoskrnl.exe] and
+    [hal.dll] export the APIs every driver links against).
+
+    The builder lays out a complete .edata payload: the 40-byte directory,
+    the address table, the lexicographically sorted name-pointer table,
+    the ordinal table, and the name strings. The parser reads it back from
+    either layout. All fields are RVAs, so the section is
+    position-independent and hash-consistent across VMs. *)
+
+val directory_size : int
+(** Size of the IMAGE_EXPORT_DIRECTORY structure itself (40). *)
+
+val build :
+  module_name:string ->
+  exports:(string * int) list ->
+  edata_rva:int ->
+  Bytes.t
+(** [build ~module_name ~exports ~edata_rva] lays out the section's data,
+    assuming it will be mapped at [edata_rva]. [exports] pairs each
+    exported name with the RVA of its code; names need not be pre-sorted
+    (the name-pointer table is sorted here, as the PE spec requires for
+    binary search). *)
+
+val parse : layout:Read.layout -> Bytes.t -> Types.image -> (string * int) list
+(** [parse ~layout buf image] decodes data directory 0 into
+    (name, function RVA) pairs, in name-table order. Empty when the module
+    exports nothing or the directory is damaged. *)
+
+val lookup : layout:Read.layout -> Bytes.t -> Types.image -> string -> int option
+(** [lookup ~layout buf image name] resolves one export to its RVA. *)

@@ -1,0 +1,37 @@
+let dos_magic = 0x5A4D
+
+let nt_signature = 0x00004550l
+
+let machine_i386 = 0x014C
+
+let pe32_magic = 0x10B
+
+let file_executable_image = 0x0002
+
+let file_32bit_machine = 0x0100
+
+let cnt_code = 0x00000020
+
+let cnt_initialized_data = 0x00000040
+
+let cnt_uninitialized_data = 0x00000080
+
+let mem_discardable = 0x02000000
+
+let mem_execute = 0x20000000
+
+let mem_read = 0x40000000
+
+let mem_write = 0x80000000
+
+let dir_import = 1
+
+let dir_basereloc = 5
+
+let reloc_based_highlow = 3
+
+let reloc_based_absolute = 0
+
+let section_hashable ch =
+  let has f = ch land f <> 0 in
+  has cnt_code || has mem_execute || (has mem_read && not (has mem_write))

@@ -1,0 +1,51 @@
+(** Portable Executable constants: magic numbers, machine types, and
+    section characteristics bits (the IMAGE_SCN_ family). *)
+
+val dos_magic : int
+(** ["MZ"] — 0x5A4D. *)
+
+val nt_signature : int32
+(** ["PE\000\000"] — 0x00004550. *)
+
+val machine_i386 : int
+(** IMAGE_FILE_MACHINE_I386. *)
+
+val pe32_magic : int
+(** IMAGE_NT_OPTIONAL_HDR32_MAGIC — 0x10B. *)
+
+val file_executable_image : int
+
+val file_32bit_machine : int
+
+val cnt_code : int
+(** Section contains executable code. *)
+
+val cnt_initialized_data : int
+
+val cnt_uninitialized_data : int
+
+val mem_discardable : int
+
+val mem_execute : int
+
+val mem_read : int
+
+val mem_write : int
+
+val dir_import : int
+(** Index of the import table in the data directory array. *)
+
+val dir_basereloc : int
+(** Index of the base relocation table in the data directory array. *)
+
+val reloc_based_highlow : int
+(** IMAGE_REL_BASED_HIGHLOW — a 32-bit slot to which the load delta is
+    applied. *)
+
+val reloc_based_absolute : int
+(** IMAGE_REL_BASED_ABSOLUTE — padding entry, skipped by the loader. *)
+
+val section_hashable : int -> bool
+(** [section_hashable characteristics] is true when the section's data must
+    be integrity-checked: executable code, or read-only non-writable data
+    (the paper hashes "headers and read-only executable contents"). *)

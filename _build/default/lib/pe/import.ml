@@ -1,0 +1,173 @@
+module Bytebuf = Mc_util.Bytebuf
+module Le = Mc_util.Le
+
+type built = {
+  blob : Bytes.t;
+  descriptors_off : int;
+  descriptors_size : int;
+  iat_size : int;
+  slots : (string * string * int * int) list;
+}
+
+let descriptor_size = 20
+
+let group_by_dll imports =
+  List.fold_left
+    (fun acc (dll, symbol) ->
+      match List.assoc_opt dll acc with
+      | Some syms -> (dll, symbol :: syms) :: List.remove_assoc dll acc
+      | None -> (dll, [ symbol ]) :: acc)
+    [] imports
+  |> List.rev_map (fun (dll, syms) -> (dll, List.rev syms))
+  |> List.rev
+
+let build ~imports ~blob_rva ~iat_rva =
+  let groups = group_by_dll imports in
+  let buf = Bytebuf.create () in
+  (* 1. Hint/name entries. *)
+  let hint_name_rvas = Hashtbl.create 8 in
+  List.iter
+    (fun (dll, symbol) ->
+      if not (Hashtbl.mem hint_name_rvas (dll, symbol)) then begin
+        Bytebuf.align_to buf 2 0;
+        Hashtbl.replace hint_name_rvas (dll, symbol)
+          (blob_rva + Bytebuf.length buf);
+        Bytebuf.add_u16 buf 0 (* hint *);
+        Bytebuf.add_string buf symbol;
+        Bytebuf.add_u8 buf 0
+      end)
+    imports;
+  (* 2. DLL name strings. *)
+  let dll_name_rvas = Hashtbl.create 4 in
+  List.iter
+    (fun (dll, _) ->
+      if not (Hashtbl.mem dll_name_rvas dll) then begin
+        Hashtbl.replace dll_name_rvas dll (blob_rva + Bytebuf.length buf);
+        Bytebuf.add_string buf dll;
+        Bytebuf.add_u8 buf 0
+      end)
+    groups;
+  (* 3. Per-dll import lookup tables (hint/name RVAs + terminator), and the
+     parallel IAT slot layout at iat_rva. *)
+  Bytebuf.align_to buf 4 0;
+  let iat_cursor = ref 0 in
+  let slots = ref [] in
+  let ilt_rvas =
+    List.map
+      (fun (dll, symbols) ->
+        let ilt_rva = blob_rva + Bytebuf.length buf in
+        List.iter
+          (fun symbol ->
+            let hn = Hashtbl.find hint_name_rvas (dll, symbol) in
+            Bytebuf.add_u32_int buf hn;
+            slots := (dll, symbol, !iat_cursor, hn) :: !slots;
+            iat_cursor := !iat_cursor + 4)
+          symbols;
+        Bytebuf.add_u32_int buf 0 (* ILT terminator *);
+        iat_cursor := !iat_cursor + 4 (* matching IAT terminator slot *);
+        (dll, ilt_rva))
+      groups
+  in
+  (* 4. Descriptor array + null terminator. *)
+  Bytebuf.align_to buf 4 0;
+  let descriptors_off = Bytebuf.length buf in
+  let iat_group_starts =
+    (* Recompute each group's IAT start: groups laid out consecutively. *)
+    let rec starts acc cursor = function
+      | [] -> List.rev acc
+      | (dll, symbols) :: rest ->
+          starts ((dll, cursor) :: acc)
+            (cursor + (4 * (List.length symbols + 1)))
+            rest
+    in
+    starts [] 0 groups
+  in
+  List.iter
+    (fun (dll, _) ->
+      let ilt_rva = List.assoc dll ilt_rvas in
+      let iat_off = List.assoc dll iat_group_starts in
+      Bytebuf.add_u32_int buf ilt_rva (* OriginalFirstThunk *);
+      Bytebuf.add_u32 buf 0l (* TimeDateStamp *);
+      Bytebuf.add_u32 buf 0l (* ForwarderChain *);
+      Bytebuf.add_u32_int buf (Hashtbl.find dll_name_rvas dll);
+      Bytebuf.add_u32_int buf (iat_rva + iat_off) (* FirstThunk *))
+    groups;
+  Bytebuf.add_fill buf descriptor_size 0 (* terminator *);
+  {
+    blob = Bytebuf.contents buf;
+    descriptors_off;
+    descriptors_size = (List.length groups + 1) * descriptor_size;
+    iat_size = !iat_cursor;
+    slots = List.rev !slots;
+  }
+
+type entry = { imp_dll : string; imp_symbol : string; imp_iat_rva : int }
+
+let rva_to_off ~layout (image : Types.image) rva =
+  match layout with
+  | Read.Memory -> Some rva
+  | Read.File ->
+      List.find_map
+        (fun ((s : Types.section_header), _) ->
+          if
+            rva >= s.virtual_address
+            && rva < s.virtual_address + max s.virtual_size s.size_of_raw_data
+          then Some (s.pointer_to_raw_data + (rva - s.virtual_address))
+          else None)
+        image.sections
+
+let read_cstring buf off =
+  let n = Bytes.length buf in
+  if off < 0 || off >= n then None
+  else begin
+    let rec len i = if i < n && Bytes.get buf i <> '\000' then len (i + 1) else i in
+    Some (Bytes.sub_string buf off (len off - off))
+  end
+
+let parse ~layout buf (image : Types.image) =
+  let dir = image.optional_header.data_directories.(Flags.dir_import) in
+  if dir.dir_size < descriptor_size then []
+  else
+    match rva_to_off ~layout image dir.dir_rva with
+    | None -> []
+    | Some desc_off ->
+        let u32 o =
+          if o + 4 <= Bytes.length buf then Some (Le.get_u32_int buf o) else None
+        in
+        let rec descriptors i acc =
+          let off = desc_off + (i * descriptor_size) in
+          match (u32 off, u32 (off + 12), u32 (off + 16)) with
+          | Some ilt_rva, Some name_rva, Some iat_rva
+            when ilt_rva <> 0 || name_rva <> 0 ->
+              let dll =
+                Option.bind (rva_to_off ~layout image name_rva) (read_cstring buf)
+              in
+              let entries =
+                match (dll, rva_to_off ~layout image ilt_rva) with
+                | Some dll, Some ilt_off ->
+                    let rec walk k acc =
+                      match u32 (ilt_off + (4 * k)) with
+                      | Some hn when hn <> 0 -> (
+                          match
+                            Option.bind
+                              (rva_to_off ~layout image hn)
+                              (fun o -> read_cstring buf (o + 2))
+                          with
+                          | Some symbol ->
+                              walk (k + 1)
+                                ({
+                                   imp_dll = dll;
+                                   imp_symbol = symbol;
+                                   imp_iat_rva = iat_rva + (4 * k);
+                                 }
+                                :: acc)
+                          | None -> List.rev acc)
+                      | _ -> List.rev acc
+                    in
+                    walk 0 []
+                | _ -> []
+              in
+              descriptors (i + 1) (acc @ entries)
+          | _ -> acc
+        in
+        descriptors 0 []

@@ -1,0 +1,36 @@
+(** PE import tables — how a driver names the [ntoskrnl.exe]/[hal.dll]
+    APIs it calls.
+
+    Layout follows Windows conventions that matter to the integrity
+    checker: the descriptors, lookup table (ILT) and hint/name strings are
+    read-only data (all RVAs — hash-consistent across VMs), while the
+    address table (IAT) that the loader overwrites with resolved absolute
+    addresses lives in {e writable} .data — precisely why ModChecker can
+    hash read-only content and still survive import binding (DESIGN.md,
+    X1b). *)
+
+type built = {
+  blob : Bytes.t;
+      (** The read-only payload (hint/names, dll names, ILTs, descriptor
+          array) to place at [blob_rva] inside .rdata. *)
+  descriptors_off : int;  (** Offset of IMAGE_IMPORT_DESCRIPTOR[0] in blob. *)
+  descriptors_size : int;  (** Directory size (includes null terminator). *)
+  iat_size : int;  (** Bytes the IAT occupies at [iat_rva]. *)
+  slots : (string * string * int * int) list;
+      (** Per import, in input order:
+          (dll, symbol, IAT slot offset from [iat_rva], initial slot value
+          — the hint/name RVA, as linkers emit). *)
+}
+
+val build : imports:(string * string) list -> blob_rva:int -> iat_rva:int -> built
+(** [build ~imports ~blob_rva ~iat_rva] lays out tables for
+    (dll, symbol) pairs; imports are grouped by dll, each group's ILT/IAT
+    getting a null terminator. *)
+
+type entry = { imp_dll : string; imp_symbol : string; imp_iat_rva : int }
+
+val parse : layout:Read.layout -> Bytes.t -> Types.image -> entry list
+(** [parse ~layout buf image] walks data directory 1's descriptors and
+    each one's lookup table, yielding every imported symbol with the RVA
+    of its IAT slot — what the loader needs in order to bind. Damaged
+    tables yield the prefix that parsed. *)

@@ -1,0 +1,242 @@
+module Le = Mc_util.Le
+
+type layout = File | Memory
+
+type error =
+  | Truncated of string
+  | Bad_dos_magic of int
+  | Bad_nt_signature of int32
+  | Bad_optional_magic of int
+  | Bad_section of string
+
+let error_to_string = function
+  | Truncated what -> Printf.sprintf "truncated image: %s" what
+  | Bad_dos_magic m -> Printf.sprintf "bad DOS magic 0x%04x (want \"MZ\")" m
+  | Bad_nt_signature s ->
+      Printf.sprintf "bad NT signature %s (want \"PE\")" (Le.string_of_u32 s)
+  | Bad_optional_magic m ->
+      Printf.sprintf "bad optional header magic 0x%04x (want PE32 0x10b)" m
+  | Bad_section name -> Printf.sprintf "section %s out of bounds" name
+
+let ( let* ) = Result.bind
+
+let need buf off len what =
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    Error (Truncated what)
+  else Ok ()
+
+let parse_file_header buf off =
+  let* () = need buf off Types.file_header_size "IMAGE_FILE_HEADER" in
+  Ok
+    Types.
+      {
+        machine = Le.get_u16 buf off;
+        number_of_sections = Le.get_u16 buf (off + 2);
+        time_date_stamp = Le.get_u32 buf (off + 4);
+        pointer_to_symbol_table = Le.get_u32 buf (off + 8);
+        number_of_symbols = Le.get_u32_int buf (off + 12);
+        size_of_optional_header = Le.get_u16 buf (off + 16);
+        characteristics = Le.get_u16 buf (off + 18);
+      }
+
+let parse_optional_header buf off =
+  let* () = need buf off Types.optional_header_size "IMAGE_OPTIONAL_HEADER" in
+  let magic = Le.get_u16 buf off in
+  if magic <> Flags.pe32_magic then Error (Bad_optional_magic magic)
+  else begin
+    let u8 o = Le.get_u8 buf (off + o) in
+    let u16 o = Le.get_u16 buf (off + o) in
+    let u32 o = Le.get_u32 buf (off + o) in
+    let u32i o = Le.get_u32_int buf (off + o) in
+    let count = u32i 92 in
+    let data_directories =
+      Array.init 16 (fun i ->
+          if i < count then
+            Types.{ dir_rva = u32i (96 + (i * 8)); dir_size = u32i (100 + (i * 8)) }
+          else Types.{ dir_rva = 0; dir_size = 0 })
+    in
+    Ok
+      Types.
+        {
+          magic;
+          major_linker_version = u8 2;
+          minor_linker_version = u8 3;
+          size_of_code = u32i 4;
+          size_of_initialized_data = u32i 8;
+          size_of_uninitialized_data = u32i 12;
+          address_of_entry_point = u32i 16;
+          base_of_code = u32i 20;
+          base_of_data = u32i 24;
+          image_base = u32i 28;
+          section_alignment = u32i 32;
+          file_alignment = u32i 36;
+          major_os_version = u16 40;
+          minor_os_version = u16 42;
+          major_image_version = u16 44;
+          minor_image_version = u16 46;
+          major_subsystem_version = u16 48;
+          minor_subsystem_version = u16 50;
+          win32_version_value = u32 52;
+          size_of_image = u32i 56;
+          size_of_headers = u32i 60;
+          checksum = u32 64;
+          subsystem = u16 68;
+          dll_characteristics = u16 70;
+          size_of_stack_reserve = u32 72;
+          size_of_stack_commit = u32 76;
+          size_of_heap_reserve = u32 80;
+          size_of_heap_commit = u32 84;
+          loader_flags = u32 88;
+          number_of_rva_and_sizes = count;
+          data_directories;
+        }
+  end
+
+let parse_section_header buf off =
+  let* () = need buf off Types.section_header_size "IMAGE_SECTION_HEADER" in
+  let raw_name = Bytes.sub_string buf off 8 in
+  let sec_name =
+    match String.index_opt raw_name '\000' with
+    | Some i -> String.sub raw_name 0 i
+    | None -> raw_name
+  in
+  let u32i o = Le.get_u32_int buf (off + o) in
+  let u16 o = Le.get_u16 buf (off + o) in
+  Ok
+    Types.
+      {
+        sec_name;
+        virtual_size = u32i 8;
+        virtual_address = u32i 12;
+        size_of_raw_data = u32i 16;
+        pointer_to_raw_data = u32i 20;
+        pointer_to_relocations = u32i 24;
+        pointer_to_linenumbers = u32i 28;
+        number_of_relocations = u16 32;
+        number_of_linenumbers = u16 34;
+        sec_characteristics = u32i 36;
+      }
+
+let section_data ~layout buf (sec : Types.section_header) =
+  let off, len =
+    match layout with
+    | Memory -> (sec.virtual_address, sec.virtual_size)
+    | File -> (sec.pointer_to_raw_data, sec.size_of_raw_data)
+  in
+  let* () =
+    if off < 0 || len < 0 || off + len > Bytes.length buf then
+      Error (Bad_section sec.sec_name)
+    else Ok ()
+  in
+  Ok (Bytes.sub buf off len)
+
+(* Algorithm 1: verify the DOS magic, follow e_lfanew to the NT header,
+   verify the PE signature, decode the FILE and OPTIONAL headers, then walk
+   NumberOfSections section headers and copy out each section's data. *)
+let parse ~layout buf =
+  let* () = need buf 0 Types.dos_header_size "IMAGE_DOS_HEADER" in
+  let magic = Le.get_u16 buf 0 in
+  let* () = if magic <> Flags.dos_magic then Error (Bad_dos_magic magic) else Ok () in
+  let e_lfanew = Le.get_u32_int buf Types.e_lfanew_offset in
+  let* () = need buf e_lfanew 4 "IMAGE_NT_HEADER signature" in
+  let signature = Le.get_u32 buf e_lfanew in
+  let* () =
+    if signature <> Flags.nt_signature then Error (Bad_nt_signature signature)
+    else Ok ()
+  in
+  let* file_header = parse_file_header buf (e_lfanew + 4) in
+  let optional_off = e_lfanew + 4 + Types.file_header_size in
+  let* optional_header = parse_optional_header buf optional_off in
+  let sections_off = optional_off + file_header.size_of_optional_header in
+  let rec walk i acc =
+    if i = file_header.number_of_sections then Ok (List.rev acc)
+    else
+      let off = sections_off + (i * Types.section_header_size) in
+      let* sec = parse_section_header buf off in
+      let* data = section_data ~layout buf sec in
+      walk (i + 1) ((sec, data) :: acc)
+  in
+  let* sections = walk 0 [] in
+  let nt_size =
+    4 + Types.file_header_size + file_header.size_of_optional_header
+  in
+  let* () = need buf e_lfanew nt_size "IMAGE_NT_HEADERS" in
+  let section_headers_raw =
+    List.mapi
+      (fun i _ ->
+        Bytes.sub buf
+          (sections_off + (i * Types.section_header_size))
+          Types.section_header_size)
+      sections
+  in
+  Ok
+    Types.
+      {
+        dos_header = Bytes.sub buf 0 e_lfanew;
+        e_lfanew;
+        file_header;
+        optional_header;
+        nt_header_raw = Bytes.sub buf e_lfanew nt_size;
+        file_header_raw = Bytes.sub buf (e_lfanew + 4) Types.file_header_size;
+        optional_header_raw =
+          Bytes.sub buf optional_off file_header.size_of_optional_header;
+        sections;
+        section_headers_raw;
+      }
+
+let find_section (image : Types.image) name =
+  List.find_opt (fun ((s : Types.section_header), _) -> s.sec_name = name)
+    image.sections
+
+let base_relocations ~layout buf (image : Types.image) =
+  let dir = image.optional_header.data_directories.(Flags.dir_basereloc) in
+  if dir.dir_size = 0 then []
+  else begin
+    (* Locate the directory's bytes under the requested layout. *)
+    let locate rva =
+      match layout with
+      | Memory -> Some rva
+      | File ->
+          List.find_map
+            (fun ((s : Types.section_header), _) ->
+              if rva >= s.virtual_address
+                 && rva < s.virtual_address + max s.virtual_size s.size_of_raw_data
+              then Some (s.pointer_to_raw_data + (rva - s.virtual_address))
+              else None)
+            image.sections
+    in
+    match locate dir.dir_rva with
+    | None -> []
+    | Some off ->
+        let stop = off + dir.dir_size in
+        let rec blocks off acc =
+          if off + 8 > stop || off + 8 > Bytes.length buf then List.rev acc
+          else begin
+            let page = Le.get_u32_int buf off in
+            let size = Le.get_u32_int buf (off + 4) in
+            if size < 8 || off + size > Bytes.length buf then List.rev acc
+            else begin
+              let entries = (size - 8) / 2 in
+              let slots = ref acc in
+              for i = 0 to entries - 1 do
+                let entry = Le.get_u16 buf (off + 8 + (i * 2)) in
+                let typ = entry lsr 12 in
+                if typ = Flags.reloc_based_highlow then
+                  slots := (page + (entry land 0xFFF)) :: !slots
+              done;
+              blocks (off + size) !slots
+            end
+          end
+        in
+        List.sort compare (blocks off [])
+  end
+
+let checksum_offset (image : Types.image) =
+  image.e_lfanew + 4 + Types.file_header_size + 64
+
+let verify_checksum file =
+  let* image = parse ~layout:File file in
+  let off = checksum_offset image in
+  let stored = image.optional_header.checksum in
+  let computed = Checksum.compute file ~checksum_offset:off in
+  Ok (Int32.equal stored computed)

@@ -1,0 +1,41 @@
+(** PE32 parser — the paper's Algorithm 1 ("Extracting headers and section
+    data from kernel module") plus structured decoding of every header
+    field.
+
+    The same parser handles both layouts a module exists in:
+    - [File]: section data at [PointerToRawData] (as stored on the guest
+      disk);
+    - [Memory]: section data at [VirtualAddress] within a buffer of
+      [SizeOfImage] bytes (as copied out of guest memory by
+      Module-Searcher). *)
+
+type layout = File | Memory
+
+type error =
+  | Truncated of string  (** Buffer too small for the named structure. *)
+  | Bad_dos_magic of int  (** First two bytes are not ["MZ"]. *)
+  | Bad_nt_signature of int32  (** Four bytes at [e_lfanew] are not ["PE"]. *)
+  | Bad_optional_magic of int  (** Not a PE32 optional header. *)
+  | Bad_section of string  (** A section's data range is out of bounds. *)
+
+val error_to_string : error -> string
+
+val parse : layout:layout -> Bytes.t -> (Types.image, error) result
+(** [parse ~layout buf] decodes the module. Raw slices in the result are
+    copies; [buf] is not retained. *)
+
+val base_relocations : layout:layout -> Bytes.t -> Types.image -> int list
+(** [base_relocations ~layout buf image] decodes the base relocation table
+    (data directory 5) from [buf], returning the RVAs of all HIGHLOW slots
+    in ascending order; empty when the image carries no relocations. *)
+
+val find_section : Types.image -> string -> (Types.section_header * Bytes.t) option
+(** [find_section image name] looks a section up by exact name. *)
+
+val checksum_offset : Types.image -> int
+(** [checksum_offset image] is the file offset of the OPTIONAL header's
+    CheckSum field — needed to re-forge the checksum after patching. *)
+
+val verify_checksum : Bytes.t -> (bool, error) result
+(** [verify_checksum file] recomputes the PE checksum of a file-layout image
+    and compares it with the stored field. *)

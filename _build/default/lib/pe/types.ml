@@ -1,0 +1,94 @@
+type file_header = {
+  machine : int;
+  number_of_sections : int;
+  time_date_stamp : int32;
+  pointer_to_symbol_table : int32;
+  number_of_symbols : int;
+  size_of_optional_header : int;
+  characteristics : int;
+}
+
+type data_directory = { dir_rva : int; dir_size : int }
+
+type optional_header = {
+  magic : int;
+  major_linker_version : int;
+  minor_linker_version : int;
+  size_of_code : int;
+  size_of_initialized_data : int;
+  size_of_uninitialized_data : int;
+  address_of_entry_point : int;
+  base_of_code : int;
+  base_of_data : int;
+  image_base : int;
+  section_alignment : int;
+  file_alignment : int;
+  major_os_version : int;
+  minor_os_version : int;
+  major_image_version : int;
+  minor_image_version : int;
+  major_subsystem_version : int;
+  minor_subsystem_version : int;
+  win32_version_value : int32;
+  size_of_image : int;
+  size_of_headers : int;
+  checksum : int32;
+  subsystem : int;
+  dll_characteristics : int;
+  size_of_stack_reserve : int32;
+  size_of_stack_commit : int32;
+  size_of_heap_reserve : int32;
+  size_of_heap_commit : int32;
+  loader_flags : int32;
+  number_of_rva_and_sizes : int;
+  data_directories : data_directory array;
+}
+
+type section_header = {
+  sec_name : string;
+  virtual_size : int;
+  virtual_address : int;
+  size_of_raw_data : int;
+  pointer_to_raw_data : int;
+  pointer_to_relocations : int;
+  pointer_to_linenumbers : int;
+  number_of_relocations : int;
+  number_of_linenumbers : int;
+  sec_characteristics : int;
+}
+
+type image = {
+  dos_header : Bytes.t;
+  e_lfanew : int;
+  file_header : file_header;
+  optional_header : optional_header;
+  nt_header_raw : Bytes.t;
+  file_header_raw : Bytes.t;
+  optional_header_raw : Bytes.t;
+  sections : (section_header * Bytes.t) list;
+  section_headers_raw : Bytes.t list;
+}
+
+let file_header_size = 20
+
+let optional_header_size = 96 + (16 * 8)
+
+let section_header_size = 40
+
+let dos_header_size = 64
+
+let e_lfanew_offset = 0x3C
+
+let section_flags_string ch =
+  let has f = ch land f <> 0 in
+  Printf.sprintf "%c%c%c%s"
+    (if has Flags.mem_read then 'r' else '-')
+    (if has Flags.mem_write then 'w' else '-')
+    (if has Flags.mem_execute then 'x' else '-')
+    (if has Flags.cnt_code then " code" else "")
+
+let pp_section_header fmt s =
+  Format.fprintf fmt "%-8s rva=0x%05x vsize=0x%05x raw=0x%05x@0x%05x %s"
+    s.sec_name s.virtual_address s.virtual_size s.size_of_raw_data
+    s.pointer_to_raw_data
+    (section_flags_string s.sec_characteristics)

@@ -1,0 +1,105 @@
+(** PE32 header records (Fig. 3 of the paper).
+
+    Field names follow the Microsoft structure members
+    ([IMAGE_FILE_HEADER.NumberOfSections] → [number_of_sections]) so the
+    correspondence with the paper's Algorithm 1 is direct. *)
+
+type file_header = {
+  machine : int;
+  number_of_sections : int;
+  time_date_stamp : int32;
+  pointer_to_symbol_table : int32;
+  number_of_symbols : int;
+  size_of_optional_header : int;
+  characteristics : int;
+}
+(** IMAGE_FILE_HEADER — 20 bytes on disk. *)
+
+type data_directory = { dir_rva : int; dir_size : int }
+(** One IMAGE_DATA_DIRECTORY entry (8 bytes). *)
+
+type optional_header = {
+  magic : int;
+  major_linker_version : int;
+  minor_linker_version : int;
+  size_of_code : int;
+  size_of_initialized_data : int;
+  size_of_uninitialized_data : int;
+  address_of_entry_point : int;  (** RVA of the entry point. *)
+  base_of_code : int;
+  base_of_data : int;
+  image_base : int;  (** Preferred load address (informational here). *)
+  section_alignment : int;
+  file_alignment : int;
+  major_os_version : int;
+  minor_os_version : int;
+  major_image_version : int;
+  minor_image_version : int;
+  major_subsystem_version : int;
+  minor_subsystem_version : int;
+  win32_version_value : int32;
+  size_of_image : int;  (** Whole in-memory span, section-aligned. *)
+  size_of_headers : int;
+  checksum : int32;
+  subsystem : int;
+  dll_characteristics : int;
+  size_of_stack_reserve : int32;
+  size_of_stack_commit : int32;
+  size_of_heap_reserve : int32;
+  size_of_heap_commit : int32;
+  loader_flags : int32;
+  number_of_rva_and_sizes : int;
+  data_directories : data_directory array;  (** Always 16 entries. *)
+}
+(** IMAGE_OPTIONAL_HEADER32 — 96 + 16*8 = 224 bytes on disk. *)
+
+type section_header = {
+  sec_name : string;  (** At most 8 bytes, NUL-padded on disk. *)
+  virtual_size : int;
+  virtual_address : int;  (** RVA of the section data in memory. *)
+  size_of_raw_data : int;
+  pointer_to_raw_data : int;  (** File offset of the section data. *)
+  pointer_to_relocations : int;
+  pointer_to_linenumbers : int;
+  number_of_relocations : int;
+  number_of_linenumbers : int;
+  sec_characteristics : int;
+}
+(** IMAGE_SECTION_HEADER — 40 bytes on disk. *)
+
+type image = {
+  dos_header : Bytes.t;
+      (** Raw bytes [0, e_lfanew): the 64-byte IMAGE_DOS_HEADER plus the DOS
+          stub program. The paper's experiment 3 patches the stub and the
+          detector must flag exactly this artifact, so stub and header are
+          one unit here, as in the paper. *)
+  e_lfanew : int;
+  file_header : file_header;
+  optional_header : optional_header;
+  nt_header_raw : Bytes.t;
+      (** Raw signature + FILE + OPTIONAL bytes, hashed as one blob. *)
+  file_header_raw : Bytes.t;
+  optional_header_raw : Bytes.t;
+  sections : (section_header * Bytes.t) list;
+      (** Headers in table order, paired with their raw section data. *)
+  section_headers_raw : Bytes.t list;
+}
+(** A fully parsed module with both decoded fields and the raw byte slices
+    the Integrity-Checker hashes. *)
+
+val file_header_size : int
+
+val optional_header_size : int
+
+val section_header_size : int
+
+val dos_header_size : int
+(** Size of the fixed IMAGE_DOS_HEADER (64), excluding the stub. *)
+
+val e_lfanew_offset : int
+(** Offset of the [e_lfanew] field inside the DOS header (0x3C). *)
+
+val section_flags_string : int -> string
+(** [section_flags_string ch] renders characteristics like ["r-x code"]. *)
+
+val pp_section_header : Format.formatter -> section_header -> unit

@@ -1,0 +1,1 @@
+lib/util/bytebuf.ml: Bytes Char Le Printf String

@@ -1,0 +1,1 @@
+lib/util/bytebuf.mli: Bytes

@@ -1,0 +1,1 @@
+lib/util/hexdump.ml: Array Buffer Bytes Char List Printf String

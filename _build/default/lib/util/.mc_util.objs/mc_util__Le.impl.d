@@ -1,0 +1,1 @@
+lib/util/le.ml: Bytes Char Int32 Printf

@@ -1,0 +1,86 @@
+type t = { mutable data : Bytes.t; mutable len : int }
+
+let create ?(capacity = 256) () =
+  { data = Bytes.make (max capacity 16) '\000'; len = 0 }
+
+let length t = t.len
+
+let ensure t extra =
+  let needed = t.len + extra in
+  if needed > Bytes.length t.data then begin
+    let capacity = ref (Bytes.length t.data) in
+    while !capacity < needed do
+      capacity := !capacity * 2
+    done;
+    let data = Bytes.make !capacity '\000' in
+    Bytes.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let add_u8 t v =
+  ensure t 1;
+  Bytes.set t.data t.len (Char.chr (v land 0xFF));
+  t.len <- t.len + 1
+
+let add_u16 t v =
+  ensure t 2;
+  Bytes.set_uint16_le t.data t.len (v land 0xFFFF);
+  t.len <- t.len + 2
+
+let add_u32 t v =
+  ensure t 4;
+  Bytes.set_int32_le t.data t.len v;
+  t.len <- t.len + 4
+
+let add_u32_int t v = add_u32 t (Le.u32_of_int v)
+
+let add_bytes t b =
+  let n = Bytes.length b in
+  ensure t n;
+  Bytes.blit b 0 t.data t.len n;
+  t.len <- t.len + n
+
+let add_string t s =
+  let n = String.length s in
+  ensure t n;
+  Bytes.blit_string s 0 t.data t.len n;
+  t.len <- t.len + n
+
+let add_fill t n v =
+  ensure t n;
+  Bytes.fill t.data t.len n (Char.chr (v land 0xFF));
+  t.len <- t.len + n
+
+let pad_to t target v = if t.len < target then add_fill t (target - t.len) v
+
+let align_to t alignment v =
+  assert (alignment > 0);
+  let rem = t.len mod alignment in
+  if rem <> 0 then add_fill t (alignment - rem) v
+
+let check_patch t off n =
+  if off < 0 || off + n > t.len then
+    invalid_arg
+      (Printf.sprintf "Bytebuf.patch: offset %d+%d out of range (len %d)" off n
+         t.len)
+
+let patch_u16 t off v =
+  check_patch t off 2;
+  Bytes.set_uint16_le t.data off (v land 0xFFFF)
+
+let patch_u32 t off v =
+  check_patch t off 4;
+  Bytes.set_int32_le t.data off v
+
+let patch_u32_int t off v = patch_u32 t off (Le.u32_of_int v)
+
+let get_u8 t off =
+  check_patch t off 1;
+  Char.code (Bytes.get t.data off)
+
+let contents t = Bytes.sub t.data 0 t.len
+
+let sub t off len =
+  if off < 0 || len < 0 || off + len > t.len then
+    invalid_arg "Bytebuf.sub: out of range";
+  Bytes.sub t.data off len

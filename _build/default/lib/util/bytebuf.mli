@@ -1,0 +1,50 @@
+(** Growable byte buffer with little-endian appenders and patching.
+
+    Used by the PE writer and the synthetic assembler: content is appended
+    front to back, and already-emitted slots (relocation targets, header
+    fields fixed up late) can be patched in place. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [create ()] makes an empty buffer. *)
+
+val length : t -> int
+(** [length t] is the number of bytes appended so far. *)
+
+val add_u8 : t -> int -> unit
+
+val add_u16 : t -> int -> unit
+
+val add_u32 : t -> int32 -> unit
+
+val add_u32_int : t -> int -> unit
+
+val add_bytes : t -> Bytes.t -> unit
+
+val add_string : t -> string -> unit
+
+val add_fill : t -> int -> int -> unit
+(** [add_fill t n v] appends [n] copies of byte [v]. *)
+
+val pad_to : t -> int -> int -> unit
+(** [pad_to t len v] appends byte [v] until [length t >= len]. *)
+
+val align_to : t -> int -> int -> unit
+(** [align_to t alignment v] pads with byte [v] to the next multiple of
+    [alignment]. *)
+
+val patch_u16 : t -> int -> int -> unit
+(** [patch_u16 t off v] overwrites two already-emitted bytes at [off]. *)
+
+val patch_u32 : t -> int -> int32 -> unit
+
+val patch_u32_int : t -> int -> int -> unit
+
+val get_u8 : t -> int -> int
+
+val contents : t -> Bytes.t
+(** [contents t] is a fresh copy of the accumulated bytes. *)
+
+val sub : t -> int -> int -> Bytes.t
+(** [sub t off len] copies a slice of the accumulated bytes. *)

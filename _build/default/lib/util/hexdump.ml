@@ -1,0 +1,84 @@
+let byte v = Printf.sprintf "%02X" (v land 0xFF)
+
+let bytes_inline ?(sep = " ") b =
+  String.concat sep
+    (List.init (Bytes.length b) (fun i -> byte (Char.code (Bytes.get b i))))
+
+let printable c = if c >= ' ' && c <= '~' then c else '.'
+
+let row_hex b off width marked =
+  let cell i =
+    let pos = off + i in
+    if pos >= Bytes.length b then "  "
+    else
+      let s = byte (Char.code (Bytes.get b pos)) in
+      if marked pos then s else s
+  in
+  String.concat " " (List.init width cell)
+
+let row_ascii b off width =
+  String.init width (fun i ->
+      let pos = off + i in
+      if pos >= Bytes.length b then ' ' else printable (Bytes.get b pos))
+
+let dump ?(base = 0) ?(width = 16) b =
+  let buf = Buffer.create 256 in
+  let n = Bytes.length b in
+  let rows = (n + width - 1) / width in
+  for r = 0 to rows - 1 do
+    let off = r * width in
+    Buffer.add_string buf
+      (Printf.sprintf "%08x  %-*s  |%s|\n" (base + off) ((width * 3) - 1)
+         (row_hex b off width (fun _ -> false))
+         (row_ascii b off width))
+  done;
+  Buffer.contents buf
+
+let diff ?(base = 0) ?(width = 16) ?(context = 1) a b =
+  let n = max (Bytes.length a) (Bytes.length b) in
+  let differs pos =
+    pos >= Bytes.length a || pos >= Bytes.length b
+    || Bytes.get a pos <> Bytes.get b pos
+  in
+  let rows = (n + width - 1) / width in
+  let row_has_diff r =
+    let off = r * width in
+    let rec scan i =
+      i < width && off + i < n && (differs (off + i) || scan (i + 1))
+    in
+    scan 0
+  in
+  let keep = Array.init rows (fun r ->
+      let lo = max 0 (r - context) and hi = min (rows - 1) (r + context) in
+      let rec any r' = r' <= hi && (row_has_diff r' || any (r' + 1)) in
+      any lo)
+  in
+  let buf = Buffer.create 256 in
+  let marks off =
+    String.concat " "
+      (List.init width (fun i ->
+           if off + i < n && differs (off + i) then "^^" else "  "))
+  in
+  let elided = ref false in
+  for r = 0 to rows - 1 do
+    if keep.(r) then begin
+      elided := false;
+      let off = r * width in
+      Buffer.add_string buf
+        (Printf.sprintf "%08x A %-*s |%s|\n" (base + off) ((width * 3) - 1)
+           (row_hex a off width (fun _ -> false))
+           (row_ascii a off width));
+      Buffer.add_string buf
+        (Printf.sprintf "%08x B %-*s |%s|\n" (base + off) ((width * 3) - 1)
+           (row_hex b off width (fun _ -> false))
+           (row_ascii b off width));
+      if row_has_diff r then
+        Buffer.add_string buf
+          (Printf.sprintf "%10s %-*s\n" "" ((width * 3) - 1) (marks off))
+    end
+    else if not !elided then begin
+      elided := true;
+      Buffer.add_string buf "  ...\n"
+    end
+  done;
+  Buffer.contents buf

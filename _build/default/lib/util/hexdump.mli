@@ -1,0 +1,22 @@
+(** Hex rendering of byte buffers, in the style of a debugger memory pane.
+
+    Used by examples and the CLI to display the Fig. 4/5/6-style before/after
+    views of patched module bytes. *)
+
+val byte : int -> string
+(** [byte v] renders one byte as two uppercase hex digits. *)
+
+val bytes_inline : ?sep:string -> Bytes.t -> string
+(** [bytes_inline b] renders all bytes separated by [sep] (default a space),
+    e.g. ["49 8B EC"]. *)
+
+val dump : ?base:int -> ?width:int -> Bytes.t -> string
+(** [dump ~base b] renders a classic offset/hex/ASCII dump; [base] offsets the
+    displayed addresses (default 0), [width] is bytes per row (default 16). *)
+
+val diff :
+  ?base:int -> ?width:int -> ?context:int -> Bytes.t -> Bytes.t -> string
+(** [diff a b] renders rows of [a] and [b] around byte positions where they
+    differ, marking differing columns; equal regions beyond [context] rows
+    (default 1) are elided. Buffers may have different lengths; the tail of
+    the longer one counts as differing. *)

@@ -1,0 +1,20 @@
+(** A minimal JSON emitter (no external dependency), for machine-readable
+    reports consumed by ops pipelines. Emission only — the tools never
+    parse JSON. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** [to_string v] is compact single-line JSON. Strings are escaped per RFC
+    8259 (quotes, backslashes, control characters); non-finite floats emit
+    as [null]. *)
+
+val to_string_pretty : t -> string
+(** [to_string_pretty v] is the two-space-indented rendering. *)

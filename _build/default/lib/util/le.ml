@@ -1,0 +1,21 @@
+let get_u8 b off = Char.code (Bytes.get b off)
+
+let get_u16 b off = Bytes.get_uint16_le b off
+
+let get_u32 b off = Bytes.get_int32_le b off
+
+let int_of_u32 v = Int32.to_int v land 0xFFFF_FFFF
+
+let get_u32_int b off = int_of_u32 (get_u32 b off)
+
+let set_u8 b off v = Bytes.set b off (Char.chr (v land 0xFF))
+
+let set_u16 b off v = Bytes.set_uint16_le b off (v land 0xFFFF)
+
+let set_u32 b off v = Bytes.set_int32_le b off v
+
+let u32_of_int v = Int32.of_int (v land 0xFFFF_FFFF)
+
+let set_u32_int b off v = set_u32 b off (u32_of_int v)
+
+let string_of_u32 v = Printf.sprintf "0x%08lx" v

@@ -1,0 +1,39 @@
+(** Little-endian codecs over [Bytes].
+
+    All multi-byte integers in the simulated guest (PE images, page-table
+    entries, kernel structures) are little-endian, as on x86.  Offsets are
+    byte offsets; out-of-range accesses raise [Invalid_argument]. *)
+
+val get_u8 : Bytes.t -> int -> int
+(** [get_u8 b off] reads one unsigned byte. *)
+
+val get_u16 : Bytes.t -> int -> int
+(** [get_u16 b off] reads an unsigned 16-bit little-endian integer. *)
+
+val get_u32 : Bytes.t -> int -> int32
+(** [get_u32 b off] reads a 32-bit little-endian integer. *)
+
+val get_u32_int : Bytes.t -> int -> int
+(** [get_u32_int b off] reads a 32-bit little-endian integer as a
+    non-negative OCaml [int] (exact on 64-bit hosts). *)
+
+val set_u8 : Bytes.t -> int -> int -> unit
+(** [set_u8 b off v] writes the low byte of [v]. *)
+
+val set_u16 : Bytes.t -> int -> int -> unit
+(** [set_u16 b off v] writes the low 16 bits of [v], little-endian. *)
+
+val set_u32 : Bytes.t -> int -> int32 -> unit
+(** [set_u32 b off v] writes [v] little-endian. *)
+
+val set_u32_int : Bytes.t -> int -> int -> unit
+(** [set_u32_int b off v] writes the low 32 bits of [v], little-endian. *)
+
+val u32_of_int : int -> int32
+(** [u32_of_int v] truncates [v] to its low 32 bits. *)
+
+val int_of_u32 : int32 -> int
+(** [int_of_u32 v] interprets [v] as unsigned, in [0, 2^32). *)
+
+val string_of_u32 : int32 -> string
+(** [string_of_u32 v] renders [v] as ["0x%08lx"]. *)

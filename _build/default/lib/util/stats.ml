@@ -1,0 +1,64 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+        /. float_of_int (List.length xs)
+      in
+      sqrt var
+
+let minimum = function
+  | [] -> 0.0
+  | x :: xs -> List.fold_left min x xs
+
+let maximum = function
+  | [] -> 0.0
+  | x :: xs -> List.fold_left max x xs
+
+let percentile p xs =
+  match xs with
+  | [] -> invalid_arg "Stats.percentile: empty list"
+  | _ ->
+      let sorted = List.sort compare xs in
+      let n = List.length sorted in
+      let rank =
+        int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1
+      in
+      let rank = max 0 (min (n - 1) rank) in
+      List.nth sorted rank
+
+let linear_fit points =
+  let n = List.length points in
+  if n < 2 then invalid_arg "Stats.linear_fit: need at least 2 points";
+  let fn = float_of_int n in
+  let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 points in
+  let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 points in
+  let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 points in
+  let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 points in
+  let denom = (fn *. sxx) -. (sx *. sx) in
+  if abs_float denom < 1e-12 then invalid_arg "Stats.linear_fit: degenerate x";
+  let slope = ((fn *. sxy) -. (sx *. sy)) /. denom in
+  let intercept = (sy -. (slope *. sx)) /. fn in
+  (slope, intercept)
+
+let r_squared points =
+  let slope, intercept = linear_fit points in
+  let ys = List.map snd points in
+  let my = mean ys in
+  let ss_tot =
+    List.fold_left (fun a y -> a +. ((y -. my) *. (y -. my))) 0.0 ys
+  in
+  let ss_res =
+    List.fold_left
+      (fun a (x, y) ->
+        let e = y -. ((slope *. x) +. intercept) in
+        a +. (e *. e))
+      0.0 points
+  in
+  if ss_tot < 1e-12 then 1.0 else 1.0 -. (ss_res /. ss_tot)

@@ -1,0 +1,25 @@
+(** Small numeric summaries for the benchmark harness. *)
+
+val mean : float list -> float
+(** [mean xs] is the arithmetic mean; 0 on the empty list. *)
+
+val stddev : float list -> float
+(** [stddev xs] is the population standard deviation; 0 on lists shorter
+    than 2. *)
+
+val minimum : float list -> float
+
+val maximum : float list -> float
+
+val percentile : float -> float list -> float
+(** [percentile p xs] is the [p]-th percentile (nearest-rank on the sorted
+    list), [p] in [0, 100]. Raises [Invalid_argument] on the empty list. *)
+
+val linear_fit : (float * float) list -> float * float
+(** [linear_fit points] is the least-squares [(slope, intercept)];
+    raises [Invalid_argument] on fewer than 2 points. *)
+
+val r_squared : (float * float) list -> float
+(** [r_squared points] is the coefficient of determination of the linear
+    fit — used by tests to assert the Fig. 7 series is linear and the
+    Fig. 8 series is not. *)

@@ -1,0 +1,82 @@
+let render ~header rows =
+  let all = header :: rows in
+  let columns =
+    List.fold_left (fun acc row -> max acc (List.length row)) 0 all
+  in
+  let cell row i = match List.nth_opt row i with Some c -> c | None -> "" in
+  let widths =
+    List.init columns (fun i ->
+        List.fold_left (fun acc row -> max acc (String.length (cell row i))) 0
+          all)
+  in
+  let line =
+    "+"
+    ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ "+"
+  in
+  let format_row row =
+    "|"
+    ^ String.concat "|"
+        (List.mapi (fun i w -> Printf.sprintf " %-*s " w (cell row i)) widths)
+    ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line ^ "\n");
+  Buffer.add_string buf (format_row header ^ "\n");
+  Buffer.add_string buf (line ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (format_row row ^ "\n")) rows;
+  Buffer.add_string buf (line ^ "\n");
+  Buffer.contents buf
+
+let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&' |]
+
+let chart ?(width = 60) ?(height = 16) ~title ~x_label ~y_label series =
+  let points = List.concat_map snd series in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "%s\n" title);
+  if points = [] then begin
+    Buffer.add_string buf "  (no data)\n";
+    Buffer.contents buf
+  end
+  else begin
+    let xs = List.map fst points and ys = List.map snd points in
+    let xmin = Stats.minimum xs and xmax = Stats.maximum xs in
+    let ymin = min 0.0 (Stats.minimum ys) and ymax = Stats.maximum ys in
+    let xspan = if xmax -. xmin < 1e-12 then 1.0 else xmax -. xmin in
+    let yspan = if ymax -. ymin < 1e-12 then 1.0 else ymax -. ymin in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun si (_, pts) ->
+        let glyph = glyphs.(si mod Array.length glyphs) in
+        List.iter
+          (fun (x, y) ->
+            let cx =
+              int_of_float ((x -. xmin) /. xspan *. float_of_int (width - 1))
+            in
+            let cy =
+              int_of_float ((y -. ymin) /. yspan *. float_of_int (height - 1))
+            in
+            let cx = max 0 (min (width - 1) cx) in
+            let cy = max 0 (min (height - 1) cy) in
+            grid.(height - 1 - cy).(cx) <- glyph)
+          pts)
+      series;
+    Buffer.add_string buf
+      (Printf.sprintf "%s (max %.3g)\n" y_label ymax);
+    Array.iter
+      (fun row ->
+        Buffer.add_string buf "  |";
+        Array.iter (Buffer.add_char buf) row;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf ("  +" ^ String.make width '-' ^ "\n");
+    Buffer.add_string buf
+      (Printf.sprintf "   %s: %.3g .. %.3g\n" x_label xmin xmax);
+    List.iteri
+      (fun si (name, _) ->
+        Buffer.add_string buf
+          (Printf.sprintf "   %c = %s\n" glyphs.(si mod Array.length glyphs)
+             name))
+      series;
+    Buffer.contents buf
+  end

@@ -1,0 +1,1 @@
+lib/vmi/scanner.ml: Bytes List Vmi

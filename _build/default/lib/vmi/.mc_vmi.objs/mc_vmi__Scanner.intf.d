@@ -1,0 +1,1 @@
+lib/vmi/scanner.mli: Bytes Vmi

@@ -1,0 +1,1 @@
+lib/vmi/symbols.ml: List Mc_winkernel

@@ -1,0 +1,1 @@
+lib/vmi/symbols.mli: Mc_winkernel

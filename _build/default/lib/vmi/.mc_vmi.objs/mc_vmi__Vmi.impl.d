@@ -1,0 +1,1 @@
+lib/vmi/vmi.ml: Bytes Hashtbl Int32 Mc_hypervisor Mc_memsim Mc_util Symbols

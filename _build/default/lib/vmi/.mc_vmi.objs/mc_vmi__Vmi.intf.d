@@ -1,0 +1,1 @@
+lib/vmi/vmi.mli: Bytes Mc_hypervisor Symbols

@@ -1,0 +1,23 @@
+let find_in_bytes buf ~pattern =
+  let pl = Bytes.length pattern in
+  if pl = 0 then []
+  else begin
+    let n = Bytes.length buf in
+    let rec scan i acc =
+      if i + pl > n then List.rev acc
+      else begin
+        let rec matches k = k = pl || (Bytes.get buf (i + k) = Bytes.get pattern k && matches (k + 1)) in
+        scan (i + 1) (if matches 0 then i :: acc else acc)
+      end
+    in
+    scan 0 []
+  end
+
+let find_pattern vmi ~start ~len ~pattern =
+  (* Reading the whole range as one padded buffer keeps cross-page matches
+     trivial; the VMI page cache bounds the cost. *)
+  let buf = Vmi.read_va_padded vmi start len in
+  List.map (fun off -> start + off) (find_in_bytes buf ~pattern)
+
+let scan_module vmi ~base ~size ~pattern =
+  find_pattern vmi ~start:base ~len:size ~pattern

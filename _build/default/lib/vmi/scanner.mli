@@ -1,0 +1,20 @@
+(** Guest-memory pattern scanning over VMI — the memory-forensics
+    primitive behind payload signature sweeps (e.g. hunting a known hook
+    marker across a whole module range, or across every VM of a pool). *)
+
+val find_in_bytes : Bytes.t -> pattern:Bytes.t -> int list
+(** [find_in_bytes buf ~pattern] is every offset at which [pattern] occurs
+    (naive scan; patterns here are short signatures). Empty pattern yields
+    no matches. *)
+
+val find_pattern :
+  Vmi.t -> start:int -> len:int -> pattern:Bytes.t -> int list
+(** [find_pattern vmi ~start ~len ~pattern] scans guest-virtual range
+    [start, start+len), reading page by page with zero-fill for unmapped
+    pages, and returns the VAs of every match (matches may cross page
+    boundaries). *)
+
+val scan_module :
+  Vmi.t -> base:int -> size:int -> pattern:Bytes.t -> int list
+(** [scan_module vmi ~base ~size ~pattern] is [find_pattern] over a
+    module's in-memory image. *)

@@ -1,0 +1,26 @@
+type profile = { os_name : string; syms : (string * int) list }
+
+let windows_xp_sp2 =
+  {
+    os_name = "WinXPSP2x86";
+    syms =
+      [ ("PsLoadedModuleList", Mc_winkernel.Layout.ps_loaded_module_list) ];
+  }
+
+let windows_xp_sp3 =
+  {
+    os_name = "WinXPSP3x86";
+    syms =
+      [ ("PsLoadedModuleList", Mc_winkernel.Layout.ps_loaded_module_list_sp3) ];
+  }
+
+let of_variant = function
+  | Mc_winkernel.Layout.Xp_sp2 -> windows_xp_sp2
+  | Mc_winkernel.Layout.Xp_sp3 -> windows_xp_sp3
+
+let lookup profile name = List.assoc_opt name profile.syms
+
+let lookup_exn profile name =
+  match lookup profile name with
+  | Some va -> va
+  | None -> raise Not_found

@@ -1,0 +1,21 @@
+(** Guest OS profiles: the symbol → kernel-VA map a VMI tool needs to find
+    its way into a guest (libVMI reads these from a configuration/profile
+    file; Volatility from its OS profiles). *)
+
+type profile = { os_name : string; syms : (string * int) list }
+
+val windows_xp_sp2 : profile
+(** The profile for SP2 guests, exporting [PsLoadedModuleList]. *)
+
+val windows_xp_sp3 : profile
+(** SP3 places [PsLoadedModuleList] elsewhere; using the wrong profile
+    makes the module walk come back empty (see
+    [Modchecker.Searcher]). *)
+
+val of_variant : Mc_winkernel.Layout.os_variant -> profile
+(** [of_variant v] picks the profile matching a guest's kernel build. *)
+
+val lookup : profile -> string -> int option
+
+val lookup_exn : profile -> string -> int
+(** Raises [Not_found] with the symbol name absent from the profile. *)

@@ -1,0 +1,129 @@
+module Dom = Mc_hypervisor.Dom
+module Meter = Mc_hypervisor.Meter
+module Xenctl = Mc_hypervisor.Xenctl
+module Phys = Mc_memsim.Phys
+
+type t = {
+  t_dom : Dom.t;
+  profile : Symbols.profile;
+  meter : Meter.t option;
+  cache : (int, Bytes.t) Hashtbl.t;  (** pfn → mapped page copy *)
+}
+
+exception Invalid_address of int
+
+let page = Phys.frame_size
+
+let init ?meter dom profile =
+  (match meter with Some m -> Meter.add_vm_sessions m 1 | None -> ());
+  { t_dom = dom; profile; meter; cache = Hashtbl.create 64 }
+
+let dom t = t.t_dom
+
+let pause t = Xenctl.pause t.t_dom
+
+let resume t = Xenctl.resume t.t_dom
+
+let read_ksym t name = Symbols.lookup_exn t.profile name
+
+let mapped_page t pfn =
+  match Hashtbl.find_opt t.cache pfn with
+  | Some page -> page
+  | None ->
+      let data = Xenctl.map_foreign_page ?meter:t.meter t.t_dom pfn in
+      Hashtbl.replace t.cache pfn data;
+      data
+
+let read_pa t paddr len =
+  let dst = Bytes.create len in
+  let rec loop paddr off len =
+    if len > 0 then begin
+      let pfn = paddr / page and poff = paddr mod page in
+      let chunk = min len (page - poff) in
+      Bytes.blit (mapped_page t pfn) poff dst off chunk;
+      (match t.meter with Some m -> Meter.add_bytes_copied m chunk | None -> ());
+      loop (paddr + chunk) (off + chunk) (len - chunk)
+    end
+  in
+  loop paddr 0 len;
+  dst
+
+let read_pa_u32 t paddr =
+  let b = read_pa t paddr 4 in
+  Bytes.get_int32_le b 0
+
+(* The same two-level walk the guest MMU performs, but executed from the
+   outside against mapped pages (cf. Mc_memsim.Pagetable.walk, which the
+   guest itself uses). *)
+let translate_kv2p t va =
+  let cr3 = Xenctl.get_vcpu_cr3 t.t_dom in
+  let vpn = va lsr 12 in
+  let pde_idx = (vpn lsr 10) land 0x3FF and pte_idx = vpn land 0x3FF in
+  let pde = read_pa_u32 t (cr3 + (pde_idx * 4)) in
+  if Int32.logand pde 1l = 0l then None
+  else begin
+    let table_pa = Int32.to_int (Int32.shift_right_logical pde 12) land 0xFFFFF * page in
+    let pte = read_pa_u32 t (table_pa + (pte_idx * 4)) in
+    if Int32.logand pte 1l = 0l then None
+    else
+      Some
+        ((Int32.to_int (Int32.shift_right_logical pte 12) land 0xFFFFF * page)
+        + (va land 0xFFF))
+  end
+
+let read_va t va len =
+  let dst = Bytes.create len in
+  let rec loop va off len =
+    if len > 0 then begin
+      match translate_kv2p t va with
+      | None -> raise (Invalid_address va)
+      | Some pa ->
+          let chunk = min len (page - (va mod page)) in
+          let pfn = pa / page and poff = pa mod page in
+          Bytes.blit (mapped_page t pfn) poff dst off chunk;
+          (match t.meter with
+          | Some m -> Meter.add_bytes_copied m chunk
+          | None -> ());
+          loop (va + chunk) (off + chunk) (len - chunk)
+    end
+  in
+  loop va 0 len;
+  dst
+
+let try_read_va t va len =
+  match read_va t va len with
+  | b -> Some b
+  | exception Invalid_address _ -> None
+
+let read_va_padded t va len =
+  let dst = Bytes.make len '\000' in
+  let rec loop va off len =
+    if len > 0 then begin
+      let chunk = min len (page - (va mod page)) in
+      (match translate_kv2p t va with
+      | None -> () (* unmapped: leave zeros *)
+      | Some pa ->
+          let pfn = pa / page and poff = pa mod page in
+          Bytes.blit (mapped_page t pfn) poff dst off chunk;
+          (match t.meter with
+          | Some m -> Meter.add_bytes_copied m chunk
+          | None -> ()));
+      loop (va + chunk) (off + chunk) (len - chunk)
+    end
+  in
+  loop va 0 len;
+  dst
+
+let read_va_u32 t va =
+  let b = read_va t va 4 in
+  Bytes.get_int32_le b 0
+
+let read_va_u32_int t va = Mc_util.Le.int_of_u32 (read_va_u32 t va)
+
+let read_va_u16 t va =
+  let b = read_va t va 2 in
+  Bytes.get_uint16_le b 0
+
+let pages_cached t = Hashtbl.length t.cache
+
+let flush_cache t = Hashtbl.reset t.cache

@@ -1,0 +1,60 @@
+(** Virtual machine introspection — the libVMI-equivalent.
+
+    A handle gives Dom0 read-only access to one guest's memory: physical
+    reads via foreign page mapping, virtual reads via a walk of the guest's
+    own page tables (CR3 from the vCPU context), and kernel symbol lookup
+    through the OS profile. Mapped pages are cached per handle (libVMI's
+    page cache), so the meter counts each foreign page once per session
+    rather than once per access. *)
+
+type t
+
+exception Invalid_address of int
+(** Raised with the guest VA whose translation failed. *)
+
+val init : ?meter:Mc_hypervisor.Meter.t -> Mc_hypervisor.Dom.t -> Symbols.profile -> t
+(** [init dom profile] opens an introspection session (metered as one VM
+    session). *)
+
+val dom : t -> Mc_hypervisor.Dom.t
+
+val pause : t -> unit
+(** Pause the guest's vCPUs for a consistent view. *)
+
+val resume : t -> unit
+
+val read_ksym : t -> string -> int
+(** [read_ksym t name] is the kernel VA of [name] per the profile.
+    Raises [Not_found] for unknown symbols. *)
+
+val translate_kv2p : t -> int -> int option
+(** [translate_kv2p t va] walks the guest's page directory/tables (read
+    through the foreign mapping) and returns the physical address. *)
+
+val read_pa : t -> int -> int -> Bytes.t
+(** [read_pa t paddr len] reads guest-physical memory. *)
+
+val read_va : t -> int -> int -> Bytes.t
+(** [read_va t va len] reads guest-virtual memory page by page — the
+    paper's observation that Module-Searcher "has to access the memory by
+    pages" is this chunking. Raises [Invalid_address] on unmapped pages. *)
+
+val try_read_va : t -> int -> int -> Bytes.t option
+
+val read_va_padded : t -> int -> int -> Bytes.t
+(** [read_va_padded t va len] is [read_va] except unmapped pages read as
+    zeros — standard memory-forensics behaviour for paged-out or discarded
+    regions (a loaded module's freed [.reloc] pages, for instance). *)
+
+val read_va_u32 : t -> int -> int32
+
+val read_va_u32_int : t -> int -> int
+
+val read_va_u16 : t -> int -> int
+
+val pages_cached : t -> int
+(** Number of distinct guest frames currently in the session cache. *)
+
+val flush_cache : t -> unit
+(** Drop the page cache (e.g. after the guest resumed and may have written
+    to memory). *)

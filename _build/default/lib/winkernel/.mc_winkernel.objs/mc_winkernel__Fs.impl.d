@@ -1,0 +1,1 @@
+lib/winkernel/fs.ml: Bytes Filename Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/winkernel/fs.mli: Bytes

@@ -1,0 +1,1 @@
+lib/winkernel/kernel.ml: Bytes Fs Int64 Layout Ldr List Loader Mc_memsim Mc_pe Mc_util Option Printf String Unicode

@@ -1,0 +1,1 @@
+lib/winkernel/kernel.mli: Fs Layout Ldr Loader Mc_memsim

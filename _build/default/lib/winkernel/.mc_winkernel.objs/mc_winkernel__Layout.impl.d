@@ -1,0 +1,1 @@
+lib/winkernel/layout.ml:

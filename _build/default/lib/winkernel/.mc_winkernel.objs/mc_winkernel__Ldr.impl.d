@@ -1,0 +1,1 @@
+lib/winkernel/ldr.ml: Bytes Layout List Mc_memsim Mc_util Unicode

@@ -1,0 +1,1 @@
+lib/winkernel/ldr.mli: Mc_memsim

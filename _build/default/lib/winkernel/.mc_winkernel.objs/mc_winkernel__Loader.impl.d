@@ -1,0 +1,1 @@
+lib/winkernel/loader.ml: Bytes List Mc_memsim Mc_pe Mc_util Printf Result

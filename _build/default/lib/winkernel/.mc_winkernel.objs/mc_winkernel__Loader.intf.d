@@ -1,0 +1,1 @@
+lib/winkernel/loader.mli: Bytes Mc_memsim

@@ -1,0 +1,1 @@
+lib/winkernel/unicode.ml: Bytes Char String

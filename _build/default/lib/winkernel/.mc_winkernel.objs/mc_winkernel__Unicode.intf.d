@@ -1,0 +1,1 @@
+lib/winkernel/unicode.mli: Bytes

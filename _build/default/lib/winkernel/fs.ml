@@ -1,0 +1,35 @@
+type t = (string, string * Bytes.t) Hashtbl.t
+(* key: lowercase path; value: (original spelling, contents) *)
+
+let create () = Hashtbl.create 32
+
+let key path = String.lowercase_ascii path
+
+let clone t =
+  let copy = Hashtbl.create (Hashtbl.length t) in
+  Hashtbl.iter
+    (fun k (path, data) -> Hashtbl.replace copy k (path, Bytes.copy data))
+    t;
+  copy
+
+let write_file t path data = Hashtbl.replace t (key path) (path, Bytes.copy data)
+
+let read_file t path =
+  Option.map (fun (_, data) -> Bytes.copy data) (Hashtbl.find_opt t (key path))
+
+let exists t path = Hashtbl.mem t (key path)
+
+let remove t path = Hashtbl.remove t (key path)
+
+let list t =
+  Hashtbl.fold (fun _ (path, _) acc -> path :: acc) t []
+  |> List.sort compare
+
+let system32 name = "C:\\WINDOWS\\System32\\" ^ name
+
+let drivers_dir name = "C:\\WINDOWS\\System32\\drivers\\" ^ name
+
+let module_path name =
+  let lower = String.lowercase_ascii name in
+  if Filename.check_suffix lower ".sys" then drivers_dir name
+  else system32 name

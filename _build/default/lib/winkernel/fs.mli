@@ -1,0 +1,36 @@
+(** The guest's disk: a tiny case-insensitive path → bytes filesystem.
+
+    Holds the module files under [C:\WINDOWS\System32] (and [...\drivers]).
+    VM cloning shares one golden filesystem per cloud and copies it per VM,
+    so a disk infection of one VM never leaks into another. *)
+
+type t
+
+val create : unit -> t
+
+val clone : t -> t
+(** [clone t] deep-copies the file map (contents are copied too). *)
+
+val write_file : t -> string -> Bytes.t -> unit
+(** [write_file t path data] creates or replaces a file; [path] matching is
+    ASCII-case-insensitive, backslash-separated. *)
+
+val read_file : t -> string -> Bytes.t option
+(** [read_file t path] is a copy of the file's contents. *)
+
+val exists : t -> string -> bool
+
+val remove : t -> string -> unit
+
+val list : t -> string list
+(** [list t] is all stored paths (original spelling), sorted. *)
+
+val system32 : string -> string
+(** [system32 name] is [C:\WINDOWS\System32\name]. *)
+
+val drivers_dir : string -> string
+(** [drivers_dir name] is [C:\WINDOWS\System32\drivers\name]. *)
+
+val module_path : string -> string
+(** [module_path name] picks the conventional location by extension:
+    [.dll]/[.exe] in System32, [.sys] under drivers. *)

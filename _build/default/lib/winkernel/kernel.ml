@@ -1,0 +1,247 @@
+module As = Mc_memsim.Addr_space
+module Phys = Mc_memsim.Phys
+module Rng = Mc_util.Rng
+
+type t = {
+  t_fs : Fs.t;
+  t_phys : Phys.t;
+  t_aspace : As.t;
+  t_seed : int64;
+  t_generation : int;
+  t_alignment : int;
+  t_variant : Layout.os_variant;
+  t_list_head : int;
+  rng : Rng.t;
+  mutable pool_cursor : int;
+  mutable driver_cursor : int;
+  mutable loaded : (string * int) list;  (** name (lowercase) → LDR entry VA *)
+  mutable exports_map : (string * (string * int) list) list;
+      (** name (lowercase) → (symbol, absolute VA) — the kernel's view of
+          every loaded module's export surface, fed to the loader to bind
+          imports. *)
+}
+
+type error =
+  | File_not_found of string
+  | Already_loaded of string
+  | Load_error of Loader.error
+
+let error_to_string = function
+  | File_not_found path -> Printf.sprintf "file not found: %s" path
+  | Already_loaded name -> Printf.sprintf "module already loaded: %s" name
+  | Load_error e -> Loader.error_to_string e
+
+let fs t = t.t_fs
+
+let aspace t = t.t_aspace
+
+let phys t = t.t_phys
+
+let cr3 t = As.cr3 t.t_aspace
+
+let seed t = t.t_seed
+
+let generation t = t.t_generation
+
+let module_alignment t = t.t_alignment
+
+let os_variant t = t.t_variant
+
+let list_head t = t.t_list_head
+
+let page = Phys.frame_size
+
+let align_up v a = (v + a - 1) / a * a
+
+(* Nonpaged-pool bump allocator; maps backing pages on demand. *)
+let pool_alloc t size =
+  let va = align_up t.pool_cursor 8 in
+  t.pool_cursor <- va + size;
+  if t.pool_cursor > Layout.pool_end then failwith "Kernel: pool exhausted";
+  let first_page = va land lnot (page - 1) in
+  let last_page = (va + size - 1) land lnot (page - 1) in
+  As.map_range t.t_aspace ~va:first_page
+    ~size:(last_page + page - first_page);
+  va
+
+(* Pick the next driver base: a random 0–15 alignment-slot gap models the
+   allocation jitter that gives every VM different bases. *)
+let pick_base t size =
+  let gap = Rng.int t.rng 16 in
+  let base = align_up t.driver_cursor t.t_alignment + (gap * t.t_alignment) in
+  if base + size > Layout.driver_region_end then
+    failwith "Kernel: driver region exhausted";
+  t.driver_cursor <- base + align_up size t.t_alignment;
+  base
+
+let find_module t name =
+  Ldr.walk t.t_aspace ~head_va:t.t_list_head
+  |> List.find_opt (fun (e : Ldr.entry) ->
+         Unicode.equal_ascii_ci e.base_dll_name name)
+
+let modules t = Ldr.walk t.t_aspace ~head_va:t.t_list_head
+
+let resolve_export t ~dll ~symbol =
+  Option.bind
+    (List.assoc_opt (String.lowercase_ascii dll) t.exports_map)
+    (List.assoc_opt symbol)
+
+let module_exports t name =
+  Option.value ~default:[]
+    (List.assoc_opt (String.lowercase_ascii name) t.exports_map)
+
+let module_names t = List.map (fun (e : Ldr.entry) -> e.base_dll_name) (modules t)
+
+let load_module t name =
+  if List.mem_assoc (String.lowercase_ascii name) t.loaded then
+    Error (Already_loaded name)
+  else begin
+    let path = Fs.module_path name in
+    match Fs.read_file t.t_fs path with
+    | None -> Error (File_not_found path)
+    | Some file -> (
+        let size_of_image =
+          match Mc_pe.Read.parse ~layout:File file with
+          | Ok image -> image.optional_header.size_of_image
+          | Error _ -> Bytes.length file * 2 (* loader will reject it *)
+        in
+        let resolver ~dll ~symbol = resolve_export t ~dll ~symbol in
+        match
+          Loader.load_at ~resolver t.t_aspace
+            ~base:(pick_base t size_of_image)
+            file
+        with
+        | Error e -> Error (Load_error e)
+        | Ok loaded ->
+            let entry_va = pool_alloc t Layout.Ldr_entry.size in
+            let full_name = path in
+            let full_buf = pool_alloc t (2 * String.length full_name) in
+            let base_buf = pool_alloc t (2 * String.length name) in
+            Ldr.write_entry t.t_aspace ~entry_va ~dll_base:loaded.base
+              ~entry_point:loaded.entry_point
+              ~size_of_image:loaded.size_of_image ~full_name_buffer_va:full_buf
+              ~full_dll_name:full_name ~base_name_buffer_va:base_buf
+              ~base_dll_name:name;
+            Ldr.link_tail t.t_aspace ~head_va:t.t_list_head ~entry_va;
+            t.loaded <- (String.lowercase_ascii name, entry_va) :: t.loaded;
+            (* Publish the module's exports for later loads to link
+               against. *)
+            (match Mc_pe.Read.parse ~layout:File file with
+            | Ok image ->
+                let exports =
+                  Mc_pe.Export.parse ~layout:File file image
+                  |> List.map (fun (sym, rva) -> (sym, loaded.Loader.base + rva))
+                in
+                if exports <> [] then
+                  t.exports_map <-
+                    (String.lowercase_ascii name, exports) :: t.exports_map
+            | Error _ -> ());
+            Ok loaded)
+  end
+
+let unload_module t name =
+  let key = String.lowercase_ascii name in
+  match List.assoc_opt key t.loaded with
+  | None -> false
+  | Some entry_va ->
+      (* Frames stay allocated (no reclamation in this simulation); the
+         module simply disappears from the load list, which is all the
+         introspection side can observe. *)
+      Ldr.unlink t.t_aspace ~entry_va;
+      t.loaded <- List.remove_assoc key t.loaded;
+      t.exports_map <- List.remove_assoc key t.exports_map;
+      true
+
+type snapshot = {
+  snap_phys : Phys.t;  (** Deep copy, never mutated after capture. *)
+  snap_cr3 : int;
+  snap_fs : Fs.t;  (** Clone, never mutated after capture. *)
+  snap_seed : int64;
+  snap_generation : int;
+  snap_alignment : int;
+  snap_variant : Layout.os_variant;
+  snap_list_head : int;
+  snap_rng : Rng.t;
+  snap_pool_cursor : int;
+  snap_driver_cursor : int;
+  snap_loaded : (string * int) list;
+  snap_exports_map : (string * (string * int) list) list;
+}
+
+let snapshot t =
+  {
+    snap_phys = Phys.deep_copy t.t_phys;
+    snap_cr3 = As.cr3 t.t_aspace;
+    snap_fs = Fs.clone t.t_fs;
+    snap_seed = t.t_seed;
+    snap_generation = t.t_generation;
+    snap_alignment = t.t_alignment;
+    snap_variant = t.t_variant;
+    snap_list_head = t.t_list_head;
+    snap_rng = Rng.copy t.rng;
+    snap_pool_cursor = t.pool_cursor;
+    snap_driver_cursor = t.driver_cursor;
+    snap_loaded = t.loaded;
+    snap_exports_map = t.exports_map;
+  }
+
+let restore s =
+  (* Copy out of the snapshot again, so one snapshot restores any number
+     of times. *)
+  let phys = Phys.deep_copy s.snap_phys in
+  {
+    t_fs = Fs.clone s.snap_fs;
+    t_phys = phys;
+    t_aspace = As.of_cr3 phys s.snap_cr3;
+    t_seed = s.snap_seed;
+    t_generation = s.snap_generation;
+    t_alignment = s.snap_alignment;
+    t_variant = s.snap_variant;
+    t_list_head = s.snap_list_head;
+    rng = Rng.copy s.snap_rng;
+    pool_cursor = s.snap_pool_cursor;
+    driver_cursor = s.snap_driver_cursor;
+    loaded = s.snap_loaded;
+    exports_map = s.snap_exports_map;
+  }
+
+let boot ?(module_alignment = Layout.default_module_alignment)
+    ?(load_standard = true) ?(generation = 0)
+    ?(os_variant = Layout.Xp_sp2) ~fs ~seed () =
+  let t_phys = Phys.create () in
+  let t_aspace = As.create t_phys in
+  (* Kernel globals region: 4 pages covering both variants' list heads. *)
+  As.map_range t_aspace ~va:Layout.globals_va ~size:(4 * page);
+  let t_list_head = Layout.list_head_of_variant os_variant in
+  Ldr.init_list_head t_aspace t_list_head;
+  let rng =
+    Rng.create (Int64.add seed (Int64.of_int (generation * 7919)))
+  in
+  let t =
+    {
+      t_fs = fs;
+      t_phys;
+      t_aspace;
+      t_seed = seed;
+      t_generation = generation;
+      t_alignment = module_alignment;
+      t_variant = os_variant;
+      t_list_head;
+      rng;
+      pool_cursor = Layout.pool_start;
+      driver_cursor = Layout.driver_region_start;
+      loaded = [];
+      exports_map = [];
+    }
+  in
+  if load_standard then begin
+    let rec load_all = function
+      | [] -> Ok t
+      | name :: rest -> (
+          match load_module t name with
+          | Ok _ -> load_all rest
+          | Error e -> Error e)
+    in
+    load_all Mc_pe.Catalog.standard_modules
+  end
+  else Ok t

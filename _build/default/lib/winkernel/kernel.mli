@@ -1,0 +1,93 @@
+(** The simulated guest kernel: boots from a filesystem, loads the standard
+    module set at per-VM randomized bases, and maintains the
+    [PsLoadedModuleList].
+
+    A "reboot" (after a disk infection, as in experiment 1) is simply a
+    fresh [boot] from the same filesystem with the same seed and a bumped
+    generation, so module bases move the way a real reboot moves them. *)
+
+type t
+
+type error =
+  | File_not_found of string
+  | Already_loaded of string
+  | Load_error of Loader.error
+
+val error_to_string : error -> string
+
+val boot :
+  ?module_alignment:int ->
+  ?load_standard:bool ->
+  ?generation:int ->
+  ?os_variant:Layout.os_variant ->
+  fs:Fs.t ->
+  seed:int64 ->
+  unit ->
+  (t, error) result
+(** [boot ~fs ~seed ()] creates physical memory and an address space, maps
+    the kernel-globals region, initializes [PsLoadedModuleList], and loads
+    [Mc_pe.Catalog.standard_modules] from [fs] (unless [load_standard] is
+    false). [module_alignment] defaults to 64 KiB
+    ([Layout.default_module_alignment]). [generation] perturbs the base
+    randomization like a reboot does. *)
+
+val fs : t -> Fs.t
+
+val aspace : t -> Mc_memsim.Addr_space.t
+
+val phys : t -> Mc_memsim.Phys.t
+
+val cr3 : t -> int
+(** What the vCPU's CR3 holds — the hypervisor exposes this to VMI. *)
+
+val seed : t -> int64
+
+val generation : t -> int
+
+val module_alignment : t -> int
+
+val os_variant : t -> Layout.os_variant
+
+val list_head : t -> int
+(** VA of this kernel's [PsLoadedModuleList] (variant-dependent). *)
+
+val load_module : t -> string -> (Loader.loaded, error) result
+(** [load_module t name] reads [Fs.module_path name] from disk, picks a
+    fresh aligned base, loads, allocates an LDR entry in pool, and links it
+    at the list tail (what the OSR Driver Loader triggers in experiment
+    3). *)
+
+val unload_module : t -> string -> bool
+(** [unload_module t name] unlinks the module's LDR entry and unmaps its
+    pages; false when not loaded. *)
+
+val find_module : t -> string -> Ldr.entry option
+(** [find_module t name] walks the load list by BaseDllName,
+    case-insensitively. *)
+
+val modules : t -> Ldr.entry list
+(** [modules t] is the current load list in load order. *)
+
+val module_names : t -> string list
+
+type snapshot
+(** A frozen full-VM capture: physical memory (page tables, kernel
+    structures, loaded modules), disk, and the kernel's own bookkeeping. *)
+
+val snapshot : t -> snapshot
+(** [snapshot t] deep-copies the guest — nothing is shared with the live
+    VM, so later infections cannot taint the capture. *)
+
+val restore : snapshot -> t
+(** [restore s] is a fresh kernel identical to the captured one; a
+    snapshot can be restored any number of times (the paper's §III-B
+    "reverted back to their clean state to flush infections"). *)
+
+val resolve_export : t -> dll:string -> symbol:string -> int option
+(** [resolve_export t ~dll ~symbol] is the absolute VA of a loaded
+    module's export — the linker service the loader uses to bind import
+    tables. *)
+
+val module_exports : t -> string -> (string * int) list
+(** [module_exports t name] is the loaded module's export surface
+    (symbol, absolute VA); empty for unknown or export-free modules. *)

@@ -1,0 +1,51 @@
+let kernel_space_start = 0x80000000
+
+let globals_va = 0x80559000
+
+let ps_loaded_module_list = 0x8055A420
+
+let ps_loaded_module_list_sp3 = 0x8055C700
+
+type os_variant = Xp_sp2 | Xp_sp3
+
+let list_head_of_variant = function
+  | Xp_sp2 -> ps_loaded_module_list
+  | Xp_sp3 -> ps_loaded_module_list_sp3
+
+let pool_start = 0x81000000
+
+let pool_end = 0x90000000
+
+let driver_region_start = 0xF8000000
+
+let driver_region_end = 0xFF000000
+
+let default_module_alignment = 0x10000
+
+module Ldr_entry = struct
+  let in_load_order_links_flink = 0x00
+
+  let in_load_order_links_blink = 0x04
+
+  let dll_base = 0x18
+
+  let entry_point = 0x1C
+
+  let size_of_image = 0x20
+
+  let full_dll_name = 0x24
+
+  let base_dll_name = 0x2C
+
+  let size = 0x50
+end
+
+module Unicode_string = struct
+  let length = 0
+
+  let maximum_length = 2
+
+  let buffer = 4
+
+  let size = 8
+end

@@ -1,0 +1,71 @@
+(** Kernel virtual-address-space layout constants (XP-flavoured).
+
+    These play the role of the "profile"/debug-symbol information a real
+    VMI tool needs: where the kernel globals live and the field offsets of
+    the structures Module-Searcher traverses (Fig. 2 of the paper). *)
+
+val kernel_space_start : int
+(** 0x80000000 — start of the shared kernel half of the address space. *)
+
+val globals_va : int
+(** Base of the kernel-globals page holding exported variables. *)
+
+val ps_loaded_module_list : int
+(** VA of the [PsLoadedModuleList] LIST_ENTRY head (the XP SP2 address). *)
+
+val ps_loaded_module_list_sp3 : int
+(** The SP3 kernel places the same global at a different address — the
+    reason real VMI tools need per-build profiles. Both addresses fall in
+    the mapped kernel-globals region, so introspecting with the wrong
+    profile reads zeroed memory rather than faulting, and the module walk
+    comes back empty: a silent failure mode the tests pin down. *)
+
+type os_variant = Xp_sp2 | Xp_sp3
+
+val list_head_of_variant : os_variant -> int
+
+val pool_start : int
+(** Nonpaged-pool region: LDR entries and name buffers live here. *)
+
+val pool_end : int
+
+val driver_region_start : int
+(** Module load region (real XP drivers load around 0xF8xxxxxx). *)
+
+val driver_region_end : int
+
+val default_module_alignment : int
+(** 0x10000 — Windows aligns module bases to 64 KiB. The RVA-adjustment
+    heuristic of Algorithm 2 is exact at this alignment; the ablation
+    experiment lowers it to one page to show where the heuristic breaks. *)
+
+(** Field offsets inside LDR_DATA_TABLE_ENTRY (XP values). *)
+module Ldr_entry : sig
+  val in_load_order_links_flink : int  (** 0x00 *)
+
+  val in_load_order_links_blink : int  (** 0x04 *)
+
+  val dll_base : int  (** 0x18 *)
+
+  val entry_point : int  (** 0x1C *)
+
+  val size_of_image : int  (** 0x20 *)
+
+  val full_dll_name : int  (** 0x24 — a UNICODE_STRING *)
+
+  val base_dll_name : int  (** 0x2C — a UNICODE_STRING *)
+
+  val size : int  (** Allocation size of the whole structure. *)
+end
+
+(** UNICODE_STRING layout: Length (u16), MaximumLength (u16), Buffer (u32
+    VA). *)
+module Unicode_string : sig
+  val length : int
+
+  val maximum_length : int
+
+  val buffer : int
+
+  val size : int
+end

@@ -1,0 +1,79 @@
+module As = Mc_memsim.Addr_space
+module L = Layout.Ldr_entry
+module U = Layout.Unicode_string
+
+type entry = {
+  entry_va : int;
+  flink : int;
+  blink : int;
+  dll_base : int;
+  entry_point : int;
+  size_of_image : int;
+  full_dll_name : string;
+  base_dll_name : string;
+}
+
+let read_unicode_string aspace va =
+  let length = As.read_u16 aspace (va + U.length) in
+  let buffer_va = As.read_u32_int aspace (va + U.buffer) in
+  if length = 0 || buffer_va = 0 then ""
+  else Unicode.ascii_of_utf16le (As.read_bytes aspace buffer_va length)
+
+let write_unicode_string aspace ~struct_va ~buffer_va s =
+  let encoded = Unicode.utf16le_of_ascii s in
+  As.write_bytes aspace buffer_va encoded;
+  let b = Bytes.create U.size in
+  Bytes.set_uint16_le b U.length (Bytes.length encoded);
+  Bytes.set_uint16_le b U.maximum_length (Bytes.length encoded);
+  Bytes.set_int32_le b U.buffer (Mc_util.Le.u32_of_int buffer_va);
+  As.write_bytes aspace struct_va b
+
+let read_entry aspace va =
+  {
+    entry_va = va;
+    flink = As.read_u32_int aspace (va + L.in_load_order_links_flink);
+    blink = As.read_u32_int aspace (va + L.in_load_order_links_blink);
+    dll_base = As.read_u32_int aspace (va + L.dll_base);
+    entry_point = As.read_u32_int aspace (va + L.entry_point);
+    size_of_image = As.read_u32_int aspace (va + L.size_of_image);
+    full_dll_name = read_unicode_string aspace (va + L.full_dll_name);
+    base_dll_name = read_unicode_string aspace (va + L.base_dll_name);
+  }
+
+let write_entry aspace ~entry_va ~dll_base ~entry_point ~size_of_image
+    ~full_name_buffer_va ~full_dll_name ~base_name_buffer_va ~base_dll_name =
+  As.write_u32_int aspace (entry_va + L.dll_base) dll_base;
+  As.write_u32_int aspace (entry_va + L.entry_point) entry_point;
+  As.write_u32_int aspace (entry_va + L.size_of_image) size_of_image;
+  write_unicode_string aspace
+    ~struct_va:(entry_va + L.full_dll_name)
+    ~buffer_va:full_name_buffer_va full_dll_name;
+  write_unicode_string aspace
+    ~struct_va:(entry_va + L.base_dll_name)
+    ~buffer_va:base_name_buffer_va base_dll_name
+
+let init_list_head aspace head_va =
+  As.write_u32_int aspace head_va head_va;
+  As.write_u32_int aspace (head_va + 4) head_va
+
+let link_tail aspace ~head_va ~entry_va =
+  let old_tail = As.read_u32_int aspace (head_va + 4) (* head.Blink *) in
+  As.write_u32_int aspace (entry_va + L.in_load_order_links_flink) head_va;
+  As.write_u32_int aspace (entry_va + L.in_load_order_links_blink) old_tail;
+  As.write_u32_int aspace old_tail entry_va (* old_tail.Flink *);
+  As.write_u32_int aspace (head_va + 4) entry_va
+
+let unlink aspace ~entry_va =
+  let flink = As.read_u32_int aspace (entry_va + L.in_load_order_links_flink) in
+  let blink = As.read_u32_int aspace (entry_va + L.in_load_order_links_blink) in
+  As.write_u32_int aspace blink flink (* blink.Flink <- flink *);
+  As.write_u32_int aspace (flink + 4) blink (* flink.Blink <- blink *)
+
+let walk aspace ~head_va =
+  let rec loop va budget acc =
+    if va = head_va || budget = 0 then List.rev acc
+    else
+      let entry = read_entry aspace va in
+      loop entry.flink (budget - 1) (entry :: acc)
+  in
+  loop (As.read_u32_int aspace head_va) 4096 []

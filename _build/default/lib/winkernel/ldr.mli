@@ -1,0 +1,60 @@
+(** Reading and writing LDR_DATA_TABLE_ENTRY structures and the doubly
+    linked load list anchored at [PsLoadedModuleList] (Fig. 2).
+
+    The writers are used by the guest kernel's loader; the readers are used
+    by the guest itself. (The external Module-Searcher re-implements the
+    reads over VMI, as the real tool must — it cannot call into the
+    guest.) *)
+
+type entry = {
+  entry_va : int;  (** VA of the structure itself. *)
+  flink : int;
+  blink : int;
+  dll_base : int;
+  entry_point : int;
+  size_of_image : int;
+  full_dll_name : string;
+  base_dll_name : string;
+}
+
+val read_unicode_string : Mc_memsim.Addr_space.t -> int -> string
+(** [read_unicode_string aspace va] decodes a UNICODE_STRING at [va],
+    following its Buffer pointer. *)
+
+val write_unicode_string :
+  Mc_memsim.Addr_space.t -> struct_va:int -> buffer_va:int -> string -> unit
+(** [write_unicode_string aspace ~struct_va ~buffer_va s] stores the UTF-16
+    buffer at [buffer_va] and the descriptor at [struct_va]. *)
+
+val read_entry : Mc_memsim.Addr_space.t -> int -> entry
+(** [read_entry aspace va] decodes the LDR entry at [va]. *)
+
+val write_entry :
+  Mc_memsim.Addr_space.t ->
+  entry_va:int ->
+  dll_base:int ->
+  entry_point:int ->
+  size_of_image:int ->
+  full_name_buffer_va:int ->
+  full_dll_name:string ->
+  base_name_buffer_va:int ->
+  base_dll_name:string ->
+  unit
+(** Writes every field except the links, which [link_tail] sets. *)
+
+val init_list_head : Mc_memsim.Addr_space.t -> int -> unit
+(** [init_list_head aspace head_va] makes an empty circular LIST_ENTRY
+    (Flink = Blink = head). *)
+
+val link_tail : Mc_memsim.Addr_space.t -> head_va:int -> entry_va:int -> unit
+(** [link_tail aspace ~head_va ~entry_va] inserts the entry before the head,
+    i.e. at the tail of the load order — InsertTailList. *)
+
+val unlink : Mc_memsim.Addr_space.t -> entry_va:int -> unit
+(** [unlink aspace ~entry_va] removes the entry from the list by pointer
+    surgery (RemoveEntryList) — this is exactly the DKOM module-hiding
+    technique, used here by both the legitimate unloader and the rootkit. *)
+
+val walk : Mc_memsim.Addr_space.t -> head_va:int -> entry list
+(** [walk aspace ~head_va] traverses Flink pointers from the head until it
+    loops, decoding each node; stops after 4096 nodes as a cycle guard. *)

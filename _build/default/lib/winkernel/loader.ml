@@ -1,0 +1,107 @@
+module As = Mc_memsim.Addr_space
+module Pe_read = Mc_pe.Read
+module Le = Mc_util.Le
+
+type loaded = {
+  base : int;
+  size_of_image : int;
+  entry_point : int;
+  relocs_applied : int;
+}
+
+type error =
+  | Invalid_image of string
+  | Checksum_mismatch
+  | Unresolved_import of string
+
+let error_to_string = function
+  | Invalid_image msg -> Printf.sprintf "invalid image: %s" msg
+  | Checksum_mismatch -> "PE checksum mismatch"
+  | Unresolved_import what -> Printf.sprintf "unresolved import: %s" what
+
+let ( let* ) = Result.bind
+
+(* Lay the file image out in memory form and rebase the relocation slots:
+   slot value (an RVA in the file) becomes base + RVA. Like XP, the loader
+   only verifies the PE checksum when asked to (boot drivers); ordinary
+   driver loads accept a stale checksum — which is what lets experiments 1
+   and 3 slip a patched file past the OS. Discardable sections (.reloc) are
+   freed after relocation, so their memory image is zeros. *)
+let layout_and_rebase ?(verify_checksum = false) ?resolver file ~base =
+  let* image =
+    Pe_read.parse ~layout:File file
+    |> Result.map_error (fun e -> Invalid_image (Pe_read.error_to_string e))
+  in
+  let* () =
+    if not verify_checksum then Ok ()
+    else
+      match Pe_read.verify_checksum file with
+      | Ok true -> Ok ()
+      | Ok false -> Error Checksum_mismatch
+      | Error e -> Error (Invalid_image (Pe_read.error_to_string e))
+  in
+  let size = image.optional_header.size_of_image in
+  let mem = Bytes.make size '\000' in
+  let headers = min image.optional_header.size_of_headers (Bytes.length file) in
+  Bytes.blit file 0 mem 0 headers;
+  List.iter
+    (fun ((sec : Mc_pe.Types.section_header), data) ->
+      let discardable =
+        sec.sec_characteristics land Mc_pe.Flags.mem_discardable <> 0
+      in
+      let len = min (Bytes.length data) (size - sec.virtual_address) in
+      if len > 0 && not discardable then
+        Bytes.blit data 0 mem sec.virtual_address len)
+    image.sections;
+  let slots = Pe_read.base_relocations ~layout:File file image in
+  List.iter
+    (fun rva ->
+      if rva + 4 <= size then begin
+        let rva_value = Le.get_u32_int mem rva in
+        Le.set_u32_int mem rva (rva_value + base)
+      end)
+    slots;
+  (* Bind the import address table: each entry's slot receives the
+     absolute VA of the export it names. *)
+  let* () =
+    match resolver with
+    | None -> Ok ()
+    | Some resolve ->
+        let entries = Mc_pe.Import.parse ~layout:Memory mem image in
+        let rec bind = function
+          | [] -> Ok ()
+          | (e : Mc_pe.Import.entry) :: rest -> (
+              match resolve ~dll:e.imp_dll ~symbol:e.imp_symbol with
+              | Some va when e.imp_iat_rva + 4 <= size ->
+                  Le.set_u32_int mem e.imp_iat_rva va;
+                  bind rest
+              | Some _ -> Error (Invalid_image "IAT slot out of bounds")
+              | None ->
+                  Error
+                    (Unresolved_import
+                       (Printf.sprintf "%s!%s" e.imp_dll e.imp_symbol)))
+        in
+        bind entries
+  in
+  Ok (image, mem, List.length slots)
+
+let load_at ?verify_checksum ?resolver aspace ~base file =
+  let* image, mem, relocs_applied =
+    layout_and_rebase ?verify_checksum ?resolver file ~base
+  in
+  let size = Bytes.length mem in
+  As.map_range aspace ~va:base ~size;
+  As.write_bytes aspace base mem;
+  Ok
+    {
+      base;
+      size_of_image = size;
+      entry_point = base + image.optional_header.address_of_entry_point;
+      relocs_applied;
+    }
+
+let simulate_load ?resolver file ~base =
+  let* _, mem, _ =
+    layout_and_rebase ~verify_checksum:false ?resolver file ~base
+  in
+  Ok mem

@@ -1,0 +1,55 @@
+(** The kernel module loader: maps a PE file into the kernel address space
+    and applies base relocations.
+
+    This is the machinery whose effect ModChecker must reverse: the file's
+    address slots hold RVAs; after loading, each slot holds
+    [base + RVA] — an absolute virtual address that differs across VMs
+    because each VM picks a different base (paper §I and Fig. 4). *)
+
+type loaded = {
+  base : int;  (** Chosen load base (DllBase). *)
+  size_of_image : int;
+  entry_point : int;  (** Absolute VA of the entry point. *)
+  relocs_applied : int;  (** Number of slots rebased. *)
+}
+
+type error =
+  | Invalid_image of string  (** PE parse failure. *)
+  | Checksum_mismatch
+      (** Only with [~verify_checksum:true]: the optional-header checksum
+          does not match the file. XP skips this check for ordinary driver
+          loads, which is why experiments 1 and 3 can load files with stale
+          checksums. *)
+  | Unresolved_import of string
+      (** A named import could not be resolved against the loaded modules
+          ("dll!symbol" in the payload). *)
+
+val error_to_string : error -> string
+
+val load_at :
+  ?verify_checksum:bool ->
+  ?resolver:(dll:string -> symbol:string -> int option) ->
+  Mc_memsim.Addr_space.t ->
+  base:int ->
+  Bytes.t ->
+  (loaded, error) result
+(** [load_at aspace ~base file] maps [base, base+SizeOfImage), copies
+    headers and each non-discardable section to its VirtualAddress, zeroes
+    discardable sections ([.reloc] is freed after use, as XP does), and
+    rewrites every relocation slot to [base + RVA]. When [resolver] is
+    given, every import table entry is bound: the resolver maps
+    (dll, symbol) to the export's absolute VA, which the loader writes
+    into the IAT slot; an unresolvable symbol fails the load. Without a
+    resolver the IAT keeps its on-disk hint/name RVAs (unbound).
+    [verify_checksum] defaults to false. *)
+
+val simulate_load :
+  ?resolver:(dll:string -> symbol:string -> int option) ->
+  Bytes.t ->
+  base:int ->
+  (Bytes.t, error) result
+(** [simulate_load file ~base] performs the same layout + relocation (and,
+    with [resolver], import binding) into a plain buffer of SizeOfImage
+    bytes, without an address space — the LKIM/SVV baselines use this to
+    predict what a clean module must look like in memory at a given
+    base. *)

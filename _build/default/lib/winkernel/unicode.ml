@@ -1,0 +1,14 @@
+let utf16le_of_ascii s =
+  let b = Bytes.make (2 * String.length s) '\000' in
+  String.iteri (fun i c -> Bytes.set b (2 * i) c) s;
+  b
+
+let ascii_of_utf16le b =
+  let n = Bytes.length b / 2 in
+  String.init n (fun i ->
+      let unit = Bytes.get_uint16_le b (2 * i) in
+      if unit < 0x80 then Char.chr unit else '?')
+
+let equal_ascii_ci a b =
+  String.length a = String.length b
+  && String.lowercase_ascii a = String.lowercase_ascii b

@@ -1,0 +1,15 @@
+(** UTF-16LE strings, as used by the kernel's UNICODE_STRING buffers
+    (module names in LDR_DATA_TABLE_ENTRY are UTF-16). Only the ASCII
+    subset is needed for module names. *)
+
+val utf16le_of_ascii : string -> Bytes.t
+(** [utf16le_of_ascii s] widens each byte to a little-endian 16-bit code
+    unit. *)
+
+val ascii_of_utf16le : Bytes.t -> string
+(** [ascii_of_utf16le b] narrows code units back to bytes; non-ASCII units
+    become ['?']. Trailing odd bytes are ignored. *)
+
+val equal_ascii_ci : string -> string -> bool
+(** [equal_ascii_ci a b] is ASCII-case-insensitive equality — Windows module
+    name lookups are case-insensitive. *)

@@ -1,0 +1,1 @@
+lib/workload/monitor.ml: List Mc_util

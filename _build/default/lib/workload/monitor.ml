@@ -1,0 +1,67 @@
+module Rng = Mc_util.Rng
+
+type sample = {
+  ts : float;
+  cpu_idle_pct : float;
+  cpu_user_pct : float;
+  cpu_privileged_pct : float;
+  free_phys_mem_pct : float;
+  free_virt_mem_pct : float;
+  page_faults_per_s : float;
+  disk_queue_len : float;
+  disk_rw_per_s : float;
+  net_packets_per_s : float;
+  introspected : bool;
+}
+
+type config = { interval_s : float; duration_s : float; seed : int64 }
+
+let default_config = { interval_s = 0.5; duration_s = 60.0; seed = 42L }
+
+let in_windows ts windows =
+  List.exists (fun (lo, hi) -> ts >= lo && ts < hi) windows
+
+let run ?(config = default_config) ~stressed ~introspection_windows () =
+  let rng = Rng.create config.seed in
+  let n = int_of_float (config.duration_s /. config.interval_s) in
+  List.init n (fun i ->
+      let ts = float_of_int i *. config.interval_s in
+      let introspected = in_windows ts introspection_windows in
+      (* Baseline guest activity plus small sampling noise. External
+         read-only introspection adds nothing on purpose: the guest's vCPU
+         never runs ModChecker code, which is the mechanism behind the
+         paper's Fig. 9. *)
+      let noise lo hi = lo +. Rng.float rng (hi -. lo) in
+      let user, priv =
+        if stressed then (noise 55.0 75.0, noise 15.0 30.0)
+        else (noise 0.3 2.0, noise 0.2 1.2)
+      in
+      let idle = max 0.0 (100.0 -. user -. priv) in
+      {
+        ts;
+        cpu_idle_pct = idle;
+        cpu_user_pct = user;
+        cpu_privileged_pct = priv;
+        free_phys_mem_pct =
+          (if stressed then noise 8.0 15.0 else noise 72.0 76.0);
+        free_virt_mem_pct =
+          (if stressed then noise 20.0 28.0 else noise 88.0 91.0);
+        page_faults_per_s =
+          (if stressed then noise 800.0 2500.0 else noise 4.0 35.0);
+        disk_queue_len = (if stressed then noise 1.5 6.0 else noise 0.0 0.08);
+        disk_rw_per_s = (if stressed then noise 300.0 900.0 else noise 0.2 4.0);
+        (* The monitor itself ships one reading per interval to the
+           network sink: a steady couple of packets per second. *)
+        net_packets_per_s = noise 1.8 2.4;
+        introspected;
+      })
+
+let perturbation samples =
+  let busy s = s.cpu_user_pct +. s.cpu_privileged_pct in
+  let inside = List.filter (fun s -> s.introspected) samples in
+  let outside = List.filter (fun s -> not s.introspected) samples in
+  match (inside, outside) with
+  | [], _ | _, [] -> 0.0
+  | _ ->
+      let mean sel = Mc_util.Stats.mean (List.map busy sel) in
+      abs_float (mean inside -. mean outside)

@@ -1,0 +1,15 @@
+type t = { stress_cpu : bool; stress_ram_mb : int; stress_disk : bool }
+
+let idle = { stress_cpu = false; stress_ram_mb = 0; stress_disk = false }
+
+let heavyload = { stress_cpu = true; stress_ram_mb = 512; stress_disk = true }
+
+let cpu_only = { stress_cpu = true; stress_ram_mb = 0; stress_disk = false }
+
+let is_cpu_busy t = t.stress_cpu || t.stress_ram_mb > 0 || t.stress_disk
+
+let bus_pressure t =
+  let ram = if t.stress_ram_mb > 0 then 0.6 else 0.0 in
+  let disk = if t.stress_disk then 0.25 else 0.0 in
+  let cpu = if t.stress_cpu then 0.15 else 0.0 in
+  min 1.0 (ram +. disk +. cpu)

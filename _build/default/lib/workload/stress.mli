@@ -1,0 +1,26 @@
+(** Guest workload descriptors — the HeavyLoad equivalent.
+
+    A stressed guest's vCPU is always runnable and its memory traffic
+    contends on the shared bus; that is all the paper's worst-case
+    experiment needs from the real tool. *)
+
+type t = {
+  stress_cpu : bool;  (** Spin the vCPU at 100%. *)
+  stress_ram_mb : int;  (** Working set continuously touched, in MiB. *)
+  stress_disk : bool;  (** Saturate the virtual disk. *)
+}
+
+val idle : t
+(** No load at all. *)
+
+val heavyload : t
+(** CPU + RAM + disk, like the paper's HeavyLoad configuration. *)
+
+val cpu_only : t
+
+val is_cpu_busy : t -> bool
+(** [is_cpu_busy t] — does this workload keep the vCPU runnable? *)
+
+val bus_pressure : t -> float
+(** [bus_pressure t] is the relative memory-bus pressure in [0, 1] the
+    workload exerts (RAM and disk traffic both occupy the bus). *)

@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Filename List Mc_pe Printf String Sys

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest List Mc_baselines Mc_hypervisor Mc_malware Mc_pe Mc_winkernel Modchecker Option

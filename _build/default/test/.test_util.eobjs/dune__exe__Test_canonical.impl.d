@@ -1,0 +1,1 @@
+test/test_canonical.ml: Alcotest Array Bytes Int64 List Mc_hypervisor Mc_malware Mc_util Modchecker Printf QCheck QCheck_alcotest

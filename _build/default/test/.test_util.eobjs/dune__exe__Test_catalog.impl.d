@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest Array Bytes List Mc_pe Mc_util Option Printf

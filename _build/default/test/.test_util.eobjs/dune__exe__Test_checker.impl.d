@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Bytes List Mc_hypervisor Mc_md5 Mc_pe Mc_winkernel Modchecker Option String

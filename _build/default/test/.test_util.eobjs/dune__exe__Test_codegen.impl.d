@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Bytes Format Int32 List Mc_pe Mc_util QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_exports.ml: Alcotest Array Bytes List Mc_hypervisor Mc_malware Mc_memsim Mc_pe Mc_util Mc_winkernel Option Printf

@@ -1,0 +1,1 @@
+test/test_fleet.ml: Alcotest List Mc_hypervisor Mc_malware Mc_pe Mc_winkernel Modchecker Printf String

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Float List Mc_harness Mc_util Printf String

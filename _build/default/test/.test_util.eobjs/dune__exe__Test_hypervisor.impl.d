@@ -1,0 +1,1 @@
+test/test_hypervisor.ml: Alcotest Bytes List Mc_hypervisor Mc_memsim Mc_pe Mc_winkernel Mc_workload Option

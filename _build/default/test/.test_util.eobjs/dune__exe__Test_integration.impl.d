@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest List Mc_hypervisor Mc_malware Mc_parallel Mc_pe Mc_winkernel Mc_workload Modchecker

@@ -1,0 +1,1 @@
+test/test_md5.ml: Alcotest Bytes Digest List Mc_md5 Mc_util Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_memsim.ml: Alcotest Bytes Int32 Mc_memsim String

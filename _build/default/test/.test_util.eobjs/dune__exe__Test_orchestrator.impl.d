@@ -1,0 +1,1 @@
+test/test_orchestrator.ml: Alcotest Format List Mc_hypervisor Mc_malware Mc_parallel Mc_pe Mc_util Mc_winkernel Modchecker Printf String

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Domain Fun List Mc_md5 Mc_parallel String

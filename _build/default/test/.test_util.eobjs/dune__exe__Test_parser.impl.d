@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Bytes List Mc_hypervisor Mc_pe Mc_winkernel Modchecker Option String

@@ -1,0 +1,1 @@
+test/test_patrol.ml: Alcotest List Mc_hypervisor Mc_malware Mc_pe Mc_workload Modchecker Printf

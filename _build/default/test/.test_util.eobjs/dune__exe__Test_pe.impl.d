@@ -1,0 +1,1 @@
+test/test_pe.ml: Alcotest Array Bytes Char List Mc_pe Mc_util String

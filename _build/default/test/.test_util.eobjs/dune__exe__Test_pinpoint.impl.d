@@ -1,0 +1,1 @@
+test/test_pinpoint.ml: Alcotest Bytes List Mc_hypervisor Mc_malware Mc_pe Mc_vmi Mc_winkernel Modchecker Printf

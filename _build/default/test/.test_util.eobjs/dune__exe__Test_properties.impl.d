@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Bytes Float Int64 List Mc_hypervisor Mc_malware Mc_pe Mc_util Mc_vmi Mc_winkernel Modchecker Printf QCheck QCheck_alcotest

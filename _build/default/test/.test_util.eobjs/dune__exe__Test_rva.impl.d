@@ -1,0 +1,1 @@
+test/test_rva.ml: Alcotest Bytes Char Int64 List Mc_util Modchecker QCheck QCheck_alcotest

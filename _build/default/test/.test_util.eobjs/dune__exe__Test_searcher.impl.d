@@ -1,0 +1,1 @@
+test/test_searcher.ml: Alcotest Bytes Lazy List Mc_hypervisor Mc_malware Mc_memsim Mc_pe Mc_vmi Mc_winkernel Modchecker Option Printf String

@@ -1,0 +1,1 @@
+test/test_tracer.ml: Alcotest Bytes List Mc_hypervisor Mc_malware Mc_memsim Mc_pe Mc_util Mc_vmi Mc_winkernel Modchecker Option Printf String

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Float List Mc_util Printf String

@@ -1,0 +1,1 @@
+test/test_vmi.ml: Alcotest Bytes Lazy Mc_hypervisor Mc_memsim Mc_pe Mc_vmi Mc_winkernel Option

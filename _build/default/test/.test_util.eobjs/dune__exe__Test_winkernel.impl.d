@@ -1,0 +1,1 @@
+test/test_winkernel.ml: Alcotest Bytes Lazy List Mc_memsim Mc_pe Mc_util Mc_winkernel Option Printf

@@ -1,0 +1,190 @@
+(* Tests for the t-way canonical RVA adjustment and the O(t) survey
+   strategy built on it. *)
+
+module Rva = Modchecker.Rva
+module Orchestrator = Modchecker.Orchestrator
+module Report = Modchecker.Report
+module Cloud = Mc_hypervisor.Cloud
+module Meter = Mc_hypervisor.Meter
+module Costs = Mc_hypervisor.Costs
+module Le = Mc_util.Le
+module Rng = Mc_util.Rng
+
+let check = Alcotest.check
+
+let make_buffer ~len ~fill ~slots ~base =
+  let b = Bytes.init len fill in
+  List.iter (fun (off, rva) -> Le.set_u32_int b off (base + rva)) slots;
+  b
+
+let bases3 = [| 0xF8000000; 0xF8100000; 0xF8230000 |]
+
+let test_unanimous () =
+  let slots = [ (4, 0x111); (16, 0x2222) ] in
+  let buffers =
+    Array.map
+      (fun base -> make_buffer ~len:32 ~fill:(fun _ -> '\x90') ~slots ~base)
+      bases3
+  in
+  let stats = Rva.canonicalize ~bases:bases3 buffers in
+  check Alcotest.int "slots detected" 2 stats.Rva.slots_detected;
+  check Alcotest.int "unanimous" 2 stats.Rva.slots_unanimous;
+  check Alcotest.int "no majority-only slots" 0 stats.Rva.slots_majority;
+  Alcotest.(check bool) "all buffers now equal" true
+    (Bytes.equal buffers.(0) buffers.(1) && Bytes.equal buffers.(1) buffers.(2));
+  check Alcotest.int "slot holds the RVA" 0x111 (Le.get_u32_int buffers.(0) 4)
+
+let test_majority_with_deviant () =
+  let slots = [ (8, 0x500) ] in
+  let buffers =
+    Array.map
+      (fun base -> make_buffer ~len:24 ~fill:(fun _ -> '\x90') ~slots ~base)
+      bases3
+  in
+  (* VM 2's pointer was patched by malware to point somewhere else. *)
+  Le.set_u32_int buffers.(2) 8 (bases3.(2) + 0x999);
+  let stats = Rva.canonicalize ~bases:bases3 buffers in
+  check Alcotest.int "majority slot" 1 stats.Rva.slots_majority;
+  (match stats.Rva.deviants with
+  | [ (8, [ 2 ]) ] -> ()
+  | _ -> Alcotest.fail "expected VM 2 deviating at slot 8");
+  (* The two clean buffers collapsed; the deviant did not. *)
+  Alcotest.(check bool) "clean pair equal" true
+    (Bytes.equal buffers.(0) buffers.(1));
+  Alcotest.(check bool) "deviant still differs" false
+    (Bytes.equal buffers.(0) buffers.(2))
+
+let test_no_majority_left_raw () =
+  let bases = [| 0xF8000000; 0xF8100000 |] in
+  let buffers =
+    [|
+      make_buffer ~len:16 ~fill:(fun _ -> '\x90') ~slots:[ (4, 0x100) ]
+        ~base:bases.(0);
+      make_buffer ~len:16 ~fill:(fun _ -> '\x90') ~slots:[ (4, 0x200) ]
+        ~base:bases.(1);
+    |]
+  in
+  let stats = Rva.canonicalize ~bases buffers in
+  (* 1-1 split on two VMs: no strict majority, slot stays raw. *)
+  check Alcotest.int "no unanimity" 0 stats.Rva.slots_unanimous;
+  check Alcotest.int "no majority" 0 stats.Rva.slots_majority;
+  Alcotest.(check bool) "buffers still differ" false
+    (Bytes.equal buffers.(0) buffers.(1))
+
+let test_validation () =
+  Alcotest.check_raises "needs >= 2"
+    (Invalid_argument "Rva.canonicalize: need at least two buffers") (fun () ->
+      ignore (Rva.canonicalize ~bases:[| 1 |] [| Bytes.create 8 |]));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Rva.canonicalize: buffers must have equal length")
+    (fun () ->
+      ignore
+        (Rva.canonicalize ~bases:[| 1; 2 |] [| Bytes.create 8; Bytes.create 4 |]))
+
+(* Property: canonicalizing a clean relocated pool makes all buffers
+   bit-identical and agrees with pairwise adjustment verdicts. *)
+let prop_canonical_clean_pool =
+  let gen =
+    QCheck.Gen.(
+      let* n_vms = int_range 2 6 in
+      let* len = int_range 32 256 in
+      let* n_slots = int_range 0 (len / 16) in
+      let* grid = list_size (return n_slots) (int_range 0 ((len / 8) - 1)) in
+      let slots = List.sort_uniq compare (List.map (fun g -> g * 8) grid) in
+      let* rvas = list_size (return (List.length slots)) (int_range 0 0xFFFF) in
+      let* base_slots = list_size (return n_vms) (int_range 0 0x7FF) in
+      let* seed = int in
+      return (len, List.combine slots rvas, base_slots, seed))
+  in
+  QCheck.Test.make ~count:200 ~name:"canonicalize reconciles clean pools"
+    (QCheck.make gen)
+    (fun (len, slots, base_slots, seed) ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let fill_bytes = Rng.bytes rng len in
+      let fill i = Bytes.get fill_bytes i in
+      let bases =
+        Array.of_list
+          (List.map (fun s -> 0xF8000000 + (s * 0x10000)) base_slots)
+      in
+      let buffers =
+        Array.map (fun base -> make_buffer ~len ~fill ~slots ~base) bases
+      in
+      ignore (Rva.canonicalize ~bases buffers);
+      Array.for_all (fun b -> Bytes.equal b buffers.(0)) buffers)
+
+(* --- survey strategy equivalence -------------------------------------- *)
+
+let deviants strategy cloud name =
+  (Orchestrator.survey ~strategy cloud ~module_name:name).Report.deviant_vms
+
+let test_survey_strategies_agree_clean () =
+  let cloud = Cloud.create ~vms:5 ~seed:410L () in
+  List.iter
+    (fun name ->
+      check
+        Alcotest.(list int)
+        (name ^ " same verdicts")
+        (deviants Orchestrator.Pairwise cloud name)
+        (deviants Orchestrator.Canonical cloud name))
+    [ "hal.dll"; "http.sys"; "hello_missing_everywhere" ]
+
+let test_survey_strategies_agree_infected () =
+  let cloud = Cloud.create ~vms:5 ~seed:411L () in
+  (match Mc_malware.Infect.inline_hook cloud ~vm:2 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  check Alcotest.(list int) "pairwise finds Dom3" [ 2 ]
+    (deviants Orchestrator.Pairwise cloud "hal.dll");
+  check Alcotest.(list int) "canonical finds Dom3" [ 2 ]
+    (deviants Orchestrator.Canonical cloud "hal.dll")
+
+let test_survey_strategies_agree_dll_inject () =
+  let cloud = Cloud.create ~vms:4 ~seed:412L () in
+  (match Mc_malware.Infect.dll_injection cloud ~vm:1 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  (* The infected copy has different section sizes: the canonical path must
+     fall back to raw digests for that artifact and still convict. *)
+  check Alcotest.(list int) "pairwise" [ 1 ]
+    (deviants Orchestrator.Pairwise cloud "dummy.sys");
+  check Alcotest.(list int) "canonical" [ 1 ]
+    (deviants Orchestrator.Canonical cloud "dummy.sys")
+
+let test_canonical_cheaper () =
+  let cloud = Cloud.create ~vms:8 ~seed:413L () in
+  let cost strategy =
+    let meter = Meter.create () in
+    ignore (Orchestrator.survey ~strategy ~meter cloud ~module_name:"http.sys");
+    (Meter.get meter Meter.Checker).Meter.bytes_hashed
+  in
+  let pairwise = cost Orchestrator.Pairwise in
+  let canonical = cost Orchestrator.Canonical in
+  Alcotest.(check bool)
+    (Printf.sprintf "canonical hashes less (%d < %d)" canonical pairwise)
+    true
+    (canonical * 3 < pairwise)
+
+let () =
+  Alcotest.run "canonical"
+    [
+      ( "canonicalize",
+        [
+          Alcotest.test_case "unanimous" `Quick test_unanimous;
+          Alcotest.test_case "majority + deviant" `Quick
+            test_majority_with_deviant;
+          Alcotest.test_case "no majority" `Quick test_no_majority_left_raw;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "survey",
+        [
+          Alcotest.test_case "agree on clean" `Quick
+            test_survey_strategies_agree_clean;
+          Alcotest.test_case "agree on infected" `Quick
+            test_survey_strategies_agree_infected;
+          Alcotest.test_case "agree on resize" `Quick
+            test_survey_strategies_agree_dll_inject;
+          Alcotest.test_case "cheaper" `Quick test_canonical_cheaper;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_canonical_clean_pool ] );
+    ]

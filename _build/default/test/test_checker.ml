@@ -1,0 +1,154 @@
+(* Tests for the Integrity-Checker: artifact hashing and pairwise module
+   comparison with RVA adjustment. *)
+
+module Checker = Modchecker.Checker
+module Parser = Modchecker.Parser
+module Artifact = Modchecker.Artifact
+module Catalog = Mc_pe.Catalog
+module Loader = Mc_winkernel.Loader
+module Meter = Mc_hypervisor.Meter
+module Md5 = Mc_md5.Md5
+
+let check = Alcotest.check
+
+let artifacts_at name base =
+  match Loader.simulate_load (Catalog.image name).Catalog.file ~base with
+  | Error e -> Alcotest.fail (Loader.error_to_string e)
+  | Ok mem -> (
+      match Parser.artifacts mem with
+      | Ok a -> a
+      | Error e -> Alcotest.fail e)
+
+let test_hash_artifact () =
+  let a =
+    { Artifact.kind = Artifact.Dos_header; data = Bytes.of_string "abc"; sec_rva = 0 }
+  in
+  check Alcotest.string "matches plain md5"
+    (Md5.to_hex (Md5.digest_string "abc"))
+    (Checker.hash_artifact a)
+
+let test_clean_pair_matches () =
+  let base1 = 0xF8110000 and base2 = 0xF8770000 in
+  let a1 = artifacts_at "dummy.sys" base1 in
+  let a2 = artifacts_at "dummy.sys" base2 in
+  let r = Checker.compare_pair ~base1 a1 ~base2 a2 in
+  Alcotest.(check bool) "all match" true r.Checker.all_match;
+  Alcotest.(check bool) "addresses were adjusted" true (r.Checker.total_adjusted > 0);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Artifact.kind_name v.Checker.av_kind ^ " digests equal")
+        true
+        (String.equal v.Checker.av_digest1 v.Checker.av_digest2))
+    r.Checker.verdicts
+
+let test_same_base_needs_no_adjustment () =
+  let base = 0xF8120000 in
+  let a1 = artifacts_at "dummy.sys" base in
+  let a2 = artifacts_at "dummy.sys" base in
+  let r = Checker.compare_pair ~base1:base a1 ~base2:base a2 in
+  Alcotest.(check bool) "all match" true r.Checker.all_match;
+  check Alcotest.int "no adjustments" 0 r.Checker.total_adjusted
+
+let test_tampered_section_detected () =
+  let base1 = 0xF8110000 and base2 = 0xF8770000 in
+  let a1 = artifacts_at "dummy.sys" base1 in
+  let a2 = artifacts_at "dummy.sys" base2 in
+  (* Patch one code byte on side 1. *)
+  let text = Option.get (Artifact.find a1 (Artifact.Section_data ".text")) in
+  Bytes.set text.Artifact.data 2 '\xCC';
+  let r = Checker.compare_pair ~base1 a1 ~base2 a2 in
+  Alcotest.(check bool) "mismatch detected" false r.Checker.all_match;
+  let bad =
+    List.filter (fun v -> not v.Checker.av_match) r.Checker.verdicts
+  in
+  check Alcotest.int "only .text flagged" 1 (List.length bad);
+  (match bad with
+  | [ v ] ->
+      Alcotest.(check bool) "flagged kind is .text" true
+        (Artifact.equal_kind v.Checker.av_kind (Artifact.Section_data ".text"))
+  | _ -> Alcotest.fail "expected exactly one mismatch")
+
+let test_adjustment_does_not_mutate_inputs () =
+  let base1 = 0xF8110000 and base2 = 0xF8770000 in
+  let a1 = artifacts_at "dummy.sys" base1 in
+  let a2 = artifacts_at "dummy.sys" base2 in
+  let text = Option.get (Artifact.find a1 (Artifact.Section_data ".text")) in
+  let before = Bytes.copy text.Artifact.data in
+  ignore (Checker.compare_pair ~base1 a1 ~base2 a2);
+  Alcotest.(check bool) "inputs untouched" true
+    (Bytes.equal before text.Artifact.data)
+
+let test_missing_artifact_mismatch () =
+  let base = 0xF8110000 in
+  let a1 = artifacts_at "dummy.sys" base in
+  let a2 =
+    List.filter
+      (fun (a : Artifact.t) ->
+        not (Artifact.equal_kind a.Artifact.kind (Artifact.Section_data ".text")))
+      (artifacts_at "dummy.sys" base)
+  in
+  let r = Checker.compare_pair ~base1:base a1 ~base2:base a2 in
+  Alcotest.(check bool) "missing fails" false r.Checker.all_match;
+  let v =
+    List.find
+      (fun v -> Artifact.equal_kind v.Checker.av_kind (Artifact.Section_data ".text"))
+      r.Checker.verdicts
+  in
+  check Alcotest.string "absent marker" "(absent)" v.Checker.av_digest2;
+  (* And the symmetric direction. *)
+  let r2 = Checker.compare_pair ~base1:base a2 ~base2:base a1 in
+  Alcotest.(check bool) "extra on other side fails" false r2.Checker.all_match
+
+let test_different_lengths_mismatch () =
+  let base = 0xF8110000 in
+  let a1 = artifacts_at "dummy.sys" base in
+  let a2 =
+    List.map
+      (fun (a : Artifact.t) ->
+        if Artifact.equal_kind a.Artifact.kind (Artifact.Section_data ".text")
+        then { a with Artifact.data = Bytes.cat a.Artifact.data (Bytes.make 16 '\000') }
+        else a)
+      (artifacts_at "dummy.sys" base)
+  in
+  let r = Checker.compare_pair ~base1:base a1 ~base2:base a2 in
+  Alcotest.(check bool) "length change detected" false r.Checker.all_match
+
+let test_metering () =
+  let meter = Meter.create () in
+  Meter.set_phase meter Meter.Checker;
+  let base1 = 0xF8110000 and base2 = 0xF8770000 in
+  let a1 = artifacts_at "dummy.sys" base1 in
+  let a2 = artifacts_at "dummy.sys" base2 in
+  ignore (Checker.compare_pair ~meter ~base1 a1 ~base2 a2);
+  let c = Meter.get meter Meter.Checker in
+  Alcotest.(check bool) "hashed bytes counted" true (c.Meter.bytes_hashed > 0);
+  Alcotest.(check bool) "scanned bytes counted" true (c.Meter.bytes_scanned > 0)
+
+let test_digests_are_hex () =
+  let base = 0xF8110000 in
+  let a = artifacts_at "hello.sys" base in
+  let r = Checker.compare_pair ~base1:base a ~base2:base a in
+  List.iter
+    (fun v ->
+      check Alcotest.int "32 hex chars" 32 (String.length v.Checker.av_digest1))
+    r.Checker.verdicts
+
+let () =
+  Alcotest.run "checker"
+    [
+      ( "pairs",
+        [
+          Alcotest.test_case "hash artifact" `Quick test_hash_artifact;
+          Alcotest.test_case "clean pair" `Quick test_clean_pair_matches;
+          Alcotest.test_case "same base" `Quick test_same_base_needs_no_adjustment;
+          Alcotest.test_case "tampered" `Quick test_tampered_section_detected;
+          Alcotest.test_case "inputs not mutated" `Quick
+            test_adjustment_does_not_mutate_inputs;
+          Alcotest.test_case "missing artifact" `Quick
+            test_missing_artifact_mismatch;
+          Alcotest.test_case "length change" `Quick test_different_lengths_mismatch;
+          Alcotest.test_case "metering" `Quick test_metering;
+          Alcotest.test_case "hex digests" `Quick test_digests_are_hex;
+        ] );
+    ]

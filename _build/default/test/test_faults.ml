@@ -1,0 +1,203 @@
+(* Fault injection: hostile or corrupted guest state must degrade
+   gracefully, never crash Dom0 tooling. Also covers the OS-variant
+   profile machinery. *)
+
+module Cloud = Mc_hypervisor.Cloud
+module Dom = Mc_hypervisor.Dom
+module Kernel = Mc_winkernel.Kernel
+module Layout = Mc_winkernel.Layout
+module Ldr = Mc_winkernel.Ldr
+module As = Mc_memsim.Addr_space
+module Vmi = Mc_vmi.Vmi
+module Symbols = Mc_vmi.Symbols
+module Searcher = Modchecker.Searcher
+module Orchestrator = Modchecker.Orchestrator
+module Le = Mc_util.Le
+
+let check = Alcotest.check
+
+let l_flink = Layout.Ldr_entry.in_load_order_links_flink
+
+(* --- OS variants --------------------------------------------------------- *)
+
+let test_sp3_cloud_works () =
+  let cloud = Cloud.create ~vms:3 ~seed:601L ~os_variant:Layout.Xp_sp3 () in
+  (match
+     Orchestrator.check_module cloud ~target_vm:0 ~module_name:"hal.dll"
+   with
+  | Ok o ->
+      Alcotest.(check bool) "sp3 pool checks clean" true
+        o.report.Modchecker.Report.majority_ok
+  | Error e -> Alcotest.fail e);
+  (* And detection still works end to end. *)
+  (match Mc_malware.Infect.inline_hook cloud ~vm:1 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  match Orchestrator.check_module cloud ~target_vm:1 ~module_name:"hal.dll" with
+  | Ok o ->
+      Alcotest.(check bool) "sp3 detection" false
+        o.report.Modchecker.Report.majority_ok
+  | Error e -> Alcotest.fail e
+
+let test_wrong_profile_reads_nothing () =
+  (* An SP2 guest introspected with the SP3 profile: the symbol address
+     reads zeros, so the walk is empty — no crash, no modules. *)
+  let cloud = Cloud.create ~vms:1 ~seed:602L () in
+  let vmi = Vmi.init (Cloud.vm cloud 0) Symbols.windows_xp_sp3 in
+  check Alcotest.int "empty module list" 0
+    (List.length (Searcher.list_modules vmi));
+  Alcotest.(check bool) "find returns None" true
+    (Searcher.find_module vmi ~name:"hal.dll" = None)
+
+let test_profile_of_variant () =
+  check Alcotest.string "sp2" "WinXPSP2x86"
+    (Symbols.of_variant Layout.Xp_sp2).Symbols.os_name;
+  check Alcotest.string "sp3" "WinXPSP3x86"
+    (Symbols.of_variant Layout.Xp_sp3).Symbols.os_name;
+  Alcotest.(check bool) "different head addresses" true
+    (Layout.list_head_of_variant Layout.Xp_sp2
+    <> Layout.list_head_of_variant Layout.Xp_sp3)
+
+let test_kernel_variant_recorded () =
+  let cloud = Cloud.create ~vms:1 ~seed:603L ~os_variant:Layout.Xp_sp3 () in
+  let kernel = Dom.kernel_exn (Cloud.vm cloud 0) in
+  Alcotest.(check bool) "variant stored" true
+    (Kernel.os_variant kernel = Layout.Xp_sp3);
+  check Alcotest.int "list head per variant" Layout.ps_loaded_module_list_sp3
+    (Kernel.list_head kernel)
+
+(* --- corrupted guest structures ------------------------------------------ *)
+
+let fresh () =
+  let cloud = Cloud.create ~vms:1 ~seed:604L () in
+  let dom = Cloud.vm cloud 0 in
+  (cloud, dom, Dom.kernel_exn dom)
+
+let test_cyclic_module_list () =
+  let _, dom, kernel = fresh () in
+  (* Point the second entry's Flink back at the first: an infinite loop
+     for a naive walker. *)
+  let aspace = Kernel.aspace kernel in
+  let head = Kernel.list_head kernel in
+  let first = As.read_u32_int aspace head in
+  let second = As.read_u32_int aspace (first + l_flink) in
+  As.write_u32_int aspace (second + l_flink) first;
+  let vmi = Vmi.init dom Symbols.windows_xp_sp2 in
+  let listed = Searcher.list_modules vmi in
+  (* Bounded: the cycle guard stops at the budget. *)
+  Alcotest.(check bool) "walk terminates" true (List.length listed <= 4096)
+
+let test_null_flink () =
+  let _, dom, kernel = fresh () in
+  let aspace = Kernel.aspace kernel in
+  let head = Kernel.list_head kernel in
+  let first = As.read_u32_int aspace head in
+  As.write_u32_int aspace (first + l_flink) 0;
+  let vmi = Vmi.init dom Symbols.windows_xp_sp2 in
+  check Alcotest.int "walk stops at the null link" 1
+    (List.length (Searcher.list_modules vmi))
+
+let test_flink_to_unmapped_memory () =
+  let _, dom, kernel = fresh () in
+  let aspace = Kernel.aspace kernel in
+  let head = Kernel.list_head kernel in
+  let first = As.read_u32_int aspace head in
+  As.write_u32_int aspace (first + l_flink) 0xDEAD0000;
+  let vmi = Vmi.init dom Symbols.windows_xp_sp2 in
+  check Alcotest.int "walk stops at the bad pointer" 1
+    (List.length (Searcher.list_modules vmi))
+
+let test_absurd_size_of_image () =
+  let _, dom, kernel = fresh () in
+  let aspace = Kernel.aspace kernel in
+  let entry = Option.get (Kernel.find_module kernel "hal.dll") in
+  As.write_u32_int aspace
+    (entry.Ldr.entry_va + Layout.Ldr_entry.size_of_image)
+    0x7FFF0000;
+  let vmi = Vmi.init dom Symbols.windows_xp_sp2 in
+  (* fetch refuses to allocate 2 GB and reports the module as unavailable
+     rather than raising. *)
+  Alcotest.(check bool) "fetch degrades to None" true
+    (Searcher.fetch vmi ~name:"hal.dll" = None)
+
+let test_corrupt_headers_in_guest () =
+  let cloud = Cloud.create ~vms:4 ~seed:605L () in
+  let kernel = Dom.kernel_exn (Cloud.vm cloud 1) in
+  let entry = Option.get (Kernel.find_module kernel "hal.dll") in
+  (* Smash the in-memory MZ magic on one VM. *)
+  As.write_u32_int (Kernel.aspace kernel) entry.Ldr.dll_base 0;
+  (* The victim cannot even be parsed: checking it from Dom0 errors... *)
+  (match Orchestrator.check_module cloud ~target_vm:1 ~module_name:"hal.dll" with
+  | Error _ -> ()
+  | Ok o ->
+      (* ...or (depending on viewpoint) it simply fails all comparisons. *)
+      Alcotest.(check bool) "if it parses it must not pass" false
+        o.report.Modchecker.Report.majority_ok);
+  (* A clean VM checking against the pool still works: the corrupt peer
+     costs one of three comparisons. *)
+  match Orchestrator.check_module cloud ~target_vm:0 ~module_name:"hal.dll" with
+  | Ok o ->
+      Alcotest.(check bool) "clean VM still votes" true
+        o.report.Modchecker.Report.majority_ok;
+      check Alcotest.int "one comparison lost" 2
+        o.report.Modchecker.Report.matches
+  | Error e -> Alcotest.fail e
+
+let test_name_buffer_unmapped () =
+  let _, dom, kernel = fresh () in
+  let aspace = Kernel.aspace kernel in
+  let entry = Option.get (Kernel.find_module kernel "http.sys") in
+  (* Point BaseDllName.Buffer at unmapped memory. *)
+  As.write_u32_int aspace
+    (entry.Ldr.entry_va + Layout.Ldr_entry.base_dll_name
+   + Layout.Unicode_string.buffer)
+    0xDEAD0000;
+  let vmi = Vmi.init dom Symbols.windows_xp_sp2 in
+  let listed = Searcher.list_modules vmi in
+  (* The damaged entry reads with an empty name; the rest are intact. *)
+  check Alcotest.int "all entries still listed"
+    (List.length Mc_pe.Catalog.standard_modules)
+    (List.length listed);
+  Alcotest.(check bool) "damaged entry has empty name" true
+    (List.exists (fun (i : Searcher.module_info) -> i.mi_name = "") listed)
+
+let test_survey_with_one_corrupt_vm () =
+  let cloud = Cloud.create ~vms:4 ~seed:606L () in
+  let kernel = Dom.kernel_exn (Cloud.vm cloud 3) in
+  let entry = Option.get (Kernel.find_module kernel "http.sys") in
+  As.write_u32_int (Kernel.aspace kernel) entry.Ldr.dll_base 0;
+  let s = Orchestrator.survey cloud ~module_name:"http.sys" in
+  (* The corrupt VM is either missing (parse failure) or deviant. *)
+  Alcotest.(check bool) "corrupt VM isolated" true
+    (List.mem 3 s.Modchecker.Report.missing_on
+    || List.mem 3 s.Modchecker.Report.deviant_vms);
+  Alcotest.(check bool) "no clean VM blamed" true
+    (List.for_all (fun v -> v = 3) s.Modchecker.Report.deviant_vms)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "profiles",
+        [
+          Alcotest.test_case "sp3 cloud" `Quick test_sp3_cloud_works;
+          Alcotest.test_case "wrong profile" `Quick
+            test_wrong_profile_reads_nothing;
+          Alcotest.test_case "of_variant" `Quick test_profile_of_variant;
+          Alcotest.test_case "kernel records variant" `Quick
+            test_kernel_variant_recorded;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "cyclic list" `Quick test_cyclic_module_list;
+          Alcotest.test_case "null flink" `Quick test_null_flink;
+          Alcotest.test_case "unmapped flink" `Quick
+            test_flink_to_unmapped_memory;
+          Alcotest.test_case "absurd size" `Quick test_absurd_size_of_image;
+          Alcotest.test_case "corrupt headers" `Quick
+            test_corrupt_headers_in_guest;
+          Alcotest.test_case "unmapped name buffer" `Quick
+            test_name_buffer_unmapped;
+          Alcotest.test_case "survey with corrupt VM" `Quick
+            test_survey_with_one_corrupt_vm;
+        ] );
+    ]

@@ -1,0 +1,235 @@
+(* Tests for the guest memory simulator: physical frames, page tables, and
+   address spaces. *)
+
+module Phys = Mc_memsim.Phys
+module Pagetable = Mc_memsim.Pagetable
+module As = Mc_memsim.Addr_space
+
+let check = Alcotest.check
+
+let page = Phys.frame_size
+
+(* --- Phys --------------------------------------------------------------- *)
+
+let test_phys_alloc () =
+  let phys = Phys.create () in
+  let a = Phys.alloc_frame phys and b = Phys.alloc_frame phys in
+  Alcotest.(check bool) "distinct frames" true (a <> b);
+  Alcotest.(check bool) "pfn 0 reserved" true (a <> 0 && b <> 0);
+  check Alcotest.int "allocated count" 2 (Phys.frames_allocated phys);
+  Alcotest.(check bool) "exists" true (Phys.frame_exists phys a);
+  Alcotest.(check bool) "not exists" false (Phys.frame_exists phys 9999)
+
+let test_phys_rw_roundtrip () =
+  let phys = Phys.create () in
+  let pfn = Phys.alloc_frame phys in
+  let src = Bytes.of_string "hello frame" in
+  Phys.write phys ((pfn * page) + 100) src 0 (Bytes.length src);
+  let dst = Bytes.create (Bytes.length src) in
+  Phys.read phys ((pfn * page) + 100) dst 0 (Bytes.length dst);
+  check Alcotest.string "roundtrip" "hello frame" (Bytes.to_string dst)
+
+let test_phys_cross_frame () =
+  let phys = Phys.create () in
+  let a = Phys.alloc_frame phys in
+  let b = Phys.alloc_frame phys in
+  (* Frames are consecutive pfns from the bump allocator. *)
+  check Alcotest.int "consecutive" (a + 1) b;
+  let src = Bytes.of_string (String.make 100 'Z') in
+  let start = (a * page) + page - 50 in
+  Phys.write phys start src 0 100;
+  let dst = Bytes.create 100 in
+  Phys.read phys start dst 0 100;
+  check Alcotest.string "cross-frame roundtrip" (Bytes.to_string src)
+    (Bytes.to_string dst)
+
+let test_phys_unallocated_reads_zero () =
+  let phys = Phys.create () in
+  let dst = Bytes.make 8 'x' in
+  Phys.read phys (12345 * page) dst 0 8;
+  check Alcotest.string "zeros" (String.make 8 '\000') (Bytes.to_string dst)
+
+let test_phys_unallocated_write_raises () =
+  let phys = Phys.create () in
+  Alcotest.(check bool) "write raises" true
+    (match Phys.write phys (777 * page) (Bytes.make 4 'x') 0 4 with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_phys_u32 () =
+  let phys = Phys.create () in
+  let pfn = Phys.alloc_frame phys in
+  Phys.write_u32 phys (pfn * page) 0xCAFEBABEl;
+  check Alcotest.int32 "u32 roundtrip" 0xCAFEBABEl (Phys.read_u32 phys (pfn * page))
+
+let test_phys_exhaustion () =
+  let phys = Phys.create ~max_frames:2 () in
+  ignore (Phys.alloc_frame phys);
+  ignore (Phys.alloc_frame phys);
+  Alcotest.check_raises "exhausted"
+    (Failure "Phys.alloc_frame: out of physical memory") (fun () ->
+      ignore (Phys.alloc_frame phys))
+
+let test_read_page () =
+  let phys = Phys.create () in
+  let pfn = Phys.alloc_frame phys in
+  Phys.write phys ((pfn * page) + 7) (Bytes.of_string "abc") 0 3;
+  let data = Phys.read_page phys pfn in
+  check Alcotest.int "page size" page (Bytes.length data);
+  check Alcotest.string "content" "abc" (Bytes.sub_string data 7 3)
+
+(* --- Pagetable ----------------------------------------------------------- *)
+
+let test_pagetable_map_translate () =
+  let phys = Phys.create () in
+  let pt = Pagetable.create phys in
+  let pfn = Phys.alloc_frame phys in
+  Pagetable.map pt ~va:0x80001000 ~pfn;
+  check Alcotest.(option int) "mapped" (Some ((pfn * page) + 0x123))
+    (Pagetable.translate pt (0x80001000 + 0x123));
+  check Alcotest.(option int) "unmapped" None (Pagetable.translate pt 0x80002000)
+
+let test_pagetable_unmap () =
+  let phys = Phys.create () in
+  let pt = Pagetable.create phys in
+  let pfn = Phys.alloc_frame phys in
+  Pagetable.map pt ~va:0xF8000000 ~pfn;
+  Pagetable.unmap pt ~va:0xF8000000;
+  check Alcotest.(option int) "unmapped after" None
+    (Pagetable.translate pt 0xF8000000);
+  (* Unmapping a never-mapped address is a no-op. *)
+  Pagetable.unmap pt ~va:0x10000000
+
+let test_pagetable_walk_matches () =
+  let phys = Phys.create () in
+  let pt = Pagetable.create phys in
+  let pfn = Phys.alloc_frame phys in
+  Pagetable.map pt ~va:0x80400000 ~pfn;
+  check
+    Alcotest.(option int)
+    "external walk agrees with translate"
+    (Pagetable.translate pt 0x80400004)
+    (Pagetable.walk phys ~cr3:(Pagetable.cr3 pt) 0x80400004)
+
+let test_pagetable_tables_in_guest_memory () =
+  (* The PDE written for a mapping must be readable as raw guest physical
+     memory: bit 0 set, frame bits pointing at an allocated frame. *)
+  let phys = Phys.create () in
+  let pt = Pagetable.create phys in
+  let pfn = Phys.alloc_frame phys in
+  let va = 0xC0000000 in
+  Pagetable.map pt ~va ~pfn;
+  let pde_idx = va lsr 22 in
+  let pde = Phys.read_u32 phys (Pagetable.cr3 pt + (pde_idx * 4)) in
+  Alcotest.(check bool) "PDE present bit" true (Int32.logand pde 1l = 1l);
+  let table_pfn = Int32.to_int (Int32.shift_right_logical pde 12) land 0xFFFFF in
+  Alcotest.(check bool) "PT frame allocated" true (Phys.frame_exists phys table_pfn)
+
+let test_pagetable_unaligned_rejected () =
+  let phys = Phys.create () in
+  let pt = Pagetable.create phys in
+  Alcotest.check_raises "unaligned map"
+    (Invalid_argument "Pagetable.map: unaligned va") (fun () ->
+      Pagetable.map pt ~va:0x1234 ~pfn:1)
+
+let test_pagetable_shared_pt_frame () =
+  (* Two pages in the same 4 MiB region share one page-table frame. *)
+  let phys = Phys.create () in
+  let pt = Pagetable.create phys in
+  let before = Phys.frames_allocated phys in
+  Pagetable.map pt ~va:0x80000000 ~pfn:(Phys.alloc_frame phys);
+  Pagetable.map pt ~va:0x80001000 ~pfn:(Phys.alloc_frame phys);
+  (* 2 data frames + 1 page-table frame. *)
+  check Alcotest.int "frames used" (before + 3) (Phys.frames_allocated phys)
+
+(* --- Addr_space ---------------------------------------------------------- *)
+
+let test_aspace_rw () =
+  let phys = Phys.create () in
+  let aspace = As.create phys in
+  As.map_range aspace ~va:0x80000000 ~size:(3 * page);
+  let src = Bytes.of_string (String.make 6000 'M') in
+  As.write aspace (0x80000000 + 100) src 0 6000;
+  let dst = As.read_bytes aspace (0x80000000 + 100) 6000 in
+  check Alcotest.string "cross-page roundtrip" (Bytes.to_string src)
+    (Bytes.to_string dst)
+
+let test_aspace_page_fault () =
+  let phys = Phys.create () in
+  let aspace = As.create phys in
+  Alcotest.check_raises "fault on unmapped" (As.Page_fault 0x90000000)
+    (fun () -> ignore (As.read_bytes aspace 0x90000000 4))
+
+let test_aspace_map_range_idempotent () =
+  let phys = Phys.create () in
+  let aspace = As.create phys in
+  As.map_range aspace ~va:0x80000000 ~size:page;
+  As.write_u32 aspace 0x80000000 0x1234l;
+  (* Remapping an already-mapped page must not lose its contents. *)
+  As.map_range aspace ~va:0x80000000 ~size:(2 * page);
+  check Alcotest.int32 "content preserved" 0x1234l (As.read_u32 aspace 0x80000000)
+
+let test_aspace_accessors () =
+  let phys = Phys.create () in
+  let aspace = As.create phys in
+  As.map_range aspace ~va:0xF8000000 ~size:page;
+  As.write_u32_int aspace 0xF8000000 0xF8CC2000;
+  check Alcotest.int "u32 int" 0xF8CC2000 (As.read_u32_int aspace 0xF8000000);
+  check Alcotest.int "u16" 0x2000 (As.read_u16 aspace 0xF8000000);
+  Alcotest.(check bool) "is_mapped" true (As.is_mapped aspace 0xF8000000);
+  Alcotest.(check bool) "not mapped" false (As.is_mapped aspace 0xF9000000)
+
+let test_aspace_cr3_page_aligned () =
+  let phys = Phys.create () in
+  let aspace = As.create phys in
+  check Alcotest.int "cr3 aligned" 0 (As.cr3 aspace mod page)
+
+let test_aspace_translate_matches_guest_walk () =
+  let phys = Phys.create () in
+  let aspace = As.create phys in
+  As.map_range aspace ~va:0x80000000 ~size:page;
+  check
+    Alcotest.(option int)
+    "walk from cr3 agrees"
+    (As.translate aspace 0x80000010)
+    (Pagetable.walk phys ~cr3:(As.cr3 aspace) 0x80000010)
+
+let () =
+  Alcotest.run "memsim"
+    [
+      ( "phys",
+        [
+          Alcotest.test_case "alloc" `Quick test_phys_alloc;
+          Alcotest.test_case "rw roundtrip" `Quick test_phys_rw_roundtrip;
+          Alcotest.test_case "cross frame" `Quick test_phys_cross_frame;
+          Alcotest.test_case "unallocated read" `Quick
+            test_phys_unallocated_reads_zero;
+          Alcotest.test_case "unallocated write" `Quick
+            test_phys_unallocated_write_raises;
+          Alcotest.test_case "u32" `Quick test_phys_u32;
+          Alcotest.test_case "exhaustion" `Quick test_phys_exhaustion;
+          Alcotest.test_case "read_page" `Quick test_read_page;
+        ] );
+      ( "pagetable",
+        [
+          Alcotest.test_case "map/translate" `Quick test_pagetable_map_translate;
+          Alcotest.test_case "unmap" `Quick test_pagetable_unmap;
+          Alcotest.test_case "walk" `Quick test_pagetable_walk_matches;
+          Alcotest.test_case "in guest memory" `Quick
+            test_pagetable_tables_in_guest_memory;
+          Alcotest.test_case "unaligned" `Quick test_pagetable_unaligned_rejected;
+          Alcotest.test_case "shared PT frame" `Quick
+            test_pagetable_shared_pt_frame;
+        ] );
+      ( "addr_space",
+        [
+          Alcotest.test_case "rw" `Quick test_aspace_rw;
+          Alcotest.test_case "page fault" `Quick test_aspace_page_fault;
+          Alcotest.test_case "idempotent map" `Quick
+            test_aspace_map_range_idempotent;
+          Alcotest.test_case "accessors" `Quick test_aspace_accessors;
+          Alcotest.test_case "cr3 aligned" `Quick test_aspace_cr3_page_aligned;
+          Alcotest.test_case "translate matches walk" `Quick
+            test_aspace_translate_matches_guest_walk;
+        ] );
+    ]

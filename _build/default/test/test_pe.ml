@@ -1,0 +1,314 @@
+(* PE32 writer/reader tests: build → parse roundtrip, checksum, error
+   paths, and base relocation encoding. *)
+
+module Build = Mc_pe.Build
+module Read = Mc_pe.Read
+module Types = Mc_pe.Types
+module Flags = Mc_pe.Flags
+module Checksum = Mc_pe.Checksum
+module Le = Mc_util.Le
+
+let check = Alcotest.check
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+  in
+  go 0
+
+let text_chars = Flags.cnt_code lor Flags.mem_execute lor Flags.mem_read
+
+let rdata_chars = Flags.cnt_initialized_data lor Flags.mem_read
+
+let data_chars =
+  Flags.cnt_initialized_data lor Flags.mem_read lor Flags.mem_write
+
+let sample_specs () =
+  Build.
+    [
+      {
+        spec_name = ".text";
+        spec_data = Bytes.of_string (String.make 100 'T');
+        spec_characteristics = text_chars;
+        spec_relocs = [ 4; 20 ];
+      };
+      {
+        spec_name = ".rdata";
+        spec_data = Bytes.of_string "read-only strings\000";
+        spec_characteristics = rdata_chars;
+        spec_relocs = [];
+      };
+      {
+        spec_name = ".data";
+        spec_data = Bytes.make 64 '\000';
+        spec_characteristics = data_chars;
+        spec_relocs = [ 0 ];
+      };
+    ]
+
+let parse_file file =
+  match Read.parse ~layout:File file with
+  | Ok image -> image
+  | Error e -> Alcotest.fail (Read.error_to_string e)
+
+let test_roundtrip_headers () =
+  let file = Build.build (sample_specs ()) in
+  let image = parse_file file in
+  check Alcotest.int "machine" Flags.machine_i386 image.file_header.machine;
+  check Alcotest.int "sections (incl. generated .reloc)" 4
+    image.file_header.number_of_sections;
+  check Alcotest.int "optional size" Types.optional_header_size
+    image.file_header.size_of_optional_header;
+  check Alcotest.int "pe32 magic" Flags.pe32_magic image.optional_header.magic;
+  check Alcotest.int "section alignment" Build.section_alignment
+    image.optional_header.section_alignment;
+  check Alcotest.int "file alignment" Build.file_alignment
+    image.optional_header.file_alignment
+
+let test_roundtrip_sections () =
+  let file = Build.build (sample_specs ()) in
+  let image = parse_file file in
+  let names = List.map (fun ((s : Types.section_header), _) -> s.sec_name) image.sections in
+  check
+    Alcotest.(list string)
+    "section names in order"
+    [ ".text"; ".rdata"; ".data"; ".reloc" ]
+    names;
+  let text, data = List.nth image.sections 0 in
+  check Alcotest.int "text rva" Build.section_alignment text.virtual_address;
+  check Alcotest.int "text vsize" 100 text.virtual_size;
+  check Alcotest.string "text data preserved" (String.make 100 'T')
+    (Bytes.to_string (Bytes.sub data 0 100));
+  let rdata, rdata_data = List.nth image.sections 1 in
+  check Alcotest.int "rdata rva follows, aligned" (2 * Build.section_alignment)
+    rdata.virtual_address;
+  check Alcotest.bool "rdata content" true
+    (Bytes.length rdata_data >= 17)
+
+let test_dos_stub () =
+  let file = Build.build ~stub_message:"This program cannot be run in DOS mode."
+      (sample_specs ())
+  in
+  let image = parse_file file in
+  let stub = Bytes.to_string image.dos_header in
+  check Alcotest.int "MZ magic" Flags.dos_magic (Le.get_u16 image.dos_header 0);
+  Alcotest.(check bool) "stub contains DOS text" true
+    (contains stub "cannot be run in DOS mode")
+
+let test_entry_point_default () =
+  let file = Build.build (sample_specs ()) in
+  let image = parse_file file in
+  check Alcotest.int "entry defaults to first code section"
+    Build.section_alignment image.optional_header.address_of_entry_point;
+  check Alcotest.int "base of code" Build.section_alignment
+    image.optional_header.base_of_code
+
+let test_checksum_valid () =
+  let file = Build.build (sample_specs ()) in
+  (match Read.verify_checksum file with
+  | Ok true -> ()
+  | Ok false -> Alcotest.fail "builder must emit a valid checksum"
+  | Error e -> Alcotest.fail (Read.error_to_string e));
+  (* Flipping any byte outside the checksum field invalidates it. *)
+  let tampered = Bytes.copy file in
+  Bytes.set tampered (Bytes.length tampered - 1)
+    (Char.chr (Char.code (Bytes.get tampered (Bytes.length tampered - 1)) lxor 0xFF));
+  match Read.verify_checksum tampered with
+  | Ok false -> ()
+  | Ok true -> Alcotest.fail "tampering must break the checksum"
+  | Error e -> Alcotest.fail (Read.error_to_string e)
+
+let test_checksum_skips_itself () =
+  let file = Build.build (sample_specs ()) in
+  let image = parse_file file in
+  let off = Read.checksum_offset image in
+  let a = Checksum.compute file ~checksum_offset:off in
+  (* Changing the stored checksum must not change the computed one. *)
+  let copy = Bytes.copy file in
+  Le.set_u32 copy off 0x12345678l;
+  let b = Checksum.compute copy ~checksum_offset:off in
+  check Alcotest.int32 "checksum independent of its own field" a b
+
+let test_base_relocations_roundtrip () =
+  let file = Build.build (sample_specs ()) in
+  let image = parse_file file in
+  let slots = Read.base_relocations ~layout:File file image in
+  let text_rva = Build.section_alignment in
+  let data_rva = 3 * Build.section_alignment in
+  check
+    Alcotest.(list int)
+    "slot rvas"
+    [ text_rva + 4; text_rva + 20; data_rva ]
+    slots
+
+let test_reloc_directory_set () =
+  let file = Build.build (sample_specs ()) in
+  let image = parse_file file in
+  let dir = image.optional_header.data_directories.(Flags.dir_basereloc) in
+  Alcotest.(check bool) "reloc dir points somewhere" true (dir.dir_rva > 0);
+  Alcotest.(check bool) "reloc dir sized" true (dir.dir_size >= 8)
+
+let test_no_relocs_no_reloc_section () =
+  let specs =
+    [
+      Build.
+        {
+          spec_name = ".text";
+          spec_data = Bytes.make 10 'x';
+          spec_characteristics = text_chars;
+          spec_relocs = [];
+        };
+    ]
+  in
+  let file = Build.build specs in
+  let image = parse_file file in
+  check Alcotest.int "single section" 1 image.file_header.number_of_sections;
+  check Alcotest.(list int) "no slots" []
+    (Read.base_relocations ~layout:File file image)
+
+let test_layout_rvas_prediction () =
+  let specs = sample_specs () in
+  let predicted = Build.layout_rvas specs in
+  let file = Build.build specs in
+  let image = parse_file file in
+  List.iter
+    (fun (name, rva) ->
+      match Read.find_section image name with
+      | Some (sec, _) ->
+          check Alcotest.int (name ^ " rva as predicted") rva
+            sec.virtual_address
+      | None -> Alcotest.fail (name ^ " missing"))
+    predicted
+
+let test_memory_layout_parse () =
+  let file = Build.build (sample_specs ()) in
+  let image = parse_file file in
+  (* Lay the file out in memory form by hand and parse as Memory. *)
+  let mem = Bytes.make image.optional_header.size_of_image '\000' in
+  Bytes.blit file 0 mem 0 image.optional_header.size_of_headers;
+  List.iter
+    (fun ((sec : Types.section_header), data) ->
+      Bytes.blit data 0 mem sec.virtual_address (Bytes.length data))
+    image.sections;
+  match Read.parse ~layout:Memory mem with
+  | Error e -> Alcotest.fail (Read.error_to_string e)
+  | Ok mimage ->
+      let _, text_data = List.nth mimage.sections 0 in
+      check Alcotest.int "memory section data uses VirtualSize" 100
+        (Bytes.length text_data);
+      check Alcotest.string "memory text content" (String.make 100 'T')
+        (Bytes.to_string text_data)
+
+let test_error_bad_dos_magic () =
+  match Read.parse ~layout:File (Bytes.make 128 'Z') with
+  | Error (Read.Bad_dos_magic _) -> ()
+  | _ -> Alcotest.fail "expected Bad_dos_magic"
+
+let test_error_truncated () =
+  match Read.parse ~layout:File (Bytes.make 10 '\000') with
+  | Error (Read.Truncated _) -> ()
+  | _ -> Alcotest.fail "expected Truncated"
+
+let test_error_bad_signature () =
+  let file = Build.build (sample_specs ()) in
+  let broken = Bytes.copy file in
+  let e_lfanew = Le.get_u32_int broken Types.e_lfanew_offset in
+  Le.set_u32 broken e_lfanew 0x00004D5Al;
+  match Read.parse ~layout:File broken with
+  | Error (Read.Bad_nt_signature _) -> ()
+  | _ -> Alcotest.fail "expected Bad_nt_signature"
+
+let test_error_bad_optional_magic () =
+  let file = Build.build (sample_specs ()) in
+  let broken = Bytes.copy file in
+  let e_lfanew = Le.get_u32_int broken Types.e_lfanew_offset in
+  Le.set_u16 broken (e_lfanew + 4 + Types.file_header_size) 0x20B;
+  match Read.parse ~layout:File broken with
+  | Error (Read.Bad_optional_magic 0x20B) -> ()
+  | _ -> Alcotest.fail "expected Bad_optional_magic"
+
+let test_error_section_out_of_bounds () =
+  let file = Build.build (sample_specs ()) in
+  let image = parse_file file in
+  let e_lfanew = image.Types.e_lfanew in
+  let sec_off = e_lfanew + 4 + Types.file_header_size + Types.optional_header_size in
+  let broken = Bytes.copy file in
+  (* Point the first section's raw data far outside the file. *)
+  Le.set_u32_int broken (sec_off + 20) 0x7FFFFFF;
+  match Read.parse ~layout:File broken with
+  | Error (Read.Bad_section ".text") -> ()
+  | _ -> Alcotest.fail "expected Bad_section"
+
+let test_section_flags_string () =
+  check Alcotest.string "rwx" "rwx"
+    (Types.section_flags_string
+       (Flags.mem_read lor Flags.mem_write lor Flags.mem_execute));
+  check Alcotest.string "code" "r-x code"
+    (Types.section_flags_string
+       (Flags.mem_read lor Flags.mem_execute lor Flags.cnt_code))
+
+let test_section_hashable () =
+  Alcotest.(check bool) "code hashable" true (Flags.section_hashable text_chars);
+  Alcotest.(check bool) "ro data hashable" true
+    (Flags.section_hashable rdata_chars);
+  Alcotest.(check bool) "rw data not hashable" false
+    (Flags.section_hashable data_chars)
+
+let test_long_section_name_rejected () =
+  let specs =
+    [
+      Build.
+        {
+          spec_name = ".waytoolongname";
+          spec_data = Bytes.make 4 'x';
+          spec_characteristics = text_chars;
+          spec_relocs = [];
+        };
+    ]
+  in
+  Alcotest.check_raises "name too long"
+    (Invalid_argument "Build.build: section name too long") (fun () ->
+      ignore (Build.build specs))
+
+let () =
+  Alcotest.run "pe"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "headers" `Quick test_roundtrip_headers;
+          Alcotest.test_case "sections" `Quick test_roundtrip_sections;
+          Alcotest.test_case "dos stub" `Quick test_dos_stub;
+          Alcotest.test_case "entry point" `Quick test_entry_point_default;
+          Alcotest.test_case "layout prediction" `Quick
+            test_layout_rvas_prediction;
+          Alcotest.test_case "memory layout" `Quick test_memory_layout_parse;
+        ] );
+      ( "checksum",
+        [
+          Alcotest.test_case "valid" `Quick test_checksum_valid;
+          Alcotest.test_case "self-skipping" `Quick test_checksum_skips_itself;
+        ] );
+      ( "relocations",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_base_relocations_roundtrip;
+          Alcotest.test_case "directory" `Quick test_reloc_directory_set;
+          Alcotest.test_case "absent" `Quick test_no_relocs_no_reloc_section;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "bad dos magic" `Quick test_error_bad_dos_magic;
+          Alcotest.test_case "truncated" `Quick test_error_truncated;
+          Alcotest.test_case "bad signature" `Quick test_error_bad_signature;
+          Alcotest.test_case "bad optional magic" `Quick
+            test_error_bad_optional_magic;
+          Alcotest.test_case "section bounds" `Quick
+            test_error_section_out_of_bounds;
+          Alcotest.test_case "long name" `Quick test_long_section_name_rejected;
+        ] );
+      ( "flags",
+        [
+          Alcotest.test_case "flags string" `Quick test_section_flags_string;
+          Alcotest.test_case "hashable" `Quick test_section_hashable;
+        ] );
+    ]

@@ -1,0 +1,246 @@
+(* Cross-library property-based tests: invariants that must hold for
+   arbitrary modules, bases, and cloud seeds. *)
+
+module Build = Mc_pe.Build
+module Read = Mc_pe.Read
+module Flags = Mc_pe.Flags
+module Catalog = Mc_pe.Catalog
+module Loader = Mc_winkernel.Loader
+module Cloud = Mc_hypervisor.Cloud
+module Orchestrator = Modchecker.Orchestrator
+module Report = Modchecker.Report
+module Rng = Mc_util.Rng
+
+(* --- PE build/parse roundtrip over random section specs ------------------- *)
+
+let spec_gen =
+  QCheck.Gen.(
+    let* n_sections = int_range 1 5 in
+    let* seed = int in
+    return (n_sections, seed))
+
+let make_specs (n_sections, seed) =
+  let rng = Rng.create (Int64.of_int seed) in
+  List.init n_sections (fun i ->
+      let size = 1 + Rng.int rng 3000 in
+      let data = Rng.bytes rng size in
+      (* A few non-overlapping 4-byte slots on an 8-byte grid. *)
+      let n_slots = Rng.int rng (max 1 (size / 64)) in
+      let slots =
+        List.sort_uniq compare
+          (List.init n_slots (fun _ -> 8 * Rng.int rng (max 1 ((size / 8) - 1))))
+        |> List.filter (fun off -> off + 4 <= size)
+      in
+      Build.
+        {
+          spec_name = Printf.sprintf ".s%d" i;
+          spec_data = data;
+          spec_characteristics =
+            (if i = 0 then Flags.cnt_code lor Flags.mem_execute lor Flags.mem_read
+             else Flags.cnt_initialized_data lor Flags.mem_read);
+          spec_relocs = slots;
+        })
+
+let prop_pe_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"pe build/parse roundtrip"
+    (QCheck.make spec_gen) (fun params ->
+      let specs = make_specs params in
+      let file = Build.build specs in
+      match Read.parse ~layout:File file with
+      | Error _ -> false
+      | Ok image ->
+          let checksum_ok =
+            match Read.verify_checksum file with Ok b -> b | Error _ -> false
+          in
+          let sections_match =
+            List.for_all
+              (fun spec ->
+                match Read.find_section image spec.Build.spec_name with
+                | Some (sec, data) ->
+                    sec.Mc_pe.Types.virtual_size
+                    = Bytes.length spec.Build.spec_data
+                    && Bytes.equal
+                         (Bytes.sub data 0 (Bytes.length spec.Build.spec_data))
+                         spec.Build.spec_data
+                | None -> false)
+              specs
+          in
+          let rvas = Build.layout_rvas specs in
+          let expected_slots =
+            List.concat_map
+              (fun spec ->
+                let rva = List.assoc spec.Build.spec_name rvas in
+                List.map (fun off -> rva + off) spec.Build.spec_relocs)
+              specs
+            |> List.sort compare
+          in
+          let parsed_slots = Read.base_relocations ~layout:File file image in
+          checksum_ok && sections_match && parsed_slots = expected_slots)
+
+(* --- Loader: two loads differ only at relocation slots -------------------- *)
+
+let prop_loader_diff_is_relocs =
+  QCheck.Test.make ~count:40 ~name:"loads at two bases differ only at slots"
+    QCheck.(pair (int_range 0 0x3FF) (int_range 0 0x3FF))
+    (fun (s1, s2) ->
+      let file = (Catalog.image "disk.sys").Catalog.file in
+      let base1 = 0xF8000000 + (s1 * 0x10000) in
+      let base2 = 0xF8000000 + (s2 * 0x10000) in
+      let mem1 =
+        match Loader.simulate_load file ~base:base1 with
+        | Ok m -> m
+        | Error _ -> Bytes.create 0
+      in
+      let mem2 =
+        match Loader.simulate_load file ~base:base2 with
+        | Ok m -> m
+        | Error _ -> Bytes.create 0
+      in
+      let image =
+        match Read.parse ~layout:File file with
+        | Ok i -> i
+        | Error _ -> failwith "parse"
+      in
+      let slot_ranges =
+        List.map
+          (fun rva -> (rva, rva + 4))
+          (Read.base_relocations ~layout:File file image)
+      in
+      let in_slot pos =
+        List.exists (fun (lo, hi) -> pos >= lo && pos < hi) slot_ranges
+      in
+      Bytes.length mem1 = Bytes.length mem2
+      &&
+      let ok = ref true in
+      Bytes.iteri
+        (fun pos c ->
+          if c <> Bytes.get mem2 pos && not (in_slot pos) then ok := false)
+        mem1;
+      !ok)
+
+(* --- Full pipeline: a clean pool is INTACT for any seed ------------------- *)
+
+let prop_clean_pool_intact =
+  QCheck.Test.make ~count:8 ~name:"clean pool votes INTACT at any seed"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let cloud = Cloud.create ~vms:3 ~seed:(Int64.of_int seed) () in
+      List.for_all
+        (fun name ->
+          match Orchestrator.check_module cloud ~target_vm:0 ~module_name:name with
+          | Ok o -> o.Orchestrator.report.Report.majority_ok
+          | Error _ -> false)
+        [ "hal.dll"; "disk.sys" ])
+
+(* --- Detection: an infected VM is flagged at any seed ---------------------- *)
+
+let prop_infection_detected =
+  QCheck.Test.make ~count:6 ~name:"inline hook detected at any seed"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let cloud = Cloud.create ~vms:3 ~seed:(Int64.of_int seed) () in
+      match Mc_malware.Infect.inline_hook cloud ~vm:1 with
+      | Error _ -> false
+      | Ok _ -> (
+          match
+            Orchestrator.check_module cloud ~target_vm:1 ~module_name:"hal.dll"
+          with
+          | Ok o -> not o.Orchestrator.report.Report.majority_ok
+          | Error _ -> false))
+
+(* --- Canonicalization is idempotent ---------------------------------------- *)
+
+let prop_canonicalize_idempotent =
+  QCheck.Test.make ~count:50 ~name:"canonicalize is idempotent"
+    QCheck.(pair (int_range 2 5) int)
+    (fun (n, seed) ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let len = 64 + Rng.int rng 128 in
+      let fill = Rng.bytes rng len in
+      let slots =
+        List.sort_uniq compare
+          (List.init (Rng.int rng 5) (fun _ -> 8 * Rng.int rng (len / 8 - 1)))
+      in
+      let rvas = List.map (fun _ -> Rng.int rng 0xFFFF) slots in
+      let bases = Array.init n (fun _ -> 0xF8000000 + (Rng.int rng 0x400 * 0x10000)) in
+      let buffers =
+        Array.map
+          (fun base ->
+            let b = Bytes.copy fill in
+            List.iter2
+              (fun off rva -> Mc_util.Le.set_u32_int b off (base + rva))
+              slots rvas;
+            b)
+          bases
+      in
+      ignore (Modchecker.Rva.canonicalize ~bases buffers);
+      let after_once = Array.map Bytes.copy buffers in
+      ignore (Modchecker.Rva.canonicalize ~bases buffers);
+      Array.for_all2 Bytes.equal after_once buffers)
+
+(* --- Table/chart renderers never raise -------------------------------------- *)
+
+let prop_table_total =
+  QCheck.Test.make ~count:100 ~name:"table renderer is total"
+    QCheck.(pair (list (list string)) (list string))
+    (fun (rows, header) ->
+      ignore (Mc_util.Table.render ~header rows);
+      true)
+
+let prop_chart_total =
+  QCheck.Test.make ~count:100 ~name:"chart renderer is total"
+    QCheck.(list (pair (pair small_nat small_nat) (list (pair float float))))
+    (fun series ->
+      let series =
+        List.map
+          (fun ((a, b), pts) ->
+            ( Printf.sprintf "s%d%d" a b,
+              List.filter
+                (fun (x, y) -> Float.is_finite x && Float.is_finite y)
+                pts ))
+          series
+      in
+      ignore
+        (Mc_util.Table.chart ~title:"t" ~x_label:"x" ~y_label:"y" series);
+      true)
+
+(* --- Searcher/guest agreement for any catalog module ----------------------- *)
+
+let prop_searcher_agrees_with_guest =
+  QCheck.Test.make ~count:6 ~name:"searcher sees what the guest loaded"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let cloud = Cloud.create ~vms:1 ~seed:(Int64.of_int seed) () in
+      let dom = Cloud.vm cloud 0 in
+      let vmi = Mc_vmi.Vmi.init dom Mc_vmi.Symbols.windows_xp_sp2 in
+      let via_vmi =
+        List.map
+          (fun (i : Modchecker.Searcher.module_info) -> (i.mi_name, i.mi_base))
+          (Modchecker.Searcher.list_modules vmi)
+      in
+      let via_guest =
+        List.map
+          (fun (e : Mc_winkernel.Ldr.entry) -> (e.base_dll_name, e.dll_base))
+          (Mc_winkernel.Kernel.modules (Mc_hypervisor.Dom.kernel_exn dom))
+      in
+      via_vmi = via_guest)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "pe",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_pe_roundtrip; prop_loader_diff_is_relocs ] );
+      ( "pipeline",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_clean_pool_intact; prop_infection_detected;
+            prop_searcher_agrees_with_guest;
+          ] );
+      ( "canonical",
+        List.map QCheck_alcotest.to_alcotest [ prop_canonicalize_idempotent ]
+      );
+      ( "render",
+        List.map QCheck_alcotest.to_alcotest [ prop_table_total; prop_chart_total ]
+      );
+    ]

@@ -1,0 +1,127 @@
+(* Tests for Module-Searcher over VMI. *)
+
+module Cloud = Mc_hypervisor.Cloud
+module Dom = Mc_hypervisor.Dom
+module Meter = Mc_hypervisor.Meter
+module Vmi = Mc_vmi.Vmi
+module Symbols = Mc_vmi.Symbols
+module Searcher = Modchecker.Searcher
+module Kernel = Mc_winkernel.Kernel
+module As = Mc_memsim.Addr_space
+module Catalog = Mc_pe.Catalog
+
+let check = Alcotest.check
+
+let cloud = lazy (Cloud.create ~vms:2 ~cores:4 ~seed:17L ())
+
+let dom () = Cloud.vm (Lazy.force cloud) 0
+
+let vmi () = Vmi.init (dom ()) Symbols.windows_xp_sp2
+
+let test_list_modules () =
+  let infos = Searcher.list_modules (vmi ()) in
+  check
+    Alcotest.(list string)
+    "names in load order" Catalog.standard_modules
+    (List.map (fun (i : Searcher.module_info) -> i.mi_name) infos);
+  List.iter
+    (fun (i : Searcher.module_info) ->
+      Alcotest.(check bool) (i.mi_name ^ " base set") true (i.mi_base > 0);
+      Alcotest.(check bool) (i.mi_name ^ " size set") true (i.mi_size > 0);
+      Alcotest.(check bool)
+        (i.mi_name ^ " full path")
+        true
+        (String.length i.mi_full_name > String.length i.mi_name))
+    infos
+
+let test_find_module_case_insensitive () =
+  (match Searcher.find_module (vmi ()) ~name:"HAL.DLL" with
+  | Some info -> check Alcotest.string "name" "hal.dll" info.mi_name
+  | None -> Alcotest.fail "hal.dll should be found");
+  check Alcotest.bool "missing module" true
+    (Searcher.find_module (vmi ()) ~name:"rootkit.sys" = None)
+
+let test_find_matches_guest_view () =
+  let info = Option.get (Searcher.find_module (vmi ()) ~name:"http.sys") in
+  let guest =
+    Option.get (Kernel.find_module (Dom.kernel_exn (dom ())) "http.sys")
+  in
+  check Alcotest.int "base agrees" guest.Mc_winkernel.Ldr.dll_base info.mi_base;
+  check Alcotest.int "size agrees" guest.Mc_winkernel.Ldr.size_of_image
+    info.mi_size
+
+let test_copy_module () =
+  let v = vmi () in
+  let info = Option.get (Searcher.find_module v ~name:"disk.sys") in
+  let copied = Searcher.copy_module v info in
+  check Alcotest.int "full size copied" info.mi_size (Bytes.length copied);
+  let guest =
+    As.read_bytes (Kernel.aspace (Dom.kernel_exn (dom ()))) info.mi_base
+      info.mi_size
+  in
+  Alcotest.(check bool) "bytes equal guest memory" true (Bytes.equal copied guest)
+
+let test_fetch () =
+  let v = vmi () in
+  (match Searcher.fetch v ~name:"hal.dll" with
+  | Some (info, buf) ->
+      check Alcotest.int "buffer is SizeOfImage" info.mi_size (Bytes.length buf);
+      check Alcotest.int "starts with MZ" Mc_pe.Flags.dos_magic
+        (Bytes.get_uint16_le buf 0)
+  | None -> Alcotest.fail "fetch must succeed");
+  check Alcotest.bool "fetch missing is None" true
+    (Searcher.fetch v ~name:"nothere.sys" = None)
+
+let test_hidden_module_not_found () =
+  (* DKOM-hide then search: the searcher sees only the list. *)
+  let fresh = Cloud.create ~vms:1 ~cores:2 ~seed:18L () in
+  let d = Cloud.vm fresh 0 in
+  (match Mc_malware.Dkom.hide (Dom.kernel_exn d) ~module_name:"http.sys" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let v = Vmi.init d Symbols.windows_xp_sp2 in
+  check Alcotest.bool "hidden module invisible" true
+    (Searcher.find_module v ~name:"http.sys" = None)
+
+let test_struct_read_metering () =
+  let meter = Meter.create () in
+  Meter.set_phase meter Meter.Searcher;
+  let v = Vmi.init ~meter (dom ()) Symbols.windows_xp_sp2 in
+  ignore (Searcher.list_modules ~meter v);
+  let c = Meter.get meter Meter.Searcher in
+  (* Head read + per-module entry and two name-buffer reads. *)
+  let n = List.length Catalog.standard_modules in
+  Alcotest.(check bool)
+    (Printf.sprintf "struct reads >= 1 + 3n (%d)" c.Meter.struct_reads)
+    true
+    (c.Meter.struct_reads >= 1 + (3 * n))
+
+let test_early_stop_on_find () =
+  (* Finding the first module must touch fewer structures than a full
+     listing. *)
+  let meter_find = Meter.create () in
+  let v1 = Vmi.init ~meter:meter_find (dom ()) Symbols.windows_xp_sp2 in
+  ignore (Searcher.find_module ~meter:meter_find v1 ~name:"ntoskrnl.exe");
+  let meter_list = Meter.create () in
+  let v2 = Vmi.init ~meter:meter_list (dom ()) Symbols.windows_xp_sp2 in
+  ignore (Searcher.list_modules ~meter:meter_list v2);
+  Alcotest.(check bool) "early stop reads less" true
+    ((Meter.get meter_find Meter.Searcher).Meter.struct_reads
+    < (Meter.get meter_list Meter.Searcher).Meter.struct_reads)
+
+let () =
+  Alcotest.run "searcher"
+    [
+      ( "search",
+        [
+          Alcotest.test_case "list" `Quick test_list_modules;
+          Alcotest.test_case "find ci" `Quick test_find_module_case_insensitive;
+          Alcotest.test_case "matches guest" `Quick test_find_matches_guest_view;
+          Alcotest.test_case "copy" `Quick test_copy_module;
+          Alcotest.test_case "fetch" `Quick test_fetch;
+          Alcotest.test_case "hidden invisible" `Quick
+            test_hidden_module_not_found;
+          Alcotest.test_case "struct metering" `Quick test_struct_read_metering;
+          Alcotest.test_case "early stop" `Quick test_early_stop_on_find;
+        ] );
+    ]

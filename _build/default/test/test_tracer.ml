@@ -1,0 +1,225 @@
+(* Tests for the guest-memory scanner and the hook tracer (the deeper
+   analysis tool the paper's conclusion hands off to). *)
+
+module Scanner = Mc_vmi.Scanner
+module Hook_tracer = Modchecker.Hook_tracer
+module Inline_hook = Mc_malware.Inline_hook
+module Cloud = Mc_hypervisor.Cloud
+module Dom = Mc_hypervisor.Dom
+module Kernel = Mc_winkernel.Kernel
+module Catalog = Mc_pe.Catalog
+module Vmi = Mc_vmi.Vmi
+module Searcher = Modchecker.Searcher
+module Parser = Modchecker.Parser
+module Le = Mc_util.Le
+
+let check = Alcotest.check
+
+(* --- Scanner --------------------------------------------------------------- *)
+
+let test_find_in_bytes () =
+  let buf = Bytes.of_string "xxabcxxabc" in
+  check Alcotest.(list int) "all matches" [ 2; 7 ]
+    (Scanner.find_in_bytes buf ~pattern:(Bytes.of_string "abc"));
+  check Alcotest.(list int) "no match" []
+    (Scanner.find_in_bytes buf ~pattern:(Bytes.of_string "zzz"));
+  check Alcotest.(list int) "empty pattern" []
+    (Scanner.find_in_bytes buf ~pattern:Bytes.empty);
+  check Alcotest.(list int) "overlapping" [ 0; 1 ]
+    (Scanner.find_in_bytes (Bytes.of_string "aaa") ~pattern:(Bytes.of_string "aa"))
+
+let marker_pattern () =
+  (* The inline hook payload starts with B8 <marker>. *)
+  let p = Bytes.create 5 in
+  Bytes.set p 0 '\xB8';
+  Le.set_u32 p 1 Inline_hook.payload_marker;
+  p
+
+let hooked_cloud () =
+  let cloud = Cloud.create ~vms:3 ~cores:2 ~seed:801L () in
+  (match Mc_malware.Infect.inline_hook cloud ~vm:0 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  cloud
+
+let test_scan_module_finds_payload () =
+  let cloud = hooked_cloud () in
+  let dom = Cloud.vm cloud 0 in
+  let vmi = Vmi.init dom Mc_vmi.Symbols.windows_xp_sp2 in
+  let info = Option.get (Searcher.find_module vmi ~name:"hal.dll") in
+  let hits =
+    Scanner.scan_module vmi ~base:info.mi_base ~size:info.mi_size
+      ~pattern:(marker_pattern ())
+  in
+  check Alcotest.int "exactly one payload marker" 1 (List.length hits);
+  (* And the clean VM has none. *)
+  let vmi_clean = Vmi.init (Cloud.vm cloud 1) Mc_vmi.Symbols.windows_xp_sp2 in
+  let info_clean = Option.get (Searcher.find_module vmi_clean ~name:"hal.dll") in
+  check Alcotest.int "clean VM has no marker" 0
+    (List.length
+       (Scanner.scan_module vmi_clean ~base:info_clean.mi_base
+          ~size:info_clean.mi_size ~pattern:(marker_pattern ())))
+
+let test_scan_cross_page () =
+  (* Plant a pattern straddling a page boundary in guest memory. *)
+  let cloud = Cloud.create ~vms:1 ~cores:2 ~seed:802L () in
+  let dom = Cloud.vm cloud 0 in
+  let kernel = Dom.kernel_exn dom in
+  let e = Option.get (Kernel.find_module kernel "hal.dll") in
+  let page = Mc_memsim.Phys.frame_size in
+  let va = e.dll_base + page - 2 in
+  Mc_memsim.Addr_space.write_bytes (Kernel.aspace kernel) va
+    (Bytes.of_string "MAGI");
+  let vmi = Vmi.init dom Mc_vmi.Symbols.windows_xp_sp2 in
+  check Alcotest.(list int) "cross-page match" [ va ]
+    (Scanner.find_pattern vmi ~start:e.dll_base ~len:(4 * page)
+       ~pattern:(Bytes.of_string "MAGI"))
+
+(* --- Hook tracer ------------------------------------------------------------ *)
+
+let artifacts_of cloud vm name =
+  let dom = Cloud.vm cloud vm in
+  let vmi = Vmi.init dom Mc_vmi.Symbols.windows_xp_sp2 in
+  match Searcher.fetch vmi ~name with
+  | Some (info, buf) -> (
+      match Parser.artifacts buf with
+      | Ok a -> (info, a)
+      | Error e -> Alcotest.fail e)
+  | None -> Alcotest.fail (name ^ " not loaded")
+
+let test_traces_inline_hook () =
+  let cloud = Cloud.create ~vms:3 ~cores:2 ~seed:803L () in
+  let kernel = Dom.kernel_exn (Cloud.vm cloud 0) in
+  let hal = Option.get (Kernel.find_module kernel "hal.dll") in
+  let fn_rva = Catalog.fn_rva (Catalog.image "hal.dll") "HalInitSystem" in
+  let hook =
+    match
+      Inline_hook.hook (Kernel.aspace kernel)
+        ~module_base:hal.Mc_winkernel.Ldr.dll_base
+        ~func_va:(hal.Mc_winkernel.Ldr.dll_base + fn_rva)
+    with
+    | Ok r -> r
+    | Error e -> Alcotest.fail e
+  in
+  let info_i, arts_i = artifacts_of cloud 0 "hal.dll" in
+  let info_r, arts_r = artifacts_of cloud 1 "hal.dll" in
+  let symbols = Catalog.symbols (Catalog.image "hal.dll") in
+  match
+    Hook_tracer.analyze ~symbols ~base_infected:info_i.Searcher.mi_base arts_i
+      ~base_reference:info_r.Searcher.mi_base arts_r
+  with
+  | Error e -> Alcotest.fail e
+  | Ok [ Hook_tracer.Inline_hook h ] ->
+      check Alcotest.int "hook site" fn_rva h.hook_at_rva;
+      check Alcotest.(option string) "function named" (Some "HalInitSystem")
+        h.hook_function;
+      check Alcotest.int "cave located"
+        (hook.Inline_hook.cave_va - hal.Mc_winkernel.Ldr.dll_base)
+        h.cave_rva;
+      check Alcotest.(option int) "resume point"
+        (Some (fn_rva + hook.Inline_hook.stolen_len))
+        h.resumes_at_rva;
+      check Alcotest.int "payload extent" hook.Inline_hook.payload_len
+        h.payload_len
+  | Ok other ->
+      Alcotest.fail
+        (Printf.sprintf "expected exactly one inline hook, got [%s]"
+           (String.concat "; " (List.map Hook_tracer.to_string other)))
+
+let test_traces_opcode_patch () =
+  let cloud = Cloud.create ~vms:3 ~cores:2 ~seed:804L () in
+  (match Mc_malware.Infect.single_opcode_replacement cloud ~vm:0 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let info_i, arts_i = artifacts_of cloud 0 "hal.dll" in
+  let info_r, arts_r = artifacts_of cloud 1 "hal.dll" in
+  let symbols = Catalog.symbols (Catalog.image "hal.dll") in
+  match
+    Hook_tracer.analyze ~symbols ~base_infected:info_i.Searcher.mi_base arts_i
+      ~base_reference:info_r.Searcher.mi_base arts_r
+  with
+  | Error e -> Alcotest.fail e
+  | Ok classifications ->
+      Alcotest.(check bool) "at least one finding" true (classifications <> []);
+      List.iter
+        (fun c ->
+          match c with
+          | Hook_tracer.Code_patch p ->
+              check Alcotest.(option string) "inside HalInitSystem"
+                (Some "HalInitSystem") p.Hook_tracer.patch_function
+          | other ->
+              Alcotest.fail
+                ("opcode patch misclassified: " ^ Hook_tracer.to_string other))
+        classifications
+
+let test_traces_resize () =
+  let cloud = Cloud.create ~vms:3 ~cores:2 ~seed:805L () in
+  (match Mc_malware.Infect.dll_injection cloud ~vm:0 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let info_i, arts_i = artifacts_of cloud 0 "dummy.sys" in
+  let info_r, arts_r = artifacts_of cloud 1 "dummy.sys" in
+  match
+    Hook_tracer.analyze ~base_infected:info_i.Searcher.mi_base arts_i
+      ~base_reference:info_r.Searcher.mi_base arts_r
+  with
+  | Ok [ Hook_tracer.Section_resized { old_len; new_len } ] ->
+      Alcotest.(check bool) "grew" true (new_len > old_len)
+  | Ok other ->
+      Alcotest.fail
+        (Printf.sprintf "expected resize, got [%s]"
+           (String.concat "; " (List.map Hook_tracer.to_string other)))
+  | Error e -> Alcotest.fail e
+
+let test_clean_pair_traces_nothing () =
+  let cloud = Cloud.create ~vms:2 ~cores:2 ~seed:806L () in
+  let info_i, arts_i = artifacts_of cloud 0 "hal.dll" in
+  let info_r, arts_r = artifacts_of cloud 1 "hal.dll" in
+  match
+    Hook_tracer.analyze ~base_infected:info_i.Searcher.mi_base arts_i
+      ~base_reference:info_r.Searcher.mi_base arts_r
+  with
+  | Ok [] -> ()
+  | Ok other ->
+      Alcotest.fail
+        (Printf.sprintf "clean pair produced [%s]"
+           (String.concat "; " (List.map Hook_tracer.to_string other)))
+  | Error e -> Alcotest.fail e
+
+let test_to_string () =
+  let s =
+    Hook_tracer.to_string
+      (Hook_tracer.Inline_hook
+         {
+           hook_at_rva = 0x1000;
+           hook_function = Some "HalInitSystem";
+           cave_rva = 0x1019;
+           payload_len = 21;
+           resumes_at_rva = Some 0x1009;
+         })
+  in
+  Alcotest.(check bool) "mentions the function" true
+    (String.length s > 0
+    && Scanner.find_in_bytes (Bytes.of_string s)
+         ~pattern:(Bytes.of_string "HalInitSystem")
+       <> [])
+
+let () =
+  Alcotest.run "tracer"
+    [
+      ( "scanner",
+        [
+          Alcotest.test_case "find_in_bytes" `Quick test_find_in_bytes;
+          Alcotest.test_case "payload marker" `Quick
+            test_scan_module_finds_payload;
+          Alcotest.test_case "cross-page" `Quick test_scan_cross_page;
+        ] );
+      ( "hook-tracer",
+        [
+          Alcotest.test_case "inline hook" `Quick test_traces_inline_hook;
+          Alcotest.test_case "opcode patch" `Quick test_traces_opcode_patch;
+          Alcotest.test_case "resize" `Quick test_traces_resize;
+          Alcotest.test_case "clean" `Quick test_clean_pair_traces_nothing;
+          Alcotest.test_case "to_string" `Quick test_to_string;
+        ] );
+    ]

@@ -1,0 +1,412 @@
+(* Tests for the simulated Windows guest kernel: filesystem, UTF-16, LDR
+   list machinery, the loader, and kernel boot. *)
+
+module Fs = Mc_winkernel.Fs
+module Unicode = Mc_winkernel.Unicode
+module Layout = Mc_winkernel.Layout
+module Ldr = Mc_winkernel.Ldr
+module Loader = Mc_winkernel.Loader
+module Kernel = Mc_winkernel.Kernel
+module Catalog = Mc_pe.Catalog
+module Read = Mc_pe.Read
+module Phys = Mc_memsim.Phys
+module As = Mc_memsim.Addr_space
+module Le = Mc_util.Le
+
+let check = Alcotest.check
+
+(* --- Unicode ------------------------------------------------------------- *)
+
+let test_unicode_roundtrip () =
+  let s = "hal.dll" in
+  check Alcotest.string "roundtrip" s
+    (Unicode.ascii_of_utf16le (Unicode.utf16le_of_ascii s));
+  check Alcotest.int "2 bytes per char" 14
+    (Bytes.length (Unicode.utf16le_of_ascii s))
+
+let test_unicode_non_ascii () =
+  let b = Bytes.create 2 in
+  Bytes.set_uint16_le b 0 0x4E2D;
+  check Alcotest.string "non-ascii becomes ?" "?" (Unicode.ascii_of_utf16le b)
+
+let test_unicode_ci () =
+  Alcotest.(check bool) "ci equal" true (Unicode.equal_ascii_ci "HAL.DLL" "hal.dll");
+  Alcotest.(check bool) "different" false (Unicode.equal_ascii_ci "a" "b")
+
+(* --- Fs ------------------------------------------------------------------ *)
+
+let test_fs_rw () =
+  let fs = Fs.create () in
+  Fs.write_file fs "C:\\WINDOWS\\System32\\hal.dll" (Bytes.of_string "abc");
+  check Alcotest.(option string) "read back" (Some "abc")
+    (Option.map Bytes.to_string (Fs.read_file fs "c:\\windows\\system32\\HAL.DLL"));
+  Alcotest.(check bool) "exists ci" true (Fs.exists fs "C:\\Windows\\SYSTEM32\\hal.dll");
+  Fs.remove fs "C:\\WINDOWS\\System32\\hal.dll";
+  check Alcotest.(option string) "removed" None
+    (Option.map Bytes.to_string (Fs.read_file fs "C:\\WINDOWS\\System32\\hal.dll"))
+
+let test_fs_isolation () =
+  let fs = Fs.create () in
+  let payload = Bytes.of_string "original" in
+  Fs.write_file fs "f" payload;
+  Bytes.set payload 0 'X';
+  check Alcotest.(option string) "write copies" (Some "original")
+    (Option.map Bytes.to_string (Fs.read_file fs "f"));
+  let out = Option.get (Fs.read_file fs "f") in
+  Bytes.set out 0 'Y';
+  check Alcotest.(option string) "read copies" (Some "original")
+    (Option.map Bytes.to_string (Fs.read_file fs "f"))
+
+let test_fs_clone () =
+  let fs = Fs.create () in
+  Fs.write_file fs "a" (Bytes.of_string "1");
+  let clone = Fs.clone fs in
+  Fs.write_file clone "a" (Bytes.of_string "2");
+  check Alcotest.(option string) "original unchanged" (Some "1")
+    (Option.map Bytes.to_string (Fs.read_file fs "a"));
+  check Alcotest.(option string) "clone changed" (Some "2")
+    (Option.map Bytes.to_string (Fs.read_file clone "a"))
+
+let test_fs_paths () =
+  check Alcotest.string "sys under drivers"
+    "C:\\WINDOWS\\System32\\drivers\\http.sys"
+    (Fs.module_path "http.sys");
+  check Alcotest.string "dll under system32" "C:\\WINDOWS\\System32\\hal.dll"
+    (Fs.module_path "hal.dll");
+  check Alcotest.string "exe under system32"
+    "C:\\WINDOWS\\System32\\ntoskrnl.exe"
+    (Fs.module_path "ntoskrnl.exe")
+
+let test_fs_list_sorted () =
+  let fs = Fs.create () in
+  Fs.write_file fs "b" (Bytes.of_string "");
+  Fs.write_file fs "a" (Bytes.of_string "");
+  check Alcotest.(list string) "sorted" [ "a"; "b" ] (Fs.list fs)
+
+(* --- Ldr ----------------------------------------------------------------- *)
+
+let make_aspace () =
+  let phys = Phys.create () in
+  let aspace = As.create phys in
+  As.map_range aspace ~va:0x80000000 ~size:(16 * Phys.frame_size);
+  aspace
+
+let test_ldr_unicode_string () =
+  let aspace = make_aspace () in
+  Ldr.write_unicode_string aspace ~struct_va:0x80000000 ~buffer_va:0x80000100
+    "ntfs.sys";
+  check Alcotest.string "roundtrip" "ntfs.sys"
+    (Ldr.read_unicode_string aspace 0x80000000)
+
+let test_ldr_entry_roundtrip () =
+  let aspace = make_aspace () in
+  Ldr.write_entry aspace ~entry_va:0x80001000 ~dll_base:0xF8CC2000
+    ~entry_point:0xF8CC2345 ~size_of_image:0x20000
+    ~full_name_buffer_va:0x80002000
+    ~full_dll_name:"C:\\WINDOWS\\System32\\hal.dll"
+    ~base_name_buffer_va:0x80002100 ~base_dll_name:"hal.dll";
+  let e = Ldr.read_entry aspace 0x80001000 in
+  check Alcotest.int "base" 0xF8CC2000 e.dll_base;
+  check Alcotest.int "entry point" 0xF8CC2345 e.entry_point;
+  check Alcotest.int "size" 0x20000 e.size_of_image;
+  check Alcotest.string "base name" "hal.dll" e.base_dll_name;
+  check Alcotest.string "full name" "C:\\WINDOWS\\System32\\hal.dll"
+    e.full_dll_name
+
+let test_ldr_list_operations () =
+  let aspace = make_aspace () in
+  let head = 0x80000000 in
+  Ldr.init_list_head aspace head;
+  check Alcotest.int "empty walk" 0 (List.length (Ldr.walk aspace ~head_va:head));
+  let entry i = 0x80001000 + (i * 0x100) in
+  for i = 0 to 2 do
+    Ldr.write_entry aspace ~entry_va:(entry i) ~dll_base:(0xF8000000 + i)
+      ~entry_point:0 ~size_of_image:0x1000
+      ~full_name_buffer_va:(0x80004000 + (i * 0x80))
+      ~full_dll_name:(Printf.sprintf "full%d" i)
+      ~base_name_buffer_va:(0x80005000 + (i * 0x80))
+      ~base_dll_name:(Printf.sprintf "mod%d.sys" i);
+    Ldr.link_tail aspace ~head_va:head ~entry_va:(entry i)
+  done;
+  let names =
+    List.map (fun (e : Ldr.entry) -> e.base_dll_name) (Ldr.walk aspace ~head_va:head)
+  in
+  check Alcotest.(list string) "load order" [ "mod0.sys"; "mod1.sys"; "mod2.sys" ]
+    names;
+  (* Unlink the middle one — the DKOM primitive. *)
+  Ldr.unlink aspace ~entry_va:(entry 1);
+  let names =
+    List.map (fun (e : Ldr.entry) -> e.base_dll_name) (Ldr.walk aspace ~head_va:head)
+  in
+  check Alcotest.(list string) "after unlink" [ "mod0.sys"; "mod2.sys" ] names;
+  (* The list is doubly linked: backward pointers survive surgery. *)
+  let e0 = Ldr.read_entry aspace (entry 0) in
+  let e2 = Ldr.read_entry aspace (entry 2) in
+  check Alcotest.int "fwd 0 -> 2" (entry 2) e0.flink;
+  check Alcotest.int "back 2 -> 0" (entry 0) e2.blink
+
+(* --- Loader --------------------------------------------------------------- *)
+
+let test_loader_layout_and_relocation () =
+  let built = Catalog.image "dummy.sys" in
+  let phys = Phys.create () in
+  let aspace = As.create phys in
+  let base = 0xF8AB0000 in
+  let loaded =
+    match Loader.load_at aspace ~base built.file with
+    | Ok l -> l
+    | Error e -> Alcotest.fail (Loader.error_to_string e)
+  in
+  check Alcotest.int "base recorded" base loaded.base;
+  Alcotest.(check bool) "relocs applied" true (loaded.relocs_applied > 0);
+  (* Headers land at base. *)
+  check Alcotest.int "MZ at base" Mc_pe.Flags.dos_magic
+    (As.read_u16 aspace base);
+  (* Every relocation slot now holds base + its file RVA. *)
+  let image =
+    match Read.parse ~layout:File built.file with
+    | Ok i -> i
+    | Error e -> Alcotest.fail (Read.error_to_string e)
+  in
+  let slots = Read.base_relocations ~layout:File built.file image in
+  check Alcotest.int "slot count matches loader" (List.length slots)
+    loaded.relocs_applied;
+  let file_mem =
+    match Loader.simulate_load built.file ~base:0 with
+    | Ok m -> m
+    | Error e -> Alcotest.fail (Loader.error_to_string e)
+  in
+  List.iter
+    (fun rva ->
+      let original = Le.get_u32_int file_mem rva in
+      check Alcotest.int
+        (Printf.sprintf "slot 0x%x rebased" rva)
+        (original + base)
+        (As.read_u32_int aspace (base + rva)))
+    slots
+
+let test_loader_entry_point () =
+  let built = Catalog.image "dummy.sys" in
+  let phys = Phys.create () in
+  let aspace = As.create phys in
+  let loaded =
+    match Loader.load_at aspace ~base:0xF8000000 built.file with
+    | Ok l -> l
+    | Error e -> Alcotest.fail (Loader.error_to_string e)
+  in
+  check Alcotest.int "entry = base + text rva" (0xF8000000 + built.text_rva)
+    loaded.entry_point
+
+let test_loader_discards_reloc () =
+  let built = Catalog.image "dummy.sys" in
+  let phys = Phys.create () in
+  let aspace = As.create phys in
+  (match Loader.load_at aspace ~base:0xF8000000 built.file with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Loader.error_to_string e));
+  let image =
+    match Read.parse ~layout:File built.file with
+    | Ok i -> i
+    | Error e -> Alcotest.fail (Read.error_to_string e)
+  in
+  let reloc, _ = Option.get (Read.find_section image ".reloc") in
+  let mem =
+    As.read_bytes aspace
+      (0xF8000000 + reloc.virtual_address)
+      reloc.virtual_size
+  in
+  Alcotest.(check bool) ".reloc zeroed in memory" true
+    (Bytes.for_all (fun c -> c = '\000') mem)
+
+let test_loader_checksum_enforcement () =
+  let built = Catalog.image "dummy.sys" in
+  let tampered = Bytes.copy built.file in
+  (* Corrupt a .text byte without re-forging the checksum. *)
+  Bytes.set tampered (Bytes.length tampered - 600) 'X';
+  let phys = Phys.create () in
+  let aspace = As.create phys in
+  (* Default: XP does not verify for ordinary drivers. *)
+  (match Loader.load_at aspace ~base:0xF8000000 tampered with
+  | Ok _ -> ()
+  | Error e ->
+      Alcotest.fail ("lenient load should succeed: " ^ Loader.error_to_string e));
+  (* Strict mode refuses. *)
+  let aspace2 = As.create (Phys.create ()) in
+  match Loader.load_at ~verify_checksum:true aspace2 ~base:0xF8100000 tampered with
+  | Error Loader.Checksum_mismatch -> ()
+  | Ok _ -> Alcotest.fail "strict load must reject a stale checksum"
+  | Error e -> Alcotest.fail (Loader.error_to_string e)
+
+let test_loader_rejects_garbage () =
+  let phys = Phys.create () in
+  let aspace = As.create phys in
+  match Loader.load_at aspace ~base:0xF8000000 (Bytes.make 256 '\xAA') with
+  | Error (Loader.Invalid_image _) -> ()
+  | _ -> Alcotest.fail "garbage must be rejected"
+
+let test_simulate_load_equals_load_at () =
+  let built = Catalog.image "hello.sys" in
+  let base = 0xF8440000 in
+  let sim =
+    match Loader.simulate_load built.file ~base with
+    | Ok m -> m
+    | Error e -> Alcotest.fail (Loader.error_to_string e)
+  in
+  let phys = Phys.create () in
+  let aspace = As.create phys in
+  (match Loader.load_at aspace ~base built.file with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Loader.error_to_string e));
+  let mem = As.read_bytes aspace base (Bytes.length sim) in
+  Alcotest.(check bool) "identical memory image" true (Bytes.equal sim mem)
+
+(* --- Kernel ---------------------------------------------------------------- *)
+
+let golden =
+  lazy
+    (let fs = Fs.create () in
+     List.iter
+       (fun name ->
+         Fs.write_file fs (Fs.module_path name) (Catalog.image name).Catalog.file)
+       Catalog.standard_modules;
+     fs)
+
+let boot ?(seed = 42L) ?generation () =
+  match Kernel.boot ?generation ~fs:(Fs.clone (Lazy.force golden)) ~seed () with
+  | Ok k -> k
+  | Error e -> Alcotest.fail (Kernel.error_to_string e)
+
+let test_kernel_boots_standard_modules () =
+  let k = boot () in
+  check
+    Alcotest.(list string)
+    "all standard modules in load order" Catalog.standard_modules
+    (Kernel.module_names k)
+
+let test_kernel_find_module_ci () =
+  let k = boot () in
+  Alcotest.(check bool) "find hal" true (Kernel.find_module k "HAL.DLL" <> None);
+  Alcotest.(check bool) "missing" true (Kernel.find_module k "nothere.sys" = None)
+
+let test_kernel_bases_aligned_distinct () =
+  let k = boot () in
+  let bases =
+    List.map (fun (e : Ldr.entry) -> e.dll_base) (Kernel.modules k)
+  in
+  List.iter
+    (fun b ->
+      check Alcotest.int "64K aligned" 0 (b mod Layout.default_module_alignment);
+      Alcotest.(check bool) "in driver region" true
+        (b >= Layout.driver_region_start && b < Layout.driver_region_end))
+    bases;
+  check Alcotest.int "all distinct" (List.length bases)
+    (List.length (List.sort_uniq compare bases))
+
+let test_kernel_seeds_give_different_bases () =
+  let k1 = boot ~seed:1L () and k2 = boot ~seed:2L () in
+  let base k = (Option.get (Kernel.find_module k "hal.dll")).Ldr.dll_base in
+  Alcotest.(check bool) "different seeds, different bases" true
+    (base k1 <> base k2)
+
+let test_kernel_load_unload () =
+  let k = boot () in
+  let fs = Kernel.fs k in
+  Fs.write_file fs (Fs.module_path "hello.sys")
+    (Catalog.image "hello.sys").Catalog.file;
+  (match Kernel.load_module k "hello.sys" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Kernel.error_to_string e));
+  Alcotest.(check bool) "loaded" true (Kernel.find_module k "hello.sys" <> None);
+  (match Kernel.load_module k "hello.sys" with
+  | Error (Kernel.Already_loaded _) -> ()
+  | _ -> Alcotest.fail "double load must fail");
+  Alcotest.(check bool) "unload" true (Kernel.unload_module k "hello.sys");
+  Alcotest.(check bool) "gone" true (Kernel.find_module k "hello.sys" = None);
+  Alcotest.(check bool) "second unload false" true
+    (not (Kernel.unload_module k "hello.sys"))
+
+let test_kernel_load_missing_file () =
+  let k = boot () in
+  match Kernel.load_module k "ghost.sys" with
+  | Error (Kernel.File_not_found _) -> ()
+  | _ -> Alcotest.fail "expected File_not_found"
+
+let test_kernel_reboot_moves_bases () =
+  let k0 = boot ~seed:9L () in
+  let k1 = boot ~seed:9L ~generation:1 () in
+  let base k = (Option.get (Kernel.find_module k "http.sys")).Ldr.dll_base in
+  Alcotest.(check bool) "generation changes bases" true (base k0 <> base k1)
+
+let test_kernel_module_content_matches_file () =
+  (* What the loader puts in memory equals simulate_load of the disk file
+     at the module's base — the invariant SVV/LKIM rely on. Import binding
+     must use the same resolver the kernel used. *)
+  let k = boot () in
+  let e = Option.get (Kernel.find_module k "ndis.sys") in
+  let file = Option.get (Fs.read_file (Kernel.fs k) (Fs.module_path "ndis.sys")) in
+  let resolver ~dll ~symbol = Kernel.resolve_export k ~dll ~symbol in
+  let sim =
+    match Loader.simulate_load ~resolver file ~base:e.dll_base with
+    | Ok m -> m
+    | Error err -> Alcotest.fail (Loader.error_to_string err)
+  in
+  let mem = As.read_bytes (Kernel.aspace k) e.dll_base e.size_of_image in
+  Alcotest.(check bool) "memory equals simulated load" true (Bytes.equal sim mem);
+  (* Without the resolver only the writable IAT differs. *)
+  let sim_unbound =
+    match Loader.simulate_load file ~base:e.dll_base with
+    | Ok m -> m
+    | Error err -> Alcotest.fail (Loader.error_to_string err)
+  in
+  Alcotest.(check bool) "unbound differs in the IAT" false
+    (Bytes.equal sim_unbound mem)
+
+let () =
+  Alcotest.run "winkernel"
+    [
+      ( "unicode",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_unicode_roundtrip;
+          Alcotest.test_case "non-ascii" `Quick test_unicode_non_ascii;
+          Alcotest.test_case "case-insensitive" `Quick test_unicode_ci;
+        ] );
+      ( "fs",
+        [
+          Alcotest.test_case "rw" `Quick test_fs_rw;
+          Alcotest.test_case "isolation" `Quick test_fs_isolation;
+          Alcotest.test_case "clone" `Quick test_fs_clone;
+          Alcotest.test_case "paths" `Quick test_fs_paths;
+          Alcotest.test_case "list" `Quick test_fs_list_sorted;
+        ] );
+      ( "ldr",
+        [
+          Alcotest.test_case "unicode string" `Quick test_ldr_unicode_string;
+          Alcotest.test_case "entry roundtrip" `Quick test_ldr_entry_roundtrip;
+          Alcotest.test_case "list operations" `Quick test_ldr_list_operations;
+        ] );
+      ( "loader",
+        [
+          Alcotest.test_case "layout + relocation" `Quick
+            test_loader_layout_and_relocation;
+          Alcotest.test_case "entry point" `Quick test_loader_entry_point;
+          Alcotest.test_case "discards .reloc" `Quick test_loader_discards_reloc;
+          Alcotest.test_case "checksum modes" `Quick
+            test_loader_checksum_enforcement;
+          Alcotest.test_case "rejects garbage" `Quick test_loader_rejects_garbage;
+          Alcotest.test_case "simulate == load" `Quick
+            test_simulate_load_equals_load_at;
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "boots standard set" `Quick
+            test_kernel_boots_standard_modules;
+          Alcotest.test_case "find ci" `Quick test_kernel_find_module_ci;
+          Alcotest.test_case "bases" `Quick test_kernel_bases_aligned_distinct;
+          Alcotest.test_case "seeds" `Quick test_kernel_seeds_give_different_bases;
+          Alcotest.test_case "load/unload" `Quick test_kernel_load_unload;
+          Alcotest.test_case "missing file" `Quick test_kernel_load_missing_file;
+          Alcotest.test_case "reboot" `Quick test_kernel_reboot_moves_bases;
+          Alcotest.test_case "memory matches file" `Quick
+            test_kernel_module_content_matches_file;
+        ] );
+    ]

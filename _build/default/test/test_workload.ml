@@ -1,0 +1,105 @@
+(* Tests for the workload library: stress descriptors and the in-guest
+   resource monitor (Fig. 9's measurement tool). *)
+
+module Stress = Mc_workload.Stress
+module Monitor = Mc_workload.Monitor
+
+let check = Alcotest.check
+
+let test_sample_count () =
+  let samples =
+    Monitor.run ~stressed:false ~introspection_windows:[ (10.0, 15.0) ] ()
+  in
+  check Alcotest.int "duration / interval" 120 (List.length samples)
+
+let test_windows_marked () =
+  let samples =
+    Monitor.run ~stressed:false ~introspection_windows:[ (10.0, 15.0) ] ()
+  in
+  let inside = List.filter (fun (s : Monitor.sample) -> s.introspected) samples in
+  check Alcotest.int "10 samples inside the 5s window" 10 (List.length inside);
+  List.iter
+    (fun (s : Monitor.sample) ->
+      Alcotest.(check bool) "timestamps within the window" true
+        (s.ts >= 10.0 && s.ts < 15.0))
+    inside
+
+let test_idle_profile () =
+  let samples = Monitor.run ~stressed:false ~introspection_windows:[] () in
+  List.iter
+    (fun (s : Monitor.sample) ->
+      Alcotest.(check bool) "mostly idle" true (s.cpu_idle_pct > 90.0);
+      Alcotest.(check bool) "memory mostly free" true (s.free_phys_mem_pct > 60.0);
+      Alcotest.(check bool) "percentages sane" true
+        (s.cpu_idle_pct +. s.cpu_user_pct +. s.cpu_privileged_pct <= 100.0001))
+    samples
+
+let test_stressed_profile () =
+  let samples = Monitor.run ~stressed:true ~introspection_windows:[] () in
+  List.iter
+    (fun (s : Monitor.sample) ->
+      Alcotest.(check bool) "heavily busy" true (s.cpu_idle_pct < 35.0);
+      Alcotest.(check bool) "memory pressured" true (s.free_phys_mem_pct < 20.0);
+      Alcotest.(check bool) "disk active" true (s.disk_rw_per_s > 100.0))
+    samples
+
+let test_monitor_network_shipping () =
+  (* The tool ships readings to the network sink, never spiking traffic. *)
+  let samples = Monitor.run ~stressed:false ~introspection_windows:[] () in
+  List.iter
+    (fun (s : Monitor.sample) ->
+      Alcotest.(check bool) "steady couple of packets/s" true
+        (s.net_packets_per_s > 1.0 && s.net_packets_per_s < 3.0))
+    samples
+
+let test_perturbation_negligible () =
+  (* The paper's Fig. 9 claim: introspection leaves no in-guest trace. *)
+  let samples =
+    Monitor.run ~stressed:false
+      ~introspection_windows:[ (20.0, 25.0); (40.0, 45.0) ]
+      ()
+  in
+  let p = Monitor.perturbation samples in
+  Alcotest.(check bool)
+    (Printf.sprintf "perturbation %.3f < 1 pp" p)
+    true (p < 1.0)
+
+let test_perturbation_degenerate () =
+  let samples = Monitor.run ~stressed:false ~introspection_windows:[] () in
+  check (Alcotest.float 1e-9) "no windows -> 0" 0.0 (Monitor.perturbation samples)
+
+let test_determinism () =
+  let run () =
+    Monitor.run ~stressed:false ~introspection_windows:[ (5.0, 6.0) ] ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same seed, same series" true (a = b);
+  let c =
+    Monitor.run
+      ~config:{ Monitor.default_config with seed = 99L }
+      ~stressed:false ~introspection_windows:[ (5.0, 6.0) ] ()
+  in
+  Alcotest.(check bool) "different seed differs" false (a = c)
+
+let test_custom_config () =
+  let config = { Monitor.interval_s = 1.0; duration_s = 10.0; seed = 1L } in
+  let samples = Monitor.run ~config ~stressed:false ~introspection_windows:[] () in
+  check Alcotest.int "10 samples" 10 (List.length samples)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "monitor",
+        [
+          Alcotest.test_case "sample count" `Quick test_sample_count;
+          Alcotest.test_case "windows" `Quick test_windows_marked;
+          Alcotest.test_case "idle profile" `Quick test_idle_profile;
+          Alcotest.test_case "stressed profile" `Quick test_stressed_profile;
+          Alcotest.test_case "network shipping" `Quick
+            test_monitor_network_shipping;
+          Alcotest.test_case "perturbation" `Quick test_perturbation_negligible;
+          Alcotest.test_case "degenerate" `Quick test_perturbation_degenerate;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "custom config" `Quick test_custom_config;
+        ] );
+    ]
