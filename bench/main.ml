@@ -270,14 +270,29 @@ let real_parallel () =
   print_string
     (Mc_util.Table.render ~header:[ "workers"; "wall"; "speedup" ] rows)
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry snapshot of everything the harness just ran               *)
+(* ------------------------------------------------------------------ *)
+
+let telemetry_snapshot () =
+  section
+    "Telemetry snapshot (spans, counters, histograms accumulated across \
+     the runs above)";
+  print_string (Mc_telemetry.Export.summary (Mc_telemetry.Registry.snapshot ()))
+
 let () =
   Printf.printf
     "ModChecker reproduction benchmark harness\n\
      simulated testbed: Xen-like host, 8 cores, 15 Windows-XP-like VM \
      clones (cf. paper §V-A)\n";
+  Mc_telemetry.Registry.set_enabled true;
   detection ();
   figures ();
   ablations ();
   real_parallel ();
+  (* Micro-benchmarks loop hot code millions of times; keep the registry
+     out of their inner loops. *)
+  Mc_telemetry.Registry.set_enabled false;
   micro ();
+  telemetry_snapshot ();
   print_newline ()

@@ -1,0 +1,29 @@
+#!/bin/sh
+# CI entry point: build + tests + a telemetry smoke run.
+#
+# Usage: bin/ci.sh
+# Exits non-zero on the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== dune build @check (build + runtest) =="
+dune build @check
+
+echo "== telemetry smoke run (4-VM cloud, trace + metrics) =="
+trace="$(mktemp -t modchecker_trace.XXXXXX.jsonl)"
+trap 'rm -f "$trace"' EXIT
+
+dune exec --no-build bin/modchecker_cli.exe -- \
+  check --vms 4 --trace "$trace" --metrics > /dev/null
+
+# The trace must be non-empty JSONL containing the per-phase spans and the
+# meter-bridged counters the acceptance criteria name.
+for needle in '"name":"searcher"' '"name":"parser"' '"name":"checker"' \
+              'meter.searcher.bytes_copied' 'vmi.bytes_copied'; do
+  grep -q "$needle" "$trace" || {
+    echo "ci: telemetry smoke failed: $needle missing from $trace" >&2
+    exit 1
+  }
+done
+echo "telemetry smoke OK: $(wc -l < "$trace") trace lines"

@@ -57,6 +57,39 @@ let workers_arg =
   let doc = "Dom0 worker domains for parallel checking (1 = sequential)." in
   Arg.(value & opt int 1 & info [ "j"; "workers" ] ~docv:"W" ~doc)
 
+let trace_arg =
+  let doc =
+    "Enable telemetry and write a JSONL trace (one span or metric point \
+     per line) to $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Enable telemetry and print a metrics summary (span totals, counters, \
+     histogram quantiles) when done."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+(* Export telemetry via [at_exit] so subcommands that [exit 2] on a failed
+   verdict still flush their trace. *)
+let with_telemetry trace metrics f =
+  if trace <> None || metrics then begin
+    Mc_telemetry.Registry.set_enabled true;
+    at_exit (fun () ->
+        let snap = Mc_telemetry.Registry.snapshot () in
+        (match trace with
+        | Some path -> (
+            (* The verdict already happened; a bad trace path must not
+               turn it into a crash (or clobber the exit code). *)
+            try Mc_telemetry.Export.write ~path snap
+            with Sys_error msg ->
+              Printf.eprintf "modchecker: cannot write trace: %s\n" msg)
+        | None -> ());
+        if metrics then print_string (Mc_telemetry.Export.summary snap))
+  end;
+  f ()
+
 let json_arg =
   let doc = "Emit the result as JSON on stdout instead of tables." in
   Arg.(value & flag & info [ "json" ] ~doc)
@@ -155,7 +188,8 @@ let print_pinpoint cloud outcome module_name vm =
   end
 
 let run_check verbose vms cores seed module_name vm infect workers pinpoint
-    json =
+    json trace metrics =
+  with_telemetry trace metrics @@ fun () ->
   setup_logs verbose;
   let cloud = make_cloud vms cores seed in
   (match or_die (stage_infection cloud vm infect) with
@@ -197,11 +231,12 @@ let check_cmd =
     Term.(
       const run_check $ verbose_arg $ vms_arg $ cores_arg $ seed_arg
       $ module_arg $ vm_arg $ infect_arg $ workers_arg $ pinpoint_arg
-      $ json_arg)
+      $ json_arg $ trace_arg $ metrics_arg)
 
 (* --- survey ------------------------------------------------------------ *)
 
-let run_survey vms cores seed module_name infect vm json =
+let run_survey vms cores seed module_name infect vm json trace metrics =
+  with_telemetry trace metrics @@ fun () ->
   let cloud = make_cloud vms cores seed in
   (match or_die (stage_infection cloud vm infect) with
   | Some inf ->
@@ -232,7 +267,7 @@ let survey_cmd =
     (Cmd.info "survey" ~doc)
     Term.(
       const run_survey $ vms_arg $ cores_arg $ seed_arg $ module_arg
-      $ infect_arg $ vm_arg $ json_arg)
+      $ infect_arg $ vm_arg $ json_arg $ trace_arg $ metrics_arg)
 
 (* --- list-modules ------------------------------------------------------ *)
 
@@ -359,7 +394,8 @@ let figures_cmd =
 
 (* --- health --------------------------------------------------------------- *)
 
-let run_health vms cores seed infect vm canonical json =
+let run_health vms cores seed infect vm canonical json trace metrics =
+  with_telemetry trace metrics @@ fun () ->
   let cloud = make_cloud vms cores seed in
   (match or_die (stage_infection cloud vm infect) with
   | Some inf ->
@@ -390,12 +426,13 @@ let health_cmd =
     (Cmd.info "health" ~doc)
     Term.(
       const run_health $ vms_arg $ cores_arg $ seed_arg $ infect_arg $ vm_arg
-      $ canonical_arg $ json_arg)
+      $ canonical_arg $ json_arg $ trace_arg $ metrics_arg)
 
 (* --- patrol -------------------------------------------------------------- *)
 
 let run_patrol verbose vms cores seed duration interval infect vm infect_at
-    canonical =
+    canonical trace metrics =
+  with_telemetry trace metrics @@ fun () ->
   setup_logs verbose;
   let cloud = make_cloud vms cores seed in
   let events =
@@ -469,7 +506,7 @@ let patrol_cmd =
     Term.(
       const run_patrol $ verbose_arg $ vms_arg $ cores_arg $ seed_arg
       $ duration_arg $ interval_arg $ infect_arg $ vm_arg $ infect_at_arg
-      $ canonical_arg)
+      $ canonical_arg $ trace_arg $ metrics_arg)
 
 (* --- disasm --------------------------------------------------------------- *)
 

@@ -5,6 +5,8 @@ module Costs = Mc_hypervisor.Costs
 module Vmi = Mc_vmi.Vmi
 module Symbols = Mc_vmi.Symbols
 module Pool = Mc_parallel.Pool
+module Tel = Mc_telemetry.Registry
+module Span = Mc_telemetry.Span
 
 type mode = Sequential | Parallel of Pool.t
 
@@ -24,15 +26,41 @@ let profile_for dom =
   Symbols.of_variant
     (Mc_winkernel.Kernel.os_variant (Mc_hypervisor.Dom.kernel_exn dom))
 
+(* Fold one job's per-phase meter counts into the telemetry registry, so
+   the metric totals and the meter-priced phase costs stay in agreement. *)
+let bridge_meter meter =
+  if Tel.enabled () then
+    List.iter
+      (fun phase ->
+        Mc_telemetry.Bridge.add_counts
+          ~prefix:("meter." ^ Meter.phase_key phase)
+          (Meter.pairs (Meter.get meter phase)))
+      [ Meter.Searcher; Meter.Parser; Meter.Checker ]
+
 let fetch_artifacts cloud ~vm ~module_name ~meter =
   let dom = Cloud.vm cloud vm in
   Meter.set_phase meter Searcher;
   let vmi = Vmi.init ~meter dom (profile_for dom) in
-  match Searcher.fetch ~meter vmi ~name:module_name with
+  match
+    Tel.with_span ~attrs:[ ("vm", Int vm) ] "searcher" (fun sp ->
+        let r = Searcher.fetch ~meter vmi ~name:module_name in
+        (match r with
+        | Some (_, buf) ->
+            Span.set_attr sp "module_bytes" (Int (Bytes.length buf))
+        | None -> Span.set_attr sp "found" (Bool false));
+        r)
+  with
   | None -> None
   | Some (info, buf) -> (
       Meter.set_phase meter Parser;
-      match Parser.artifacts ~meter buf with
+      match
+        Tel.with_span ~attrs:[ ("vm", Int vm) ] "parser" (fun sp ->
+            let r = Parser.artifacts ~meter buf in
+            (match r with
+            | Ok arts -> Span.set_attr sp "artifacts" (Int (List.length arts))
+            | Error _ -> Span.set_attr sp "parse_error" (Bool true));
+            r)
+      with
       | Error _ -> None
       | Ok artifacts -> Some (info, artifacts))
 
@@ -72,29 +100,46 @@ let check_module ?(mode = Sequential) ?others cloud ~target_vm ~module_name =
           (List.init (Cloud.vm_count cloud) Fun.id)
   in
   if others = [] then Error "no comparison VMs available"
-  else begin
+  else
+    Tel.with_span
+      ~attrs:
+        [ ("module", String module_name); ("target_vm", Int target_vm) ]
+      "check_module"
+    @@ fun root ->
+    let root_id = if root.Span.id = 0 then None else Some root.Span.id in
     Log.info (fun m ->
         m "checking %s on Dom%d against %d VM(s)" module_name (target_vm + 1)
           (List.length others));
     let target_meter = Meter.create () in
     match
-      fetch_artifacts cloud ~vm:target_vm ~module_name ~meter:target_meter
+      Tel.with_span ~attrs:[ ("vm", Int target_vm) ] "vm_check" (fun _ ->
+          fetch_artifacts cloud ~vm:target_vm ~module_name ~meter:target_meter)
     with
     | None ->
+        bridge_meter target_meter;
         Error
           (Printf.sprintf "module %s not found in Dom%d" module_name
              (target_vm + 1))
     | Some (target_info, target_artifacts) ->
         let compare_against vm =
+          (* In parallel mode this closure runs on a pool domain, where the
+             span stack is empty — hand the parent over explicitly. *)
+          Tel.with_span ?parent:root_id ~attrs:[ ("vm", Int vm) ] "vm_check"
+          @@ fun _ ->
           let meter = Meter.create () in
           let result =
             match fetch_artifacts cloud ~vm ~module_name ~meter with
             | None -> absent_result target_artifacts
             | Some (info, artifacts) ->
                 Meter.set_phase meter Checker;
-                Checker.compare_pair ~meter
-                  ~base1:target_info.Searcher.mi_base target_artifacts
-                  ~base2:info.Searcher.mi_base artifacts
+                Tel.with_span ~attrs:[ ("vm", Int vm) ] "checker" (fun sp ->
+                    let r =
+                      Checker.compare_pair ~meter
+                        ~base1:target_info.Searcher.mi_base target_artifacts
+                        ~base2:info.Searcher.mi_base artifacts
+                    in
+                    Span.set_attr sp "all_match" (Bool r.Checker.all_match);
+                    r)
           in
           ( { Report.other_vm = vm; result },
             { work_vm = vm; work_meter = meter } )
@@ -106,11 +151,16 @@ let check_module ?(mode = Sequential) ?others cloud ~target_vm ~module_name =
           :: List.map snd results
         in
         let report = Report.make ~module_name ~target_vm comparisons in
+        if Tel.enabled () then begin
+          List.iter (fun w -> bridge_meter w.work_meter) work;
+          Tel.add "check.modules_checked" 1;
+          Tel.add "check.vms_compared" (List.length others);
+          if not report.Report.majority_ok then Tel.add "check.failed_votes" 1
+        end;
         if report.Report.majority_ok then
           Log.debug (fun m -> m "%a" Report.pp report)
         else Log.warn (fun m -> m "%a" Report.pp report);
         Ok { report; work }
-  end
 
 type survey_strategy = Pairwise | Canonical
 
@@ -208,13 +258,27 @@ let canonical_fingerprints ?meter present =
 
 let survey ?(mode = Sequential) ?(strategy = Pairwise) ?meter cloud
     ~module_name =
+  Tel.with_span
+    ~attrs:
+      [
+        ("module", String module_name);
+        ( "strategy",
+          String (match strategy with Pairwise -> "pairwise" | Canonical -> "canonical") );
+      ]
+    "survey"
+  @@ fun root ->
+  let root_id = if root.Span.id = 0 then None else Some root.Span.id in
   let vms = List.init (Cloud.vm_count cloud) Fun.id in
   let fetch vm =
+    Tel.with_span ?parent:root_id ~attrs:[ ("vm", Int vm) ] "vm_check"
+    @@ fun _ ->
     match meter with
     | Some m -> (vm, fetch_artifacts cloud ~vm ~module_name ~meter:m)
     | None ->
         let m = Meter.create () in
-        (vm, fetch_artifacts cloud ~vm ~module_name ~meter:m)
+        let r = fetch_artifacts cloud ~vm ~module_name ~meter:m in
+        bridge_meter m;
+        (vm, r)
   in
   let fetched =
     match meter with
@@ -232,6 +296,9 @@ let survey ?(mode = Sequential) ?(strategy = Pairwise) ?meter cloud
   in
   (match meter with Some m -> Meter.set_phase m Checker | None -> ());
   let pairwise =
+    Tel.with_span ~attrs:[ ("vms_present", Int (List.length present)) ]
+      "checker"
+    @@ fun _ ->
     match strategy with
     | Pairwise ->
         let rec pairs = function
@@ -297,6 +364,13 @@ let survey ?(mode = Sequential) ?(strategy = Pairwise) ?meter cloud
           |> List.sort compare
         else vms_present
   in
+  (match meter with Some m -> bridge_meter m | None -> ());
+  if Tel.enabled () then begin
+    Tel.add "survey.runs" 1;
+    Tel.add "survey.pair_comparisons" (List.length pairwise);
+    Tel.add "survey.deviant_vms" (List.length deviant_vms);
+    Span.set_attr root "deviants" (Int (List.length deviant_vms))
+  end;
   Report.
     {
       survey_module = module_name;

@@ -2,6 +2,8 @@ module Cloud = Mc_hypervisor.Cloud
 module Costs = Mc_hypervisor.Costs
 module Meter = Mc_hypervisor.Meter
 module Sched = Mc_hypervisor.Sched
+module Tel = Mc_telemetry.Registry
+module Span = Mc_telemetry.Span
 
 type alarm_kind = Hash_deviation | Missing_module | List_discrepancy
 
@@ -44,6 +46,11 @@ let alarm_kind_string = function
   | Missing_module -> "missing module"
   | List_discrepancy -> "module-list discrepancy"
 
+let alarm_kind_key = function
+  | Hash_deviation -> "hash_deviation"
+  | Missing_module -> "missing_module"
+  | List_discrepancy -> "list_discrepancy"
+
 let run ?(config = default_config) ?(events = []) cloud ~until =
   let clock = ref 0.0 in
   let cpu = ref 0.0 in
@@ -66,6 +73,12 @@ let run ?(config = default_config) ?(events = []) cloud ~until =
     let sweep_started = !clock in
     let module_costs = ref [] in
     let sweep_alarms = ref [] in
+    let wall, sweep_cpu =
+      Tel.with_span
+        ~attrs:
+          [ ("sweep", Int (!sweeps + 1)); ("virtual_start_s", Float sweep_started) ]
+        "patrol_sweep"
+    @@ fun sp ->
     List.iter
       (fun module_name ->
         (* One meter per module: each watched module is a schedulable job,
@@ -123,6 +136,18 @@ let run ?(config = default_config) ?(events = []) cloud ~until =
         ~workers:config.workers
         (List.map (fun c -> c *. bus) !module_costs)
     in
+    Span.set_virtual sp ~start:sweep_started ~finish:(sweep_started +. wall);
+    Span.set_attr sp "alarms" (Int (List.length !sweep_alarms));
+    Span.set_attr sp "cpu_s" (Float sweep_cpu);
+    (wall, sweep_cpu)
+    in
+    if Tel.enabled () then begin
+      Tel.add "patrol.sweeps" 1;
+      Tel.observe "patrol.sweep_wall_virtual_s" wall;
+      List.iter
+        (fun a -> Tel.add ("patrol.alarms." ^ alarm_kind_key a.kind) 1)
+        !sweep_alarms
+    end;
     cpu := !cpu +. sweep_cpu;
     walls := wall :: !walls;
     incr sweeps;

@@ -26,6 +26,7 @@ let vm_seed cloud_seed i =
   Int64.add cloud_seed (Int64.of_int ((i + 1) * 0x9E37))
 
 let boot_vm ~fs ~module_alignment ~os_variant ~seed ~generation =
+  Mc_telemetry.Registry.add "cloud.vm_boots" 1;
   match Kernel.boot ~module_alignment ~generation ~os_variant ~fs ~seed () with
   | Ok k -> k
   | Error e -> failwith ("Cloud: VM boot failed: " ^ Kernel.error_to_string e)
@@ -57,6 +58,7 @@ let vm t i =
 let vm_count t = Array.length t.domus
 
 let reboot_vm t i =
+  Mc_telemetry.Registry.add "cloud.vm_reboots" 1;
   let dom = vm t i in
   let old_kernel = Dom.kernel_exn dom in
   let kernel =
@@ -71,9 +73,12 @@ let reboot_vm t i =
 
 type vm_snapshot = Kernel.snapshot
 
-let snapshot_vm t i = Kernel.snapshot (Dom.kernel_exn (vm t i))
+let snapshot_vm t i =
+  Mc_telemetry.Registry.add "cloud.vm_snapshots" 1;
+  Kernel.snapshot (Dom.kernel_exn (vm t i))
 
 let restore_vm t i snap =
+  Mc_telemetry.Registry.add "cloud.vm_restores" 1;
   let dom = vm t i in
   dom.kernel <- Some (Kernel.restore snap)
 

@@ -5,6 +5,11 @@ let phase_name = function
   | Parser -> "Module-Parser"
   | Checker -> "Integrity-Checker"
 
+let phase_key = function
+  | Searcher -> "searcher"
+  | Parser -> "parser"
+  | Checker -> "checker"
+
 type counts = {
   mutable pages_mapped : int;
   mutable bytes_copied : int;
@@ -79,6 +84,18 @@ let add_bytes_scanned t n = (current t).bytes_scanned <- (current t).bytes_scann
 let add_bytes_hashed t n = (current t).bytes_hashed <- (current t).bytes_hashed + n
 
 let add_vm_sessions t n = (current t).vm_sessions <- (current t).vm_sessions + n
+
+let pairs k =
+  [
+    ("pages_mapped", k.pages_mapped);
+    ("bytes_copied", k.bytes_copied);
+    ("struct_reads", k.struct_reads);
+    ("bytes_parsed", k.bytes_parsed);
+    ("sections_parsed", k.sections_parsed);
+    ("bytes_scanned", k.bytes_scanned);
+    ("bytes_hashed", k.bytes_hashed);
+    ("vm_sessions", k.vm_sessions);
+  ]
 
 let cpu_seconds (c : Costs.t) k =
   (float_of_int k.pages_mapped *. c.page_map_s)

@@ -10,6 +10,10 @@ type phase = Searcher | Parser | Checker
 
 val phase_name : phase -> string
 
+val phase_key : phase -> string
+(** Short lowercase key ("searcher", "parser", "checker") used to prefix
+    telemetry counter names. *)
+
 type counts = {
   mutable pages_mapped : int;
   mutable bytes_copied : int;
@@ -51,6 +55,10 @@ val add_bytes_scanned : t -> int -> unit
 val add_bytes_hashed : t -> int -> unit
 
 val add_vm_sessions : t -> int -> unit
+
+val pairs : counts -> (string * int) list
+(** [pairs c] is every field as a named count, in declaration order — the
+    shape {!Mc_telemetry.Bridge.add_counts} consumes. *)
 
 val cpu_seconds : Costs.t -> counts -> float
 (** [cpu_seconds costs c] prices the counts into virtual CPU seconds. *)

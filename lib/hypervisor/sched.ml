@@ -10,6 +10,13 @@ let bus_factor (costs : Costs.t) ~busy_vms ~cores =
    completion. *)
 let run_jobs ~cores ~busy_guest_vcpus ~workers jobs =
   if workers <= 0 then invalid_arg "Sched.run_jobs: need at least one worker";
+  if Mc_telemetry.Registry.enabled () then begin
+    (* Virtual-time attribution: every scheduled job's priced CPU cost. *)
+    Mc_telemetry.Registry.add "sched.jobs" (List.length jobs);
+    List.iter
+      (fun j -> Mc_telemetry.Registry.observe "sched.job_cost_s" j)
+      jobs
+  end;
   let queue = Queue.create () in
   List.iter (fun j -> if j > 0.0 then Queue.add j queue) jobs;
   let running = Array.make workers None in
@@ -49,4 +56,7 @@ let run_jobs ~cores ~busy_guest_vcpus ~workers jobs =
       step ()
     end
   in
-  step ()
+  let wall = step () in
+  if Mc_telemetry.Registry.enabled () then
+    Mc_telemetry.Registry.observe "sched.batch_wall_s" wall;
+  wall

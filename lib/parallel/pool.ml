@@ -27,10 +27,29 @@ let size t = Array.length t.workers
 let run t task =
   if not t.alive then invalid_arg "Pool.run: pool is shut down";
   let d = Deferred.create () in
+  (* Telemetry: time-in-queue and time-on-worker histograms. The enqueue
+     timestamp is taken here (submitter side) so queue wait includes the
+     channel handoff. *)
+  let observed = Mc_telemetry.Registry.enabled () in
+  let enqueued = if observed then Mc_telemetry.Clock.wall () else 0.0 in
   Chan.push t.tasks
     (Task
        (fun () ->
+         let started =
+           if observed then begin
+             let now = Mc_telemetry.Clock.wall () in
+             Mc_telemetry.Registry.observe "pool.queue_wait_s" (now -. enqueued);
+             now
+           end
+           else 0.0
+         in
          let r = try Ok (task ()) with e -> Error e in
+         if observed then begin
+           Mc_telemetry.Registry.observe "pool.task_run_s"
+             (Mc_telemetry.Clock.wall () -. started);
+           Mc_telemetry.Registry.add "pool.tasks" 1;
+           if Result.is_error r then Mc_telemetry.Registry.add "pool.task_errors" 1
+         end;
          Deferred.fill d r));
   d
 

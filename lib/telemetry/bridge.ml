@@ -1,0 +1,5 @@
+let add_counts ~prefix pairs =
+  if Registry.enabled () then
+    List.iter
+      (fun (key, v) -> if v <> 0 then Registry.add (prefix ^ "." ^ key) v)
+      pairs

@@ -1,0 +1,14 @@
+(** Bridge from the testbed's pre-existing accounting into the registry.
+
+    {!Mc_hypervisor.Meter} keeps per-phase operation counts that the
+    virtual-time model prices into CPU seconds; this bridge folds those
+    counts into registry counters (e.g. [meter.searcher.bytes_copied]) so
+    the two systems stay in agreement — a trace consumer can cross-check
+    the metric totals against the meter-derived phase costs. The bridge
+    is deliberately untyped ([(string * int)] pairs) so [mc_telemetry]
+    depends on nothing above [mc_util]. *)
+
+val add_counts : prefix:string -> (string * int) list -> unit
+(** [add_counts ~prefix pairs] bumps counter ["<prefix>.<key>"] by each
+    value. Dropped while the registry is disabled; negative values raise
+    (counters are monotonic). *)

@@ -1,0 +1,7 @@
+(** The wall-clock source used by every span and histogram observation.
+
+    Centralised so instrumented libraries need no direct [unix]
+    dependency and so a future monotonic source swaps in at one place. *)
+
+val wall : unit -> float
+(** Seconds since the epoch, sub-microsecond resolution. *)

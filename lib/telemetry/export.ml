@@ -1,0 +1,125 @@
+module Json = Mc_util.Json
+module Table = Mc_util.Table
+
+let counter_json (name, v) =
+  Json.Obj
+    [ ("type", String "counter"); ("name", String name); ("value", Int v) ]
+
+let gauge_json (name, v) =
+  Json.Obj
+    [ ("type", String "gauge"); ("name", String name); ("value", Float v) ]
+
+let histogram_json (s : Metric.histogram_summary) =
+  Json.Obj
+    [
+      ("type", String "histogram");
+      ("name", String s.h_name);
+      ("count", Int s.h_count);
+      ("sum", Float s.h_sum);
+      ("min", Float s.h_min);
+      ("max", Float s.h_max);
+      ("p50", Float (Metric.quantile s 0.5));
+      ("p90", Float (Metric.quantile s 0.9));
+      ("p99", Float (Metric.quantile s 0.99));
+      ( "buckets",
+        List
+          (List.map
+             (fun (ub, n) ->
+               Json.Obj [ ("le", Float ub); ("count", Int n) ])
+             s.h_buckets) );
+    ]
+
+let jsonl (snap : Registry.snapshot) =
+  List.map (fun s -> Json.to_string (Span.to_json s)) snap.snap_spans
+  @ List.map (fun c -> Json.to_string (counter_json c)) snap.snap_counters
+  @ List.map (fun g -> Json.to_string (gauge_json g)) snap.snap_gauges
+  @ List.map (fun h -> Json.to_string (histogram_json h)) snap.snap_histograms
+
+let write ~path snap =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun line ->
+          output_string oc line;
+          output_char oc '\n')
+        (jsonl snap))
+
+(* --- summary ----------------------------------------------------------- *)
+
+let ms v = Printf.sprintf "%.3f ms" (v *. 1e3)
+
+let span_rows spans =
+  (* Aggregate by name, preserving first-seen order. *)
+  let order = ref [] in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Span.t) ->
+      let wall = Span.wall_duration s in
+      let virt =
+        match (s.virt_start, s.virt_end) with
+        | Some a, Some b -> b -. a
+        | _ -> 0.0
+      in
+      match Hashtbl.find_opt tbl s.name with
+      | None ->
+          order := s.name :: !order;
+          Hashtbl.replace tbl s.name (1, wall, virt)
+      | Some (n, w, v) -> Hashtbl.replace tbl s.name (n + 1, w +. wall, v +. virt))
+    spans;
+  List.rev_map
+    (fun name ->
+      let n, wall, virt = Hashtbl.find tbl name in
+      [
+        name;
+        string_of_int n;
+        ms wall;
+        ms (wall /. float_of_int n);
+        (if virt > 0.0 then ms virt else "-");
+      ])
+    !order
+
+let summary (snap : Registry.snapshot) =
+  let buf = Buffer.create 1024 in
+  let section title body =
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf body
+  in
+  if snap.snap_spans <> [] then
+    section "spans (by name)"
+      (Table.render
+         ~header:[ "span"; "count"; "wall total"; "wall mean"; "virtual total" ]
+         (span_rows snap.snap_spans));
+  if snap.snap_counters <> [] then
+    section "counters"
+      (Table.render ~header:[ "counter"; "value" ]
+         (List.map
+            (fun (name, v) -> [ name; string_of_int v ])
+            snap.snap_counters));
+  if snap.snap_gauges <> [] then
+    section "gauges"
+      (Table.render ~header:[ "gauge"; "value" ]
+         (List.map
+            (fun (name, v) -> [ name; Printf.sprintf "%g" v ])
+            snap.snap_gauges));
+  if snap.snap_histograms <> [] then
+    section "histograms"
+      (Table.render
+         ~header:[ "histogram"; "count"; "p50"; "p90"; "p99"; "min"; "max" ]
+         (List.map
+            (fun (s : Metric.histogram_summary) ->
+              let q p = ms (Metric.quantile s p) in
+              [
+                s.h_name;
+                string_of_int s.h_count;
+                q 0.5;
+                q 0.9;
+                q 0.99;
+                (if s.h_count = 0 then "-" else ms s.h_min);
+                (if s.h_count = 0 then "-" else ms s.h_max);
+              ])
+            snap.snap_histograms));
+  if Buffer.length buf = 0 then "telemetry: no spans or metrics recorded\n"
+  else Buffer.contents buf

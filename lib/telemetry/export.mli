@@ -1,0 +1,19 @@
+(** Exporters: JSONL traces for machines, summary tables for humans.
+
+    The JSONL form is one self-describing JSON object per line — spans
+    first (in completion order), then one point per counter, gauge, and
+    histogram — so a trace can be streamed, grepped, or loaded row-wise
+    without a closing bracket ever mattering. *)
+
+val jsonl : Registry.snapshot -> string list
+(** One compact JSON document per element, no trailing newline. *)
+
+val write : path:string -> Registry.snapshot -> unit
+(** [write ~path snap] truncates [path] and writes {!jsonl}, one line
+    each. *)
+
+val summary : Registry.snapshot -> string
+(** Human-readable tables: spans aggregated by name (count, wall totals,
+    virtual totals when attributed), then counters, gauges, and histogram
+    quantiles. Sections with no data are omitted; the empty snapshot
+    renders a one-line notice. *)

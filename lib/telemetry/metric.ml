@@ -1,0 +1,130 @@
+type counter = { c_name : string; c_cell : int Atomic.t }
+
+let counter_create name = { c_name = name; c_cell = Atomic.make 0 }
+
+let counter_name c = c.c_name
+
+let counter_add c n =
+  if n < 0 then invalid_arg "Metric.counter_add: counters are monotonic";
+  ignore (Atomic.fetch_and_add c.c_cell n)
+
+let counter_value c = Atomic.get c.c_cell
+
+type gauge = { g_name : string; g_lock : Mutex.t; mutable g_value : float }
+
+let gauge_create name = { g_name = name; g_lock = Mutex.create (); g_value = nan }
+
+let gauge_name g = g.g_name
+
+let locked lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let gauge_set g v = locked g.g_lock (fun () -> g.g_value <- v)
+
+let gauge_value g = locked g.g_lock (fun () -> g.g_value)
+
+type histogram = {
+  h_name' : string;
+  h_lock : Mutex.t;
+  bounds : float array;  (** strictly increasing finite upper bounds *)
+  counts : int array;  (** length = Array.length bounds + 1 (overflow) *)
+  mutable sum : float;
+  mutable n : int;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+(* 1 µs doubling up to ~8.6 ks: 34 buckets (including overflow). *)
+let default_buckets =
+  Array.init 33 (fun i -> 1e-6 *. Float.of_int (1 lsl i))
+
+let histogram_create ?(buckets = default_buckets) name =
+  if Array.length buckets = 0 then
+    invalid_arg "Metric.histogram_create: no buckets";
+  Array.iteri
+    (fun i b ->
+      if (not (Float.is_finite b)) || (i > 0 && buckets.(i - 1) >= b) then
+        invalid_arg "Metric.histogram_create: bounds must strictly increase")
+    buckets;
+  {
+    h_name' = name;
+    h_lock = Mutex.create ();
+    bounds = Array.copy buckets;
+    counts = Array.make (Array.length buckets + 1) 0;
+    sum = 0.0;
+    n = 0;
+    lo = nan;
+    hi = nan;
+  }
+
+let histogram_name h = h.h_name'
+
+(* First bucket whose upper bound admits [v]; the last slot is overflow. *)
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  let rec bsearch lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if v <= bounds.(mid) then bsearch lo mid else bsearch (mid + 1) hi
+  in
+  bsearch 0 n
+
+let observe h v =
+  if Float.is_finite v then
+    locked h.h_lock (fun () ->
+        h.counts.(bucket_index h.bounds v) <- h.counts.(bucket_index h.bounds v) + 1;
+        h.sum <- h.sum +. v;
+        h.n <- h.n + 1;
+        if Float.is_nan h.lo || v < h.lo then h.lo <- v;
+        if Float.is_nan h.hi || v > h.hi then h.hi <- v)
+
+type histogram_summary = {
+  h_name : string;
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : (float * int) list;
+}
+
+let histogram_summary h =
+  locked h.h_lock (fun () ->
+      let buckets =
+        List.init
+          (Array.length h.counts)
+          (fun i ->
+            ( (if i < Array.length h.bounds then h.bounds.(i) else infinity),
+              h.counts.(i) ))
+      in
+      {
+        h_name = h.h_name';
+        h_count = h.n;
+        h_sum = h.sum;
+        h_min = h.lo;
+        h_max = h.hi;
+        h_buckets = buckets;
+      })
+
+let quantile s q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Metric.quantile: q outside [0,1]";
+  if s.h_count = 0 then nan
+  else begin
+    let target = q *. float_of_int s.h_count in
+    let clamp v = Float.min s.h_max (Float.max s.h_min v) in
+    let rec walk lower cum = function
+      | [] -> clamp s.h_max
+      | (ub, n) :: rest ->
+          let cum' = cum + n in
+          if n > 0 && float_of_int cum' >= target then begin
+            (* Linear interpolation inside this bucket, against real data
+               bounds rather than the (possibly infinite) bucket edges. *)
+            let lo = Float.max lower s.h_min and hi = Float.min ub s.h_max in
+            let frac = (target -. float_of_int cum) /. float_of_int n in
+            clamp (lo +. ((hi -. lo) *. Float.max 0.0 frac))
+          end
+          else walk ub cum' rest
+    in
+    walk neg_infinity 0 s.h_buckets
+  end

@@ -1,0 +1,66 @@
+(** Metric instruments: monotonic counters, gauges, and fixed-bucket
+    histograms with quantile estimation.
+
+    Every instrument is safe to update concurrently from pool worker
+    domains: counters are atomics, gauges and histograms take a private
+    mutex per instrument. Naming and deduplication live in {!Registry}. *)
+
+type counter
+
+val counter_create : string -> counter
+
+val counter_name : counter -> string
+
+val counter_add : counter -> int -> unit
+(** [counter_add c n] bumps by [n]; negative [n] raises
+    [Invalid_argument] (counters are monotonic). *)
+
+val counter_value : counter -> int
+
+type gauge
+
+val gauge_create : string -> gauge
+
+val gauge_name : gauge -> string
+
+val gauge_set : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+(** [nan] until first set. *)
+
+type histogram
+
+val default_buckets : float array
+(** Geometric upper bounds, 1 µs to ~8.6 ks (doubling), suiting both
+    wall-clock and virtual-clock second measurements. *)
+
+val histogram_create : ?buckets:float array -> string -> histogram
+(** [buckets] are the finite upper bounds of each bucket, strictly
+    increasing; an implicit overflow bucket catches the rest. Raises
+    [Invalid_argument] when empty or unsorted. *)
+
+val histogram_name : histogram -> string
+
+val observe : histogram -> float -> unit
+(** Non-finite observations are dropped. *)
+
+type histogram_summary = {
+  h_name : string;
+  h_count : int;
+  h_sum : float;
+  h_min : float;  (** [nan] when empty. *)
+  h_max : float;
+  h_buckets : (float * int) list;
+      (** (upper bound, count) per bucket; the overflow bucket reports
+          [infinity]. *)
+}
+
+val histogram_summary : histogram -> histogram_summary
+(** A consistent snapshot (taken under the instrument's lock). *)
+
+val quantile : histogram_summary -> float -> float
+(** [quantile s q], [q] in [0,1]: estimated by linear interpolation inside
+    the bucket holding the [q]-th observation, clamped to the observed
+    [h_min]/[h_max] (so estimates are always bounded by real data and
+    monotone in [q]). [nan] on an empty histogram; raises
+    [Invalid_argument] outside [0,1]. *)

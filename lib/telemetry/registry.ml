@@ -1,0 +1,182 @@
+let enabled_flag = Atomic.make false
+
+let set_enabled v = Atomic.set enabled_flag v
+
+let enabled () = Atomic.get enabled_flag
+
+(* --- span collection --------------------------------------------------- *)
+
+let next_id = Atomic.make 1
+
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let finished : Span.t list ref = ref []
+
+(* Epoch of the current run: bumped by [reset] so spans opened before a
+   reset are recognised and dropped at close instead of polluting the next
+   run's trace. *)
+let epoch = Atomic.make 0
+
+let stack_key : (int * Span.t list) ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref (Atomic.get epoch, []))
+
+let stack () =
+  let cell = Domain.DLS.get stack_key in
+  let e = Atomic.get epoch in
+  if fst !cell <> e then cell := (e, []);
+  cell
+
+let current_span_id () =
+  match snd !(stack ()) with
+  | [] -> None
+  | s :: _ -> Some s.Span.id
+
+let dummy_span =
+  Span.
+    {
+      id = 0;
+      parent = None;
+      name = "(disabled)";
+      domain = 0;
+      wall_start = 0.0;
+      wall_end = 0.0;
+      virt_start = None;
+      virt_end = None;
+      attrs = [];
+    }
+
+let with_span ?(attrs = []) ?parent name f =
+  if not (enabled ()) then f dummy_span
+  else begin
+    let cell = stack () in
+    let born = Atomic.get epoch in
+    let parent =
+      match parent with
+      | Some _ as p -> p
+      | None -> ( match snd !cell with [] -> None | s :: _ -> Some s.Span.id)
+    in
+    let span =
+      Span.
+        {
+          id = Atomic.fetch_and_add next_id 1;
+          parent;
+          name;
+          domain = (Domain.self () :> int);
+          wall_start = Clock.wall ();
+          wall_end = nan;
+          virt_start = None;
+          virt_end = None;
+          attrs;
+        }
+    in
+    cell := (fst !cell, span :: snd !cell);
+    let close () =
+      span.Span.wall_end <- Clock.wall ();
+      (let cell = stack () in
+       match snd !cell with
+       | s :: rest when s == span -> cell := (fst !cell, rest)
+       | _ -> () (* reset() intervened, or closing off-domain *));
+      if Atomic.get epoch = born then
+        locked (fun () -> finished := span :: !finished)
+    in
+    Fun.protect ~finally:close (fun () -> f span)
+  end
+
+(* --- instruments ------------------------------------------------------- *)
+
+type instr =
+  | C of Metric.counter
+  | G of Metric.gauge
+  | H of Metric.histogram
+
+let instruments : (string, instr) Hashtbl.t = Hashtbl.create 64
+
+let intern name make match_kind =
+  locked (fun () ->
+      match Hashtbl.find_opt instruments name with
+      | Some i -> (
+          match match_kind i with
+          | Some v -> v
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Registry: %S already names another instrument kind"
+                   name))
+      | None ->
+          let v, i = make () in
+          Hashtbl.replace instruments name i;
+          v)
+
+let counter name =
+  intern name
+    (fun () ->
+      let c = Metric.counter_create name in
+      (c, C c))
+    (function C c -> Some c | _ -> None)
+
+let add name n = if enabled () then Metric.counter_add (counter name) n
+
+let gauge name =
+  intern name
+    (fun () ->
+      let g = Metric.gauge_create name in
+      (g, G g))
+    (function G g -> Some g | _ -> None)
+
+let set_gauge name v = if enabled () then Metric.gauge_set (gauge name) v
+
+let histogram ?buckets name =
+  intern name
+    (fun () ->
+      let h = Metric.histogram_create ?buckets name in
+      (h, H h))
+    (function H h -> Some h | _ -> None)
+
+let observe name v = if enabled () then Metric.observe (histogram name) v
+
+let reset () =
+  Atomic.incr epoch;
+  locked (fun () ->
+      finished := [];
+      Hashtbl.reset instruments)
+
+(* --- snapshots --------------------------------------------------------- *)
+
+type snapshot = {
+  snap_spans : Span.t list;
+  snap_counters : (string * int) list;
+  snap_gauges : (string * float) list;
+  snap_histograms : Metric.histogram_summary list;
+}
+
+let snapshot () =
+  let spans, instrs =
+    locked (fun () ->
+        ( List.rev !finished,
+          Hashtbl.fold (fun _ i acc -> i :: acc) instruments [] ))
+  in
+  let by_name f = List.sort (fun a b -> compare (f a) (f b)) in
+  {
+    snap_spans = spans;
+    snap_counters =
+      List.filter_map
+        (function
+          | C c -> Some (Metric.counter_name c, Metric.counter_value c)
+          | _ -> None)
+        instrs
+      |> by_name fst;
+    snap_gauges =
+      List.filter_map
+        (function
+          | G g -> Some (Metric.gauge_name g, Metric.gauge_value g) | _ -> None)
+        instrs
+      |> by_name fst;
+    snap_histograms =
+      List.filter_map
+        (function H h -> Some (Metric.histogram_summary h) | _ -> None)
+        instrs
+      |> by_name (fun s -> s.Metric.h_name);
+  }

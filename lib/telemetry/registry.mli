@@ -1,0 +1,79 @@
+(** The process-wide telemetry collector.
+
+    One global registry, disabled by default: every instrumented hot path
+    first checks a single atomic flag, so an un-observed run pays one load
+    per event and nothing else. When enabled, spans are collected into a
+    mutex-guarded list and metric instruments are interned by name in a
+    mutex-guarded table; the instruments themselves are domain-safe
+    ({!Metric}), so pool workers record freely.
+
+    Span nesting is tracked with a per-domain stack (domain-local
+    storage): a span opened while another is open on the same domain
+    becomes its child. Work handed to another domain — e.g.
+    {!Mc_parallel.Pool.parallel_map} — does not inherit a parent
+    automatically; pass [?parent] explicitly to keep the trace connected
+    across the handoff. *)
+
+val set_enabled : bool -> unit
+(** Also the master reset switch: enabling from a disabled state clears
+    nothing; call {!reset} for a fresh run. *)
+
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drop all finished spans and all instruments (counters, gauges,
+    histograms). Open spans on live stacks survive; their eventual close
+    is discarded if the registry was reset meanwhile. *)
+
+(** {1 Spans} *)
+
+val current_span_id : unit -> int option
+(** The innermost open span on this domain, for explicit [?parent]
+    threading across pool handoffs. *)
+
+val with_span :
+  ?attrs:(string * Span.attr) list ->
+  ?parent:int ->
+  string ->
+  (Span.t -> 'a) ->
+  'a
+(** [with_span name f] opens a span, runs [f] with it (so [f] can add
+    attributes or virtual times), closes it — also on exception — and
+    collects it. While the registry is disabled, [f] runs with a shared
+    inert span and nothing is recorded. *)
+
+(** {1 Metrics}
+
+    Instruments are interned: the first call under a name creates the
+    instrument, later calls return the same one. A name reused across
+    kinds raises [Invalid_argument]. While disabled, updates through
+    these helpers are dropped. *)
+
+val counter : string -> Metric.counter
+
+val add : string -> int -> unit
+(** [add name n] = [Metric.counter_add (counter name) n], skipped while
+    disabled. *)
+
+val gauge : string -> Metric.gauge
+
+val set_gauge : string -> float -> unit
+
+val histogram : ?buckets:float array -> string -> Metric.histogram
+
+val observe : string -> float -> unit
+(** Record into the named histogram (default buckets), skipped while
+    disabled. *)
+
+(** {1 Snapshots} *)
+
+type snapshot = {
+  snap_spans : Span.t list;  (** In completion order. *)
+  snap_counters : (string * int) list;  (** Sorted by name. *)
+  snap_gauges : (string * float) list;
+  snap_histograms : Metric.histogram_summary list;
+}
+
+val snapshot : unit -> snapshot
+(** Readable whether or not the registry is enabled (a disabled registry
+    just snapshots empty). *)

@@ -1,0 +1,59 @@
+type attr =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+
+type t = {
+  id : int;
+  parent : int option;
+  name : string;
+  domain : int;
+  wall_start : float;
+  mutable wall_end : float;
+  mutable virt_start : float option;
+  mutable virt_end : float option;
+  mutable attrs : (string * attr) list;
+}
+
+let set_attr t k v =
+  if t.id > 0 then t.attrs <- (k, v) :: List.remove_assoc k t.attrs
+
+let set_virtual t ~start ~finish =
+  if t.id > 0 then begin
+    t.virt_start <- Some start;
+    t.virt_end <- Some finish
+  end
+
+let wall_duration t = t.wall_end -. t.wall_start
+
+let attr_to_json = function
+  | Int i -> Mc_util.Json.Int i
+  | Float f -> Mc_util.Json.Float f
+  | String s -> Mc_util.Json.String s
+  | Bool b -> Mc_util.Json.Bool b
+
+let to_json t =
+  let open Mc_util.Json in
+  let virt =
+    match (t.virt_start, t.virt_end) with
+    | Some s, Some e -> [ ("virt_start_s", Float s); ("virt_end_s", Float e) ]
+    | _ -> []
+  in
+  Obj
+    ([
+       ("type", String "span");
+       ("name", String t.name);
+       ("id", Int t.id);
+       ( "parent",
+         match t.parent with Some p -> Int p | None -> Null );
+       ("domain", Int t.domain);
+       ("wall_start_s", Float t.wall_start);
+       ("wall_end_s", Float t.wall_end);
+       ("wall_dur_s", Float (wall_duration t));
+     ]
+    @ virt
+    @ [
+        ( "attrs",
+          Obj (List.rev_map (fun (k, v) -> (k, attr_to_json v)) t.attrs) );
+      ])

@@ -1,0 +1,40 @@
+(** A single timed operation in the checking pipeline.
+
+    Spans carry two clocks: the host's wall clock (what the OCaml code
+    actually spent) and, optionally, the testbed's virtual clock (what the
+    simulated Dom0 spent — see {!Mc_hypervisor.Sched}). They nest through
+    parent ids: "check hal.dll" → "vm 3" → "searcher". Construction and
+    collection live in {!Registry}; this module is the plain record plus
+    its JSON shape. *)
+
+type attr =
+  | Int of int
+  | Float of float
+  | String of string
+  | Bool of bool
+
+type t = {
+  id : int;  (** Unique within a registry run, > 0. *)
+  parent : int option;  (** Enclosing span on the same (or handing-off) domain. *)
+  name : string;
+  domain : int;  (** OCaml domain the span was opened on. *)
+  wall_start : float;  (** [Unix.gettimeofday] at open. *)
+  mutable wall_end : float;  (** Set at close; [nan] while open. *)
+  mutable virt_start : float option;  (** Simulated-clock open, when attributed. *)
+  mutable virt_end : float option;
+  mutable attrs : (string * attr) list;
+}
+
+val set_attr : t -> string -> attr -> unit
+(** [set_attr t k v] adds or replaces attribute [k]. No-op on the dummy
+    span handed out while telemetry is disabled. *)
+
+val set_virtual : t -> start:float -> finish:float -> unit
+(** Attribute a virtual-clock interval to the span (e.g. a patrol sweep's
+    simulated wall time). *)
+
+val wall_duration : t -> float
+(** Seconds between open and close; [nan] while the span is open. *)
+
+val to_json : t -> Mc_util.Json.t
+(** One trace event: [{"type":"span","name":...,"id":...,...}]. *)

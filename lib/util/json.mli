@@ -1,6 +1,7 @@
-(** A minimal JSON emitter (no external dependency), for machine-readable
-    reports consumed by ops pipelines. Emission only — the tools never
-    parse JSON. *)
+(** A minimal JSON emitter and parser (no external dependency), for
+    machine-readable reports consumed by ops pipelines. The parser exists
+    so tests can round-trip exported telemetry traces; the tools
+    themselves only emit. *)
 
 type t =
   | Null
@@ -18,3 +19,9 @@ val to_string : t -> string
 
 val to_string_pretty : t -> string
 (** [to_string_pretty v] is the two-space-indented rendering. *)
+
+val of_string : string -> (t, string) result
+(** [of_string s] parses one JSON document (plus surrounding whitespace).
+    Numbers without a fractional part become [Int], others [Float];
+    [\u] escapes beyond Latin-1 are rejected (the emitter never produces
+    them). *)

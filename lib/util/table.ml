@@ -1,25 +1,33 @@
 let render ~header rows =
-  let all = header :: rows in
+  (* Arrays throughout: with [List.nth_opt] per cell this was
+     O(rows * columns^2), which blows up on wide ragged tables. *)
+  let all = Array.of_list (List.map Array.of_list (header :: rows)) in
   let columns =
-    List.fold_left (fun acc row -> max acc (List.length row)) 0 all
+    Array.fold_left (fun acc row -> max acc (Array.length row)) 0 all
   in
-  let cell row i = match List.nth_opt row i with Some c -> c | None -> "" in
+  let cell row i = if i < Array.length row then row.(i) else "" in
   let widths =
-    List.init columns (fun i ->
-        List.fold_left (fun acc row -> max acc (String.length (cell row i))) 0
-          all)
+    Array.init columns (fun i ->
+        Array.fold_left
+          (fun acc row -> max acc (String.length (cell row i)))
+          0 all)
   in
   let line =
     "+"
-    ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths)
+    ^ String.concat "+"
+        (List.map (fun w -> String.make (w + 2) '-') (Array.to_list widths))
     ^ "+"
   in
   let format_row row =
     "|"
     ^ String.concat "|"
-        (List.mapi (fun i w -> Printf.sprintf " %-*s " w (cell row i)) widths)
+        (List.mapi
+           (fun i w -> Printf.sprintf " %-*s " w (cell row i))
+           (Array.to_list widths))
     ^ "|"
   in
+  let header = Array.of_list header
+  and rows = List.map Array.of_list rows in
   let buf = Buffer.create 256 in
   Buffer.add_string buf (line ^ "\n");
   Buffer.add_string buf (format_row header ^ "\n");

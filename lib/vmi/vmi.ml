@@ -14,8 +14,13 @@ exception Invalid_address of int
 
 let page = Phys.frame_size
 
+(* Registry counters alongside the per-phase meter: the meter is scoped to
+   one checking job, these accumulate across the whole process run. *)
+let tadd = Mc_telemetry.Registry.add
+
 let init ?meter dom profile =
   (match meter with Some m -> Meter.add_vm_sessions m 1 | None -> ());
+  tadd "vmi.sessions" 1;
   { t_dom = dom; profile; meter; cache = Hashtbl.create 64 }
 
 let dom t = t.t_dom
@@ -28,9 +33,12 @@ let read_ksym t name = Symbols.lookup_exn t.profile name
 
 let mapped_page t pfn =
   match Hashtbl.find_opt t.cache pfn with
-  | Some page -> page
+  | Some page ->
+      tadd "vmi.page_cache_hits" 1;
+      page
   | None ->
       let data = Xenctl.map_foreign_page ?meter:t.meter t.t_dom pfn in
+      tadd "vmi.pages_mapped" 1;
       Hashtbl.replace t.cache pfn data;
       data
 
@@ -42,6 +50,7 @@ let read_pa t paddr len =
       let chunk = min len (page - poff) in
       Bytes.blit (mapped_page t pfn) poff dst off chunk;
       (match t.meter with Some m -> Meter.add_bytes_copied m chunk | None -> ());
+      tadd "vmi.bytes_copied" chunk;
       loop (paddr + chunk) (off + chunk) (len - chunk)
     end
   in
@@ -84,6 +93,7 @@ let read_va t va len =
           (match t.meter with
           | Some m -> Meter.add_bytes_copied m chunk
           | None -> ());
+          tadd "vmi.bytes_copied" chunk;
           loop (va + chunk) (off + chunk) (len - chunk)
     end
   in
@@ -107,7 +117,8 @@ let read_va_padded t va len =
           Bytes.blit (mapped_page t pfn) poff dst off chunk;
           (match t.meter with
           | Some m -> Meter.add_bytes_copied m chunk
-          | None -> ()));
+          | None -> ());
+          tadd "vmi.bytes_copied" chunk);
       loop (va + chunk) (off + chunk) (len - chunk)
     end
   in

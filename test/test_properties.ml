@@ -181,8 +181,15 @@ let prop_canonicalize_idempotent =
 (* --- Table/chart renderers never raise -------------------------------------- *)
 
 let prop_table_total =
+  (* Bounded sizes: the default list/string generators can produce
+     ~10k x 10k cell tables, whose rendered output alone is gigabytes.
+     Totality doesn't need monsters; it needs ragged rows, empty cells,
+     and odd characters. *)
+  let cell_gen = QCheck.Gen.(string_size ~gen:char (int_bound 30)) in
+  let row_gen = QCheck.Gen.(list_size (int_bound 12) cell_gen) in
   QCheck.Test.make ~count:100 ~name:"table renderer is total"
-    QCheck.(pair (list (list string)) (list string))
+    (QCheck.make
+       QCheck.Gen.(pair (list_size (int_bound 25) row_gen) row_gen))
     (fun (rows, header) ->
       ignore (Mc_util.Table.render ~header rows);
       true)

@@ -1,0 +1,467 @@
+(* Tests for the mc_telemetry subsystem: span nesting and ordering,
+   metric instruments, exporter round-trip through the JSON parser, the
+   Meter bridge, and concurrent recording from pool workers. *)
+
+module Span = Mc_telemetry.Span
+module Metric = Mc_telemetry.Metric
+module Registry = Mc_telemetry.Registry
+module Export = Mc_telemetry.Export
+module Bridge = Mc_telemetry.Bridge
+module Json = Mc_util.Json
+module Pool = Mc_parallel.Pool
+
+let check = Alcotest.check
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+  at 0
+
+(* Every test drives the one global registry: start from a clean slate and
+   never leak an enabled registry into the next test. *)
+let with_registry f () =
+  Registry.reset ();
+  Registry.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Registry.set_enabled false;
+      Registry.reset ())
+    f
+
+(* --- spans -------------------------------------------------------------- *)
+
+let test_span_nesting =
+  with_registry (fun () ->
+      Registry.with_span "outer" (fun outer ->
+          Registry.with_span "inner" (fun inner ->
+              check Alcotest.(option int) "inner parented to outer"
+                (Some outer.Span.id) inner.Span.parent);
+          Registry.with_span "sibling" (fun sibling ->
+              check Alcotest.(option int) "sibling parented to outer"
+                (Some outer.Span.id) sibling.Span.parent));
+      let snap = Registry.snapshot () in
+      let names = List.map (fun (s : Span.t) -> s.Span.name) snap.snap_spans in
+      (* Completion order: children close before their parent. *)
+      check
+        Alcotest.(list string)
+        "completion order" [ "inner"; "sibling"; "outer" ] names;
+      let outer =
+        List.find (fun (s : Span.t) -> s.Span.name = "outer") snap.snap_spans
+      in
+      check Alcotest.(option int) "outer is a root" None outer.Span.parent;
+      List.iter
+        (fun (s : Span.t) ->
+          Alcotest.(check bool)
+            (s.Span.name ^ " has a finite duration")
+            true
+            (Float.is_finite (Span.wall_duration s) && Span.wall_duration s >= 0.0))
+        snap.snap_spans)
+
+let test_span_explicit_parent =
+  with_registry (fun () ->
+      let root_id =
+        Registry.with_span "root" (fun root ->
+            check Alcotest.(option int) "current = root" (Some root.Span.id)
+              (Registry.current_span_id ());
+            root.Span.id)
+      in
+      Registry.with_span ~parent:root_id "adopted" (fun s ->
+          check Alcotest.(option int) "explicit parent wins" (Some root_id)
+            s.Span.parent))
+
+let test_span_exception_closes =
+  with_registry (fun () ->
+      (try
+         Registry.with_span "durable" (fun _ -> raise Exit)
+       with Exit -> ());
+      match (Registry.snapshot ()).snap_spans with
+      | [ s ] ->
+          check Alcotest.string "collected despite raise" "durable" s.Span.name;
+          Alcotest.(check bool)
+            "closed" true
+            (Float.is_finite s.Span.wall_end)
+      | spans -> Alcotest.failf "expected 1 span, got %d" (List.length spans))
+
+let test_disabled_is_inert () =
+  Registry.reset ();
+  check Alcotest.bool "disabled by default here" false (Registry.enabled ());
+  Registry.with_span "ghost" (fun s ->
+      check Alcotest.int "dummy span id" 0 s.Span.id;
+      Span.set_attr s "k" (Span.Int 1);
+      check Alcotest.bool "dummy attrs ignored" true (s.Span.attrs = []));
+  Registry.add "ghost.counter" 5;
+  Registry.observe "ghost.histo" 1.0;
+  let snap = Registry.snapshot () in
+  check Alcotest.int "no spans" 0 (List.length snap.snap_spans);
+  check Alcotest.int "no counters" 0 (List.length snap.snap_counters);
+  check Alcotest.int "no histograms" 0 (List.length snap.snap_histograms)
+
+(* --- metrics ------------------------------------------------------------ *)
+
+let test_counter_gauge =
+  with_registry (fun () ->
+      Registry.add "c" 2;
+      Registry.add "c" 3;
+      Registry.set_gauge "g" 1.25;
+      Registry.set_gauge "g" 2.5;
+      let snap = Registry.snapshot () in
+      check
+        Alcotest.(list (pair string int))
+        "counter summed" [ ("c", 5) ] snap.snap_counters;
+      check
+        Alcotest.(list (pair string (float 1e-9)))
+        "gauge keeps last" [ ("g", 2.5) ] snap.snap_gauges;
+      Alcotest.check_raises "counters are monotonic"
+        (Invalid_argument "Metric.counter_add: counters are monotonic")
+        (fun () -> Metric.counter_add (Registry.counter "c") (-1)))
+
+let test_instrument_kind_clash =
+  with_registry (fun () ->
+      Registry.add "dual" 1;
+      Alcotest.(check bool)
+        "kind clash raises" true
+        (try
+           ignore (Registry.histogram "dual");
+           false
+         with Invalid_argument _ -> true))
+
+let test_histogram_summary =
+  with_registry (fun () ->
+      List.iter (Registry.observe "h") [ 0.001; 0.002; 0.004; 0.004; 1.0 ];
+      Registry.observe "h" nan (* dropped *);
+      match (Registry.snapshot ()).snap_histograms with
+      | [ s ] ->
+          check Alcotest.int "count" 5 s.Metric.h_count;
+          check (Alcotest.float 1e-9) "min" 0.001 s.Metric.h_min;
+          check (Alcotest.float 1e-9) "max" 1.0 s.Metric.h_max;
+          check (Alcotest.float 1e-9) "sum" 1.011 s.Metric.h_sum;
+          let p50 = Metric.quantile s 0.5 in
+          Alcotest.(check bool)
+            "p50 inside data range" true
+            (p50 >= 0.001 && p50 <= 1.0);
+          check (Alcotest.float 1e-9) "p0 is min" 0.001 (Metric.quantile s 0.0);
+          check (Alcotest.float 1e-9) "p100 is max" 1.0 (Metric.quantile s 1.0)
+      | hs -> Alcotest.failf "expected 1 histogram, got %d" (List.length hs))
+
+let prop_quantiles_monotone_bounded =
+  QCheck.Test.make ~count:200 ~name:"histogram quantiles monotone and bounded"
+    QCheck.(list_of_size Gen.(int_range 1 200) (int_bound 10_000_000))
+    (fun samples ->
+      let h = Metric.histogram_create "q" in
+      List.iter
+        (fun raw -> Metric.observe h (float_of_int raw /. 1000.0))
+        samples;
+      let s = Metric.histogram_summary h in
+      let qs = [ 0.0; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ] in
+      let vs = List.map (Metric.quantile s) qs in
+      let bounded = List.for_all (fun v -> v >= s.h_min && v <= s.h_max) vs in
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a <= b && monotone rest
+        | _ -> true
+      in
+      bounded && monotone vs)
+
+(* --- exporter round-trip ------------------------------------------------ *)
+
+let field name = function
+  | Json.Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let test_export_roundtrip =
+  with_registry (fun () ->
+      Registry.with_span ~attrs:[ ("module", Span.String "hal.dll") ]
+        "check_module" (fun sp ->
+          Span.set_virtual sp ~start:30.25 ~finish:30.5;
+          Registry.with_span "searcher" (fun _ -> ()));
+      Registry.add "meter.searcher.bytes_copied" 4096;
+      Registry.observe "pool.queue_wait_s" 0.002;
+      let lines = Export.jsonl (Registry.snapshot ()) in
+      check Alcotest.int "2 spans + 1 counter + 1 histogram" 4
+        (List.length lines);
+      let parsed =
+        List.map
+          (fun line ->
+            match Json.of_string line with
+            | Ok v -> v
+            | Error e -> Alcotest.failf "unparseable line %s: %s" line e)
+          lines
+      in
+      let find ty name =
+        match
+          List.find_opt
+            (fun v ->
+              field "type" v = Some (Json.String ty)
+              && field "name" v = Some (Json.String name))
+            parsed
+        with
+        | Some v -> v
+        | None -> Alcotest.failf "no %s %s in export" ty name
+      in
+      let root = find "span" "check_module" in
+      check Alcotest.bool "root has null parent" true
+        (field "parent" root = Some Json.Null);
+      (match field "attrs" root with
+      | Some attrs ->
+          check Alcotest.bool "module attr survives" true
+            (field "module" attrs = Some (Json.String "hal.dll"))
+      | None -> Alcotest.fail "root span lost its attrs");
+      check Alcotest.bool "virtual clock exported" true
+        (field "virt_start_s" root = Some (Json.Float 30.25));
+      let child = find "span" "searcher" in
+      check Alcotest.bool "child parent = root id" true
+        (field "parent" child = field "id" root);
+      let counter = find "counter" "meter.searcher.bytes_copied" in
+      check Alcotest.bool "counter value survives" true
+        (field "value" counter = Some (Json.Int 4096));
+      let histo = find "histogram" "pool.queue_wait_s" in
+      check Alcotest.bool "histogram count survives" true
+        (field "count" histo = Some (Json.Int 1));
+      (* write/read back through a file too *)
+      let path = Filename.temp_file "mc_trace" ".jsonl" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Export.write ~path (Registry.snapshot ());
+          let ic = open_in path in
+          let rec count acc =
+            match input_line ic with
+            | line ->
+                (match Json.of_string line with
+                | Ok _ -> ()
+                | Error e -> Alcotest.failf "file line unparseable: %s" e);
+                count (acc + 1)
+            | exception End_of_file -> acc
+          in
+          let n = count 0 in
+          close_in ic;
+          check Alcotest.int "file line count" 4 n))
+
+let test_summary_renders =
+  with_registry (fun () ->
+      Registry.with_span "survey" (fun _ -> ());
+      Registry.add "survey.runs" 1;
+      Registry.observe "patrol.sweep_wall_virtual_s" 0.2;
+      let text = Export.summary (Registry.snapshot ()) in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            (Printf.sprintf "summary mentions %s" needle)
+            true
+            (contains ~needle text))
+        [ "survey"; "survey.runs"; "patrol.sweep_wall_virtual_s"; "p99" ])
+
+(* --- meter bridge ------------------------------------------------------- *)
+
+let test_meter_bridge =
+  with_registry (fun () ->
+      let meter = Mc_hypervisor.Meter.create () in
+      Mc_hypervisor.Meter.add_pages_mapped meter 7;
+      Mc_hypervisor.Meter.add_bytes_copied meter 4096;
+      Mc_hypervisor.Meter.set_phase meter Mc_hypervisor.Meter.Checker;
+      Mc_hypervisor.Meter.add_bytes_hashed meter 512;
+      List.iter
+        (fun phase ->
+          Bridge.add_counts
+            ~prefix:("meter." ^ Mc_hypervisor.Meter.phase_key phase)
+            (Mc_hypervisor.Meter.pairs (Mc_hypervisor.Meter.get meter phase)))
+        [ Mc_hypervisor.Meter.Searcher; Mc_hypervisor.Meter.Parser;
+          Mc_hypervisor.Meter.Checker ];
+      let snap = Registry.snapshot () in
+      check
+        Alcotest.(list (pair string int))
+        "only nonzero counts bridged, names phase-prefixed"
+        [
+          ("meter.checker.bytes_hashed", 512);
+          ("meter.searcher.bytes_copied", 4096);
+          ("meter.searcher.pages_mapped", 7);
+        ]
+        snap.snap_counters)
+
+(* End-to-end agreement: run a real check with telemetry on and compare
+   the bridged totals against the meters the orchestrator returns. *)
+let test_check_module_totals_agree =
+  with_registry (fun () ->
+      let cloud = Mc_hypervisor.Cloud.create ~vms:4 ~seed:7L () in
+      let outcome =
+        match
+          Modchecker.Orchestrator.check_module cloud ~target_vm:0
+            ~module_name:"hal.dll"
+        with
+        | Ok o -> o
+        | Error e -> Alcotest.fail e
+      in
+      let meter_total phase field =
+        List.fold_left
+          (fun acc (w : Modchecker.Orchestrator.vm_work) ->
+            acc
+            + List.assoc field
+                (Mc_hypervisor.Meter.pairs
+                   (Mc_hypervisor.Meter.get w.work_meter phase)))
+          0 outcome.work
+      in
+      let counter name =
+        Option.value ~default:0
+          (List.assoc_opt name (Registry.snapshot ()).snap_counters)
+      in
+      check Alcotest.int "searcher bytes_copied agree"
+        (meter_total Mc_hypervisor.Meter.Searcher "bytes_copied")
+        (counter "meter.searcher.bytes_copied");
+      check Alcotest.int "checker bytes_hashed agree"
+        (meter_total Mc_hypervisor.Meter.Checker "bytes_hashed")
+        (counter "meter.checker.bytes_hashed");
+      check Alcotest.int "vmi counter agrees with searcher meter"
+        (meter_total Mc_hypervisor.Meter.Searcher "bytes_copied")
+        (counter "vmi.bytes_copied");
+      (* Span structure: one vm_check per VM, nested phases. *)
+      let spans = (Registry.snapshot ()).snap_spans in
+      let count name =
+        List.length (List.filter (fun (s : Span.t) -> s.Span.name = name) spans)
+      in
+      check Alcotest.int "vm_check spans" 4 (count "vm_check");
+      check Alcotest.int "searcher spans" 4 (count "searcher");
+      check Alcotest.int "checker spans" 3 (count "checker"))
+
+(* --- concurrency -------------------------------------------------------- *)
+
+let test_pool_worker_spans =
+  with_registry (fun () ->
+      let n = 40 in
+      let results =
+        Pool.with_pool 4 (fun pool ->
+            Registry.with_span "fanout" (fun root ->
+                Pool.parallel_map pool
+                  (fun i ->
+                    Registry.with_span ~parent:root.Span.id
+                      ~attrs:[ ("i", Span.Int i) ] "task"
+                      (fun _ ->
+                        Registry.add "tasks.done" 1;
+                        i * 2))
+                  (List.init n Fun.id)))
+      in
+      check Alcotest.int "all results" n (List.length results);
+      let snap = Registry.snapshot () in
+      check Alcotest.int "one span per task + root" (n + 1)
+        (List.length snap.snap_spans);
+      let tasks =
+        List.filter (fun (s : Span.t) -> s.Span.name = "task") snap.snap_spans
+      in
+      let root =
+        List.find (fun (s : Span.t) -> s.Span.name = "fanout") snap.snap_spans
+      in
+      Alcotest.(check bool)
+        "every task parented to fanout" true
+        (List.for_all
+           (fun (s : Span.t) -> s.Span.parent = Some root.Span.id)
+           tasks);
+      let is =
+        List.sort compare
+          (List.filter_map
+             (fun (s : Span.t) ->
+               match List.assoc_opt "i" s.Span.attrs with
+               | Some (Span.Int i) -> Some i
+               | _ -> None)
+             tasks)
+      in
+      check Alcotest.(list int) "no task span lost or duplicated"
+        (List.init n Fun.id) is;
+      check Alcotest.(option (pair string int)) "counter saw every task"
+        (Some ("tasks.done", n))
+        (List.find_opt (fun (k, _) -> k = "tasks.done") snap.snap_counters);
+      (* Pool instrumentation observed every task. *)
+      let histo name =
+        List.find_opt
+          (fun (h : Metric.histogram_summary) -> h.Metric.h_name = name)
+          snap.snap_histograms
+      in
+      (match histo "pool.task_run_s" with
+      | Some h -> check Alcotest.int "task_run_s count" n h.Metric.h_count
+      | None -> Alcotest.fail "pool.task_run_s histogram missing");
+      match histo "pool.queue_wait_s" with
+      | Some h -> check Alcotest.int "queue_wait_s count" n h.Metric.h_count
+      | None -> Alcotest.fail "pool.queue_wait_s histogram missing")
+
+(* --- json parser -------------------------------------------------------- *)
+
+let prop_json_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      sized @@ fix (fun self size ->
+          let scalar =
+            oneof
+              [
+                return Json.Null;
+                map (fun b -> Json.Bool b) bool;
+                map (fun i -> Json.Int i) small_signed_int;
+                (* (16f+1)/16 is never integral (would emit/reparse as Int)
+                   and is exactly representable, so equality is exact. *)
+                map
+                  (fun f -> Json.Float (Float.of_int ((16 * f) + 1) /. 16.0))
+                  (int_range (-60000) 60000);
+                map (fun s -> Json.String s) (string_size (int_bound 12));
+              ]
+          in
+          if size <= 0 then scalar
+          else
+            oneof
+              [
+                scalar;
+                map
+                  (fun l -> Json.List l)
+                  (list_size (int_bound 4) (self (size / 2)));
+                map
+                  (fun kvs ->
+                    (* Duplicate keys would not round-trip through assoc. *)
+                    let seen = Hashtbl.create 8 in
+                    Json.Obj
+                      (List.filter
+                         (fun (k, _) ->
+                           if Hashtbl.mem seen k then false
+                           else begin
+                             Hashtbl.add seen k ();
+                             true
+                           end)
+                         kvs))
+                  (list_size (int_bound 4)
+                     (pair (string_size (int_bound 8)) (self (size / 2))));
+              ]))
+  in
+  QCheck.Test.make ~count:300 ~name:"json emit/parse roundtrip"
+    (QCheck.make gen) (fun v ->
+      match Json.of_string (Json.to_string v) with
+      | Ok v' -> v = v'
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "explicit parent" `Quick test_span_explicit_parent;
+          Alcotest.test_case "exception closes" `Quick
+            test_span_exception_closes;
+          Alcotest.test_case "disabled is inert" `Quick test_disabled_is_inert;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counter/gauge" `Quick test_counter_gauge;
+          Alcotest.test_case "kind clash" `Quick test_instrument_kind_clash;
+          Alcotest.test_case "histogram summary" `Quick test_histogram_summary;
+          QCheck_alcotest.to_alcotest prop_quantiles_monotone_bounded;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "jsonl roundtrip" `Quick test_export_roundtrip;
+          Alcotest.test_case "summary renders" `Quick test_summary_renders;
+          QCheck_alcotest.to_alcotest prop_json_roundtrip;
+        ] );
+      ( "bridge",
+        [
+          Alcotest.test_case "meter counts" `Quick test_meter_bridge;
+          Alcotest.test_case "check_module totals agree" `Quick
+            test_check_module_totals_agree;
+        ] );
+      ( "concurrency",
+        [ Alcotest.test_case "pool worker spans" `Quick test_pool_worker_spans ]
+      );
+    ]
