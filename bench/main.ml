@@ -97,7 +97,13 @@ let ablations () =
 
   section "X5: patrol service — sweep interval vs time-to-detect vs Dom0 duty";
   print_string
-    (Mc_harness.Render.patrol_table (Mc_harness.Figures.patrol_tradeoff ()))
+    (Mc_harness.Render.patrol_table (Mc_harness.Figures.patrol_tradeoff ()));
+
+  section "X6: incremental checking — full vs dirty-page-driven sweeps on an \
+           idle pool";
+  print_string
+    (Mc_harness.Render.incremental_table
+       (Mc_harness.Figures.incremental_steady_state ()))
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the real implementation                *)

@@ -27,3 +27,22 @@ for needle in '"name":"searcher"' '"name":"parser"' '"name":"checker"' \
   }
 done
 echo "telemetry smoke OK: $(wc -l < "$trace") trace lines"
+
+echo "== incremental patrol smoke run (4-VM cloud, log-dirty + digest cache) =="
+metrics="$(mktemp -t modchecker_incr.XXXXXX.txt)"
+trap 'rm -f "$trace" "$metrics"' EXIT
+
+dune exec --no-build bin/modchecker_cli.exe -- \
+  patrol --vms 4 --duration 100 --interval 30 --incremental --metrics \
+  > "$metrics"
+
+# Warm sweeps must hit the digest cache, and the dirty-page scan plus
+# hypercall accounting must show up in the counters.
+for needle in 'digest_cache.hits' 'digest_cache.misses' 'vmi.pages_dirty' \
+              'meter.searcher.hypercalls'; do
+  grep -q "$needle" "$metrics" || {
+    echo "ci: incremental smoke failed: $needle missing from metrics" >&2
+    exit 1
+  }
+done
+echo "incremental smoke OK"

@@ -313,7 +313,7 @@ let detect_cmd =
 
 type which_figure =
   | Fig7 | Fig8 | Fig9 | Ablation | Parallelism | Baselines | Strategy
-  | PatrolFig | All
+  | PatrolFig | Incremental | All
 
 let which_arg =
   let doc = "Which figure/table to regenerate." in
@@ -323,7 +323,8 @@ let which_arg =
            [ ("fig7", Fig7); ("fig8", Fig8); ("fig9", Fig9);
              ("ablation", Ablation); ("parallel", Parallelism);
              ("baselines", Baselines); ("strategy", Strategy);
-             ("patrol", PatrolFig); ("all", All) ])
+             ("patrol", PatrolFig); ("incremental", Incremental);
+             ("all", All) ])
         All
     & info [ "which" ] ~docv:"WHICH" ~doc)
 
@@ -367,6 +368,11 @@ let run_figures which vms cores seed =
     print_string
       (Mc_harness.Render.patrol_table (Mc_harness.Figures.patrol_tradeoff ~seed ()))
   in
+  let incremental () =
+    print_string
+      (Mc_harness.Render.incremental_table
+         (Mc_harness.Figures.incremental_steady_state ~seed ()))
+  in
   match which with
   | Fig7 -> fig7 ()
   | Fig8 -> fig8 ()
@@ -376,6 +382,7 @@ let run_figures which vms cores seed =
   | Baselines -> baselines ()
   | Strategy -> strategy ()
   | PatrolFig -> patrol_fig ()
+  | Incremental -> incremental ()
   | All ->
       fig7 ();
       fig8 ();
@@ -384,7 +391,8 @@ let run_figures which vms cores seed =
       parallelism ();
       baselines ();
       strategy ();
-      patrol_fig ()
+      patrol_fig ();
+      incremental ()
 
 let figures_cmd =
   let doc = "Regenerate the paper's evaluation figures and the extensions." in
@@ -431,7 +439,7 @@ let health_cmd =
 (* --- patrol -------------------------------------------------------------- *)
 
 let run_patrol verbose vms cores seed duration interval infect vm infect_at
-    canonical trace metrics =
+    canonical incremental trace metrics =
   with_telemetry trace metrics @@ fun () ->
   setup_logs verbose;
   let cloud = make_cloud vms cores seed in
@@ -456,6 +464,7 @@ let run_patrol verbose vms cores seed duration interval infect vm infect_at
       Modchecker.Patrol.interval_s = interval;
       strategy =
         (if canonical then Orchestrator.Canonical else Orchestrator.Pairwise);
+      incremental;
     }
   in
   let o = Modchecker.Patrol.run ~config ~events cloud ~until:duration in
@@ -501,12 +510,17 @@ let patrol_cmd =
     Arg.(value & flag & info [ "canonical" ]
          ~doc:"Use the O(t) canonical survey strategy.")
   in
+  let incremental_arg =
+    Arg.(value & flag & info [ "incremental" ]
+         ~doc:"Track dirty pages and re-check only what changed between \
+               sweeps (log-dirty + digest cache).")
+  in
   Cmd.v
     (Cmd.info "patrol" ~doc)
     Term.(
       const run_patrol $ verbose_arg $ vms_arg $ cores_arg $ seed_arg
       $ duration_arg $ interval_arg $ infect_arg $ vm_arg $ infect_at_arg
-      $ canonical_arg $ trace_arg $ metrics_arg)
+      $ canonical_arg $ incremental_arg $ trace_arg $ metrics_arg)
 
 (* --- disasm --------------------------------------------------------------- *)
 

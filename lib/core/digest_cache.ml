@@ -1,0 +1,45 @@
+module Dom = Mc_hypervisor.Dom
+module Meter = Mc_hypervisor.Meter
+module Xenctl = Mc_hypervisor.Xenctl
+module Tel = Mc_telemetry.Registry
+
+type 'a entry = {
+  e_epoch : int;
+  e_footprint : (int * int) array;
+  e_value : 'a;
+}
+
+type 'a t = {
+  mutex : Mutex.t;
+  tbl : (int * string, 'a entry) Hashtbl.t;  (** (vm, key) → entry *)
+}
+
+let create () = { mutex = Mutex.create (); tbl = Hashtbl.create 64 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let length t = locked t (fun () -> Hashtbl.length t.tbl)
+
+let store t ~vm ~key ~epoch ~footprint value =
+  locked t (fun () ->
+      Hashtbl.replace t.tbl (vm, key)
+        { e_epoch = epoch; e_footprint = footprint; e_value = value })
+
+let probe ?meter t dom ~vm ~key =
+  match locked t (fun () -> Hashtbl.find_opt t.tbl (vm, key)) with
+  | Some e when Xenctl.pages_unchanged ?meter dom ~epoch:e.e_epoch e.e_footprint
+    ->
+      Tel.add "digest_cache.hits" 1;
+      Some e.e_value
+  | Some _ ->
+      (* Stale: a backing page was written, or the guest's memory was
+         replaced wholesale (reboot/restore). Drop it; the caller will
+         recompute and [store] a fresh entry. *)
+      locked t (fun () -> Hashtbl.remove t.tbl (vm, key));
+      Tel.add "digest_cache.misses" 1;
+      None
+  | None ->
+      Tel.add "digest_cache.misses" 1;
+      None

@@ -1,0 +1,46 @@
+(** Footprint-keyed memoization of per-VM introspection results.
+
+    An entry stores a value computed from one VM's memory together with the
+    exact set of (pfn, version) pairs that were read to compute it (the
+    session's {!Mc_vmi.Vmi.footprint}) and the memory epoch it was read in.
+    Because introspection reads are deterministic, the value is guaranteed
+    unchanged while {!Mc_hypervisor.Xenctl.pages_unchanged} holds for that
+    footprint — so a [probe] prices one hypercall plus a per-pfn bitmap
+    scan instead of re-mapping, re-parsing, and re-hashing the module.
+
+    The footprint covers {e everything} the session touched: the LDR list
+    pages walked to find the module, the page-table pages used to
+    translate, and the module pages themselves. A guest write to any of
+    them (or a reboot, which changes the epoch) invalidates the entry.
+
+    Probes and stores are mutex-guarded so parallel sweep workers can share
+    one cache. Hit/miss totals land on the [digest_cache.hits] /
+    [digest_cache.misses] telemetry counters. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val probe :
+  ?meter:Mc_hypervisor.Meter.t ->
+  'a t ->
+  Mc_hypervisor.Dom.t ->
+  vm:int ->
+  key:string ->
+  'a option
+(** [probe t dom ~vm ~key] is the cached value if its footprint is still
+    current, metering the staleness check. A stale entry is dropped. *)
+
+val store :
+  'a t ->
+  vm:int ->
+  key:string ->
+  epoch:int ->
+  footprint:(int * int) array ->
+  'a ->
+  unit
+(** [store t ~vm ~key ~epoch ~footprint v] records [v] as valid while the
+    footprint's pages stay at the given versions within [epoch]. *)
+
+val length : 'a t -> int
+(** Number of live entries (for tests). *)

@@ -2,6 +2,7 @@ module Cloud = Mc_hypervisor.Cloud
 module Dom = Mc_hypervisor.Dom
 module Meter = Mc_hypervisor.Meter
 module Costs = Mc_hypervisor.Costs
+module Xenctl = Mc_hypervisor.Xenctl
 module Vmi = Mc_vmi.Vmi
 module Symbols = Mc_vmi.Symbols
 module Pool = Mc_parallel.Pool
@@ -37,10 +38,8 @@ let bridge_meter meter =
           (Meter.pairs (Meter.get meter phase)))
       [ Meter.Searcher; Meter.Parser; Meter.Checker ]
 
-let fetch_artifacts cloud ~vm ~module_name ~meter =
-  let dom = Cloud.vm cloud vm in
+let fetch_with_vmi vmi ~vm ~module_name ~meter =
   Meter.set_phase meter Searcher;
-  let vmi = Vmi.init ~meter dom (profile_for dom) in
   match
     Tel.with_span ~attrs:[ ("vm", Int vm) ] "searcher" (fun sp ->
         let r = Searcher.fetch ~meter vmi ~name:module_name in
@@ -63,6 +62,12 @@ let fetch_artifacts cloud ~vm ~module_name ~meter =
       with
       | Error _ -> None
       | Ok artifacts -> Some (info, artifacts))
+
+let fetch_artifacts cloud ~vm ~module_name ~meter =
+  let dom = Cloud.vm cloud vm in
+  Meter.set_phase meter Searcher;
+  let vmi = Vmi.init ~meter dom (profile_for dom) in
+  fetch_with_vmi vmi ~vm ~module_name ~meter
 
 let map_vms mode f vms =
   match mode with
@@ -256,8 +261,82 @@ let canonical_fingerprints ?meter present =
           tables ))
     present
 
-let survey ?(mode = Sequential) ?(strategy = Pairwise) ?meter cloud
-    ~module_name =
+type fingerprint = (string * string) list
+
+type incremental = {
+  inc_digests : fingerprint option Digest_cache.t;
+  inc_lists : string list Digest_cache.t;
+  inc_pages : (int, Vmi.page_cache) Hashtbl.t;
+  inc_mutex : Mutex.t;  (** Guards [inc_pages]. *)
+}
+
+let create_incremental () =
+  {
+    inc_digests = Digest_cache.create ();
+    inc_lists = Digest_cache.create ();
+    inc_pages = Hashtbl.create 16;
+    inc_mutex = Mutex.create ();
+  }
+
+(* One shareable page cache per VM, so successive sweeps (and the list
+   walk and the module fetch within one sweep) reuse mapped pages instead
+   of re-mapping them. Safe because Vmi validates every hit against the
+   frame's write version. *)
+let page_cache_for inc vm =
+  Mutex.lock inc.inc_mutex;
+  let c =
+    match Hashtbl.find_opt inc.inc_pages vm with
+    | Some c -> c
+    | None ->
+        let c = Vmi.create_cache () in
+        Hashtbl.replace inc.inc_pages vm c;
+        c
+  in
+  Mutex.unlock inc.inc_mutex;
+  c
+
+(* Reloc slot RVAs of the golden copy of [name]. Unlike t-way
+   canonicalization (which infers slots by diffing copies against each
+   other), reloc-guided adjustment is independent per VM — a cacheable
+   per-VM fingerprint must not depend on which other copies happened to be
+   in the same survey. *)
+let module_relocs name =
+  match Mc_pe.Catalog.image name with
+  | exception _ -> []
+  | built -> (
+      let file = built.Mc_pe.Catalog.file in
+      match Mc_pe.Read.parse ~layout:Mc_pe.Read.File file with
+      | Error _ -> []
+      | Ok image ->
+          Mc_pe.Read.base_relocations ~layout:Mc_pe.Read.File file image)
+
+(* A VM-independent fingerprint: section data is hashed after exact
+   reloc-guided base stripping, headers raw. Clean copies at different
+   load bases collapse to the same digests. *)
+let vm_fingerprint ~meter ~relocs ~base artifacts : fingerprint =
+  List.map
+    (fun (a : Artifact.t) ->
+      let digest =
+        if Artifact.is_section_data a then begin
+          let data = Bytes.copy a.Artifact.data in
+          Meter.add_bytes_scanned meter (Bytes.length data);
+          ignore
+            (Rva.adjust_with_relocs ~base ~section_rva:a.Artifact.sec_rva
+               ~relocs data);
+          Meter.add_bytes_hashed meter (Bytes.length data);
+          Mc_md5.Md5.to_hex (Mc_md5.Md5.digest_bytes data)
+        end
+        else begin
+          Meter.add_bytes_hashed meter (Bytes.length a.Artifact.data);
+          Mc_md5.Md5.to_hex (Mc_md5.Md5.digest_bytes a.Artifact.data)
+        end
+      in
+      (Artifact.kind_name a.Artifact.kind, digest))
+    artifacts
+  |> List.sort compare
+
+let survey ?(mode = Sequential) ?(strategy = Pairwise) ?meter ?incremental
+    cloud ~module_name =
   Tel.with_span
     ~attrs:
       [
@@ -269,73 +348,141 @@ let survey ?(mode = Sequential) ?(strategy = Pairwise) ?meter cloud
   @@ fun root ->
   let root_id = if root.Span.id = 0 then None else Some root.Span.id in
   let vms = List.init (Cloud.vm_count cloud) Fun.id in
-  let fetch vm =
-    Tel.with_span ?parent:root_id ~attrs:[ ("vm", Int vm) ] "vm_check"
-    @@ fun _ ->
-    match meter with
-    | Some m -> (vm, fetch_artifacts cloud ~vm ~module_name ~meter:m)
-    | None ->
-        let m = Meter.create () in
-        let r = fetch_artifacts cloud ~vm ~module_name ~meter:m in
-        bridge_meter m;
-        (vm, r)
+  (* Every job meters into its own fresh meter — a shared meter is not
+     thread-safe — and the counts fold back after the join: into the
+     caller's meter when one was given, else straight into telemetry. *)
+  let fold_job jm =
+    match meter with Some dst -> Meter.merge dst jm | None -> bridge_meter jm
   in
-  let fetched =
-    match meter with
-    | Some _ -> List.map fetch vms (* a shared meter is not thread-safe *)
-    | None -> map_vms mode fetch vms
-  in
-  let present =
-    List.filter_map
-      (fun (vm, r) -> Option.map (fun x -> (vm, x)) r)
-      fetched
-  in
-  let missing_on = List.filter_map
-      (fun (vm, r) -> if r = None then Some vm else None)
-      fetched
-  in
-  (match meter with Some m -> Meter.set_phase m Checker | None -> ());
-  let pairwise =
-    Tel.with_span ~attrs:[ ("vms_present", Int (List.length present)) ]
-      "checker"
-    @@ fun _ ->
-    match strategy with
-    | Pairwise ->
-        let rec pairs = function
-          | [] -> []
-          | (v, x) :: rest ->
-              List.map (fun (u, y) -> ((v, x), (u, y))) rest @ pairs rest
-        in
-        let compare_one
-            (((v, (info_v, arts_v)), (u, (info_u, arts_u))) :
-              (int * (Searcher.module_info * Artifact.t list))
-              * (int * (Searcher.module_info * Artifact.t list))) =
-          let result =
-            Checker.compare_pair ?meter ~base1:info_v.Searcher.mi_base arts_v
-              ~base2:info_u.Searcher.mi_base arts_u
+  let vms_present, missing_on, pairwise =
+    match incremental with
+    | Some inc ->
+        (* Incremental path: per-VM reloc-adjusted fingerprints, memoized
+           on the pages each computation read. An untouched VM prices as
+           one staleness probe instead of a map+parse+hash pipeline. *)
+        let relocs = module_relocs module_name in
+        let fingerprint_vm vm =
+          Tel.with_span ?parent:root_id ~attrs:[ ("vm", Int vm) ] "vm_check"
+          @@ fun _ ->
+          let dom = Cloud.vm cloud vm in
+          let jm = Meter.create () in
+          Meter.set_phase jm Meter.Searcher;
+          let fp =
+            match
+              Digest_cache.probe ~meter:jm inc.inc_digests dom ~vm
+                ~key:module_name
+            with
+            | Some fp -> fp
+            | None ->
+                let epoch = Xenctl.memory_epoch dom in
+                let vmi =
+                  Vmi.init ~meter:jm ~cache:(page_cache_for inc vm) dom
+                    (profile_for dom)
+                in
+                let fp =
+                  match fetch_with_vmi vmi ~vm ~module_name ~meter:jm with
+                  | None -> None
+                  | Some (info, artifacts) ->
+                      Meter.set_phase jm Meter.Checker;
+                      Some
+                        (vm_fingerprint ~meter:jm ~relocs
+                           ~base:info.Searcher.mi_base artifacts)
+                in
+                Digest_cache.store inc.inc_digests ~vm ~key:module_name
+                  ~epoch ~footprint:(Vmi.footprint vmi) fp;
+                fp
           in
-          ((v, u), result.Checker.all_match)
+          (vm, fp, jm)
         in
-        (match meter with
-        | Some _ -> List.map compare_one (pairs present)
-        | None -> map_vms mode compare_one (pairs present))
-    | Canonical ->
-        let prints = canonical_fingerprints ?meter present in
+        let jobs = map_vms mode fingerprint_vm vms in
+        List.iter (fun (_, _, jm) -> fold_job jm) jobs;
+        let present =
+          List.filter_map
+            (fun (vm, fp, _) -> Option.map (fun f -> (vm, f)) fp)
+            jobs
+        in
+        let missing_on =
+          List.filter_map
+            (fun (vm, fp, _) -> if fp = None then Some vm else None)
+            jobs
+        in
         let rec pairs = function
           | [] -> []
           | (v, fp) :: rest ->
-              List.map (fun (u, fq) -> ((v, fp), (u, fq))) rest @ pairs rest
+              List.map (fun (u, fq) -> ((v, u), (fp : fingerprint) = fq)) rest
+              @ pairs rest
         in
-        List.map
-          (fun ((v, fp), (u, fq)) -> ((v, u), fp = fq))
-          (pairs prints)
+        (List.map fst present, missing_on, pairs present)
+    | None ->
+        let fetch vm =
+          Tel.with_span ?parent:root_id ~attrs:[ ("vm", Int vm) ] "vm_check"
+          @@ fun _ ->
+          let jm = Meter.create () in
+          let r = fetch_artifacts cloud ~vm ~module_name ~meter:jm in
+          (vm, r, jm)
+        in
+        let fetched = map_vms mode fetch vms in
+        List.iter (fun (_, _, jm) -> fold_job jm) fetched;
+        let present =
+          List.filter_map
+            (fun (vm, r, _) -> Option.map (fun x -> (vm, x)) r)
+            fetched
+        in
+        let missing_on =
+          List.filter_map
+            (fun (vm, r, _) -> if r = None then Some vm else None)
+            fetched
+        in
+        let pairwise =
+          Tel.with_span ~attrs:[ ("vms_present", Int (List.length present)) ]
+            "checker"
+          @@ fun _ ->
+          match strategy with
+          | Pairwise ->
+              let rec pairs = function
+                | [] -> []
+                | (v, x) :: rest ->
+                    List.map (fun (u, y) -> ((v, x), (u, y))) rest @ pairs rest
+              in
+              let compare_one
+                  (((v, (info_v, arts_v)), (u, (info_u, arts_u))) :
+                    (int * (Searcher.module_info * Artifact.t list))
+                    * (int * (Searcher.module_info * Artifact.t list))) =
+                let jm = Meter.create () in
+                Meter.set_phase jm Meter.Checker;
+                let result =
+                  Checker.compare_pair ~meter:jm
+                    ~base1:info_v.Searcher.mi_base arts_v
+                    ~base2:info_u.Searcher.mi_base arts_u
+                in
+                (((v, u), result.Checker.all_match), jm)
+              in
+              let rs = map_vms mode compare_one (pairs present) in
+              List.iter (fun (_, jm) -> fold_job jm) rs;
+              List.map fst rs
+          | Canonical ->
+              (* Cross-buffer by construction — runs on the caller. *)
+              let cm = Meter.create () in
+              Meter.set_phase cm Meter.Checker;
+              let prints = canonical_fingerprints ~meter:cm present in
+              fold_job cm;
+              let rec pairs = function
+                | [] -> []
+                | (v, fp) :: rest ->
+                    List.map (fun (u, fq) -> ((v, fp), (u, fq))) rest
+                    @ pairs rest
+              in
+              List.map
+                (fun ((v, fp), (u, fq)) -> ((v, u), fp = fq))
+                (pairs prints)
+        in
+        (List.map fst present, missing_on, pairwise)
   in
   (* Partition the present VMs into agreement classes (the match relation
      unions clean clones into one class). The largest class, when it is a
      strict majority, is the trusted pool; everyone outside deviates. With
      no majority class the pool is inconsistent beyond attribution and
      every VM is flagged for deeper analysis (paper §III-B discussion). *)
-  let vms_present = List.map fst present in
   let agreement_classes =
     match vms_present with
     | [] -> []
@@ -387,20 +534,39 @@ type list_discrepancy = {
   missing_on : int list;
 }
 
-let compare_module_lists cloud =
+(* The cache key for a VM's module-list walk; a guest module name can
+   never collide with it (names come from 8.3-ish UNICODE_STRINGs). *)
+let list_key = "__module_list__"
+
+let compare_module_lists ?meter ?incremental cloud =
+  Tel.with_span "list_compare" @@ fun _ ->
   let vms = List.init (Cloud.vm_count cloud) Fun.id in
-  let listings =
-    List.map
-      (fun vm ->
-        let dom = Cloud.vm cloud vm in
-        let vmi = Vmi.init dom (profile_for dom) in
-        ( vm,
-          List.map
-            (fun (i : Searcher.module_info) ->
-              String.lowercase_ascii i.Searcher.mi_name)
-            (Searcher.list_modules vmi) ))
-      vms
+  (match meter with Some m -> Meter.set_phase m Meter.Searcher | None -> ());
+  let names_on vm =
+    let dom = Cloud.vm cloud vm in
+    let walk ?cache () =
+      let vmi = Vmi.init ?meter ?cache dom (profile_for dom) in
+      let names =
+        List.map
+          (fun (i : Searcher.module_info) ->
+            String.lowercase_ascii i.Searcher.mi_name)
+          (Searcher.list_modules ?meter vmi)
+      in
+      (vmi, names)
+    in
+    match incremental with
+    | None -> snd (walk ())
+    | Some inc -> (
+        match Digest_cache.probe ?meter inc.inc_lists dom ~vm ~key:list_key with
+        | Some names -> names
+        | None ->
+            let epoch = Xenctl.memory_epoch dom in
+            let vmi, names = walk ~cache:(page_cache_for inc vm) () in
+            Digest_cache.store inc.inc_lists ~vm ~key:list_key ~epoch
+              ~footprint:(Vmi.footprint vmi) names;
+            names)
   in
+  let listings = List.map (fun vm -> (vm, names_on vm)) vms in
   let all_names =
     List.sort_uniq compare (List.concat_map snd listings)
   in

@@ -46,10 +46,33 @@ type survey_strategy =
           every copy's address slots to the pool's majority RVAs, then each
           copy is hashed once and compared by digest — O(t) hashing. *)
 
+type fingerprint = (string * string) list
+(** A VM's module identity for digest comparison: each artifact's display
+    kind paired with its digest (section data reloc-adjusted before
+    hashing), sorted by kind. Computed independently per VM, so it is
+    cacheable. *)
+
+type incremental = {
+  inc_digests : fingerprint option Digest_cache.t;
+      (** (vm, module) → fingerprint, or [None] for "absent on that VM"
+          (absence is as cacheable as presence — the LDR walk's footprint
+          keys it). *)
+  inc_lists : string list Digest_cache.t;
+      (** vm → lower-cased module-list walk result. *)
+  inc_pages : (int, Mc_vmi.Vmi.page_cache) Hashtbl.t;
+      (** vm → shared version-checked page cache. *)
+  inc_mutex : Mutex.t;
+}
+(** Carry-over state for incremental checking, shared across sweeps (and
+    across parallel workers) of one patrol. *)
+
+val create_incremental : unit -> incremental
+
 val survey :
   ?mode:mode ->
   ?strategy:survey_strategy ->
   ?meter:Mc_hypervisor.Meter.t ->
+  ?incremental:incremental ->
   Mc_hypervisor.Cloud.t ->
   module_name:string ->
   Report.survey
@@ -58,7 +81,15 @@ val survey :
     "detect discrepancies and trigger deeper analysis" use of §III-B.
     [strategy] defaults to [Pairwise]; both strategies produce the same
     verdicts (a property the tests check), differing only in cost. When
-    [meter] is given, all work is counted into it (under its phases). *)
+    [meter] is given, all work is counted into it (under its phases); in
+    [Parallel] mode each job meters into its own meter and the counts are
+    merged in after the join.
+
+    With [incremental], the survey compares per-VM reloc-adjusted
+    fingerprints memoized in the digest cache: a VM whose relevant pages
+    are untouched since the last sweep costs one log-dirty staleness probe
+    instead of a full map→parse→hash pipeline, and [strategy] is
+    irrelevant. Verdicts are unchanged either way. *)
 
 type list_discrepancy = {
   ld_module : string;
@@ -66,10 +97,17 @@ type list_discrepancy = {
   missing_on : int list;
 }
 
-val compare_module_lists : Mc_hypervisor.Cloud.t -> list_discrepancy list
+val compare_module_lists :
+  ?meter:Mc_hypervisor.Meter.t ->
+  ?incremental:incremental ->
+  Mc_hypervisor.Cloud.t ->
+  list_discrepancy list
 (** Extension: cross-VM comparison of the load lists themselves; a module
     present on most VMs but absent from a few is how a DKOM-hidden module
-    betrays itself. Only non-uniform modules are returned. *)
+    betrays itself. Only non-uniform modules are returned. The list walks
+    are metered into [meter] (under the Searcher phase) — they are real
+    introspection work and price like it. With [incremental], a VM whose
+    list-walk pages are untouched reuses the cached listing. *)
 
 val phase_seconds : Mc_hypervisor.Costs.t -> outcome -> phase_seconds
 (** Price the outcome's metered operations into per-component virtual CPU

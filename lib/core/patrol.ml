@@ -2,6 +2,8 @@ module Cloud = Mc_hypervisor.Cloud
 module Costs = Mc_hypervisor.Costs
 module Meter = Mc_hypervisor.Meter
 module Sched = Mc_hypervisor.Sched
+module Xenctl = Mc_hypervisor.Xenctl
+module Pool = Mc_parallel.Pool
 module Tel = Mc_telemetry.Registry
 module Span = Mc_telemetry.Span
 
@@ -21,6 +23,7 @@ type config = {
   workers : int;
   compare_lists : bool;
   strategy : Orchestrator.survey_strategy;
+  incremental : bool;
 }
 
 let default_config =
@@ -31,6 +34,7 @@ let default_config =
     workers = 1;
     compare_lists = true;
     strategy = Orchestrator.Pairwise;
+    incremental = false;
   }
 
 type outcome = {
@@ -39,6 +43,7 @@ type outcome = {
   virtual_elapsed : float;
   cpu_spent : float;
   mean_sweep_wall : float;
+  sweep_cpus : float list;
 }
 
 let alarm_kind_string = function
@@ -51,13 +56,40 @@ let alarm_kind_key = function
   | Missing_module -> "missing_module"
   | List_discrepancy -> "list_discrepancy"
 
+(* Keep log-dirty tracking armed on every guest. A reboot or restore
+   replaces the guest's physical memory (new epoch) with tracking off, so
+   re-arm whenever a VM's epoch moved; the hypercalls are metered. *)
+let ensure_log_dirty meter epochs cloud =
+  List.iter
+    (fun vm ->
+      let dom = Cloud.vm cloud vm in
+      let e = Xenctl.memory_epoch dom in
+      match Hashtbl.find_opt epochs vm with
+      | Some e' when e' = e -> ()
+      | _ ->
+          Xenctl.enable_log_dirty ~meter dom;
+          Hashtbl.replace epochs vm e)
+    (List.init (Cloud.vm_count cloud) Fun.id)
+
 let run ?(config = default_config) ?(events = []) cloud ~until =
   let clock = ref 0.0 in
   let cpu = ref 0.0 in
   let sweeps = ref 0 in
   let walls = ref [] in
+  let sweep_cpus = ref [] in
   let alarms = ref [] in
   let pending = ref (List.sort (fun (a, _) (b, _) -> compare a b) events) in
+  let incremental =
+    if config.incremental then Some (Orchestrator.create_incremental ())
+    else None
+  in
+  let epochs = Hashtbl.create 16 in
+  let with_mode f =
+    if config.workers > 1 then
+      Pool.with_pool config.workers (fun pool -> f (Orchestrator.Parallel pool))
+    else f Orchestrator.Sequential
+  in
+  with_mode @@ fun mode ->
   while !clock < until do
     (* Fire events whose time has come before this sweep observes the
        cloud. *)
@@ -79,14 +111,30 @@ let run ?(config = default_config) ?(events = []) cloud ~until =
           [ ("sweep", Int (!sweeps + 1)); ("virtual_start_s", Float sweep_started) ]
         "patrol_sweep"
     @@ fun sp ->
+    (match incremental with
+    | None -> ()
+    | Some _ ->
+        (* Arm/drain the log-dirty machinery; this Dom0 overhead is a
+           schedulable job like any survey, so it is priced into the
+           sweep. *)
+        let m = Meter.create () in
+        ensure_log_dirty m epochs cloud;
+        List.iter
+          (fun vm ->
+            let dirty = Xenctl.clean_dirty ~meter:m (Cloud.vm cloud vm) in
+            if Tel.enabled () then
+              Tel.add "vmi.pages_dirty" (List.length dirty))
+          (List.init (Cloud.vm_count cloud) Fun.id);
+        module_costs :=
+          Meter.total_cpu_seconds config.costs m :: !module_costs);
     List.iter
       (fun module_name ->
         (* One meter per module: each watched module is a schedulable job,
            so multiple Dom0 workers can survey modules concurrently. *)
         let meter = Meter.create () in
         let s =
-          Orchestrator.survey ~strategy:config.strategy ~meter cloud
-            ~module_name
+          Orchestrator.survey ~mode ~strategy:config.strategy ~meter
+            ?incremental cloud ~module_name
         in
         module_costs :=
           Meter.total_cpu_seconds config.costs meter :: !module_costs;
@@ -109,7 +157,16 @@ let run ?(config = default_config) ?(events = []) cloud ~until =
             }
             :: !sweep_alarms)
       config.watch;
-    if config.compare_lists then
+    if config.compare_lists then begin
+      (* The list walks are real introspection work: meter them and fold
+         their cost into the sweep like any surveyed module. *)
+      let list_meter = Meter.create () in
+      let discrepancies =
+        Orchestrator.compare_module_lists ~meter:list_meter ?incremental
+          cloud
+      in
+      module_costs :=
+        Meter.total_cpu_seconds config.costs list_meter :: !module_costs;
       List.iter
         (fun (d : Orchestrator.list_discrepancy) ->
           (* Only alarm on list entries we are not already alarming on as
@@ -123,7 +180,8 @@ let run ?(config = default_config) ?(events = []) cloud ~until =
                 kind = List_discrepancy;
               }
               :: !sweep_alarms)
-        (Orchestrator.compare_module_lists cloud);
+        discrepancies
+    end;
     (* Price the sweep and advance the virtual clock under current load. *)
     let sweep_cpu = List.fold_left ( +. ) 0.0 !module_costs in
     let bus =
@@ -149,6 +207,7 @@ let run ?(config = default_config) ?(events = []) cloud ~until =
         !sweep_alarms
     end;
     cpu := !cpu +. sweep_cpu;
+    sweep_cpus := sweep_cpu :: !sweep_cpus;
     walls := wall :: !walls;
     incr sweeps;
     clock := sweep_started +. wall;
@@ -179,6 +238,7 @@ let run ?(config = default_config) ?(events = []) cloud ~until =
     virtual_elapsed = !clock;
     cpu_spent = !cpu;
     mean_sweep_wall = Mc_util.Stats.mean !walls;
+    sweep_cpus = List.rev !sweep_cpus;
   }
 
 let to_json o =
@@ -189,6 +249,7 @@ let to_json o =
       ("virtual_elapsed_s", Float o.virtual_elapsed);
       ("cpu_spent_s", Float o.cpu_spent);
       ("mean_sweep_wall_s", Float o.mean_sweep_wall);
+      ("sweep_cpus_s", List (List.map (fun c -> Float c) o.sweep_cpus));
       ( "alarms",
         List
           (List.map

@@ -29,10 +29,16 @@ type config = {
   workers : int;  (** Dom0 vCPUs driving the sweep. *)
   compare_lists : bool;  (** Also run the DKOM list comparison. *)
   strategy : Orchestrator.survey_strategy;
+  incremental : bool;
+      (** Keep log-dirty tracking armed on every guest and memoize per-VM
+          fingerprints across sweeps: a steady-state sweep prices as
+          staleness probes plus re-checks of only the VMs whose relevant
+          pages were written. Detection verdicts are unchanged. *)
 }
 
 val default_config : config
-(** Watches the standard catalog, 30 s interval, one worker, pairwise. *)
+(** Watches the standard catalog, 30 s interval, one worker, pairwise,
+    non-incremental. *)
 
 type outcome = {
   alarms : alarm list;  (** In raising order; duplicates across sweeps kept. *)
@@ -40,6 +46,9 @@ type outcome = {
   virtual_elapsed : float;  (** Clock at the end of the run. *)
   cpu_spent : float;  (** Dom0 CPU-seconds consumed by checking. *)
   mean_sweep_wall : float;
+  sweep_cpus : float list;
+      (** Per-sweep CPU-seconds, in sweep order — the first/steady-state
+          split the incremental experiments read. *)
 }
 
 val run :

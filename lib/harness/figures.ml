@@ -360,6 +360,54 @@ let patrol_tradeoff ?(vms = 6) ?(seed = 2012L) () =
       })
     [ 10.0; 30.0; 60.0; 120.0 ]
 
+type incremental_row = {
+  ir_vms : int;
+  ir_full_sweep_s : float;
+  ir_first_sweep_s : float;
+  ir_steady_sweep_s : float;
+  ir_speedup : float;
+}
+
+(* X6: full vs incremental patrol of an idle pool. The full sweep re-maps,
+   re-parses and re-hashes every module on every VM each time, so its cost
+   grows linearly in pool size; the incremental steady state prices as
+   per-VM staleness probes and stays near-flat. *)
+let incremental_steady_state ?(pool_sizes = [ 2; 5; 10; 15 ]) ?(seed = 2012L)
+    () =
+  let watch = [ "hal.dll"; "http.sys"; "ntoskrnl.exe" ] in
+  let sweep_cpus ~vms ~incremental =
+    let cloud = Cloud.create ~vms ~seed () in
+    let config =
+      {
+        Modchecker.Patrol.default_config with
+        Modchecker.Patrol.watch;
+        interval_s = 30.0;
+        strategy = Orchestrator.Canonical;
+        incremental;
+      }
+    in
+    let o = Modchecker.Patrol.run ~config cloud ~until:149.0 in
+    o.Modchecker.Patrol.sweep_cpus
+  in
+  let mean = function
+    | [] -> nan
+    | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+  in
+  List.map
+    (fun vms ->
+      let full = sweep_cpus ~vms ~incremental:false in
+      let inc = sweep_cpus ~vms ~incremental:true in
+      let full_steady = mean (List.tl full) in
+      let inc_steady = mean (List.tl inc) in
+      {
+        ir_vms = vms;
+        ir_full_sweep_s = full_steady;
+        ir_first_sweep_s = List.hd inc;
+        ir_steady_sweep_s = inc_steady;
+        ir_speedup = full_steady /. inc_steady;
+      })
+    pool_sizes
+
 type baseline_cell = Detected | Missed | False_alarm | Clean
 
 let baseline_cell_string = function

@@ -115,6 +115,24 @@ val patrol_tradeoff :
     trade-off; an inline hook lands at t=50 s and each row patrols with a
     different sweep interval. *)
 
+type incremental_row = {
+  ir_vms : int;  (** Pool size. *)
+  ir_full_sweep_s : float;
+      (** Steady-state CPU of one full (non-incremental) sweep. *)
+  ir_first_sweep_s : float;
+      (** The incremental patrol's first (cold, cache-filling) sweep. *)
+  ir_steady_sweep_s : float;
+      (** Mean CPU of the incremental patrol's later sweeps. *)
+  ir_speedup : float;  (** Full steady / incremental steady. *)
+}
+
+val incremental_steady_state :
+  ?pool_sizes:int list -> ?seed:int64 -> unit -> incremental_row list
+(** X6: full vs incremental patrol sweeps over an idle pool. The
+    incremental first sweep pays full price plus log-dirty setup; each
+    later sweep prices as staleness probes, so its cost stays near-flat as
+    the pool grows while the full sweep grows linearly. *)
+
 type baseline_cell = Detected | Missed | False_alarm | Clean
 
 val baseline_cell_string : baseline_cell -> string

@@ -160,6 +160,22 @@ let parallel_table rows =
          ])
        rows)
 
+let incremental_table rows =
+  Table.render
+    ~header:
+      [ "VMs"; "full sweep (ms)"; "incr 1st (ms)"; "incr steady (ms)";
+        "speedup" ]
+    (List.map
+       (fun (r : Figures.incremental_row) ->
+         [
+           string_of_int r.ir_vms;
+           Printf.sprintf "%.2f" (r.ir_full_sweep_s *. 1000.0);
+           Printf.sprintf "%.2f" (r.ir_first_sweep_s *. 1000.0);
+           Printf.sprintf "%.2f" (r.ir_steady_sweep_s *. 1000.0);
+           Printf.sprintf "%.1fx" r.ir_speedup;
+         ])
+       rows)
+
 let strategy_table rows =
   Table.render
     ~header:

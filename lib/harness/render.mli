@@ -18,6 +18,10 @@ val cross_pointer_table : Figures.cross_pointer_row list -> string
 
 val parallel_table : Figures.parallel_row list -> string
 
+val incremental_table : Figures.incremental_row list -> string
+(** X6 rendering: full vs incremental steady-state sweep cost by pool
+    size. *)
+
 val strategy_table : Figures.strategy_row list -> string
 
 val patrol_table : Figures.patrol_row list -> string

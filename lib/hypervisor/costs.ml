@@ -7,6 +7,8 @@ type t = {
   scan_byte_s : float;
   hash_byte_s : float;
   vm_session_s : float;
+  hypercall_s : float;
+  dirty_scan_pfn_s : float;
   bus_slowdown_per_busy_vm : float;
 }
 
@@ -20,5 +22,7 @@ let default =
     scan_byte_s = 1.0e-9;
     hash_byte_s = 2.8e-9;
     vm_session_s = 180e-6;
+    hypercall_s = 30e-6;
+    dirty_scan_pfn_s = 40e-9;
     bus_slowdown_per_busy_vm = 0.06;
   }

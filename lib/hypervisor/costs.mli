@@ -19,6 +19,11 @@ type t = {
   scan_byte_s : float;  (** RVA-adjustment scan, per byte compared. *)
   hash_byte_s : float;  (** MD5, per byte. *)
   vm_session_s : float;  (** Per-VM introspection session setup/teardown. *)
+  hypercall_s : float;
+      (** One log-dirty control/peek/clean hypercall round trip. *)
+  dirty_scan_pfn_s : float;
+      (** Checking one pfn against the log-dirty bitmap / version table —
+          the unit cost of an incremental sweep's staleness scan. *)
   bus_slowdown_per_busy_vm : float;
       (** Fractional slowdown of memory-bound work per concurrently
           bus-hungry VM (saturating at the core count). *)

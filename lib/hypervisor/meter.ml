@@ -19,6 +19,8 @@ type counts = {
   mutable bytes_scanned : int;
   mutable bytes_hashed : int;
   mutable vm_sessions : int;
+  mutable hypercalls : int;
+  mutable pfns_checked : int;
 }
 
 let zero () =
@@ -31,6 +33,8 @@ let zero () =
     bytes_scanned = 0;
     bytes_hashed = 0;
     vm_sessions = 0;
+    hypercalls = 0;
+    pfns_checked = 0;
   }
 
 type t = {
@@ -51,7 +55,9 @@ let clear c =
   c.sections_parsed <- 0;
   c.bytes_scanned <- 0;
   c.bytes_hashed <- 0;
-  c.vm_sessions <- 0
+  c.vm_sessions <- 0;
+  c.hypercalls <- 0;
+  c.pfns_checked <- 0
 
 let reset t =
   clear t.searcher;
@@ -85,6 +91,27 @@ let add_bytes_hashed t n = (current t).bytes_hashed <- (current t).bytes_hashed 
 
 let add_vm_sessions t n = (current t).vm_sessions <- (current t).vm_sessions + n
 
+let add_hypercalls t n = (current t).hypercalls <- (current t).hypercalls + n
+
+let add_pfns_checked t n = (current t).pfns_checked <- (current t).pfns_checked + n
+
+let merge_counts dst src =
+  dst.pages_mapped <- dst.pages_mapped + src.pages_mapped;
+  dst.bytes_copied <- dst.bytes_copied + src.bytes_copied;
+  dst.struct_reads <- dst.struct_reads + src.struct_reads;
+  dst.bytes_parsed <- dst.bytes_parsed + src.bytes_parsed;
+  dst.sections_parsed <- dst.sections_parsed + src.sections_parsed;
+  dst.bytes_scanned <- dst.bytes_scanned + src.bytes_scanned;
+  dst.bytes_hashed <- dst.bytes_hashed + src.bytes_hashed;
+  dst.vm_sessions <- dst.vm_sessions + src.vm_sessions;
+  dst.hypercalls <- dst.hypercalls + src.hypercalls;
+  dst.pfns_checked <- dst.pfns_checked + src.pfns_checked
+
+let merge dst src =
+  merge_counts dst.searcher src.searcher;
+  merge_counts dst.parser src.parser;
+  merge_counts dst.checker src.checker
+
 let pairs k =
   [
     ("pages_mapped", k.pages_mapped);
@@ -95,6 +122,8 @@ let pairs k =
     ("bytes_scanned", k.bytes_scanned);
     ("bytes_hashed", k.bytes_hashed);
     ("vm_sessions", k.vm_sessions);
+    ("hypercalls", k.hypercalls);
+    ("pfns_checked", k.pfns_checked);
   ]
 
 let cpu_seconds (c : Costs.t) k =
@@ -106,6 +135,8 @@ let cpu_seconds (c : Costs.t) k =
   +. (float_of_int k.bytes_scanned *. c.scan_byte_s)
   +. (float_of_int k.bytes_hashed *. c.hash_byte_s)
   +. (float_of_int k.vm_sessions *. c.vm_session_s)
+  +. (float_of_int k.hypercalls *. c.hypercall_s)
+  +. (float_of_int k.pfns_checked *. c.dirty_scan_pfn_s)
 
 let total_cpu_seconds costs t =
   cpu_seconds costs t.searcher +. cpu_seconds costs t.parser

@@ -23,6 +23,8 @@ type counts = {
   mutable bytes_scanned : int;
   mutable bytes_hashed : int;
   mutable vm_sessions : int;
+  mutable hypercalls : int;
+  mutable pfns_checked : int;
 }
 
 type t
@@ -55,6 +57,16 @@ val add_bytes_scanned : t -> int -> unit
 val add_bytes_hashed : t -> int -> unit
 
 val add_vm_sessions : t -> int -> unit
+
+val add_hypercalls : t -> int -> unit
+
+val add_pfns_checked : t -> int -> unit
+
+val merge : t -> t -> unit
+(** [merge dst src] adds every counter of [src] into [dst], phase by
+    phase. This is how parallel jobs — each metering into its own [t] —
+    fold their counts back into the caller's meter after the join;
+    [src]'s selected phase is irrelevant and [dst]'s is unchanged. *)
 
 val pairs : counts -> (string * int) list
 (** [pairs c] is every field as a named count, in declaration order — the

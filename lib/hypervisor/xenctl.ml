@@ -9,9 +9,11 @@ let resume (dom : Dom.t) = dom.paused <- false
 
 let bump meter f = match meter with Some m -> f m | None -> ()
 
+let phys dom = Kernel.phys (Dom.kernel_exn dom)
+
 let map_foreign_page ?meter dom pfn =
   bump meter (fun m -> Meter.add_pages_mapped m 1);
-  Phys.read_page (Kernel.phys (Dom.kernel_exn dom)) pfn
+  Phys.read_page (phys dom) pfn
 
 let read_foreign_pa ?meter dom paddr dst off len =
   let page = Phys.frame_size in
@@ -19,4 +21,34 @@ let read_foreign_pa ?meter dom paddr dst off len =
   bump meter (fun m ->
       Meter.add_pages_mapped m (last - first + 1);
       Meter.add_bytes_copied m len);
-  Phys.read (Kernel.phys (Dom.kernel_exn dom)) paddr dst off len
+  Phys.read (phys dom) paddr dst off len
+
+(* --- log-dirty (XEN_DOMCTL_SHADOW_OP_* analogues) ---------------------- *)
+
+let enable_log_dirty ?meter dom =
+  bump meter (fun m -> Meter.add_hypercalls m 1);
+  Phys.set_log_dirty (phys dom) true
+
+let disable_log_dirty ?meter dom =
+  bump meter (fun m -> Meter.add_hypercalls m 1);
+  Phys.set_log_dirty (phys dom) false
+
+let peek_dirty ?meter dom =
+  bump meter (fun m -> Meter.add_hypercalls m 1);
+  Phys.peek_dirty (phys dom)
+
+let clean_dirty ?meter dom =
+  bump meter (fun m -> Meter.add_hypercalls m 1);
+  Phys.clean_dirty (phys dom)
+
+let memory_epoch dom = Phys.uid (phys dom)
+
+let page_version dom pfn = Phys.page_version (phys dom) pfn
+
+let pages_unchanged ?meter dom ~epoch footprint =
+  bump meter (fun m ->
+      Meter.add_hypercalls m 1;
+      Meter.add_pfns_checked m (Array.length footprint));
+  let p = phys dom in
+  Phys.uid p = epoch
+  && Array.for_all (fun (pfn, v) -> Phys.page_version p pfn = v) footprint

@@ -20,3 +20,39 @@ val read_foreign_pa :
 (** [read_foreign_pa dom paddr dst off len] reads guest-physical memory,
     metering one page map per page boundary the range touches plus the
     bytes copied. *)
+
+(** {1 Log-dirty tracking}
+
+    The analogue of Xen's [XEN_DOMCTL_SHADOW_OP_ENABLE_LOGDIRTY] /
+    [SHADOW_OP_PEEK] / [SHADOW_OP_CLEAN] interface. Each call is one
+    metered hypercall round trip. *)
+
+val enable_log_dirty : ?meter:Meter.t -> Dom.t -> unit
+(** Start recording which guest frames are written. *)
+
+val disable_log_dirty : ?meter:Meter.t -> Dom.t -> unit
+(** Stop recording and drop the accumulated dirty set. *)
+
+val peek_dirty : ?meter:Meter.t -> Dom.t -> int list
+(** Dirty pfns accumulated since the last clean, without clearing. *)
+
+val clean_dirty : ?meter:Meter.t -> Dom.t -> int list
+(** Dirty pfns accumulated since the last clean, atomically clearing the
+    bitmap (Xen's peek-and-clean). *)
+
+val memory_epoch : Dom.t -> int
+(** An identifier for the guest's current physical address space. It
+    changes whenever the backing memory is replaced wholesale — reboot,
+    snapshot restore — so stale per-pfn versions from a previous epoch can
+    never alias the new one. *)
+
+val page_version : Dom.t -> int -> int
+(** [page_version dom pfn] is the write version of frame [pfn] (0 if the
+    frame was never written). *)
+
+val pages_unchanged :
+  ?meter:Meter.t -> Dom.t -> epoch:int -> (int * int) array -> bool
+(** [pages_unchanged dom ~epoch footprint] is [true] iff the guest is
+    still in [epoch] and every [(pfn, version)] pair in [footprint]
+    matches the frame's current version. Priced as one hypercall plus one
+    bitmap probe per pfn — the cost of an incremental staleness check. *)

@@ -1,14 +1,60 @@
 let frame_size = 4096
 
+(* Every Phys instance gets a process-unique id. A reboot or snapshot
+   restore builds a fresh instance, so Dom0-side caches keyed on (uid,
+   page version) can never confuse two different memories whose version
+   counters happen to coincide. *)
+let uid_counter = Atomic.make 1
+
 type t = {
   frames : (int, Bytes.t) Hashtbl.t;
+  versions : (int, int) Hashtbl.t;  (** pfn → write version (absent = 0). *)
+  dirty : (int, unit) Hashtbl.t;  (** log-dirty bitmap, while enabled. *)
+  mutable log_dirty : bool;
+  mutable write_gen : int;
+  uid : int;
   max_frames : int;
   mutable next_pfn : int;
 }
 
 let create ?(max_frames = 65536) () =
-  { frames = Hashtbl.create 1024; max_frames; next_pfn = 1 }
+  {
+    frames = Hashtbl.create 1024;
+    versions = Hashtbl.create 1024;
+    dirty = Hashtbl.create 64;
+    log_dirty = false;
+    write_gen = 0;
+    uid = Atomic.fetch_and_add uid_counter 1;
+    max_frames;
+    next_pfn = 1;
+  }
 (* pfn 0 is reserved (a null physical page), as on real chipsets. *)
+
+let uid t = t.uid
+
+let write_generation t = t.write_gen
+
+let page_version t pfn =
+  Option.value ~default:0 (Hashtbl.find_opt t.versions pfn)
+
+let touch t pfn =
+  Hashtbl.replace t.versions pfn (page_version t pfn + 1);
+  t.write_gen <- t.write_gen + 1;
+  if t.log_dirty then Hashtbl.replace t.dirty pfn ()
+
+let set_log_dirty t on =
+  t.log_dirty <- on;
+  if not on then Hashtbl.reset t.dirty
+
+let log_dirty_enabled t = t.log_dirty
+
+let peek_dirty t =
+  List.sort compare (Hashtbl.fold (fun pfn () acc -> pfn :: acc) t.dirty [])
+
+let clean_dirty t =
+  let pfns = peek_dirty t in
+  Hashtbl.reset t.dirty;
+  pfns
 
 let alloc_frame t =
   if Hashtbl.length t.frames >= t.max_frames then
@@ -39,7 +85,9 @@ let rec write t paddr src src_off len =
     let off = paddr mod frame_size in
     let chunk = min len (frame_size - off) in
     (match Hashtbl.find_opt t.frames pfn with
-    | Some frame -> Bytes.blit src src_off frame off chunk
+    | Some frame ->
+        Bytes.blit src src_off frame off chunk;
+        touch t pfn
     | None ->
         invalid_arg
           (Printf.sprintf "Phys.write: unallocated frame 0x%x (paddr 0x%x)" pfn
@@ -60,7 +108,16 @@ let write_u32 t paddr v =
 let deep_copy t =
   let frames = Hashtbl.create (Hashtbl.length t.frames) in
   Hashtbl.iter (fun pfn data -> Hashtbl.replace frames pfn (Bytes.copy data)) t.frames;
-  { frames; max_frames = t.max_frames; next_pfn = t.next_pfn }
+  {
+    frames;
+    versions = Hashtbl.copy t.versions;
+    dirty = Hashtbl.create 64;
+    log_dirty = false;
+    write_gen = t.write_gen;
+    uid = Atomic.fetch_and_add uid_counter 1;
+    max_frames = t.max_frames;
+    next_pfn = t.next_pfn;
+  }
 
 let read_page t pfn =
   let b = Bytes.create frame_size in

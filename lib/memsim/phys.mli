@@ -13,6 +13,35 @@ val create : ?max_frames:int -> unit -> t
 (** [create ()] makes an empty physical memory; [max_frames] bounds the
     number of allocatable frames (default 65536 = 256 MiB). *)
 
+val uid : t -> int
+(** Process-unique id of this physical memory instance. A reboot or
+    snapshot restore builds a fresh instance with a fresh uid, so external
+    caches keyed on [(uid, page_version)] cannot alias across memories. *)
+
+val write_generation : t -> int
+(** Global write counter: bumped once per frame touched by any {!write}.
+    Monotonic for the lifetime of the instance. *)
+
+val page_version : t -> int -> int
+(** [page_version t pfn] is the frame's write version (0 until first
+    written). Bumped by every {!write} that touches the frame — the single
+    choke point for all guest mutation. *)
+
+val set_log_dirty : t -> bool -> unit
+(** [set_log_dirty t true] starts recording written frames into the dirty
+    bitmap (Xen's [SHADOW_OP_ENABLE_LOGDIRTY] analogue); [false] stops and
+    clears it. *)
+
+val log_dirty_enabled : t -> bool
+
+val peek_dirty : t -> int list
+(** Frames written since log-dirty was enabled or last cleaned, ascending.
+    Does not clear the bitmap. *)
+
+val clean_dirty : t -> int list
+(** Like {!peek_dirty} but atomically clears the bitmap — Xen's
+    peek-and-clean hypercall. *)
+
 val alloc_frame : t -> int
 (** [alloc_frame t] reserves a fresh zeroed frame and returns its frame
     number (pfn). Raises [Failure] when [max_frames] is exhausted. *)
@@ -38,7 +67,8 @@ val write_u32 : t -> int -> int32 -> unit
 
 val deep_copy : t -> t
 (** [deep_copy t] duplicates the whole physical memory (every allocated
-    frame) — the substrate of VM snapshots. *)
+    frame) — the substrate of VM snapshots. The copy gets a fresh {!uid}
+    and starts with log-dirty off. *)
 
 val read_page : t -> int -> Bytes.t
 (** [read_page t pfn] copies out one whole frame — the unit of access used

@@ -43,23 +43,36 @@ let run t task =
            end
            else 0.0
          in
-         let r = try Ok (task ()) with e -> Error e in
+         let r =
+           try Ok (task ())
+           with e -> Error (e, Printexc.get_raw_backtrace ())
+         in
          if observed then begin
            Mc_telemetry.Registry.observe "pool.task_run_s"
              (Mc_telemetry.Clock.wall () -. started);
            Mc_telemetry.Registry.add "pool.tasks" 1;
            if Result.is_error r then Mc_telemetry.Registry.add "pool.task_errors" 1
          end;
-         Deferred.fill d r));
+         match r with
+         | Ok v -> Deferred.fill d (Ok v)
+         | Error (e, bt) -> Deferred.fill_error d e bt));
   d
 
 let parallel_map t f xs =
   let handles = List.map (fun x -> run t (fun () -> f x)) xs in
   (* Await everything before re-raising so no task outlives the call. *)
   let results =
-    List.map (fun d -> try Ok (Deferred.await d) with e -> Error e) handles
+    List.map
+      (fun d ->
+        try Ok (Deferred.await d)
+        with e -> Error (e, Printexc.get_raw_backtrace ()))
+      handles
   in
-  List.map (function Ok v -> v | Error e -> raise e) results
+  List.map
+    (function
+      | Ok v -> v
+      | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+    results
 
 let shutdown t =
   if t.alive then begin

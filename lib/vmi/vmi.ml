@@ -3,11 +3,24 @@ module Meter = Mc_hypervisor.Meter
 module Xenctl = Mc_hypervisor.Xenctl
 module Phys = Mc_memsim.Phys
 
+(* A cached page copy is only valid while the guest is in the same memory
+   epoch (no reboot/restore swapped the backing store) and the frame's
+   write version is unchanged. The old cache kept plain [Bytes.t] forever
+   and served stale data once the guest wrote the frame. *)
+type cache_entry = { ce_epoch : int; ce_version : int; ce_data : Bytes.t }
+
+type page_cache = (int, cache_entry) Hashtbl.t
+
+let create_cache () : page_cache = Hashtbl.create 64
+
 type t = {
   t_dom : Dom.t;
   profile : Symbols.profile;
   meter : Meter.t option;
-  cache : (int, Bytes.t) Hashtbl.t;  (** pfn → mapped page copy *)
+  cache : page_cache;
+  touched : (int, int) Hashtbl.t;
+      (** pfn → version observed when this session read it; the session's
+          read footprint. *)
 }
 
 exception Invalid_address of int
@@ -18,29 +31,59 @@ let page = Phys.frame_size
    one checking job, these accumulate across the whole process run. *)
 let tadd = Mc_telemetry.Registry.add
 
-let init ?meter dom profile =
+let init ?meter ?cache dom profile =
   (match meter with Some m -> Meter.add_vm_sessions m 1 | None -> ());
   tadd "vmi.sessions" 1;
-  { t_dom = dom; profile; meter; cache = Hashtbl.create 64 }
+  let cache = match cache with Some c -> c | None -> create_cache () in
+  { t_dom = dom; profile; meter; cache; touched = Hashtbl.create 64 }
 
 let dom t = t.t_dom
 
 let pause t = Xenctl.pause t.t_dom
 
-let resume t = Xenctl.resume t.t_dom
+let flush_cache t = Hashtbl.reset t.cache
+
+let resume t =
+  Xenctl.resume t.t_dom;
+  (* Belt and braces: version checks would catch stale entries anyway, but
+     after the guest runs freely nothing cached is worth trusting. *)
+  flush_cache t
 
 let read_ksym t name = Symbols.lookup_exn t.profile name
 
 let mapped_page t pfn =
+  let remap () =
+    let data = Xenctl.map_foreign_page ?meter:t.meter t.t_dom pfn in
+    tadd "vmi.pages_mapped" 1;
+    let epoch = Xenctl.memory_epoch t.t_dom in
+    let ver = Xenctl.page_version t.t_dom pfn in
+    Hashtbl.replace t.cache pfn { ce_epoch = epoch; ce_version = ver; ce_data = data };
+    Hashtbl.replace t.touched pfn ver;
+    data
+  in
   match Hashtbl.find_opt t.cache pfn with
-  | Some page ->
+  | Some ce
+    when ce.ce_epoch = Xenctl.memory_epoch t.t_dom
+         && ce.ce_version = Xenctl.page_version t.t_dom pfn ->
       tadd "vmi.page_cache_hits" 1;
-      page
-  | None ->
-      let data = Xenctl.map_foreign_page ?meter:t.meter t.t_dom pfn in
-      tadd "vmi.pages_mapped" 1;
-      Hashtbl.replace t.cache pfn data;
-      data
+      (match t.meter with Some m -> Meter.add_pfns_checked m 1 | None -> ());
+      Hashtbl.replace t.touched pfn ce.ce_version;
+      ce.ce_data
+  | Some _ ->
+      tadd "vmi.pages_stale" 1;
+      remap ()
+  | None -> remap ()
+
+let footprint t =
+  let arr = Array.make (Hashtbl.length t.touched) (0, 0) in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun pfn v ->
+      arr.(!i) <- (pfn, v);
+      incr i)
+    t.touched;
+  Array.sort compare arr;
+  arr
 
 let read_pa t paddr len =
   let dst = Bytes.create len in
@@ -136,5 +179,3 @@ let read_va_u16 t va =
   Bytes.get_uint16_le b 0
 
 let pages_cached t = Hashtbl.length t.cache
-
-let flush_cache t = Hashtbl.reset t.cache

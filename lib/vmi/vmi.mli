@@ -3,18 +3,35 @@
     A handle gives Dom0 read-only access to one guest's memory: physical
     reads via foreign page mapping, virtual reads via a walk of the guest's
     own page tables (CR3 from the vCPU context), and kernel symbol lookup
-    through the OS profile. Mapped pages are cached per handle (libVMI's
-    page cache), so the meter counts each foreign page once per session
-    rather than once per access. *)
+    through the OS profile. Mapped pages are cached (libVMI's page cache),
+    so the meter counts each foreign page once rather than once per access.
+
+    Every cache entry remembers the guest's memory epoch and the frame's
+    write version at map time; a hit is only served while both still match,
+    so a guest write (or a reboot) can never be masked by the cache. That
+    makes the cache safe to share across sessions and across sweeps — pass
+    your own {!page_cache} to {!init} to do so. *)
 
 type t
+
+type page_cache
+(** A version-checked pfn → page-copy cache, shareable between sessions on
+    the same guest. *)
+
+val create_cache : unit -> page_cache
 
 exception Invalid_address of int
 (** Raised with the guest VA whose translation failed. *)
 
-val init : ?meter:Mc_hypervisor.Meter.t -> Mc_hypervisor.Dom.t -> Symbols.profile -> t
+val init :
+  ?meter:Mc_hypervisor.Meter.t ->
+  ?cache:page_cache ->
+  Mc_hypervisor.Dom.t ->
+  Symbols.profile ->
+  t
 (** [init dom profile] opens an introspection session (metered as one VM
-    session). *)
+    session). [?cache] substitutes a shared page cache for the default
+    fresh per-session one. *)
 
 val dom : t -> Mc_hypervisor.Dom.t
 
@@ -22,6 +39,8 @@ val pause : t -> unit
 (** Pause the guest's vCPUs for a consistent view. *)
 
 val resume : t -> unit
+(** Resume the guest and drop the page cache — once the guest runs freely,
+    nothing cached is worth trusting. *)
 
 val read_ksym : t -> string -> int
 (** [read_ksym t name] is the kernel VA of [name] per the profile.
@@ -52,8 +71,15 @@ val read_va_u32_int : t -> int -> int
 
 val read_va_u16 : t -> int -> int
 
+val footprint : t -> (int * int) array
+(** [footprint t] is every (pfn, version-as-read) pair this session has
+    touched, sorted by pfn. Because reads are deterministic, a later
+    computation over the same pages is guaranteed to produce the same
+    result while {!Mc_hypervisor.Xenctl.pages_unchanged} holds for this
+    footprint — the keying contract of the digest cache. *)
+
 val pages_cached : t -> int
-(** Number of distinct guest frames currently in the session cache. *)
+(** Number of distinct guest frames currently in the page cache. *)
 
 val flush_cache : t -> unit
 (** Drop the page cache (e.g. after the guest resumed and may have written

@@ -194,6 +194,39 @@ let test_phase_names () =
   check Alcotest.string "checker" "Integrity-Checker"
     (Meter.phase_name Meter.Checker)
 
+let test_meter_merge () =
+  let a = Meter.create () and b = Meter.create () in
+  Meter.set_phase a Meter.Searcher;
+  Meter.add_pages_mapped a 3;
+  Meter.set_phase b Meter.Searcher;
+  Meter.add_pages_mapped b 4;
+  Meter.set_phase b Meter.Checker;
+  Meter.add_bytes_hashed b 100;
+  Meter.add_hypercalls b 2;
+  Meter.add_pfns_checked b 50;
+  Meter.merge a b;
+  check Alcotest.int "searcher summed" 7
+    (Meter.get a Meter.Searcher).Meter.pages_mapped;
+  check Alcotest.int "checker hashed" 100
+    (Meter.get a Meter.Checker).Meter.bytes_hashed;
+  check Alcotest.int "hypercalls" 2 (Meter.get a Meter.Checker).Meter.hypercalls;
+  check Alcotest.int "pfns" 50 (Meter.get a Meter.Checker).Meter.pfns_checked;
+  (* Source is untouched and the destination's selected phase survives. *)
+  check Alcotest.int "src intact" 4 (Meter.get b Meter.Searcher).Meter.pages_mapped;
+  check Alcotest.string "dst phase" "Module-Searcher"
+    (Meter.phase_name Meter.Searcher)
+
+let test_hypercall_pricing () =
+  let costs = Costs.default in
+  let m = Meter.create () in
+  Meter.set_phase m Meter.Searcher;
+  Meter.add_hypercalls m 2;
+  Meter.add_pfns_checked m 100;
+  let expected =
+    (2.0 *. costs.Costs.hypercall_s) +. (100.0 *. costs.Costs.dirty_scan_pfn_s)
+  in
+  check feq "priced" expected (Meter.total_cpu_seconds costs m)
+
 (* --- Xenctl ---------------------------------------------------------------- *)
 
 let test_xenctl_foreign_page () =
@@ -214,6 +247,47 @@ let test_dom_kernel_exn () =
   let d = Dom.create ~dom_id:0 ~dom_name:"Domain-0" None in
   Alcotest.check_raises "no kernel" (Failure "domain Domain-0 has no kernel")
     (fun () -> ignore (Dom.kernel_exn d))
+
+let test_log_dirty () =
+  let cloud = Cloud.create ~vms:1 ~seed:5L () in
+  let d = Cloud.vm cloud 0 in
+  let meter = Meter.create () in
+  Xenctl.enable_log_dirty ~meter d;
+  check Alcotest.(list int) "clean start" [] (Xenctl.peek_dirty d);
+  let kernel = Dom.kernel_exn d in
+  let e = Option.get (Kernel.find_module kernel "hal.dll") in
+  Mc_memsim.Addr_space.write_bytes (Kernel.aspace kernel) e.Ldr.dll_base
+    (Bytes.of_string "XY");
+  let dirty = Xenctl.peek_dirty ~meter d in
+  check Alcotest.bool "write recorded" true (dirty <> []);
+  check Alcotest.(list int) "clean drains" dirty (Xenctl.clean_dirty d);
+  check Alcotest.(list int) "drained" [] (Xenctl.peek_dirty d);
+  check Alcotest.int "hypercalls metered" 2
+    (Meter.get meter Meter.Searcher).Meter.hypercalls
+
+let test_pages_unchanged () =
+  let cloud = Cloud.create ~vms:1 ~seed:5L () in
+  let d = Cloud.vm cloud 0 in
+  let kernel = Dom.kernel_exn d in
+  let e = Option.get (Kernel.find_module kernel "hal.dll") in
+  let pa =
+    Option.get
+      (Mc_memsim.Addr_space.translate (Kernel.aspace kernel) e.Ldr.dll_base)
+  in
+  let pfn = pa / Mc_memsim.Phys.frame_size in
+  let epoch = Xenctl.memory_epoch d in
+  let fp = [| (pfn, Xenctl.page_version d pfn) |] in
+  let meter = Meter.create () in
+  check Alcotest.bool "unchanged" true
+    (Xenctl.pages_unchanged ~meter d ~epoch fp);
+  check Alcotest.int "probe metered" 1
+    (Meter.get meter Meter.Searcher).Meter.pfns_checked;
+  Mc_memsim.Addr_space.write_bytes (Kernel.aspace kernel) e.Ldr.dll_base
+    (Bytes.of_string "Z");
+  check Alcotest.bool "write invalidates" false
+    (Xenctl.pages_unchanged d ~epoch fp);
+  check Alcotest.bool "epoch change invalidates" false
+    (Xenctl.pages_unchanged d ~epoch:(epoch + 1) [||])
 
 let () =
   Alcotest.run "hypervisor"
@@ -244,10 +318,14 @@ let () =
           Alcotest.test_case "phases" `Quick test_meter_phases;
           Alcotest.test_case "pricing" `Quick test_meter_pricing;
           Alcotest.test_case "names" `Quick test_phase_names;
+          Alcotest.test_case "merge" `Quick test_meter_merge;
+          Alcotest.test_case "hypercall pricing" `Quick test_hypercall_pricing;
         ] );
       ( "xenctl",
         [
           Alcotest.test_case "foreign page" `Quick test_xenctl_foreign_page;
           Alcotest.test_case "kernel_exn" `Quick test_dom_kernel_exn;
+          Alcotest.test_case "log-dirty" `Quick test_log_dirty;
+          Alcotest.test_case "pages_unchanged" `Quick test_pages_unchanged;
         ] );
     ]

@@ -1,0 +1,256 @@
+(* Incremental checking: log-dirty-driven digest caching across patrol
+   sweeps. The contract under test: caching changes the price of a sweep,
+   never its verdicts. *)
+
+module Cloud = Mc_hypervisor.Cloud
+module Xenctl = Mc_hypervisor.Xenctl
+module Orchestrator = Modchecker.Orchestrator
+module Digest_cache = Modchecker.Digest_cache
+module Patrol = Modchecker.Patrol
+module Report = Modchecker.Report
+module Infect = Mc_malware.Infect
+module Registry = Mc_telemetry.Registry
+
+let check = Alcotest.check
+
+let expect_ok = function Ok _ -> () | Error e -> failwith e
+
+let watch = [ "hal.dll"; "http.sys"; "ntoskrnl.exe" ]
+
+let config ~incremental =
+  {
+    Patrol.default_config with
+    Patrol.watch;
+    interval_s = 30.0;
+    strategy = Orchestrator.Canonical;
+    incremental;
+  }
+
+let mean = function
+  | [] -> nan
+  | l -> List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+(* --- digest cache unit behaviour ------------------------------------------ *)
+
+let test_digest_cache_unit () =
+  let cloud = Cloud.create ~vms:1 ~seed:46L () in
+  let d = Cloud.vm cloud 0 in
+  let dc : string Digest_cache.t = Digest_cache.create () in
+  let epoch = Xenctl.memory_epoch d in
+  check Alcotest.(option string) "empty" None
+    (Digest_cache.probe dc d ~vm:0 ~key:"k");
+  Digest_cache.store dc ~vm:0 ~key:"k" ~epoch ~footprint:[||] "v";
+  check Alcotest.(option string) "hit" (Some "v")
+    (Digest_cache.probe dc d ~vm:0 ~key:"k");
+  check Alcotest.int "one entry" 1 (Digest_cache.length dc);
+  (* An entry from another epoch (e.g. pre-reboot) is stale and dropped. *)
+  Digest_cache.store dc ~vm:0 ~key:"old" ~epoch:(epoch - 1) ~footprint:[||]
+    "w";
+  check Alcotest.(option string) "stale epoch" None
+    (Digest_cache.probe dc d ~vm:0 ~key:"old");
+  check Alcotest.int "stale dropped" 1 (Digest_cache.length dc)
+
+(* --- acceptance: steady-state cost on an idle pool ------------------------- *)
+
+let test_idle_pool_speedup () =
+  Registry.reset ();
+  Registry.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Registry.set_enabled false;
+      Registry.reset ())
+  @@ fun () ->
+  let sweep_cpus incremental =
+    let cloud = Cloud.create ~vms:15 ~seed:41L () in
+    (Patrol.run ~config:(config ~incremental) cloud ~until:149.0)
+      .Patrol.sweep_cpus
+  in
+  let full = sweep_cpus false in
+  let inc = sweep_cpus true in
+  check Alcotest.int "five sweeps" 5 (List.length inc);
+  let full_steady = mean (List.tl full) in
+  let inc_steady = mean (List.tl inc) in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "steady incremental sweep >=10x cheaper (full %.4fs vs incremental \
+        %.6fs)"
+       full_steady inc_steady)
+    true
+    (full_steady >= 10.0 *. inc_steady);
+  (* The first incremental sweep is the cold, cache-filling one. *)
+  Alcotest.(check bool) "first sweep pays full price" true
+    (List.hd inc >= 10.0 *. inc_steady);
+  let counter name =
+    Option.value ~default:0
+      (List.assoc_opt name (Registry.snapshot ()).Registry.snap_counters)
+  in
+  Alcotest.(check bool) "digest cache hit" true (counter "digest_cache.hits" > 0);
+  Alcotest.(check bool) "digest cache missed (cold sweep)" true
+    (counter "digest_cache.misses" > 0)
+
+(* --- invalidation ---------------------------------------------------------- *)
+
+let test_infection_invalidates () =
+  let cloud = Cloud.create ~vms:6 ~seed:42L () in
+  let infect cloud = expect_ok (Infect.inline_hook cloud ~vm:2) in
+  let o =
+    Patrol.run
+      ~config:(config ~incremental:true)
+      ~events:[ (70.0, infect) ] cloud ~until:200.0
+  in
+  (match Patrol.time_to_detect o ~module_name:"hal.dll" ~infected_at:70.0 with
+  | None -> Alcotest.fail "incremental patrol missed the in-memory infection"
+  | Some ttd ->
+      Alcotest.(check bool) "detected on the next sweep" true (ttd <= 31.0));
+  Alcotest.(check bool) "alarm names the infected VM" true
+    (List.exists
+       (fun a ->
+         a.Patrol.alarm_module = "hal.dll"
+         && a.Patrol.alarm_vms = [ 2 ]
+         && a.Patrol.kind = Patrol.Hash_deviation)
+       o.Patrol.alarms)
+
+let test_reboot_recomputes_clean () =
+  let cloud = Cloud.create ~vms:6 ~seed:43L () in
+  let o =
+    Patrol.run
+      ~config:(config ~incremental:true)
+      ~events:[ (70.0, fun cloud -> Cloud.reboot_vm cloud 1) ]
+      cloud ~until:149.0
+  in
+  check Alcotest.int "no alarms from a clean reboot" 0
+    (List.length o.Patrol.alarms);
+  match o.Patrol.sweep_cpus with
+  | [ _cold; steady1; _steady2; after_reboot; steady3 ] ->
+      (* The epoch change invalidates Dom2's entries: the t=90 sweep
+         re-fetches one VM, then the pool settles back to probe-only. *)
+      Alcotest.(check bool) "reboot sweep recomputes" true
+        (after_reboot > 2.0 *. steady1);
+      Alcotest.(check bool) "steady again afterwards" true
+        (after_reboot > 2.0 *. steady3)
+  | l ->
+      Alcotest.fail
+        (Printf.sprintf "expected 5 sweeps, got %d" (List.length l))
+
+(* --- detection is unchanged by caching ------------------------------------- *)
+
+let test_detections_survive_caching () =
+  List.iter
+    (fun (label, infect, module_name) ->
+      let cloud = Cloud.create ~vms:5 ~seed:44L () in
+      let inc = Orchestrator.create_incremental () in
+      (* Warm the cache with a clean survey first. *)
+      let clean = Orchestrator.survey ~incremental:inc cloud ~module_name in
+      check Alcotest.(list int) (label ^ ": clean pool") []
+        clean.Report.deviant_vms;
+      infect cloud;
+      let s = Orchestrator.survey ~incremental:inc cloud ~module_name in
+      check Alcotest.(list int) (label ^ ": first sweep after infection")
+        [ 1 ] s.Report.deviant_vms)
+    [
+      ( "E1 opcode replacement",
+        (fun c -> expect_ok (Infect.single_opcode_replacement c ~vm:1)),
+        "hal.dll" );
+      ( "E2 inline hook",
+        (fun c -> expect_ok (Infect.inline_hook c ~vm:1)),
+        "hal.dll" );
+      ( "E3 stub modification",
+        (fun c -> expect_ok (Infect.stub_modification c ~vm:1)),
+        "hello.sys" );
+      ( "E4 dll injection",
+        (fun c -> expect_ok (Infect.dll_injection c ~vm:1)),
+        "dummy.sys" );
+      ( "X-PTR pointer hook",
+        (fun c -> expect_ok (Infect.pointer_hook c ~vm:1)),
+        "hal.dll" );
+    ]
+
+let test_dkom_list_cache () =
+  let cloud = Cloud.create ~vms:5 ~seed:45L () in
+  let inc = Orchestrator.create_incremental () in
+  check Alcotest.int "clean lists" 0
+    (List.length (Orchestrator.compare_module_lists ~incremental:inc cloud));
+  (* Warm again so the listings are all cache hits... *)
+  check Alcotest.int "still clean from cache" 0
+    (List.length (Orchestrator.compare_module_lists ~incremental:inc cloud));
+  (* ...then DKOM-hide a module: the unlink writes the LDR list pages,
+     which are in the cached walk's footprint. *)
+  expect_ok (Infect.hide_module cloud ~vm:1 ~module_name:"http.sys");
+  match Orchestrator.compare_module_lists ~incremental:inc cloud with
+  | [ d ] ->
+      check Alcotest.string "module" "http.sys" d.Orchestrator.ld_module;
+      check Alcotest.(list int) "missing on" [ 1 ] d.Orchestrator.missing_on
+  | l ->
+      Alcotest.fail
+        (Printf.sprintf "expected 1 discrepancy, got %d" (List.length l))
+
+(* --- property: alarm parity over random event schedules -------------------- *)
+
+let event_gen =
+  QCheck.Gen.(
+    let* n = int_range 0 3 in
+    list_size (return n)
+      (triple (int_range 10 120) (int_range 1 4) (int_range 0 3)))
+
+let apply_event (vm, kind) cloud =
+  (* Events may legitimately fail (e.g. hiding an already-hidden module):
+     detection parity is about what both patrols observe, so failures are
+     ignored identically on both sides. *)
+  let attempt r = match r with Ok _ | Error _ -> () in
+  match kind with
+  | 0 -> attempt (Infect.inline_hook cloud ~vm)
+  | 1 -> attempt (Infect.hide_module cloud ~vm ~module_name:"http.sys")
+  | 2 -> Cloud.reboot_vm cloud vm
+  | _ -> attempt (Infect.single_opcode_replacement cloud ~vm)
+
+let alarm_set o =
+  List.sort_uniq compare
+    (List.map
+       (fun a ->
+         ( a.Patrol.alarm_module,
+           a.Patrol.alarm_vms,
+           Patrol.alarm_kind_string a.Patrol.kind ))
+       o.Patrol.alarms)
+
+let prop_alarm_parity =
+  QCheck.Test.make ~count:8
+    ~name:"incremental and full patrols raise the same alarms"
+    (QCheck.make event_gen) (fun schedule ->
+      let events =
+        List.map (fun (t, vm, kind) -> (float_of_int t, apply_event (vm, kind)))
+          schedule
+      in
+      let run incremental =
+        let cloud = Cloud.create ~vms:5 ~seed:47L () in
+        Patrol.run ~config:(config ~incremental) ~events cloud ~until:139.0
+      in
+      let full = run false in
+      let inc = run true in
+      if alarm_set full <> alarm_set inc then
+        QCheck.Test.fail_reportf "alarm sets diverge: full=%d inc=%d"
+          (List.length (alarm_set full))
+          (List.length (alarm_set inc))
+      else true)
+
+let () =
+  Alcotest.run "incremental"
+    [
+      ( "digest-cache",
+        [ Alcotest.test_case "unit" `Quick test_digest_cache_unit ] );
+      ( "cost",
+        [ Alcotest.test_case "idle pool >=10x" `Quick test_idle_pool_speedup ]
+      );
+      ( "invalidation",
+        [
+          Alcotest.test_case "in-memory infection" `Quick
+            test_infection_invalidates;
+          Alcotest.test_case "reboot" `Quick test_reboot_recomputes_clean;
+        ] );
+      ( "detection",
+        [
+          Alcotest.test_case "scenarios" `Quick test_detections_survive_caching;
+          Alcotest.test_case "DKOM list" `Quick test_dkom_list_cache;
+        ] );
+      ( "parity",
+        List.map QCheck_alcotest.to_alcotest [ prop_alarm_parity ] );
+    ]

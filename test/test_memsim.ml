@@ -29,6 +29,47 @@ let test_phys_rw_roundtrip () =
   Phys.read phys ((pfn * page) + 100) dst 0 (Bytes.length dst);
   check Alcotest.string "roundtrip" "hello frame" (Bytes.to_string dst)
 
+let test_phys_versions () =
+  let phys = Phys.create () in
+  let a = Phys.alloc_frame phys in
+  let b = Phys.alloc_frame phys in
+  check Alcotest.int "fresh version" 0 (Phys.page_version phys a);
+  let gen0 = Phys.write_generation phys in
+  Phys.write phys (a * page) (Bytes.of_string "x") 0 1;
+  check Alcotest.int "bumped" 1 (Phys.page_version phys a);
+  check Alcotest.int "untouched" 0 (Phys.page_version phys b);
+  Alcotest.(check bool) "generation advanced" true
+    (Phys.write_generation phys > gen0);
+  (* A cross-frame write dirties both frames. *)
+  Phys.write phys ((a * page) + page - 1) (Bytes.of_string "xy") 0 2;
+  check Alcotest.int "first bumped again" 2 (Phys.page_version phys a);
+  check Alcotest.int "second bumped" 1 (Phys.page_version phys b)
+
+let test_phys_log_dirty () =
+  let phys = Phys.create () in
+  let a = Phys.alloc_frame phys in
+  let b = Phys.alloc_frame phys in
+  Phys.write phys (a * page) (Bytes.of_string "x") 0 1;
+  check Alcotest.(list int) "off: nothing recorded" [] (Phys.peek_dirty phys);
+  Phys.set_log_dirty phys true;
+  Alcotest.(check bool) "enabled" true (Phys.log_dirty_enabled phys);
+  Phys.write phys (b * page) (Bytes.of_string "x") 0 1;
+  Phys.write phys (a * page) (Bytes.of_string "x") 0 1;
+  check Alcotest.(list int) "sorted dirty set" [ a; b ] (Phys.peek_dirty phys);
+  check Alcotest.(list int) "clean drains" [ a; b ] (Phys.clean_dirty phys);
+  check Alcotest.(list int) "empty after clean" [] (Phys.peek_dirty phys);
+  Phys.write phys (a * page) (Bytes.of_string "x") 0 1;
+  Phys.set_log_dirty phys false;
+  check Alcotest.(list int) "disable drops" [] (Phys.peek_dirty phys)
+
+let test_phys_uid_fresh_on_copy () =
+  let phys = Phys.create () in
+  ignore (Phys.alloc_frame phys);
+  let copy = Phys.deep_copy phys in
+  Alcotest.(check bool) "distinct uid" true (Phys.uid copy <> Phys.uid phys);
+  Alcotest.(check bool) "fresh instance distinct" true
+    (Phys.uid (Phys.create ()) <> Phys.uid phys)
+
 let test_phys_cross_frame () =
   let phys = Phys.create () in
   let a = Phys.alloc_frame phys in
@@ -202,6 +243,9 @@ let () =
           Alcotest.test_case "alloc" `Quick test_phys_alloc;
           Alcotest.test_case "rw roundtrip" `Quick test_phys_rw_roundtrip;
           Alcotest.test_case "cross frame" `Quick test_phys_cross_frame;
+          Alcotest.test_case "versions" `Quick test_phys_versions;
+          Alcotest.test_case "log-dirty" `Quick test_phys_log_dirty;
+          Alcotest.test_case "uid" `Quick test_phys_uid_fresh_on_copy;
           Alcotest.test_case "unallocated read" `Quick
             test_phys_unallocated_reads_zero;
           Alcotest.test_case "unallocated write" `Quick

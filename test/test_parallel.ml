@@ -97,6 +97,30 @@ let test_pool_heavy_tasks () =
       in
       Alcotest.(check bool) "all 32" true (List.for_all (fun n -> n = 32) results))
 
+exception Task_boom
+
+(* Kept non-tail-recursive so the task leaves identifiable frames. *)
+let rec depth_charge n = if n = 0 then raise Task_boom else 1 + depth_charge (n - 1)
+
+let string_contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_pool_error_backtrace () =
+  Printexc.record_backtrace true;
+  Pool.with_pool 2 @@ fun pool ->
+  match Pool.parallel_map pool (fun n -> depth_charge n) [ 5 ] with
+  | _ -> Alcotest.fail "expected Task_boom"
+  | exception Task_boom ->
+      (* parallel_map re-raises with the worker's backtrace, so the trace
+         must point into the failing task, not into the await site. *)
+      let bt = Printexc.get_backtrace () in
+      Alcotest.(check bool)
+        (Printf.sprintf "backtrace reaches the task: %s" bt)
+        true
+        (string_contains bt "test_parallel")
+
 let () =
   Alcotest.run "parallel"
     [
@@ -116,6 +140,7 @@ let () =
           Alcotest.test_case "map order" `Quick test_pool_parallel_map_order;
           Alcotest.test_case "map exception" `Quick
             test_pool_parallel_map_exception;
+          Alcotest.test_case "error backtrace" `Quick test_pool_error_backtrace;
           Alcotest.test_case "shutdown" `Quick test_pool_shutdown_idempotent;
           Alcotest.test_case "create invalid" `Quick test_pool_create_invalid;
           Alcotest.test_case "heavy tasks" `Quick test_pool_heavy_tasks;

@@ -96,6 +96,58 @@ let test_page_cache_and_metering () =
   Alcotest.(check bool) "remapped after flush" true
     ((Meter.get meter Meter.Searcher).Meter.pages_mapped > pages_first)
 
+(* Regression: the page cache used to serve stale copies forever. A guest
+   write mid-session must be visible through the SAME session. *)
+let test_cache_staleness_on_guest_write () =
+  let cloud = Cloud.create ~vms:2 ~cores:4 ~seed:97L () in
+  let d = Cloud.vm cloud 0 in
+  let vmi = Vmi.init d Symbols.windows_xp_sp2 in
+  let e = Option.get (Kernel.find_module (Dom.kernel_exn d) "hal.dll") in
+  let before = Vmi.read_va_padded vmi e.dll_base e.size_of_image in
+  (match Mc_malware.Infect.inline_hook cloud ~vm:0 with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  let after = Vmi.read_va_padded vmi e.dll_base e.size_of_image in
+  Alcotest.(check bool) "same session sees the infection" false
+    (Bytes.equal before after)
+
+let test_resume_flushes_cache () =
+  let vmi = Vmi.init (dom ()) Symbols.windows_xp_sp2 in
+  ignore (Vmi.read_va vmi Layout.ps_loaded_module_list 8);
+  Alcotest.(check bool) "cached" true (Vmi.pages_cached vmi > 0);
+  Vmi.resume vmi;
+  check Alcotest.int "flushed on resume" 0 (Vmi.pages_cached vmi)
+
+let test_footprint () =
+  let cloud = Cloud.create ~vms:1 ~cores:4 ~seed:98L () in
+  let d = Cloud.vm cloud 0 in
+  let vmi = Vmi.init d Symbols.windows_xp_sp2 in
+  ignore (Vmi.read_va vmi Layout.ps_loaded_module_list 8);
+  let fp = Vmi.footprint vmi in
+  Alcotest.(check bool) "covers data and page tables" true
+    (Array.length fp >= 2);
+  Alcotest.(check bool) "currently unchanged" true
+    (Xenctl.pages_unchanged d ~epoch:(Xenctl.memory_epoch d) fp);
+  let kernel = Dom.kernel_exn d in
+  Mc_memsim.Addr_space.write_bytes (Kernel.aspace kernel)
+    Layout.ps_loaded_module_list (Bytes.of_string "XXXX");
+  Alcotest.(check bool) "guest write breaks the footprint" false
+    (Xenctl.pages_unchanged d ~epoch:(Xenctl.memory_epoch d) fp)
+
+let test_shared_cache_across_sessions () =
+  let cloud = Cloud.create ~vms:1 ~cores:4 ~seed:99L () in
+  let d = Cloud.vm cloud 0 in
+  let cache = Vmi.create_cache () in
+  let meter = Meter.create () in
+  Meter.set_phase meter Meter.Searcher;
+  let s1 = Vmi.init ~meter ~cache d Symbols.windows_xp_sp2 in
+  ignore (Vmi.read_va s1 Layout.ps_loaded_module_list 8);
+  let mapped = (Meter.get meter Meter.Searcher).Meter.pages_mapped in
+  let s2 = Vmi.init ~meter ~cache d Symbols.windows_xp_sp2 in
+  ignore (Vmi.read_va s2 Layout.ps_loaded_module_list 8);
+  check Alcotest.int "second session reuses mapped pages" mapped
+    (Meter.get meter Meter.Searcher).Meter.pages_mapped
+
 let test_pause_resume () =
   let d = dom () in
   let vmi = Vmi.init d Symbols.windows_xp_sp2 in
@@ -158,5 +210,11 @@ let () =
           Alcotest.test_case "cache + metering" `Quick
             test_page_cache_and_metering;
           Alcotest.test_case "pause/resume" `Quick test_pause_resume;
+          Alcotest.test_case "staleness regression" `Quick
+            test_cache_staleness_on_guest_write;
+          Alcotest.test_case "resume flushes" `Quick test_resume_flushes_cache;
+          Alcotest.test_case "footprint" `Quick test_footprint;
+          Alcotest.test_case "shared cache" `Quick
+            test_shared_cache_across_sessions;
         ] );
     ]
