@@ -103,7 +103,12 @@ let ablations () =
            idle pool";
   print_string
     (Mc_harness.Render.incremental_table
-       (Mc_harness.Figures.incremental_steady_state ()))
+       (Mc_harness.Figures.incremental_steady_state ()));
+
+  section "X9: detection under injected transient VMI faults (bounded \
+           retries, quorum-aware verdicts)";
+  print_string
+    (Mc_harness.Render.fault_table (Mc_harness.Figures.fault_sweep ()))
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the real implementation                *)

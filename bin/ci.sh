@@ -46,3 +46,39 @@ for needle in 'digest_cache.hits' 'digest_cache.misses' 'vmi.pages_dirty' \
   }
 done
 echo "incremental smoke OK"
+
+echo "== fault-injection smoke run (5% transient faults, retries absorb) =="
+detect="$(mktemp -t modchecker_faults.XXXXXX.txt)"
+trap 'rm -f "$trace" "$metrics" "$detect"' EXIT
+
+# Under a 5% transient fault rate every scenario must still be detected
+# exactly, and no survey may come back degraded: availability loss must
+# never masquerade as (or hide) an infection.
+dune exec --no-build bin/modchecker_cli.exe -- \
+  detect --vms 6 --fault-spec transient=0.05,seed=7 > "$detect"
+
+detected="$(grep -c 'yes' "$detect" || true)"
+if [ "$detected" -lt 6 ]; then
+  echo "ci: fault smoke failed: expected 6 detected scenarios, saw $detected" >&2
+  cat "$detect" >&2
+  exit 1
+fi
+if grep -q 'DEGRADED' "$detect"; then
+  echo "ci: fault smoke failed: a scenario degraded under transient faults" >&2
+  cat "$detect" >&2
+  exit 1
+fi
+echo "fault detection smoke OK: $detected scenarios detected, none degraded"
+
+# A pool that is mostly paged out must degrade (exit 3), not report a
+# clean or infected/deviant verdict: zero Degraded-as-Infected confusions.
+set +e
+dune exec --no-build bin/modchecker_cli.exe -- \
+  survey --vms 4 --fault-spec paged=0.7,seed=11 --quorum 0.8 > /dev/null 2>&1
+status=$?
+set -e
+if [ "$status" -ne 3 ]; then
+  echo "ci: fault smoke failed: quorum loss should exit 3, got $status" >&2
+  exit 1
+fi
+echo "quorum degradation smoke OK: exit code 3"

@@ -57,6 +57,51 @@ let workers_arg =
   let doc = "Dom0 worker domains for parallel checking (1 = sequential)." in
   Arg.(value & opt int 1 & info [ "j"; "workers" ] ~docv:"W" ~doc)
 
+let fault_spec_conv =
+  let parse s =
+    match Mc_memsim.Faultplan.of_string s with
+    | Ok v -> Ok v
+    | Error e -> Error (`Msg e)
+  in
+  let print fmt s =
+    Format.pp_print_string fmt (Mc_memsim.Faultplan.to_string s)
+  in
+  Arg.conv ~docv:"SPEC" (parse, print)
+
+let fault_spec_arg =
+  let doc =
+    "Arm deterministic fault injection on every DomU. Comma-separated \
+     key=value pairs: 'transient', 'paged', 'torn', 'pause' are \
+     probabilities in [0,1], 'seed' picks the fault pattern. E.g. \
+     'transient=0.05,seed=7'. Faults are absorbed by bounded retries; a \
+     VM whose retries are exhausted is excluded from the vote rather \
+     than miscounted."
+  in
+  Arg.(
+    value
+    & opt (some fault_spec_conv) None
+    & info [ "fault-spec" ] ~docv:"SPEC" ~doc)
+
+let quorum_arg =
+  let doc =
+    "Minimum responding fraction of the surveyed VMs for a verdict to \
+     count; below the floor the verdict is DEGRADED (exit code 3, never \
+     confused with an infection's exit code 2)."
+  in
+  Arg.(
+    value
+    & opt float Modchecker.Report.default_quorum
+    & info [ "quorum" ] ~docv:"FRACTION" ~doc)
+
+let deadline_arg =
+  let doc =
+    "Per-VM introspection deadline in seconds (wall clock); enforced in \
+     parallel mode, where a task past the deadline is abandoned and its \
+     VM counted unreachable."
+  in
+  Arg.(
+    value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+
 let trace_arg =
   let doc =
     "Enable telemetry and write a JSONL trace (one span or metric point \
@@ -101,7 +146,8 @@ let pinpoint_arg =
   in
   Arg.(value & flag & info [ "pinpoint" ] ~doc)
 
-let make_cloud vms cores seed = Cloud.create ~vms ~cores ~seed ()
+let make_cloud ?fault_spec vms cores seed =
+  Cloud.create ~vms ~cores ~seed ?fault_spec ()
 
 let stage_infection cloud vm = function
   | None -> Ok None
@@ -187,11 +233,11 @@ let print_pinpoint cloud outcome module_name vm =
         | _ -> print_endline "pinpoint: could not fetch both copies")
   end
 
-let run_check verbose vms cores seed module_name vm infect workers pinpoint
-    json trace metrics =
+let run_check verbose vms cores seed module_name vm infect workers fault_spec
+    quorum deadline pinpoint json trace metrics =
   with_telemetry trace metrics @@ fun () ->
   setup_logs verbose;
-  let cloud = make_cloud vms cores seed in
+  let cloud = make_cloud ?fault_spec vms cores seed in
   (match or_die (stage_infection cloud vm infect) with
   | Some inf ->
       Printf.printf "staged: %s on Dom%d (%s)\n" inf.Mc_malware.Infect.technique
@@ -202,7 +248,9 @@ let run_check verbose vms cores seed module_name vm infect workers pinpoint
     else Orchestrator.Parallel (Mc_parallel.Pool.create workers)
   in
   let outcome =
-    or_die (Orchestrator.check_module ~mode cloud ~target_vm:vm ~module_name)
+    or_die
+      (Orchestrator.check_module ~mode ~quorum ?deadline_s:deadline cloud
+         ~target_vm:vm ~module_name)
   in
   (match mode with
   | Orchestrator.Parallel pool -> Mc_parallel.Pool.shutdown pool
@@ -219,10 +267,13 @@ let run_check verbose vms cores seed module_name vm infect workers pinpoint
       (p.Orchestrator.searcher_s *. 1e3)
       (p.Orchestrator.parser_s *. 1e3)
       (p.Orchestrator.checker_s *. 1e3);
-    if pinpoint && not outcome.report.Report.majority_ok then
+    if pinpoint && outcome.report.Report.verdict = Report.Infected then
       print_pinpoint cloud outcome module_name vm
   end;
-  if not outcome.report.Report.majority_ok then exit 2
+  match outcome.report.Report.verdict with
+  | Report.Intact -> ()
+  | Report.Infected -> exit 2
+  | Report.Degraded _ -> exit 3
 
 let check_cmd =
   let doc = "Check one module's integrity across the VM pool." in
@@ -230,21 +281,23 @@ let check_cmd =
     (Cmd.info "check" ~doc)
     Term.(
       const run_check $ verbose_arg $ vms_arg $ cores_arg $ seed_arg
-      $ module_arg $ vm_arg $ infect_arg $ workers_arg $ pinpoint_arg
+      $ module_arg $ vm_arg $ infect_arg $ workers_arg $ fault_spec_arg
+      $ quorum_arg $ deadline_arg $ pinpoint_arg
       $ json_arg $ trace_arg $ metrics_arg)
 
 (* --- survey ------------------------------------------------------------ *)
 
-let run_survey vms cores seed module_name infect vm json trace metrics =
+let run_survey vms cores seed module_name infect vm fault_spec quorum json
+    trace metrics =
   with_telemetry trace metrics @@ fun () ->
-  let cloud = make_cloud vms cores seed in
+  let cloud = make_cloud ?fault_spec vms cores seed in
   (match or_die (stage_infection cloud vm infect) with
   | Some inf ->
       if not json then
         Printf.printf "staged: %s on Dom%d\n" inf.Mc_malware.Infect.technique
           (vm + 1)
   | None -> ());
-  let s = Orchestrator.survey cloud ~module_name in
+  let s = Orchestrator.survey ~quorum cloud ~module_name in
   if json then
     print_endline (Mc_util.Json.to_string_pretty (Report.survey_to_json s))
   else begin
@@ -257,9 +310,14 @@ let run_survey vms cores seed module_name infect vm json trace metrics =
              (List.map (fun v -> Printf.sprintf "Dom%d" (v + 1)) vms))
     in
     show "missing on" s.Report.missing_on;
-    show "deviant (failed majority vote)" s.Report.deviant_vms
+    show "deviant (failed majority vote)" s.Report.deviant_vms;
+    if s.Report.unreachable_on <> [] then
+      show "unreachable (faults)" (List.map fst s.Report.unreachable_on)
   end;
-  if s.Report.deviant_vms <> [] || s.Report.missing_on <> [] then exit 2
+  match s.Report.s_verdict with
+  | Report.Degraded _ -> exit 3
+  | Report.Intact | Report.Infected ->
+      if s.Report.deviant_vms <> [] || s.Report.missing_on <> [] then exit 2
 
 let survey_cmd =
   let doc = "Full-mesh comparison of one module across every VM." in
@@ -267,7 +325,8 @@ let survey_cmd =
     (Cmd.info "survey" ~doc)
     Term.(
       const run_survey $ vms_arg $ cores_arg $ seed_arg $ module_arg
-      $ infect_arg $ vm_arg $ json_arg $ trace_arg $ metrics_arg)
+      $ infect_arg $ vm_arg $ fault_spec_arg $ quorum_arg $ json_arg
+      $ trace_arg $ metrics_arg)
 
 (* --- list-modules ------------------------------------------------------ *)
 
@@ -299,21 +358,22 @@ let list_cmd =
 
 (* --- detect (the paper's evaluation suite) ----------------------------- *)
 
-let run_detect vms seed =
+let run_detect vms seed fault_spec =
   print_string
-    (Mc_harness.Render.detection_table (Mc_harness.Scenario.run_all ~vms ~seed ()))
+    (Mc_harness.Render.detection_table
+       (Mc_harness.Scenario.run_all ~vms ~seed ?faults:fault_spec ()))
 
 let detect_cmd =
   let doc = "Run the paper's four detection experiments plus DKOM hiding." in
   Cmd.v
     (Cmd.info "detect" ~doc)
-    Term.(const run_detect $ vms_arg $ seed_arg)
+    Term.(const run_detect $ vms_arg $ seed_arg $ fault_spec_arg)
 
 (* --- figures ------------------------------------------------------------ *)
 
 type which_figure =
   | Fig7 | Fig8 | Fig9 | Ablation | Parallelism | Baselines | Strategy
-  | PatrolFig | Incremental | All
+  | PatrolFig | Incremental | Faults | All
 
 let which_arg =
   let doc = "Which figure/table to regenerate." in
@@ -324,7 +384,7 @@ let which_arg =
              ("ablation", Ablation); ("parallel", Parallelism);
              ("baselines", Baselines); ("strategy", Strategy);
              ("patrol", PatrolFig); ("incremental", Incremental);
-             ("all", All) ])
+             ("faults", Faults); ("all", All) ])
         All
     & info [ "which" ] ~docv:"WHICH" ~doc)
 
@@ -373,6 +433,10 @@ let run_figures which vms cores seed =
       (Mc_harness.Render.incremental_table
          (Mc_harness.Figures.incremental_steady_state ~seed ()))
   in
+  let faults () =
+    print_string
+      (Mc_harness.Render.fault_table (Mc_harness.Figures.fault_sweep ~seed ()))
+  in
   match which with
   | Fig7 -> fig7 ()
   | Fig8 -> fig8 ()
@@ -383,6 +447,7 @@ let run_figures which vms cores seed =
   | Strategy -> strategy ()
   | PatrolFig -> patrol_fig ()
   | Incremental -> incremental ()
+  | Faults -> faults ()
   | All ->
       fig7 ();
       fig8 ();
@@ -392,7 +457,8 @@ let run_figures which vms cores seed =
       baselines ();
       strategy ();
       patrol_fig ();
-      incremental ()
+      incremental ();
+      faults ()
 
 let figures_cmd =
   let doc = "Regenerate the paper's evaluation figures and the extensions." in
@@ -439,10 +505,10 @@ let health_cmd =
 (* --- patrol -------------------------------------------------------------- *)
 
 let run_patrol verbose vms cores seed duration interval infect vm infect_at
-    canonical incremental trace metrics =
+    canonical incremental fault_spec quorum deadline trace metrics =
   with_telemetry trace metrics @@ fun () ->
   setup_logs verbose;
-  let cloud = make_cloud vms cores seed in
+  let cloud = make_cloud ?fault_spec vms cores seed in
   let events =
     match infect with
     | None -> []
@@ -465,6 +531,8 @@ let run_patrol verbose vms cores seed duration interval infect vm infect_at
       strategy =
         (if canonical then Orchestrator.Canonical else Orchestrator.Pairwise);
       incremental;
+      quorum;
+      deadline_s = deadline;
     }
   in
   let o = Modchecker.Patrol.run ~config ~events cloud ~until:duration in
@@ -520,7 +588,8 @@ let patrol_cmd =
     Term.(
       const run_patrol $ verbose_arg $ vms_arg $ cores_arg $ seed_arg
       $ duration_arg $ interval_arg $ infect_arg $ vm_arg $ infect_at_arg
-      $ canonical_arg $ incremental_arg $ trace_arg $ metrics_arg)
+      $ canonical_arg $ incremental_arg $ fault_spec_arg $ quorum_arg
+      $ deadline_arg $ trace_arg $ metrics_arg)
 
 (* --- disasm --------------------------------------------------------------- *)
 

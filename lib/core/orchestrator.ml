@@ -38,6 +38,24 @@ let bridge_meter meter =
           (Meter.pairs (Meter.get meter phase)))
       [ Meter.Searcher; Meter.Parser; Meter.Checker ]
 
+(* How one VM answered a fetch. [Absent] is an answer (the walk completed
+   and the module is not there) and votes as a mismatch; [Unreachable] is
+   the lack of an answer (faults exhausted the retries, or the deadline
+   passed) and must not vote at all — counting it either way would let an
+   availability failure masquerade as an integrity signal. *)
+type 'a fetch_outcome = Fetched of 'a | Absent | Unreachable of string
+
+let fault_reason e = Vmi.fault_message e
+
+let deadline_reason = "deadline exceeded"
+
+let unreachable_of_exn = function
+  | Vmi.Fault _ as e -> Some (fault_reason e)
+  | Xenctl.Pause_fault { pf_dom } ->
+      Some (Printf.sprintf "pause hypercall failed on Dom%d" pf_dom)
+  | Mc_parallel.Deferred.Timed_out -> Some deadline_reason
+  | _ -> None
+
 let fetch_with_vmi vmi ~vm ~module_name ~meter =
   Meter.set_phase meter Searcher;
   match
@@ -67,12 +85,40 @@ let fetch_artifacts cloud ~vm ~module_name ~meter =
   let dom = Cloud.vm cloud vm in
   Meter.set_phase meter Searcher;
   let vmi = Vmi.init ~meter dom (profile_for dom) in
-  fetch_with_vmi vmi ~vm ~module_name ~meter
+  match fetch_with_vmi vmi ~vm ~module_name ~meter with
+  | Some (info, artifacts) -> Fetched (info, artifacts)
+  | None -> Absent
+  | exception e -> (
+      match unreachable_of_exn e with
+      | Some reason ->
+          Tel.add "check.unreachable_fetches" 1;
+          Unreachable reason
+      | None -> raise e)
 
 let map_vms mode f vms =
   match mode with
   | Sequential -> List.map f vms
   | Parallel pool -> Pool.parallel_map pool f vms
+
+(* Per-task deadlines only have teeth in parallel mode, where a hung task
+   can be abandoned (its deferred is poisoned and its late result
+   discarded). Sequential mode runs the task inline — there the fault
+   layer's bounded retries are what keeps a read from hanging. A task
+   that missed its deadline is rebuilt as [on_timeout vm]. *)
+let map_vms_deadline mode ?deadline_s ~on_timeout f vms =
+  match (mode, deadline_s) with
+  | Sequential, _ | Parallel _, None -> map_vms mode f vms
+  | Parallel pool, Some timeout_s ->
+      List.map2
+        (fun vm -> function
+          | Ok r -> r
+          | Error e ->
+              (match unreachable_of_exn e with
+              | Some _ -> ()
+              | None -> raise e);
+              on_timeout vm)
+        vms
+        (Pool.parallel_map_timeout pool ~timeout_s f vms)
 
 (* A comparison VM that lacks the module (or whose copy does not even
    parse) fails the comparison outright: every target artifact is reported
@@ -95,7 +141,8 @@ let absent_result target_artifacts =
       total_adjusted = 0;
     }
 
-let check_module ?(mode = Sequential) ?others cloud ~target_vm ~module_name =
+let check_module ?(mode = Sequential) ?others ?(quorum = Report.default_quorum)
+    ?deadline_s cloud ~target_vm ~module_name =
   let others =
     match others with
     | Some vs -> vs
@@ -120,51 +167,85 @@ let check_module ?(mode = Sequential) ?others cloud ~target_vm ~module_name =
       Tel.with_span ~attrs:[ ("vm", Int target_vm) ] "vm_check" (fun _ ->
           fetch_artifacts cloud ~vm:target_vm ~module_name ~meter:target_meter)
     with
-    | None ->
+    | Absent ->
         bridge_meter target_meter;
         Error
           (Printf.sprintf "module %s not found in Dom%d" module_name
              (target_vm + 1))
-    | Some (target_info, target_artifacts) ->
+    | Unreachable reason ->
+        bridge_meter target_meter;
+        Error
+          (Printf.sprintf "Dom%d unreachable: %s" (target_vm + 1) reason)
+    | Fetched (target_info, target_artifacts) ->
         let compare_against vm =
           (* In parallel mode this closure runs on a pool domain, where the
              span stack is empty — hand the parent over explicitly. *)
           Tel.with_span ?parent:root_id ~attrs:[ ("vm", Int vm) ] "vm_check"
           @@ fun _ ->
           let meter = Meter.create () in
-          let result =
+          let outcome =
             match fetch_artifacts cloud ~vm ~module_name ~meter with
-            | None -> absent_result target_artifacts
-            | Some (info, artifacts) ->
+            | Absent -> Fetched (absent_result target_artifacts)
+            | Unreachable reason -> Unreachable reason
+            | Fetched (info, artifacts) ->
                 Meter.set_phase meter Checker;
-                Tel.with_span ~attrs:[ ("vm", Int vm) ] "checker" (fun sp ->
-                    let r =
-                      Checker.compare_pair ~meter
-                        ~base1:target_info.Searcher.mi_base target_artifacts
-                        ~base2:info.Searcher.mi_base artifacts
-                    in
-                    Span.set_attr sp "all_match" (Bool r.Checker.all_match);
-                    r)
+                Fetched
+                  (Tel.with_span ~attrs:[ ("vm", Int vm) ] "checker" (fun sp ->
+                       let r =
+                         Checker.compare_pair ~meter
+                           ~base1:target_info.Searcher.mi_base target_artifacts
+                           ~base2:info.Searcher.mi_base artifacts
+                       in
+                       Span.set_attr sp "all_match" (Bool r.Checker.all_match);
+                       r))
           in
-          ( { Report.other_vm = vm; result },
-            { work_vm = vm; work_meter = meter } )
+          (vm, outcome, { work_vm = vm; work_meter = meter })
         in
-        let results = map_vms mode compare_against others in
-        let comparisons = List.map fst results in
+        let results =
+          map_vms_deadline mode ?deadline_s
+            ~on_timeout:(fun vm ->
+              (vm, Unreachable deadline_reason,
+               { work_vm = vm; work_meter = Meter.create () }))
+            compare_against others
+        in
+        let comparisons =
+          List.filter_map
+            (fun (vm, outcome, _) ->
+              match outcome with
+              | Fetched result -> Some { Report.other_vm = vm; result }
+              | Absent | Unreachable _ -> None)
+            results
+        in
+        let unreachable =
+          List.filter_map
+            (fun (vm, outcome, _) ->
+              match outcome with
+              | Unreachable reason -> Some (vm, reason)
+              | Fetched _ | Absent -> None)
+            results
+        in
         let work =
           { work_vm = target_vm; work_meter = target_meter }
-          :: List.map snd results
+          :: List.map (fun (_, _, w) -> w) results
         in
-        let report = Report.make ~module_name ~target_vm comparisons in
+        let report =
+          Report.make ~module_name ~target_vm ~unreachable
+            ~surveyed:(List.length others) ~quorum comparisons
+        in
         if Tel.enabled () then begin
           List.iter (fun w -> bridge_meter w.work_meter) work;
           Tel.add "check.modules_checked" 1;
           Tel.add "check.vms_compared" (List.length others);
-          if not report.Report.majority_ok then Tel.add "check.failed_votes" 1
+          Tel.add "check.unreachable_vms" (List.length unreachable);
+          (match report.Report.verdict with
+          | Report.Degraded _ -> Tel.add "check.degraded_verdicts" 1
+          | Report.Infected -> Tel.add "check.failed_votes" 1
+          | Report.Intact -> ())
         end;
-        if report.Report.majority_ok then
-          Log.debug (fun m -> m "%a" Report.pp report)
-        else Log.warn (fun m -> m "%a" Report.pp report);
+        (match report.Report.verdict with
+        | Report.Intact -> Log.debug (fun m -> m "%a" Report.pp report)
+        | Report.Infected | Report.Degraded _ ->
+            Log.warn (fun m -> m "%a" Report.pp report));
         Ok { report; work }
 
 type survey_strategy = Pairwise | Canonical
@@ -300,15 +381,30 @@ let page_cache_for inc vm =
    other), reloc-guided adjustment is independent per VM — a cacheable
    per-VM fingerprint must not depend on which other copies happened to be
    in the same survey. *)
+let reloc_fallback name why =
+  (* Falling back to an empty reloc list silently disables reloc-guided
+     base stripping: every per-VM load-base difference then survives into
+     the fingerprint and a clean pool looks deviant. That trade must be
+     visible, not silent. *)
+  Log.warn (fun m ->
+      m "no reloc table for %s (%s): fingerprints will not be base-stripped"
+        name why);
+  Tel.add "digest.reloc_fallbacks" 1;
+  []
+
 let module_relocs name =
   match Mc_pe.Catalog.image name with
-  | exception _ -> []
+  | exception e -> reloc_fallback name (Printexc.to_string e)
   | built -> (
       let file = built.Mc_pe.Catalog.file in
       match Mc_pe.Read.parse ~layout:Mc_pe.Read.File file with
-      | Error _ -> []
-      | Ok image ->
-          Mc_pe.Read.base_relocations ~layout:Mc_pe.Read.File file image)
+      | Error e -> reloc_fallback name (Mc_pe.Read.error_to_string e)
+      | Ok image -> (
+          match
+            Mc_pe.Read.base_relocations ~layout:Mc_pe.Read.File file image
+          with
+          | relocs -> relocs
+          | exception e -> reloc_fallback name (Printexc.to_string e)))
 
 (* A VM-independent fingerprint: section data is hashed after exact
    reloc-guided base stripping, headers raw. Clean copies at different
@@ -336,7 +432,7 @@ let vm_fingerprint ~meter ~relocs ~base artifacts : fingerprint =
   |> List.sort compare
 
 let survey ?(mode = Sequential) ?(strategy = Pairwise) ?meter ?incremental
-    cloud ~module_name =
+    ?(quorum = Report.default_quorum) ?deadline_s cloud ~module_name =
   Tel.with_span
     ~attrs:
       [
@@ -354,7 +450,8 @@ let survey ?(mode = Sequential) ?(strategy = Pairwise) ?meter ?incremental
   let fold_job jm =
     match meter with Some dst -> Meter.merge dst jm | None -> bridge_meter jm
   in
-  let vms_present, missing_on, pairwise =
+  let on_timeout vm = (vm, Unreachable deadline_reason, Meter.create ()) in
+  let vms_present, missing_on, unreachable_on, pairwise =
     match incremental with
     | Some inc ->
         (* Incremental path: per-VM reloc-adjusted fingerprints, memoized
@@ -372,38 +469,57 @@ let survey ?(mode = Sequential) ?(strategy = Pairwise) ?meter ?incremental
               Digest_cache.probe ~meter:jm inc.inc_digests dom ~vm
                 ~key:module_name
             with
-            | Some fp -> fp
-            | None ->
+            | Some fp -> (
+                match fp with Some f -> Fetched f | None -> Absent)
+            | None -> (
                 let epoch = Xenctl.memory_epoch dom in
                 let vmi =
                   Vmi.init ~meter:jm ~cache:(page_cache_for inc vm) dom
                     (profile_for dom)
                 in
-                let fp =
-                  match fetch_with_vmi vmi ~vm ~module_name ~meter:jm with
-                  | None -> None
-                  | Some (info, artifacts) ->
-                      Meter.set_phase jm Meter.Checker;
-                      Some
-                        (vm_fingerprint ~meter:jm ~relocs
-                           ~base:info.Searcher.mi_base artifacts)
-                in
-                Digest_cache.store inc.inc_digests ~vm ~key:module_name
-                  ~epoch ~footprint:(Vmi.footprint vmi) fp;
-                fp
+                match fetch_with_vmi vmi ~vm ~module_name ~meter:jm with
+                | exception e -> (
+                    (* An aborted read must not populate the cache: its
+                       footprint covers only the pages read before the
+                       fault, which cannot key the full computation. *)
+                    match unreachable_of_exn e with
+                    | Some reason ->
+                        Tel.add "check.unreachable_fetches" 1;
+                        Unreachable reason
+                    | None -> raise e)
+                | fetched ->
+                    let fp =
+                      match fetched with
+                      | None -> None
+                      | Some (info, artifacts) ->
+                          Meter.set_phase jm Meter.Checker;
+                          Some
+                            (vm_fingerprint ~meter:jm ~relocs
+                               ~base:info.Searcher.mi_base artifacts)
+                    in
+                    Digest_cache.store inc.inc_digests ~vm ~key:module_name
+                      ~epoch ~footprint:(Vmi.footprint vmi) fp;
+                    (match fp with Some f -> Fetched f | None -> Absent))
           in
           (vm, fp, jm)
         in
-        let jobs = map_vms mode fingerprint_vm vms in
+        let jobs = map_vms_deadline mode ?deadline_s ~on_timeout fingerprint_vm vms in
         List.iter (fun (_, _, jm) -> fold_job jm) jobs;
         let present =
           List.filter_map
-            (fun (vm, fp, _) -> Option.map (fun f -> (vm, f)) fp)
+            (fun (vm, fp, _) ->
+              match fp with Fetched f -> Some (vm, f) | _ -> None)
             jobs
         in
         let missing_on =
           List.filter_map
-            (fun (vm, fp, _) -> if fp = None then Some vm else None)
+            (fun (vm, fp, _) -> if fp = Absent then Some vm else None)
+            jobs
+        in
+        let unreachable_on =
+          List.filter_map
+            (fun (vm, fp, _) ->
+              match fp with Unreachable r -> Some (vm, r) | _ -> None)
             jobs
         in
         let rec pairs = function
@@ -412,7 +528,7 @@ let survey ?(mode = Sequential) ?(strategy = Pairwise) ?meter ?incremental
               List.map (fun (u, fq) -> ((v, u), (fp : fingerprint) = fq)) rest
               @ pairs rest
         in
-        (List.map fst present, missing_on, pairs present)
+        (List.map fst present, missing_on, unreachable_on, pairs present)
     | None ->
         let fetch vm =
           Tel.with_span ?parent:root_id ~attrs:[ ("vm", Int vm) ] "vm_check"
@@ -421,16 +537,23 @@ let survey ?(mode = Sequential) ?(strategy = Pairwise) ?meter ?incremental
           let r = fetch_artifacts cloud ~vm ~module_name ~meter:jm in
           (vm, r, jm)
         in
-        let fetched = map_vms mode fetch vms in
+        let fetched = map_vms_deadline mode ?deadline_s ~on_timeout fetch vms in
         List.iter (fun (_, _, jm) -> fold_job jm) fetched;
         let present =
           List.filter_map
-            (fun (vm, r, _) -> Option.map (fun x -> (vm, x)) r)
+            (fun (vm, r, _) ->
+              match r with Fetched x -> Some (vm, x) | _ -> None)
             fetched
         in
         let missing_on =
           List.filter_map
-            (fun (vm, r, _) -> if r = None then Some vm else None)
+            (fun (vm, r, _) -> if r = Absent then Some vm else None)
+            fetched
+        in
+        let unreachable_on =
+          List.filter_map
+            (fun (vm, r, _) ->
+              match r with Unreachable reason -> Some (vm, reason) | _ -> None)
             fetched
         in
         let pairwise =
@@ -476,7 +599,7 @@ let survey ?(mode = Sequential) ?(strategy = Pairwise) ?meter ?incremental
                 (fun ((v, fp), (u, fq)) -> ((v, u), fp = fq))
                 (pairs prints)
         in
-        (List.map fst present, missing_on, pairwise)
+        (List.map fst present, missing_on, unreachable_on, pairwise)
   in
   (* Partition the present VMs into agreement classes (the match relation
      unions clean clones into one class). The largest class, when it is a
@@ -511,11 +634,27 @@ let survey ?(mode = Sequential) ?(strategy = Pairwise) ?meter ?incremental
           |> List.sort compare
         else vms_present
   in
+  let s_surveyed = List.length vms in
+  let s_responded = s_surveyed - List.length unreachable_on in
+  let s_voted = List.length vms_present in
+  let s_verdict =
+    if not (Report.quorum_met ~quorum ~surveyed:s_surveyed ~responded:s_responded)
+    then
+      Report.Degraded
+        (Printf.sprintf "%d/%d VM(s) responded (quorum %g)" s_responded
+           s_surveyed quorum)
+    else if deviant_vms <> [] then Report.Infected
+    else Report.Intact
+  in
   (match meter with Some m -> bridge_meter m | None -> ());
   if Tel.enabled () then begin
     Tel.add "survey.runs" 1;
     Tel.add "survey.pair_comparisons" (List.length pairwise);
     Tel.add "survey.deviant_vms" (List.length deviant_vms);
+    Tel.add "survey.unreachable_vms" (List.length unreachable_on);
+    (match s_verdict with
+    | Report.Degraded _ -> Tel.add "survey.degraded_verdicts" 1
+    | _ -> ());
     Span.set_attr root "deviants" (Int (List.length deviant_vms))
   end;
   Report.
@@ -526,6 +665,11 @@ let survey ?(mode = Sequential) ?(strategy = Pairwise) ?meter ?incremental
       deviant_vms;
       agreement_classes;
       pairwise_matches = pairwise;
+      unreachable_on;
+      s_surveyed;
+      s_responded;
+      s_voted;
+      s_verdict;
     }
 
 type list_discrepancy = {
@@ -538,7 +682,12 @@ type list_discrepancy = {
    never collide with it (names come from 8.3-ish UNICODE_STRINGs). *)
 let list_key = "__module_list__"
 
-let compare_module_lists ?meter ?incremental cloud =
+type list_comparison = {
+  lc_discrepancies : list_discrepancy list;
+  lc_unreachable : (int * string) list;
+}
+
+let survey_module_lists ?meter ?incremental cloud =
   Tel.with_span "list_compare" @@ fun _ ->
   let vms = List.init (Cloud.vm_count cloud) Fun.id in
   (match meter with Some m -> Meter.set_phase m Meter.Searcher | None -> ());
@@ -566,21 +715,58 @@ let compare_module_lists ?meter ?incremental cloud =
               ~footprint:(Vmi.footprint vmi) names;
             names)
   in
-  let listings = List.map (fun vm -> (vm, names_on vm)) vms in
+  (* A VM whose walk aborts on a fault drops out of the comparison
+     entirely: it neither vouches for a module nor counts as missing one.
+     Treating an unreadable list as "everything missing" would turn every
+     fault burst into a spurious DKOM alarm. *)
+  let outcomes =
+    List.map
+      (fun vm ->
+        match names_on vm with
+        | names -> (vm, Fetched names)
+        | exception e -> (
+            match unreachable_of_exn e with
+            | Some reason ->
+                Tel.add "check.unreachable_fetches" 1;
+                (vm, Unreachable reason)
+            | None -> raise e))
+      vms
+  in
+  let listings =
+    List.filter_map
+      (fun (vm, o) ->
+        match o with Fetched names -> Some (vm, names) | _ -> None)
+      outcomes
+  in
+  let lc_unreachable =
+    List.filter_map
+      (fun (vm, o) ->
+        match o with Unreachable r -> Some (vm, r) | _ -> None)
+      outcomes
+  in
+  let reachable = List.map fst listings in
   let all_names =
     List.sort_uniq compare (List.concat_map snd listings)
   in
-  List.filter_map
-    (fun name ->
-      let present_on =
-        List.filter_map
-          (fun (vm, names) -> if List.mem name names then Some vm else None)
-          listings
-      in
-      let missing_on = List.filter (fun v -> not (List.mem v present_on)) vms in
-      if missing_on = [] then None
-      else Some { ld_module = name; present_on; missing_on })
-    all_names
+  let lc_discrepancies =
+    List.filter_map
+      (fun name ->
+        let present_on =
+          List.filter_map
+            (fun (vm, names) -> if List.mem name names then Some vm else None)
+            listings
+        in
+        let missing_on =
+          List.filter (fun v -> not (List.mem v present_on)) reachable
+        in
+        if missing_on = [] then None
+        else Some { ld_module = name; present_on; missing_on })
+      all_names
+  in
+  { lc_discrepancies; lc_unreachable }
+
+let compare_module_lists ?meter ?incremental cloud =
+  (survey_module_lists ?meter ?incremental cloud).lc_discrepancies
 
 let phase_seconds costs outcome =
   let sum phase =

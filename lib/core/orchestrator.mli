@@ -26,6 +26,8 @@ type phase_seconds = {
 val check_module :
   ?mode:mode ->
   ?others:int list ->
+  ?quorum:float ->
+  ?deadline_s:float ->
   Mc_hypervisor.Cloud.t ->
   target_vm:int ->
   module_name:string ->
@@ -33,9 +35,15 @@ val check_module :
 (** [check_module cloud ~target_vm ~module_name] fetches the module from
     the target and from every other VM ([others] defaults to the rest of
     the pool), compares pairwise, and votes. Errors when the module is not
-    loaded on the target or no comparison VM is available. A module
-    missing on a {e comparison} VM counts as a failed comparison, not an
-    error. *)
+    loaded on the target, the target is unreachable, or no comparison VM
+    is available. A module missing on a {e comparison} VM counts as a
+    failed comparison, not an error; a comparison VM that cannot be
+    introspected at all (fault-plan retries exhausted, or — in [Parallel]
+    mode with [deadline_s] — its task missed the per-check deadline) is
+    excluded from the vote and listed in the report's [unreachable]
+    field. When fewer than [quorum] (default {!Report.default_quorum})
+    of the comparison VMs respond, the report's verdict is
+    [Degraded]. *)
 
 type survey_strategy =
   | Pairwise
@@ -73,6 +81,8 @@ val survey :
   ?strategy:survey_strategy ->
   ?meter:Mc_hypervisor.Meter.t ->
   ?incremental:incremental ->
+  ?quorum:float ->
+  ?deadline_s:float ->
   Mc_hypervisor.Cloud.t ->
   module_name:string ->
   Report.survey
@@ -89,7 +99,22 @@ val survey :
     fingerprints memoized in the digest cache: a VM whose relevant pages
     are untouched since the last sweep costs one log-dirty staleness probe
     instead of a full map→parse→hash pipeline, and [strategy] is
-    irrelevant. Verdicts are unchanged either way. *)
+    irrelevant. Verdicts are unchanged either way.
+
+    An unreachable VM (fault-plan retries exhausted, or its task past
+    [deadline_s] in [Parallel] mode) is excluded from the vote and from
+    [missing_on], listed in [unreachable_on], and never cached; when
+    fewer than [quorum] of the pool responds, [s_verdict] is
+    [Degraded]. *)
+
+val module_relocs : string -> int list
+(** Reloc slot RVAs of the golden (catalog) copy of the named module,
+    used for base stripping of cached fingerprints. When the catalog
+    image cannot be built or fails to parse, this logs a warning, bumps the
+    [digest.reloc_fallbacks] telemetry counter, and returns [] —
+    fingerprints then keep their base-dependent bytes, which can turn
+    clean load-base differences into deviations, so the fallback is
+    deliberately loud. *)
 
 type list_discrepancy = {
   ld_module : string;
@@ -97,17 +122,32 @@ type list_discrepancy = {
   missing_on : int list;
 }
 
-val compare_module_lists :
+type list_comparison = {
+  lc_discrepancies : list_discrepancy list;
+  lc_unreachable : (int * string) list;
+      (** VMs whose list walk failed, with reasons. They are excluded
+          from [missing_on] — an unreadable list is not evidence of a
+          hidden module. *)
+}
+
+val survey_module_lists :
   ?meter:Mc_hypervisor.Meter.t ->
   ?incremental:incremental ->
   Mc_hypervisor.Cloud.t ->
-  list_discrepancy list
+  list_comparison
 (** Extension: cross-VM comparison of the load lists themselves; a module
     present on most VMs but absent from a few is how a DKOM-hidden module
     betrays itself. Only non-uniform modules are returned. The list walks
     are metered into [meter] (under the Searcher phase) — they are real
     introspection work and price like it. With [incremental], a VM whose
     list-walk pages are untouched reuses the cached listing. *)
+
+val compare_module_lists :
+  ?meter:Mc_hypervisor.Meter.t ->
+  ?incremental:incremental ->
+  Mc_hypervisor.Cloud.t ->
+  list_discrepancy list
+(** [survey_module_lists]'s discrepancies alone. *)
 
 val phase_seconds : Mc_hypervisor.Costs.t -> outcome -> phase_seconds
 (** Price the outcome's metered operations into per-component virtual CPU

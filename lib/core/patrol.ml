@@ -7,7 +7,11 @@ module Pool = Mc_parallel.Pool
 module Tel = Mc_telemetry.Registry
 module Span = Mc_telemetry.Span
 
-type alarm_kind = Hash_deviation | Missing_module | List_discrepancy
+type alarm_kind =
+  | Hash_deviation
+  | Missing_module
+  | List_discrepancy
+  | Quorum_loss
 
 type alarm = {
   at : float;
@@ -24,6 +28,8 @@ type config = {
   compare_lists : bool;
   strategy : Orchestrator.survey_strategy;
   incremental : bool;
+  quorum : float;
+  deadline_s : float option;
 }
 
 let default_config =
@@ -35,6 +41,8 @@ let default_config =
     compare_lists = true;
     strategy = Orchestrator.Pairwise;
     incremental = false;
+    quorum = Report.default_quorum;
+    deadline_s = None;
   }
 
 type outcome = {
@@ -50,11 +58,13 @@ let alarm_kind_string = function
   | Hash_deviation -> "hash deviation"
   | Missing_module -> "missing module"
   | List_discrepancy -> "module-list discrepancy"
+  | Quorum_loss -> "quorum loss"
 
 let alarm_kind_key = function
   | Hash_deviation -> "hash_deviation"
   | Missing_module -> "missing_module"
   | List_discrepancy -> "list_discrepancy"
+  | Quorum_loss -> "quorum_loss"
 
 (* Keep log-dirty tracking armed on every guest. A reboot or restore
    replaces the guest's physical memory (new epoch) with tracking off, so
@@ -134,39 +144,66 @@ let run ?(config = default_config) ?(events = []) cloud ~until =
         let meter = Meter.create () in
         let s =
           Orchestrator.survey ~mode ~strategy:config.strategy ~meter
-            ?incremental cloud ~module_name
+            ?incremental ~quorum:config.quorum ?deadline_s:config.deadline_s
+            cloud ~module_name
         in
         module_costs :=
           Meter.total_cpu_seconds config.costs meter :: !module_costs;
-        if s.Report.deviant_vms <> [] then
-          sweep_alarms :=
-            {
-              at = 0.0;
-              alarm_module = module_name;
-              alarm_vms = s.Report.deviant_vms;
-              kind = Hash_deviation;
-            }
-            :: !sweep_alarms;
-        if s.Report.missing_on <> [] then
-          sweep_alarms :=
-            {
-              at = 0.0;
-              alarm_module = module_name;
-              alarm_vms = s.Report.missing_on;
-              kind = Missing_module;
-            }
-            :: !sweep_alarms)
+        match s.Report.s_verdict with
+        | Report.Degraded _ ->
+            (* Below quorum the vote is meaningless: raise the distinct
+               availability alarm and nothing else — a degraded sweep
+               must never be dressed up as an integrity finding. *)
+            sweep_alarms :=
+              {
+                at = 0.0;
+                alarm_module = module_name;
+                alarm_vms = List.map fst s.Report.unreachable_on;
+                kind = Quorum_loss;
+              }
+              :: !sweep_alarms
+        | Report.Intact | Report.Infected ->
+            if s.Report.deviant_vms <> [] then
+              sweep_alarms :=
+                {
+                  at = 0.0;
+                  alarm_module = module_name;
+                  alarm_vms = s.Report.deviant_vms;
+                  kind = Hash_deviation;
+                }
+                :: !sweep_alarms;
+            if s.Report.missing_on <> [] then
+              sweep_alarms :=
+                {
+                  at = 0.0;
+                  alarm_module = module_name;
+                  alarm_vms = s.Report.missing_on;
+                  kind = Missing_module;
+                }
+                :: !sweep_alarms)
       config.watch;
     if config.compare_lists then begin
       (* The list walks are real introspection work: meter them and fold
          their cost into the sweep like any surveyed module. *)
       let list_meter = Meter.create () in
-      let discrepancies =
-        Orchestrator.compare_module_lists ~meter:list_meter ?incremental
+      let comparison =
+        Orchestrator.survey_module_lists ~meter:list_meter ?incremental
           cloud
       in
+      let discrepancies = comparison.Orchestrator.lc_discrepancies in
       module_costs :=
         Meter.total_cpu_seconds config.costs list_meter :: !module_costs;
+      (match comparison.Orchestrator.lc_unreachable with
+      | [] -> ()
+      | unreachable ->
+          sweep_alarms :=
+            {
+              at = 0.0;
+              alarm_module = "(module lists)";
+              alarm_vms = List.map fst unreachable;
+              kind = Quorum_loss;
+            }
+            :: !sweep_alarms);
       List.iter
         (fun (d : Orchestrator.list_discrepancy) ->
           (* Only alarm on list entries we are not already alarming on as

@@ -14,6 +14,12 @@ type alarm_kind =
   | Hash_deviation  (** A VM's copy fails the majority vote. *)
   | Missing_module  (** A watched module is absent from a VM. *)
   | List_discrepancy  (** Module-list comparison found a hidden module. *)
+  | Quorum_loss
+      (** Too few VMs answered the sweep for its vote to mean anything
+          (or the list walk lost VMs to faults). An availability alarm,
+          deliberately distinct from every integrity alarm: a sweep that
+          degrades raises this and {e only} this for the affected module,
+          so fault bursts can never masquerade as infections. *)
 
 type alarm = {
   at : float;  (** Virtual time the sweep that saw it completed. *)
@@ -34,11 +40,17 @@ type config = {
           fingerprints across sweeps: a steady-state sweep prices as
           staleness probes plus re-checks of only the VMs whose relevant
           pages were written. Detection verdicts are unchanged. *)
+  quorum : float;
+      (** Minimum responding fraction of the pool for a sweep's verdicts
+          to count; below it the sweep raises [Quorum_loss]. *)
+  deadline_s : float option;
+      (** Per-survey task deadline (only enforced with [workers > 1],
+          where a hung introspection task can be abandoned). *)
 }
 
 val default_config : config
 (** Watches the standard catalog, 30 s interval, one worker, pairwise,
-    non-incremental. *)
+    non-incremental, quorum {!Report.default_quorum}, no deadline. *)
 
 type outcome = {
   alarms : alarm list;  (** In raising order; duplicates across sweeps kept. *)

@@ -1,5 +1,23 @@
 type comparison = { other_vm : int; result : Checker.pair_result }
 
+type verdict = Intact | Infected | Degraded of string
+
+let verdict_key = function
+  | Intact -> "intact"
+  | Infected -> "infected"
+  | Degraded _ -> "degraded"
+
+let default_quorum = 0.5
+
+(* Quorum floor: a verdict is only trustworthy when at least
+   [quorum * surveyed] of the VMs we asked actually answered. Unreachable
+   VMs are excluded from the vote entirely (a fault is not a mismatch);
+   too many of them and the verdict degrades rather than pretending the
+   shrunken majority still speaks for the pool. *)
+let quorum_met ~quorum ~surveyed ~responded =
+  responded > 0
+  && float_of_int responded >= quorum *. float_of_int surveyed
+
 type module_report = {
   module_name : string;
   target_vm : int;
@@ -8,6 +26,11 @@ type module_report = {
   total : int;
   majority_ok : bool;
   flagged_artifacts : Artifact.kind list;
+  unreachable : (int * string) list;
+  surveyed : int;
+  responded : int;
+  voted : int;
+  verdict : verdict;
 }
 
 type survey = {
@@ -17,10 +40,22 @@ type survey = {
   deviant_vms : int list;
   agreement_classes : int list list;
   pairwise_matches : ((int * int) * bool) list;
+  unreachable_on : (int * string) list;
+  s_surveyed : int;
+  s_responded : int;
+  s_voted : int;
+  s_verdict : verdict;
 }
 
-let make ~module_name ~target_vm comparisons =
+let make ~module_name ~target_vm ?(unreachable = []) ?surveyed
+    ?(quorum = default_quorum) comparisons =
   let total = List.length comparisons in
+  let surveyed =
+    match surveyed with
+    | Some s -> s
+    | None -> total + List.length unreachable
+  in
+  let responded = surveyed - List.length unreachable in
   let matches =
     List.length
       (List.filter (fun c -> c.result.Checker.all_match) comparisons)
@@ -46,21 +81,38 @@ let make ~module_name ~target_vm comparisons =
   let flagged_artifacts =
     List.filter (fun kind -> 2 * mismatch_count kind > total) kinds
   in
+  let majority_ok = 2 * matches > total in
+  let verdict =
+    if not (quorum_met ~quorum ~surveyed ~responded) then
+      Degraded
+        (Printf.sprintf "%d/%d comparison VM(s) responded (quorum %g)"
+           responded surveyed quorum)
+    else if majority_ok then Intact
+    else Infected
+  in
   {
     module_name;
     target_vm;
     comparisons;
     matches;
     total;
-    majority_ok = 2 * matches > total;
+    majority_ok;
     flagged_artifacts;
+    unreachable;
+    surveyed;
+    responded;
+    voted = total;
+    verdict;
   }
 
 let verdict_string r =
-  if r.majority_ok then Printf.sprintf "INTACT (%d/%d)" r.matches r.total
-  else
-    Printf.sprintf "SUSPICIOUS (%d/%d): %s" r.matches r.total
-      (String.concat ", " (List.map Artifact.kind_name r.flagged_artifacts))
+  match r.verdict with
+  | Intact -> Printf.sprintf "INTACT (%d/%d)" r.matches r.total
+  | Infected ->
+      Printf.sprintf "SUSPICIOUS (%d/%d): %s" r.matches r.total
+        (String.concat ", " (List.map Artifact.kind_name r.flagged_artifacts))
+  | Degraded reason ->
+      Printf.sprintf "DEGRADED (%d/%d): %s" r.matches r.total reason
 
 let to_table r =
   let kinds =
@@ -94,20 +146,43 @@ let pp fmt r =
   Format.fprintf fmt "%s on Dom%d: %s" r.module_name (r.target_vm + 1)
     (verdict_string r)
 
+let unreachable_json u =
+  let open Mc_util.Json in
+  List
+    (List.map
+       (fun (vm, reason) -> Obj [ ("vm", Int vm); ("reason", String reason) ])
+       u)
+
+let verdict_fields v =
+  let open Mc_util.Json in
+  ("verdict", String (verdict_key v))
+  ::
+  (match v with
+  | Degraded reason -> [ ("degraded_reason", String reason) ]
+  | Intact | Infected -> [])
+
 let to_json r =
   let open Mc_util.Json in
   Obj
-    [
-      ("module", String r.module_name);
-      ("target_vm", Int r.target_vm);
-      ("majority_ok", Bool r.majority_ok);
-      ("matches", Int r.matches);
-      ("total", Int r.total);
-      ( "flagged_artifacts",
-        List
-          (List.map (fun k -> String (Artifact.kind_name k)) r.flagged_artifacts)
-      );
-      ( "comparisons",
+    ([
+       ("module", String r.module_name);
+       ("target_vm", Int r.target_vm);
+       ("majority_ok", Bool r.majority_ok);
+       ("matches", Int r.matches);
+       ("total", Int r.total);
+       ("surveyed", Int r.surveyed);
+       ("responded", Int r.responded);
+       ("voted", Int r.voted);
+       ("unreachable", unreachable_json r.unreachable);
+     ]
+    @ verdict_fields r.verdict
+    @ [
+        ( "flagged_artifacts",
+          List
+            (List.map
+               (fun k -> String (Artifact.kind_name k))
+               r.flagged_artifacts) );
+        ( "comparisons",
         List
           (List.map
              (fun c ->
@@ -132,23 +207,30 @@ let to_json r =
                           c.result.Checker.verdicts) );
                  ])
              r.comparisons) );
-    ]
+      ])
 
 let survey_to_json s =
   let open Mc_util.Json in
   let vms l = List (List.map (fun v -> Int v) l) in
   Obj
-    [
-      ("module", String s.survey_module);
-      ("vms", vms s.vm_indices);
-      ("missing_on", vms s.missing_on);
-      ("deviant_vms", vms s.deviant_vms);
-      ( "agreement_classes",
-        List (List.map (fun c -> vms c) s.agreement_classes) );
-      ( "pairwise",
-        List
-          (List.map
-             (fun ((a, b), ok) ->
-               Obj [ ("a", Int a); ("b", Int b); ("match", Bool ok) ])
-             s.pairwise_matches) );
-    ]
+    ([
+       ("module", String s.survey_module);
+       ("vms", vms s.vm_indices);
+       ("missing_on", vms s.missing_on);
+       ("deviant_vms", vms s.deviant_vms);
+       ("unreachable", unreachable_json s.unreachable_on);
+       ("surveyed", Int s.s_surveyed);
+       ("responded", Int s.s_responded);
+       ("voted", Int s.s_voted);
+     ]
+    @ verdict_fields s.s_verdict
+    @ [
+        ( "agreement_classes",
+          List (List.map (fun c -> vms c) s.agreement_classes) );
+        ( "pairwise",
+          List
+            (List.map
+               (fun ((a, b), ok) ->
+                 Obj [ ("a", Int a); ("b", Int b); ("match", Bool ok) ])
+               s.pairwise_matches) );
+      ])

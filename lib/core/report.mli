@@ -6,6 +6,21 @@ type comparison = {
   result : Checker.pair_result;
 }
 
+type verdict =
+  | Intact  (** Majority vote passed with quorum. *)
+  | Infected  (** Majority vote failed with quorum. *)
+  | Degraded of string
+      (** Too few VMs answered for the vote to mean anything; the string
+          says why (e.g. ["2/14 comparison VM(s) responded (quorum 0.5)"]).
+          A degraded verdict is an availability alarm, never an integrity
+          one. *)
+
+val verdict_key : verdict -> string
+(** ["intact"], ["infected"], ["degraded"]. *)
+
+val default_quorum : float
+(** 0.5 — at least half the surveyed VMs must answer. *)
+
 type module_report = {
   module_name : string;
   target_vm : int;
@@ -16,6 +31,16 @@ type module_report = {
   flagged_artifacts : Artifact.kind list;
       (** Artifacts mismatching in a strict majority of comparisons —
           i.e. the target's own deviations, not some other VM's. *)
+  unreachable : (int * string) list;
+      (** Comparison VMs that could not be introspected (faults exhausted
+          retries, or the deadline expired), with the reason. They are
+          excluded from the vote — [total] does not include them. *)
+  surveyed : int;  (** Comparison VMs asked. *)
+  responded : int;  (** Comparison VMs that answered ([surveyed] minus
+          unreachable); a VM lacking the module responds — absence is an
+          answer, counted as a vote mismatch. *)
+  voted : int;  (** Comparisons counted in the vote (= [total]). *)
+  verdict : verdict;
 }
 
 type survey = {
@@ -31,16 +56,41 @@ type survey = {
           into factions and no majority can be trusted — everything is
           flagged for deeper analysis). *)
   pairwise_matches : ((int * int) * bool) list;
+  unreachable_on : (int * string) list;
+      (** VMs whose fetch failed (fault or deadline), with reasons;
+          excluded from the vote and from [missing_on]. *)
+  s_surveyed : int;  (** VMs in the pool. *)
+  s_responded : int;  (** VMs that answered (present or verifiably absent). *)
+  s_voted : int;  (** VMs whose copy entered the pairwise vote. *)
+  s_verdict : verdict;
+      (** [Degraded] below the quorum floor; else [Infected] iff any VM
+          deviates. Module absence alone is not an infection verdict —
+          it raises its own (missing-module) alarm. *)
 }
 (** A full-mesh sweep: every VM's copy voted against every other. *)
 
+val quorum_met : quorum:float -> surveyed:int -> responded:int -> bool
+(** [quorum_met ~quorum ~surveyed ~responded] — at least
+    [quorum *. surveyed] of the surveyed VMs answered (and at least
+    one did). *)
+
 val make :
-  module_name:string -> target_vm:int -> comparison list -> module_report
-(** [make ~module_name ~target_vm comparisons] computes the vote and the
-    flagged artifact set. *)
+  module_name:string ->
+  target_vm:int ->
+  ?unreachable:(int * string) list ->
+  ?surveyed:int ->
+  ?quorum:float ->
+  comparison list ->
+  module_report
+(** [make ~module_name ~target_vm comparisons] computes the vote, the
+    flagged artifact set, and the quorum verdict. [surveyed] defaults to
+    [|comparisons| + |unreachable|]; [quorum] to {!default_quorum}. With
+    no unreachable VMs the verdict is [Intact]/[Infected] exactly as
+    [majority_ok] says. *)
 
 val verdict_string : module_report -> string
-(** ["INTACT (n/t)"] or ["SUSPICIOUS (n/t): <artifacts>"]. *)
+(** ["INTACT (n/t)"], ["SUSPICIOUS (n/t): <artifacts>"], or
+    ["DEGRADED (n/t): <reason>"]. *)
 
 val to_table : module_report -> string
 (** Render the per-comparison, per-artifact detail as an ASCII table. *)
@@ -48,7 +98,7 @@ val to_table : module_report -> string
 val pp : Format.formatter -> module_report -> unit
 
 val to_json : module_report -> Mc_util.Json.t
-(** Machine-readable form: verdict, vote counts, flagged artifacts, and
-    per-comparison per-artifact digests. *)
+(** Machine-readable form: verdict, vote and quorum counts, unreachable
+    VMs, flagged artifacts, and per-comparison per-artifact digests. *)
 
 val survey_to_json : survey -> Mc_util.Json.t

@@ -408,6 +408,68 @@ let incremental_steady_state ?(pool_sizes = [ 2; 5; 10; 15 ]) ?(seed = 2012L)
       })
     pool_sizes
 
+type fault_row = {
+  fl_transient : float;
+  fl_scenarios : int;
+  fl_detected : int;
+  fl_exact : int;
+  fl_degraded : int;
+  fl_errors : int;
+  fl_retries : int;
+  fl_aborts : int;
+}
+
+(* X9: the detection suite under injected transient map faults. Bounded
+   priced retries keep every verdict quorum-backed well past realistic
+   fault rates — detection should stay exact across the sweep, with the
+   retry counters growing and degraded verdicts staying at zero until
+   the abort probability (rate^max_attempts per page) becomes visible. *)
+let fault_sweep ?(vms = 8) ?(rates = [ 0.0; 0.02; 0.05; 0.1; 0.2 ])
+    ?(seed = 2012L) ?(fault_seed = 9) () =
+  List.map
+    (fun rate ->
+      let faults =
+        if rate = 0.0 then None
+        else
+          Some
+            {
+              Mc_memsim.Faultplan.none with
+              Mc_memsim.Faultplan.transient_rate = rate;
+              fault_seed;
+            }
+      in
+      let counter name =
+        Mc_telemetry.Metric.counter_value (Mc_telemetry.Registry.counter name)
+      in
+      let was_enabled = Mc_telemetry.Registry.enabled () in
+      Mc_telemetry.Registry.set_enabled true;
+      let retries0 = counter "vmi.retries" in
+      let aborts0 = counter "vmi.fault_aborts" in
+      let results = Scenario.run_all ~vms ~seed ?faults () in
+      let retries = counter "vmi.retries" - retries0 in
+      let aborts = counter "vmi.fault_aborts" - aborts0 in
+      Mc_telemetry.Registry.set_enabled was_enabled;
+      let count f =
+        List.length
+          (List.filter
+             (fun r -> match r with Ok d -> f d | Error _ -> false)
+             results)
+      in
+      {
+        fl_transient = rate;
+        fl_scenarios = List.length results;
+        fl_detected = count (fun (d : Scenario.detection) -> d.detected);
+        fl_exact =
+          count (fun (d : Scenario.detection) -> d.flags_exact && d.clean_vm_ok);
+        fl_degraded = count (fun (d : Scenario.detection) -> d.degraded);
+        fl_errors =
+          List.length
+            (List.filter (fun r -> Result.is_error r) results);
+        fl_retries = retries;
+        fl_aborts = aborts;
+      })
+    rates
+
 type baseline_cell = Detected | Missed | False_alarm | Clean
 
 let baseline_cell_string = function

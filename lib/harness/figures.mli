@@ -133,6 +133,26 @@ val incremental_steady_state :
     later sweep prices as staleness probes, so its cost stays near-flat as
     the pool grows while the full sweep grows linearly. *)
 
+type fault_row = {
+  fl_transient : float;  (** Injected per-attempt map failure rate. *)
+  fl_scenarios : int;  (** Experiments run (6: E1–E4 plus extensions). *)
+  fl_detected : int;  (** Infections detected with a quorum-backed vote. *)
+  fl_exact : int;  (** Exact flagged sets with a clean control VM. *)
+  fl_degraded : int;  (** Experiments that lost quorum (availability). *)
+  fl_errors : int;  (** Experiments that errored outright. *)
+  fl_retries : int;  (** VMI mapping retries spent across the suite. *)
+  fl_aborts : int;  (** Retry budgets exhausted (→ unreachable VMs). *)
+}
+
+val fault_sweep :
+  ?vms:int -> ?rates:float list -> ?seed:int64 -> ?fault_seed:int -> unit ->
+  fault_row list
+(** X9: the full detection suite re-run under increasing transient-fault
+    rates (default 0 to 20%). Bounded retries absorb the faults: verdicts
+    stay exact and quorum-backed across the sweep while the retry counter
+    grows roughly linearly with the rate; rate 0 must reproduce the
+    fault-free results bit for bit. *)
+
 type baseline_cell = Detected | Missed | False_alarm | Clean
 
 val baseline_cell_string : baseline_cell -> string

@@ -8,7 +8,7 @@ let detection_table results =
     List.map
       (fun r ->
         match r with
-        | Error e -> [ "?"; "error"; e; ""; ""; ""; ""; "" ]
+        | Error e -> [ "?"; "error"; e; ""; ""; ""; ""; ""; "" ]
         | Ok (d : Scenario.detection) ->
             [
               d.exp_id;
@@ -19,6 +19,7 @@ let detection_table results =
               String.concat " " d.observed_flags;
               yn d.detected;
               yn (d.flags_exact && d.clean_vm_ok);
+              (if d.degraded then "DEGRADED" else "no");
             ])
       results
   in
@@ -26,7 +27,7 @@ let detection_table results =
     ~header:
       [
         "exp"; "technique"; "module"; "victim"; "expected flags";
-        "observed flags"; "detected"; "exact+clean";
+        "observed flags"; "detected"; "exact+clean"; "degraded";
       ]
     rows
 
@@ -207,6 +208,24 @@ let patrol_table rows =
            Printf.sprintf "%.1f" r.pt_ttd_s;
            string_of_int r.pt_sweeps;
            Printf.sprintf "%.3f" r.pt_cpu_duty_pct;
+         ])
+       rows)
+
+let fault_table rows =
+  Table.render
+    ~header:
+      [ "transient rate"; "detected"; "exact+clean"; "degraded"; "errors";
+        "retries"; "aborts" ]
+    (List.map
+       (fun (r : Figures.fault_row) ->
+         [
+           Printf.sprintf "%.0f%%" (r.fl_transient *. 100.0);
+           Printf.sprintf "%d/%d" r.fl_detected r.fl_scenarios;
+           Printf.sprintf "%d/%d" r.fl_exact r.fl_scenarios;
+           string_of_int r.fl_degraded;
+           string_of_int r.fl_errors;
+           string_of_int r.fl_retries;
+           string_of_int r.fl_aborts;
          ])
        rows)
 

@@ -26,4 +26,8 @@ val strategy_table : Figures.strategy_row list -> string
 
 val patrol_table : Figures.patrol_row list -> string
 
+val fault_table : Figures.fault_row list -> string
+(** X9 rendering: detection suite results by injected transient-fault
+    rate, with retry/abort counters. *)
+
 val baseline_table : Figures.baseline_row list -> string

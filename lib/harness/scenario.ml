@@ -2,6 +2,7 @@ module Cloud = Mc_hypervisor.Cloud
 module Infect = Mc_malware.Infect
 module Orchestrator = Modchecker.Orchestrator
 module Artifact = Modchecker.Artifact
+module Report = Modchecker.Report
 
 type detection = {
   exp_id : string;
@@ -13,6 +14,7 @@ type detection = {
   detected : bool;
   flags_exact : bool;
   clean_vm_ok : bool;
+  degraded : bool;
   details : string;
 }
 
@@ -35,6 +37,9 @@ let score ~exp_id ~vms:_ ~cloud ~infection ~expected_flags =
   let observed_flags =
     List.map Artifact.kind_name outcome.report.flagged_artifacts
   in
+  let is_degraded r =
+    match r.Report.verdict with Report.Degraded _ -> true | _ -> false
+  in
   Ok
     {
       exp_id;
@@ -43,32 +48,37 @@ let score ~exp_id ~vms:_ ~cloud ~infection ~expected_flags =
       target_vm = target;
       expected_flags;
       observed_flags;
-      detected = not outcome.report.majority_ok;
+      (* Keyed on the quorum-aware verdict: a degraded check is not a
+         detection (and not a miss either — it is an availability event,
+         which the [degraded] field reports separately). At fault rate 0
+         this is exactly the old [not majority_ok]. *)
+      detected = (outcome.report.Report.verdict = Report.Infected);
       flags_exact = sorted observed_flags = sorted expected_flags;
-      clean_vm_ok = control.report.majority_ok;
+      clean_vm_ok = control.report.Report.verdict = Report.Intact;
+      degraded = is_degraded outcome.report || is_degraded control.report;
       details = infection.Infect.details;
     }
 
 let default_vms = 15
 
-let exp1_single_opcode ?(vms = default_vms) ?(seed = 2012L) () =
-  let cloud = Cloud.create ~vms ~seed () in
+let exp1_single_opcode ?(vms = default_vms) ?(seed = 2012L) ?faults () =
+  let cloud = Cloud.create ~vms ~seed ?fault_spec:faults () in
   let* infection = Infect.single_opcode_replacement cloud ~vm:(min 3 (vms - 1)) in
   score ~exp_id:"E1" ~vms ~cloud ~infection ~expected_flags:[ ".text" ]
 
-let exp2_inline_hook ?(vms = default_vms) ?(seed = 2012L) () =
-  let cloud = Cloud.create ~vms ~seed () in
+let exp2_inline_hook ?(vms = default_vms) ?(seed = 2012L) ?faults () =
+  let cloud = Cloud.create ~vms ~seed ?fault_spec:faults () in
   let* infection = Infect.inline_hook cloud ~vm:(min 5 (vms - 1)) in
   score ~exp_id:"E2" ~vms ~cloud ~infection ~expected_flags:[ ".text" ]
 
-let exp3_stub_modification ?(vms = default_vms) ?(seed = 2012L) () =
-  let cloud = Cloud.create ~vms ~seed () in
+let exp3_stub_modification ?(vms = default_vms) ?(seed = 2012L) ?faults () =
+  let cloud = Cloud.create ~vms ~seed ?fault_spec:faults () in
   let* infection = Infect.stub_modification cloud ~vm:(min 7 (vms - 1)) in
   score ~exp_id:"E3" ~vms ~cloud ~infection
     ~expected_flags:[ "IMAGE_DOS_HEADER" ]
 
-let exp4_dll_injection ?(vms = default_vms) ?(seed = 2012L) () =
-  let cloud = Cloud.create ~vms ~seed () in
+let exp4_dll_injection ?(vms = default_vms) ?(seed = 2012L) ?faults () =
+  let cloud = Cloud.create ~vms ~seed ?fault_spec:faults () in
   let* infection = Infect.dll_injection cloud ~vm:(min 9 (vms - 1)) in
   score ~exp_id:"E4" ~vms ~cloud ~infection
     ~expected_flags:
@@ -82,10 +92,11 @@ let exp4_dll_injection ?(vms = default_vms) ?(seed = 2012L) () =
         ".text";
       ]
 
-let ext_dkom_hiding ?(vms = default_vms) ?(seed = 2012L) () =
-  let cloud = Cloud.create ~vms ~seed () in
+let ext_dkom_hiding ?(vms = default_vms) ?(seed = 2012L) ?faults () =
+  let cloud = Cloud.create ~vms ~seed ?fault_spec:faults () in
   let* infection = Infect.hide_module cloud ~vm:2 ~module_name:"http.sys" in
-  let discrepancies = Orchestrator.compare_module_lists cloud in
+  let lc = Orchestrator.survey_module_lists cloud in
+  let discrepancies = lc.Orchestrator.lc_discrepancies in
   let hit =
     List.find_opt
       (fun d ->
@@ -107,23 +118,24 @@ let ext_dkom_hiding ?(vms = default_vms) ?(seed = 2012L) () =
       detected = hit <> None;
       flags_exact = hit <> None;
       clean_vm_ok = List.length discrepancies = 1;
+      degraded = lc.Orchestrator.lc_unreachable <> [];
       details = infection.Infect.details;
     }
 
-let ext_pointer_hook ?(vms = default_vms) ?(seed = 2012L) () =
-  let cloud = Cloud.create ~vms ~seed () in
+let ext_pointer_hook ?(vms = default_vms) ?(seed = 2012L) ?faults () =
+  let cloud = Cloud.create ~vms ~seed ?fault_spec:faults () in
   let* infection = Infect.pointer_hook cloud ~vm:(min 4 (vms - 1)) in
   (* The redirected slot is an .rdata mismatch no RVA adjustment can
      reconcile; the payload is a .text mismatch. *)
   score ~exp_id:"X-PTR" ~vms ~cloud ~infection
     ~expected_flags:[ ".rdata"; ".text" ]
 
-let run_all ?(vms = default_vms) ?(seed = 2012L) () =
+let run_all ?(vms = default_vms) ?(seed = 2012L) ?faults () =
   [
-    exp1_single_opcode ~vms ~seed ();
-    exp2_inline_hook ~vms ~seed ();
-    exp3_stub_modification ~vms ~seed ();
-    exp4_dll_injection ~vms ~seed ();
-    ext_dkom_hiding ~vms ~seed ();
-    ext_pointer_hook ~vms ~seed ();
+    exp1_single_opcode ~vms ~seed ?faults ();
+    exp2_inline_hook ~vms ~seed ?faults ();
+    exp3_stub_modification ~vms ~seed ?faults ();
+    exp4_dll_injection ~vms ~seed ?faults ();
+    ext_dkom_hiding ~vms ~seed ?faults ();
+    ext_pointer_hook ~vms ~seed ?faults ();
   ]

@@ -2,7 +2,14 @@
 
     Each experiment stages one infection technique on a fresh cloud, runs
     ModChecker against the infected VM and against a clean control VM, and
-    records which artifacts were flagged versus what the paper reports. *)
+    records which artifacts were flagged versus what the paper reports.
+
+    Every experiment takes an optional [faults] spec that arms the seeded
+    fault-injection plan on the cloud it builds (X9): with faults enabled
+    the same verdicts must emerge as long as quorum holds, and a check
+    that loses quorum reports [degraded] rather than pretending to a
+    detection or a miss. With [faults] omitted (or all-zero) the results
+    are bit-identical to the fault-free harness. *)
 
 type detection = {
   exp_id : string;  (** "E1".."E4", "X-DKOM". *)
@@ -12,28 +19,48 @@ type detection = {
   expected_flags : string list;
       (** Artifact names the paper reports mismatching. *)
   observed_flags : string list;
-  detected : bool;  (** The infected VM failed the majority vote. *)
+  detected : bool;
+      (** The infected VM's verdict is [Infected] (a quorum-backed failed
+          majority vote — never a degraded one). *)
   flags_exact : bool;  (** Observed set equals the expected set. *)
   clean_vm_ok : bool;  (** A clean VM still votes INTACT. *)
+  degraded : bool;
+      (** Some verdict in the experiment was [Degraded] (quorum lost to
+          injected faults) — an availability event, counted separately
+          from detection. *)
   details : string;
 }
 
-val exp1_single_opcode : ?vms:int -> ?seed:int64 -> unit -> (detection, string) result
+val exp1_single_opcode :
+  ?vms:int -> ?seed:int64 -> ?faults:Mc_memsim.Faultplan.spec -> unit ->
+  (detection, string) result
 
-val exp2_inline_hook : ?vms:int -> ?seed:int64 -> unit -> (detection, string) result
+val exp2_inline_hook :
+  ?vms:int -> ?seed:int64 -> ?faults:Mc_memsim.Faultplan.spec -> unit ->
+  (detection, string) result
 
 val exp3_stub_modification :
-  ?vms:int -> ?seed:int64 -> unit -> (detection, string) result
+  ?vms:int -> ?seed:int64 -> ?faults:Mc_memsim.Faultplan.spec -> unit ->
+  (detection, string) result
 
 val exp4_dll_injection :
-  ?vms:int -> ?seed:int64 -> unit -> (detection, string) result
+  ?vms:int -> ?seed:int64 -> ?faults:Mc_memsim.Faultplan.spec -> unit ->
+  (detection, string) result
 
-val ext_dkom_hiding : ?vms:int -> ?seed:int64 -> unit -> (detection, string) result
+val ext_dkom_hiding :
+  ?vms:int -> ?seed:int64 -> ?faults:Mc_memsim.Faultplan.spec -> unit ->
+  (detection, string) result
 (** Extension: module hidden by DKOM, caught by cross-VM module-list
-    comparison rather than by hashing. *)
+    comparison rather than by hashing. VMs whose list walk is lost to
+    faults are excluded from the discrepancy evidence (and set
+    [degraded]), never counted as "missing the module". *)
 
-val ext_pointer_hook : ?vms:int -> ?seed:int64 -> unit -> (detection, string) result
+val ext_pointer_hook :
+  ?vms:int -> ?seed:int64 -> ?faults:Mc_memsim.Faultplan.spec -> unit ->
+  (detection, string) result
 (** Extension: SSDT-style function-pointer redirection in read-only data;
     flags .rdata (the slot) and .text (the cave payload). *)
 
-val run_all : ?vms:int -> ?seed:int64 -> unit -> (detection, string) result list
+val run_all :
+  ?vms:int -> ?seed:int64 -> ?faults:Mc_memsim.Faultplan.spec -> unit ->
+  (detection, string) result list

@@ -31,9 +31,20 @@ let boot_vm ~fs ~module_alignment ~os_variant ~seed ~generation =
   | Ok k -> k
   | Error e -> failwith ("Cloud: VM boot failed: " ^ Kernel.error_to_string e)
 
+(* One plan per domain, salted by dom_id, so clones sharing a spec fault
+   on different pfns. *)
+let plan_for spec (dom : Dom.t) =
+  match spec with
+  | Some s when not (Mc_memsim.Faultplan.is_none s) ->
+      Some (Mc_memsim.Faultplan.create ~salt:dom.Dom.dom_id s)
+  | _ -> None
+
+let set_fault_spec t spec =
+  Array.iter (fun dom -> dom.Dom.faults <- plan_for spec dom) t.domus
+
 let create ?(vms = 15) ?(cores = 8) ?(module_alignment = Mc_winkernel.Layout.default_module_alignment)
     ?(extra_modules = []) ?(seed = 2012L)
-    ?(os_variant = Mc_winkernel.Layout.Xp_sp2) () =
+    ?(os_variant = Mc_winkernel.Layout.Xp_sp2) ?fault_spec () =
   let golden_fs = golden_filesystem ~extra_modules () in
   let dom0 = Dom.create ~dom_id:0 ~dom_name:"Domain-0" ~vcpus:2 None in
   let domus =
@@ -47,8 +58,12 @@ let create ?(vms = 15) ?(cores = 8) ?(module_alignment = Mc_winkernel.Layout.def
           ~dom_name:(Printf.sprintf "Dom%d" (i + 1))
           (Some kernel))
   in
-  { dom0; domus; cores; golden_fs; cloud_seed = seed; module_alignment;
-    os_variant }
+  let t =
+    { dom0; domus; cores; golden_fs; cloud_seed = seed; module_alignment;
+      os_variant }
+  in
+  set_fault_spec t fault_spec;
+  t
 
 let vm t i =
   if i < 0 || i >= Array.length t.domus then

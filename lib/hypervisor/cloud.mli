@@ -24,11 +24,18 @@ val create :
   ?extra_modules:string list ->
   ?seed:int64 ->
   ?os_variant:Mc_winkernel.Layout.os_variant ->
+  ?fault_spec:Mc_memsim.Faultplan.spec ->
   unit ->
   t
 (** [create ()] builds the testbed: default 15 DomUs ([Dom1]..[Dom15]) on
     8 cores, each cloning the golden filesystem and booting with a per-VM
-    seed (so module load bases differ across VMs, as in Fig. 4). *)
+    seed (so module load bases differ across VMs, as in Fig. 4).
+    [fault_spec] arms fault injection on every DomU (each gets the spec
+    salted with its dom id); omitted or all-zero means no injection. *)
+
+val set_fault_spec : t -> Mc_memsim.Faultplan.spec option -> unit
+(** [set_fault_spec t spec] re-arms (or, with [None] / an all-zero spec,
+    disarms) fault injection on every DomU. *)
 
 val vm : t -> int -> Dom.t
 (** [vm t i] is DomU index [i] (0-based). Raises [Invalid_argument] when

@@ -9,6 +9,7 @@ type t = {
   vm_session_s : float;
   hypercall_s : float;
   dirty_scan_pfn_s : float;
+  retry_backoff_s : float;
   bus_slowdown_per_busy_vm : float;
 }
 
@@ -24,5 +25,6 @@ let default =
     vm_session_s = 180e-6;
     hypercall_s = 30e-6;
     dirty_scan_pfn_s = 40e-9;
+    retry_backoff_s = 150e-6;
     bus_slowdown_per_busy_vm = 0.06;
   }

@@ -24,6 +24,9 @@ type t = {
   dirty_scan_pfn_s : float;
       (** Checking one pfn against the log-dirty bitmap / version table —
           the unit cost of an incremental sweep's staleness scan. *)
+  retry_backoff_s : float;
+      (** Backoff delay Dom0 spends before retrying a failed foreign-page
+          map (the failed map itself is priced as a normal page map). *)
   bus_slowdown_per_busy_vm : float;
       (** Fractional slowdown of memory-bound work per concurrently
           bus-hungry VM (saturating at the core count). *)

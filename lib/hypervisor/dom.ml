@@ -5,9 +5,10 @@ type t = {
   mutable workload : Mc_workload.Stress.t;
   mutable paused : bool;
   vcpus : int;
+  mutable faults : Mc_memsim.Faultplan.t option;
 }
 
-let create ~dom_id ~dom_name ?(vcpus = 1) kernel =
+let create ~dom_id ~dom_name ?(vcpus = 1) ?faults kernel =
   {
     dom_id;
     dom_name;
@@ -15,6 +16,7 @@ let create ~dom_id ~dom_name ?(vcpus = 1) kernel =
     workload = Mc_workload.Stress.idle;
     paused = false;
     vcpus;
+    faults;
   }
 
 let is_privileged t = t.dom_id = 0

@@ -10,10 +10,20 @@ type t = {
   mutable workload : Mc_workload.Stress.t;
   mutable paused : bool;
   vcpus : int;
+  mutable faults : Mc_memsim.Faultplan.t option;
+      (** When set, the hypervisor interface to this domain injects the
+          plan's failures ({!Xenctl.map_foreign_page} and pause/resume
+          consult it). [None] — the default — is the fault-free
+          behaviour, bit-identical to a plan with all rates zero. *)
 }
 
 val create :
-  dom_id:int -> dom_name:string -> ?vcpus:int -> Mc_winkernel.Kernel.t option -> t
+  dom_id:int ->
+  dom_name:string ->
+  ?vcpus:int ->
+  ?faults:Mc_memsim.Faultplan.t ->
+  Mc_winkernel.Kernel.t option ->
+  t
 
 val is_privileged : t -> bool
 

@@ -21,6 +21,7 @@ type counts = {
   mutable vm_sessions : int;
   mutable hypercalls : int;
   mutable pfns_checked : int;
+  mutable retry_backoffs : int;
 }
 
 let zero () =
@@ -35,6 +36,7 @@ let zero () =
     vm_sessions = 0;
     hypercalls = 0;
     pfns_checked = 0;
+    retry_backoffs = 0;
   }
 
 type t = {
@@ -57,7 +59,8 @@ let clear c =
   c.bytes_hashed <- 0;
   c.vm_sessions <- 0;
   c.hypercalls <- 0;
-  c.pfns_checked <- 0
+  c.pfns_checked <- 0;
+  c.retry_backoffs <- 0
 
 let reset t =
   clear t.searcher;
@@ -95,6 +98,9 @@ let add_hypercalls t n = (current t).hypercalls <- (current t).hypercalls + n
 
 let add_pfns_checked t n = (current t).pfns_checked <- (current t).pfns_checked + n
 
+let add_retry_backoffs t n =
+  (current t).retry_backoffs <- (current t).retry_backoffs + n
+
 let merge_counts dst src =
   dst.pages_mapped <- dst.pages_mapped + src.pages_mapped;
   dst.bytes_copied <- dst.bytes_copied + src.bytes_copied;
@@ -105,7 +111,8 @@ let merge_counts dst src =
   dst.bytes_hashed <- dst.bytes_hashed + src.bytes_hashed;
   dst.vm_sessions <- dst.vm_sessions + src.vm_sessions;
   dst.hypercalls <- dst.hypercalls + src.hypercalls;
-  dst.pfns_checked <- dst.pfns_checked + src.pfns_checked
+  dst.pfns_checked <- dst.pfns_checked + src.pfns_checked;
+  dst.retry_backoffs <- dst.retry_backoffs + src.retry_backoffs
 
 let merge dst src =
   merge_counts dst.searcher src.searcher;
@@ -124,6 +131,7 @@ let pairs k =
     ("vm_sessions", k.vm_sessions);
     ("hypercalls", k.hypercalls);
     ("pfns_checked", k.pfns_checked);
+    ("retry_backoffs", k.retry_backoffs);
   ]
 
 let cpu_seconds (c : Costs.t) k =
@@ -137,6 +145,7 @@ let cpu_seconds (c : Costs.t) k =
   +. (float_of_int k.vm_sessions *. c.vm_session_s)
   +. (float_of_int k.hypercalls *. c.hypercall_s)
   +. (float_of_int k.pfns_checked *. c.dirty_scan_pfn_s)
+  +. (float_of_int k.retry_backoffs *. c.retry_backoff_s)
 
 let total_cpu_seconds costs t =
   cpu_seconds costs t.searcher +. cpu_seconds costs t.parser

@@ -25,6 +25,7 @@ type counts = {
   mutable vm_sessions : int;
   mutable hypercalls : int;
   mutable pfns_checked : int;
+  mutable retry_backoffs : int;
 }
 
 type t
@@ -61,6 +62,9 @@ val add_vm_sessions : t -> int -> unit
 val add_hypercalls : t -> int -> unit
 
 val add_pfns_checked : t -> int -> unit
+
+val add_retry_backoffs : t -> int -> unit
+(** Count one priced backoff delay before a foreign-map retry. *)
 
 val merge : t -> t -> unit
 (** [merge dst src] adds every counter of [src] into [dst], phase by

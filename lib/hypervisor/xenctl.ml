@@ -1,18 +1,41 @@
 module Phys = Mc_memsim.Phys
+module Faultplan = Mc_memsim.Faultplan
 module Kernel = Mc_winkernel.Kernel
+
+exception Map_fault of { mf_pfn : int; mf_kind : Faultplan.kind }
+
+exception Pause_fault of { pf_dom : int }
 
 let get_vcpu_cr3 dom = Kernel.cr3 (Dom.kernel_exn dom)
 
-let pause (dom : Dom.t) = dom.paused <- true
+let check_pause (dom : Dom.t) =
+  match dom.faults with
+  | Some plan when Faultplan.pause_fails plan ->
+      raise (Pause_fault { pf_dom = dom.dom_id })
+  | _ -> ()
 
-let resume (dom : Dom.t) = dom.paused <- false
+let pause (dom : Dom.t) =
+  check_pause dom;
+  dom.paused <- true
+
+let resume (dom : Dom.t) =
+  check_pause dom;
+  dom.paused <- false
 
 let bump meter f = match meter with Some m -> f m | None -> ()
 
 let phys dom = Kernel.phys (Dom.kernel_exn dom)
 
-let map_foreign_page ?meter dom pfn =
+let map_foreign_page ?meter ?(attempt = 1) (dom : Dom.t) pfn =
+  (* A failed attempt still costs a page map: Dom0 issued the hypercall
+     and only then learned the mapping did not stick. *)
   bump meter (fun m -> Meter.add_pages_mapped m 1);
+  (match dom.faults with
+  | Some plan -> (
+      match Faultplan.map_outcome plan ~pfn ~attempt with
+      | Some kind -> raise (Map_fault { mf_pfn = pfn; mf_kind = kind })
+      | None -> ())
+  | None -> ());
   Phys.read_page (phys dom) pfn
 
 let read_foreign_pa ?meter dom paddr dst off len =

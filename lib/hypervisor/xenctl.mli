@@ -2,18 +2,30 @@
     libxc/xenctrl that libVMI needs: vCPU context access and foreign page
     mapping. All accesses are metered so the timing model can price them. *)
 
+exception Map_fault of { mf_pfn : int; mf_kind : Mc_memsim.Faultplan.kind }
+(** A foreign-page mapping failed per the domain's fault plan. The meter
+    was already charged for the attempt. *)
+
+exception Pause_fault of { pf_dom : int }
+(** A pause/unpause hypercall failed per the domain's fault plan; the
+    domain's run state is unchanged. *)
+
 val get_vcpu_cr3 : Dom.t -> int
 (** [get_vcpu_cr3 dom] is the guest's page-directory base, as read from the
     virtual CPU's control registers. *)
 
 val pause : Dom.t -> unit
+(** May raise {!Pause_fault} when the domain has a fault plan. *)
 
 val resume : Dom.t -> unit
+(** May raise {!Pause_fault} when the domain has a fault plan. *)
 
-val map_foreign_page : ?meter:Meter.t -> Dom.t -> int -> Bytes.t
+val map_foreign_page : ?meter:Meter.t -> ?attempt:int -> Dom.t -> int -> Bytes.t
 (** [map_foreign_page dom pfn] copies guest frame [pfn] into Dom0 (the
     simulation's equivalent of mapping it), bumping the meter's page
-    count. *)
+    count. When the domain carries a fault plan the map may raise
+    {!Map_fault}; [attempt] (1-based) identifies the retry so the plan
+    can decide each attempt independently yet deterministically. *)
 
 val read_foreign_pa :
   ?meter:Meter.t -> Dom.t -> int -> Bytes.t -> int -> int -> unit

@@ -1,0 +1,66 @@
+(** Deterministic, seeded fault injection for the hypervisor interface.
+
+    Real clouds do not answer every introspection request: foreign-page
+    mappings fail transiently under memory pressure, ballooned or
+    swapped guests leave frames unmappable, a guest writing mid-copy
+    tears the mapped snapshot, and pause hypercalls race domain state
+    changes. A fault plan injects those failure modes into the simulated
+    {!Phys}/Xenctl layer with per-kind probabilities.
+
+    Every decision is a pure hash of (seed, domain salt, fault kind,
+    pfn, attempt) — no hidden mutable stream — so the fault pattern is
+    independent of read order, page-cache behaviour, and parallel
+    scheduling, and a given (domain, pfn, attempt) always faults the
+    same way across runs. *)
+
+type spec = {
+  transient_rate : float;  (** Per-attempt map failure probability. *)
+  paged_out_rate : float;
+      (** Per-pfn probability the frame is persistently unmappable. *)
+  torn_rate : float;
+      (** Per-attempt probability the copy is torn by a concurrent guest
+          write (detected and surfaced as a failed map). *)
+  pause_fail_rate : float;  (** Per-call pause/unpause failure probability. *)
+  fault_seed : int;
+}
+
+val none : spec
+(** All rates zero — injects nothing. *)
+
+val is_none : spec -> bool
+
+val of_string : string -> (spec, string) result
+(** Parse a [--fault-spec] string: comma-separated [key=value] pairs with
+    keys [transient], [paged], [torn], [pause], [seed]; omitted keys are
+    zero. E.g. ["transient=0.05,paged=0.01,seed=7"]. Rates must lie in
+    [[0,1]]. *)
+
+val to_string : spec -> string
+(** Canonical [of_string]-parsable rendering. *)
+
+type kind = Transient | Paged_out | Torn
+
+val kind_name : kind -> string
+(** ["transient"], ["paged_out"], ["torn"] — telemetry counter suffixes. *)
+
+val retryable : kind -> bool
+(** Whether a retry of the same mapping can succeed ([Paged_out] cannot). *)
+
+type t
+(** A plan: a spec bound to one domain. *)
+
+val create : ?salt:int -> spec -> t
+(** [create ~salt spec] — [salt] (conventionally the domain id) decorrelates
+    fault patterns across domains sharing one spec. *)
+
+val spec : t -> spec
+
+val map_outcome : t -> pfn:int -> attempt:int -> kind option
+(** [map_outcome t ~pfn ~attempt] decides the fate of the [attempt]-th
+    mapping attempt (1-based) of frame [pfn]: [None] means the map
+    succeeds. Deterministic in its arguments. *)
+
+val pause_fails : t -> bool
+(** Whether the next pause/unpause hypercall fails. This is the one
+    sequenced decision (successive calls are distinct trials), so a
+    failed pause can succeed on retry. *)

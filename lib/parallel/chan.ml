@@ -1,19 +1,55 @@
-type 'a t = { queue : 'a Queue.t; mutex : Mutex.t; nonempty : Condition.t }
+type 'a t = {
+  queue : 'a Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+}
+
+exception Closed
 
 let create () =
-  { queue = Queue.create (); mutex = Mutex.create (); nonempty = Condition.create () }
+  {
+    queue = Queue.create ();
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    closed = false;
+  }
 
 let push t v =
   Mutex.lock t.mutex;
+  if t.closed then begin
+    Mutex.unlock t.mutex;
+    raise Closed
+  end;
   Queue.add v t.queue;
   Condition.signal t.nonempty;
   Mutex.unlock t.mutex
 
+(* Close wakes every blocked consumer; they drain what was pushed before
+   the close and then see [Closed]. *)
+let close t =
+  Mutex.lock t.mutex;
+  if not t.closed then begin
+    t.closed <- true;
+    Condition.broadcast t.nonempty
+  end;
+  Mutex.unlock t.mutex
+
+let is_closed t =
+  Mutex.lock t.mutex;
+  let b = t.closed in
+  Mutex.unlock t.mutex;
+  b
+
 let pop t =
   Mutex.lock t.mutex;
-  while Queue.is_empty t.queue do
+  while Queue.is_empty t.queue && not t.closed do
     Condition.wait t.nonempty t.mutex
   done;
+  if Queue.is_empty t.queue then begin
+    Mutex.unlock t.mutex;
+    raise Closed
+  end;
   let v = Queue.pop t.queue in
   Mutex.unlock t.mutex;
   v

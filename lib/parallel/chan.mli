@@ -1,17 +1,37 @@
 (** A blocking multi-producer multi-consumer queue built on
-    [Mutex]/[Condition], used by the domain pool. *)
+    [Mutex]/[Condition], used by the domain pool.
+
+    A channel can be {e closed}: producers fail fast instead of
+    enqueueing into a queue nobody will drain, and consumers drain the
+    remaining elements and then fail instead of blocking forever. This
+    is what lets {!Pool.shutdown} race safely against concurrent
+    {!Pool.run} calls. *)
 
 type 'a t
+
+exception Closed
+(** Raised by {!push} on a closed channel, and by {!pop} once a closed
+    channel is drained. *)
 
 val create : unit -> 'a t
 
 val push : 'a t -> 'a -> unit
-(** [push t v] enqueues and wakes one waiting consumer. *)
+(** [push t v] enqueues and wakes one waiting consumer.
+    @raise Closed if the channel is closed — nothing is enqueued. *)
 
 val pop : 'a t -> 'a
-(** [pop t] blocks until an element is available. *)
+(** [pop t] blocks until an element is available.
+    @raise Closed if the channel is closed and empty (elements pushed
+    before the close are still delivered). *)
 
 val try_pop : 'a t -> 'a option
-(** [try_pop t] is non-blocking. *)
+(** [try_pop t] is non-blocking; [None] on an empty channel, closed or
+    not. *)
+
+val close : 'a t -> unit
+(** [close t] marks the channel closed and wakes every blocked consumer.
+    Idempotent. *)
+
+val is_closed : 'a t -> bool
 
 val length : 'a t -> int

@@ -1,7 +1,5 @@
-type task = Task of (unit -> unit) | Stop
-
 type t = {
-  tasks : task Chan.t;
+  tasks : (unit -> unit) Chan.t;
   workers : unit Domain.t array;
   mutable alive : bool;
 }
@@ -9,10 +7,10 @@ type t = {
 let worker_loop tasks =
   let rec loop () =
     match Chan.pop tasks with
-    | Stop -> ()
-    | Task f ->
+    | f ->
         f ();
         loop ()
+    | exception Chan.Closed -> ()
   in
   loop ()
 
@@ -24,38 +22,58 @@ let create n =
 
 let size t = Array.length t.workers
 
+let shut_down_exn = Invalid_argument "Pool.run: pool is shut down"
+
 let run t task =
-  if not t.alive then invalid_arg "Pool.run: pool is shut down";
+  if not t.alive then raise shut_down_exn;
   let d = Deferred.create () in
   (* Telemetry: time-in-queue and time-on-worker histograms. The enqueue
      timestamp is taken here (submitter side) so queue wait includes the
      channel handoff. *)
   let observed = Mc_telemetry.Registry.enabled () in
   let enqueued = if observed then Mc_telemetry.Clock.wall () else 0.0 in
-  Chan.push t.tasks
-    (Task
-       (fun () ->
-         let started =
-           if observed then begin
-             let now = Mc_telemetry.Clock.wall () in
-             Mc_telemetry.Registry.observe "pool.queue_wait_s" (now -. enqueued);
-             now
-           end
-           else 0.0
-         in
-         let r =
-           try Ok (task ())
-           with e -> Error (e, Printexc.get_raw_backtrace ())
-         in
-         if observed then begin
-           Mc_telemetry.Registry.observe "pool.task_run_s"
-             (Mc_telemetry.Clock.wall () -. started);
-           Mc_telemetry.Registry.add "pool.tasks" 1;
-           if Result.is_error r then Mc_telemetry.Registry.add "pool.task_errors" 1
-         end;
-         match r with
-         | Ok v -> Deferred.fill d (Ok v)
-         | Error (e, bt) -> Deferred.fill_error d e bt));
+  let work () =
+    (* A deadline may have poisoned the deferred while the task sat in
+       the queue; its result is already decided, so skip the work. *)
+    if Deferred.is_filled d then begin
+      if observed then Mc_telemetry.Registry.add "pool.tasks_cancelled" 1
+    end
+    else begin
+      let started =
+        if observed then begin
+          let now = Mc_telemetry.Clock.wall () in
+          Mc_telemetry.Registry.observe "pool.queue_wait_s" (now -. enqueued);
+          now
+        end
+        else 0.0
+      in
+      let r =
+        try Ok (task ())
+        with e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      if observed then begin
+        Mc_telemetry.Registry.observe "pool.task_run_s"
+          (Mc_telemetry.Clock.wall () -. started);
+        Mc_telemetry.Registry.add "pool.tasks" 1;
+        if Result.is_error r then Mc_telemetry.Registry.add "pool.task_errors" 1
+      end;
+      let filled =
+        match r with
+        | Ok v -> Deferred.try_fill d (Ok v)
+        | Error (e, bt) -> Deferred.try_fill_error d e bt
+      in
+      (* The await already timed out and moved on; the result is dropped. *)
+      if (not filled) && observed then
+        Mc_telemetry.Registry.add "pool.tasks_orphaned" 1
+    end
+  in
+  (* [alive] above is only a fast path: a concurrent [shutdown] may close
+     the channel between the check and this push. The closed channel
+     refuses the task, and the deferred is filled with the error so
+     [await] fails fast instead of hanging on a task no worker will ever
+     run. *)
+  (try Chan.push t.tasks work
+   with Chan.Closed -> ignore (Deferred.try_fill d (Error shut_down_exn)));
   d
 
 let parallel_map t f xs =
@@ -74,10 +92,24 @@ let parallel_map t f xs =
       | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
     results
 
+let parallel_map_timeout t ~timeout_s f xs =
+  let handles = List.map (fun x -> run t (fun () -> f x)) xs in
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  List.map
+    (fun d ->
+      let remaining = Float.max 0.0 (deadline -. Unix.gettimeofday ()) in
+      match Deferred.await_timeout d remaining with
+      | Some v -> Ok v
+      | None ->
+          Mc_telemetry.Registry.add "pool.tasks_timed_out" 1;
+          Error Deferred.Timed_out
+      | exception e -> Error e)
+    handles
+
 let shutdown t =
   if t.alive then begin
     t.alive <- false;
-    Array.iter (fun _ -> Chan.push t.tasks Stop) t.workers;
+    Chan.close t.tasks;
     Array.iter Domain.join t.workers
   end
 

@@ -14,7 +14,10 @@ val create : int -> t
 val size : t -> int
 
 val run : t -> (unit -> 'a) -> 'a Deferred.t
-(** [run t task] schedules [task] and returns a handle to await. *)
+(** [run t task] schedules [task] and returns a handle to await. On a
+    pool that is shut down (or shuts down concurrently), the handle is
+    filled with [Invalid_argument] — awaiting it fails fast, it can
+    never hang on a task no worker will run. *)
 
 val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** [parallel_map t f xs] applies [f] to every element on the pool,
@@ -22,8 +25,19 @@ val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list
     caller (after all tasks settle). Safe to call from one caller at a
     time per pool. *)
 
+val parallel_map_timeout :
+  t -> timeout_s:float -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** [parallel_map_timeout t ~timeout_s f xs] is {!parallel_map} with a
+    batch deadline: every element's result must arrive within
+    [timeout_s] seconds of the call. An element whose task misses the
+    deadline yields [Error Deferred.Timed_out] (its deferred is poisoned,
+    so a late result is discarded and the task is skipped if still
+    queued); an element whose task raised yields that exception as
+    [Error]. Order is preserved; the call itself never raises. *)
+
 val shutdown : t -> unit
-(** [shutdown t] joins all workers; the pool is unusable afterwards.
+(** [shutdown t] closes the task channel and joins all workers (queued
+    tasks are drained first); the pool is unusable afterwards.
     Idempotent. *)
 
 val with_pool : int -> (t -> 'a) -> 'a

@@ -21,39 +21,113 @@ type t = {
   touched : (int, int) Hashtbl.t;
       (** pfn → version observed when this session read it; the session's
           read footprint. *)
+  max_attempts : int;
 }
 
 exception Invalid_address of int
 
+exception
+  Fault of {
+    f_vm : int;
+    f_pfn : int;
+    f_kind : Mc_memsim.Faultplan.kind;
+    f_attempts : int;
+  }
+
+let fault_message = function
+  | Fault f ->
+      Printf.sprintf "%s fault on pfn 0x%x of Dom%d after %d attempt(s)"
+        (Mc_memsim.Faultplan.kind_name f.f_kind)
+        f.f_pfn (f.f_vm + 1) f.f_attempts
+  | e -> Printexc.to_string e
+
 let page = Phys.frame_size
+
+let default_max_attempts = 6
 
 (* Registry counters alongside the per-phase meter: the meter is scoped to
    one checking job, these accumulate across the whole process run. *)
 let tadd = Mc_telemetry.Registry.add
 
-let init ?meter ?cache dom profile =
+let init ?meter ?cache ?(max_attempts = default_max_attempts) dom profile =
+  if max_attempts < 1 then invalid_arg "Vmi.init: max_attempts must be >= 1";
   (match meter with Some m -> Meter.add_vm_sessions m 1 | None -> ());
   tadd "vmi.sessions" 1;
   let cache = match cache with Some c -> c | None -> create_cache () in
-  { t_dom = dom; profile; meter; cache; touched = Hashtbl.create 64 }
+  { t_dom = dom; profile; meter; cache; touched = Hashtbl.create 64;
+    max_attempts }
 
 let dom t = t.t_dom
 
-let pause t = Xenctl.pause t.t_dom
+(* Pause/unpause hypercalls can fail under a fault plan; they are cheap
+   control-plane calls, so retry in place (successive calls are distinct
+   trials of the plan's sequenced decision). *)
+let retrying_pause_op t op =
+  let rec go attempt =
+    match op t.t_dom with
+    | () -> ()
+    | exception (Xenctl.Pause_fault _ as e) ->
+        tadd "vmi.faults.pause" 1;
+        if attempt >= t.max_attempts then raise e
+        else begin
+          (match t.meter with
+          | Some m -> Meter.add_retry_backoffs m 1
+          | None -> ());
+          tadd "vmi.retries" 1;
+          go (attempt + 1)
+        end
+  in
+  go 1
+
+let pause t = retrying_pause_op t Xenctl.pause
 
 let flush_cache t = Hashtbl.reset t.cache
 
 let resume t =
-  Xenctl.resume t.t_dom;
+  retrying_pause_op t Xenctl.resume;
   (* Belt and braces: version checks would catch stale entries anyway, but
      after the guest runs freely nothing cached is worth trusting. *)
   flush_cache t
 
 let read_ksym t name = Symbols.lookup_exn t.profile name
 
+(* Map with bounded retry: transient failures and torn copies may succeed
+   on the next attempt (each attempt is an independent, deterministic
+   trial of the fault plan), a paged-out frame never will. Every retry
+   is priced as a backoff plus the repeated map; a session that exhausts
+   its attempts surfaces a typed [Fault] so the orchestrator can count
+   the VM as unreachable instead of silently dropping it. *)
+let map_with_retry t pfn =
+  let rec go attempt =
+    match Xenctl.map_foreign_page ?meter:t.meter ~attempt t.t_dom pfn with
+    | data -> data
+    | exception Xenctl.Map_fault { mf_kind; _ } ->
+        tadd ("vmi.faults." ^ Mc_memsim.Faultplan.kind_name mf_kind) 1;
+        if Mc_memsim.Faultplan.retryable mf_kind && attempt < t.max_attempts
+        then begin
+          (match t.meter with
+          | Some m -> Meter.add_retry_backoffs m 1
+          | None -> ());
+          tadd "vmi.retries" 1;
+          go (attempt + 1)
+        end
+        else begin
+          tadd "vmi.fault_aborts" 1;
+          raise
+            (Fault
+               {
+                 f_vm = t.t_dom.Dom.dom_id - 1;
+                 f_pfn = pfn;
+                 f_kind = mf_kind;
+                 f_attempts = attempt;
+               })
+        end
+  in
+  go 1
+
 let mapped_page t pfn =
   let remap () =
-    let data = Xenctl.map_foreign_page ?meter:t.meter t.t_dom pfn in
+    let data = map_with_retry t pfn in
     tadd "vmi.pages_mapped" 1;
     let epoch = Xenctl.memory_epoch t.t_dom in
     let ver = Xenctl.page_version t.t_dom pfn in

@@ -23,15 +23,39 @@ val create_cache : unit -> page_cache
 exception Invalid_address of int
 (** Raised with the guest VA whose translation failed. *)
 
+exception
+  Fault of {
+    f_vm : int;  (** 0-based DomU index. *)
+    f_pfn : int;
+    f_kind : Mc_memsim.Faultplan.kind;
+    f_attempts : int;  (** Map attempts made, including the failed last. *)
+  }
+(** An introspection read could not complete: the frame is paged out, or
+    transient/torn failures persisted through every retry. The session's
+    partial reads must not be trusted (nor cached) — the orchestrator
+    counts the VM as unreachable for this check. *)
+
+val fault_message : exn -> string
+(** Human-readable rendering of a {!Fault} (falls back to
+    [Printexc.to_string] for other exceptions). *)
+
+val default_max_attempts : int
+(** Mapping attempts per page before a retryable fault aborts the read
+    (6: at a 5 % transient rate the per-page abort probability is
+    [0.05^6 ≈ 1.6e-8]). *)
+
 val init :
   ?meter:Mc_hypervisor.Meter.t ->
   ?cache:page_cache ->
+  ?max_attempts:int ->
   Mc_hypervisor.Dom.t ->
   Symbols.profile ->
   t
 (** [init dom profile] opens an introspection session (metered as one VM
     session). [?cache] substitutes a shared page cache for the default
-    fresh per-session one. *)
+    fresh per-session one. [?max_attempts] (default
+    {!default_max_attempts}, must be ≥ 1) bounds mapping retries; each
+    retry is priced as one backoff plus the repeated map. *)
 
 val dom : t -> Mc_hypervisor.Dom.t
 

@@ -174,6 +174,222 @@ let test_survey_with_one_corrupt_vm () =
   Alcotest.(check bool) "no clean VM blamed" true
     (List.for_all (fun v -> v = 3) s.Modchecker.Report.deviant_vms)
 
+(* --- injected fault plans: determinism, retries, quorum ------------------ *)
+
+module Faultplan = Mc_memsim.Faultplan
+module Report = Modchecker.Report
+module Patrol = Modchecker.Patrol
+
+let test_plan_parse_roundtrip () =
+  match Faultplan.of_string "transient=0.05,paged=0.01,torn=0.02,seed=7" with
+  | Error e -> Alcotest.fail e
+  | Ok spec ->
+      check (Alcotest.float 1e-9) "transient" 0.05 spec.Faultplan.transient_rate;
+      check (Alcotest.float 1e-9) "paged" 0.01 spec.Faultplan.paged_out_rate;
+      check (Alcotest.float 1e-9) "torn" 0.02 spec.Faultplan.torn_rate;
+      check Alcotest.int "seed" 7 spec.Faultplan.fault_seed;
+      (match Faultplan.of_string (Faultplan.to_string spec) with
+      | Ok spec2 -> Alcotest.(check bool) "roundtrip" true (spec = spec2)
+      | Error e -> Alcotest.fail e)
+
+let test_plan_rejects_garbage () =
+  let bad s = Alcotest.(check bool) s true
+      (Result.is_error (Faultplan.of_string s))
+  in
+  bad "transient=1.5";
+  bad "transient=-0.1";
+  bad "bogus=0.1";
+  bad "transient=abc"
+
+let test_plan_deterministic () =
+  let spec =
+    { Faultplan.none with Faultplan.transient_rate = 0.3; fault_seed = 5 }
+  in
+  let p1 = Faultplan.create ~salt:1 spec in
+  let p2 = Faultplan.create ~salt:1 spec in
+  let same = ref true and cross_differs = ref false in
+  let p3 = Faultplan.create ~salt:2 spec in
+  for pfn = 0 to 499 do
+    for attempt = 1 to 3 do
+      if
+        Faultplan.map_outcome p1 ~pfn ~attempt
+        <> Faultplan.map_outcome p2 ~pfn ~attempt
+      then same := false
+    done;
+    if
+      Faultplan.map_outcome p1 ~pfn ~attempt:1
+      <> Faultplan.map_outcome p3 ~pfn ~attempt:1
+    then cross_differs := true
+  done;
+  Alcotest.(check bool) "same salt, same decisions" true !same;
+  Alcotest.(check bool) "different salts decorrelate" true !cross_differs
+
+let test_transient_faults_absorbed_by_retries () =
+  (* 10% per-attempt transient failures: every read succeeds within the
+     retry budget, so the verdict is exactly the fault-free one. *)
+  let spec =
+    { Faultplan.none with Faultplan.transient_rate = 0.1; fault_seed = 3 }
+  in
+  let cloud = Cloud.create ~vms:4 ~seed:610L ~fault_spec:spec () in
+  match Orchestrator.check_module cloud ~target_vm:0 ~module_name:"hal.dll" with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      Alcotest.(check bool) "verdict intact" true
+        (o.report.Report.verdict = Report.Intact);
+      check Alcotest.int "everyone answered" o.report.Report.surveyed
+        o.report.Report.responded
+
+let all_paged_out =
+  { Faultplan.none with Faultplan.paged_out_rate = 1.0; fault_seed = 1 }
+
+(* Arm a fault plan on a single DomU (the cloud-wide knob sets all). *)
+let poison_vm cloud vm =
+  let dom = Cloud.vm cloud vm in
+  dom.Dom.faults <-
+    Some (Faultplan.create ~salt:dom.Dom.dom_id all_paged_out)
+
+let test_unreachable_vm_excluded_from_vote () =
+  let cloud = Cloud.create ~vms:5 ~seed:611L () in
+  poison_vm cloud 2;
+  match Orchestrator.check_module cloud ~target_vm:0 ~module_name:"hal.dll" with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      Alcotest.(check bool) "still intact" true
+        (o.report.Report.verdict = Report.Intact);
+      check Alcotest.int "surveyed" 4 o.report.Report.surveyed;
+      check Alcotest.int "responded" 3 o.report.Report.responded;
+      check Alcotest.int "voted" 3 o.report.Report.voted;
+      (match o.report.Report.unreachable with
+      | [ (2, reason) ] ->
+          Alcotest.(check bool)
+            (Printf.sprintf "reason names the fault: %s" reason)
+            true
+            (String.length reason > 0)
+      | _ -> Alcotest.fail "expected exactly Dom3 unreachable")
+
+let test_quorum_loss_degrades_not_infects () =
+  (* An infected target with most comparison VMs unreachable: the verdict
+     must be Degraded — the availability failure may not be read as (or
+     hide behind) an integrity one. *)
+  let cloud = Cloud.create ~vms:5 ~seed:612L () in
+  (match Mc_malware.Infect.inline_hook cloud ~vm:0 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  List.iter (poison_vm cloud) [ 1; 2; 3 ];
+  match Orchestrator.check_module cloud ~target_vm:0 ~module_name:"hal.dll" with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      (match o.report.Report.verdict with
+      | Report.Degraded _ -> ()
+      | Report.Intact -> Alcotest.fail "1/4 responses may not claim INTACT"
+      | Report.Infected ->
+          Alcotest.fail "1/4 responses may not claim SUSPICIOUS");
+      check Alcotest.int "responded" 1 o.report.Report.responded;
+      Alcotest.(check bool) "string verdict says DEGRADED" true
+        (String.length (Report.verdict_string o.report) > 0
+        && String.sub (Report.verdict_string o.report) 0 8 = "DEGRADED")
+
+let test_survey_quorum_loss () =
+  let cloud = Cloud.create ~vms:5 ~seed:613L () in
+  List.iter (poison_vm cloud) [ 0; 1; 2; 3 ];
+  let s = Orchestrator.survey cloud ~module_name:"hal.dll" in
+  check Alcotest.int "unreachable count" 4
+    (List.length s.Report.unreachable_on);
+  Alcotest.(check bool) "degraded" true
+    (match s.Report.s_verdict with Report.Degraded _ -> true | _ -> false);
+  (* The unreachable VMs are not reported missing: no answer is not
+     evidence of absence. *)
+  check Alcotest.(list int) "missing_on empty" [] s.Report.missing_on;
+  check Alcotest.(list int) "no deviants" [] s.Report.deviant_vms
+
+let test_patrol_raises_quorum_loss_only () =
+  let cloud = Cloud.create ~vms:5 ~seed:614L () in
+  (* Infect one VM *and* cripple the pool: patrol must raise the quorum
+     alarm and keep every integrity alarm suppressed for that sweep. *)
+  (match Mc_malware.Infect.inline_hook cloud ~vm:1 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  List.iter (poison_vm cloud) [ 2; 3; 4 ];
+  let config =
+    { Patrol.default_config with Patrol.watch = [ "hal.dll" ]; interval_s = 30.0 }
+  in
+  let o = Patrol.run ~config cloud ~until:40.0 in
+  Alcotest.(check bool) "alarms raised" true (o.Patrol.alarms <> []);
+  List.iter
+    (fun a ->
+      match a.Patrol.kind with
+      | Patrol.Quorum_loss -> ()
+      | k ->
+          Alcotest.fail
+            (Printf.sprintf "unexpected integrity alarm under quorum loss: %s"
+               (Patrol.alarm_kind_string k)))
+    o.Patrol.alarms
+
+(* --- satellite: loud reloc-catalog fallback ------------------------------ *)
+
+let counter name =
+  Mc_telemetry.Metric.counter_value (Mc_telemetry.Registry.counter name)
+
+let test_reloc_fallback_is_loud () =
+  (* The catalog synthesizes an image for any name, so break the parse
+     path for real: corrupt the cached image of a probe module (smash the
+     MZ magic) and ask for its relocs. The old code swallowed this into a
+     silent []; now it must still return [] but warn and count. *)
+  let built = Mc_pe.Catalog.image "reloc_fallback_probe.sys" in
+  Bytes.fill built.Mc_pe.Catalog.file 0 64 '\x00';
+  let was = Mc_telemetry.Registry.enabled () in
+  Mc_telemetry.Registry.set_enabled true;
+  let before = counter "digest.reloc_fallbacks" in
+  check Alcotest.(list int) "unparsable module yields no relocs" []
+    (Orchestrator.module_relocs "reloc_fallback_probe.sys");
+  let after = counter "digest.reloc_fallbacks" in
+  Mc_telemetry.Registry.set_enabled was;
+  Alcotest.(check bool) "fallback counted" true (after > before);
+  (* The golden path must not touch the counter. *)
+  Mc_telemetry.Registry.set_enabled true;
+  let before = counter "digest.reloc_fallbacks" in
+  Alcotest.(check bool) "hal.dll has relocs" true
+    (Orchestrator.module_relocs "hal.dll" <> []);
+  let after = counter "digest.reloc_fallbacks" in
+  Mc_telemetry.Registry.set_enabled was;
+  check Alcotest.int "no fallback on catalog module" before after
+
+(* --- satellite: absent comparison VMs are visible in the report ---------- *)
+
+let test_hidden_module_on_comparison_vm_reported () =
+  let cloud = Cloud.create ~vms:4 ~seed:615L () in
+  (* Hide http.sys on a *comparison* VM; the target's report must show
+     the absence as a failed comparison, not silently shrink the vote. *)
+  (match Mc_malware.Infect.hide_module cloud ~vm:2 ~module_name:"http.sys" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  match
+    Orchestrator.check_module cloud ~target_vm:0 ~module_name:"http.sys"
+  with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      check Alcotest.int "all three comparisons present" 3
+        (List.length o.report.Report.comparisons);
+      check Alcotest.int "absence answered, so everyone responded" 3
+        o.report.Report.responded;
+      check Alcotest.int "two matches" 2 o.report.Report.matches;
+      Alcotest.(check bool) "majority still carries the target" true
+        (o.report.Report.verdict = Report.Intact);
+      let absent_cmp =
+        List.find_opt
+          (fun c -> c.Report.other_vm = 2)
+          o.report.Report.comparisons
+      in
+      (match absent_cmp with
+      | None -> Alcotest.fail "Dom3's comparison missing from the report"
+      | Some c ->
+          Alcotest.(check bool) "its comparison failed" false
+            c.Report.result.Modchecker.Checker.all_match;
+          Alcotest.(check bool) "digests say (absent)" true
+            (List.for_all
+               (fun v -> v.Modchecker.Checker.av_digest2 = "(absent)")
+               c.Report.result.Modchecker.Checker.verdicts))
+
 let () =
   Alcotest.run "faults"
     [
@@ -199,5 +415,31 @@ let () =
             test_name_buffer_unmapped;
           Alcotest.test_case "survey with corrupt VM" `Quick
             test_survey_with_one_corrupt_vm;
+        ] );
+      ( "fault plan",
+        [
+          Alcotest.test_case "parse roundtrip" `Quick test_plan_parse_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_plan_rejects_garbage;
+          Alcotest.test_case "deterministic" `Quick test_plan_deterministic;
+        ] );
+      ( "retries and quorum",
+        [
+          Alcotest.test_case "transient absorbed" `Quick
+            test_transient_faults_absorbed_by_retries;
+          Alcotest.test_case "unreachable excluded" `Quick
+            test_unreachable_vm_excluded_from_vote;
+          Alcotest.test_case "quorum loss degrades" `Quick
+            test_quorum_loss_degrades_not_infects;
+          Alcotest.test_case "survey quorum loss" `Quick
+            test_survey_quorum_loss;
+          Alcotest.test_case "patrol quorum alarm" `Quick
+            test_patrol_raises_quorum_loss_only;
+        ] );
+      ( "loud fallbacks",
+        [
+          Alcotest.test_case "reloc fallback counted" `Quick
+            test_reloc_fallback_is_loud;
+          Alcotest.test_case "hidden module reported" `Quick
+            test_hidden_module_on_comparison_vm_reported;
         ] );
     ]

@@ -97,6 +97,96 @@ let test_pool_heavy_tasks () =
       in
       Alcotest.(check bool) "all 32" true (List.for_all (fun n -> n = 32) results))
 
+let test_chan_close () =
+  let c = Chan.create () in
+  Chan.push c 1;
+  Chan.push c 2;
+  Chan.close c;
+  Alcotest.(check bool) "is_closed" true (Chan.is_closed c);
+  Alcotest.check_raises "push after close" Chan.Closed (fun () ->
+      Chan.push c 3);
+  (* Queued elements drain before the closure is observed... *)
+  check Alcotest.int "drain 1" 1 (Chan.pop c);
+  check Alcotest.int "drain 2" 2 (Chan.pop c);
+  (* ...then pop fails fast instead of blocking forever. *)
+  Alcotest.check_raises "pop after drain" Chan.Closed (fun () ->
+      ignore (Chan.pop c));
+  check Alcotest.(option int) "try_pop after drain" None (Chan.try_pop c);
+  Chan.close c (* idempotent *)
+
+let test_deferred_timeout () =
+  let d = Deferred.create () in
+  check Alcotest.(option int) "empty cell times out" None
+    (Deferred.await_timeout d 0.05);
+  (* The timeout poisoned the cell: a late fill is discarded... *)
+  Alcotest.(check bool) "late fill discarded" false (Deferred.try_fill d (Ok 1));
+  (* ...and a plain await sees the poison rather than hanging. *)
+  Alcotest.check_raises "await raises Timed_out" Deferred.Timed_out (fun () ->
+      ignore (Deferred.await d));
+  let f = Deferred.create () in
+  Deferred.fill f (Ok 9);
+  check
+    Alcotest.(option int)
+    "filled cell returns promptly" (Some 9)
+    (Deferred.await_timeout f 0.05)
+
+(* Regression: [Pool.run] used to check [alive], then push — a shutdown
+   between the two left the task unqueued and its deferred unfilled, so
+   awaiting it hung forever. Now a run racing shutdown either executes or
+   fails fast with the shut-down exception; the deferred always settles. *)
+let test_pool_shutdown_run_race () =
+  for _round = 1 to 25 do
+    let pool = Pool.create 2 in
+    let go = Atomic.make false in
+    let submitter =
+      Domain.spawn (fun () ->
+          while not (Atomic.get go) do
+            Domain.cpu_relax ()
+          done;
+          let ds = ref [] in
+          (try
+             for i = 1 to 200 do
+               ds := Pool.run pool (fun () -> i) :: !ds
+             done
+           with Invalid_argument _ -> ());
+          !ds)
+    in
+    Atomic.set go true;
+    Pool.shutdown pool;
+    let ds = Domain.join submitter in
+    List.iter
+      (fun d ->
+        match Deferred.await_timeout d 5.0 with
+        | Some _ -> ()
+        | None -> Alcotest.fail "shutdown race left a deferred unfilled"
+        | exception Invalid_argument _ -> ())
+      ds
+  done
+
+let test_parallel_map_timeout () =
+  Pool.with_pool 2 (fun pool ->
+      let rs =
+        Pool.parallel_map_timeout pool ~timeout_s:0.15
+          (fun x ->
+            if x = 2 then Unix.sleepf 0.6;
+            x * 10)
+          [ 1; 2; 3 ]
+      in
+      match rs with
+      | [ Ok 10; Error Deferred.Timed_out; Ok 30 ] -> ()
+      | _ -> Alcotest.fail "expected the slow element (only) to time out")
+
+let test_parallel_map_timeout_errors () =
+  Pool.with_pool 2 (fun pool ->
+      let rs =
+        Pool.parallel_map_timeout pool ~timeout_s:5.0
+          (fun x -> if x = 1 then raise Exit else x)
+          [ 1; 2 ]
+      in
+      match rs with
+      | [ Error Exit; Ok 2 ] -> ()
+      | _ -> Alcotest.fail "expected Error Exit then Ok 2")
+
 exception Task_boom
 
 (* Kept non-tail-recursive so the task leaves identifiable frames. *)
@@ -128,11 +218,13 @@ let () =
         [
           Alcotest.test_case "fifo" `Quick test_chan_fifo;
           Alcotest.test_case "cross-domain" `Quick test_chan_cross_domain;
+          Alcotest.test_case "close semantics" `Quick test_chan_close;
         ] );
       ( "deferred",
         [
           Alcotest.test_case "fill/await" `Quick test_deferred;
           Alcotest.test_case "error" `Quick test_deferred_error;
+          Alcotest.test_case "timeout poisons" `Quick test_deferred_timeout;
         ] );
       ( "pool",
         [
@@ -142,6 +234,11 @@ let () =
             test_pool_parallel_map_exception;
           Alcotest.test_case "error backtrace" `Quick test_pool_error_backtrace;
           Alcotest.test_case "shutdown" `Quick test_pool_shutdown_idempotent;
+          Alcotest.test_case "shutdown/run race" `Quick
+            test_pool_shutdown_run_race;
+          Alcotest.test_case "map timeout" `Quick test_parallel_map_timeout;
+          Alcotest.test_case "map timeout errors" `Quick
+            test_parallel_map_timeout_errors;
           Alcotest.test_case "create invalid" `Quick test_pool_create_invalid;
           Alcotest.test_case "heavy tasks" `Quick test_pool_heavy_tasks;
         ] );

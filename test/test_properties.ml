@@ -148,6 +148,66 @@ let prop_infection_detected =
           | Ok o -> not o.Orchestrator.report.Report.majority_ok
           | Error _ -> false))
 
+(* --- Fault plans: rate 0 is invisible, nonzero rates are absorbed ---------- *)
+
+let prop_zero_rate_bit_identical =
+  QCheck.Test.make ~count:6 ~name:"all-zero fault plan is bit-identical"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      (* A fault plan whose rates are all zero (any fault seed) must not
+         perturb a single byte of the reports. *)
+      let zero =
+        { Mc_memsim.Faultplan.none with Mc_memsim.Faultplan.fault_seed = seed }
+      in
+      let c1 = Cloud.create ~vms:3 ~seed:(Int64.of_int seed) () in
+      let c2 =
+        Cloud.create ~vms:3 ~seed:(Int64.of_int seed) ~fault_spec:zero ()
+      in
+      let survey_json c =
+        Mc_util.Json.to_string_pretty
+          (Report.survey_to_json (Orchestrator.survey c ~module_name:"hal.dll"))
+      in
+      let check_json c =
+        match
+          Orchestrator.check_module c ~target_vm:0 ~module_name:"disk.sys"
+        with
+        | Ok o ->
+            Mc_util.Json.to_string_pretty (Report.to_json o.Orchestrator.report)
+        | Error e -> "error: " ^ e
+      in
+      survey_json c1 = survey_json c2 && check_json c1 = check_json c2)
+
+let prop_detection_under_transient_faults =
+  QCheck.Test.make ~count:6 ~name:"hook detected under 5% transient faults"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let faults =
+        {
+          Mc_memsim.Faultplan.none with
+          Mc_memsim.Faultplan.transient_rate = 0.05;
+          fault_seed = seed;
+        }
+      in
+      (* 4 VMs: the clean control check still carries a 2-of-3 majority
+         with one infected comparison VM in the pool. *)
+      let cloud =
+        Cloud.create ~vms:4 ~seed:(Int64.of_int seed) ~fault_spec:faults ()
+      in
+      match Mc_malware.Infect.inline_hook cloud ~vm:1 with
+      | Error _ -> false
+      | Ok _ ->
+          (match
+             Orchestrator.check_module cloud ~target_vm:1 ~module_name:"hal.dll"
+           with
+          | Ok o -> o.Orchestrator.report.Report.verdict = Report.Infected
+          | Error _ -> false)
+          && (
+          match
+            Orchestrator.check_module cloud ~target_vm:0 ~module_name:"hal.dll"
+          with
+          | Ok o -> o.Orchestrator.report.Report.verdict = Report.Intact
+          | Error _ -> false))
+
 (* --- Canonicalization is idempotent ---------------------------------------- *)
 
 let prop_canonicalize_idempotent =
@@ -243,6 +303,11 @@ let () =
           [
             prop_clean_pool_intact; prop_infection_detected;
             prop_searcher_agrees_with_guest;
+          ] );
+      ( "faults",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_zero_rate_bit_identical; prop_detection_under_transient_faults;
           ] );
       ( "canonical",
         List.map QCheck_alcotest.to_alcotest [ prop_canonicalize_idempotent ]
