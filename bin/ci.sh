@@ -82,3 +82,75 @@ if [ "$status" -ne 3 ]; then
   exit 1
 fi
 echo "quorum degradation smoke OK: exit code 3"
+
+echo "== engine serve smoke run (20-request batch, duplicate fan-in, faulted pool) =="
+reqs="$(mktemp -t modchecker_reqs.XXXXXX.txt)"
+serve_out="$(mktemp -t modchecker_serve.XXXXXX.txt)"
+trap 'rm -f "$trace" "$metrics" "$detect" "$reqs" "$serve_out"' EXIT
+
+cat > "$reqs" <<'REQS'
+# 20 requests: three modules asked repeatedly, plus checks and list walks
+check 0 hal.dll high
+check 1 hal.dll -
+survey - hal.dll
+survey - hal.dll
+survey - hal.dll low
+survey - http.sys
+survey - http.sys
+survey - http.sys
+survey - ntoskrnl.exe
+survey - ntoskrnl.exe
+check 2 http.sys
+check 3 http.sys
+check 0 ntoskrnl.exe
+check 1 ntoskrnl.exe low
+survey - tcpip.sys
+survey - tcpip.sys
+lists - -
+lists - -
+check 2 tcpip.sys
+check 3 tcpip.sys
+REQS
+
+# A clean (if faulted) pool must come back exit 0 — set -e enforces it.
+dune exec --no-build bin/modchecker_cli.exe -- \
+  serve --requests "$reqs" --vms 6 --fault-spec transient=0.05,seed=7 \
+  --metrics > "$serve_out"
+
+# Verdict parity: the engine routes to the same entry points, so every
+# verdict on the clean pool must be intact, none degraded by the faults.
+if grep -Eq 'SUSPICIOUS|DEGRADED|deviant: [0-9]' "$serve_out"; then
+  echo "ci: serve smoke failed: non-intact verdict on a clean pool" >&2
+  cat "$serve_out" >&2
+  exit 1
+fi
+checks="$(grep -c 'INTACT' "$serve_out" || true)"
+if [ "$checks" -lt 8 ]; then
+  echo "ci: serve smoke failed: expected 8 intact checks, saw $checks" >&2
+  exit 1
+fi
+
+# Duplicate fan-in must coalesce: the batch asks for hal.dll three times.
+hits="$(sed -n 's/^| engine\.coalesce\.hits *| *\([0-9]*\).*/\1/p' "$serve_out")"
+if [ -z "$hits" ] || [ "$hits" -eq 0 ]; then
+  echo "ci: serve smoke failed: engine.coalesce.hits = ${hits:-missing}" >&2
+  exit 1
+fi
+echo "serve smoke OK: 20 requests, $hits coalesced, exit 0"
+
+# And an infected pool must exit 2 through serve exactly as the one-shot
+# check subcommand does.
+printf 'check 2 hal.dll high\nsurvey - hal.dll\n' > "$reqs"
+set +e
+dune exec --no-build bin/modchecker_cli.exe -- \
+  serve --requests "$reqs" --vms 6 --infect hook --vm 2 > /dev/null 2>&1
+serve_status=$?
+dune exec --no-build bin/modchecker_cli.exe -- \
+  check --vms 6 --infect hook --vm 2 > /dev/null 2>&1
+check_status=$?
+set -e
+if [ "$serve_status" -ne 2 ] || [ "$check_status" -ne 2 ]; then
+  echo "ci: serve smoke failed: infected exits serve=$serve_status check=$check_status (want 2)" >&2
+  exit 1
+fi
+echo "serve exit-code parity OK: infected pool exits 2 both ways"

@@ -9,6 +9,7 @@ open Cmdliner
 module Cloud = Mc_hypervisor.Cloud
 module Orchestrator = Modchecker.Orchestrator
 module Report = Modchecker.Report
+module Exit_code = Modchecker.Exit_code
 
 (* --- common flags ------------------------------------------------------ *)
 
@@ -167,7 +168,20 @@ let or_die = function
   | Ok v -> v
   | Error msg ->
       prerr_endline ("error: " ^ msg);
-      exit 1
+      exit Exit_code.error
+
+(* Every subcommand's knobs meet Orchestrator.Config here, in one place;
+   the per-command defaulting this replaces used to drift. *)
+let make_check_config ?(canonical = false) ?deadline ~quorum () =
+  Orchestrator.Config.default
+  |> Orchestrator.Config.with_quorum quorum
+  |> (if canonical then
+        Orchestrator.Config.with_strategy Orchestrator.Canonical
+      else Fun.id)
+  |>
+  match deadline with
+  | Some d -> Orchestrator.Config.with_deadline d
+  | None -> Fun.id
 
 (* --- check ------------------------------------------------------------- *)
 
@@ -247,10 +261,12 @@ let run_check verbose vms cores seed module_name vm infect workers fault_spec
     if workers <= 1 then Orchestrator.Sequential
     else Orchestrator.Parallel (Mc_parallel.Pool.create workers)
   in
+  let config =
+    make_check_config ~quorum ?deadline ()
+    |> Orchestrator.Config.with_mode mode
+  in
   let outcome =
-    or_die
-      (Orchestrator.check_module ~mode ~quorum ?deadline_s:deadline cloud
-         ~target_vm:vm ~module_name)
+    or_die (Orchestrator.check_module ~config cloud ~target_vm:vm ~module_name)
   in
   (match mode with
   | Orchestrator.Parallel pool -> Mc_parallel.Pool.shutdown pool
@@ -270,10 +286,7 @@ let run_check verbose vms cores seed module_name vm infect workers fault_spec
     if pinpoint && outcome.report.Report.verdict = Report.Infected then
       print_pinpoint cloud outcome module_name vm
   end;
-  match outcome.report.Report.verdict with
-  | Report.Intact -> ()
-  | Report.Infected -> exit 2
-  | Report.Degraded _ -> exit 3
+  Exit_code.exit_with (Exit_code.of_verdict outcome.report.Report.verdict)
 
 let check_cmd =
   let doc = "Check one module's integrity across the VM pool." in
@@ -297,7 +310,10 @@ let run_survey vms cores seed module_name infect vm fault_spec quorum json
         Printf.printf "staged: %s on Dom%d\n" inf.Mc_malware.Infect.technique
           (vm + 1)
   | None -> ());
-  let s = Orchestrator.survey ~quorum cloud ~module_name in
+  let s =
+    Orchestrator.survey ~config:(make_check_config ~quorum ()) cloud
+      ~module_name
+  in
   if json then
     print_endline (Mc_util.Json.to_string_pretty (Report.survey_to_json s))
   else begin
@@ -314,10 +330,7 @@ let run_survey vms cores seed module_name infect vm fault_spec quorum json
     if s.Report.unreachable_on <> [] then
       show "unreachable (faults)" (List.map fst s.Report.unreachable_on)
   end;
-  match s.Report.s_verdict with
-  | Report.Degraded _ -> exit 3
-  | Report.Intact | Report.Infected ->
-      if s.Report.deviant_vms <> [] || s.Report.missing_on <> [] then exit 2
+  Exit_code.exit_with (Exit_code.of_survey s)
 
 let survey_cmd =
   let doc = "Full-mesh comparison of one module across every VM." in
@@ -373,7 +386,7 @@ let detect_cmd =
 
 type which_figure =
   | Fig7 | Fig8 | Fig9 | Ablation | Parallelism | Baselines | Strategy
-  | PatrolFig | Incremental | Faults | All
+  | PatrolFig | Incremental | Faults | EngineFig | All
 
 let which_arg =
   let doc = "Which figure/table to regenerate." in
@@ -384,7 +397,7 @@ let which_arg =
              ("ablation", Ablation); ("parallel", Parallelism);
              ("baselines", Baselines); ("strategy", Strategy);
              ("patrol", PatrolFig); ("incremental", Incremental);
-             ("faults", Faults); ("all", All) ])
+             ("faults", Faults); ("engine", EngineFig); ("all", All) ])
         All
     & info [ "which" ] ~docv:"WHICH" ~doc)
 
@@ -437,6 +450,11 @@ let run_figures which vms cores seed =
     print_string
       (Mc_harness.Render.fault_table (Mc_harness.Figures.fault_sweep ~seed ()))
   in
+  let engine_fig () =
+    print_string
+      (Mc_harness.Render.engine_table
+         (Mc_harness.Figures.engine_throughput ~vms ~seed ()))
+  in
   match which with
   | Fig7 -> fig7 ()
   | Fig8 -> fig8 ()
@@ -448,6 +466,7 @@ let run_figures which vms cores seed =
   | PatrolFig -> patrol_fig ()
   | Incremental -> incremental ()
   | Faults -> faults ()
+  | EngineFig -> engine_fig ()
   | All ->
       fig7 ();
       fig8 ();
@@ -458,7 +477,8 @@ let run_figures which vms cores seed =
       strategy ();
       patrol_fig ();
       incremental ();
-      faults ()
+      faults ();
+      engine_fig ()
 
 let figures_cmd =
   let doc = "Regenerate the paper's evaluation figures and the extensions." in
@@ -477,10 +497,11 @@ let run_health vms cores seed infect vm canonical json trace metrics =
         Printf.printf "staged: %s on Dom%d\n" inf.Mc_malware.Infect.technique
           (vm + 1)
   | None -> ());
-  let strategy =
-    if canonical then Orchestrator.Canonical else Orchestrator.Pairwise
+  let report =
+    Modchecker.Fleet.assess
+      ~config:(make_check_config ~canonical ~quorum:Report.default_quorum ())
+      cloud
   in
-  let report = Modchecker.Fleet.assess ~strategy cloud in
   if json then
     print_endline
       (Mc_util.Json.to_string_pretty (Modchecker.Fleet.to_json report))
@@ -488,7 +509,7 @@ let run_health vms cores seed infect vm canonical json trace metrics =
     print_string (Modchecker.Fleet.to_table report);
     print_endline (Modchecker.Fleet.summary report)
   end;
-  if not report.Modchecker.Fleet.fr_clean then exit 2
+  if not report.Modchecker.Fleet.fr_clean then exit Exit_code.infected
 
 let health_cmd =
   let doc = "Assess every module on every VM: the fleet dashboard." in
@@ -528,11 +549,8 @@ let run_patrol verbose vms cores seed duration interval infect vm infect_at
     {
       Modchecker.Patrol.default_config with
       Modchecker.Patrol.interval_s = interval;
-      strategy =
-        (if canonical then Orchestrator.Canonical else Orchestrator.Pairwise);
       incremental;
-      quorum;
-      deadline_s = deadline;
+      check = make_check_config ~canonical ~quorum ?deadline ();
     }
   in
   let o = Modchecker.Patrol.run ~config ~events cloud ~until:duration in
@@ -557,7 +575,7 @@ let run_patrol verbose vms cores seed duration interval infect vm infect_at
                 (fun v -> Printf.sprintf "Dom%d" (v + 1))
                 a.Modchecker.Patrol.alarm_vms)))
       o.Modchecker.Patrol.alarms;
-    exit 2
+    exit Exit_code.infected
   end
 
 let patrol_cmd =
@@ -591,6 +609,184 @@ let patrol_cmd =
       $ canonical_arg $ incremental_arg $ fault_spec_arg $ quorum_arg
       $ deadline_arg $ trace_arg $ metrics_arg)
 
+(* --- serve ---------------------------------------------------------------- *)
+
+let read_request_file path =
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      prerr_endline ("error: " ^ msg);
+      exit Exit_code.error
+  in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let rec go lineno acc =
+    match input_line ic with
+    | exception End_of_file -> List.rev acc
+    | line ->
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then go (lineno + 1) acc
+        else begin
+          match
+            ( Mc_engine.request_of_string trimmed,
+              Mc_engine.priority_of_request_line trimmed )
+          with
+          | Ok req, Ok prio -> go (lineno + 1) ((req, prio) :: acc)
+          | Error e, _ | _, Error e ->
+              prerr_endline
+                (Printf.sprintf "error: %s:%d: %s" path lineno e);
+              exit Exit_code.error
+        end
+  in
+  go 1 []
+
+let response_exit (r : Mc_engine.response) =
+  match r.Mc_engine.r_outcome with
+  | Mc_engine.Checked (Ok o) ->
+      Exit_code.of_verdict o.Orchestrator.report.Report.verdict
+  | Mc_engine.Checked (Error _) -> Exit_code.error
+  | Mc_engine.Surveyed s -> Exit_code.of_survey s
+  | Mc_engine.Listed lc -> Exit_code.of_lists lc
+
+let response_line (r : Mc_engine.response) =
+  let key = Mc_engine.request_key r.Mc_engine.r_request in
+  match r.Mc_engine.r_outcome with
+  | Mc_engine.Checked (Ok o) ->
+      Printf.sprintf "%-28s %s" key
+        (Report.verdict_string o.Orchestrator.report)
+  | Mc_engine.Checked (Error e) -> Printf.sprintf "%-28s ERROR: %s" key e
+  | Mc_engine.Surveyed s ->
+      Printf.sprintf "%-28s %s%s" key
+        (Report.verdict_key s.Report.s_verdict)
+        (match (s.Report.deviant_vms, s.Report.missing_on) with
+        | [], [] -> ""
+        | dev, miss ->
+            Printf.sprintf " (deviant: %s; missing: %s)"
+              (String.concat "," (List.map string_of_int dev))
+              (String.concat "," (List.map string_of_int miss)))
+  | Mc_engine.Listed lc ->
+      Printf.sprintf "%-28s %d discrepancy(ies)" key
+        (List.length lc.Orchestrator.lc_discrepancies)
+
+let response_json (r : Mc_engine.response) =
+  let open Mc_util.Json in
+  let payload =
+    match r.Mc_engine.r_outcome with
+    | Mc_engine.Checked (Ok o) -> Report.to_json o.Orchestrator.report
+    | Mc_engine.Checked (Error e) -> Obj [ ("error", String e) ]
+    | Mc_engine.Surveyed s -> Report.survey_to_json s
+    | Mc_engine.Listed lc ->
+        Obj
+          [
+            ( "discrepancies",
+              List
+                (List.map
+                   (fun (d : Orchestrator.list_discrepancy) ->
+                     Obj
+                       [
+                         ("module", String d.Orchestrator.ld_module);
+                         ( "missing_on",
+                           List
+                             (List.map
+                                (fun v -> Int v)
+                                d.Orchestrator.missing_on) );
+                       ])
+                   lc.Orchestrator.lc_discrepancies) );
+            ( "unreachable",
+              List
+                (List.map
+                   (fun (vm, reason) ->
+                     Obj [ ("vm", Int vm); ("reason", String reason) ])
+                   lc.Orchestrator.lc_unreachable) );
+          ]
+  in
+  Obj
+    [
+      ("request", String (Mc_engine.request_key r.Mc_engine.r_request));
+      ("shard", Int r.Mc_engine.r_shard);
+      ("result", payload);
+    ]
+
+let run_serve verbose vms cores seed requests_path shards workers queue_bound
+    infect vm fault_spec quorum json trace metrics =
+  with_telemetry trace metrics @@ fun () ->
+  setup_logs verbose;
+  let cloud = make_cloud ?fault_spec vms cores seed in
+  (match or_die (stage_infection cloud vm infect) with
+  | Some inf ->
+      if not json then
+        Printf.printf "staged: %s on Dom%d\n" inf.Mc_malware.Infect.technique
+          (vm + 1)
+  | None -> ());
+  let requests = read_request_file requests_path in
+  let engine =
+    Mc_engine.create ~shards ~workers_per_shard:workers ~queue_bound
+      ~config:(make_check_config ~quorum ()) cloud
+  in
+  let started = Unix.gettimeofday () in
+  (* Submit everything up front so the shards overlap; when the bounded
+     queue pushes back, briefly yield real time and resubmit. *)
+  let rec admit req prio =
+    match Mc_engine.submit ~priority:prio engine req with
+    | Ok cell -> cell
+    | Error (Mc_engine.Queue_full _) ->
+        Unix.sleepf 0.002;
+        admit req prio
+    | Error Mc_engine.Draining -> assert false
+  in
+  let cells =
+    List.map (fun (req, prio) -> admit req prio) requests
+  in
+  let responses = List.map Mc_parallel.Deferred.await cells in
+  Mc_engine.drain engine;
+  let wall = Unix.gettimeofday () -. started in
+  if json then
+    print_endline
+      (Mc_util.Json.to_string_pretty
+         (Mc_util.Json.List (List.map response_json responses)))
+  else begin
+    List.iter (fun r -> print_endline (response_line r)) responses;
+    let stats = Mc_engine.stats engine in
+    Printf.printf
+      "served %d request(s) in %.3fs real: %d coalesced, %d serviced, \
+       max queue depth %d\n"
+      (List.length requests) wall stats.Mc_engine.st_coalesced
+      stats.Mc_engine.st_completed stats.Mc_engine.st_max_queue_depth
+  end;
+  Exit_code.exit_with
+    (Exit_code.combine_all (List.map response_exit responses))
+
+let serve_cmd =
+  let doc =
+    "Run a batch of check/survey/lists requests through the long-lived \
+     checking engine (sharded workers, coalescing, shared caches)."
+  in
+  let requests_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "requests" ] ~docv:"FILE"
+          ~doc:
+            "Request batch file: one request per line, \
+             'kind vm module [priority]' with '-' for unused fields. \
+             Kinds: check, survey, lists; priorities: high, normal \
+             (default), low. '#' starts a comment.")
+  in
+  let shards_arg =
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N"
+         ~doc:"Dispatcher shards, each with its own worker pool.")
+  in
+  let queue_bound_arg =
+    Arg.(value & opt int 64 & info [ "queue-bound" ] ~docv:"N"
+         ~doc:"Admission bound on queued requests (backpressure).")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const run_serve $ verbose_arg $ vms_arg $ cores_arg $ seed_arg
+      $ requests_arg $ shards_arg $ workers_arg $ queue_bound_arg
+      $ infect_arg $ vm_arg $ fault_spec_arg $ quorum_arg $ json_arg
+      $ trace_arg $ metrics_arg)
+
 (* --- disasm --------------------------------------------------------------- *)
 
 let run_disasm vms cores seed vm module_name func count =
@@ -604,7 +800,7 @@ let run_disasm vms cores seed vm module_name func count =
   match Modchecker.Searcher.fetch vmi ~name:module_name with
   | None ->
       prerr_endline ("module not found: " ^ module_name);
-      exit 1
+      exit Exit_code.error
   | Some (info, buf) ->
       let rva =
         match func with
@@ -620,7 +816,7 @@ let run_disasm vms cores seed vm module_name func count =
             | Some rva -> rva
             | None ->
                 prerr_endline ("unknown function: " ^ name);
-                exit 1)
+                exit Exit_code.error)
       in
       Printf.printf "%s!%s in Dom%d at 0x%08x:\n" module_name
         (Option.value ~default:"<entry>" func)
@@ -661,5 +857,5 @@ let () =
        (Cmd.group info
           [
             check_cmd; survey_cmd; list_cmd; detect_cmd; figures_cmd;
-            patrol_cmd; health_cmd; disasm_cmd;
+            patrol_cmd; health_cmd; serve_cmd; disasm_cmd;
           ]))

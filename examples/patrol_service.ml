@@ -23,7 +23,9 @@ let () =
       Patrol.default_config with
       Patrol.watch = [ "ntoskrnl.exe"; "hal.dll"; "http.sys"; "tcpip.sys" ];
       interval_s = 30.0;
-      strategy = Modchecker.Orchestrator.Canonical;
+      check =
+        Modchecker.Orchestrator.Config.(
+          default |> with_strategy Modchecker.Orchestrator.Canonical);
     }
   in
   Printf.printf

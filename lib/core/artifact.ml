@@ -16,6 +16,24 @@ let kind_name = function
   | Section_header name -> Printf.sprintf "SECTION_HEADER(%s)" name
   | Section_data name -> name
 
+(* Inverse of [kind_name], for parsing machine-readable reports. Every
+   name [kind_name] can emit maps back; anything else is a section name
+   (the open case in [kind_name]). *)
+let kind_of_name = function
+  | "IMAGE_DOS_HEADER" -> Dos_header
+  | "IMAGE_NT_HEADER" -> Nt_header
+  | "IMAGE_FILE_HEADER" -> File_header
+  | "IMAGE_OPTIONAL_HEADER" -> Optional_header
+  | s ->
+      let prefix = "SECTION_HEADER(" in
+      let plen = String.length prefix in
+      if
+        String.length s > plen + 1
+        && String.sub s 0 plen = prefix
+        && s.[String.length s - 1] = ')'
+      then Section_header (String.sub s plen (String.length s - plen - 1))
+      else Section_data s
+
 let equal_kind a b =
   match (a, b) with
   | Dos_header, Dos_header

@@ -28,6 +28,10 @@ val kind_name : kind -> string
 (** [kind_name k] is a stable display name, e.g. ["IMAGE_DOS_HEADER"],
     ["SECTION_HEADER(.text)"], [".text"]. *)
 
+val kind_of_name : string -> kind
+(** Inverse of {!kind_name} on every name it emits; an unrecognized name
+    parses as [Section_data name] (section names are the open case). *)
+
 val equal_kind : kind -> kind -> bool
 
 val is_section_data : t -> bool

@@ -31,7 +31,7 @@ let listings cloud =
             String.lowercase_ascii i.Searcher.mi_name)
           (Searcher.list_modules vmi) ))
 
-let assess ?(strategy = Orchestrator.Pairwise) cloud =
+let assess ?(config = Orchestrator.Config.default) cloud =
   let vm_count = Cloud.vm_count cloud in
   let listing = listings cloud in
   let all_names =
@@ -55,7 +55,7 @@ let assess ?(strategy = Orchestrator.Pairwise) cloud =
         let missing =
           if 2 * List.length holders > vm_count then absentees else []
         in
-        let survey = Orchestrator.survey ~strategy cloud ~module_name:name in
+        let survey = Orchestrator.survey ~config cloud ~module_name:name in
         let deviants = survey.Report.deviant_vms in
         {
           ms_module = name;

@@ -21,10 +21,7 @@ type report = {
   fr_clean : bool;  (** No deviants, no hidden modules anywhere. *)
 }
 
-val assess :
-  ?strategy:Orchestrator.survey_strategy ->
-  Mc_hypervisor.Cloud.t ->
-  report
+val assess : ?config:Orchestrator.Config.t -> Mc_hypervisor.Cloud.t -> report
 (** [assess cloud] surveys the union of all VMs' module lists. A module
     missing from a minority of VMs counts against those VMs (the
     DKOM-hiding signal); one missing from most VMs is treated as

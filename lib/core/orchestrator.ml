@@ -21,6 +21,53 @@ type phase_seconds = {
   checker_s : float;
 }
 
+type survey_strategy = Pairwise | Canonical
+
+type fingerprint = (string * string) list
+
+type incremental = {
+  inc_digests : fingerprint option Digest_cache.t;
+  inc_lists : string list Digest_cache.t;
+  inc_pages : (int, Vmi.page_cache) Hashtbl.t;
+  inc_mutex : Mutex.t;  (** Guards [inc_pages]. *)
+}
+
+let create_incremental () =
+  {
+    inc_digests = Digest_cache.create ();
+    inc_lists = Digest_cache.create ();
+    inc_pages = Hashtbl.create 16;
+    inc_mutex = Mutex.create ();
+  }
+
+module Config = struct
+  type nonrec t = {
+    mode : mode;
+    others : int list option;
+    strategy : survey_strategy;
+    incremental : incremental option;
+    quorum : float;
+    deadline_s : float option;
+  }
+
+  let default =
+    {
+      mode = Sequential;
+      others = None;
+      strategy = Pairwise;
+      incremental = None;
+      quorum = Report.default_quorum;
+      deadline_s = None;
+    }
+
+  let with_mode mode t = { t with mode }
+  let with_others others t = { t with others = Some others }
+  let with_strategy strategy t = { t with strategy }
+  let with_incremental incremental t = { t with incremental = Some incremental }
+  let with_quorum quorum t = { t with quorum }
+  let with_deadline deadline_s t = { t with deadline_s = Some deadline_s }
+end
+
 (* Fetch one VM's copy of the module and parse it into artifacts, phased
    against [meter]. *)
 let profile_for dom =
@@ -141,8 +188,8 @@ let absent_result target_artifacts =
       total_adjusted = 0;
     }
 
-let check_module ?(mode = Sequential) ?others ?(quorum = Report.default_quorum)
-    ?deadline_s cloud ~target_vm ~module_name =
+let check_module ?(config = Config.default) cloud ~target_vm ~module_name =
+  let { Config.mode; others; quorum; deadline_s; _ } = config in
   let others =
     match others with
     | Some vs -> vs
@@ -248,8 +295,6 @@ let check_module ?(mode = Sequential) ?others ?(quorum = Report.default_quorum)
             Log.warn (fun m -> m "%a" Report.pp report));
         Ok { report; work }
 
-type survey_strategy = Pairwise | Canonical
-
 (* Canonical strategy: per-VM fingerprints. Every artifact kind maps to a
    digest; section data is digested after t-way canonicalization, so clean
    copies collapse to one digest per kind. *)
@@ -342,23 +387,6 @@ let canonical_fingerprints ?meter present =
           tables ))
     present
 
-type fingerprint = (string * string) list
-
-type incremental = {
-  inc_digests : fingerprint option Digest_cache.t;
-  inc_lists : string list Digest_cache.t;
-  inc_pages : (int, Vmi.page_cache) Hashtbl.t;
-  inc_mutex : Mutex.t;  (** Guards [inc_pages]. *)
-}
-
-let create_incremental () =
-  {
-    inc_digests = Digest_cache.create ();
-    inc_lists = Digest_cache.create ();
-    inc_pages = Hashtbl.create 16;
-    inc_mutex = Mutex.create ();
-  }
-
 (* One shareable page cache per VM, so successive sweeps (and the list
    walk and the module fetch within one sweep) reuse mapped pages instead
    of re-mapping them. Safe because Vmi validates every hit against the
@@ -431,8 +459,8 @@ let vm_fingerprint ~meter ~relocs ~base artifacts : fingerprint =
     artifacts
   |> List.sort compare
 
-let survey ?(mode = Sequential) ?(strategy = Pairwise) ?meter ?incremental
-    ?(quorum = Report.default_quorum) ?deadline_s cloud ~module_name =
+let survey ?(config = Config.default) ?meter cloud ~module_name =
+  let { Config.mode; strategy; incremental; quorum; deadline_s; _ } = config in
   Tel.with_span
     ~attrs:
       [
@@ -687,7 +715,8 @@ type list_comparison = {
   lc_unreachable : (int * string) list;
 }
 
-let survey_module_lists ?meter ?incremental cloud =
+let survey_module_lists ?(config = Config.default) ?meter cloud =
+  let incremental = config.Config.incremental in
   Tel.with_span "list_compare" @@ fun _ ->
   let vms = List.init (Cloud.vm_count cloud) Fun.id in
   (match meter with Some m -> Meter.set_phase m Meter.Searcher | None -> ());
@@ -765,8 +794,8 @@ let survey_module_lists ?meter ?incremental cloud =
   in
   { lc_discrepancies; lc_unreachable }
 
-let compare_module_lists ?meter ?incremental cloud =
-  (survey_module_lists ?meter ?incremental cloud).lc_discrepancies
+let compare_module_lists ?config ?meter cloud =
+  (survey_module_lists ?config ?meter cloud).lc_discrepancies
 
 let phase_seconds costs outcome =
   let sum phase =

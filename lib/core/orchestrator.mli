@@ -4,7 +4,11 @@
     Sequential mode visits VMs one after another, as the paper's prototype
     does (and as its Fig. 7 linear growth reflects). Parallel mode maps the
     per-VM pipeline over a domain pool — the "parallel access of virtual
-    machines' memory" the paper names as the natural enhancement. *)
+    machines' memory" the paper names as the natural enhancement.
+
+    Every entry point takes one {!Config.t} — the same record the CLI,
+    {!Patrol}, and [Mc_engine] build — instead of a sprawl of optional
+    arguments, so defaulting logic lives in exactly one place. *)
 
 type mode = Sequential | Parallel of Mc_parallel.Pool.t
 
@@ -22,28 +26,6 @@ type phase_seconds = {
   parser_s : float;
   checker_s : float;
 }
-
-val check_module :
-  ?mode:mode ->
-  ?others:int list ->
-  ?quorum:float ->
-  ?deadline_s:float ->
-  Mc_hypervisor.Cloud.t ->
-  target_vm:int ->
-  module_name:string ->
-  (outcome, string) result
-(** [check_module cloud ~target_vm ~module_name] fetches the module from
-    the target and from every other VM ([others] defaults to the rest of
-    the pool), compares pairwise, and votes. Errors when the module is not
-    loaded on the target, the target is unreachable, or no comparison VM
-    is available. A module missing on a {e comparison} VM counts as a
-    failed comparison, not an error; a comparison VM that cannot be
-    introspected at all (fault-plan retries exhausted, or — in [Parallel]
-    mode with [deadline_s] — its task missed the per-check deadline) is
-    excluded from the vote and listed in the report's [unreachable]
-    field. When fewer than [quorum] (default {!Report.default_quorum})
-    of the comparison VMs respond, the report's verdict is
-    [Degraded]. *)
 
 type survey_strategy =
   | Pairwise
@@ -72,39 +54,94 @@ type incremental = {
   inc_mutex : Mutex.t;
 }
 (** Carry-over state for incremental checking, shared across sweeps (and
-    across parallel workers) of one patrol. *)
+    across parallel workers) of one patrol — or across {e every} request
+    of one engine. *)
 
 val create_incremental : unit -> incremental
 
+(** How a check or survey should run: execution mode, comparison set,
+    strategy, caching, and the availability policy. One value of this
+    record replaces the former [?mode ?others ?strategy ?incremental
+    ?quorum ?deadline_s] optional arguments on every entry point. *)
+module Config : sig
+  type nonrec t = {
+    mode : mode;
+    others : int list option;
+        (** Comparison VMs for {!check_module}; [None] means the rest of
+            the pool. Ignored by {!survey} (full mesh by definition). *)
+    strategy : survey_strategy;  (** Used by {!survey} only. *)
+    incremental : incremental option;
+        (** Shared carry-over state; with it, {!survey} compares memoized
+            per-VM fingerprints and {!survey_module_lists} reuses cached
+            listings. *)
+    quorum : float;
+        (** Minimum responding fraction of the surveyed VMs for a verdict
+            to count; below it the verdict is [Degraded]. *)
+    deadline_s : float option;
+        (** Per-task deadline, enforced in [Parallel] mode where a hung
+            task can be abandoned. *)
+  }
+
+  val default : t
+  (** Sequential, whole pool, pairwise, non-incremental, quorum
+      {!Report.default_quorum}, no deadline. *)
+
+  val with_mode : mode -> t -> t
+
+  val with_others : int list -> t -> t
+
+  val with_strategy : survey_strategy -> t -> t
+
+  val with_incremental : incremental -> t -> t
+
+  val with_quorum : float -> t -> t
+
+  val with_deadline : float -> t -> t
+end
+
+val check_module :
+  ?config:Config.t ->
+  Mc_hypervisor.Cloud.t ->
+  target_vm:int ->
+  module_name:string ->
+  (outcome, string) result
+(** [check_module cloud ~target_vm ~module_name] fetches the module from
+    the target and from every other VM ([config.others] defaults to the
+    rest of the pool), compares pairwise, and votes. Errors when the
+    module is not loaded on the target, the target is unreachable, or no
+    comparison VM is available. A module missing on a {e comparison} VM
+    counts as a failed comparison, not an error; a comparison VM that
+    cannot be introspected at all (fault-plan retries exhausted, or — in
+    [Parallel] mode with a deadline — its task missed the per-check
+    deadline) is excluded from the vote and listed in the report's
+    [unreachable] field. When fewer than [config.quorum] of the
+    comparison VMs respond, the report's verdict is [Degraded]. *)
+
 val survey :
-  ?mode:mode ->
-  ?strategy:survey_strategy ->
+  ?config:Config.t ->
   ?meter:Mc_hypervisor.Meter.t ->
-  ?incremental:incremental ->
-  ?quorum:float ->
-  ?deadline_s:float ->
   Mc_hypervisor.Cloud.t ->
   module_name:string ->
   Report.survey
 (** [survey cloud ~module_name] compares every VM's copy against every
     other and partitions the pool into consistent and deviant VMs — the
     "detect discrepancies and trigger deeper analysis" use of §III-B.
-    [strategy] defaults to [Pairwise]; both strategies produce the same
-    verdicts (a property the tests check), differing only in cost. When
-    [meter] is given, all work is counted into it (under its phases); in
-    [Parallel] mode each job meters into its own meter and the counts are
-    merged in after the join.
+    Both strategies produce the same verdicts (a property the tests
+    check), differing only in cost. When [meter] is given, all work is
+    counted into it (under its phases); in [Parallel] mode each job
+    meters into its own meter and the counts are merged in after the
+    join.
 
-    With [incremental], the survey compares per-VM reloc-adjusted
+    With [config.incremental], the survey compares per-VM reloc-adjusted
     fingerprints memoized in the digest cache: a VM whose relevant pages
     are untouched since the last sweep costs one log-dirty staleness probe
-    instead of a full map→parse→hash pipeline, and [strategy] is
+    instead of a full map→parse→hash pipeline, and the strategy is
     irrelevant. Verdicts are unchanged either way.
 
-    An unreachable VM (fault-plan retries exhausted, or its task past
-    [deadline_s] in [Parallel] mode) is excluded from the vote and from
+    An unreachable VM (fault-plan retries exhausted, or its task past the
+    deadline in [Parallel] mode) is excluded from the vote and from
     [missing_on], listed in [unreachable_on], and never cached; when
-    fewer than [quorum] of the pool responds, [s_verdict] is
+    fewer than [config.quorum] of the pool responds, [s_verdict] is
     [Degraded]. *)
 
 val module_relocs : string -> int list
@@ -131,20 +168,21 @@ type list_comparison = {
 }
 
 val survey_module_lists :
+  ?config:Config.t ->
   ?meter:Mc_hypervisor.Meter.t ->
-  ?incremental:incremental ->
   Mc_hypervisor.Cloud.t ->
   list_comparison
 (** Extension: cross-VM comparison of the load lists themselves; a module
     present on most VMs but absent from a few is how a DKOM-hidden module
     betrays itself. Only non-uniform modules are returned. The list walks
     are metered into [meter] (under the Searcher phase) — they are real
-    introspection work and price like it. With [incremental], a VM whose
-    list-walk pages are untouched reuses the cached listing. *)
+    introspection work and price like it. Of [config] only
+    [incremental] is consulted: with it, a VM whose list-walk pages are
+    untouched reuses the cached listing. *)
 
 val compare_module_lists :
+  ?config:Config.t ->
   ?meter:Mc_hypervisor.Meter.t ->
-  ?incremental:incremental ->
   Mc_hypervisor.Cloud.t ->
   list_discrepancy list
 (** [survey_module_lists]'s discrepancies alone. *)

@@ -26,10 +26,8 @@ type config = {
   costs : Costs.t;
   workers : int;
   compare_lists : bool;
-  strategy : Orchestrator.survey_strategy;
   incremental : bool;
-  quorum : float;
-  deadline_s : float option;
+  check : Orchestrator.Config.t;
 }
 
 let default_config =
@@ -39,10 +37,8 @@ let default_config =
     costs = Costs.default;
     workers = 1;
     compare_lists = true;
-    strategy = Orchestrator.Pairwise;
     incremental = false;
-    quorum = Report.default_quorum;
-    deadline_s = None;
+    check = Orchestrator.Config.default;
   }
 
 type outcome = {
@@ -53,6 +49,14 @@ type outcome = {
   mean_sweep_wall : float;
   sweep_cpus : float list;
 }
+
+type sweep_work = {
+  sw_surveys : (string * Report.survey * Meter.t) list;
+  sw_lists : (Orchestrator.list_comparison * Meter.t) option;
+  sw_overhead : Meter.t option;
+}
+
+type driver = unit -> sweep_work
 
 let alarm_kind_string = function
   | Hash_deviation -> "hash deviation"
@@ -81,118 +85,47 @@ let ensure_log_dirty meter epochs cloud =
           Hashtbl.replace epochs vm e)
     (List.init (Cloud.vm_count cloud) Fun.id)
 
-let run ?(config = default_config) ?(events = []) cloud ~until =
-  let clock = ref 0.0 in
-  let cpu = ref 0.0 in
-  let sweeps = ref 0 in
-  let walls = ref [] in
-  let sweep_cpus = ref [] in
-  let alarms = ref [] in
-  let pending = ref (List.sort (fun (a, _) (b, _) -> compare a b) events) in
-  let incremental =
-    if config.incremental then Some (Orchestrator.create_incremental ())
-    else None
-  in
-  let epochs = Hashtbl.create 16 in
-  let with_mode f =
-    if config.workers > 1 then
-      Pool.with_pool config.workers (fun pool -> f (Orchestrator.Parallel pool))
-    else f Orchestrator.Sequential
-  in
-  with_mode @@ fun mode ->
-  while !clock < until do
-    (* Fire events whose time has come before this sweep observes the
-       cloud. *)
-    let rec fire () =
-      match !pending with
-      | (t, f) :: rest when t <= !clock ->
-          f cloud;
-          pending := rest;
-          fire ()
-      | _ -> ()
-    in
-    fire ();
-    let sweep_started = !clock in
-    let module_costs = ref [] in
-    let sweep_alarms = ref [] in
-    let wall, sweep_cpu =
-      Tel.with_span
-        ~attrs:
-          [ ("sweep", Int (!sweeps + 1)); ("virtual_start_s", Float sweep_started) ]
-        "patrol_sweep"
-    @@ fun sp ->
-    (match incremental with
-    | None -> ()
-    | Some _ ->
-        (* Arm/drain the log-dirty machinery; this Dom0 overhead is a
-           schedulable job like any survey, so it is priced into the
-           sweep. *)
-        let m = Meter.create () in
-        ensure_log_dirty m epochs cloud;
-        List.iter
-          (fun vm ->
-            let dirty = Xenctl.clean_dirty ~meter:m (Cloud.vm cloud vm) in
-            if Tel.enabled () then
-              Tel.add "vmi.pages_dirty" (List.length dirty))
-          (List.init (Cloud.vm_count cloud) Fun.id);
-        module_costs :=
-          Meter.total_cpu_seconds config.costs m :: !module_costs);
-    List.iter
-      (fun module_name ->
-        (* One meter per module: each watched module is a schedulable job,
-           so multiple Dom0 workers can survey modules concurrently. *)
-        let meter = Meter.create () in
-        let s =
-          Orchestrator.survey ~mode ~strategy:config.strategy ~meter
-            ?incremental ~quorum:config.quorum ?deadline_s:config.deadline_s
-            cloud ~module_name
-        in
-        module_costs :=
-          Meter.total_cpu_seconds config.costs meter :: !module_costs;
-        match s.Report.s_verdict with
-        | Report.Degraded _ ->
-            (* Below quorum the vote is meaningless: raise the distinct
-               availability alarm and nothing else — a degraded sweep
-               must never be dressed up as an integrity finding. *)
+(* Turn one sweep's survey and list-comparison results into alarms. A
+   degraded survey raises the distinct availability alarm and nothing
+   else — a degraded sweep must never be dressed up as an integrity
+   finding. *)
+let alarms_of_work config work =
+  let sweep_alarms = ref [] in
+  List.iter
+    (fun (module_name, s, _) ->
+      match s.Report.s_verdict with
+      | Report.Degraded _ ->
+          sweep_alarms :=
+            {
+              at = 0.0;
+              alarm_module = module_name;
+              alarm_vms = List.map fst s.Report.unreachable_on;
+              kind = Quorum_loss;
+            }
+            :: !sweep_alarms
+      | Report.Intact | Report.Infected ->
+          if s.Report.deviant_vms <> [] then
             sweep_alarms :=
               {
                 at = 0.0;
                 alarm_module = module_name;
-                alarm_vms = List.map fst s.Report.unreachable_on;
-                kind = Quorum_loss;
+                alarm_vms = s.Report.deviant_vms;
+                kind = Hash_deviation;
               }
-              :: !sweep_alarms
-        | Report.Intact | Report.Infected ->
-            if s.Report.deviant_vms <> [] then
-              sweep_alarms :=
-                {
-                  at = 0.0;
-                  alarm_module = module_name;
-                  alarm_vms = s.Report.deviant_vms;
-                  kind = Hash_deviation;
-                }
-                :: !sweep_alarms;
-            if s.Report.missing_on <> [] then
-              sweep_alarms :=
-                {
-                  at = 0.0;
-                  alarm_module = module_name;
-                  alarm_vms = s.Report.missing_on;
-                  kind = Missing_module;
-                }
-                :: !sweep_alarms)
-      config.watch;
-    if config.compare_lists then begin
-      (* The list walks are real introspection work: meter them and fold
-         their cost into the sweep like any surveyed module. *)
-      let list_meter = Meter.create () in
-      let comparison =
-        Orchestrator.survey_module_lists ~meter:list_meter ?incremental
-          cloud
-      in
-      let discrepancies = comparison.Orchestrator.lc_discrepancies in
-      module_costs :=
-        Meter.total_cpu_seconds config.costs list_meter :: !module_costs;
+              :: !sweep_alarms;
+          if s.Report.missing_on <> [] then
+            sweep_alarms :=
+              {
+                at = 0.0;
+                alarm_module = module_name;
+                alarm_vms = s.Report.missing_on;
+                kind = Missing_module;
+              }
+              :: !sweep_alarms)
+    work.sw_surveys;
+  (match work.sw_lists with
+  | None -> ()
+  | Some (comparison, _) ->
       (match comparison.Orchestrator.lc_unreachable with
       | [] -> ()
       | unreachable ->
@@ -217,31 +150,74 @@ let run ?(config = default_config) ?(events = []) cloud ~until =
                 kind = List_discrepancy;
               }
               :: !sweep_alarms)
-        discrepancies
-    end;
-    (* Price the sweep and advance the virtual clock under current load. *)
-    let sweep_cpu = List.fold_left ( +. ) 0.0 !module_costs in
-    let bus =
-      Sched.bus_factor config.costs ~busy_vms:(Cloud.busy_vms cloud)
-        ~cores:cloud.Cloud.cores
+        comparison.Orchestrator.lc_discrepancies);
+  !sweep_alarms
+
+let run_driven ?(config = default_config) ?(events = []) cloud ~until driver =
+  let clock = ref 0.0 in
+  let cpu = ref 0.0 in
+  let sweeps = ref 0 in
+  let walls = ref [] in
+  let sweep_cpus = ref [] in
+  let alarms = ref [] in
+  let pending = ref (List.sort (fun (a, _) (b, _) -> compare a b) events) in
+  while !clock < until do
+    (* Fire events whose time has come before this sweep observes the
+       cloud. *)
+    let rec fire () =
+      match !pending with
+      | (t, f) :: rest when t <= !clock ->
+          f cloud;
+          pending := rest;
+          fire ()
+      | _ -> ()
     in
-    let wall =
-      Sched.run_jobs ~cores:cloud.Cloud.cores
-        ~busy_guest_vcpus:(Cloud.busy_guest_vcpus cloud)
-        ~workers:config.workers
-        (List.map (fun c -> c *. bus) !module_costs)
-    in
-    Span.set_virtual sp ~start:sweep_started ~finish:(sweep_started +. wall);
-    Span.set_attr sp "alarms" (Int (List.length !sweep_alarms));
-    Span.set_attr sp "cpu_s" (Float sweep_cpu);
-    (wall, sweep_cpu)
+    fire ();
+    let sweep_started = !clock in
+    let wall, sweep_cpu, sweep_alarms =
+      Tel.with_span
+        ~attrs:
+          [ ("sweep", Int (!sweeps + 1)); ("virtual_start_s", Float sweep_started) ]
+        "patrol_sweep"
+      @@ fun sp ->
+      let work = driver () in
+      let sweep_alarms = alarms_of_work config work in
+      (* Price the sweep and advance the virtual clock under current
+         load. Each meter is one schedulable job, so multiple Dom0
+         workers can survey modules concurrently. *)
+      let module_costs =
+        (match work.sw_overhead with
+        | Some m -> [ Meter.total_cpu_seconds config.costs m ]
+        | None -> [])
+        @ List.map
+            (fun (_, _, m) -> Meter.total_cpu_seconds config.costs m)
+            work.sw_surveys
+        @ (match work.sw_lists with
+          | Some (_, m) -> [ Meter.total_cpu_seconds config.costs m ]
+          | None -> [])
+      in
+      let sweep_cpu = List.fold_left ( +. ) 0.0 module_costs in
+      let bus =
+        Sched.bus_factor config.costs ~busy_vms:(Cloud.busy_vms cloud)
+          ~cores:cloud.Cloud.cores
+      in
+      let wall =
+        Sched.run_jobs ~cores:cloud.Cloud.cores
+          ~busy_guest_vcpus:(Cloud.busy_guest_vcpus cloud)
+          ~workers:config.workers
+          (List.map (fun c -> c *. bus) module_costs)
+      in
+      Span.set_virtual sp ~start:sweep_started ~finish:(sweep_started +. wall);
+      Span.set_attr sp "alarms" (Int (List.length sweep_alarms));
+      Span.set_attr sp "cpu_s" (Float sweep_cpu);
+      (wall, sweep_cpu, sweep_alarms)
     in
     if Tel.enabled () then begin
       Tel.add "patrol.sweeps" 1;
       Tel.observe "patrol.sweep_wall_virtual_s" wall;
       List.iter
         (fun a -> Tel.add ("patrol.alarms." ^ alarm_kind_key a.kind) 1)
-        !sweep_alarms
+        sweep_alarms
     end;
     cpu := !cpu +. sweep_cpu;
     sweep_cpus := sweep_cpu :: !sweep_cpus;
@@ -251,7 +227,7 @@ let run ?(config = default_config) ?(events = []) cloud ~until =
     Log.debug (fun m ->
         m "patrol sweep %d at t=%.1fs: %.1f ms wall, %d alarm(s)" !sweeps
           sweep_started (wall *. 1e3)
-          (List.length !sweep_alarms));
+          (List.length sweep_alarms));
     List.iter
       (fun a ->
         Log.warn (fun m ->
@@ -259,10 +235,10 @@ let run ?(config = default_config) ?(events = []) cloud ~until =
               (alarm_kind_string a.kind) a.alarm_module
               (String.concat ","
                  (List.map (fun v -> string_of_int (v + 1)) a.alarm_vms))))
-      !sweep_alarms;
+      sweep_alarms;
     alarms :=
       List.rev_append
-        (List.rev_map (fun a -> { a with at = !clock }) !sweep_alarms)
+        (List.rev_map (fun a -> { a with at = !clock }) sweep_alarms)
         !alarms;
     (* Sleep until the next interval boundary (if the sweep overran the
        interval, start again immediately). *)
@@ -277,6 +253,65 @@ let run ?(config = default_config) ?(events = []) cloud ~until =
     mean_sweep_wall = Mc_util.Stats.mean !walls;
     sweep_cpus = List.rev !sweep_cpus;
   }
+
+let run ?(config = default_config) ?(events = []) cloud ~until =
+  let incremental =
+    if config.incremental then Some (Orchestrator.create_incremental ())
+    else None
+  in
+  let epochs = Hashtbl.create 16 in
+  let with_mode f =
+    if config.workers > 1 then
+      Pool.with_pool config.workers (fun pool -> f (Orchestrator.Parallel pool))
+    else f Orchestrator.Sequential
+  in
+  with_mode @@ fun mode ->
+  let check =
+    config.check
+    |> Orchestrator.Config.with_mode mode
+    |>
+    match incremental with
+    | Some inc -> Orchestrator.Config.with_incremental inc
+    | None -> Fun.id
+  in
+  let driver () =
+    let sw_overhead =
+      match incremental with
+      | None -> None
+      | Some _ ->
+          (* Arm/drain the log-dirty machinery; this Dom0 overhead is a
+             schedulable job like any survey, so it is priced into the
+             sweep. *)
+          let m = Meter.create () in
+          ensure_log_dirty m epochs cloud;
+          List.iter
+            (fun vm ->
+              let dirty = Xenctl.clean_dirty ~meter:m (Cloud.vm cloud vm) in
+              if Tel.enabled () then
+                Tel.add "vmi.pages_dirty" (List.length dirty))
+            (List.init (Cloud.vm_count cloud) Fun.id);
+          Some m
+    in
+    let sw_surveys =
+      List.map
+        (fun module_name ->
+          let meter = Meter.create () in
+          let s = Orchestrator.survey ~config:check ~meter cloud ~module_name in
+          (module_name, s, meter))
+        config.watch
+    in
+    let sw_lists =
+      if config.compare_lists then begin
+        (* The list walks are real introspection work: meter them and
+           fold their cost into the sweep like any surveyed module. *)
+        let m = Meter.create () in
+        Some (Orchestrator.survey_module_lists ~config:check ~meter:m cloud, m)
+      end
+      else None
+    in
+    { sw_surveys; sw_lists; sw_overhead }
+  in
+  run_driven ~config ~events cloud ~until driver
 
 let to_json o =
   let open Mc_util.Json in

@@ -8,7 +8,12 @@
     module-list discrepancies, and accounting both the CPU it burned and
     the wall time each sweep cost under the current guest load. The
     interval/time-to-detect trade-off it exposes is measured by the bench
-    harness. *)
+    harness.
+
+    The sweep loop is separable from the checking work: {!run} performs
+    the surveys itself, while {!run_driven} accepts a {!driver} that
+    produces each sweep's results — that is how [Mc_engine] turns patrol
+    sweeps into just another request class on its shared queue. *)
 
 type alarm_kind =
   | Hash_deviation  (** A VM's copy fails the majority vote. *)
@@ -34,23 +39,22 @@ type config = {
   costs : Mc_hypervisor.Costs.t;
   workers : int;  (** Dom0 vCPUs driving the sweep. *)
   compare_lists : bool;  (** Also run the DKOM list comparison. *)
-  strategy : Orchestrator.survey_strategy;
   incremental : bool;
       (** Keep log-dirty tracking armed on every guest and memoize per-VM
           fingerprints across sweeps: a steady-state sweep prices as
           staleness probes plus re-checks of only the VMs whose relevant
           pages were written. Detection verdicts are unchanged. *)
-  quorum : float;
-      (** Minimum responding fraction of the pool for a sweep's verdicts
-          to count; below it the sweep raises [Quorum_loss]. *)
-  deadline_s : float option;
-      (** Per-survey task deadline (only enforced with [workers > 1],
-          where a hung introspection task can be abandoned). *)
+  check : Orchestrator.Config.t;
+      (** How each survey runs: strategy, quorum, deadline. The [mode]
+          and [incremental] fields are overridden by the patrol itself
+          (from [workers] and [incremental] above) for the default
+          {!run} driver. *)
 }
 
 val default_config : config
-(** Watches the standard catalog, 30 s interval, one worker, pairwise,
-    non-incremental, quorum {!Report.default_quorum}, no deadline. *)
+(** Watches the standard catalog, 30 s interval, one worker, list
+    comparison on, non-incremental, {!Orchestrator.Config.default}
+    checking. *)
 
 type outcome = {
   alarms : alarm list;  (** In raising order; duplicates across sweeps kept. *)
@@ -63,6 +67,36 @@ type outcome = {
           split the incremental experiments read. *)
 }
 
+type sweep_work = {
+  sw_surveys : (string * Report.survey * Mc_hypervisor.Meter.t) list;
+      (** One entry per watched module: its survey and the meter that
+          priced it (each meter is one schedulable job). *)
+  sw_lists : (Orchestrator.list_comparison * Mc_hypervisor.Meter.t) option;
+      (** The DKOM list comparison, when the sweep ran one. *)
+  sw_overhead : Mc_hypervisor.Meter.t option;
+      (** Maintenance work outside any survey (e.g. log-dirty arm and
+          dirty-bitmap drain), priced into the sweep like a job. *)
+}
+(** Everything one sweep observed and what it cost — the interface
+    between the sweep loop and whoever performs the checking. *)
+
+type driver = unit -> sweep_work
+(** Called once per sweep, on the sweep loop's domain; performs (or
+    delegates) the sweep's checking work. *)
+
+val run_driven :
+  ?config:config ->
+  ?events:(float * (Mc_hypervisor.Cloud.t -> unit)) list ->
+  Mc_hypervisor.Cloud.t ->
+  until:float ->
+  driver ->
+  outcome
+(** [run_driven cloud ~until driver] is the sweep loop alone: it fires
+    timed events, calls [driver] once per sweep, derives alarms from the
+    returned work (degraded surveys raise [Quorum_loss] and nothing
+    else), prices the meters into virtual wall time via the scheduler
+    model, and sleeps to the next interval boundary. *)
+
 val run :
   ?config:config ->
   ?events:(float * (Mc_hypervisor.Cloud.t -> unit)) list ->
@@ -70,11 +104,12 @@ val run :
   until:float ->
   outcome
 (** [run cloud ~until] patrols from virtual time 0 until the clock passes
-    [until]. Each sweep surveys every watched module, advancing the clock
-    by the scheduler-priced wall time of the metered work, then sleeps to
-    the next interval boundary. [events] are timed cloud mutations (e.g.
-    staging an infection at t=70 s); each fires once, just before the
-    first sweep that starts at or after its time. *)
+    [until], surveying in-process: {!run_driven} with the default driver
+    (per-module {!Orchestrator.survey} under [config.check], with a
+    worker pool when [workers > 1] and shared incremental state when
+    [incremental]). [events] are timed cloud mutations (e.g. staging an
+    infection at t=70 s); each fires once, just before the first sweep
+    that starts at or after its time. *)
 
 val time_to_detect :
   outcome -> module_name:string -> infected_at:float -> float option

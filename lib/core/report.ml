@@ -146,6 +146,16 @@ let pp fmt r =
   Format.fprintf fmt "%s on Dom%d: %s" r.module_name (r.target_vm + 1)
     (verdict_string r)
 
+(* --- versioned machine-readable form ----------------------------------- *)
+
+(* The schema tag is the contract with engine clients and scripts: a
+   consumer checks it and refuses documents it does not understand, and a
+   future incompatible change bumps the @N suffix instead of silently
+   reshaping fields. *)
+let schema = "modchecker/report@1"
+
+let survey_schema = "modchecker/survey@1"
+
 let unreachable_json u =
   let open Mc_util.Json in
   List
@@ -165,6 +175,7 @@ let to_json r =
   let open Mc_util.Json in
   Obj
     ([
+       ("schema", String schema);
        ("module", String r.module_name);
        ("target_vm", Int r.target_vm);
        ("majority_ok", Bool r.majority_ok);
@@ -190,6 +201,7 @@ let to_json r =
                  [
                    ("other_vm", Int c.other_vm);
                    ("all_match", Bool c.result.Checker.all_match);
+                   ("total_adjusted", Int c.result.Checker.total_adjusted);
                    ( "artifacts",
                      List
                        (List.map
@@ -214,6 +226,7 @@ let survey_to_json s =
   let vms l = List (List.map (fun v -> Int v) l) in
   Obj
     ([
+       ("schema", String survey_schema);
        ("module", String s.survey_module);
        ("vms", vms s.vm_indices);
        ("missing_on", vms s.missing_on);
@@ -234,3 +247,133 @@ let survey_to_json s =
                  Obj [ ("a", Int a); ("b", Int b); ("match", Bool ok) ])
                s.pairwise_matches) );
       ])
+
+(* --- parsing the versioned form back ------------------------------------ *)
+
+exception Parse of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse s)) fmt
+
+let get name = function
+  | Mc_util.Json.Obj fields -> (
+      match List.assoc_opt name fields with
+      | Some v -> v
+      | None -> fail "missing field %S" name)
+  | _ -> fail "expected an object around field %S" name
+
+let as_int name = function
+  | Mc_util.Json.Int i -> i
+  | _ -> fail "field %S: expected an integer" name
+
+let as_bool name = function
+  | Mc_util.Json.Bool b -> b
+  | _ -> fail "field %S: expected a boolean" name
+
+let as_string name = function
+  | Mc_util.Json.String s -> s
+  | _ -> fail "field %S: expected a string" name
+
+let as_list name = function
+  | Mc_util.Json.List l -> l
+  | _ -> fail "field %S: expected a list" name
+
+let int_field name j = as_int name (get name j)
+
+let bool_field name j = as_bool name (get name j)
+
+let string_field name j = as_string name (get name j)
+
+let list_field name j = as_list name (get name j)
+
+let vms_field name j = List.map (as_int name) (list_field name j)
+
+let check_schema expected j =
+  let found = string_field "schema" j in
+  if found <> expected then
+    fail "unsupported schema %S (this reader understands %S)" found expected
+
+let unreachable_of_json name j =
+  List.map
+    (fun u -> (int_field "vm" u, string_field "reason" u))
+    (list_field name j)
+
+let verdict_of_json j =
+  match string_field "verdict" j with
+  | "intact" -> Intact
+  | "infected" -> Infected
+  | "degraded" -> Degraded (string_field "degraded_reason" j)
+  | v -> fail "unknown verdict %S" v
+
+let comparison_of_json c =
+  let verdicts =
+    List.map
+      (fun a ->
+        Checker.
+          {
+            av_kind = Artifact.kind_of_name (string_field "artifact" a);
+            av_match = bool_field "match" a;
+            av_digest1 = string_field "md5_target" a;
+            av_digest2 = string_field "md5_other" a;
+            av_adjusted = int_field "addresses_adjusted" a;
+          })
+      (list_field "artifacts" c)
+  in
+  {
+    other_vm = int_field "other_vm" c;
+    result =
+      Checker.
+        {
+          verdicts;
+          all_match = bool_field "all_match" c;
+          total_adjusted = int_field "total_adjusted" c;
+        };
+  }
+
+let of_json j =
+  try
+    check_schema schema j;
+    Ok
+      {
+        module_name = string_field "module" j;
+        target_vm = int_field "target_vm" j;
+        comparisons = List.map comparison_of_json (list_field "comparisons" j);
+        matches = int_field "matches" j;
+        total = int_field "total" j;
+        majority_ok = bool_field "majority_ok" j;
+        flagged_artifacts =
+          List.map
+            (fun k -> Artifact.kind_of_name (as_string "flagged_artifacts" k))
+            (list_field "flagged_artifacts" j);
+        unreachable = unreachable_of_json "unreachable" j;
+        surveyed = int_field "surveyed" j;
+        responded = int_field "responded" j;
+        voted = int_field "voted" j;
+        verdict = verdict_of_json j;
+      }
+  with Parse msg -> Error msg
+
+let survey_of_json j =
+  try
+    check_schema survey_schema j;
+    Ok
+      {
+        survey_module = string_field "module" j;
+        vm_indices = vms_field "vms" j;
+        missing_on = vms_field "missing_on" j;
+        deviant_vms = vms_field "deviant_vms" j;
+        agreement_classes =
+          List.map
+            (fun c -> List.map (as_int "agreement_classes") (as_list "agreement_classes" c))
+            (list_field "agreement_classes" j);
+        pairwise_matches =
+          List.map
+            (fun p ->
+              ((int_field "a" p, int_field "b" p), bool_field "match" p))
+            (list_field "pairwise" j);
+        unreachable_on = unreachable_of_json "unreachable" j;
+        s_surveyed = int_field "surveyed" j;
+        s_responded = int_field "responded" j;
+        s_voted = int_field "voted" j;
+        s_verdict = verdict_of_json j;
+      }
+  with Parse msg -> Error msg

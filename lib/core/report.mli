@@ -97,8 +97,29 @@ val to_table : module_report -> string
 
 val pp : Format.formatter -> module_report -> unit
 
+(** {1 Versioned machine-readable form}
+
+    The JSON forms carry a [schema] tag so engine clients and scripts can
+    parse reports instead of scraping the table renderer, and can refuse
+    documents from an incompatible future version. *)
+
+val schema : string
+(** ["modchecker/report@1"] — the tag {!to_json} emits and {!of_json}
+    requires. *)
+
+val survey_schema : string
+(** ["modchecker/survey@1"]. *)
+
 val to_json : module_report -> Mc_util.Json.t
-(** Machine-readable form: verdict, vote and quorum counts, unreachable
-    VMs, flagged artifacts, and per-comparison per-artifact digests. *)
+(** Machine-readable form: schema tag, verdict, vote and quorum counts,
+    unreachable VMs, flagged artifacts, and per-comparison per-artifact
+    digests. Round-trips through {!of_json}. *)
+
+val of_json : Mc_util.Json.t -> (module_report, string) result
+(** Parse {!to_json}'s output back. Errors on a missing or different
+    [schema] tag, and on any missing or mistyped field. *)
 
 val survey_to_json : survey -> Mc_util.Json.t
+(** Round-trips through {!survey_of_json}. *)
+
+val survey_of_json : Mc_util.Json.t -> (survey, string) result

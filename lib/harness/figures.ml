@@ -30,8 +30,9 @@ let ms s = s *. 1000.0
    the involved guests are stress-loaded (Fig. 8) or idle (Fig. 7). *)
 let sweep_point ~costs ~cloud ~module_name ~n ~loaded ~workers =
   let others = List.init n (fun i -> i + 1) in
+  let config = Orchestrator.Config.(default |> with_others others) in
   match
-    Orchestrator.check_module cloud ~target_vm:0 ~others ~module_name
+    Orchestrator.check_module ~config cloud ~target_vm:0 ~module_name
   with
   | Error e -> failwith ("Figures.sweep_point: " ^ e)
   | Ok outcome ->
@@ -262,7 +263,9 @@ let parallel_sweep ?(vms = 15) ?(cores = 8) ?(module_name = "http.sys")
     in
     let outcome =
       match
-        Orchestrator.check_module ~mode cloud ~target_vm:0 ~module_name
+        Orchestrator.check_module
+          ~config:Orchestrator.Config.(default |> with_mode mode)
+          cloud ~target_vm:0 ~module_name
       with
       | Ok o -> o
       | Error e -> failwith e
@@ -298,7 +301,11 @@ let survey_strategy_table ?(vms = 15) ?(seed = 2012L)
      shows an infected case. *)
   let run name strategy label =
     let meter = Meter.create () in
-    let s = Orchestrator.survey ~strategy ~meter cloud ~module_name:name in
+    let s =
+      Orchestrator.survey
+        ~config:Orchestrator.Config.(default |> with_strategy strategy)
+        ~meter cloud ~module_name:name
+    in
     let c = Meter.get meter Meter.Checker in
     {
       st_name = Printf.sprintf "%s (%s)" label name;
@@ -382,7 +389,8 @@ let incremental_steady_state ?(pool_sizes = [ 2; 5; 10; 15 ]) ?(seed = 2012L)
         Modchecker.Patrol.default_config with
         Modchecker.Patrol.watch;
         interval_s = 30.0;
-        strategy = Orchestrator.Canonical;
+        check =
+          Orchestrator.Config.(default |> with_strategy Orchestrator.Canonical);
         incremental;
       }
     in
@@ -598,3 +606,63 @@ let baseline_table ?(vms = 5) ?(seed = 2012L) () =
     }
   in
   [ row1; row2; row3; row4 ]
+
+type engine_row = {
+  er_dup : int;
+  er_requests : int;
+  er_standalone_s : float;
+  er_engine_s : float;
+  er_coalesced : int;
+  er_speedup : float;
+}
+
+(* X10: what the long-lived engine buys over looping the one-shot API.
+   The same batch — a few distinct surveys, each asked [dup] times, the
+   advisory-fan-in shape — is run both ways and priced from the meters.
+   Standalone pays the full pipeline per ask; the engine coalesces
+   duplicates still in flight and answers re-asks from the shared
+   incremental caches, so its curve should flatten as [dup] grows. *)
+let engine_throughput ?(vms = 8) ?(dups = [ 1; 2; 4; 8 ]) ?(seed = 2013L) () =
+  let modules = [ "hal.dll"; "http.sys"; "ntoskrnl.exe" ] in
+  let costs = Costs.default in
+  List.map
+    (fun dup ->
+      let requests = dup * List.length modules in
+      let cloud = Cloud.create ~vms ~seed () in
+      let standalone = Meter.create () in
+      List.iter
+        (fun m ->
+          for _ = 1 to dup do
+            ignore (Orchestrator.survey ~meter:standalone cloud ~module_name:m)
+          done)
+        modules;
+      let cloud = Cloud.create ~vms ~seed () in
+      let engine = Mc_engine.create ~shards:2 ~workers_per_shard:2 cloud in
+      let cells =
+        List.concat_map
+          (fun m ->
+            List.init dup (fun _ ->
+                match
+                  Mc_engine.submit engine
+                    (Mc_engine.Survey { module_name = m })
+                with
+                | Ok c -> c
+                | Error r -> failwith (Mc_engine.rejection_message r)))
+          modules
+      in
+      List.iter
+        (fun c -> ignore (Mc_parallel.Deferred.await c))
+        cells;
+      Mc_engine.drain engine;
+      let standalone_s = Meter.total_cpu_seconds costs standalone in
+      let engine_s = Meter.total_cpu_seconds costs (Mc_engine.meter engine) in
+      let st = Mc_engine.stats engine in
+      {
+        er_dup = dup;
+        er_requests = requests;
+        er_standalone_s = standalone_s;
+        er_engine_s = engine_s;
+        er_coalesced = st.Mc_engine.st_coalesced;
+        er_speedup = standalone_s /. engine_s;
+      })
+    dups

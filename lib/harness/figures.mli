@@ -170,3 +170,21 @@ val baseline_table : ?vms:int -> ?seed:int64 -> unit -> baseline_row list
     memory-only hook, disk-then-load patch, legitimate cloud-wide update,
     and cloud-wide identical infection (ModChecker's documented blind
     spot). *)
+
+type engine_row = {
+  er_dup : int;  (** How many times each distinct survey is asked. *)
+  er_requests : int;  (** Batch size (distinct modules × [er_dup]). *)
+  er_standalone_s : float;
+      (** The batch as independent one-shot {!Modchecker.Orchestrator}
+          calls, in virtual CPU seconds. *)
+  er_engine_s : float;  (** The same batch through one {!Mc_engine}. *)
+  er_coalesced : int;  (** Submissions answered by an in-flight twin. *)
+  er_speedup : float;  (** Standalone / engine. *)
+}
+
+val engine_throughput :
+  ?vms:int -> ?dups:int list -> ?seed:int64 -> unit -> engine_row list
+(** X10: overlapping-batch cost, engine vs one-shot loop. Duplicate
+    fan-in is where the engine earns its keep: coalescing and the shared
+    incremental state turn re-asks into staleness probes, so the speedup
+    column should grow with [er_dup]. *)

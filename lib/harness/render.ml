@@ -242,3 +242,20 @@ let baseline_table rows =
            Figures.baseline_cell_string r.modchecker;
          ])
        rows)
+
+let engine_table rows =
+  Table.render
+    ~header:
+      [ "dup"; "requests"; "standalone (ms)"; "engine (ms)"; "coalesced";
+        "speedup" ]
+    (List.map
+       (fun (r : Figures.engine_row) ->
+         [
+           string_of_int r.er_dup;
+           string_of_int r.er_requests;
+           Printf.sprintf "%.2f" (r.er_standalone_s *. 1000.0);
+           Printf.sprintf "%.2f" (r.er_engine_s *. 1000.0);
+           string_of_int r.er_coalesced;
+           Printf.sprintf "%.1fx" r.er_speedup;
+         ])
+       rows)

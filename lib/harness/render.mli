@@ -31,3 +31,5 @@ val fault_table : Figures.fault_row list -> string
     rate, with retry/abort counters. *)
 
 val baseline_table : Figures.baseline_row list -> string
+
+val engine_table : Figures.engine_row list -> string

@@ -9,9 +9,23 @@ module Phys = Mc_memsim.Phys
    and served stale data once the guest wrote the frame. *)
 type cache_entry = { ce_epoch : int; ce_version : int; ce_data : Bytes.t }
 
-type page_cache = (int, cache_entry) Hashtbl.t
+(* The table is mutex-guarded because one cache may be shared across
+   concurrently running sessions of the same VM (the engine services
+   overlapping requests from different shards). The lock covers only the
+   table operations, never a foreign map: two racing misses both map and
+   the later store wins, which is correct because both mapped the same
+   versioned frame. *)
+type page_cache = {
+  pc_mutex : Mutex.t;
+  pc_tbl : (int, cache_entry) Hashtbl.t;
+}
 
-let create_cache () : page_cache = Hashtbl.create 64
+let create_cache () : page_cache =
+  { pc_mutex = Mutex.create (); pc_tbl = Hashtbl.create 64 }
+
+let cache_locked c f =
+  Mutex.lock c.pc_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.pc_mutex) f
 
 type t = {
   t_dom : Dom.t;
@@ -81,7 +95,8 @@ let retrying_pause_op t op =
 
 let pause t = retrying_pause_op t Xenctl.pause
 
-let flush_cache t = Hashtbl.reset t.cache
+let flush_cache t =
+  cache_locked t.cache (fun () -> Hashtbl.reset t.cache.pc_tbl)
 
 let resume t =
   retrying_pause_op t Xenctl.resume;
@@ -131,11 +146,13 @@ let mapped_page t pfn =
     tadd "vmi.pages_mapped" 1;
     let epoch = Xenctl.memory_epoch t.t_dom in
     let ver = Xenctl.page_version t.t_dom pfn in
-    Hashtbl.replace t.cache pfn { ce_epoch = epoch; ce_version = ver; ce_data = data };
+    cache_locked t.cache (fun () ->
+        Hashtbl.replace t.cache.pc_tbl pfn
+          { ce_epoch = epoch; ce_version = ver; ce_data = data });
     Hashtbl.replace t.touched pfn ver;
     data
   in
-  match Hashtbl.find_opt t.cache pfn with
+  match cache_locked t.cache (fun () -> Hashtbl.find_opt t.cache.pc_tbl pfn) with
   | Some ce
     when ce.ce_epoch = Xenctl.memory_epoch t.t_dom
          && ce.ce_version = Xenctl.page_version t.t_dom pfn ->
@@ -252,4 +269,5 @@ let read_va_u16 t va =
   let b = read_va t va 2 in
   Bytes.get_uint16_le b 0
 
-let pages_cached t = Hashtbl.length t.cache
+let pages_cached t =
+  cache_locked t.cache (fun () -> Hashtbl.length t.cache.pc_tbl)

@@ -115,7 +115,10 @@ let prop_canonical_clean_pool =
 (* --- survey strategy equivalence -------------------------------------- *)
 
 let deviants strategy cloud name =
-  (Orchestrator.survey ~strategy cloud ~module_name:name).Report.deviant_vms
+  (Orchestrator.survey
+     ~config:Orchestrator.Config.(default |> with_strategy strategy)
+     cloud ~module_name:name)
+    .Report.deviant_vms
 
 let test_survey_strategies_agree_clean () =
   let cloud = Cloud.create ~vms:5 ~seed:410L () in
@@ -154,7 +157,10 @@ let test_canonical_cheaper () =
   let cloud = Cloud.create ~vms:8 ~seed:413L () in
   let cost strategy =
     let meter = Meter.create () in
-    ignore (Orchestrator.survey ~strategy ~meter cloud ~module_name:"http.sys");
+    ignore
+      (Orchestrator.survey
+         ~config:Orchestrator.Config.(default |> with_strategy strategy)
+         ~meter cloud ~module_name:"http.sys");
     (Meter.get meter Meter.Checker).Meter.bytes_hashed
   in
   let pairwise = cost Orchestrator.Pairwise in

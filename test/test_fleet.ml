@@ -55,7 +55,12 @@ let test_fleet_combined_attacks () =
   (match Infect.hide_module cloud ~vm:1 ~module_name:"http.sys" with
   | Ok _ -> ()
   | Error e -> Alcotest.fail e);
-  let r = Fleet.assess ~strategy:Orchestrator.Canonical cloud in
+  let r =
+    Fleet.assess
+      ~config:
+        Orchestrator.Config.(default |> with_strategy Orchestrator.Canonical)
+      cloud
+  in
   (* Two independent findings implicate the same VM. *)
   match r.Fleet.fr_suspicion with
   | (1, 2) :: _ -> ()

@@ -22,7 +22,7 @@ let config ~incremental =
     Patrol.default_config with
     Patrol.watch;
     interval_s = 30.0;
-    strategy = Orchestrator.Canonical;
+    check = Orchestrator.Config.(default |> with_strategy Orchestrator.Canonical);
     incremental;
   }
 
@@ -139,12 +139,13 @@ let test_detections_survive_caching () =
     (fun (label, infect, module_name) ->
       let cloud = Cloud.create ~vms:5 ~seed:44L () in
       let inc = Orchestrator.create_incremental () in
+      let config = Orchestrator.Config.(default |> with_incremental inc) in
       (* Warm the cache with a clean survey first. *)
-      let clean = Orchestrator.survey ~incremental:inc cloud ~module_name in
+      let clean = Orchestrator.survey ~config cloud ~module_name in
       check Alcotest.(list int) (label ^ ": clean pool") []
         clean.Report.deviant_vms;
       infect cloud;
-      let s = Orchestrator.survey ~incremental:inc cloud ~module_name in
+      let s = Orchestrator.survey ~config cloud ~module_name in
       check Alcotest.(list int) (label ^ ": first sweep after infection")
         [ 1 ] s.Report.deviant_vms)
     [
@@ -168,15 +169,16 @@ let test_detections_survive_caching () =
 let test_dkom_list_cache () =
   let cloud = Cloud.create ~vms:5 ~seed:45L () in
   let inc = Orchestrator.create_incremental () in
+  let config = Orchestrator.Config.(default |> with_incremental inc) in
   check Alcotest.int "clean lists" 0
-    (List.length (Orchestrator.compare_module_lists ~incremental:inc cloud));
+    (List.length (Orchestrator.compare_module_lists ~config cloud));
   (* Warm again so the listings are all cache hits... *)
   check Alcotest.int "still clean from cache" 0
-    (List.length (Orchestrator.compare_module_lists ~incremental:inc cloud));
+    (List.length (Orchestrator.compare_module_lists ~config cloud));
   (* ...then DKOM-hide a module: the unlink writes the LDR list pages,
      which are in the cached walk's footprint. *)
   expect_ok (Infect.hide_module cloud ~vm:1 ~module_name:"http.sys");
-  match Orchestrator.compare_module_lists ~incremental:inc cloud with
+  match Orchestrator.compare_module_lists ~config cloud with
   | [ d ] ->
       check Alcotest.string "module" "http.sys" d.Orchestrator.ld_module;
       check Alcotest.(list int) "missing on" [ 1 ] d.Orchestrator.missing_on

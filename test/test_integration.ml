@@ -129,8 +129,10 @@ let test_parallel_survey_consistency () =
   let seq = Orchestrator.survey cloud ~module_name:"hal.dll" in
   let pool = Mc_parallel.Pool.create 3 in
   let par =
-    Orchestrator.survey ~mode:(Orchestrator.Parallel pool) cloud
-      ~module_name:"hal.dll"
+    Orchestrator.survey
+      ~config:
+        Orchestrator.Config.(default |> with_mode (Orchestrator.Parallel pool))
+      cloud ~module_name:"hal.dll"
   in
   Mc_parallel.Pool.shutdown pool;
   check Alcotest.(list int) "same deviants" seq.Report.deviant_vms

@@ -12,7 +12,16 @@ module Pool = Mc_parallel.Pool
 let check = Alcotest.check
 
 let check_exn ?mode ?others cloud ~target_vm ~module_name =
-  match Orchestrator.check_module ?mode ?others cloud ~target_vm ~module_name with
+  let config =
+    Orchestrator.Config.default
+    |> (match mode with
+       | Some m -> Orchestrator.Config.with_mode m
+       | None -> Fun.id)
+    |> match others with
+       | Some o -> Orchestrator.Config.with_others o
+       | None -> Fun.id
+  in
+  match Orchestrator.check_module ~config cloud ~target_vm ~module_name with
   | Ok o -> o
   | Error e -> Alcotest.fail e
 

@@ -128,7 +128,11 @@ let test_canonical_strategy_patrol () =
     | Error e -> Alcotest.fail e
   in
   let config =
-    { small_config with Patrol.strategy = Orchestrator.Canonical }
+    {
+      small_config with
+      Patrol.check =
+        Orchestrator.Config.(default |> with_strategy Orchestrator.Canonical);
+    }
   in
   let o = Patrol.run ~config ~events:[ (12.0, infect) ] cloud ~until:60.0 in
   Alcotest.(check bool) "canonical patrol detects too" true
