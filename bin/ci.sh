@@ -154,3 +154,39 @@ if [ "$serve_status" -ne 2 ] || [ "$check_status" -ne 2 ]; then
   exit 1
 fi
 echo "serve exit-code parity OK: infected pool exits 2 both ways"
+
+echo "== simulation smoke (25 campaigns x 40 steps, oracle-validated, deterministic) =="
+sim1="$(mktemp -t modchecker_sim1.XXXXXX.txt)"
+sim2="$(mktemp -t modchecker_sim2.XXXXXX.txt)"
+simfail="$(mktemp -t modchecker_simfail.XXXXXX.txt)"
+trap 'rm -f "$trace" "$metrics" "$detect" "$reqs" "$serve_out" "$sim1" "$sim2" "$simfail"' EXIT
+
+# Two identical invocations must produce byte-identical transcripts and
+# exit 0: every verdict, alarm, and metered cost matched the oracle.
+dune exec --no-build bin/modchecker_cli.exe -- \
+  simtest --seed 42 --steps 40 --campaign 25 --transcript "$sim1" > /dev/null
+dune exec --no-build bin/modchecker_cli.exe -- \
+  simtest --seed 42 --steps 40 --campaign 25 --transcript "$sim2" > /dev/null
+cmp "$sim1" "$sim2" || {
+  echo "ci: simulation smoke failed: transcripts differ between identical runs" >&2
+  exit 1
+}
+
+# The oracle must have teeth: a checker with one flipped cached digest
+# byte fails the campaign and the failure shrinks to a replayable script.
+set +e
+dune exec --no-build bin/modchecker_cli.exe -- \
+  simtest --seed 42 --steps 40 --campaign 5 --break-checker > "$simfail" 2>&1
+sim_status=$?
+set -e
+if [ "$sim_status" -ne 1 ]; then
+  echo "ci: simulation smoke failed: broken checker exited $sim_status (want 1)" >&2
+  cat "$simfail" >&2
+  exit 1
+fi
+grep -q 'simtest-scenario v1' "$simfail" || {
+  echo "ci: simulation smoke failed: no shrunk replayable scenario in output" >&2
+  cat "$simfail" >&2
+  exit 1
+}
+echo "simulation smoke OK: deterministic transcripts, broken checker caught and shrunk"

@@ -844,6 +844,117 @@ let disasm_cmd =
       const run_disasm $ vms_arg $ cores_arg $ seed_arg $ vm_arg $ module_arg
       $ func_arg $ count_arg)
 
+(* --- simtest ------------------------------------------------------------- *)
+
+let run_simtest verbose seed steps campaigns keep_going break_checker
+    shrink_budget quorum script transcript_out =
+  setup_logs verbose;
+  (* Thousands of deliberate infections later, per-alarm warnings are
+     noise; the transcript and the oracle's verdict are the output. *)
+  if not verbose then Logs.set_level (Some Logs.Error);
+  let write_transcript t =
+    match transcript_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc t;
+        close_out oc
+  in
+  match script with
+  | Some path ->
+      (* Replay an explicit scenario (e.g. a shrunk failure) without the
+         generator. *)
+      let ic =
+        try open_in path
+        with Sys_error msg ->
+          prerr_endline ("error: " ^ msg);
+          exit Exit_code.error
+      in
+      let src = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (match Mc_simtest.Event.scenario_of_script src with
+      | Error e ->
+          prerr_endline (Printf.sprintf "error: %s: %s" path e);
+          exit Exit_code.error
+      | Ok sc -> (
+          let r = Mc_simtest.replay ~break_checker ?quorum sc in
+          write_transcript r.Mc_simtest.Runner.r_transcript;
+          match r.Mc_simtest.Runner.r_failure with
+          | None ->
+              Printf.printf "replay ok: %d events applied, %d skipped\n"
+                r.Mc_simtest.Runner.r_applied r.Mc_simtest.Runner.r_skipped;
+              exit Exit_code.ok
+          | Some f ->
+              Printf.printf "replay FAILED at step %d: %s\n"
+                f.Mc_simtest.Runner.f_step f.Mc_simtest.Runner.f_reason;
+              exit Exit_code.error))
+  | None ->
+      let r =
+        Mc_simtest.run_campaigns ~break_checker ~keep_going
+          ~shrink_budget ?quorum ~seed ~steps ~campaigns ()
+      in
+      write_transcript r.Mc_simtest.cr_transcript;
+      Printf.printf
+        "%d campaign(s), %d event(s) applied, %d skipped, %d failure(s)\n"
+        r.Mc_simtest.cr_campaigns r.Mc_simtest.cr_applied
+        r.Mc_simtest.cr_skipped
+        (List.length r.Mc_simtest.cr_failures);
+      List.iter
+        (fun cf -> print_string (Mc_simtest.render_failure cf))
+        r.Mc_simtest.cr_failures;
+      exit
+        (if r.Mc_simtest.cr_failures = [] then Exit_code.ok
+         else Exit_code.error)
+
+let simtest_cmd =
+  let doc =
+    "Deterministic whole-system simulation testing: random scenarios \
+     validated step-by-step against a ground-truth oracle."
+  in
+  let steps_arg =
+    Arg.(value & opt int 50 & info [ "steps" ] ~docv:"K"
+         ~doc:"Events per generated scenario.")
+  in
+  let campaigns_arg =
+    Arg.(value & opt int 1 & info [ "campaign" ] ~docv:"M"
+         ~doc:"Campaigns to run; campaign $(i,i) uses seed + $(i,i).")
+  in
+  let keep_going_arg =
+    Arg.(value & flag & info [ "keep-going"; "soak" ]
+         ~doc:"Soak mode: keep running after a failure instead of \
+               stopping at the first one.")
+  in
+  let break_checker_arg =
+    Arg.(value & flag & info [ "break-checker" ]
+         ~doc:"Self-test: flip one byte of a cached digest mid-campaign; \
+               the oracle must catch the now-lying checker.")
+  in
+  let shrink_budget_arg =
+    Arg.(value & opt int 300 & info [ "shrink-budget" ] ~docv:"N"
+         ~doc:"Candidate runs the shrinker may spend per failure \
+               (0 disables shrinking).")
+  in
+  let sim_quorum_arg =
+    Arg.(value & opt (some float) None & info [ "quorum" ] ~docv:"FRACTION"
+         ~doc:"Override the orchestrator quorum under test.")
+  in
+  let script_arg =
+    Arg.(value & opt (some string) None & info [ "script" ] ~docv:"FILE"
+         ~doc:"Replay an explicit scenario script instead of generating \
+               one (the shrinker prints failures in this format).")
+  in
+  let transcript_arg =
+    Arg.(value & opt (some string) None & info [ "transcript" ] ~docv:"FILE"
+         ~doc:"Write the deterministic run transcript to $(docv); two \
+               runs with the same arguments produce identical files.")
+  in
+  Cmd.v
+    (Cmd.info "simtest" ~doc)
+    Term.(
+      const run_simtest $ verbose_arg $ seed_arg $ steps_arg $ campaigns_arg
+      $ keep_going_arg $ break_checker_arg $ shrink_budget_arg
+      $ sim_quorum_arg $ script_arg $ transcript_arg)
+
 (* --- main --------------------------------------------------------------- *)
 
 let () =
@@ -857,5 +968,5 @@ let () =
        (Cmd.group info
           [
             check_cmd; survey_cmd; list_cmd; detect_cmd; figures_cmd;
-            patrol_cmd; health_cmd; serve_cmd; disasm_cmd;
+            patrol_cmd; health_cmd; serve_cmd; disasm_cmd; simtest_cmd;
           ]))

@@ -27,6 +27,24 @@ let store t ~vm ~key ~epoch ~footprint value =
       Hashtbl.replace t.tbl (vm, key)
         { e_epoch = epoch; e_footprint = footprint; e_value = value })
 
+let tamper t f =
+  locked t (fun () ->
+      let changed = ref 0 in
+      let replacements =
+        Hashtbl.fold
+          (fun ((vm, key) as k) e acc ->
+            match f ~vm ~key e.e_value with
+            | Some v -> (k, { e with e_value = v }) :: acc
+            | None -> acc)
+          t.tbl []
+      in
+      List.iter
+        (fun (k, e) ->
+          incr changed;
+          Hashtbl.replace t.tbl k e)
+        replacements;
+      !changed)
+
 let probe ?meter t dom ~vm ~key =
   match locked t (fun () -> Hashtbl.find_opt t.tbl (vm, key)) with
   | Some e when Xenctl.pages_unchanged ?meter dom ~epoch:e.e_epoch e.e_footprint

@@ -44,3 +44,11 @@ val store :
 
 val length : 'a t -> int
 (** Number of live entries (for tests). *)
+
+val tamper : 'a t -> (vm:int -> key:string -> 'a -> 'a option) -> int
+(** [tamper t f] applies [f] to every cached value (with its (vm, key)
+    identity), replacing those for which it returns [Some] while keeping
+    their footprints valid, and returns how many entries changed.
+    Test-only sabotage: it simulates a checker whose memoized results lie
+    (e.g. one digest byte flipped), which the simulation harness's oracle
+    must catch. Never used by production paths. *)

@@ -459,7 +459,24 @@ let vm_fingerprint ~meter ~relocs ~base artifacts : fingerprint =
     artifacts
   |> List.sort compare
 
-let survey ?(config = Config.default) ?meter cloud ~module_name =
+exception Escalate_to_full
+
+let rec survey ?(config = Config.default) ?meter cloud ~module_name =
+  try survey_once ~config ?meter cloud ~module_name
+  with Escalate_to_full ->
+    (* Per-VM reloc-guided fingerprints can only reconcile *clean*
+       copies: identically-tampered copies whose code shifted hash to
+       base-dependent garbage at the golden slot offsets and would all
+       look mutually deviant. Any disagreement therefore escalates to
+       the cross-buffer full survey — the steady-state clean pool never
+       pays for this, and verdict parity with the full path holds by
+       construction. *)
+    Tel.add "survey.incremental_escalations" 1;
+    survey
+      ~config:{ config with Config.incremental = None }
+      ?meter cloud ~module_name
+
+and survey_once ~config ?meter cloud ~module_name =
   let { Config.mode; strategy; incremental; quorum; deadline_s; _ } = config in
   Tel.with_span
     ~attrs:
@@ -556,7 +573,10 @@ let survey ?(config = Config.default) ?meter cloud ~module_name =
               List.map (fun (u, fq) -> ((v, u), (fp : fingerprint) = fq)) rest
               @ pairs rest
         in
-        (List.map fst present, missing_on, unreachable_on, pairs present)
+        let pairwise = pairs present in
+        if List.exists (fun (_, ok) -> not ok) pairwise then
+          raise Escalate_to_full;
+        (List.map fst present, missing_on, unreachable_on, pairwise)
     | None ->
         let fetch vm =
           Tel.with_span ?parent:root_id ~attrs:[ ("vm", Int vm) ] "vm_check"

@@ -136,7 +136,12 @@ val survey :
     fingerprints memoized in the digest cache: a VM whose relevant pages
     are untouched since the last sweep costs one log-dirty staleness probe
     instead of a full map→parse→hash pipeline, and the strategy is
-    irrelevant. Verdicts are unchanged either way.
+    irrelevant. Reloc-guided adjustment can only reconcile {e clean}
+    copies, so any fingerprint disagreement escalates to the full
+    cross-buffer survey (counted under the
+    ["survey.incremental_escalations"] telemetry counter) — a clean
+    steady-state pool never pays for this, and verdicts are unchanged
+    either way.
 
     An unreachable VM (fault-plan retries exhausted, or its task past the
     deadline in [Parallel] mode) is excluded from the vote and from

@@ -118,5 +118,10 @@ val time_to_detect :
     [None] when no such alarm fired. *)
 
 val alarm_kind_string : alarm_kind -> string
+(** Human-readable label, e.g. ["missing module"]. *)
+
+val alarm_kind_key : alarm_kind -> string
+(** Stable machine key, e.g. ["missing_module"] — used in JSON exports
+    and by tooling that matches alarms structurally. *)
 
 val to_json : outcome -> Mc_util.Json.t

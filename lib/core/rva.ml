@@ -104,29 +104,56 @@ let canonicalize ~bases buffers =
         if start < 0 || start + 4 > len then incr j
         else begin
           incr detected;
+          let values = Array.map (fun b -> Le.get_u32_int b start) buffers in
           let rvas =
-            Array.mapi
-              (fun i b -> (Le.get_u32_int b start - bases.(i)) land mask32)
-              buffers
+            Array.mapi (fun i v -> (v - bases.(i)) land mask32) values
           in
-          (* Majority RVA. *)
-          let counts = Hashtbl.create 4 in
-          Array.iter
-            (fun r ->
-              Hashtbl.replace counts r
-                (1 + Option.value ~default:0 (Hashtbl.find_opt counts r)))
-            rvas;
-          let best_rva, best_count =
+          (* A genuine slot holds [base_i + rva], so copies at different
+             bases must hold different raw words. Two distinct-base
+             copies with the same word prove the position is plain
+             content — without this, a misaligned word inside an
+             infected copy's divergence can coincidentally rva-match one
+             clean copy and outvote the identical remaining clean ones. *)
+          let content_pair = ref false in
+          for a = 0 to n - 1 do
+            for b = a + 1 to n - 1 do
+              if bases.(a) <> bases.(b) && values.(a) = values.(b) then
+                content_pair := true
+            done
+          done;
+          if !content_pair then incr j
+          else
+          (* Majority RVA, voting by distinct load base: copies that
+             share a base agree on the implied RVA of any byte range
+             trivially, so they carry one vote together — counting them
+             separately manufactures a "relocation slot" out of plain
+             content divergence whenever base allocation collides. *)
+          let support = Hashtbl.create 4 in
+          Array.iteri
+            (fun i _ ->
+              let r = rvas.(i) in
+              let bs =
+                Option.value ~default:[] (Hashtbl.find_opt support r)
+              in
+              if not (List.mem bases.(i) bs) then
+                Hashtbl.replace support r (bases.(i) :: bs))
+            buffers;
+          let total_bases =
+            Array.to_list bases |> List.sort_uniq compare |> List.length
+          in
+          let best_rva, best_support =
             Hashtbl.fold
-              (fun r c ((_, bc) as acc) -> if c > bc then (r, c) else acc)
-              counts (0, 0)
+              (fun r bs ((_, bc) as acc) ->
+                let c = List.length bs in
+                if c > bc then (r, c) else acc)
+              support (0, 0)
           in
-          if best_count = n then begin
+          if Array.for_all (Int.equal best_rva) rvas then begin
             incr unanimous;
             Array.iter (fun b -> Le.set_u32_int b start best_rva) buffers;
             j := start + 4
           end
-          else if 2 * best_count > n then begin
+          else if 2 * best_support > total_bases then begin
             incr majority_slots;
             let off_deviants = ref [] in
             Array.iteri

@@ -105,6 +105,8 @@ let busy_guest_vcpus t =
 let set_workload_all t w =
   Array.iter (fun (dom : Dom.t) -> dom.workload <- w) t.domus
 
+let set_workload t i w = (vm t i).Dom.workload <- w
+
 let busy_vms t =
   Array.fold_left
     (fun n (dom : Dom.t) ->

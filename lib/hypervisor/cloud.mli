@@ -65,5 +65,9 @@ val busy_guest_vcpus : t -> int
 
 val set_workload_all : t -> Mc_workload.Stress.t -> unit
 
+val set_workload : t -> int -> Mc_workload.Stress.t -> unit
+(** [set_workload t i w] changes DomU [i]'s workload alone — per-VM churn,
+    where {!set_workload_all} is the fleet-wide switch. *)
+
 val busy_vms : t -> int
 (** Number of DomUs whose workload exerts memory-bus pressure. *)

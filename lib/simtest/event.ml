@@ -1,0 +1,242 @@
+module Faultplan = Mc_memsim.Faultplan
+module Stress = Mc_workload.Stress
+
+type family = Opcode | Hook | Stub | Dll_inject | Pointer | Hide
+
+let family_key = function
+  | Opcode -> "opcode"
+  | Hook -> "hook"
+  | Stub -> "stub"
+  | Dll_inject -> "dll"
+  | Pointer -> "pointer"
+  | Hide -> "hide"
+
+let family_of_string = function
+  | "opcode" -> Ok Opcode
+  | "hook" -> Ok Hook
+  | "stub" -> Ok Stub
+  | "dll" -> Ok Dll_inject
+  | "pointer" -> Ok Pointer
+  | "hide" -> Ok Hide
+  | s -> Error ("unknown malware family " ^ s)
+
+let all_families = [| Opcode; Hook; Stub; Dll_inject; Pointer; Hide |]
+
+type workload_kind = Idle | Cpu_bound | Heavy
+
+let workload_key = function
+  | Idle -> "idle"
+  | Cpu_bound -> "cpu"
+  | Heavy -> "heavy"
+
+let workload_of_string = function
+  | "idle" -> Ok Idle
+  | "cpu" -> Ok Cpu_bound
+  | "heavy" -> Ok Heavy
+  | s -> Error ("unknown workload " ^ s)
+
+let stress_of_workload = function
+  | Idle -> Stress.idle
+  | Cpu_bound -> Stress.cpu_only
+  | Heavy -> Stress.heavyload
+
+type burst_item = {
+  b_priority : Mc_engine.priority;
+  b_request : Mc_engine.request;
+}
+
+type t =
+  | Infect of { family : family; vm : int; module_name : string; func : string }
+  | Reboot of int
+  | Restore of int
+  | Load of { vm : int; module_name : string }
+  | Workload of { vm : int; load : workload_kind }
+  | Faults of Faultplan.spec option
+  | Sweep
+  | Check of { vm : int; module_name : string }
+  | Burst of burst_item list
+
+(* Burst items serialize as [prio:kind:vm:module] with ["-"] for unused
+   fields, comma-joined — colon/comma keep each burst a single script
+   token. *)
+let burst_item_to_string { b_priority; b_request } =
+  let prio = Mc_engine.priority_key b_priority in
+  match b_request with
+  | Mc_engine.Check { vm; module_name } ->
+      Printf.sprintf "%s:check:%d:%s" prio vm module_name
+  | Mc_engine.Survey { module_name } ->
+      Printf.sprintf "%s:survey:-:%s" prio module_name
+  | Mc_engine.Lists -> Printf.sprintf "%s:lists:-:-" prio
+
+let ( let* ) = Result.bind
+
+let int_of_field what s =
+  match int_of_string_opt s with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "%s: expected an integer, got %S" what s)
+
+let burst_item_of_string s =
+  match String.split_on_char ':' s with
+  | [ prio; kind; vm; module_name ] -> (
+      let* b_priority = Mc_engine.priority_of_string prio in
+      match kind with
+      | "check" ->
+          let* vm = int_of_field "burst check vm" vm in
+          Ok { b_priority; b_request = Mc_engine.Check { vm; module_name } }
+      | "survey" ->
+          Ok { b_priority; b_request = Mc_engine.Survey { module_name } }
+      | "lists" -> Ok { b_priority; b_request = Mc_engine.Lists }
+      | k -> Error ("unknown burst request kind " ^ k))
+  | _ -> Error ("malformed burst item " ^ s)
+
+let to_string = function
+  | Infect { family; vm; module_name; func } ->
+      Printf.sprintf "infect %s %d %s %s" (family_key family) vm module_name
+        (if func = "" then "-" else func)
+  | Reboot vm -> Printf.sprintf "reboot %d" vm
+  | Restore vm -> Printf.sprintf "restore %d" vm
+  | Load { vm; module_name } -> Printf.sprintf "load %d %s" vm module_name
+  | Workload { vm; load } ->
+      Printf.sprintf "workload %d %s" vm (workload_key load)
+  | Faults None -> "faults none"
+  | Faults (Some spec) -> "faults " ^ Faultplan.to_string spec
+  | Sweep -> "sweep"
+  | Check { vm; module_name } -> Printf.sprintf "check %d %s" vm module_name
+  | Burst items ->
+      "burst " ^ String.concat "," (List.map burst_item_to_string items)
+
+let of_string line =
+  let words =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [ "infect"; family; vm; module_name; func ] ->
+      let* family = family_of_string family in
+      let* vm = int_of_field "infect vm" vm in
+      let func = if func = "-" then "" else func in
+      Ok (Infect { family; vm; module_name; func })
+  | [ "reboot"; vm ] ->
+      let* vm = int_of_field "reboot vm" vm in
+      Ok (Reboot vm)
+  | [ "restore"; vm ] ->
+      let* vm = int_of_field "restore vm" vm in
+      Ok (Restore vm)
+  | [ "load"; vm; module_name ] ->
+      let* vm = int_of_field "load vm" vm in
+      Ok (Load { vm; module_name })
+  | [ "workload"; vm; load ] ->
+      let* vm = int_of_field "workload vm" vm in
+      let* load = workload_of_string load in
+      Ok (Workload { vm; load })
+  | [ "faults"; "none" ] -> Ok (Faults None)
+  | [ "faults"; spec ] ->
+      let* spec = Faultplan.of_string spec in
+      Ok (Faults (if Faultplan.is_none spec then None else Some spec))
+  | [ "sweep" ] -> Ok Sweep
+  | [ "check"; vm; module_name ] ->
+      let* vm = int_of_field "check vm" vm in
+      Ok (Check { vm; module_name })
+  | [ "burst"; items ] ->
+      let rec parse acc = function
+        | [] -> Ok (Burst (List.rev acc))
+        | item :: rest ->
+            let* item = burst_item_of_string item in
+            parse (item :: acc) rest
+      in
+      parse [] (String.split_on_char ',' items)
+  | [] -> Error "empty event line"
+  | w :: _ -> Error ("unknown event " ^ w)
+
+type scenario = {
+  sc_vms : int;
+  sc_cores : int;
+  sc_cloud_seed : int64;
+  sc_watch : string list;
+  sc_events : t list;
+}
+
+let header = "simtest-scenario v1"
+
+let scenario_to_script sc =
+  let b = Buffer.create 512 in
+  Buffer.add_string b (header ^ "\n");
+  Buffer.add_string b (Printf.sprintf "vms %d\n" sc.sc_vms);
+  Buffer.add_string b (Printf.sprintf "cores %d\n" sc.sc_cores);
+  Buffer.add_string b (Printf.sprintf "cloud-seed %Ld\n" sc.sc_cloud_seed);
+  Buffer.add_string b ("watch " ^ String.concat "," sc.sc_watch ^ "\n");
+  List.iter
+    (fun ev -> Buffer.add_string b ("event " ^ to_string ev ^ "\n"))
+    sc.sc_events;
+  Buffer.contents b
+
+let scenario_of_script text =
+  let lines = String.split_on_char '\n' text in
+  let rec parse lineno seen_header sc lines =
+    match lines with
+    | [] -> (
+        match sc with
+        | Some sc -> Ok { sc with sc_events = List.rev sc.sc_events }
+        | None -> Error "missing header line")
+    | line :: rest -> (
+        let at msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+        let line = String.trim line in
+        if line = "" || String.length line > 0 && line.[0] = '#' then
+          parse (lineno + 1) seen_header sc rest
+        else if not seen_header then
+          if line = header then
+            parse (lineno + 1) true
+              (Some
+                 {
+                   sc_vms = 0;
+                   sc_cores = 0;
+                   sc_cloud_seed = 0L;
+                   sc_watch = [];
+                   sc_events = [];
+                 })
+              rest
+          else at (Printf.sprintf "expected %S" header)
+        else
+          let sc = Option.get sc in
+          match String.index_opt line ' ' with
+          | None -> (
+              match line with
+              | "event" -> at "event line without an event"
+              | _ -> at ("unknown field " ^ line))
+          | Some i -> (
+              let field = String.sub line 0 i in
+              let value =
+                String.trim (String.sub line (i + 1) (String.length line - i - 1))
+              in
+              let continue sc = parse (lineno + 1) true (Some sc) rest in
+              match field with
+              | "vms" -> (
+                  match int_of_string_opt value with
+                  | Some v when v > 0 -> continue { sc with sc_vms = v }
+                  | _ -> at ("bad vms count " ^ value))
+              | "cores" -> (
+                  match int_of_string_opt value with
+                  | Some v when v > 0 -> continue { sc with sc_cores = v }
+                  | _ -> at ("bad cores count " ^ value))
+              | "cloud-seed" -> (
+                  match Int64.of_string_opt value with
+                  | Some v -> continue { sc with sc_cloud_seed = v }
+                  | None -> at ("bad cloud-seed " ^ value))
+              | "watch" ->
+                  continue
+                    {
+                      sc with
+                      sc_watch =
+                        String.split_on_char ',' value
+                        |> List.filter (fun m -> m <> "");
+                    }
+              | "event" -> (
+                  match of_string value with
+                  | Ok ev -> continue { sc with sc_events = ev :: sc.sc_events }
+                  | Error e -> at e)
+              | _ -> at ("unknown field " ^ field)))
+  in
+  let* sc = parse 1 false None lines in
+  if sc.sc_vms < 2 then Error "scenario needs at least 2 VMs"
+  else if sc.sc_cores < 1 then Error "scenario needs at least 1 core"
+  else Ok sc

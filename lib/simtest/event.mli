@@ -1,0 +1,71 @@
+(** The simulation harness's scenario language.
+
+    A scenario is everything one campaign needs to replay exactly: the
+    cloud's shape, the watch list the patrol sweeps, and a timeline of
+    events — infections from the malware catalog, reboots and restores,
+    workload churn, fault-plan changes, patrol sweeps, interactive
+    checks, and engine request bursts. Scenarios are generated from a
+    single seed ({!Gen.scenario}), but they also round-trip through a
+    line-oriented script form so a shrunk failing case can be printed,
+    replayed with [modchecker simtest --script], and committed as a
+    regression test. *)
+
+type family = Opcode | Hook | Stub | Dll_inject | Pointer | Hide
+    (** The six malware families of the evaluation: disk patch (loads at
+        reboot), in-memory inline hook, DOS-stub patch on [hello.sys]
+        (loaded everywhere), import injection into [dummy.sys] (loaded
+        everywhere, helper DLL on the victim), read-only function-pointer
+        redirect in [hal.dll], and DKOM list unlinking. *)
+
+val family_key : family -> string
+val family_of_string : string -> (family, string) result
+val all_families : family array
+
+type workload_kind = Idle | Cpu_bound | Heavy
+
+val workload_key : workload_kind -> string
+val workload_of_string : string -> (workload_kind, string) result
+val stress_of_workload : workload_kind -> Mc_workload.Stress.t
+
+type burst_item = {
+  b_priority : Mc_engine.priority;
+  b_request : Mc_engine.request;
+}
+
+type t =
+  | Infect of { family : family; vm : int; module_name : string; func : string }
+      (** [module_name]/[func] are fixed by the family for [Stub],
+          [Dll_inject] and [Pointer]; [func] is unused by [Hide]. *)
+  | Reboot of int
+  | Restore of int  (** Revert the VM to its campaign-start snapshot. *)
+  | Load of { vm : int; module_name : string }
+      (** Ask the guest kernel to (re)load a driver from its own disk —
+          which resurrects a dropped-but-unloaded infected file. *)
+  | Workload of { vm : int; load : workload_kind }
+  | Faults of Mc_memsim.Faultplan.spec option  (** [None] disarms. *)
+  | Sweep  (** One patrol sweep over the scenario's watch list. *)
+  | Check of { vm : int; module_name : string }
+  | Burst of burst_item list  (** Engine requests at mixed priorities. *)
+
+val to_string : t -> string
+(** One-line form, e.g. ["infect hook 2 hal.dll HalQueryRealTimeClock"],
+    ["faults transient=0.05,seed=9"], ["burst high:check:0:hal.dll,low:lists:-:-"]. *)
+
+val of_string : string -> (t, string) result
+
+type scenario = {
+  sc_vms : int;
+  sc_cores : int;
+  sc_cloud_seed : int64;
+  sc_watch : string list;  (** Modules each [Sweep] surveys. *)
+  sc_events : t list;
+}
+
+val scenario_to_script : scenario -> string
+(** The replayable text form: a [simtest-scenario v1] header line,
+    [vms]/[cores]/[cloud-seed]/[watch] fields, then one [event] line per
+    event. Round-trips through {!scenario_of_script}. *)
+
+val scenario_of_script : string -> (scenario, string) result
+(** Parse {!scenario_to_script}'s output (blank lines and [#] comments
+    are ignored). Errors name the offending line. *)

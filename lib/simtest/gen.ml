@@ -1,0 +1,240 @@
+module Rng = Mc_util.Rng
+module Catalog = Mc_pe.Catalog
+module Faultplan = Mc_memsim.Faultplan
+
+(* Medium-sized standard modules: cheap to survey, present on every VM,
+   and with enough functions to randomize infection offsets. *)
+let infectable_standard = [| "hal.dll"; "disk.sys"; "atapi.sys" |]
+let watch_candidates =
+  [| "hal.dll"; "disk.sys"; "atapi.sys"; "tcpip.sys"; "hello.sys"; "dummy.sys" |]
+
+let func_names module_name =
+  (Catalog.image module_name).Catalog.built_source.Catalog.funcs
+  |> Array.map (fun f -> f.Catalog.fn_name)
+
+let pick_watch rng =
+  let n = Rng.int_in rng 2 3 in
+  let rec add acc k =
+    if k = 0 then acc
+    else
+      let m = Rng.pick rng watch_candidates in
+      if List.mem m acc then add acc k else add (m :: acc) (k - 1)
+  in
+  let watch = add [] n in
+  (* Keep at least one module that is always present, so a sweep always
+     has something to vote on. *)
+  if List.exists (fun m -> List.mem m Catalog.standard_modules) watch then
+    List.sort compare watch
+  else List.sort compare ("disk.sys" :: watch)
+
+let gen_fault_spec rng =
+  match Rng.int rng 4 with
+  | 0 -> None
+  | 1 ->
+      Some
+        {
+          Faultplan.none with
+          Faultplan.transient_rate = 0.02 +. Rng.float rng 0.08;
+          fault_seed = Rng.int rng 1000;
+        }
+  | 2 ->
+      Some
+        {
+          Faultplan.none with
+          Faultplan.transient_rate = 0.02 +. Rng.float rng 0.05;
+          torn_rate = Rng.float rng 0.03;
+          pause_fail_rate = Rng.float rng 0.05;
+          fault_seed = Rng.int rng 1000;
+        }
+  | _ ->
+      Some
+        {
+          Faultplan.none with
+          Faultplan.paged_out_rate = 0.02 +. Rng.float rng 0.10;
+          transient_rate = Rng.float rng 0.03;
+          fault_seed = Rng.int rng 1000;
+        }
+
+let gen_burst rng oracle watch =
+  let n = Rng.int_in rng 2 6 in
+  let watch_arr = Array.of_list watch in
+  List.init n (fun _ ->
+      let b_priority =
+        Rng.pick rng [| Mc_engine.High; Mc_engine.Normal; Mc_engine.Low |]
+      in
+      let b_request =
+        match Rng.int rng 5 with
+        | 0 | 1 ->
+            let vm = Rng.int rng (Oracle.vms oracle) in
+            Mc_engine.Check { vm; module_name = Rng.pick rng watch_arr }
+        | 2 | 3 -> Mc_engine.Survey { module_name = Rng.pick rng watch_arr }
+        | _ -> Mc_engine.Lists
+      in
+      { Event.b_priority; b_request })
+
+let scenario ~seed ~steps =
+  let rng = Rng.create seed in
+  let sc_vms = Rng.int_in rng 3 7 in
+  let sc_cores = Rng.int_in rng 2 8 in
+  let sc_cloud_seed = Rng.next_u64 rng in
+  let sc_watch = pick_watch rng in
+  let oracle = Oracle.create ~vms:sc_vms in
+  (* In-memory infections must stay content-unique across the pool for
+     the oracle's tag model to hold: never hook the same function twice,
+     and at most one pointer hook per campaign. *)
+  let hooked = Hashtbl.create 8 in
+  let pointer_used = ref false in
+  let rand_vm () = Rng.int rng sc_vms in
+  let gen_infect () =
+    match Rng.pick rng Event.all_families with
+    | Event.Opcode ->
+        let vm = rand_vm () in
+        let module_name = Rng.pick rng infectable_standard in
+        let func = Rng.pick rng (func_names module_name) in
+        Some
+          (Event.Infect { family = Event.Opcode; vm; module_name; func })
+    | Event.Hook -> (
+        let vm = rand_vm () in
+        let mods =
+          Oracle.visible_modules oracle vm
+          |> List.filter (fun m -> Array.length (func_names m) > 0)
+        in
+        match mods with
+        | [] -> None
+        | mods -> (
+            let module_name = Rng.pick rng (Array.of_list mods) in
+            let candidates =
+              func_names module_name
+              |> Array.to_list
+              |> List.filter (fun f ->
+                     not (Hashtbl.mem hooked (module_name, f)))
+            in
+            match candidates with
+            | [] -> None
+            | fs ->
+                let func = Rng.pick rng (Array.of_list fs) in
+                Hashtbl.replace hooked (module_name, func) ();
+                Some
+                  (Event.Infect
+                     { family = Event.Hook; vm; module_name; func })))
+    | Event.Stub ->
+        if
+          List.exists
+            (fun v -> Oracle.loaded oracle v "hello.sys")
+            (List.init sc_vms Fun.id)
+        then None
+        else
+          Some
+            (Event.Infect
+               {
+                 family = Event.Stub;
+                 vm = rand_vm ();
+                 module_name = "hello.sys";
+                 func = "";
+               })
+    | Event.Dll_inject ->
+        let vm = rand_vm () in
+        if
+          List.exists
+            (fun v -> Oracle.loaded oracle v "dummy.sys")
+            (List.init sc_vms Fun.id)
+          || Oracle.loaded oracle vm "inject.dll"
+        then None
+        else
+          Some
+            (Event.Infect
+               {
+                 family = Event.Dll_inject;
+                 vm;
+                 module_name = "dummy.sys";
+                 func = "";
+               })
+    | Event.Pointer ->
+        let vm = rand_vm () in
+        if !pointer_used || not (Oracle.visible oracle vm "hal.dll") then None
+        else begin
+          pointer_used := true;
+          Some
+            (Event.Infect
+               {
+                 family = Event.Pointer;
+                 vm;
+                 module_name = "hal.dll";
+                 func = "";
+               })
+        end
+    | Event.Hide -> (
+        let vm = rand_vm () in
+        match
+          Oracle.visible_modules oracle vm
+          |> List.filter (fun m -> m <> "ntoskrnl.exe")
+        with
+        | [] -> None
+        | mods ->
+            let module_name = Rng.pick rng (Array.of_list mods) in
+            Some
+              (Event.Infect
+                 { family = Event.Hide; vm; module_name; func = "" }))
+  in
+  let gen_event () =
+    match Rng.int rng 100 with
+    | r when r < 25 -> gen_infect ()
+    | r when r < 37 ->
+        (* Mostly watched modules; sometimes a dummy driver to exercise
+           the absent-on-target error path. *)
+        let pool = Array.of_list (sc_watch @ [ "hello.sys"; "dummy.sys" ]) in
+        Some (Event.Check { vm = rand_vm (); module_name = Rng.pick rng pool })
+    | r when r < 49 -> Some Event.Sweep
+    | r when r < 59 -> Some (Event.Reboot (rand_vm ()))
+    | r when r < 65 -> Some (Event.Restore (rand_vm ()))
+    | r when r < 73 ->
+        Some
+          (Event.Workload
+             {
+               vm = rand_vm ();
+               load =
+                 Rng.pick rng
+                   [| Event.Idle; Event.Cpu_bound; Event.Heavy |];
+             })
+    | r when r < 81 -> Some (Event.Faults (gen_fault_spec rng))
+    | r when r < 89 -> (
+        let candidates =
+          List.concat_map
+            (fun v ->
+              List.filter_map
+                (fun m ->
+                  if Oracle.on_disk oracle v m && not (Oracle.loaded oracle v m)
+                  then Some (v, m)
+                  else None)
+                (Oracle.known_modules oracle))
+            (List.init sc_vms Fun.id)
+        in
+        match candidates with
+        | [] -> None
+        | cs ->
+            let vm, module_name = Rng.pick rng (Array.of_list cs) in
+            Some (Event.Load { vm; module_name }))
+    | _ -> Some (Event.Burst (gen_burst rng oracle sc_watch))
+  in
+  let apply ev =
+    match ev with
+    | Event.Infect { family; vm; module_name; func } ->
+        Oracle.apply_infect oracle ~family ~vm ~module_name ~func
+    | Event.Reboot vm -> Oracle.apply_reboot oracle vm
+    | Event.Restore vm -> Oracle.apply_restore oracle vm
+    | Event.Load { vm; module_name } ->
+        Oracle.apply_load oracle ~vm ~module_name
+    | Event.Faults spec -> Oracle.apply_faults oracle spec
+    | Event.Workload _ | Event.Sweep | Event.Check _ | Event.Burst _ -> ()
+  in
+  let rec gen_step tries =
+    if tries = 0 then Event.Sweep
+    else match gen_event () with Some ev -> ev | None -> gen_step (tries - 1)
+  in
+  let sc_events =
+    List.init steps (fun _ ->
+        let ev = gen_step 10 in
+        apply ev;
+        ev)
+  in
+  { Event.sc_vms; sc_cores; sc_cloud_seed; sc_watch; sc_events }

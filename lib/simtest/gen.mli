@@ -1,0 +1,11 @@
+(** Seeded scenario generation.
+
+    One SplitMix64 seed determines everything: cloud size and layout,
+    the watch list, and the whole event timeline. The generator runs a
+    shadow {!Oracle} while emitting events so preconditions hold by
+    construction (no stub infection while [hello.sys] is already loaded,
+    at most one in-memory hook per function across the pool — the
+    invariant that keeps the oracle's content-tag model faithful). *)
+
+val scenario : seed:int64 -> steps:int -> Event.scenario
+(** [scenario ~seed ~steps] — same inputs, same scenario, always. *)

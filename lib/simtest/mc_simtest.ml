@@ -1,0 +1,101 @@
+module Event = Event
+module Oracle = Oracle
+module Gen = Gen
+module Runner = Runner
+module Shrink = Shrink
+
+type campaign_failure = {
+  cf_campaign : int;
+  cf_seed : int64;
+  cf_steps : int;
+  cf_failure : Runner.failure;
+  cf_shrunk : Event.scenario;
+  cf_shrunk_failure : Runner.failure;
+  cf_shrink_runs : int;
+}
+
+type campaign_result = {
+  cr_campaigns : int;
+  cr_transcript : string;
+  cr_failures : campaign_failure list;
+  cr_applied : int;
+  cr_skipped : int;
+}
+
+let run_campaigns ?(break_checker = false) ?(keep_going = false)
+    ?(shrink_budget = 300) ?quorum ~seed ~steps ~campaigns () =
+  let buf = Buffer.create 4096 in
+  let failures = ref [] in
+  let applied = ref 0 in
+  let skipped = ref 0 in
+  let executed = ref 0 in
+  let i = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !i < campaigns do
+    let campaign_seed = Int64.add seed (Int64.of_int !i) in
+    let sc = Gen.scenario ~seed:campaign_seed ~steps in
+    let o = Runner.run ~break_checker ?quorum sc in
+    Buffer.add_string buf
+      (Printf.sprintf "== campaign %d seed=%Ld\n%s" !i campaign_seed
+         o.Runner.r_transcript);
+    incr executed;
+    applied := !applied + o.Runner.r_applied;
+    skipped := !skipped + o.Runner.r_skipped;
+    (match o.Runner.r_failure with
+    | None -> ()
+    | Some f ->
+        let sh =
+          if shrink_budget > 0 then
+            Shrink.shrink ~budget:shrink_budget ~break_checker ?quorum sc f
+          else
+            { Shrink.sh_scenario = sc; sh_failure = f; sh_runs = 0 }
+        in
+        failures :=
+          {
+            cf_campaign = !i;
+            cf_seed = campaign_seed;
+            cf_steps = steps;
+            cf_failure = f;
+            cf_shrunk = sh.Shrink.sh_scenario;
+            cf_shrunk_failure = sh.Shrink.sh_failure;
+            cf_shrink_runs = sh.Shrink.sh_runs;
+          }
+          :: !failures;
+        if not keep_going then stop := true);
+    incr i
+  done;
+  {
+    cr_campaigns = !executed;
+    cr_transcript = Buffer.contents buf;
+    cr_failures = List.rev !failures;
+    cr_applied = !applied;
+    cr_skipped = !skipped;
+  }
+
+let replay ?(break_checker = false) ?quorum sc =
+  Runner.run ~break_checker ?quorum sc
+
+let render_failure cf =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    (Printf.sprintf "campaign %d (seed %Ld, %d steps) FAILED at step %d:\n  %s\n"
+       cf.cf_campaign cf.cf_seed cf.cf_steps cf.cf_failure.Runner.f_step
+       cf.cf_failure.Runner.f_reason);
+  Buffer.add_string b
+    (Printf.sprintf
+       "shrunk to %d event(s) on %d VM(s) in %d run(s); shrunk failure at \
+        step %d:\n  %s\n"
+       (List.length cf.cf_shrunk.Event.sc_events)
+       cf.cf_shrunk.Event.sc_vms cf.cf_shrink_runs
+       cf.cf_shrunk_failure.Runner.f_step
+       cf.cf_shrunk_failure.Runner.f_reason);
+  Buffer.add_string b
+    "replay the minimal scenario with `modchecker simtest --script FILE` \
+     where FILE contains:\n";
+  Buffer.add_string b (Event.scenario_to_script cf.cf_shrunk);
+  Buffer.add_string b
+    (Printf.sprintf
+       "or regenerate the full campaign with `modchecker simtest --seed %Ld \
+        --steps %d --campaign 1`\n"
+       cf.cf_seed cf.cf_steps);
+  Buffer.contents b

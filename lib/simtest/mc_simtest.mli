@@ -1,0 +1,55 @@
+(** Campaign driver: the public face of the simulation harness.
+
+    A campaign is one generated scenario run end-to-end under the
+    {!Runner}'s oracle validation; a soak is many campaigns from
+    consecutive seeds. On failure the scenario is shrunk
+    ({!Shrink.shrink}) and rendered as a replayable spec — both the
+    exact [--seed]/[--steps] pair and a [--script] body that reruns the
+    minimal scenario without the generator. *)
+
+module Event = Event
+module Oracle = Oracle
+module Gen = Gen
+module Runner = Runner
+module Shrink = Shrink
+
+type campaign_failure = {
+  cf_campaign : int;  (** Campaign index within the run. *)
+  cf_seed : int64;  (** The generator seed that produced it. *)
+  cf_steps : int;
+  cf_failure : Runner.failure;  (** Failure of the original scenario. *)
+  cf_shrunk : Event.scenario;
+  cf_shrunk_failure : Runner.failure;
+  cf_shrink_runs : int;
+}
+
+type campaign_result = {
+  cr_campaigns : int;  (** Campaigns executed. *)
+  cr_transcript : string;  (** Concatenated campaign transcripts. *)
+  cr_failures : campaign_failure list;  (** Oldest first. *)
+  cr_applied : int;
+  cr_skipped : int;
+}
+
+val run_campaigns :
+  ?break_checker:bool ->
+  ?keep_going:bool ->
+  ?shrink_budget:int ->
+  ?quorum:float ->
+  seed:int64 ->
+  steps:int ->
+  campaigns:int ->
+  unit ->
+  campaign_result
+(** Campaign [i] uses generator seed [seed + i]. The run stops at the
+    first failure unless [keep_going] (soak mode); [shrink_budget = 0]
+    skips shrinking. Same arguments, byte-identical [cr_transcript]. *)
+
+val replay :
+  ?break_checker:bool -> ?quorum:float -> Event.scenario -> Runner.outcome
+(** Run one explicit scenario (e.g. parsed from a [--script] file). *)
+
+val render_failure : campaign_failure -> string
+(** Human-readable failure report: the reason, the shrunk scenario's
+    script (replayable via [--script]), and the seed spec that
+    regenerates the original. *)

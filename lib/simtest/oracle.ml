@@ -1,0 +1,284 @@
+module Catalog = Mc_pe.Catalog
+module Faultplan = Mc_memsim.Faultplan
+module Report = Modchecker.Report
+module Exit_code = Modchecker.Exit_code
+
+let clean_tag = "clean"
+
+type mstate = {
+  mutable m_disk : string option;  (** Content tag of the file on disk. *)
+  mutable m_mem : string option;  (** Content tag of the loaded copy. *)
+  mutable m_hidden : bool;
+}
+
+type t = {
+  o_vms : int;
+  tbl : (int * string, mstate) Hashtbl.t;
+  mutable o_spec : Faultplan.spec option;
+  mutable o_ever_faulted : bool;
+  mutable o_reboots : int;
+  mutable o_restores : int;
+  mutable o_infections : int;
+}
+
+let is_standard m = List.mem m Catalog.standard_modules
+
+let create ~vms =
+  let t =
+    {
+      o_vms = vms;
+      tbl = Hashtbl.create 64;
+      o_spec = None;
+      o_ever_faulted = false;
+      o_reboots = 0;
+      o_restores = 0;
+      o_infections = 0;
+    }
+  in
+  for v = 0 to vms - 1 do
+    List.iter
+      (fun m ->
+        Hashtbl.replace t.tbl (v, m)
+          { m_disk = Some clean_tag; m_mem = Some clean_tag; m_hidden = false })
+      Catalog.standard_modules
+  done;
+  t
+
+let state t vm m =
+  match Hashtbl.find_opt t.tbl (vm, m) with
+  | Some s -> s
+  | None ->
+      let s = { m_disk = None; m_mem = None; m_hidden = false } in
+      Hashtbl.replace t.tbl (vm, m) s;
+      s
+
+let vms t = t.o_vms
+let visible t vm m =
+  let s = state t vm m in
+  s.m_mem <> None && not s.m_hidden
+
+let loaded t vm m = (state t vm m).m_mem <> None
+let hidden t vm m = (state t vm m).m_hidden
+let on_disk t vm m = (state t vm m).m_disk <> None
+let tag t vm m = if visible t vm m then (state t vm m).m_mem else None
+
+let visible_modules t vm =
+  Hashtbl.fold
+    (fun (v, m) _ acc -> if v = vm && visible t vm m then m :: acc else acc)
+    t.tbl []
+  |> List.sort_uniq compare
+
+let known_modules t =
+  Hashtbl.fold (fun (_, m) _ acc -> m :: acc) t.tbl []
+  |> List.sort_uniq compare
+
+let faults_armed t =
+  match t.o_spec with Some s -> not (Faultplan.is_none s) | None -> false
+
+let ever_faulted t = t.o_ever_faulted
+let reboots t = t.o_reboots
+let restores t = t.o_restores
+let infections t = t.o_infections
+
+let per_vm t vm f =
+  Hashtbl.iter (fun (v, m) s -> if v = vm then f m s) t.tbl
+
+let apply_reboot t vm =
+  t.o_reboots <- t.o_reboots + 1;
+  per_vm t vm (fun m s ->
+      s.m_hidden <- false;
+      (* Standard modules reload from the VM's own (possibly infected)
+         disk; dropped drivers do not survive a reboot even though their
+         files stay on disk. *)
+      if is_standard m then s.m_mem <- s.m_disk else s.m_mem <- None)
+
+let apply_restore t vm =
+  t.o_restores <- t.o_restores + 1;
+  per_vm t vm (fun m s ->
+      s.m_hidden <- false;
+      if is_standard m then begin
+        s.m_disk <- Some clean_tag;
+        s.m_mem <- Some clean_tag
+      end
+      else begin
+        s.m_disk <- None;
+        s.m_mem <- None
+      end)
+
+let apply_load t ~vm ~module_name =
+  let s = state t vm module_name in
+  (* The kernel loads import dependencies from disk before binding. The
+     only catalog image that imports a non-standard module is the
+     dll-injected dummy.sys, whose helper DLL rides along when it is
+     still on disk and not yet loaded. *)
+  (if s.m_disk = Some "dll:dummy.sys" then
+     let d = state t vm "inject.dll" in
+     if d.m_mem = None && d.m_disk <> None then begin
+       d.m_mem <- d.m_disk;
+       d.m_hidden <- false
+     end);
+  s.m_mem <- s.m_disk;
+  s.m_hidden <- false
+
+let apply_faults t spec =
+  let spec =
+    match spec with Some s when Faultplan.is_none s -> None | s -> s
+  in
+  if spec <> None then t.o_ever_faulted <- true;
+  t.o_spec <- spec
+
+(* Content tags. File infections are VM-independent: dropping the same
+   patched file on two VMs yields copies that match each other after
+   reloc adjustment. In-memory infections are VM-qualified — safe
+   because the generator never hooks the same function on two VMs. *)
+let infect_tag family ~vm ~module_name ~func =
+  match family with
+  | Event.Opcode -> Printf.sprintf "opcode:%s:%s" module_name func
+  | Event.Hook -> Printf.sprintf "hook:%d:%s:%s" vm module_name func
+  | Event.Stub -> "stub:hello.sys"
+  | Event.Dll_inject -> "dll:dummy.sys"
+  | Event.Pointer -> Printf.sprintf "ptr:%d:hal.dll" vm
+  | Event.Hide -> assert false
+
+(* Experiments 3 and 4 load their dummy driver on every VM, the victim
+   getting the infected file. *)
+let load_everywhere t ~vm ~name ~infected_tag =
+  for v = 0 to t.o_vms - 1 do
+    let s = state t v name in
+    let tg = if v = vm then infected_tag else clean_tag in
+    s.m_disk <- Some tg;
+    s.m_mem <- Some tg;
+    s.m_hidden <- false
+  done
+
+let apply_infect t ~family ~vm ~module_name ~func =
+  t.o_infections <- t.o_infections + 1;
+  match family with
+  | Event.Opcode ->
+      (state t vm module_name).m_disk <-
+        Some (infect_tag family ~vm ~module_name ~func);
+      apply_reboot t vm
+  | Event.Hook | Event.Pointer ->
+      (state t vm module_name).m_mem <-
+        Some (infect_tag family ~vm ~module_name ~func)
+  | Event.Stub ->
+      load_everywhere t ~vm ~name:"hello.sys" ~infected_tag:"stub:hello.sys"
+  | Event.Dll_inject ->
+      load_everywhere t ~vm ~name:"dummy.sys" ~infected_tag:"dll:dummy.sys";
+      (* The helper DLL is dropped and loaded on the victim only. *)
+      let s = state t vm "inject.dll" in
+      s.m_disk <- Some clean_tag;
+      s.m_mem <- Some clean_tag;
+      s.m_hidden <- false
+  | Event.Hide -> (state t vm module_name).m_hidden <- true
+
+type verdict_class = Intact | Infected | Degraded
+
+let verdict_class_key = function
+  | Intact -> "intact"
+  | Infected -> "infected"
+  | Degraded -> "degraded"
+
+let class_of_verdict = function
+  | Report.Intact -> Intact
+  | Report.Infected -> Infected
+  | Report.Degraded _ -> Degraded
+
+type survey_expect = {
+  x_missing : int list;
+  x_deviants : int list;
+  x_verdict : verdict_class;
+}
+
+let all_vms t = List.init t.o_vms Fun.id
+
+(* The orchestrator's agreement rule over the present copies: partition
+   by pairwise matching (= tag equality); a class holding a strict
+   majority of the present copies clears its members and flags the rest;
+   no strict majority flags everyone present. *)
+let deviants_of_present t module_name present =
+  match present with
+  | [] | [ _ ] -> []
+  | _ ->
+      let classes = Hashtbl.create 4 in
+      List.iter
+        (fun v ->
+          let tg = Option.get (tag t v module_name) in
+          Hashtbl.replace classes tg
+            (v :: Option.value ~default:[] (Hashtbl.find_opt classes tg)))
+        present;
+      let sizes =
+        Hashtbl.fold (fun _ vs acc -> vs :: acc) classes []
+        |> List.sort (fun a b -> compare (List.length b) (List.length a))
+      in
+      let largest = List.hd sizes in
+      if 2 * List.length largest > List.length present then
+        List.filter (fun v -> not (List.mem v largest)) present
+      else present
+
+let expect_survey t ~module_name ~quorum =
+  let present = List.filter (fun v -> visible t v module_name) (all_vms t) in
+  let missing =
+    List.filter (fun v -> not (visible t v module_name)) (all_vms t)
+  in
+  let deviants = deviants_of_present t module_name present in
+  let x_verdict =
+    if
+      not
+        (Report.quorum_met ~quorum ~surveyed:t.o_vms ~responded:t.o_vms)
+    then Degraded
+    else if deviants <> [] then Infected
+    else Intact
+  in
+  {
+    x_missing = List.sort compare missing;
+    x_deviants = List.sort compare deviants;
+    x_verdict;
+  }
+
+type check_expect =
+  | Expect_error
+  | Expect_report of { c_verdict : verdict_class; c_matches : int; c_total : int }
+
+let expect_check t ~vm ~module_name ~quorum =
+  if vm < 0 || vm >= t.o_vms || not (visible t vm module_name) then Expect_error
+  else
+    let my_tag = Option.get (tag t vm module_name) in
+    let others = List.filter (fun v -> v <> vm) (all_vms t) in
+    let c_total = List.length others in
+    let c_matches =
+      List.length
+        (List.filter (fun v -> tag t v module_name = Some my_tag) others)
+    in
+    let c_verdict =
+      if not (Report.quorum_met ~quorum ~surveyed:c_total ~responded:c_total)
+      then Degraded
+      else if 2 * c_matches > c_total then Intact
+      else Infected
+    in
+    Expect_report { c_verdict; c_matches; c_total }
+
+let expect_lists t =
+  known_modules t
+  |> List.filter_map (fun m ->
+         let present = List.filter (fun v -> visible t v m) (all_vms t) in
+         let missing =
+           List.filter (fun v -> not (visible t v m)) (all_vms t)
+         in
+         if present <> [] && missing <> [] then Some (m, missing) else None)
+
+let expected_exit t ~module_name ~quorum =
+  let e = expect_survey t ~module_name ~quorum in
+  match e.x_verdict with
+  | Degraded -> Exit_code.degraded
+  | Infected -> Exit_code.infected
+  | Intact ->
+      if e.x_missing <> [] then Exit_code.infected else Exit_code.ok
+
+let deviation_possible t module_name =
+  List.exists
+    (fun v ->
+      match tag t v module_name with
+      | Some tg -> tg <> clean_tag
+      | None -> false)
+    (all_vms t)

@@ -1,0 +1,116 @@
+(** Ground truth for the simulation harness.
+
+    The oracle is a shadow bookkeeper: it never reads guest memory, it
+    only watches the event stream and tracks which (VM, module) pairs
+    {e should} be infected, loaded, or hidden. From that ledger it
+    predicts what every survey, check, list comparison, and patrol sweep
+    must report — so the harness can fail the moment the checker's
+    verdict disagrees with what was actually done to the cloud (a false
+    negative, never acceptable) or flags something that was never
+    touched (a false positive, acceptable only when the oracle itself
+    says no clean majority exists).
+
+    Infection identity is tracked as {e content tags}: two copies of a
+    module carry the same tag exactly when their bytes would compare
+    equal after reloc adjustment. File-level infections (opcode, stub,
+    DLL injection) produce VM-independent tags — the same dropped file
+    on two VMs matches, which is how the §III-B mass-infection scenario
+    splits the pool into factions. In-memory infections (inline hook,
+    pointer hook) get VM-qualified tags; the generator never creates two
+    in-memory infections whose contents could actually collide (same
+    function hooked on two VMs), so tag equality stays faithful. *)
+
+type t
+
+val create : vms:int -> t
+(** Every VM starts with the standard catalog modules loaded, all
+    clean. *)
+
+(** {1 Ledger queries} *)
+
+val vms : t -> int
+
+val visible : t -> int -> string -> bool
+(** Loaded and not DKOM-hidden — what the Module-Searcher can find. *)
+
+val loaded : t -> int -> string -> bool
+val hidden : t -> int -> string -> bool
+val on_disk : t -> int -> string -> bool
+val tag : t -> int -> string -> string option
+(** Content tag of the visible copy; [None] when not visible. *)
+
+val clean_tag : string
+
+val visible_modules : t -> int -> string list
+(** Sorted names visible on the VM. *)
+
+val known_modules : t -> string list
+(** Sorted names the ledger has ever tracked on any VM. *)
+
+val faults_armed : t -> bool
+val ever_faulted : t -> bool
+(** Whether a non-trivial fault spec was ever armed this campaign. *)
+
+val reboots : t -> int
+(** Reboots performed, including the implicit one an opcode infection
+    triggers — must match the [cloud.vm_reboots] telemetry delta. *)
+
+val restores : t -> int
+val infections : t -> int
+
+(** {1 Event application} *)
+
+val apply_infect :
+  t -> family:Event.family -> vm:int -> module_name:string -> func:string -> unit
+(** Record a {e successful} infection. Opcode also records the implicit
+    reboot; stub/DLL record the everywhere-load of the dummy driver. *)
+
+val apply_reboot : t -> int -> unit
+val apply_restore : t -> int -> unit
+val apply_load : t -> vm:int -> module_name:string -> unit
+val apply_faults : t -> Mc_memsim.Faultplan.spec option -> unit
+
+(** {1 Predictions} *)
+
+type verdict_class = Intact | Infected | Degraded
+
+val verdict_class_key : verdict_class -> string
+val class_of_verdict : Modchecker.Report.verdict -> verdict_class
+
+type survey_expect = {
+  x_missing : int list;  (** Sorted VMs verifiably lacking the module. *)
+  x_deviants : int list;  (** Sorted VMs the majority vote must flag. *)
+  x_verdict : verdict_class;
+}
+
+val expect_survey :
+  t -> module_name:string -> quorum:float -> survey_expect
+(** The survey result when every VM responds: present copies partition
+    by tag; a strict-majority class makes the rest deviant; no strict
+    majority makes {e every} present VM deviant (the no-trusted-majority
+    rule). Exact only while faults are disarmed. *)
+
+type check_expect =
+  | Expect_error  (** Target lacks the module — the one-shot API errors. *)
+  | Expect_report of { c_verdict : verdict_class; c_matches : int; c_total : int }
+
+val expect_check :
+  t -> vm:int -> module_name:string -> quorum:float -> check_expect
+(** The single-target vote when every comparison VM responds: matches
+    are same-tag visible copies; absence on a comparison VM is a
+    responded mismatch. *)
+
+val expect_lists : t -> (string * int list) list
+(** Expected list discrepancies when every walk succeeds: modules
+    visible somewhere but not everywhere, with the sorted VMs lacking
+    them — sorted by module name, exactly as the orchestrator reports. *)
+
+val expected_exit : t -> module_name:string -> quorum:float -> int
+(** The {!Modchecker.Exit_code} a fault-free survey of the module must
+    produce. *)
+
+val deviation_possible : t -> string -> bool
+(** Whether any visible copy carries a non-clean tag — the necessary
+    condition for a [Hash_deviation] alarm even under faults (with no
+    infected copy present, dropouts alone can never make clean clones
+    disagree). *)

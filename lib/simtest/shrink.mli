@@ -1,0 +1,27 @@
+(** Scenario minimization.
+
+    When a campaign fails, the raw scenario is rarely the story — most
+    of its events are noise. The shrinker reduces it to a (locally)
+    minimal scenario that still fails: it truncates everything after the
+    failing step, delta-debugs the event list (ddmin-style chunk
+    removal, halving chunk sizes down to single events), shrinks the VM
+    pool, and drops watch modules — looping to a fixpoint under a run
+    budget. Any failure counts as preservation (the minimal scenario may
+    surface the same bug through a different assertion; what matters is
+    a small, deterministic, replayable reproduction). *)
+
+type result = {
+  sh_scenario : Event.scenario;  (** The minimized scenario. *)
+  sh_failure : Runner.failure;  (** Its failure. *)
+  sh_runs : int;  (** Candidate runs spent. *)
+}
+
+val shrink :
+  ?budget:int ->
+  ?break_checker:bool ->
+  ?quorum:float ->
+  Event.scenario ->
+  Runner.failure ->
+  result
+(** [shrink sc failure] — [sc] must already fail (with [failure]);
+    [budget] bounds candidate executions (default 300). *)

@@ -92,7 +92,7 @@ let module_exports t name =
 
 let module_names t = List.map (fun (e : Ldr.entry) -> e.base_dll_name) (modules t)
 
-let load_module t name =
+let rec load_module_rec t ~loading name =
   if List.mem_assoc (String.lowercase_ascii name) t.loaded then
     Error (Already_loaded name)
   else begin
@@ -100,6 +100,28 @@ let load_module t name =
     match Fs.read_file t.t_fs path with
     | None -> Error (File_not_found path)
     | Some file -> (
+        (* Dependent images first, as MmLoadSystemImage does: an import
+           from a module that is not loaded yet is satisfied by loading
+           its file from disk before this one binds. Imports whose file
+           is absent (or whose load fails) still surface as
+           [Unresolved_import] from the binding pass below. *)
+        (match Mc_pe.Read.parse ~layout:File file with
+        | Ok image ->
+            Mc_pe.Import.parse ~layout:File file image
+            |> List.map (fun (e : Mc_pe.Import.entry) ->
+                   String.lowercase_ascii e.imp_dll)
+            |> List.sort_uniq compare
+            |> List.iter (fun dll ->
+                   if
+                     (not (List.mem_assoc dll t.loaded))
+                     && (not (List.mem dll loading))
+                     && Fs.read_file t.t_fs (Fs.module_path dll) <> None
+                   then
+                     ignore
+                       (load_module_rec t
+                          ~loading:(String.lowercase_ascii name :: loading)
+                          dll))
+        | Error _ -> ());
         let size_of_image =
           match Mc_pe.Read.parse ~layout:File file with
           | Ok image -> image.optional_header.size_of_image
@@ -138,6 +160,8 @@ let load_module t name =
             | Error _ -> ());
             Ok loaded)
   end
+
+let load_module t name = load_module_rec t ~loading:[] name
 
 let unload_module t name =
   let key = String.lowercase_ascii name in

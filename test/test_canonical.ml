@@ -54,6 +54,56 @@ let test_majority_with_deviant () =
   Alcotest.(check bool) "deviant still differs" false
     (Bytes.equal buffers.(0) buffers.(2))
 
+let test_shared_bases_carry_one_vote () =
+  (* Base allocation is randomized, so several VMs can load a module at
+     the same base. Copies sharing a base imply the same RVA at every
+     byte range, so at a content divergence (an infection, not a slot)
+     they must not combine into a spurious majority that rewrites
+     themselves and frames the remaining clean VM as a deviant. *)
+  let bases = [| 0xF8000000; 0xF8100000; 0xF8200000; 0xF8100000; 0xF8100000 |] in
+  let slots = [ (8, 0x500) ] in
+  let buffers =
+    Array.map
+      (fun base -> make_buffer ~len:32 ~fill:(fun _ -> '\x90') ~slots ~base)
+      bases
+  in
+  (* Cave payload on VM 0 only: pure content divergence. *)
+  Bytes.blit_string "\xCC\xCC\xCC\xCC" 0 buffers.(0) 16 4;
+  let stats = Rva.canonicalize ~bases buffers in
+  check Alcotest.int "genuine slot is unanimous" 1 stats.Rva.slots_unanimous;
+  check Alcotest.int "no manufactured majority" 0 stats.Rva.slots_majority;
+  Alcotest.(check bool) "clean buffers all collapse" true
+    (Bytes.equal buffers.(1) buffers.(2)
+    && Bytes.equal buffers.(2) buffers.(3)
+    && Bytes.equal buffers.(3) buffers.(4));
+  Alcotest.(check bool) "infected buffer still differs" false
+    (Bytes.equal buffers.(0) buffers.(1))
+
+let test_content_coincidence_rejected () =
+  (* A misaligned word inside an infected copy's divergence can satisfy
+     [v0 - base0 = v2 - base2] against one clean copy by coincidence.
+     That must not form a majority "slot": the two clean copies hold the
+     same raw word at different bases, which proves the position is
+     content — rewriting would split the clean copies apart. *)
+  let bases = [| 0xF8560000; 0xF84E0000; 0xF8550000 |] in
+  let buffers =
+    Array.map
+      (fun _ -> make_buffer ~len:24 ~fill:(fun _ -> '\x90') ~slots:[] ~base:0)
+      bases
+  in
+  let clean_word = 0x11223344 in
+  Le.set_u32_int buffers.(1) 8 clean_word;
+  Le.set_u32_int buffers.(2) 8 clean_word;
+  (* Infected copy 0: same implied RVA as clean copy 2 at this offset. *)
+  Le.set_u32_int buffers.(0) 8 (clean_word + bases.(0) - bases.(2));
+  let stats = Rva.canonicalize ~bases buffers in
+  check Alcotest.int "no majority slot" 0 stats.Rva.slots_majority;
+  check Alcotest.int "no unanimous slot" 0 stats.Rva.slots_unanimous;
+  Alcotest.(check bool) "clean copies still equal" true
+    (Bytes.equal buffers.(1) buffers.(2));
+  check Alcotest.int "clean word untouched" clean_word
+    (Le.get_u32_int buffers.(1) 8)
+
 let test_no_majority_left_raw () =
   let bases = [| 0xF8000000; 0xF8100000 |] in
   let buffers =
@@ -153,6 +203,41 @@ let test_survey_strategies_agree_dll_inject () =
   check Alcotest.(list int) "canonical" [ 1 ]
     (deviants Orchestrator.Canonical cloud "dummy.sys")
 
+let test_survey_after_reboot_base_collision () =
+  (* Regression (found by simtest, seed 132): with this cloud seed,
+     rebooting VM 1 re-randomizes hal.dll onto the base VMs 3 and 4
+     already share. Three identical-base clean copies then outvoted the
+     rest at VM 0's cave bytes and the canonical survey framed VM 2. *)
+  let cloud = Cloud.create ~vms:5 ~cores:4 ~seed:508329946526276438L () in
+  (match Mc_malware.Infect.pointer_hook cloud ~vm:0 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  Cloud.reboot_vm cloud 1;
+  check Alcotest.(list int) "only the hooked VM deviates" [ 0 ]
+    (deviants Orchestrator.Canonical cloud "hal.dll");
+  check Alcotest.(list int) "pairwise agrees" [ 0 ]
+    (deviants Orchestrator.Pairwise cloud "hal.dll")
+
+let test_survey_shifted_code_coincidence () =
+  (* Regression (found by simtest, seed 2796): the opcode patch grows an
+     instruction, shifting ~100 bytes of code on the infected VM. While
+     scanning that divergence, a misaligned word coincidentally
+     rva-matched one clean copy and the 2-of-3 "majority" rewrite split
+     the two clean VMs apart ([0,1,2] instead of [0]). *)
+  let cloud = Cloud.create ~vms:3 ~cores:4 ~seed:(-6576296963831931136L) () in
+  Cloud.reboot_vm cloud 0;
+  Cloud.reboot_vm cloud 2;
+  (match
+     Mc_malware.Infect.single_opcode_replacement ~module_name:"atapi.sys"
+       ~func:"devicemgr_24" cloud ~vm:0
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  check Alcotest.(list int) "canonical flags only the patched VM" [ 0 ]
+    (deviants Orchestrator.Canonical cloud "atapi.sys");
+  check Alcotest.(list int) "pairwise agrees" [ 0 ]
+    (deviants Orchestrator.Pairwise cloud "atapi.sys")
+
 let test_canonical_cheaper () =
   let cloud = Cloud.create ~vms:8 ~seed:413L () in
   let cost strategy =
@@ -178,6 +263,10 @@ let () =
           Alcotest.test_case "unanimous" `Quick test_unanimous;
           Alcotest.test_case "majority + deviant" `Quick
             test_majority_with_deviant;
+          Alcotest.test_case "shared bases carry one vote" `Quick
+            test_shared_bases_carry_one_vote;
+          Alcotest.test_case "content coincidence rejected" `Quick
+            test_content_coincidence_rejected;
           Alcotest.test_case "no majority" `Quick test_no_majority_left_raw;
           Alcotest.test_case "validation" `Quick test_validation;
         ] );
@@ -189,6 +278,10 @@ let () =
             test_survey_strategies_agree_infected;
           Alcotest.test_case "agree on resize" `Quick
             test_survey_strategies_agree_dll_inject;
+          Alcotest.test_case "reboot base collision" `Quick
+            test_survey_after_reboot_base_collision;
+          Alcotest.test_case "shifted-code coincidence" `Quick
+            test_survey_shifted_code_coincidence;
           Alcotest.test_case "cheaper" `Quick test_canonical_cheaper;
         ] );
       ( "properties",

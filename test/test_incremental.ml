@@ -132,6 +132,41 @@ let test_reboot_recomputes_clean () =
       Alcotest.fail
         (Printf.sprintf "expected 5 sweeps, got %d" (List.length l))
 
+let test_identical_majority_escalates () =
+  (* Regression (found by simtest, seed 2056): two VMs carrying the same
+     disk patch reload identical shifted code at different bases. The
+     per-VM reloc-guided fingerprints hash base-dependent garbage at the
+     golden slot offsets, so the infected pair looked mutually deviant
+     and every VM was flagged. A fingerprint disagreement now escalates
+     to the full cross-buffer survey, whose verdict the incremental one
+     must match exactly. *)
+  let cloud = Cloud.create ~vms:3 ~cores:4 ~seed:2859845042692598870L () in
+  expect_ok
+    (Infect.single_opcode_replacement ~module_name:"hal.dll" ~func:"devex_937"
+       cloud ~vm:2);
+  expect_ok
+    (Infect.single_opcode_replacement ~module_name:"hal.dll" ~func:"devex_937"
+       cloud ~vm:1);
+  let survey config =
+    (Orchestrator.survey ~config cloud ~module_name:"hal.dll")
+      .Report.deviant_vms
+  in
+  let full =
+    survey
+      Orchestrator.Config.(
+        default |> with_strategy Orchestrator.Canonical)
+  in
+  let incr =
+    survey
+      Orchestrator.Config.(
+        default
+        |> with_strategy Orchestrator.Canonical
+        |> with_incremental (Orchestrator.create_incremental ()))
+  in
+  (* The clean VM is the minority: the identically-infected pair agrees. *)
+  check Alcotest.(list int) "full flags the clean minority" [ 0 ] full;
+  check Alcotest.(list int) "incremental agrees" full incr
+
 (* --- detection is unchanged by caching ------------------------------------- *)
 
 let test_detections_survive_caching () =
@@ -251,6 +286,8 @@ let () =
       ( "detection",
         [
           Alcotest.test_case "scenarios" `Quick test_detections_survive_caching;
+          Alcotest.test_case "identical majority escalates" `Quick
+            test_identical_majority_escalates;
           Alcotest.test_case "DKOM list" `Quick test_dkom_list_cache;
         ] );
       ( "parity",

@@ -292,6 +292,107 @@ let prop_searcher_agrees_with_guest =
       in
       via_vmi = via_guest)
 
+(* --- Simulation-promoted invariants ----------------------------------------
+   Cross-cutting invariants the simtest runner checks per step, promoted
+   to properties over arbitrary seeds and infections (DESIGN.md,
+   "Simulation testing"). *)
+
+let survey_key (s : Report.survey) =
+  ( Report.verdict_key s.Report.s_verdict,
+    List.sort compare s.Report.deviant_vms,
+    List.sort compare s.Report.missing_on,
+    List.sort compare (List.map fst s.Report.unreachable_on) )
+
+let techniques =
+  [|
+    (fun cloud vm -> Mc_malware.Infect.single_opcode_replacement cloud ~vm);
+    (fun cloud vm -> Mc_malware.Infect.inline_hook cloud ~vm);
+    (fun cloud vm -> Mc_malware.Infect.stub_modification cloud ~vm);
+    (fun cloud vm -> Mc_malware.Infect.dll_injection cloud ~vm);
+    (fun cloud vm -> Mc_malware.Infect.pointer_hook cloud ~vm);
+  |]
+
+let prop_survey_mode_parity =
+  QCheck.Test.make ~count:6
+    ~name:"survey parity: sequential = parallel = engine"
+    QCheck.(pair (int_bound 100000) (int_bound 10000))
+    (fun (seed, pick) ->
+      let vms = 3 + (pick mod 3) in
+      let cloud = Cloud.create ~vms ~seed:(Int64.of_int seed) () in
+      let vm = pick mod vms in
+      (match techniques.(pick mod Array.length techniques) cloud vm with
+      | Ok _ -> ()
+      | Error e -> failwith e);
+      let pool = Mc_parallel.Pool.create 2 in
+      let engine = Mc_engine.create ~shards:2 ~workers_per_shard:2 cloud in
+      let par_cfg =
+        Orchestrator.Config.with_mode (Orchestrator.Parallel pool)
+          Orchestrator.Config.default
+      in
+      let ok =
+        List.for_all
+          (fun m ->
+            let seq = Orchestrator.survey cloud ~module_name:m in
+            let par = Orchestrator.survey ~config:par_cfg cloud ~module_name:m in
+            let eng =
+              match
+                (Mc_engine.run engine (Mc_engine.Survey { module_name = m }))
+                  .Mc_engine.r_outcome
+              with
+              | Mc_engine.Surveyed s -> s
+              | _ -> assert false
+            in
+            survey_key seq = survey_key par && survey_key seq = survey_key eng)
+          [ "hal.dll"; "disk.sys"; "hello.sys"; "dummy.sys" ]
+      in
+      Mc_engine.drain engine;
+      Mc_parallel.Pool.shutdown pool;
+      ok)
+
+let prop_incremental_parity_under_dirty_writes =
+  QCheck.Test.make ~count:8
+    ~name:"incremental = full under random dirty patterns"
+    QCheck.(pair (int_bound 100000) (int_bound 100000))
+    (fun (seed, wseed) ->
+      let vms = 3 in
+      let cloud = Cloud.create ~vms ~seed:(Int64.of_int seed) () in
+      let inc = Orchestrator.create_incremental () in
+      let incr_cfg =
+        Orchestrator.Config.with_incremental inc Orchestrator.Config.default
+      in
+      let modules = [ "hal.dll"; "disk.sys" ] in
+      (* Prime the digest cache so the next incremental pass really
+         exercises dirty-page invalidation rather than a cold start. *)
+      List.iter
+        (fun m ->
+          ignore (Orchestrator.survey ~config:incr_cfg cloud ~module_name:m))
+        modules;
+      (* Random guest writes into random module images: some land in
+         hashed ranges (headers, .text — a deviation), some in writable
+         .data (unhashed — invisible); both checkers must tell the same
+         story either way. *)
+      let rng = Rng.create (Int64.of_int wseed) in
+      for _ = 1 to 3 + Rng.int rng 6 do
+        let vm = Rng.int rng vms in
+        let m = List.nth modules (Rng.int rng (List.length modules)) in
+        let kernel = Mc_hypervisor.Dom.kernel_exn (Cloud.vm cloud vm) in
+        match Mc_winkernel.Kernel.find_module kernel m with
+        | None -> ()
+        | Some e ->
+            let off = Rng.int rng e.Mc_winkernel.Ldr.size_of_image in
+            let b = Bytes.make 1 (Char.chr (Rng.int rng 256)) in
+            Mc_memsim.Addr_space.write_bytes
+              (Mc_winkernel.Kernel.aspace kernel)
+              (e.Mc_winkernel.Ldr.dll_base + off)
+              b
+      done;
+      List.for_all
+        (fun m ->
+          let full = Orchestrator.survey cloud ~module_name:m in
+          let incr = Orchestrator.survey ~config:incr_cfg cloud ~module_name:m in
+          survey_key full = survey_key incr)
+        modules)
+
 let () =
   Alcotest.run "properties"
     [
@@ -315,4 +416,10 @@ let () =
       ( "render",
         List.map QCheck_alcotest.to_alcotest [ prop_table_total; prop_chart_total ]
       );
+      ( "simulation",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_survey_mode_parity;
+            prop_incremental_parity_under_dirty_writes;
+          ] );
     ]

@@ -1,0 +1,95 @@
+(* The simulation harness's own tests: determinism (same seed, byte-identical
+   transcript), script round-tripping, a clean soak, and the oracle's teeth —
+   a deliberately broken checker (one flipped digest byte in the incremental
+   cache) must fail within one campaign and shrink to a replayable scenario. *)
+
+module Event = Mc_simtest.Event
+module Gen = Mc_simtest.Gen
+module Runner = Mc_simtest.Runner
+
+let test_determinism () =
+  let sc = Gen.scenario ~seed:7L ~steps:25 in
+  let a = Runner.run sc in
+  let b = Runner.run sc in
+  Alcotest.(check string) "same scenario, same transcript" a.Runner.r_transcript
+    b.Runner.r_transcript;
+  let sc' = Gen.scenario ~seed:7L ~steps:25 in
+  Alcotest.(check string) "same seed, same script"
+    (Event.scenario_to_script sc)
+    (Event.scenario_to_script sc')
+
+let test_campaigns_deterministic () =
+  let run () =
+    Mc_simtest.run_campaigns ~seed:42L ~steps:20 ~campaigns:2 ()
+  in
+  let a = run () in
+  let b = run () in
+  Alcotest.(check string) "campaign transcripts identical"
+    a.Mc_simtest.cr_transcript b.Mc_simtest.cr_transcript;
+  Alcotest.(check int) "no failures" 0 (List.length a.Mc_simtest.cr_failures)
+
+let test_script_roundtrip () =
+  let sc = Gen.scenario ~seed:12345L ~steps:40 in
+  let script = Event.scenario_to_script sc in
+  match Event.scenario_of_script script with
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e
+  | Ok sc' ->
+      Alcotest.(check string) "script round-trips" script
+        (Event.scenario_to_script sc')
+
+let test_clean_soak () =
+  let r = Mc_simtest.run_campaigns ~seed:100L ~steps:30 ~campaigns:3 () in
+  (match r.Mc_simtest.cr_failures with
+  | [] -> ()
+  | cf :: _ -> Alcotest.failf "clean soak failed:\n%s" (Mc_simtest.render_failure cf));
+  Alcotest.(check int) "all campaigns ran" 3 r.Mc_simtest.cr_campaigns;
+  Alcotest.(check bool) "events were applied" true (r.Mc_simtest.cr_applied > 0)
+
+let test_broken_checker_caught () =
+  let r =
+    Mc_simtest.run_campaigns ~break_checker:true ~shrink_budget:150 ~seed:42L
+      ~steps:40 ~campaigns:1 ()
+  in
+  match r.Mc_simtest.cr_failures with
+  | [] ->
+      Alcotest.fail
+        "a checker with a flipped cached digest byte passed the oracle"
+  | cf :: _ ->
+      (* Shrinking terminated within budget and preserved the failure. *)
+      Alcotest.(check bool) "shrink ran within budget" true
+        (cf.Mc_simtest.cf_shrink_runs <= 150);
+      let shrunk = cf.Mc_simtest.cf_shrunk in
+      Alcotest.(check bool) "shrunk scenario is no larger" true
+        (List.length shrunk.Event.sc_events
+        <= List.length
+             (Gen.scenario ~seed:cf.Mc_simtest.cf_seed ~steps:40).Event.sc_events);
+      let replayed = Mc_simtest.replay ~break_checker:true shrunk in
+      (match replayed.Runner.r_failure with
+      | Some _ -> ()
+      | None -> Alcotest.fail "shrunk scenario no longer fails");
+      (* The rendered script replays to the same failure. *)
+      (match Event.scenario_of_script (Event.scenario_to_script shrunk) with
+      | Error e -> Alcotest.failf "shrunk script does not parse: %s" e
+      | Ok sc' -> (
+          match
+            (Mc_simtest.replay ~break_checker:true sc').Runner.r_failure
+          with
+          | Some _ -> ()
+          | None -> Alcotest.fail "parsed shrunk script no longer fails"))
+
+let () =
+  Alcotest.run "simtest"
+    [
+      ( "simtest",
+        [
+          Alcotest.test_case "same seed, same transcript" `Quick
+            test_determinism;
+          Alcotest.test_case "campaign runs are deterministic" `Quick
+            test_campaigns_deterministic;
+          Alcotest.test_case "scripts round-trip" `Quick test_script_roundtrip;
+          Alcotest.test_case "clean campaigns pass the oracle" `Quick
+            test_clean_soak;
+          Alcotest.test_case "broken checker is caught and shrunk" `Quick
+            test_broken_checker_caught;
+        ] );
+    ]
