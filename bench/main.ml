@@ -341,6 +341,20 @@ let engine_throughput () =
     n (seq *. 1e3) shards (eng *. 1e3) (seq /. eng)
 
 (* ------------------------------------------------------------------ *)
+(* X12: federation scale — detection parity and cost across hosts      *)
+(* ------------------------------------------------------------------ *)
+
+let federation_scale () =
+  section
+    "X12: federation scale — one hooked VM in a growing fleet of hosts \
+     (three kernel builds cycled across them); detection must stay exact, \
+     version-skew false positives zero, total CPU linear in hosts, \
+     critical path flat";
+  print_string
+    (Mc_harness.Render.federation_table
+       (Mc_harness.Figures.federation_scale ()))
+
+(* ------------------------------------------------------------------ *)
 (* Telemetry snapshot of everything the harness just ran               *)
 (* ------------------------------------------------------------------ *)
 
@@ -361,6 +375,7 @@ let () =
   ablations ();
   real_parallel ();
   engine_throughput ();
+  federation_scale ();
   (* Micro-benchmarks loop hot code millions of times; keep the registry
      out of their inner loops. *)
   Mc_telemetry.Registry.set_enabled false;

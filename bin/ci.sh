@@ -190,3 +190,49 @@ grep -q 'simtest-scenario v1' "$simfail" || {
   exit 1
 }
 echo "simulation smoke OK: deterministic transcripts, broken checker caught and shrunk"
+
+echo "== federation smoke (3-host x 5-VM fleet: infection + whole-host outage) =="
+fed="$(mktemp -t modchecker_fed.XXXXXX.txt)"
+trap 'rm -f "$trace" "$metrics" "$detect" "$reqs" "$serve_out" "$sim1" "$sim2" "$simfail" "$fed"' EXIT
+
+# One infected VM on host 0, host 2 down: the fleet must still see the
+# infection but report DEGRADED (exit 3) — an answer you cannot trust
+# outranks a bad answer you can.
+set +e
+dune exec --no-build bin/modchecker_cli.exe -- \
+  federate --hosts-per-rack 3 --vms 5 --infect hook --host 0 --vm 1 \
+  --down 2 > "$fed" 2>&1
+fed_status=$?
+set -e
+if [ "$fed_status" -ne 3 ]; then
+  echo "ci: federation smoke failed: expected exit 3 (degraded), got $fed_status" >&2
+  cat "$fed" >&2
+  exit 1
+fi
+grep -q 'Dom2' "$fed" || {
+  echo "ci: federation smoke failed: the infected VM is not reported" >&2
+  cat "$fed" >&2
+  exit 1
+}
+grep -q 'FLEET DEGRADED' "$fed" || {
+  echo "ci: federation smoke failed: no FLEET DEGRADED summary" >&2
+  cat "$fed" >&2
+  exit 1
+}
+
+# With every host up, the fleet's exit code must match the one-shot
+# check subcommand's on the same infection: exit 2, both ways.
+set +e
+dune exec --no-build bin/modchecker_cli.exe -- \
+  federate --hosts-per-rack 3 --vms 5 --infect hook --host 0 --vm 1 \
+  > /dev/null 2>&1
+fed_status=$?
+dune exec --no-build bin/modchecker_cli.exe -- \
+  check --vms 5 --infect hook --vm 1 > /dev/null 2>&1
+check_status=$?
+set -e
+if [ "$fed_status" -ne 2 ] || [ "$check_status" -ne 2 ]; then
+  echo "ci: federation smoke failed: infected exits federate=$fed_status check=$check_status (want 2)" >&2
+  exit 1
+fi
+echo "federation smoke OK: infection seen, outage degrades, exit-code parity"

@@ -386,7 +386,7 @@ let detect_cmd =
 
 type which_figure =
   | Fig7 | Fig8 | Fig9 | Ablation | Parallelism | Baselines | Strategy
-  | PatrolFig | Incremental | Faults | EngineFig | All
+  | PatrolFig | Incremental | Faults | EngineFig | FederationFig | All
 
 let which_arg =
   let doc = "Which figure/table to regenerate." in
@@ -397,7 +397,8 @@ let which_arg =
              ("ablation", Ablation); ("parallel", Parallelism);
              ("baselines", Baselines); ("strategy", Strategy);
              ("patrol", PatrolFig); ("incremental", Incremental);
-             ("faults", Faults); ("engine", EngineFig); ("all", All) ])
+             ("faults", Faults); ("engine", EngineFig);
+             ("federation", FederationFig); ("all", All) ])
         All
     & info [ "which" ] ~docv:"WHICH" ~doc)
 
@@ -455,6 +456,11 @@ let run_figures which vms cores seed =
       (Mc_harness.Render.engine_table
          (Mc_harness.Figures.engine_throughput ~vms ~seed ()))
   in
+  let federation_fig () =
+    print_string
+      (Mc_harness.Render.federation_table
+         (Mc_harness.Figures.federation_scale ~seed ()))
+  in
   match which with
   | Fig7 -> fig7 ()
   | Fig8 -> fig8 ()
@@ -467,6 +473,7 @@ let run_figures which vms cores seed =
   | Incremental -> incremental ()
   | Faults -> faults ()
   | EngineFig -> engine_fig ()
+  | FederationFig -> federation_fig ()
   | All ->
       fig7 ();
       fig8 ();
@@ -478,7 +485,8 @@ let run_figures which vms cores seed =
       patrol_fig ();
       incremental ();
       faults ();
-      engine_fig ()
+      engine_fig ();
+      federation_fig ()
 
 let figures_cmd =
   let doc = "Regenerate the paper's evaluation figures and the extensions." in
@@ -498,18 +506,18 @@ let run_health vms cores seed infect vm canonical json trace metrics =
           (vm + 1)
   | None -> ());
   let report =
-    Modchecker.Fleet.assess
+    Modchecker.Pool_health.assess
       ~config:(make_check_config ~canonical ~quorum:Report.default_quorum ())
       cloud
   in
   if json then
     print_endline
-      (Mc_util.Json.to_string_pretty (Modchecker.Fleet.to_json report))
+      (Mc_util.Json.to_string_pretty (Modchecker.Pool_health.to_json report))
   else begin
-    print_string (Modchecker.Fleet.to_table report);
-    print_endline (Modchecker.Fleet.summary report)
+    print_string (Modchecker.Pool_health.to_table report);
+    print_endline (Modchecker.Pool_health.summary report)
   end;
-  if not report.Modchecker.Fleet.fr_clean then exit Exit_code.infected
+  if not report.Modchecker.Pool_health.fr_clean then exit Exit_code.infected
 
 let health_cmd =
   let doc = "Assess every module on every VM: the fleet dashboard." in
@@ -522,6 +530,204 @@ let health_cmd =
     Term.(
       const run_health $ vms_arg $ cores_arg $ seed_arg $ infect_arg $ vm_arg
       $ canonical_arg $ json_arg $ trace_arg $ metrics_arg)
+
+(* --- federate ------------------------------------------------------------ *)
+
+let int_list_conv =
+  let parse s =
+    try
+      Ok
+        (String.split_on_char ',' s
+        |> List.filter (fun x -> x <> "")
+        |> List.map int_of_string)
+    with Failure _ -> Error (`Msg (Printf.sprintf "not an int list: %s" s))
+  in
+  let print fmt l =
+    Format.pp_print_string fmt (String.concat "," (List.map string_of_int l))
+  in
+  Arg.conv ~docv:"N,N,..." (parse, print)
+
+let slow_rack_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ rack; factor ] -> (
+        try Ok (int_of_string rack, float_of_string factor)
+        with Failure _ -> Error (`Msg (Printf.sprintf "bad RACK:FACTOR: %s" s)))
+    | _ -> Error (`Msg (Printf.sprintf "expected RACK:FACTOR, got: %s" s))
+  in
+  let print fmt (r, f) = Format.fprintf fmt "%d:%g" r f in
+  Arg.conv ~docv:"RACK:FACTOR" (parse, print)
+
+let run_federate verbose regions racks hosts_per_rack vms cores patch_levels
+    slow_racks down host vm infect lists module_name engines workers
+    host_quorum host_deadline fault_spec seed json trace metrics =
+  with_telemetry trace metrics @@ fun () ->
+  setup_logs verbose;
+  let module Topo = Mc_federation.Topology in
+  let module Co = Mc_federation.Coordinator in
+  let spec =
+    {
+      Topo.regions;
+      racks_per_region = racks;
+      hosts_per_rack;
+      vms_per_host = vms;
+      cores_per_host = cores;
+      patch_levels;
+      slow_racks;
+      seed;
+      fault_spec;
+    }
+  in
+  let topo = try Topo.create ~spec () with Invalid_argument m ->
+    prerr_endline ("error: " ^ m);
+    exit Exit_code.error
+  in
+  (if host >= Topo.host_count topo then begin
+     Printf.eprintf "error: no host %d in a %d-host fleet\n" host
+       (Topo.host_count topo);
+     exit Exit_code.error
+   end);
+  (match
+     stage_infection (Topo.host topo host).Mc_federation.Host.cloud vm infect
+   with
+  | Ok (Some inf) ->
+      if not json then
+        Printf.printf "staged: %s on host%d/Dom%d (%s)\n"
+          inf.Mc_malware.Infect.technique host (vm + 1)
+          inf.Mc_malware.Infect.details
+  | Ok None -> ()
+  | Error msg ->
+      prerr_endline ("error: " ^ msg);
+      exit Exit_code.error);
+  List.iter
+    (fun h ->
+      if h < Topo.host_count topo then Topo.set_host_down topo h
+      else begin
+        Printf.eprintf "error: cannot take down host %d of %d\n" h
+          (Topo.host_count topo);
+        exit Exit_code.error
+      end)
+    down;
+  let config =
+    {
+      Co.default_config with
+      Co.host_quorum;
+      host_deadline_s = host_deadline;
+      use_engines = engines;
+      workers;
+    }
+  in
+  let code =
+    if lists then begin
+      let fl = Co.survey_lists ~config topo in
+      if json then
+        print_endline
+          (Mc_util.Json.to_string_pretty
+             (Mc_util.Json.Obj
+                [
+                  ("schema", Mc_util.Json.String "modchecker/federation-lists@1");
+                  ("verdict",
+                   Mc_util.Json.String (Report.verdict_key fl.Co.fl_verdict));
+                  ("hosts_surveyed", Mc_util.Json.Int fl.Co.fl_hosts_surveyed);
+                  ("hosts_responded", Mc_util.Json.Int fl.Co.fl_hosts_responded);
+                ]))
+      else
+        List.iter
+          (fun (h : Co.host_lists) ->
+            match h.Co.hl_outcome with
+            | Ok lc ->
+                Printf.printf "host%d: %d discrepancies, %d unreachable VMs\n"
+                  h.Co.hl_host
+                  (List.length lc.Orchestrator.lc_discrepancies)
+                  (List.length lc.Orchestrator.lc_unreachable)
+            | Error e -> Printf.printf "host%d: UNREACHABLE (%s)\n" h.Co.hl_host e)
+          fl.Co.fl_per_host;
+      Co.exit_code_lists fl
+    end
+    else begin
+      let r = Co.survey ~config topo ~module_name in
+      if json then print_endline (Mc_util.Json.to_string_pretty (Co.to_json r))
+      else begin
+        print_string (Co.to_table topo r);
+        print_endline (Co.summary r)
+      end;
+      Co.exit_code r
+    end
+  in
+  Topo.shutdown topo;
+  Exit_code.exit_with code
+
+let federate_cmd =
+  let doc =
+    "Survey a module across a simulated multi-host fleet (hosts x racks x \
+     regions, mixed kernel builds) and merge verdicts hierarchically."
+  in
+  let regions_arg =
+    Arg.(value & opt int 1 & info [ "regions" ] ~docv:"N" ~doc:"Regions.")
+  in
+  let racks_arg =
+    Arg.(value & opt int 1 & info [ "racks" ] ~docv:"N"
+         ~doc:"Racks per region.")
+  in
+  let hosts_arg =
+    Arg.(value & opt int 3 & info [ "hosts-per-rack" ] ~docv:"N"
+         ~doc:"Hosts per rack.")
+  in
+  let fed_vms_arg =
+    Arg.(value & opt int 5 & info [ "vms" ] ~docv:"N"
+         ~doc:"DomU guests per host.")
+  in
+  let levels_arg =
+    Arg.(value & opt int_list_conv [ 1 ] & info [ "patch-levels" ]
+         ~docv:"L,L,..."
+         ~doc:"Kernel builds cycled across hosts (host 0 gets the first). \
+               Votes are grouped by build, so a mixed fleet never flags a \
+               legitimate version split.")
+  in
+  let slow_rack_arg =
+    Arg.(value & opt_all slow_rack_conv [] & info [ "slow-rack" ]
+         ~docv:"RACK:FACTOR"
+         ~doc:"Stretch every response from the rack's hosts by FACTOR \
+               (repeatable).")
+  in
+  let down_arg =
+    Arg.(value & opt int_list_conv [] & info [ "down" ] ~docv:"H,H,..."
+         ~doc:"Hosts to take down before surveying (whole-host outage).")
+  in
+  let fed_host_arg =
+    Arg.(value & opt int 0 & info [ "host" ] ~docv:"H"
+         ~doc:"Host carrying the staged infection (with --infect).")
+  in
+  let lists_arg =
+    Arg.(value & flag & info [ "lists" ]
+         ~doc:"Compare module load lists within each host (DKOM check) \
+               instead of surveying one module.")
+  in
+  let engines_arg =
+    Arg.(value & flag & info [ "engines" ]
+         ~doc:"Drive each host through its own Mc_engine service instead \
+               of direct orchestrator calls.")
+  in
+  let host_quorum_arg =
+    Arg.(value & opt float 1.0 & info [ "host-quorum" ] ~docv:"FRACTION"
+         ~doc:"Fraction of hosts that must respond; below it the fleet \
+               verdict is DEGRADED (exit 3). Default 1.0: any whole-host \
+               outage degrades.")
+  in
+  let host_deadline_arg =
+    Arg.(value & opt (some float) None & info [ "host-deadline" ]
+         ~docv:"SECONDS"
+         ~doc:"Virtual response-time bound per host; a slow rack can push \
+               healthy hosts past it (they count unreachable).")
+  in
+  Cmd.v
+    (Cmd.info "federate" ~doc)
+    Term.(
+      const run_federate $ verbose_arg $ regions_arg $ racks_arg $ hosts_arg
+      $ fed_vms_arg $ cores_arg $ levels_arg $ slow_rack_arg $ down_arg
+      $ fed_host_arg $ vm_arg $ infect_arg $ lists_arg $ module_arg
+      $ engines_arg $ workers_arg $ host_quorum_arg $ host_deadline_arg
+      $ fault_spec_arg $ seed_arg $ json_arg $ trace_arg $ metrics_arg)
 
 (* --- patrol -------------------------------------------------------------- *)
 
@@ -847,7 +1053,7 @@ let disasm_cmd =
 (* --- simtest ------------------------------------------------------------- *)
 
 let run_simtest verbose seed steps campaigns keep_going break_checker
-    shrink_budget quorum script transcript_out =
+    shrink_budget quorum federation script transcript_out =
   setup_logs verbose;
   (* Thousands of deliberate infections later, per-alarm warnings are
      noise; the transcript and the oracle's verdict are the output. *)
@@ -860,6 +1066,22 @@ let run_simtest verbose seed steps campaigns keep_going break_checker
         output_string oc t;
         close_out oc
   in
+  if federation then begin
+    let r =
+      Mc_simtest.Fedsim.run_campaigns ~keep_going ~shrink_budget ~seed
+        ~steps ~campaigns ()
+    in
+    write_transcript r.Mc_simtest.Fedsim.fc_transcript;
+    Printf.printf "%d federation campaign(s), %d sweep(s), %d failure(s)\n"
+      r.Mc_simtest.Fedsim.fc_campaigns r.Mc_simtest.Fedsim.fc_sweeps
+      (List.length r.Mc_simtest.Fedsim.fc_failures);
+    List.iter
+      (fun f -> print_endline (Mc_simtest.Fedsim.render_failure f))
+      r.Mc_simtest.Fedsim.fc_failures;
+    exit
+      (if r.Mc_simtest.Fedsim.fc_failures = [] then Exit_code.ok
+       else Exit_code.error)
+  end;
   match script with
   | Some path ->
       (* Replay an explicit scenario (e.g. a shrunk failure) without the
@@ -948,12 +1170,18 @@ let simtest_cmd =
          ~doc:"Write the deterministic run transcript to $(docv); two \
                runs with the same arguments produce identical files.")
   in
+  let federation_arg =
+    Arg.(value & flag & info [ "federation" ]
+         ~doc:"Run federation campaigns instead: host outages, \
+               coordinated whole-host infections, and version skew \
+               against the fleet-level oracle (Fedsim).")
+  in
   Cmd.v
     (Cmd.info "simtest" ~doc)
     Term.(
       const run_simtest $ verbose_arg $ seed_arg $ steps_arg $ campaigns_arg
       $ keep_going_arg $ break_checker_arg $ shrink_budget_arg
-      $ sim_quorum_arg $ script_arg $ transcript_arg)
+      $ sim_quorum_arg $ federation_arg $ script_arg $ transcript_arg)
 
 (* --- main --------------------------------------------------------------- *)
 
@@ -968,5 +1196,6 @@ let () =
        (Cmd.group info
           [
             check_cmd; survey_cmd; list_cmd; detect_cmd; figures_cmd;
-            patrol_cmd; health_cmd; serve_cmd; disasm_cmd; simtest_cmd;
+            patrol_cmd; health_cmd; federate_cmd; serve_cmd; disasm_cmd;
+            simtest_cmd;
           ]))

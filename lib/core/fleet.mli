@@ -1,36 +1,14 @@
-(** Whole-pool health assessment: every module on every VM, in one
-    report — the operator's dashboard view of the cloud.
+(** Deprecated alias for {!Pool_health}.
 
-    For each module name seen anywhere in the pool it runs a survey (so a
-    module loaded on only some VMs is still checked among those), collects
-    the deviant/missing sets, and aggregates a per-VM suspicion score. *)
+    "Fleet" now means the multi-host federation ({!Mc_federation}); the
+    single-pool health assessment that used to live here is
+    {!Pool_health}. This unit keeps old code compiling and will be
+    removed.
 
-type module_status = {
-  ms_module : string;
-  ms_present_on : int;  (** VMs where the module is loaded. *)
-  ms_deviants : int list;
-  ms_missing : int list;  (** Among VMs that *should* have it (see below). *)
-  ms_consistent : bool;
-}
+    @deprecated Use {!Pool_health}. *)
 
-type report = {
-  fr_modules : module_status list;  (** Sorted by module name. *)
-  fr_suspicion : (int * int) list;
-      (** (VM index, number of findings implicating it), descending,
-          suspicious VMs only. *)
-  fr_clean : bool;  (** No deviants, no hidden modules anywhere. *)
-}
+[@@@ocaml.deprecated "Use Pool_health: Fleet now names the federation."]
 
-val assess : ?config:Orchestrator.Config.t -> Mc_hypervisor.Cloud.t -> report
-(** [assess cloud] surveys the union of all VMs' module lists. A module
-    missing from a minority of VMs counts against those VMs (the
-    DKOM-hiding signal); one missing from most VMs is treated as
-    optionally-loaded and only surveyed among its holders. *)
-
-val to_table : report -> string
-
-val to_json : report -> Mc_util.Json.t
-
-val summary : report -> string
-(** One line: ["FLEET CLEAN (9 modules x 5 VMs)"] or
-    ["FLEET SUSPICIOUS: Dom3 implicated by 2 finding(s)"]. *)
+include module type of struct
+  include Pool_health
+end

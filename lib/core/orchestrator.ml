@@ -194,8 +194,14 @@ let check_module ?(config = Config.default) cloud ~target_vm ~module_name =
     match others with
     | Some vs -> vs
     | None ->
+        (* Default comparison set: the target's version cohort. Comparing
+           a patched build against an unpatched one would manufacture
+           mismatches out of a legitimate version split. In a homogeneous
+           pool this is the whole pool, as in the paper. *)
+        let cohort = Cloud.vm_patch_level cloud target_vm in
         List.filter
-          (fun v -> v <> target_vm)
+          (fun v ->
+            v <> target_vm && Cloud.vm_patch_level cloud v = cohort)
           (List.init (Cloud.vm_count cloud) Fun.id)
   in
   if others = [] then Error "no comparison VMs available"
@@ -420,8 +426,8 @@ let reloc_fallback name why =
   Tel.add "digest.reloc_fallbacks" 1;
   []
 
-let module_relocs name =
-  match Mc_pe.Catalog.image name with
+let module_relocs ?(version = 1) name =
+  match Mc_pe.Catalog.image ~version name with
   | exception e -> reloc_fallback name (Printexc.to_string e)
   | built -> (
       let file = built.Mc_pe.Catalog.file in
@@ -458,6 +464,34 @@ let vm_fingerprint ~meter ~relocs ~base artifacts : fingerprint =
       (Artifact.kind_name a.Artifact.kind, digest))
     artifacts
   |> List.sort compare
+
+(* A VM's base-independent module identity, for callers (the federation
+   coordinator) that need to compare copies across pools: fetched with the
+   usual fault handling, reloc-stripped with the build matching the VM's
+   patch level. *)
+let reference_fingerprint ?meter cloud ~vm ~module_name =
+  let jm = Meter.create () in
+  let result =
+    match fetch_artifacts cloud ~vm ~module_name ~meter:jm with
+    | Absent -> Error (Printf.sprintf "module %s absent" module_name)
+    | Unreachable reason -> Error reason
+    | Fetched (info, artifacts) ->
+        let relocs =
+          module_relocs
+            ~version:(Cloud.vm_patch_level cloud vm)
+            module_name
+        in
+        Meter.set_phase jm Checker;
+        Ok
+          (vm_fingerprint ~meter:jm ~relocs ~base:info.Searcher.mi_base
+             artifacts)
+    | exception e -> (
+        match unreachable_of_exn e with
+        | Some reason -> Error reason
+        | None -> raise e)
+  in
+  (match meter with Some dst -> Meter.merge dst jm | None -> bridge_meter jm);
+  result
 
 exception Escalate_to_full
 
@@ -501,9 +535,19 @@ and survey_once ~config ?meter cloud ~module_name =
     | Some inc ->
         (* Incremental path: per-VM reloc-adjusted fingerprints, memoized
            on the pages each computation read. An untouched VM prices as
-           one staleness probe instead of a map+parse+hash pipeline. *)
-        let relocs = module_relocs module_name in
+           one staleness probe instead of a map+parse+hash pipeline. Reloc
+           tables are per patch level (each level is a different build of
+           the module), resolved up front so pool workers share them
+           without touching the catalog memo table concurrently. *)
+        let relocs_by_level =
+          List.map
+            (fun level -> (level, module_relocs ~version:level module_name))
+            (Cloud.distinct_patch_levels cloud)
+        in
         let fingerprint_vm vm =
+          let relocs =
+            List.assoc (Cloud.vm_patch_level cloud vm) relocs_by_level
+          in
           Tel.with_span ?parent:root_id ~attrs:[ ("vm", Int vm) ] "vm_check"
           @@ fun _ ->
           let dom = Cloud.vm cloud vm in
@@ -574,8 +618,17 @@ and survey_once ~config ?meter cloud ~module_name =
               @ pairs rest
         in
         let pairwise = pairs present in
-        if List.exists (fun (_, ok) -> not ok) pairwise then
-          raise Escalate_to_full;
+        (* Copies from different patch levels are different builds and
+           always mismatch — that is a version split, not tampering, and
+           the full survey would reach the same (non-)conclusion about it.
+           Only a disagreement inside one cohort demands escalation. *)
+        if
+          List.exists
+            (fun ((a, b), ok) ->
+              (not ok)
+              && Cloud.vm_patch_level cloud a = Cloud.vm_patch_level cloud b)
+            pairwise
+        then raise Escalate_to_full;
         (List.map fst present, missing_on, unreachable_on, pairwise)
     | None ->
         let fetch vm =
@@ -673,14 +726,35 @@ and survey_once ~config ?meter cloud ~module_name =
         List.map (List.sort compare) !classes
         |> List.sort (fun a b -> compare (List.length b) (List.length a))
   in
+  (* Deviance is judged inside each version cohort: a copy is voted on by
+     peers running the same patch level, so a legitimate version split
+     never drowns the majority and an infection is judged against its own
+     cohort. A homogeneous pool has one cohort and this reduces exactly to
+     the original whole-pool rule. A VM alone in its cohort has no peers
+     and is never flagged. *)
+  let cohort_of = Cloud.vm_patch_level cloud in
   let deviant_vms =
-    match agreement_classes with
-    | [] | [ _ ] -> []
-    | largest :: _ ->
-        if 2 * List.length largest > List.length vms_present then
-          List.filter (fun v -> not (List.mem v largest)) vms_present
-          |> List.sort compare
-        else vms_present
+    let levels = List.sort_uniq compare (List.map cohort_of vms_present) in
+    List.concat_map
+      (fun level ->
+        let members = List.filter (fun v -> cohort_of v = level) vms_present in
+        let classes =
+          List.filter_map
+            (fun c ->
+              match List.filter (fun v -> List.mem v members) c with
+              | [] -> None
+              | m -> Some m)
+            agreement_classes
+          |> List.sort (fun a b -> compare (List.length b) (List.length a))
+        in
+        match classes with
+        | [] | [ _ ] -> []
+        | largest :: _ ->
+            if 2 * List.length largest > List.length members then
+              List.filter (fun v -> not (List.mem v largest)) members
+            else members)
+      levels
+    |> List.sort compare
   in
   let s_surveyed = List.length vms in
   let s_responded = s_surveyed - List.length unreachable_on in

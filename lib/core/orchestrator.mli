@@ -67,8 +67,9 @@ module Config : sig
   type nonrec t = {
     mode : mode;
     others : int list option;
-        (** Comparison VMs for {!check_module}; [None] means the rest of
-            the pool. Ignored by {!survey} (full mesh by definition). *)
+        (** Comparison VMs for {!check_module}; [None] means the target's
+            version cohort — the rest of the pool when it is homogeneous.
+            Ignored by {!survey} (full mesh by definition). *)
     strategy : survey_strategy;  (** Used by {!survey} only. *)
     incremental : incremental option;
         (** Shared carry-over state; with it, {!survey} compares memoized
@@ -106,8 +107,9 @@ val check_module :
   module_name:string ->
   (outcome, string) result
 (** [check_module cloud ~target_vm ~module_name] fetches the module from
-    the target and from every other VM ([config.others] defaults to the
-    rest of the pool), compares pairwise, and votes. Errors when the
+    the target and from every comparison VM ([config.others] defaults to
+    the target's version cohort — the whole rest of the pool when it is
+    homogeneous), compares pairwise, and votes. Errors when the
     module is not loaded on the target, the target is unreachable, or no
     comparison VM is available. A module missing on a {e comparison} VM
     counts as a failed comparison, not an error; a comparison VM that
@@ -126,6 +128,11 @@ val survey :
 (** [survey cloud ~module_name] compares every VM's copy against every
     other and partitions the pool into consistent and deviant VMs — the
     "detect discrepancies and trigger deeper analysis" use of §III-B.
+    Deviance is judged within each version cohort (VMs sharing a patch
+    level): in a heterogeneous pool a legitimate version split shows up in
+    [agreement_classes] but flags nobody, and an infected copy is outvoted
+    by its own cohort. A homogeneous pool reduces to the paper's
+    whole-pool rule.
     Both strategies produce the same verdicts (a property the tests
     check), differing only in cost. When [meter] is given, all work is
     counted into it (under its phases); in [Parallel] mode each job
@@ -149,14 +156,29 @@ val survey :
     fewer than [config.quorum] of the pool responds, [s_verdict] is
     [Degraded]. *)
 
-val module_relocs : string -> int list
-(** Reloc slot RVAs of the golden (catalog) copy of the named module,
-    used for base stripping of cached fingerprints. When the catalog
-    image cannot be built or fails to parse, this logs a warning, bumps the
-    [digest.reloc_fallbacks] telemetry counter, and returns [] —
-    fingerprints then keep their base-dependent bytes, which can turn
-    clean load-base differences into deviations, so the fallback is
-    deliberately loud. *)
+val module_relocs : ?version:int -> string -> int list
+(** Reloc slot RVAs of the golden (catalog) copy of the named module at
+    the given patch level (default 1), used for base stripping of cached
+    fingerprints. When the catalog image cannot be built or fails to
+    parse, this logs a warning, bumps the [digest.reloc_fallbacks]
+    telemetry counter, and returns [] — fingerprints then keep their
+    base-dependent bytes, which can turn clean load-base differences into
+    deviations, so the fallback is deliberately loud. *)
+
+val reference_fingerprint :
+  ?meter:Mc_hypervisor.Meter.t ->
+  Mc_hypervisor.Cloud.t ->
+  vm:int ->
+  module_name:string ->
+  (fingerprint, string) result
+(** [reference_fingerprint cloud ~vm ~module_name] is the VM's
+    base-independent identity for the module: artifacts fetched with the
+    usual fault handling and section data reloc-stripped against the build
+    matching the VM's patch level. Two clean copies of the same build
+    agree on it across load bases {e and across pools} — the unit of the
+    federation's cross-host vote. Errors when the module is absent or the
+    VM unreachable. Work is metered into [meter] when given, else bridged
+    to telemetry. *)
 
 type list_discrepancy = {
   ld_module : string;

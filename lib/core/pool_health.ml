@@ -1,0 +1,163 @@
+module Cloud = Mc_hypervisor.Cloud
+module Dom = Mc_hypervisor.Dom
+module Vmi = Mc_vmi.Vmi
+module Symbols = Mc_vmi.Symbols
+
+type module_status = {
+  ms_module : string;
+  ms_present_on : int;
+  ms_deviants : int list;
+  ms_missing : int list;
+  ms_consistent : bool;
+}
+
+type report = {
+  fr_modules : module_status list;
+  fr_suspicion : (int * int) list;
+  fr_clean : bool;
+}
+
+let listings cloud =
+  List.init (Cloud.vm_count cloud) (fun vm ->
+      let dom = Cloud.vm cloud vm in
+      let vmi =
+        Vmi.init dom
+          (Symbols.of_variant
+             (Mc_winkernel.Kernel.os_variant (Dom.kernel_exn dom)))
+      in
+      ( vm,
+        List.map
+          (fun (i : Searcher.module_info) ->
+            String.lowercase_ascii i.Searcher.mi_name)
+          (Searcher.list_modules vmi) ))
+
+let assess ?(config = Orchestrator.Config.default) cloud =
+  let vm_count = Cloud.vm_count cloud in
+  let listing = listings cloud in
+  let all_names =
+    List.sort_uniq compare (List.concat_map snd listing)
+  in
+  let statuses =
+    List.map
+      (fun name ->
+        let holders =
+          List.filter_map
+            (fun (vm, names) -> if List.mem name names then Some vm else None)
+            listing
+        in
+        let absentees =
+          List.filter
+            (fun vm -> not (List.mem vm holders))
+            (List.init vm_count Fun.id)
+        in
+        (* Missing from a minority = hiding signal; missing from most =
+           a module only some VMs load (surveyed among holders only). The
+           majority is taken within each version cohort: a module rolled
+           out to (say) the patched half of the pool must not implicate
+           the unpatched half, while a cohort member hiding it is still
+           outvoted by its own cohort. *)
+        let missing =
+          List.concat_map
+            (fun level ->
+              let members =
+                List.filter
+                  (fun vm -> Cloud.vm_patch_level cloud vm = level)
+                  (List.map fst listing)
+              in
+              let cohort_holders =
+                List.filter (fun vm -> List.mem vm members) holders
+              in
+              let cohort_absent =
+                List.filter (fun vm -> List.mem vm members) absentees
+              in
+              if 2 * List.length cohort_holders > List.length members then
+                cohort_absent
+              else [])
+            (Cloud.distinct_patch_levels cloud)
+          |> List.sort compare
+        in
+        let survey = Orchestrator.survey ~config cloud ~module_name:name in
+        let deviants = survey.Report.deviant_vms in
+        {
+          ms_module = name;
+          ms_present_on = List.length holders;
+          ms_deviants = deviants;
+          ms_missing = missing;
+          ms_consistent = deviants = [] && missing = [];
+        })
+      all_names
+  in
+  let suspicion = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun vm ->
+          Hashtbl.replace suspicion vm
+            (1 + Option.value ~default:0 (Hashtbl.find_opt suspicion vm)))
+        (s.ms_deviants @ s.ms_missing))
+    statuses;
+  let fr_suspicion =
+    Hashtbl.fold (fun vm n acc -> (vm, n) :: acc) suspicion []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  {
+    fr_modules = statuses;
+    fr_suspicion;
+    fr_clean = List.for_all (fun s -> s.ms_consistent) statuses;
+  }
+
+let vm_list vms =
+  if vms = [] then "-"
+  else
+    String.concat ","
+      (List.map (fun v -> Printf.sprintf "Dom%d" (v + 1)) vms)
+
+let to_table r =
+  Mc_util.Table.render
+    ~header:[ "module"; "present on"; "deviant"; "missing"; "status" ]
+    (List.map
+       (fun s ->
+         [
+           s.ms_module;
+           string_of_int s.ms_present_on;
+           vm_list s.ms_deviants;
+           vm_list s.ms_missing;
+           (if s.ms_consistent then "consistent" else "SUSPICIOUS");
+         ])
+       r.fr_modules)
+
+let to_json r =
+  let open Mc_util.Json in
+  let vms l = List (List.map (fun v -> Int v) l) in
+  Obj
+    [
+      ("clean", Bool r.fr_clean);
+      ( "modules",
+        List
+          (List.map
+             (fun s ->
+               Obj
+                 [
+                   ("module", String s.ms_module);
+                   ("present_on", Int s.ms_present_on);
+                   ("deviants", vms s.ms_deviants);
+                   ("missing", vms s.ms_missing);
+                   ("consistent", Bool s.ms_consistent);
+                 ])
+             r.fr_modules) );
+      ( "suspicion",
+        List
+          (List.map
+             (fun (vm, n) -> Obj [ ("vm", Int vm); ("findings", Int n) ])
+             r.fr_suspicion) );
+    ]
+
+let summary r =
+  if r.fr_clean then
+    Printf.sprintf "FLEET CLEAN (%d modules)" (List.length r.fr_modules)
+  else
+    match r.fr_suspicion with
+    | (vm, n) :: _ ->
+        Printf.sprintf "FLEET SUSPICIOUS: Dom%d implicated by %d finding(s)"
+          (vm + 1) n
+    | [] -> "FLEET SUSPICIOUS"

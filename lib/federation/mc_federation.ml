@@ -1,0 +1,3 @@
+module Host = Host
+module Topology = Topology
+module Coordinator = Coordinator

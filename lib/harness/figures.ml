@@ -666,3 +666,74 @@ let engine_throughput ?(vms = 8) ?(dups = [ 1; 2; 4; 8 ]) ?(seed = 2013L) () =
         er_speedup = standalone_s /. engine_s;
       })
     dups
+
+(* --- X12: federation scale --------------------------------------------- *)
+
+type federation_row = {
+  fd_hosts : int;
+  fd_racks : int;
+  fd_vms : int;  (* total, across hosts *)
+  fd_levels : int;  (* distinct kernel builds in the fleet *)
+  fd_detected : bool;
+  fd_skew_fp : int;
+  fd_parity : bool;
+  fd_fleet_cpu_s : float;
+  fd_critical_s : float;
+}
+
+let federation_scale ?(hosts = [ 2; 4; 8; 16 ]) ?(vms_per_host = 5)
+    ?(seed = 2012L) () =
+  let module Topo = Mc_federation.Topology in
+  let module Co = Mc_federation.Coordinator in
+  List.map
+    (fun n ->
+      let hosts_per_rack = min n 4 in
+      let racks = (n + hosts_per_rack - 1) / hosts_per_rack in
+      let spec =
+        {
+          Topo.default_spec with
+          Topo.racks_per_region = racks;
+          hosts_per_rack;
+          vms_per_host;
+          patch_levels = [ 1; 2; 3 ];
+          seed;
+        }
+      in
+      let topo = Topo.create ~spec () in
+      let victim = n / 2 in
+      let victim_cloud = (Topo.host topo victim).Mc_federation.Host.cloud in
+      (match Mc_malware.Infect.inline_hook victim_cloud ~vm:1 with
+      | Ok _ -> ()
+      | Error e -> failwith e);
+      let r = Co.survey topo ~module_name:"hal.dll" in
+      let detected =
+        r.Co.fb_verdict = Modchecker.Report.Infected
+        && r.Co.fb_deviant_vms = [ (victim, 1) ]
+      in
+      (* The same verdict the victim host's own pool reaches standalone:
+         detection parity between one hop of hierarchy and none. *)
+      let standalone =
+        Orchestrator.survey victim_cloud ~module_name:"hal.dll"
+      in
+      let parity =
+        standalone.Modchecker.Report.deviant_vms = [ 1 ]
+        && Co.exit_code r = Modchecker.Exit_code.of_survey standalone
+      in
+      let clean = Co.survey topo ~module_name:"tcpip.sys" in
+      let skew_fp =
+        List.length clean.Co.fb_deviant_vms
+        + List.length clean.Co.fb_deviant_hosts
+      in
+      Topo.shutdown topo;
+      {
+        fd_hosts = n;
+        fd_racks = racks;
+        fd_vms = Topo.vm_count topo;
+        fd_levels = List.length (Topo.distinct_levels topo);
+        fd_detected = detected;
+        fd_skew_fp = skew_fp;
+        fd_parity = parity;
+        fd_fleet_cpu_s = r.Co.fb_fleet_cpu_s;
+        fd_critical_s = r.Co.fb_critical_path_s;
+      })
+    hosts

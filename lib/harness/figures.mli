@@ -188,3 +188,31 @@ val engine_throughput :
     fan-in is where the engine earns its keep: coalescing and the shared
     incremental state turn re-asks into staleness probes, so the speedup
     column should grow with [er_dup]. *)
+
+type federation_row = {
+  fd_hosts : int;
+  fd_racks : int;
+  fd_vms : int;  (** Total VMs across the fleet. *)
+  fd_levels : int;  (** Distinct kernel builds (version cohorts). *)
+  fd_detected : bool;
+      (** The one staged infection was found at its exact (host, VM)
+          locus and nowhere else. *)
+  fd_skew_fp : int;
+      (** Deviant VMs + deviant hosts reported for a clean module — the
+          version-skew false-positive count; must be 0. *)
+  fd_parity : bool;
+      (** The fleet's exit code equals the victim host's own standalone
+          survey exit code: one hop of hierarchy loses no detection. *)
+  fd_fleet_cpu_s : float;  (** Sum of per-host virtual response times. *)
+  fd_critical_s : float;  (** Slowest host — the fan-out floor. *)
+}
+
+val federation_scale :
+  ?hosts:int list -> ?vms_per_host:int -> ?seed:int64 -> unit ->
+  federation_row list
+(** X12: detection parity and metered cost as the fleet grows. Each
+    point boots [n] hosts (three builds cycled across them), hooks one
+    VM on one host, and surveys the whole fleet: detection must stay
+    exact, skew false positives zero, and cost split into total CPU
+    (grows with hosts) vs critical path (stays flat — hosts answer in
+    parallel). *)

@@ -259,3 +259,23 @@ let engine_table rows =
            Printf.sprintf "%.1fx" r.er_speedup;
          ])
        rows)
+
+let federation_table rows =
+  Table.render
+    ~header:
+      [ "hosts"; "racks"; "VMs"; "builds"; "detected"; "skew FP"; "parity";
+        "fleet cpu (s)"; "critical (s)" ]
+    (List.map
+       (fun (r : Figures.federation_row) ->
+         [
+           string_of_int r.fd_hosts;
+           string_of_int r.fd_racks;
+           string_of_int r.fd_vms;
+           string_of_int r.fd_levels;
+           (if r.fd_detected then "yes" else "NO");
+           string_of_int r.fd_skew_fp;
+           (if r.fd_parity then "yes" else "NO");
+           Printf.sprintf "%.3f" r.fd_fleet_cpu_s;
+           Printf.sprintf "%.3f" r.fd_critical_s;
+         ])
+       rows)

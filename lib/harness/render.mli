@@ -33,3 +33,6 @@ val fault_table : Figures.fault_row list -> string
 val baseline_table : Figures.baseline_row list -> string
 
 val engine_table : Figures.engine_row list -> string
+
+val federation_table : Figures.federation_row list -> string
+(** X12 as a table. *)

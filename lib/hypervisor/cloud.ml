@@ -11,13 +11,14 @@ type t = {
   cloud_seed : int64;
   module_alignment : int;
   os_variant : Mc_winkernel.Layout.os_variant;
+  patch_levels : int array;
 }
 
-let golden_filesystem ?(extra_modules = []) () =
+let golden_filesystem ?(version = 1) ?(extra_modules = []) () =
   let fs = Fs.create () in
   List.iter
     (fun name ->
-      let built = Catalog.image name in
+      let built = Catalog.image ~version name in
       Fs.write_file fs (Fs.module_path name) built.Catalog.file)
     (Catalog.standard_modules @ extra_modules);
   fs
@@ -44,12 +45,32 @@ let set_fault_spec t spec =
 
 let create ?(vms = 15) ?(cores = 8) ?(module_alignment = Mc_winkernel.Layout.default_module_alignment)
     ?(extra_modules = []) ?(seed = 2012L)
-    ?(os_variant = Mc_winkernel.Layout.Xp_sp2) ?fault_spec () =
-  let golden_fs = golden_filesystem ~extra_modules () in
+    ?(os_variant = Mc_winkernel.Layout.Xp_sp2) ?(patch_levels = [])
+    ?fault_spec () =
+  let level_of =
+    match patch_levels with
+    | [] -> fun _ -> 1
+    | l ->
+        let a = Array.of_list l in
+        fun i -> a.(i mod Array.length a)
+  in
+  let vm_patch_levels = Array.init vms level_of in
+  (* One golden installation per distinct patch level; a homogeneous pool
+     still clones a single filesystem, as in the paper. *)
+  let fs_by_level = Hashtbl.create 4 in
+  let golden_for level =
+    match Hashtbl.find_opt fs_by_level level with
+    | Some fs -> fs
+    | None ->
+        let fs = golden_filesystem ~version:level ~extra_modules () in
+        Hashtbl.add fs_by_level level fs;
+        fs
+  in
+  let golden_fs = golden_for (if vms > 0 then vm_patch_levels.(0) else 1) in
   let dom0 = Dom.create ~dom_id:0 ~dom_name:"Domain-0" ~vcpus:2 None in
   let domus =
     Array.init vms (fun i ->
-        let fs = Fs.clone golden_fs in
+        let fs = Fs.clone (golden_for vm_patch_levels.(i)) in
         let kernel =
           boot_vm ~fs ~module_alignment ~os_variant ~seed:(vm_seed seed i)
             ~generation:0
@@ -60,7 +81,7 @@ let create ?(vms = 15) ?(cores = 8) ?(module_alignment = Mc_winkernel.Layout.def
   in
   let t =
     { dom0; domus; cores; golden_fs; cloud_seed = seed; module_alignment;
-      os_variant }
+      os_variant; patch_levels = vm_patch_levels }
   in
   set_fault_spec t fault_spec;
   t
@@ -71,6 +92,14 @@ let vm t i =
   t.domus.(i)
 
 let vm_count t = Array.length t.domus
+
+let vm_patch_level t i =
+  if i < 0 || i >= Array.length t.patch_levels then
+    invalid_arg (Printf.sprintf "Cloud.vm_patch_level: no DomU index %d" i);
+  t.patch_levels.(i)
+
+let distinct_patch_levels t =
+  Array.to_list t.patch_levels |> List.sort_uniq compare
 
 let reboot_vm t i =
   Mc_telemetry.Registry.add "cloud.vm_reboots" 1;

@@ -10,12 +10,15 @@ type t = {
   cloud_seed : int64;
   module_alignment : int;
   os_variant : Mc_winkernel.Layout.os_variant;
+  patch_levels : int array;  (** Per-DomU module patch level (catalog version). *)
 }
 
-val golden_filesystem : ?extra_modules:string list -> unit -> Mc_winkernel.Fs.t
+val golden_filesystem :
+  ?version:int -> ?extra_modules:string list -> unit -> Mc_winkernel.Fs.t
 (** [golden_filesystem ()] writes every standard catalog module (plus
     [extra_modules]) to a fresh filesystem — the single installation all
-    VMs are cloned from. *)
+    VMs are cloned from. [version] selects the catalog patch level the
+    modules are generated at (default 1). *)
 
 val create :
   ?vms:int ->
@@ -24,6 +27,7 @@ val create :
   ?extra_modules:string list ->
   ?seed:int64 ->
   ?os_variant:Mc_winkernel.Layout.os_variant ->
+  ?patch_levels:int list ->
   ?fault_spec:Mc_memsim.Faultplan.spec ->
   unit ->
   t
@@ -31,7 +35,13 @@ val create :
     8 cores, each cloning the golden filesystem and booting with a per-VM
     seed (so module load bases differ across VMs, as in Fig. 4).
     [fault_spec] arms fault injection on every DomU (each gets the spec
-    salted with its dom id); omitted or all-zero means no injection. *)
+    salted with its dom id); omitted or all-zero means no injection.
+    [patch_levels] drops the paper's identical-VM assumption: the list is
+    cycled across DomUs ([Dom1] gets the first level, ...) and each
+    distinct level gets its own golden installation whose module contents
+    differ (same names, same section sizes, different code — a patched
+    build). Default: every VM at level 1, bit-identical to the paper's
+    setup. *)
 
 val set_fault_spec : t -> Mc_memsim.Faultplan.spec option -> unit
 (** [set_fault_spec t spec] re-arms (or, with [None] / an all-zero spec,
@@ -42,6 +52,15 @@ val vm : t -> int -> Dom.t
     out of range. *)
 
 val vm_count : t -> int
+
+val vm_patch_level : t -> int -> int
+(** [vm_patch_level t i] is DomU [i]'s module patch level — its version
+    cohort for voting purposes. Raises [Invalid_argument] when out of
+    range. *)
+
+val distinct_patch_levels : t -> int list
+(** The sorted list of patch levels present in the pool ([[1]] for a
+    homogeneous cloud). *)
 
 val reboot_vm : t -> int -> unit
 (** [reboot_vm t i] re-boots DomU [i] from its own (possibly infected)

@@ -3,6 +3,7 @@ module Oracle = Oracle
 module Gen = Gen
 module Runner = Runner
 module Shrink = Shrink
+module Fedsim = Fedsim
 
 type campaign_failure = {
   cf_campaign : int;

@@ -1,6 +1,6 @@
 (* Tests for the fleet health assessment. *)
 
-module Fleet = Modchecker.Fleet
+module Fleet = Modchecker.Pool_health
 module Cloud = Mc_hypervisor.Cloud
 module Infect = Mc_malware.Infect
 module Orchestrator = Modchecker.Orchestrator
@@ -90,6 +90,61 @@ let test_fleet_partial_module_ok () =
   check Alcotest.(list int) "nobody blamed" [] hello.Fleet.ms_missing;
   Alcotest.(check bool) "fleet still clean" true r.Fleet.fr_clean
 
+let test_heterogeneous_pool_clean () =
+  (* Two patch levels in one pool: the version split is legitimate, so a
+     clean mixed pool must assess clean — cohort voting, no deviants. *)
+  let cloud = Cloud.create ~vms:5 ~seed:706L ~patch_levels:[ 1; 1; 1; 2; 2 ] () in
+  let r = Fleet.assess cloud in
+  Alcotest.(check bool) "mixed clean pool is clean" true r.Fleet.fr_clean;
+  check
+    Alcotest.(list (pair int int))
+    "no skew suspicion" [] r.Fleet.fr_suspicion
+
+let test_heterogeneous_missing_heuristic () =
+  (* Regression for the whole-pool majority rule: hello.sys deployed to
+     the level-1 cohort only. 3 holders out of 5 VMs was a pool-wide
+     majority under the old rule, which blamed the level-2 VMs for not
+     having it. The cohort rule blames only a minority *within its own
+     cohort* — here, nobody. *)
+  let cloud = Cloud.create ~vms:5 ~seed:707L ~patch_levels:[ 1; 1; 1; 2; 2 ] () in
+  let file = (Mc_pe.Catalog.image "hello.sys").Mc_pe.Catalog.file in
+  List.iter
+    (fun vm ->
+      Infect.write_module_file (Cloud.vm cloud vm) ~name:"hello.sys" file;
+      match Infect.load_driver (Cloud.vm cloud vm) ~name:"hello.sys" with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Mc_winkernel.Kernel.error_to_string e))
+    [ 0; 1; 2 ];
+  let r = Fleet.assess cloud in
+  let hello =
+    List.find (fun s -> s.Fleet.ms_module = "hello.sys") r.Fleet.fr_modules
+  in
+  check Alcotest.(list int) "other cohort not blamed" [] hello.Fleet.ms_missing;
+  Alcotest.(check bool) "still clean" true r.Fleet.fr_clean;
+  (* But inside the deployed cohort the majority rule still bites: hide
+     it on one level-1 VM and that VM is implicated. *)
+  (match Infect.hide_module cloud ~vm:1 ~module_name:"hello.sys" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let r' = Fleet.assess cloud in
+  let hello' =
+    List.find (fun s -> s.Fleet.ms_module = "hello.sys") r'.Fleet.fr_modules
+  in
+  check Alcotest.(list int) "cohort minority blamed" [ 1 ]
+    hello'.Fleet.ms_missing;
+  Alcotest.(check bool) "not clean" false r'.Fleet.fr_clean
+
+(* The old name must keep working for one deprecation cycle. *)
+module Deprecated_alias = struct
+  [@@@ocaml.warning "-3"]
+
+  let test () =
+    let cloud = Cloud.create ~vms:3 ~seed:708L () in
+    let r = Modchecker.Fleet.assess cloud in
+    Alcotest.(check bool) "Fleet alias still assesses" true
+      r.Modchecker.Fleet.fr_clean
+end
+
 let () =
   Alcotest.run "fleet"
     [
@@ -103,5 +158,14 @@ let () =
             test_fleet_combined_attacks;
           Alcotest.test_case "partial module" `Quick
             test_fleet_partial_module_ok;
+        ] );
+      ( "cohorts",
+        [
+          Alcotest.test_case "heterogeneous clean" `Quick
+            test_heterogeneous_pool_clean;
+          Alcotest.test_case "missing heuristic" `Quick
+            test_heterogeneous_missing_heuristic;
+          Alcotest.test_case "deprecated Fleet alias" `Quick
+            Deprecated_alias.test;
         ] );
     ]
