@@ -236,3 +236,45 @@ if [ "$fed_status" -ne 2 ] || [ "$check_status" -ne 2 ]; then
   exit 1
 fi
 echo "federation smoke OK: infection seen, outage degrades, exit-code parity"
+
+echo "== merkle smoke (O(dirty) section hashing: verdict parity + speedup) =="
+# Every detection scenario must produce the same exit code with --merkle
+# as with full hashing — trees change the price, never the verdict.
+for pair in "opcode hal.dll" "hook hal.dll" "stub hello.sys" \
+            "dll-inject dummy.sys" "ptr hal.dll" "hide http.sys" \
+            "- hal.dll"; do
+  technique="${pair% *}"
+  module="${pair#* }"
+  if [ "$technique" = "-" ]; then
+    infect_args=""
+  else
+    infect_args="--infect $technique --vm 1"
+  fi
+  set +e
+  dune exec --no-build bin/modchecker_cli.exe -- \
+    survey --vms 5 -m "$module" $infect_args --merkle > /dev/null 2>&1
+  merkle_status=$?
+  dune exec --no-build bin/modchecker_cli.exe -- \
+    survey --vms 5 -m "$module" $infect_args > /dev/null 2>&1
+  plain_status=$?
+  set -e
+  if [ "$merkle_status" -ne "$plain_status" ]; then
+    echo "ci: merkle smoke failed: $technique on $module exits merkle=$merkle_status plain=$plain_status" >&2
+    exit 1
+  fi
+done
+echo "merkle verdict parity OK: 6 techniques + clean, identical exit codes"
+
+# The O(dirty) refresh must actually be cheap: at one dirty page per VM
+# the metered sweep cost must drop at least 5x vs the flat re-hash.
+merkle_fig="$(mktemp -t modchecker_merkle.XXXXXX.txt)"
+trap 'rm -f "$trace" "$metrics" "$detect" "$reqs" "$serve_out" "$sim1" "$sim2" "$simfail" "$fed" "$merkle_fig"' EXIT
+dune exec --no-build bin/modchecker_cli.exe -- \
+  figures --which merkle > "$merkle_fig"
+speedup="$(awk -F'|' '$2 ~ /^ *1 *$/ { gsub(/[x ]/, "", $7); print $7 }' "$merkle_fig")"
+if [ -z "$speedup" ] || ! awk -v s="$speedup" 'BEGIN { exit !(s >= 5.0) }'; then
+  echo "ci: merkle smoke failed: 1-dirty-page speedup ${speedup:-missing} (want >= 5x)" >&2
+  cat "$merkle_fig" >&2
+  exit 1
+fi
+echo "merkle O(dirty) smoke OK: 1-dirty-page sweep ${speedup}x cheaper than flat re-hash"

@@ -44,13 +44,13 @@ let vm_arg =
 let infect_arg =
   let doc =
     "Stage an infection before checking: one of 'opcode', 'hook', 'stub', \
-     'dll-inject', 'hide'."
+     'dll-inject', 'ptr', 'hide'."
   in
   Arg.(
     value
     & opt (some (enum
            [ ("opcode", `Opcode); ("hook", `Hook); ("stub", `Stub);
-             ("dll-inject", `Dll); ("hide", `Hide) ]))
+             ("dll-inject", `Dll); ("ptr", `Ptr); ("hide", `Hide) ]))
         None
     & info [ "infect" ] ~docv:"TECHNIQUE" ~doc)
 
@@ -140,6 +140,16 @@ let json_arg =
   let doc = "Emit the result as JSON on stdout instead of tables." in
   Arg.(value & flag & info [ "json" ] ~doc)
 
+let merkle_arg =
+  let doc =
+    "Memoize per-section Merkle trees (one MD5 leaf per page) instead of \
+     flat fingerprints: a VM with k dirty module pages refreshes at the \
+     cost of k leaf hashes plus O(log n) interior nodes, and a mismatch \
+     is localized to its deviant pages by tree descent. Verdicts and \
+     exit codes are identical to full hashing."
+  in
+  Arg.(value & flag & info [ "merkle" ] ~doc)
+
 let pinpoint_arg =
   let doc =
     "After a .text mismatch, name the patched function(s) using the\n\
@@ -160,6 +170,7 @@ let stage_infection cloud vm = function
         | `Hook -> inline_hook cloud ~vm
         | `Stub -> stub_modification cloud ~vm
         | `Dll -> dll_injection cloud ~vm
+        | `Ptr -> pointer_hook cloud ~vm
         | `Hide -> hide_module cloud ~vm ~module_name:"http.sys"
       in
       Result.map Option.some r
@@ -172,11 +183,22 @@ let or_die = function
 
 (* Every subcommand's knobs meet Orchestrator.Config here, in one place;
    the per-command defaulting this replaces used to drift. *)
-let make_check_config ?(canonical = false) ?deadline ~quorum () =
+let make_check_config ?(canonical = false) ?(merkle = false) ?deadline ~quorum
+    () =
   Orchestrator.Config.default
   |> Orchestrator.Config.with_quorum quorum
   |> (if canonical then
         Orchestrator.Config.with_strategy Orchestrator.Canonical
+      else Fun.id)
+  |> (if merkle then fun c ->
+        (* Merkle prints live in the incremental cache; a one-shot command
+           creates its own (it still pays off within the run: the O(dirty)
+           path serves the escalation re-survey, and serve/patrol share
+           theirs across requests/sweeps). *)
+        c
+        |> Orchestrator.Config.with_incremental
+             (Orchestrator.create_incremental ())
+        |> Orchestrator.Config.with_merkle true
       else Fun.id)
   |>
   match deadline with
@@ -200,7 +222,31 @@ let fetch_for_pinpoint cloud vm module_name =
       | Ok artifacts -> Some (info, artifacts)
       | Error _ -> None)
 
-let print_pinpoint cloud outcome module_name vm =
+(* With --merkle, descend the two .text trees first and hand the deviant
+   page spans to the byte-level survey, so pinpointing scans O(deviant
+   pages) instead of the whole section. *)
+let merkle_pinpoint_ranges ~base1 a1 ~base2 a2 =
+  let text arts =
+    Modchecker.Artifact.find arts (Modchecker.Artifact.Section_data ".text")
+  in
+  match (text a1, text a2) with
+  | Some t1, Some t2
+    when Bytes.length t1.Modchecker.Artifact.data
+         = Bytes.length t2.Modchecker.Artifact.data ->
+      let d1 = Bytes.copy t1.Modchecker.Artifact.data in
+      let d2 = Bytes.copy t2.Modchecker.Artifact.data in
+      ignore (Modchecker.Rva.adjust_pair ~base1 ~base2 d1 d2);
+      let ranges =
+        Modchecker.Checker.deviant_ranges
+          (Modchecker.Checker.merkle_of_bytes d1)
+          (Modchecker.Checker.merkle_of_bytes d2)
+      in
+      Printf.printf "pinpoint: merkle descent localized %d deviant page(s)\n"
+        (List.length ranges);
+      Some ranges
+  | _ -> None
+
+let print_pinpoint ?(merkle = false) cloud outcome module_name vm =
   let report = outcome.Orchestrator.report in
   let flagged_text =
     List.exists
@@ -227,10 +273,15 @@ let print_pinpoint cloud outcome module_name vm =
             let symbols =
               Mc_pe.Catalog.symbols (Mc_pe.Catalog.image module_name)
             in
+            let base1 = i1.Modchecker.Searcher.mi_base in
+            let base2 = i2.Modchecker.Searcher.mi_base in
+            let ranges =
+              if merkle then merkle_pinpoint_ranges ~base1 a1 ~base2 a2
+              else None
+            in
             match
-              Modchecker.Pinpoint.analyze_text_pair
-                ~base1:i1.Modchecker.Searcher.mi_base a1
-                ~base2:i2.Modchecker.Searcher.mi_base a2 ~symbols
+              Modchecker.Pinpoint.analyze_text_pair ?ranges ~base1 a1 ~base2
+                a2 ~symbols
             with
             | Ok findings ->
                 Printf.printf "pinpoint (vs Dom%d):\n" (peer + 1);
@@ -248,7 +299,7 @@ let print_pinpoint cloud outcome module_name vm =
   end
 
 let run_check verbose vms cores seed module_name vm infect workers fault_spec
-    quorum deadline pinpoint json trace metrics =
+    quorum deadline merkle pinpoint json trace metrics =
   with_telemetry trace metrics @@ fun () ->
   setup_logs verbose;
   let cloud = make_cloud ?fault_spec vms cores seed in
@@ -262,7 +313,7 @@ let run_check verbose vms cores seed module_name vm infect workers fault_spec
     else Orchestrator.Parallel (Mc_parallel.Pool.create workers)
   in
   let config =
-    make_check_config ~quorum ?deadline ()
+    make_check_config ~merkle ~quorum ?deadline ()
     |> Orchestrator.Config.with_mode mode
   in
   let outcome =
@@ -284,7 +335,7 @@ let run_check verbose vms cores seed module_name vm infect workers fault_spec
       (p.Orchestrator.parser_s *. 1e3)
       (p.Orchestrator.checker_s *. 1e3);
     if pinpoint && outcome.report.Report.verdict = Report.Infected then
-      print_pinpoint cloud outcome module_name vm
+      print_pinpoint ~merkle cloud outcome module_name vm
   end;
   Exit_code.exit_with (Exit_code.of_verdict outcome.report.Report.verdict)
 
@@ -295,13 +346,13 @@ let check_cmd =
     Term.(
       const run_check $ verbose_arg $ vms_arg $ cores_arg $ seed_arg
       $ module_arg $ vm_arg $ infect_arg $ workers_arg $ fault_spec_arg
-      $ quorum_arg $ deadline_arg $ pinpoint_arg
+      $ quorum_arg $ deadline_arg $ merkle_arg $ pinpoint_arg
       $ json_arg $ trace_arg $ metrics_arg)
 
 (* --- survey ------------------------------------------------------------ *)
 
-let run_survey vms cores seed module_name infect vm fault_spec quorum json
-    trace metrics =
+let run_survey vms cores seed module_name infect vm fault_spec quorum merkle
+    json trace metrics =
   with_telemetry trace metrics @@ fun () ->
   let cloud = make_cloud ?fault_spec vms cores seed in
   (match or_die (stage_infection cloud vm infect) with
@@ -311,7 +362,7 @@ let run_survey vms cores seed module_name infect vm fault_spec quorum json
           (vm + 1)
   | None -> ());
   let s =
-    Orchestrator.survey ~config:(make_check_config ~quorum ()) cloud
+    Orchestrator.survey ~config:(make_check_config ~merkle ~quorum ()) cloud
       ~module_name
   in
   if json then
@@ -338,8 +389,8 @@ let survey_cmd =
     (Cmd.info "survey" ~doc)
     Term.(
       const run_survey $ vms_arg $ cores_arg $ seed_arg $ module_arg
-      $ infect_arg $ vm_arg $ fault_spec_arg $ quorum_arg $ json_arg
-      $ trace_arg $ metrics_arg)
+      $ infect_arg $ vm_arg $ fault_spec_arg $ quorum_arg $ merkle_arg
+      $ json_arg $ trace_arg $ metrics_arg)
 
 (* --- list-modules ------------------------------------------------------ *)
 
@@ -386,7 +437,8 @@ let detect_cmd =
 
 type which_figure =
   | Fig7 | Fig8 | Fig9 | Ablation | Parallelism | Baselines | Strategy
-  | PatrolFig | Incremental | Faults | EngineFig | FederationFig | All
+  | PatrolFig | Incremental | MerkleFig | Faults | EngineFig | FederationFig
+  | All
 
 let which_arg =
   let doc = "Which figure/table to regenerate." in
@@ -397,7 +449,7 @@ let which_arg =
              ("ablation", Ablation); ("parallel", Parallelism);
              ("baselines", Baselines); ("strategy", Strategy);
              ("patrol", PatrolFig); ("incremental", Incremental);
-             ("faults", Faults); ("engine", EngineFig);
+             ("merkle", MerkleFig); ("faults", Faults); ("engine", EngineFig);
              ("federation", FederationFig); ("all", All) ])
         All
     & info [ "which" ] ~docv:"WHICH" ~doc)
@@ -447,6 +499,11 @@ let run_figures which vms cores seed =
       (Mc_harness.Render.incremental_table
          (Mc_harness.Figures.incremental_steady_state ~seed ()))
   in
+  let merkle_fig () =
+    print_string
+      (Mc_harness.Render.merkle_table
+         (Mc_harness.Figures.merkle_dirty_sweep ~seed ()))
+  in
   let faults () =
     print_string
       (Mc_harness.Render.fault_table (Mc_harness.Figures.fault_sweep ~seed ()))
@@ -471,6 +528,7 @@ let run_figures which vms cores seed =
   | Strategy -> strategy ()
   | PatrolFig -> patrol_fig ()
   | Incremental -> incremental ()
+  | MerkleFig -> merkle_fig ()
   | Faults -> faults ()
   | EngineFig -> engine_fig ()
   | FederationFig -> federation_fig ()
@@ -484,6 +542,7 @@ let run_figures which vms cores seed =
       strategy ();
       patrol_fig ();
       incremental ();
+      merkle_fig ();
       faults ();
       engine_fig ();
       federation_fig ()
@@ -732,7 +791,7 @@ let federate_cmd =
 (* --- patrol -------------------------------------------------------------- *)
 
 let run_patrol verbose vms cores seed duration interval infect vm infect_at
-    canonical incremental fault_spec quorum deadline trace metrics =
+    canonical incremental merkle fault_spec quorum deadline trace metrics =
   with_telemetry trace metrics @@ fun () ->
   setup_logs verbose;
   let cloud = make_cloud ?fault_spec vms cores seed in
@@ -755,8 +814,12 @@ let run_patrol verbose vms cores seed duration interval infect vm infect_at
     {
       Modchecker.Patrol.default_config with
       Modchecker.Patrol.interval_s = interval;
-      incremental;
-      check = make_check_config ~canonical ~quorum ?deadline ();
+      (* --merkle implies incremental: the prints live in the patrol's
+         shared digest cache (Patrol.run creates it). *)
+      incremental = incremental || merkle;
+      check =
+        make_check_config ~canonical ~quorum ?deadline ()
+        |> Orchestrator.Config.with_merkle merkle;
     }
   in
   let o = Modchecker.Patrol.run ~config ~events cloud ~until:duration in
@@ -812,8 +875,8 @@ let patrol_cmd =
     Term.(
       const run_patrol $ verbose_arg $ vms_arg $ cores_arg $ seed_arg
       $ duration_arg $ interval_arg $ infect_arg $ vm_arg $ infect_at_arg
-      $ canonical_arg $ incremental_arg $ fault_spec_arg $ quorum_arg
-      $ deadline_arg $ trace_arg $ metrics_arg)
+      $ canonical_arg $ incremental_arg $ merkle_arg $ fault_spec_arg
+      $ quorum_arg $ deadline_arg $ trace_arg $ metrics_arg)
 
 (* --- serve ---------------------------------------------------------------- *)
 
@@ -913,7 +976,7 @@ let response_json (r : Mc_engine.response) =
     ]
 
 let run_serve verbose vms cores seed requests_path shards workers queue_bound
-    infect vm fault_spec quorum json trace metrics =
+    infect vm fault_spec quorum merkle json trace metrics =
   with_telemetry trace metrics @@ fun () ->
   setup_logs verbose;
   let cloud = make_cloud ?fault_spec vms cores seed in
@@ -925,8 +988,13 @@ let run_serve verbose vms cores seed requests_path shards workers queue_bound
   | None -> ());
   let requests = read_request_file requests_path in
   let engine =
+    (* The engine is always incremental (it substitutes its own shared
+       cache), so --merkle only needs the flag. *)
     Mc_engine.create ~shards ~workers_per_shard:workers ~queue_bound
-      ~config:(make_check_config ~quorum ()) cloud
+      ~config:
+        (make_check_config ~quorum ()
+        |> Orchestrator.Config.with_merkle merkle)
+      cloud
   in
   let started = Unix.gettimeofday () in
   (* Submit everything up front so the shards overlap; when the bounded
@@ -990,8 +1058,8 @@ let serve_cmd =
     Term.(
       const run_serve $ verbose_arg $ vms_arg $ cores_arg $ seed_arg
       $ requests_arg $ shards_arg $ workers_arg $ queue_bound_arg
-      $ infect_arg $ vm_arg $ fault_spec_arg $ quorum_arg $ json_arg
-      $ trace_arg $ metrics_arg)
+      $ infect_arg $ vm_arg $ fault_spec_arg $ quorum_arg $ merkle_arg
+      $ json_arg $ trace_arg $ metrics_arg)
 
 (* --- disasm --------------------------------------------------------------- *)
 

@@ -1,5 +1,7 @@
 module Md5 = Mc_md5.Md5
+module Merkle = Mc_md5.Merkle
 module Meter = Mc_hypervisor.Meter
+module Tel = Mc_telemetry.Registry
 
 type artifact_verdict = {
   av_kind : Artifact.kind;
@@ -22,6 +24,54 @@ let hash_bytes ?meter data =
   Md5.to_hex (Md5.digest_bytes data)
 
 let hash_artifact ?meter (a : Artifact.t) = hash_bytes ?meter a.data
+
+(* --- Merkle fingerprints ---------------------------------------------- *)
+
+let merkle_of_leaves ?meter ~length leaves =
+  let t, interior = Merkle.of_leaves ~length leaves in
+  bump meter (fun m -> Meter.add_merkle_nodes m interior);
+  t
+
+(* Below this, the fan-out overhead beats the hashing it saves. *)
+let parallel_leaf_threshold = 16 * Merkle.default_page_size
+
+let merkle_of_bytes ?meter ?pool data =
+  let length = Bytes.length data in
+  bump meter (fun m -> Meter.add_bytes_hashed m length);
+  let leaves =
+    match pool with
+    | Some p when length >= parallel_leaf_threshold ->
+        let bounds =
+          Array.to_list (Merkle.leaf_bounds ~page:Merkle.default_page_size length)
+        in
+        Array.of_list
+          (Mc_parallel.Pool.parallel_map p
+             (fun (off, len) -> Md5.digest_sub data off len)
+             bounds)
+    | _ -> Merkle.leaf_digests data
+  in
+  merkle_of_leaves ?meter ~length leaves
+
+let merkle_rehash ?meter t data ~dirty =
+  let dirty = List.sort_uniq compare dirty in
+  bump meter (fun m ->
+      let bytes =
+        List.fold_left
+          (fun n i ->
+            n + min (Merkle.page_size t) (Merkle.length t - (i * Merkle.page_size t)))
+          0 dirty
+      in
+      Meter.add_bytes_hashed m bytes);
+  let t', interior = Merkle.rehash t data ~dirty in
+  bump meter (fun m -> Meter.add_merkle_nodes m interior);
+  t'
+
+let deviant_ranges ?meter t1 t2 =
+  let leaves, compared = Merkle.diverging_leaves t1 t2 in
+  bump meter (fun m -> Meter.add_merkle_nodes m compared);
+  Tel.add "merkle.descents" 1;
+  let bounds = Merkle.leaf_bounds ~page:(Merkle.page_size t1) (Merkle.length t1) in
+  List.map (fun i -> bounds.(i)) leaves
 
 let compare_one ?meter ~base1 ~base2 (a1 : Artifact.t) (a2 : Artifact.t) =
   if

@@ -21,6 +21,59 @@ val hash_artifact : ?meter:Mc_hypervisor.Meter.t -> Artifact.t -> string
     bytes hashed). Section data is hashed as-is — use [compare_pair] for
     cross-VM comparison, which adjusts first. *)
 
+(** {1 Merkle fingerprints}
+
+    The O(dirty) alternative to flat digests: a section is hashed as
+    per-page leaves rolled into a root ({!Mc_md5.Merkle}). Root equality
+    substitutes for digest equality, a k-page refresh re-hashes only k
+    leaves plus O(log n) interior nodes, and root {e inequality} can be
+    descended to the deviant pages before any byte-level survey. Interior
+    digests land on the meter's [merkle_nodes] counter so the timing model
+    prices them. *)
+
+val merkle_of_bytes :
+  ?meter:Mc_hypervisor.Meter.t ->
+  ?pool:Mc_parallel.Pool.t ->
+  Bytes.t ->
+  Mc_md5.Merkle.t
+(** [merkle_of_bytes data] hashes every page-leaf and rolls up, metering
+    the bytes hashed and interior nodes computed. With [?pool], buffers of
+    at least 16 leaves fan the leaf hashing out across the pool's domains
+    (each leaf is an independent span, so they parallelize cleanly) — only
+    pass a pool from a caller thread, never from inside a pool task, or
+    the nested dispatch can deadlock. *)
+
+val merkle_of_leaves :
+  ?meter:Mc_hypervisor.Meter.t ->
+  length:int ->
+  Mc_md5.Md5.digest array ->
+  Mc_md5.Merkle.t
+(** [merkle_of_leaves ~length leaves] rolls precomputed leaf digests up
+    (metering only the interior nodes — the caller already metered the
+    leaf hashing, possibly done in parallel). *)
+
+val merkle_rehash :
+  ?meter:Mc_hypervisor.Meter.t ->
+  Mc_md5.Merkle.t ->
+  Bytes.t ->
+  dirty:int list ->
+  Mc_md5.Merkle.t
+(** [merkle_rehash t data ~dirty] is the k-dirty-page refresh: re-hashes
+    only the named leaves from [data] and the interior nodes on their
+    root paths, metering exactly those bytes and nodes. *)
+
+val deviant_ranges :
+  ?meter:Mc_hypervisor.Meter.t ->
+  Mc_md5.Merkle.t ->
+  Mc_md5.Merkle.t ->
+  (int * int) list
+(** [deviant_ranges t1 t2] descends the two trees and returns the
+    (offset, length) spans of the leaves where the underlying buffers
+    disagree — empty iff the roots match. Node comparisons are metered as
+    [merkle_nodes] and each call bumps the [merkle.descents] telemetry
+    counter. Raises [Invalid_argument] on shape mismatch (use the
+    byte-level survey instead when sections differ in size). *)
+
 val compare_pair :
   ?meter:Mc_hypervisor.Meter.t ->
   base1:int ->

@@ -45,19 +45,71 @@ let tamper t f =
         replacements;
       !changed)
 
+(* Remove the entry only if it is still physically the one we judged
+   stale. The staleness hypercall runs outside the lock, so another
+   worker may have stored a fresh value under the same key meanwhile;
+   removing by key would evict that store — the next probe would pay a
+   full recompute for nothing (and, worse, two racing probes could keep
+   evicting each other's stores indefinitely). *)
+let drop_if_same t ~vm ~key e =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl (vm, key) with
+      | Some e' when e' == e -> Hashtbl.remove t.tbl (vm, key)
+      | Some _ | None -> ())
+
 let probe ?meter t dom ~vm ~key =
   match locked t (fun () -> Hashtbl.find_opt t.tbl (vm, key)) with
   | Some e when Xenctl.pages_unchanged ?meter dom ~epoch:e.e_epoch e.e_footprint
     ->
       Tel.add "digest_cache.hits" 1;
       Some e.e_value
-  | Some _ ->
+  | Some e ->
       (* Stale: a backing page was written, or the guest's memory was
          replaced wholesale (reboot/restore). Drop it; the caller will
          recompute and [store] a fresh entry. *)
-      locked t (fun () -> Hashtbl.remove t.tbl (vm, key));
+      drop_if_same t ~vm ~key e;
       Tel.add "digest_cache.misses" 1;
       None
   | None ->
       Tel.add "digest_cache.misses" 1;
       None
+
+type 'a delta =
+  | Fresh of 'a
+  | Stale of {
+      stale_value : 'a;
+      stale_epoch : int;
+      stale_footprint : (int * int) array;
+      stale_dirty : int list;
+    }
+  | Missing
+
+let probe_delta ?meter t dom ~vm ~key =
+  match locked t (fun () -> Hashtbl.find_opt t.tbl (vm, key)) with
+  | None ->
+      Tel.add "digest_cache.misses" 1;
+      Missing
+  | Some e -> (
+      match Xenctl.stale_pfns ?meter dom ~epoch:e.e_epoch e.e_footprint with
+      | Some [] ->
+          Tel.add "digest_cache.hits" 1;
+          Fresh e.e_value
+      | Some dirty ->
+          (* Same epoch, some pages written: hand back the prior value
+             with the culprits so the caller can refresh O(dirty) of it.
+             The entry is dropped (same-entry check as [probe]) so a
+             failed refresh cannot leave a stale value behind. *)
+          drop_if_same t ~vm ~key e;
+          Tel.add "digest_cache.stale_partial" 1;
+          Stale
+            {
+              stale_value = e.e_value;
+              stale_epoch = e.e_epoch;
+              stale_footprint = e.e_footprint;
+              stale_dirty = dirty;
+            }
+      | None ->
+          (* Epoch changed: the footprint is void, nothing is salvageable. *)
+          drop_if_same t ~vm ~key e;
+          Tel.add "digest_cache.misses" 1;
+          Missing)

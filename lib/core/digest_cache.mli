@@ -29,7 +29,38 @@ val probe :
   key:string ->
   'a option
 (** [probe t dom ~vm ~key] is the cached value if its footprint is still
-    current, metering the staleness check. A stale entry is dropped. *)
+    current, metering the staleness check. A stale entry is dropped — but
+    only that exact entry: the staleness check runs outside the lock, and
+    a value stored concurrently under the same key by another worker must
+    not be evicted with it. *)
+
+type 'a delta =
+  | Fresh of 'a  (** Footprint current; the value stands. *)
+  | Stale of {
+      stale_value : 'a;
+      stale_epoch : int;
+      stale_footprint : (int * int) array;
+      stale_dirty : int list;
+          (** Footprint pfns whose write version moved, sorted by pfn. *)
+    }
+      (** Same epoch but some pages were written: the prior value plus
+          exactly which pages changed, so the caller can refresh
+          O(dirty) of it and re-{!store}. The entry itself is dropped. *)
+  | Missing  (** No entry, or the epoch changed (nothing salvageable). *)
+
+val probe_delta :
+  ?meter:Mc_hypervisor.Meter.t ->
+  'a t ->
+  Mc_hypervisor.Dom.t ->
+  vm:int ->
+  key:string ->
+  'a delta
+(** [probe_delta t dom ~vm ~key] is {!probe} with culprit attribution via
+    {!Mc_hypervisor.Xenctl.stale_pfns}: same price (one hypercall plus a
+    per-pfn scan), but a stale-in-epoch entry comes back as [Stale] with
+    the dirty pfn subset instead of a bare miss. [Fresh] counts as a
+    telemetry hit, [Missing] as a miss, and [Stale] on the separate
+    [digest_cache.stale_partial] counter. *)
 
 val store :
   'a t ->

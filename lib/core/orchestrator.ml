@@ -8,6 +8,8 @@ module Symbols = Mc_vmi.Symbols
 module Pool = Mc_parallel.Pool
 module Tel = Mc_telemetry.Registry
 module Span = Mc_telemetry.Span
+module Md5 = Mc_md5.Md5
+module Merkle = Mc_md5.Merkle
 
 type mode = Sequential | Parallel of Pool.t
 
@@ -25,8 +27,27 @@ type survey_strategy = Pairwise | Canonical
 
 type fingerprint = (string * string) list
 
+(* The Merkle representation of one VM's copy of a module: header
+   artifacts keep flat digests (they are small and page-misaligned),
+   section data carries a per-page-leaf tree over the reloc-adjusted
+   bytes, and the page index maps each guest frame backing a section to
+   the leaves whose adjusted content depends on it — a leaf depends on
+   its own pages plus up to [reloc_margin] bytes of each neighbour
+   (a 4-byte reloc slot can straddle the leaf boundary). The derived
+   fingerprint (flat digests + root digests, sorted by kind) compares
+   exactly like the flat one, so voting and escalation are unchanged. *)
+type merkle_print = {
+  mp_base : int;
+  mp_flat : (string * string) list;
+  mp_sections : (string * int * Merkle.t) list;
+      (** (kind name, section RVA, tree over adjusted bytes). *)
+  mp_page_index : (int * (string * int) list) list;
+      (** pfn → the (kind name, leaf index) pairs it backs. *)
+}
+
 type incremental = {
   inc_digests : fingerprint option Digest_cache.t;
+  inc_merkle : merkle_print option Digest_cache.t;
   inc_lists : string list Digest_cache.t;
   inc_pages : (int, Vmi.page_cache) Hashtbl.t;
   inc_mutex : Mutex.t;  (** Guards [inc_pages]. *)
@@ -35,6 +56,7 @@ type incremental = {
 let create_incremental () =
   {
     inc_digests = Digest_cache.create ();
+    inc_merkle = Digest_cache.create ();
     inc_lists = Digest_cache.create ();
     inc_pages = Hashtbl.create 16;
     inc_mutex = Mutex.create ();
@@ -46,6 +68,7 @@ module Config = struct
     others : int list option;
     strategy : survey_strategy;
     incremental : incremental option;
+    merkle : bool;
     quorum : float;
     deadline_s : float option;
   }
@@ -56,6 +79,7 @@ module Config = struct
       others = None;
       strategy = Pairwise;
       incremental = None;
+      merkle = false;
       quorum = Report.default_quorum;
       deadline_s = None;
     }
@@ -64,6 +88,7 @@ module Config = struct
   let with_others others t = { t with others = Some others }
   let with_strategy strategy t = { t with strategy }
   let with_incremental incremental t = { t with incremental = Some incremental }
+  let with_merkle merkle t = { t with merkle }
   let with_quorum quorum t = { t with quorum }
   let with_deadline deadline_s t = { t with deadline_s = Some deadline_s }
 end
@@ -465,6 +490,178 @@ let vm_fingerprint ~meter ~relocs ~base artifacts : fingerprint =
     artifacts
   |> List.sort compare
 
+(* --- Merkle fingerprints (O(dirty) hot path) --------------------------- *)
+
+(* The derived fingerprint compares exactly like the flat one: same kinds,
+   one digest per kind, sorted. Root equality is adjusted-content equality
+   under the same MD5 collision assumption as a flat digest, so verdict
+   parity with the non-merkle path holds by construction. *)
+let merkle_fingerprint_of mp : fingerprint =
+  mp.mp_flat
+  @ List.map
+      (fun (k, _, tree) -> (k, Md5.to_hex (Merkle.root tree)))
+      mp.mp_sections
+  |> List.sort compare
+
+(* The (clamped) margin-extended window of one leaf: the span of section
+   bytes whose raw content determines the leaf's *adjusted* content. *)
+let leaf_window ~len (off, llen) =
+  let lo = max 0 (off - Rva.reloc_margin) in
+  let hi = min len (off + llen + Rva.reloc_margin) in
+  (lo, hi - lo)
+
+let build_merkle_print ~jm ~vmi ~relocs ~base artifacts =
+  let flat, secs =
+    List.partition
+      (fun (a : Artifact.t) -> not (Artifact.is_section_data a))
+      artifacts
+  in
+  let mp_flat =
+    List.map
+      (fun (a : Artifact.t) ->
+        Meter.add_bytes_hashed jm (Bytes.length a.Artifact.data);
+        (Artifact.kind_name a.Artifact.kind, Md5.to_hex (Md5.digest_bytes a.Artifact.data)))
+      flat
+  in
+  let mp_sections =
+    List.map
+      (fun (a : Artifact.t) ->
+        let data = Bytes.copy a.Artifact.data in
+        Meter.add_bytes_scanned jm (Bytes.length data);
+        ignore
+          (Rva.adjust_with_relocs ~base ~section_rva:a.Artifact.sec_rva ~relocs
+             data);
+        let tree = Checker.merkle_of_bytes ~meter:jm data in
+        (Artifact.kind_name a.Artifact.kind, a.Artifact.sec_rva, tree))
+      secs
+  in
+  (* Index every frame backing a leaf's margin-extended window, through
+     the session's page cache so the page-table pages the translations
+     read join the footprint like any other read. *)
+  let index = Hashtbl.create 64 in
+  List.iter
+    (fun (kind, sec_rva, tree) ->
+      let len = Merkle.length tree in
+      Array.iteri
+        (fun leaf bounds ->
+          let lo, wlen = leaf_window ~len bounds in
+          List.iter
+            (function
+              | Some pfn ->
+                  Hashtbl.replace index pfn
+                    ((kind, leaf)
+                    :: Option.value ~default:[] (Hashtbl.find_opt index pfn))
+              | None -> ())
+            (Vmi.pfns_of_va_range vmi (base + sec_rva + lo) wlen))
+        (Merkle.leaf_bounds ~page:(Merkle.page_size tree) len))
+    mp_sections;
+  {
+    mp_base = base;
+    mp_flat;
+    mp_sections;
+    mp_page_index = Hashtbl.fold (fun pfn ls acc -> (pfn, ls) :: acc) index [];
+  }
+
+(* Refresh only the leaves backed by the dirty frames: each leaf is
+   re-read with its reloc margin (so boundary-straddling slots adjust
+   exactly as a from-scratch pass would), re-hashed, and spliced into the
+   tree — k dirty pages cost k leaf hashes plus O(log n) interior nodes.
+   The caller guarantees every dirty pfn is in the page index. *)
+let refresh_merkle_print ~jm ~vmi ~relocs mp ~dirty =
+  let by_kind = Hashtbl.create 4 in
+  List.iter
+    (fun pfn ->
+      List.iter
+        (fun (kind, leaf) ->
+          Hashtbl.replace by_kind kind
+            (leaf :: Option.value ~default:[] (Hashtbl.find_opt by_kind kind)))
+        (List.assoc pfn mp.mp_page_index))
+    dirty;
+  let rehashed = ref 0 in
+  let mp_sections =
+    List.map
+      (fun (kind, sec_rva, tree) ->
+        match Hashtbl.find_opt by_kind kind with
+        | None -> (kind, sec_rva, tree)
+        | Some leaves ->
+            let len = Merkle.length tree in
+            let bounds = Merkle.leaf_bounds ~page:(Merkle.page_size tree) len in
+            let updates =
+              List.map
+                (fun leaf ->
+                  let off, llen = bounds.(leaf) in
+                  let lo, wlen = leaf_window ~len bounds.(leaf) in
+                  (* Same read primitive as the full fetch, so an
+                     unmapped (padded-as-zero) page refreshes to the
+                     same bytes it fetched as. *)
+                  let win =
+                    Vmi.read_va_padded vmi (mp.mp_base + sec_rva + lo) wlen
+                  in
+                  Meter.add_bytes_scanned jm wlen;
+                  ignore
+                    (Rva.adjust_window ~base:mp.mp_base ~section_rva:sec_rva
+                       ~window_off:lo ~relocs win);
+                  Meter.add_bytes_hashed jm llen;
+                  (leaf, Md5.digest_sub win (off - lo) llen))
+                (List.sort_uniq compare leaves)
+            in
+            rehashed := !rehashed + List.length updates;
+            let tree', interior = Merkle.set_leaves tree updates in
+            Meter.add_merkle_nodes jm interior;
+            (kind, sec_rva, tree'))
+      mp.mp_sections
+  in
+  Tel.add "merkle.leaves_rehashed" !rehashed;
+  { mp with mp_sections }
+
+(* The refreshed entry's key: untouched pages keep their recorded
+   versions, pages the refresh session read carry the versions it saw,
+   and dirty pages the session did not re-read (a VA since remapped
+   elsewhere) drop out — the value no longer depends on them, and keeping
+   their stale versions would make every future probe miss. *)
+let merge_footprint old ~dirty session =
+  let tbl = Hashtbl.create (Array.length old) in
+  Array.iter (fun (pfn, v) -> Hashtbl.replace tbl pfn v) old;
+  List.iter (Hashtbl.remove tbl) dirty;
+  Array.iter (fun (pfn, v) -> Hashtbl.replace tbl pfn v) session;
+  let arr = Array.make (Hashtbl.length tbl) (0, 0) in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun pfn v ->
+      arr.(!i) <- (pfn, v);
+      incr i)
+    tbl;
+  Array.sort compare arr;
+  arr
+
+(* Before escalating on a root mismatch, descend the deviant pair's trees:
+   the divergent pages are localized in O(k log n) node comparisons and
+   logged, so the operator (and the [merkle.descents] /
+   [merkle.deviant_pages] counters) learn *where* the copies disagree
+   before the full byte-level survey re-derives it. *)
+let descend_deviants ~fold_job module_name (a, mpa) (b, mpb) =
+  let dm = Meter.create () in
+  Meter.set_phase dm Meter.Checker;
+  List.iter
+    (fun (kind, _, ta) ->
+      match
+        List.find_opt (fun (k, _, _) -> String.equal k kind) mpb.mp_sections
+      with
+      | Some (_, _, tb)
+        when Merkle.length ta = Merkle.length tb
+             && Merkle.page_size ta = Merkle.page_size tb
+             && not (Merkle.equal_root ta tb) ->
+          let ranges = Checker.deviant_ranges ~meter:dm ta tb in
+          Tel.add "merkle.deviant_pages" (List.length ranges);
+          Log.warn (fun m ->
+              m "%s %s deviates between Dom%d and Dom%d on %d page(s): %s"
+                module_name kind (a + 1) (b + 1) (List.length ranges)
+                (String.concat ", "
+                   (List.map (fun (off, _) -> Printf.sprintf "+0x%x" off) ranges)))
+      | _ -> ())
+    mpa.mp_sections;
+  fold_job dm
+
 (* A VM's base-independent module identity, for callers (the federation
    coordinator) that need to compare copies across pools: fetched with the
    usual fault handling, reloc-stripped with the build matching the VM's
@@ -511,7 +708,9 @@ let rec survey ?(config = Config.default) ?meter cloud ~module_name =
       ?meter cloud ~module_name
 
 and survey_once ~config ?meter cloud ~module_name =
-  let { Config.mode; strategy; incremental; quorum; deadline_s; _ } = config in
+  let { Config.mode; strategy; incremental; merkle; quorum; deadline_s; _ } =
+    config
+  in
   Tel.with_span
     ~attrs:
       [
@@ -532,6 +731,145 @@ and survey_once ~config ?meter cloud ~module_name =
   let on_timeout vm = (vm, Unreachable deadline_reason, Meter.create ()) in
   let vms_present, missing_on, unreachable_on, pairwise =
     match incremental with
+    | Some inc when merkle ->
+        (* Merkle path: like the incremental path below, but the memoized
+           value is the per-section tree, not just the digests — so a VM
+           whose module pages were written refreshes at O(dirty): the
+           delta probe names the dirty frames, the page index maps them
+           to leaves, and only those leaves (plus the O(log n) interior
+           nodes above them) are re-read and re-hashed. A dirty frame
+           outside the section page index (an LDR page, a page-table
+           page, a header page) means the walk itself may have changed,
+           and the entry rebuilds from scratch. *)
+        let relocs_by_level =
+          List.map
+            (fun level -> (level, module_relocs ~version:level module_name))
+            (Cloud.distinct_patch_levels cloud)
+        in
+        let fingerprint_vm vm =
+          let relocs =
+            List.assoc (Cloud.vm_patch_level cloud vm) relocs_by_level
+          in
+          Tel.with_span ?parent:root_id ~attrs:[ ("vm", Int vm) ] "vm_check"
+          @@ fun _ ->
+          let dom = Cloud.vm cloud vm in
+          let jm = Meter.create () in
+          Meter.set_phase jm Meter.Searcher;
+          let unreachable_or_reraise e =
+            match unreachable_of_exn e with
+            | Some reason ->
+                Tel.add "check.unreachable_fetches" 1;
+                Unreachable reason
+            | None -> raise e
+          in
+          let full_build () =
+            let epoch = Xenctl.memory_epoch dom in
+            let vmi =
+              Vmi.init ~meter:jm ~cache:(page_cache_for inc vm) dom
+                (profile_for dom)
+            in
+            match fetch_with_vmi vmi ~vm ~module_name ~meter:jm with
+            | exception e -> unreachable_or_reraise e
+            | None ->
+                Digest_cache.store inc.inc_merkle ~vm ~key:module_name ~epoch
+                  ~footprint:(Vmi.footprint vmi) None;
+                Absent
+            | Some (info, artifacts) ->
+                Meter.set_phase jm Meter.Checker;
+                let mp =
+                  build_merkle_print ~jm ~vmi ~relocs
+                    ~base:info.Searcher.mi_base artifacts
+                in
+                Digest_cache.store inc.inc_merkle ~vm ~key:module_name ~epoch
+                  ~footprint:(Vmi.footprint vmi) (Some mp);
+                Fetched mp
+          in
+          let outcome =
+            match
+              Digest_cache.probe_delta ~meter:jm inc.inc_merkle dom ~vm
+                ~key:module_name
+            with
+            | Digest_cache.Fresh (Some mp) -> Fetched mp
+            | Digest_cache.Fresh None -> Absent
+            | Digest_cache.Missing -> full_build ()
+            | Digest_cache.Stale { stale_value = None; _ } -> full_build ()
+            | Digest_cache.Stale
+                { stale_value = Some mp; stale_epoch; stale_footprint;
+                  stale_dirty }
+              when List.for_all
+                     (fun pfn -> List.mem_assoc pfn mp.mp_page_index)
+                     stale_dirty -> (
+                let vmi =
+                  Vmi.init ~meter:jm ~cache:(page_cache_for inc vm) dom
+                    (profile_for dom)
+                in
+                Meter.set_phase jm Meter.Checker;
+                match
+                  refresh_merkle_print ~jm ~vmi ~relocs mp ~dirty:stale_dirty
+                with
+                | exception e -> unreachable_or_reraise e
+                | mp' ->
+                    Digest_cache.store inc.inc_merkle ~vm ~key:module_name
+                      ~epoch:stale_epoch
+                      ~footprint:
+                        (merge_footprint stale_footprint ~dirty:stale_dirty
+                           (Vmi.footprint vmi))
+                      (Some mp');
+                    Fetched mp')
+            | Digest_cache.Stale _ ->
+                Tel.add "merkle.full_rebuilds" 1;
+                full_build ()
+          in
+          (vm, outcome, jm)
+        in
+        let jobs =
+          map_vms_deadline mode ?deadline_s ~on_timeout fingerprint_vm vms
+        in
+        List.iter (fun (_, _, jm) -> fold_job jm) jobs;
+        let prints =
+          List.filter_map
+            (fun (vm, o, _) ->
+              match o with Fetched mp -> Some (vm, mp) | _ -> None)
+            jobs
+        in
+        let present =
+          List.map (fun (vm, mp) -> (vm, merkle_fingerprint_of mp)) prints
+        in
+        let missing_on =
+          List.filter_map
+            (fun (vm, o, _) -> if o = Absent then Some vm else None)
+            jobs
+        in
+        let unreachable_on =
+          List.filter_map
+            (fun (vm, o, _) ->
+              match o with Unreachable r -> Some (vm, r) | _ -> None)
+            jobs
+        in
+        let rec pairs = function
+          | [] -> []
+          | (v, fp) :: rest ->
+              List.map (fun (u, fq) -> ((v, u), (fp : fingerprint) = fq)) rest
+              @ pairs rest
+        in
+        let pairwise = pairs present in
+        (* Same escalation rule as the digest path (see below) — but the
+           trees let us localize the deviant pages first, before the full
+           survey re-derives the verdict byte by byte. *)
+        (match
+           List.find_opt
+             (fun ((a, b), ok) ->
+               (not ok)
+               && Cloud.vm_patch_level cloud a = Cloud.vm_patch_level cloud b)
+             pairwise
+         with
+        | Some ((a, b), _) ->
+            descend_deviants ~fold_job module_name
+              (a, List.assoc a prints)
+              (b, List.assoc b prints);
+            raise Escalate_to_full
+        | None -> ());
+        (List.map fst present, missing_on, unreachable_on, pairwise)
     | Some inc ->
         (* Incremental path: per-VM reloc-adjusted fingerprints, memoized
            on the pages each computation read. An untouched VM prices as

@@ -42,11 +42,32 @@ type fingerprint = (string * string) list
     hashing), sorted by kind. Computed independently per VM, so it is
     cacheable. *)
 
+type merkle_print = {
+  mp_base : int;  (** The module's load base on this VM. *)
+  mp_flat : (string * string) list;
+      (** Header artifacts: (kind name, flat hex digest). *)
+  mp_sections : (string * int * Mc_md5.Merkle.t) list;
+      (** Section-data artifacts: (kind name, section RVA, Merkle tree
+          over the reloc-adjusted bytes, one leaf per page). *)
+  mp_page_index : (int * (string * int) list) list;
+      (** Guest pfn → the (kind name, leaf index) pairs whose adjusted
+          content depends on that frame (a leaf depends on its own pages
+          plus up to {!Rva.reloc_margin} bytes of each neighbour). *)
+}
+(** One VM's Merkle representation of a module — the memoized value of
+    the O(dirty) hot path. Its derived fingerprint (flat digests plus
+    root digests, sorted by kind) compares exactly like {!fingerprint}. *)
+
 type incremental = {
   inc_digests : fingerprint option Digest_cache.t;
       (** (vm, module) → fingerprint, or [None] for "absent on that VM"
           (absence is as cacheable as presence — the LDR walk's footprint
           keys it). *)
+  inc_merkle : merkle_print option Digest_cache.t;
+      (** (vm, module) → Merkle print, the [Config.merkle] counterpart of
+          [inc_digests]: keeping the whole leaf vector (not just roots)
+          is what lets a k-dirty-page probe refresh k leaves instead of
+          re-hashing the section. *)
   inc_lists : string list Digest_cache.t;
       (** vm → lower-cased module-list walk result. *)
   inc_pages : (int, Mc_vmi.Vmi.page_cache) Hashtbl.t;
@@ -75,6 +96,15 @@ module Config : sig
         (** Shared carry-over state; with it, {!survey} compares memoized
             per-VM fingerprints and {!survey_module_lists} reuses cached
             listings. *)
+    merkle : bool;
+        (** With [incremental], memoize per-section Merkle trees instead
+            of flat fingerprints: a VM with k dirty module pages
+            refreshes at the cost of k leaf hashes plus O(log n)
+            interior nodes ({!Digest_cache.probe_delta} names the dirty
+            frames), and a deviant pair's divergent pages are localized
+            by tree descent before escalation. Verdicts are unchanged —
+            root equality is digest equality. No effect without
+            [incremental]. *)
     quorum : float;
         (** Minimum responding fraction of the surveyed VMs for a verdict
             to count; below it the verdict is [Degraded]. *)
@@ -94,6 +124,8 @@ module Config : sig
   val with_strategy : survey_strategy -> t -> t
 
   val with_incremental : incremental -> t -> t
+
+  val with_merkle : bool -> t -> t
 
   val with_quorum : float -> t -> t
 

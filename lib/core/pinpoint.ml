@@ -5,18 +5,25 @@ type finding = {
   pf_diff_bytes : int;
 }
 
-let diff_offsets a b =
+let diff_offsets ?ranges a b =
   let la = Bytes.length a and lb = Bytes.length b in
   let n = max la lb in
-  let rec scan i acc =
-    if i >= n then List.rev acc
-    else
-      let differs =
-        i >= la || i >= lb || Bytes.get a i <> Bytes.get b i
-      in
-      scan (i + 1) (if differs then i :: acc else acc)
+  let scan_span (off, len) acc =
+    let hi = min n (off + len) in
+    let rec scan i acc =
+      if i >= hi then acc
+      else
+        let differs = i >= la || i >= lb || Bytes.get a i <> Bytes.get b i in
+        scan (i + 1) (if differs then i :: acc else acc)
+    in
+    scan (max 0 off) acc
   in
-  scan 0 []
+  let spans =
+    match ranges with
+    | None -> [ (0, n) ]
+    | Some rs -> List.sort compare rs
+  in
+  List.rev (List.fold_left (fun acc span -> scan_span span acc) [] spans)
 
 let attribute ~symbols ~section_rva offsets =
   let sorted =
@@ -52,7 +59,7 @@ let attribute ~symbols ~section_rva offsets =
     offsets;
   List.rev_map (Hashtbl.find table) !order
 
-let analyze_text_pair ~base1 arts1 ~base2 arts2 ~symbols =
+let analyze_text_pair ?ranges ~base1 arts1 ~base2 arts2 ~symbols =
   let text arts =
     Artifact.find arts (Artifact.Section_data ".text")
   in
@@ -61,7 +68,9 @@ let analyze_text_pair ~base1 arts1 ~base2 arts2 ~symbols =
   | Some t1, Some t2 ->
       if Bytes.length t1.Artifact.data <> Bytes.length t2.Artifact.data then
         (* A resize (e.g. DLL injection) patches "everything after the
-           growth point"; attribute the raw diffs without adjustment. *)
+           growth point"; attribute the raw diffs without adjustment.
+           Tree-derived ranges cannot exist here (the trees would differ
+           in shape), so the survey is unrestricted. *)
         Ok
           (attribute ~symbols ~section_rva:t1.Artifact.sec_rva
              (diff_offsets t1.Artifact.data t2.Artifact.data))
@@ -71,5 +80,5 @@ let analyze_text_pair ~base1 arts1 ~base2 arts2 ~symbols =
         ignore (Rva.adjust_pair ~base1 ~base2 d1 d2);
         Ok
           (attribute ~symbols ~section_rva:t1.Artifact.sec_rva
-             (diff_offsets d1 d2))
+             (diff_offsets ?ranges d1 d2))
       end

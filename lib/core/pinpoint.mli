@@ -15,9 +15,13 @@ type finding = {
   pf_diff_bytes : int;  (** Differing bytes attributed to this function. *)
 }
 
-val diff_offsets : Bytes.t -> Bytes.t -> int list
+val diff_offsets : ?ranges:(int * int) list -> Bytes.t -> Bytes.t -> int list
 (** [diff_offsets a b] is every byte position at which the buffers differ
-    (positions beyond the shorter length count). Ascending. *)
+    (positions beyond the shorter length count). Ascending. [?ranges]
+    restricts the scan to the given (offset, length) spans — the Merkle
+    descent's deviant pages ({!Checker.deviant_ranges}) — so localization
+    touches O(deviant) bytes instead of the whole section. Spans may be
+    given in any order; out-of-bounds parts are clamped. *)
 
 val attribute :
   symbols:(string * int) list ->
@@ -30,6 +34,7 @@ val attribute :
     first symbol are attributed to a pseudo-function ["<headers/pad>"]. *)
 
 val analyze_text_pair :
+  ?ranges:(int * int) list ->
   base1:int ->
   Artifact.t list ->
   base2:int ->
@@ -39,4 +44,6 @@ val analyze_text_pair :
 (** [analyze_text_pair ~base1 arts1 ~base2 arts2 ~symbols] RVA-adjusts the
     two .text artifacts against each other (Algorithm 2) and attributes
     what still differs. An empty list means the sections reconcile —
-    i.e. nothing was patched. *)
+    i.e. nothing was patched. [?ranges] (from a Merkle descent) restricts
+    the byte survey to the deviant pages; it is ignored on the
+    size-mismatch path, where no tree shapes can agree. *)

@@ -190,3 +190,10 @@ let adjust_with_relocs ~base ~section_rva ~relocs data =
       end
       else count)
     0 relocs
+
+(* A reloc slot is 4 bytes, so a slot overlapping a window either lies
+   fully inside it or reaches at most 3 bytes past an edge. *)
+let reloc_margin = 3
+
+let adjust_window ~base ~section_rva ~window_off ~relocs data =
+  adjust_with_relocs ~base ~section_rva:(section_rva + window_off) ~relocs data

@@ -66,3 +66,26 @@ val adjust_with_relocs :
     that falls inside this section, subtract [base] from the 4-byte slot.
     Returns the number of slots rewritten. Requires loader metadata the
     published ModChecker does not assume. *)
+
+val reloc_margin : int
+(** 3 — the widest reach of a 4-byte reloc slot past a window edge. A
+    window of a section extended by [reloc_margin] bytes on each side
+    (clamped to the section) contains every slot whose value overlaps
+    the window, which makes {!adjust_window} exact. *)
+
+val adjust_window :
+  base:int ->
+  section_rva:int ->
+  window_off:int ->
+  relocs:int list ->
+  Bytes.t ->
+  int
+(** [adjust_window ~base ~section_rva ~window_off ~relocs w] adjusts a
+    window of a section that starts [window_off] bytes into it. For the
+    bytes the window shares with the full section, the result is
+    byte-identical to running {!adjust_with_relocs} over the whole
+    section — provided every slot overlapping those bytes lies fully
+    inside the window (guaranteed when the window carries a
+    {!reloc_margin} of context on each unclamped side). This is what
+    lets the Merkle refresh re-adjust one page-leaf without the rest of
+    the section in hand. *)

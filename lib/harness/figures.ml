@@ -416,6 +416,76 @@ let incremental_steady_state ?(pool_sizes = [ 2; 5; 10; 15 ]) ?(seed = 2012L)
       })
     pool_sizes
 
+type merkle_row = {
+  mk_dirty : int;
+  mk_flat_s : float;
+  mk_merkle_s : float;
+  mk_leaves : int;
+  mk_nodes : int;
+  mk_speedup : float;
+}
+
+(* X13: steady-state sweep cost when every guest keeps dirtying k .text
+   pages between sweeps without changing their content. Flat incremental
+   fingerprints treat any staleness as a full re-fetch + re-hash of the
+   module; the Merkle print re-reads and re-hashes only the touched
+   leaves plus O(log n) interior nodes. *)
+let merkle_dirty_sweep ?(vms = 6) ?(dirty = [ 0; 1; 2; 4; 8 ])
+    ?(module_name = "http.sys") ?(seed = 2012L) () =
+  let costs = Costs.default in
+  let counter name =
+    Mc_telemetry.Metric.counter_value (Mc_telemetry.Registry.counter name)
+  in
+  let was_enabled = Mc_telemetry.Registry.enabled () in
+  Mc_telemetry.Registry.set_enabled true;
+  let steady_sweep ~merkle ~k =
+    let cloud = Cloud.create ~vms ~seed () in
+    let inc = Orchestrator.create_incremental () in
+    let config =
+      Orchestrator.Config.(default |> with_incremental inc |> with_merkle merkle)
+    in
+    (* The warm sweep builds the memoized prints. *)
+    ignore (Orchestrator.survey ~config cloud ~module_name);
+    (* The guests run on: k .text pages per VM move, content unchanged. *)
+    for vm = 0 to vms - 1 do
+      if k > 0 then
+        match Infect.benign_touch ~module_name ~pages:k cloud ~vm with
+        | Ok _ -> ()
+        | Error e -> failwith ("Figures.merkle_dirty_sweep: " ^ e)
+    done;
+    let leaves0 = counter "merkle.leaves_rehashed" in
+    let meter = Meter.create () in
+    let s = Orchestrator.survey ~config ~meter cloud ~module_name in
+    if s.Modchecker.Report.deviant_vms <> [] then
+      failwith "Figures.merkle_dirty_sweep: benign touch flagged as deviant";
+    let nodes =
+      List.fold_left
+        (fun acc ph -> acc + (Meter.get meter ph).Meter.merkle_nodes)
+        0
+        [ Meter.Searcher; Meter.Parser; Meter.Checker ]
+    in
+    ( Meter.total_cpu_seconds costs meter,
+      counter "merkle.leaves_rehashed" - leaves0,
+      nodes )
+  in
+  let rows =
+    List.map
+      (fun k ->
+        let flat_s, _, _ = steady_sweep ~merkle:false ~k in
+        let merkle_s, leaves, nodes = steady_sweep ~merkle:true ~k in
+        {
+          mk_dirty = k;
+          mk_flat_s = flat_s;
+          mk_merkle_s = merkle_s;
+          mk_leaves = leaves;
+          mk_nodes = nodes;
+          mk_speedup = flat_s /. merkle_s;
+        })
+      dirty
+  in
+  Mc_telemetry.Registry.set_enabled was_enabled;
+  rows
+
 type fault_row = {
   fl_transient : float;
   fl_scenarios : int;

@@ -133,6 +133,26 @@ val incremental_steady_state :
     later sweep prices as staleness probes, so its cost stays near-flat as
     the pool grows while the full sweep grows linearly. *)
 
+type merkle_row = {
+  mk_dirty : int;  (** .text pages dirtied per VM between sweeps. *)
+  mk_flat_s : float;
+      (** Steady sweep CPU with flat incremental fingerprints — any
+          staleness re-fetches and re-hashes the whole module. *)
+  mk_merkle_s : float;  (** The same sweep with Merkle prints. *)
+  mk_leaves : int;  (** Leaves re-hashed during the Merkle sweep. *)
+  mk_nodes : int;  (** Interior Merkle digests computed. *)
+  mk_speedup : float;  (** Flat / Merkle. *)
+}
+
+val merkle_dirty_sweep :
+  ?vms:int -> ?dirty:int list -> ?module_name:string -> ?seed:int64 ->
+  unit -> merkle_row list
+(** X13: O(dirty) refresh cost. Every VM's module has k .text pages
+    dirtied (content unchanged) between a warm sweep and a measured one;
+    the flat incremental path pays a full per-VM rebuild while the Merkle
+    path re-hashes k leaves plus O(log n) interior nodes, so the speedup
+    column is largest at small k and every verdict stays clean. *)
+
 type fault_row = {
   fl_transient : float;  (** Injected per-attempt map failure rate. *)
   fl_scenarios : int;  (** Experiments run (6: E1–E4 plus extensions). *)

@@ -177,6 +177,23 @@ let incremental_table rows =
          ])
        rows)
 
+let merkle_table rows =
+  Table.render
+    ~header:
+      [ "dirty/VM"; "flat sweep (ms)"; "merkle sweep (ms)"; "leaves";
+        "interior"; "speedup" ]
+    (List.map
+       (fun (r : Figures.merkle_row) ->
+         [
+           string_of_int r.mk_dirty;
+           Printf.sprintf "%.2f" (r.mk_flat_s *. 1000.0);
+           Printf.sprintf "%.2f" (r.mk_merkle_s *. 1000.0);
+           string_of_int r.mk_leaves;
+           string_of_int r.mk_nodes;
+           Printf.sprintf "%.1fx" r.mk_speedup;
+         ])
+       rows)
+
 let strategy_table rows =
   Table.render
     ~header:

@@ -22,6 +22,10 @@ val incremental_table : Figures.incremental_row list -> string
 (** X6 rendering: full vs incremental steady-state sweep cost by pool
     size. *)
 
+val merkle_table : Figures.merkle_row list -> string
+(** X13 rendering: flat vs Merkle steady sweep cost by dirty pages per
+    VM, with leaf/interior re-hash counts. *)
+
 val strategy_table : Figures.strategy_row list -> string
 
 val patrol_table : Figures.patrol_row list -> string

@@ -10,6 +10,7 @@ type t = {
   hypercall_s : float;
   dirty_scan_pfn_s : float;
   retry_backoff_s : float;
+  merkle_node_s : float;
   bus_slowdown_per_busy_vm : float;
 }
 
@@ -26,5 +27,6 @@ let default =
     hypercall_s = 30e-6;
     dirty_scan_pfn_s = 40e-9;
     retry_backoff_s = 150e-6;
+    merkle_node_s = 150e-9;
     bus_slowdown_per_busy_vm = 0.06;
   }

@@ -27,6 +27,9 @@ type t = {
   retry_backoff_s : float;
       (** Backoff delay Dom0 spends before retrying a failed foreign-page
           map (the failed map itself is priced as a normal page map). *)
+  merkle_node_s : float;
+      (** Computing one interior Merkle node: an MD5 over the 32-byte
+          concatenation of two child digests (one compression block). *)
   bus_slowdown_per_busy_vm : float;
       (** Fractional slowdown of memory-bound work per concurrently
           bus-hungry VM (saturating at the core count). *)

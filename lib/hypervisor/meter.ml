@@ -22,6 +22,7 @@ type counts = {
   mutable hypercalls : int;
   mutable pfns_checked : int;
   mutable retry_backoffs : int;
+  mutable merkle_nodes : int;
 }
 
 let zero () =
@@ -37,6 +38,7 @@ let zero () =
     hypercalls = 0;
     pfns_checked = 0;
     retry_backoffs = 0;
+    merkle_nodes = 0;
   }
 
 type t = {
@@ -60,7 +62,8 @@ let clear c =
   c.vm_sessions <- 0;
   c.hypercalls <- 0;
   c.pfns_checked <- 0;
-  c.retry_backoffs <- 0
+  c.retry_backoffs <- 0;
+  c.merkle_nodes <- 0
 
 let reset t =
   clear t.searcher;
@@ -101,6 +104,8 @@ let add_pfns_checked t n = (current t).pfns_checked <- (current t).pfns_checked 
 let add_retry_backoffs t n =
   (current t).retry_backoffs <- (current t).retry_backoffs + n
 
+let add_merkle_nodes t n = (current t).merkle_nodes <- (current t).merkle_nodes + n
+
 let merge_counts dst src =
   dst.pages_mapped <- dst.pages_mapped + src.pages_mapped;
   dst.bytes_copied <- dst.bytes_copied + src.bytes_copied;
@@ -112,7 +117,8 @@ let merge_counts dst src =
   dst.vm_sessions <- dst.vm_sessions + src.vm_sessions;
   dst.hypercalls <- dst.hypercalls + src.hypercalls;
   dst.pfns_checked <- dst.pfns_checked + src.pfns_checked;
-  dst.retry_backoffs <- dst.retry_backoffs + src.retry_backoffs
+  dst.retry_backoffs <- dst.retry_backoffs + src.retry_backoffs;
+  dst.merkle_nodes <- dst.merkle_nodes + src.merkle_nodes
 
 let merge dst src =
   merge_counts dst.searcher src.searcher;
@@ -132,6 +138,7 @@ let pairs k =
     ("hypercalls", k.hypercalls);
     ("pfns_checked", k.pfns_checked);
     ("retry_backoffs", k.retry_backoffs);
+    ("merkle_nodes", k.merkle_nodes);
   ]
 
 let cpu_seconds (c : Costs.t) k =
@@ -146,6 +153,7 @@ let cpu_seconds (c : Costs.t) k =
   +. (float_of_int k.hypercalls *. c.hypercall_s)
   +. (float_of_int k.pfns_checked *. c.dirty_scan_pfn_s)
   +. (float_of_int k.retry_backoffs *. c.retry_backoff_s)
+  +. (float_of_int k.merkle_nodes *. c.merkle_node_s)
 
 let total_cpu_seconds costs t =
   cpu_seconds costs t.searcher +. cpu_seconds costs t.parser

@@ -26,6 +26,7 @@ type counts = {
   mutable hypercalls : int;
   mutable pfns_checked : int;
   mutable retry_backoffs : int;
+  mutable merkle_nodes : int;
 }
 
 type t
@@ -65,6 +66,10 @@ val add_pfns_checked : t -> int -> unit
 
 val add_retry_backoffs : t -> int -> unit
 (** Count one priced backoff delay before a foreign-map retry. *)
+
+val add_merkle_nodes : t -> int -> unit
+(** Count interior Merkle digests computed (32-byte MD5 roll-ups); leaf
+    hashing is already counted as bytes hashed. *)
 
 val merge : t -> t -> unit
 (** [merge dst src] adds every counter of [src] into [dst], phase by

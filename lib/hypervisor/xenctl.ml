@@ -75,3 +75,15 @@ let pages_unchanged ?meter dom ~epoch footprint =
   let p = phys dom in
   Phys.uid p = epoch
   && Array.for_all (fun (pfn, v) -> Phys.page_version p pfn = v) footprint
+
+let stale_pfns ?meter dom ~epoch footprint =
+  bump meter (fun m ->
+      Meter.add_hypercalls m 1;
+      Meter.add_pfns_checked m (Array.length footprint));
+  let p = phys dom in
+  if Phys.uid p <> epoch then None
+  else
+    Some
+      (Array.to_list footprint
+      |> List.filter_map (fun (pfn, v) ->
+             if Phys.page_version p pfn = v then None else Some pfn))

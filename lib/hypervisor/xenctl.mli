@@ -68,3 +68,11 @@ val pages_unchanged :
     still in [epoch] and every [(pfn, version)] pair in [footprint]
     matches the frame's current version. Priced as one hypercall plus one
     bitmap probe per pfn — the cost of an incremental staleness check. *)
+
+val stale_pfns :
+  ?meter:Meter.t -> Dom.t -> epoch:int -> (int * int) array -> int list option
+(** [stale_pfns dom ~epoch footprint] is the same staleness check but
+    names the culprits: [None] when the epoch changed (the whole footprint
+    is void — reboot/restore), otherwise [Some pfns], the footprint subset
+    whose write version moved ([Some []] means unchanged). Priced exactly
+    like {!pages_unchanged}; the O(dirty) Merkle refresh keys on it. *)

@@ -13,6 +13,7 @@ type ctx = {
   mutable total : int64; (* message length so far, in bytes *)
   block : Bytes.t; (* 64-byte staging buffer *)
   mutable fill : int; (* valid bytes in [block] *)
+  m : int array; (* 16-word message schedule, reused across blocks *)
 }
 
 let init () =
@@ -24,6 +25,7 @@ let init () =
     total = 0L;
     block = Bytes.create 64;
     fill = 0;
+    m = Array.make 16 0;
   }
 
 (* Per-round rotation amounts and sine-table constants, in round order. *)
@@ -53,14 +55,11 @@ let k =
 let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask
 
 let transform ctx buf off =
-  let m = Array.make 16 0 in
+  (* Word-at-a-time message loads: one bounds-checked 32-bit read per word
+     instead of four byte reads, into the context's reusable schedule. *)
+  let m = ctx.m in
   for i = 0 to 15 do
-    let o = off + (i * 4) in
-    m.(i) <-
-      Char.code (Bytes.get buf o)
-      lor (Char.code (Bytes.get buf (o + 1)) lsl 8)
-      lor (Char.code (Bytes.get buf (o + 2)) lsl 16)
-      lor (Char.code (Bytes.get buf (o + 3)) lsl 24)
+    m.(i) <- Int32.to_int (Bytes.get_int32_le buf (off + (i * 4))) land mask
   done;
   let a = ref ctx.a and b = ref ctx.b and c = ref ctx.c and d = ref ctx.d in
   for i = 0 to 63 do
@@ -140,9 +139,17 @@ let digest_sub b off len =
 
 let digest_bytes b = digest_sub b 0 (Bytes.length b)
 
-let digest_string s = digest_bytes (Bytes.of_string s)
+(* Safe despite the unsafe cast: [update] only reads from the buffer. *)
+let digest_string s = digest_bytes (Bytes.unsafe_of_string s)
+
+let hex_chars = "0123456789abcdef"
 
 let to_hex d =
-  let buf = Buffer.create 32 in
-  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) d;
-  Buffer.contents buf
+  let n = String.length d in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code (String.unsafe_get d i) in
+    Bytes.unsafe_set out (2 * i) (String.unsafe_get hex_chars (c lsr 4));
+    Bytes.unsafe_set out ((2 * i) + 1) (String.unsafe_get hex_chars (c land 0xf))
+  done;
+  Bytes.unsafe_to_string out

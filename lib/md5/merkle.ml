@@ -1,0 +1,152 @@
+(* A Merkle tree over per-page MD5 leaves.
+
+   Leaves are the digests of consecutive [page]-sized spans of a buffer
+   (the last leaf may be short). Interior nodes digest the concatenation
+   of their two children; an odd node is promoted unchanged, so promotion
+   costs no hash. [levels.(0)] holds the leaves and the last level is the
+   singleton root. An empty buffer still has one leaf (the digest of the
+   empty span), so every tree has a root. *)
+
+type t = {
+  page : int;
+  length : int;
+  levels : Md5.digest array array;
+}
+
+let default_page_size = 4096
+
+let page_size t = t.page
+
+let length t = t.length
+
+let leaf_count_of ~page len = if len = 0 then 1 else (len + page - 1) / page
+
+let leaf_bounds ~page len =
+  Array.init (leaf_count_of ~page len) (fun i ->
+      let off = i * page in
+      (off, min page (len - off)))
+
+let leaf_count t = Array.length t.levels.(0)
+
+let leaves t = t.levels.(0)
+
+let root t =
+  let top = t.levels.(Array.length t.levels - 1) in
+  top.(0)
+
+(* Roll one level up, counting the interior digests actually computed
+   (promoted odd nodes are free). *)
+let level_up hashed below =
+  let n = Array.length below in
+  Array.init ((n + 1) / 2) (fun i ->
+      if (2 * i) + 1 < n then begin
+        incr hashed;
+        Md5.digest_string (below.(2 * i) ^ below.((2 * i) + 1))
+      end
+      else below.(2 * i))
+
+let build_levels leaves =
+  let hashed = ref 0 in
+  let rec up acc level =
+    if Array.length level <= 1 then List.rev (level :: acc)
+    else up (level :: acc) (level_up hashed level)
+  in
+  let levels = Array.of_list (up [] leaves) in
+  (levels, !hashed)
+
+let of_leaves ?(page = default_page_size) ~length leaves =
+  if page <= 0 then invalid_arg "Merkle.of_leaves: page must be positive";
+  if Array.length leaves <> leaf_count_of ~page length then
+    invalid_arg "Merkle.of_leaves: wrong leaf count for length";
+  let levels, hashed = build_levels (Array.copy leaves) in
+  ({ page; length; levels }, hashed)
+
+let leaf_digests ?(page = default_page_size) data =
+  Array.map
+    (fun (off, len) -> Md5.digest_sub data off len)
+    (leaf_bounds ~page (Bytes.length data))
+
+let of_bytes ?(page = default_page_size) data =
+  fst (of_leaves ~page ~length:(Bytes.length data) (leaf_digests ~page data))
+
+let interior_hashes t =
+  let n = ref 0 in
+  for l = 1 to Array.length t.levels - 1 do
+    (* A node at level l was hashed iff it has two children below. *)
+    n := !n + (Array.length t.levels.(l - 1) / 2)
+  done;
+  !n
+
+let set_leaves t updates =
+  let levels = Array.map Array.copy t.levels in
+  let height = Array.length levels in
+  let dirty = Hashtbl.create 8 in
+  List.iter
+    (fun (i, d) ->
+      if i < 0 || i >= Array.length levels.(0) then
+        invalid_arg "Merkle.set_leaves: leaf index out of range";
+      levels.(0).(i) <- d;
+      Hashtbl.replace dirty (i / 2) ())
+    updates;
+  let hashed = ref 0 in
+  for l = 1 to height - 1 do
+    let below = levels.(l - 1) in
+    let here = levels.(l) in
+    let next = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun i () ->
+        (if (2 * i) + 1 < Array.length below then begin
+           incr hashed;
+           here.(i) <- Md5.digest_string (below.(2 * i) ^ below.((2 * i) + 1))
+         end
+         else here.(i) <- below.(2 * i));
+        Hashtbl.replace next (i / 2) ())
+      dirty;
+    Hashtbl.reset dirty;
+    Hashtbl.iter (Hashtbl.replace dirty) next
+  done;
+  ({ t with levels }, !hashed)
+
+let rehash t data ~dirty =
+  if Bytes.length data <> t.length then
+    invalid_arg "Merkle.rehash: buffer length differs from the tree's";
+  let bounds = leaf_bounds ~page:t.page t.length in
+  set_leaves t
+    (List.map
+       (fun i ->
+         if i < 0 || i >= Array.length bounds then
+           invalid_arg "Merkle.rehash: leaf index out of range";
+         let off, len = bounds.(i) in
+         (i, Md5.digest_sub data off len))
+       (List.sort_uniq compare dirty))
+
+let equal_root a b = String.equal (root a) (root b)
+
+let diverging_leaves a b =
+  if a.page <> b.page || a.length <> b.length then
+    invalid_arg "Merkle.diverging_leaves: trees cover different shapes";
+  let compared = ref 1 in
+  if String.equal (root a) (root b) then ([], !compared)
+  else begin
+    (* Descend level by level, expanding only the nodes that differ: a
+       k-leaf divergence visits O(k log n) nodes, not all n leaves. *)
+    let top = Array.length a.levels - 1 in
+    let frontier = ref [ 0 ] in
+    for l = top - 1 downto 0 do
+      let la = a.levels.(l) and lb = b.levels.(l) in
+      let n = Array.length la in
+      frontier :=
+        List.concat_map
+          (fun i ->
+            let kids =
+              if (2 * i) + 1 < n then [ 2 * i; (2 * i) + 1 ] else [ 2 * i ]
+            in
+            List.filter
+              (fun c ->
+                incr compared;
+                not (String.equal la.(c) lb.(c)))
+              kids)
+          !frontier
+    done;
+    (List.sort compare !frontier, !compared)
+  end

@@ -1,0 +1,73 @@
+(** Merkle trees over per-page MD5 leaves.
+
+    The fingerprint hot path's O(dirty) representation: a buffer is hashed
+    as consecutive [page]-sized leaf digests rolled up pairwise into one
+    root. Root equality is digest equality of the whole buffer (same MD5
+    collision assumption as a flat digest), but when only k pages of the
+    buffer changed, {!rehash} recomputes k leaves plus the O(log n)
+    interior nodes on their paths instead of re-hashing everything — and
+    {!diverging_leaves} localizes {e which} pages two copies disagree on
+    without a byte-level survey.
+
+    Odd nodes are promoted unchanged (no hash), so a single-leaf tree's
+    root is its leaf. The empty buffer has one leaf: the digest of the
+    empty span. Trees are immutable; updates return new trees sharing
+    nothing mutable with the old one. *)
+
+type t
+
+val default_page_size : int
+(** 4096 — matching the simulated guest's frame size. *)
+
+val page_size : t -> int
+
+val length : t -> int
+(** Total bytes the tree covers. *)
+
+val leaf_count : t -> int
+
+val leaves : t -> Md5.digest array
+(** The leaf vector (level 0). Do not mutate. *)
+
+val root : t -> Md5.digest
+
+val leaf_bounds : page:int -> int -> (int * int) array
+(** [leaf_bounds ~page len] is each leaf's (offset, length) span of a
+    [len]-byte buffer — the fan-out unit for domain-parallel leaf
+    hashing. *)
+
+val leaf_digests : ?page:int -> Bytes.t -> Md5.digest array
+(** Sequential leaf hashing of a whole buffer. *)
+
+val of_leaves :
+  ?page:int -> length:int -> Md5.digest array -> t * int
+(** [of_leaves ~length leaves] rolls precomputed leaf digests up into a
+    tree, returning it with the number of interior digests computed (the
+    metered roll-up cost). Raises [Invalid_argument] when the leaf count
+    does not match [length]. *)
+
+val of_bytes : ?page:int -> Bytes.t -> t
+(** [of_bytes data] hashes every leaf and rolls up. *)
+
+val interior_hashes : t -> int
+(** How many interior digests a from-scratch roll-up of this shape
+    computes (promotions are free). *)
+
+val set_leaves : t -> (int * Md5.digest) list -> t * int
+(** [set_leaves t updates] replaces the given leaves and recomputes only
+    the interior nodes on their root paths, returning the new tree and
+    the number of interior digests recomputed. *)
+
+val rehash : t -> Bytes.t -> dirty:int list -> t * int
+(** [rehash t data ~dirty] is {!set_leaves} with the dirty leaves
+    re-hashed from [data] (which must have the tree's length) — the
+    k-dirty-page refresh. Duplicate indices are collapsed. *)
+
+val equal_root : t -> t -> bool
+
+val diverging_leaves : t -> t -> int list * int
+(** [diverging_leaves a b] descends the two trees from the root, expanding
+    only differing nodes, and returns the leaf indices where the buffers
+    disagree plus the number of node comparisons made (O(k log n) for k
+    deviant pages). Raises [Invalid_argument] when the trees cover
+    different lengths or page sizes. *)

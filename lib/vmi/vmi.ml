@@ -269,5 +269,19 @@ let read_va_u16 t va =
   let b = read_va t va 2 in
   Bytes.get_uint16_le b 0
 
+let pfns_of_va_range t va len =
+  let rec loop va len acc =
+    if len <= 0 then List.rev acc
+    else
+      let chunk = min len (page - (va mod page)) in
+      let entry =
+        match translate_kv2p t va with
+        | None -> None
+        | Some pa -> Some (pa / page)
+      in
+      loop (va + chunk) (len - chunk) (entry :: acc)
+  in
+  loop va len []
+
 let pages_cached t =
   cache_locked t.cache (fun () -> Hashtbl.length t.cache.pc_tbl)

@@ -102,6 +102,13 @@ val footprint : t -> (int * int) array
     result while {!Mc_hypervisor.Xenctl.pages_unchanged} holds for this
     footprint — the keying contract of the digest cache. *)
 
+val pfns_of_va_range : t -> int -> int -> int option list
+(** [pfns_of_va_range t va len] names the guest frame behind each
+    page-sized chunk of the VA range, in address order ([None] for an
+    unmapped chunk). The page-table walk goes through the session's page
+    cache and counts into its footprint like any other read — this is how
+    the Merkle refresh learns which cached leaves a dirty pfn backs. *)
+
 val pages_cached : t -> int
 (** Number of distinct guest frames currently in the page cache. *)
 
