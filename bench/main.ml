@@ -134,6 +134,36 @@ let ablations () =
     exit 1
   end;
 
+  section "X14: event-driven write-trap checking — idle cost and \
+           time-to-detect vs polling";
+  let rows = Mc_harness.Figures.events_tradeoff () in
+  print_string (Mc_harness.Render.events_table rows);
+  let poll30 =
+    List.find (fun r -> r.Mc_harness.Figures.ev_label = "poll 30s") rows
+  in
+  let trap =
+    List.find (fun r -> r.Mc_harness.Figures.ev_label = "event-driven") rows
+  in
+  (* The two acceptance floors: traps must idle at least 10x cheaper
+     than 30 s polling, and detect at least 10x faster. *)
+  let cost_ok =
+    trap.Mc_harness.Figures.ev_steady_cpu_s
+    <= poll30.Mc_harness.Figures.ev_steady_cpu_s /. 10.0
+  in
+  let ttd_ok =
+    trap.Mc_harness.Figures.ev_ttd_s
+    <= poll30.Mc_harness.Figures.ev_ttd_s /. 10.0
+  in
+  Printf.printf
+    "trap steady idle cost %.4fs vs poll-30s %.4fs %s\n"
+    trap.Mc_harness.Figures.ev_steady_cpu_s
+    poll30.Mc_harness.Figures.ev_steady_cpu_s
+    (if cost_ok then "(floor is 10x: OK)" else "(REGRESSION: floor is 10x)");
+  Printf.printf "trap time-to-detect %.3fs vs poll-30s %.3fs %s\n"
+    trap.Mc_harness.Figures.ev_ttd_s poll30.Mc_harness.Figures.ev_ttd_s
+    (if ttd_ok then "(floor is 10x: OK)" else "(REGRESSION: floor is 10x)");
+  if not (cost_ok && ttd_ok) then exit 1;
+
   section "X9: detection under injected transient VMI faults (bounded \
            retries, quorum-aware verdicts)";
   print_string

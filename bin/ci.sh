@@ -278,3 +278,43 @@ if [ -z "$speedup" ] || ! awk -v s="$speedup" 'BEGIN { exit !(s >= 5.0) }'; then
   exit 1
 fi
 echo "merkle O(dirty) smoke OK: 1-dirty-page sweep ${speedup}x cheaper than flat re-hash"
+
+echo "== event-driven patrol smoke (write traps: instant detection, idle pool free) =="
+ev="$(mktemp -t modchecker_events.XXXXXX.txt)"
+trap 'rm -f "$trace" "$metrics" "$detect" "$reqs" "$serve_out" "$sim1" "$sim2" "$simfail" "$fed" "$merkle_fig" "$ev"' EXIT
+
+# A hook at t=65 must be caught by the trap reaction (exit 2), with a
+# detection latency at least 10x below the 30 s poll interval.
+set +e
+dune exec --no-build bin/modchecker_cli.exe -- \
+  patrol --event-driven --vms 4 --duration 240 --interval 30 \
+  --infect hook --vm 1 --infect-at 65 > "$ev" 2>&1
+ev_status=$?
+set -e
+if [ "$ev_status" -ne 2 ]; then
+  echo "ci: event-driven smoke failed: infected patrol exited $ev_status (want 2)" >&2
+  cat "$ev" >&2
+  exit 1
+fi
+latency="$(sed -n 's/^detection latency: median \([0-9.]*\)s.*/\1/p' "$ev")"
+if [ -z "$latency" ] || ! awk -v l="$latency" 'BEGIN { exit !(l < 3.0) }'; then
+  echo "ci: event-driven smoke failed: detection latency ${latency:-missing}s (want < 3s)" >&2
+  cat "$ev" >&2
+  exit 1
+fi
+grep -q 'hash deviation' "$ev" || {
+  echo "ci: event-driven smoke failed: no hash-deviation alarm in output" >&2
+  cat "$ev" >&2
+  exit 1
+}
+
+# A clean pool must exit 0 with zero trap reactions — set -e enforces
+# the exit code.
+dune exec --no-build bin/modchecker_cli.exe -- \
+  patrol --event-driven --vms 4 --duration 240 --interval 30 > "$ev"
+grep -q ' 0 reactions' "$ev" || {
+  echo "ci: event-driven smoke failed: clean patrol reported trap reactions" >&2
+  cat "$ev" >&2
+  exit 1
+}
+echo "event-driven smoke OK: hook caught in ${latency}s, clean run idle"

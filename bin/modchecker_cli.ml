@@ -438,6 +438,7 @@ let detect_cmd =
 type which_figure =
   | Fig7 | Fig8 | Fig9 | Ablation | Parallelism | Baselines | Strategy
   | PatrolFig | Incremental | MerkleFig | Faults | EngineFig | FederationFig
+  | EventsFig
   | All
 
 let which_arg =
@@ -450,7 +451,8 @@ let which_arg =
              ("baselines", Baselines); ("strategy", Strategy);
              ("patrol", PatrolFig); ("incremental", Incremental);
              ("merkle", MerkleFig); ("faults", Faults); ("engine", EngineFig);
-             ("federation", FederationFig); ("all", All) ])
+             ("federation", FederationFig); ("events", EventsFig);
+             ("all", All) ])
         All
     & info [ "which" ] ~docv:"WHICH" ~doc)
 
@@ -518,6 +520,11 @@ let run_figures which vms cores seed =
       (Mc_harness.Render.federation_table
          (Mc_harness.Figures.federation_scale ~seed ()))
   in
+  let events_fig () =
+    print_string
+      (Mc_harness.Render.events_table
+         (Mc_harness.Figures.events_tradeoff ~seed ()))
+  in
   match which with
   | Fig7 -> fig7 ()
   | Fig8 -> fig8 ()
@@ -532,6 +539,7 @@ let run_figures which vms cores seed =
   | Faults -> faults ()
   | EngineFig -> engine_fig ()
   | FederationFig -> federation_fig ()
+  | EventsFig -> events_fig ()
   | All ->
       fig7 ();
       fig8 ();
@@ -545,7 +553,8 @@ let run_figures which vms cores seed =
       merkle_fig ();
       faults ();
       engine_fig ();
-      federation_fig ()
+      federation_fig ();
+      events_fig ()
 
 let figures_cmd =
   let doc = "Regenerate the paper's evaluation figures and the extensions." in
@@ -791,7 +800,8 @@ let federate_cmd =
 (* --- patrol -------------------------------------------------------------- *)
 
 let run_patrol verbose vms cores seed duration interval infect vm infect_at
-    canonical incremental merkle fault_spec quorum deadline trace metrics =
+    canonical incremental merkle event_driven fault_spec quorum deadline trace
+    metrics =
   with_telemetry trace metrics @@ fun () ->
   setup_logs verbose;
   let cloud = make_cloud ?fault_spec vms cores seed in
@@ -822,15 +832,28 @@ let run_patrol verbose vms cores seed duration interval infect vm infect_at
         |> Orchestrator.Config.with_merkle merkle;
     }
   in
-  let o = Modchecker.Patrol.run ~config ~events cloud ~until:duration in
+  let o =
+    if event_driven then
+      Modchecker.Patrol.run_events ~config ~events cloud ~until:duration
+    else Modchecker.Patrol.run ~config ~events cloud ~until:duration
+  in
   Printf.printf
-    "patrol finished: %d sweeps over %.1fs virtual, %.3fs Dom0 CPU \
-     (%.3f%% duty), mean sweep %.1f ms\n"
-    o.Modchecker.Patrol.sweeps o.Modchecker.Patrol.virtual_elapsed
-    o.Modchecker.Patrol.cpu_spent
+    "patrol finished: %d sweeps + %d reactions over %.1fs virtual, %.3fs \
+     Dom0 CPU (%.3f%% duty), mean sweep %.1f ms\n"
+    o.Modchecker.Patrol.sweeps o.Modchecker.Patrol.reactions
+    o.Modchecker.Patrol.virtual_elapsed o.Modchecker.Patrol.cpu_spent
     (100.0 *. o.Modchecker.Patrol.cpu_spent
     /. o.Modchecker.Patrol.virtual_elapsed)
     (o.Modchecker.Patrol.mean_sweep_wall *. 1e3);
+  (match List.sort compare o.Modchecker.Patrol.latencies_s with
+  | [] -> ()
+  | ls ->
+      let n = List.length ls in
+      Printf.printf
+        "detection latency: median %.3fs, max %.3fs over %d alarm(s)\n"
+        (List.nth ls (n / 2))
+        (List.nth ls (n - 1))
+        n);
   if o.Modchecker.Patrol.alarms = [] then print_endline "no alarms."
   else begin
     print_endline "alarm log:";
@@ -870,13 +893,22 @@ let patrol_cmd =
          ~doc:"Track dirty pages and re-check only what changed between \
                sweeps (log-dirty + digest cache).")
   in
+  let event_driven_arg =
+    Arg.(value & flag & info [ "event-driven" ]
+         ~doc:"Replace polling with hypervisor write traps on the pages \
+               backing the watched modules: a guest write triggers an \
+               immediate targeted re-check (implies --incremental and \
+               --merkle), with a slow full sweep as a safety net. \
+               $(b,--interval) then sets the safety-sweep period's base \
+               (20x).")
+  in
   Cmd.v
     (Cmd.info "patrol" ~doc)
     Term.(
       const run_patrol $ verbose_arg $ vms_arg $ cores_arg $ seed_arg
       $ duration_arg $ interval_arg $ infect_arg $ vm_arg $ infect_at_arg
-      $ canonical_arg $ incremental_arg $ merkle_arg $ fault_spec_arg
-      $ quorum_arg $ deadline_arg $ trace_arg $ metrics_arg)
+      $ canonical_arg $ incremental_arg $ merkle_arg $ event_driven_arg
+      $ fault_spec_arg $ quorum_arg $ deadline_arg $ trace_arg $ metrics_arg)
 
 (* --- serve ---------------------------------------------------------------- *)
 

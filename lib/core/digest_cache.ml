@@ -27,6 +27,13 @@ let store t ~vm ~key ~epoch ~footprint value =
       Hashtbl.replace t.tbl (vm, key)
         { e_epoch = epoch; e_footprint = footprint; e_value = value })
 
+let footprint_pfns t ~vm ~key ~epoch =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl (vm, key) with
+      | Some e when e.e_epoch = epoch ->
+          Some (Array.to_list (Array.map fst e.e_footprint))
+      | Some _ | None -> None)
+
 let tamper t f =
   locked t (fun () ->
       let changed = ref 0 in

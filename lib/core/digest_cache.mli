@@ -73,6 +73,13 @@ val store :
 (** [store t ~vm ~key ~epoch ~footprint v] records [v] as valid while the
     footprint's pages stay at the given versions within [epoch]. *)
 
+val footprint_pfns : 'a t -> vm:int -> key:string -> epoch:int -> int list option
+(** [footprint_pfns t ~vm ~key ~epoch] is the pfn set of the entry's
+    footprint when one exists and was recorded in [epoch], else [None].
+    Dom0-local bookkeeping (no guest access, unmetered): it is how the
+    event-driven patrol learns {e which} frames to write-trap — the exact
+    pages a future staleness probe would inspect. *)
+
 val length : 'a t -> int
 (** Number of live entries (for tests). *)
 

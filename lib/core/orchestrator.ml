@@ -1229,6 +1229,28 @@ let survey_module_lists ?(config = Config.default) ?meter cloud =
 let compare_module_lists ?config ?meter cloud =
   (survey_module_lists ?config ?meter cloud).lc_discrepancies
 
+type watch_source = Watch_module of string | Watch_lists
+
+let watch_source_key = function
+  | Watch_module m -> m
+  | Watch_lists -> "(module lists)"
+
+let watch_pfns inc dom ~vm ~watch =
+  let epoch = Xenctl.memory_epoch dom in
+  let fp cache key =
+    Option.value ~default:[]
+      (Digest_cache.footprint_pfns cache ~vm ~key ~epoch)
+  in
+  let module_pfns name =
+    (* Prefer the Merkle print's footprint (it carries the page→leaf
+       index); entries cached as flat fingerprints cover the same pages. *)
+    match Digest_cache.footprint_pfns inc.inc_merkle ~vm ~key:name ~epoch with
+    | Some pfns -> pfns
+    | None -> fp inc.inc_digests name
+  in
+  List.map (fun name -> (Watch_module name, module_pfns name)) watch
+  @ [ (Watch_lists, fp inc.inc_lists list_key) ]
+
 let phase_seconds costs outcome =
   let sum phase =
     List.fold_left

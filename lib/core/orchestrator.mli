@@ -246,6 +246,34 @@ val compare_module_lists :
   list_discrepancy list
 (** [survey_module_lists]'s discrepancies alone. *)
 
+type watch_source =
+  | Watch_module of string
+      (** A watched module: its LDR entry, the list pages walked to reach
+          it, and its section footprint. *)
+  | Watch_lists
+      (** The module-list walk itself ([PsLoadedModuleList] and the LDR
+          chain) — a trap here means a module was loaded, unloaded, or
+          DKOM-unlinked. *)
+(** What a trapped page was backing — the unit the event-driven patrol
+    rechecks. *)
+
+val watch_source_key : watch_source -> string
+(** The alarm-module label a source's alarms carry: the module name, or
+    ["(module lists)"] for the list walk. *)
+
+val watch_pfns :
+  incremental ->
+  Mc_hypervisor.Dom.t ->
+  vm:int ->
+  watch:string list ->
+  (watch_source * int list) list
+(** [watch_pfns inc dom ~vm ~watch] is, per watch source, the guest
+    frames whose writes must re-trigger its check — read straight out of
+    the digest caches' footprints (Merkle print preferred, flat
+    fingerprint fallback, plus the cached list walk). A source with no
+    current-epoch cache entry maps to [[]]: it cannot be armed until a
+    survey repopulates the cache. Dom0-local and unmetered. *)
+
 val phase_seconds : Mc_hypervisor.Costs.t -> outcome -> phase_seconds
 (** Price the outcome's metered operations into per-component virtual CPU
     seconds (Fig. 7/8's three component curves). *)

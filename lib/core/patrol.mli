@@ -58,13 +58,21 @@ val default_config : config
 
 type outcome = {
   alarms : alarm list;  (** In raising order; duplicates across sweeps kept. *)
-  sweeps : int;
+  sweeps : int;  (** Full sweeps (every sweep, for the polling runners). *)
+  reactions : int;
+      (** Trap-triggered targeted checks ({!run_events} runners only;
+          0 for the polling runners). *)
   virtual_elapsed : float;  (** Clock at the end of the run. *)
   cpu_spent : float;  (** Dom0 CPU-seconds consumed by checking. *)
-  mean_sweep_wall : float;
+  mean_sweep_wall : float;  (** Over sweeps and reactions alike. *)
   sweep_cpus : float list;
-      (** Per-sweep CPU-seconds, in sweep order — the first/steady-state
-          split the incremental experiments read. *)
+      (** Per-full-sweep CPU-seconds, in sweep order — the
+          first/steady-state split the incremental experiments read.
+          Reaction costs are in [cpu_spent] but not listed here. *)
+  latencies_s : float list;
+      (** Trap-to-alarm detection latencies, one per integrity alarm
+          whose trap time is known, in raising order (event-driven
+          runners only). *)
 }
 
 type sweep_work = {
@@ -83,6 +91,107 @@ type sweep_work = {
 type driver = unit -> sweep_work
 (** Called once per sweep, on the sweep loop's domain; performs (or
     delegates) the sweep's checking work. *)
+
+val alarms_of_work : config -> sweep_work -> alarm list
+(** Turn one batch of checking results into alarms (with [at = 0.0]; the
+    runner stamps the time). A degraded survey raises [Quorum_loss] and
+    nothing else; list discrepancies naming a watched module are folded
+    into its [Missing_module] alarm. Exposed so external drivers (the
+    engine, the simulation harness) derive alarms exactly as the patrol
+    loop does. *)
+
+(** Event-driven checking: a long-lived session that keeps every page
+    backing the watched modules (their section footprints, their LDR
+    entries, and the [PsLoadedModuleList] walk) under hypervisor write
+    traps, and on each trap re-checks {e only the affected watch
+    sources}, immediately. The page sets come straight from the digest
+    caches' footprints — the same pages a staleness probe would inspect
+    — so arming requires a populated cache: {!Events.baseline} runs one
+    full sweep and arms from its footprints. *)
+module Events : sig
+  type session
+
+  type reaction = {
+    rx_work : sweep_work;  (** What was checked and what it metered. *)
+    rx_alarms : alarm list;  (** Stamped with the reaction's finish time. *)
+    rx_wall : float;  (** Virtual wall time of the batch. *)
+    rx_cpu : float;  (** Dom0 CPU-seconds of the batch. *)
+    rx_traps : int;  (** Write-trap events drained pool-wide. *)
+    rx_latencies : float list;
+        (** Guest-write-to-alarm latency of each integrity alarm whose
+            triggering trap is known; also fed to the
+            [patrol.detection_latency_s] telemetry histogram. *)
+  }
+
+  val create :
+    ?config:config ->
+    inc:Orchestrator.incremental ->
+    survey:(high:bool -> string -> string * Report.survey * Mc_hypervisor.Meter.t) ->
+    lists:
+      (high:bool ->
+      unit ->
+      (Orchestrator.list_comparison * Mc_hypervisor.Meter.t) option) ->
+    Mc_hypervisor.Cloud.t ->
+    session
+  (** [create ~inc ~survey ~lists cloud] builds a session around the
+      caller's checking closures — in-process orchestrator calls for
+      {!run_events}, queue submissions for the engine. [survey ~high m]
+      surveys module [m] pool-wide (with [high] hinting at queue
+      priority: [true] for trap reactions, [false] for safety sweeps)
+      and must run under a config sharing [inc], so its footprints land
+      where the session arms from. [lists] likewise runs the DKOM list
+      comparison; it is only invoked when [config.compare_lists]. *)
+
+  val set_now : session -> float -> unit
+  (** Advance every domain's trap clock to the session's virtual [now] —
+      call before mutating the cloud at a virtual time, so the traps
+      those writes raise are stamped correctly. *)
+
+  val baseline : session -> now:float -> reaction
+  (** Full sweep of every watch source regardless of traps (draining and
+      attributing any pending ones), then (re-)arm every VM from the
+      fresh footprints. Both the initial arming step and the periodic
+      safety net. *)
+
+  val react : session -> now:float -> reaction option
+  (** Drain trap events pool-wide and re-check only the watch sources
+      whose pages were written (a VM whose memory epoch changed —
+      reboot/restore, which silently voids its watches — counts as a
+      trap on everything it watched). [None] when nothing fired: an
+      idle pool costs nothing, not even a hypercall. Affected VMs are
+      re-armed afterwards. *)
+end
+
+val run_events_driven :
+  ?config:config ->
+  ?events:(float * (Mc_hypervisor.Cloud.t -> unit)) list ->
+  ?full_every_s:float ->
+  Mc_hypervisor.Cloud.t ->
+  until:float ->
+  Events.session ->
+  outcome
+(** [run_events_driven cloud ~until session] is the event-driven
+    counterpart of {!run_driven}: a baseline sweep at t=0 arms the
+    watches, then the loop processes timed [events] in order — each
+    followed immediately by {!Events.react}, so detection happens at the
+    event's time plus the targeted re-check's wall time, not at the next
+    interval boundary — with an {!Events.baseline} safety sweep every
+    [full_every_s] (default [20 × config.interval_s]) as a net under
+    anything write traps cannot see. Events with [t > until] do not
+    fire. *)
+
+val run_events :
+  ?config:config ->
+  ?events:(float * (Mc_hypervisor.Cloud.t -> unit)) list ->
+  ?full_every_s:float ->
+  Mc_hypervisor.Cloud.t ->
+  until:float ->
+  outcome
+(** [run_events cloud ~until] is {!run_events_driven} with in-process
+    checking closures: surveys run under [config.check] forced
+    incremental + Merkle (shared caches are what watches are armed
+    from), with a worker pool when [config.workers > 1]. This is the
+    CLI's [patrol --event-driven]. *)
 
 val run_driven :
   ?config:config ->
@@ -114,8 +223,11 @@ val run :
 val time_to_detect :
   outcome -> module_name:string -> infected_at:float -> float option
 (** [time_to_detect outcome ~module_name ~infected_at] is the delay from
-    infection to the first alarm naming the module at or after that time;
-    [None] when no such alarm fired. *)
+    infection to the first {e integrity} alarm ([Hash_deviation] or
+    [Missing_module]) naming the module at or after that time; [None]
+    when no such alarm fired. Availability ([Quorum_loss]) and
+    list-comparison alarms never count — a degraded sweep naming the
+    module is not a detection. *)
 
 val alarm_kind_string : alarm_kind -> string
 (** Human-readable label, e.g. ["missing module"]. *)

@@ -411,3 +411,36 @@ let patrol ?(config = Patrol.default_config) ?events t ~until =
     { Patrol.sw_surveys; sw_lists; sw_overhead = None }
   in
   Patrol.run_driven ~config ?events t.eng_cloud ~until driver
+
+let patrol_events ?(config = Patrol.default_config) ?events ?full_every_s t
+    ~until =
+  let await_response = function
+    | Ok cell -> Deferred.await cell
+    | Error rej -> failwith ("Mc_engine.patrol_events: " ^ rejection_message rej)
+  in
+  (* Trap reactions jump the queue: a write to a watched page is the
+     strongest signal the engine ever sees, so its targeted re-check runs
+     at High priority, ahead of interactive checks. The periodic safety
+     sweeps stay at Low, like polling patrol sweeps. *)
+  let survey ~high m =
+    let priority = if high then High else Low in
+    let r = await_response (submit ~priority t (Survey { module_name = m })) in
+    match r.r_outcome with
+    | Surveyed s -> (m, s, r.r_meter)
+    | Checked _ | Listed _ -> assert false
+  in
+  let lists ~high () =
+    let priority = if high then High else Low in
+    let r = await_response (submit ~priority t Lists) in
+    match r.r_outcome with
+    | Listed lc -> Some (lc, r.r_meter)
+    | Checked _ | Surveyed _ -> assert false
+  in
+  (* The session arms watches from [eng_inc] — the same shared caches
+     every engine request populates, so footprints are already warm for
+     anything the engine has checked before. *)
+  let session =
+    Patrol.Events.create ~config ~inc:t.eng_inc ~survey ~lists t.eng_cloud
+  in
+  Patrol.run_events_driven ~config ?events ?full_every_s t.eng_cloud ~until
+    session

@@ -153,3 +153,17 @@ val patrol :
     the shards, and the caches with interactive checks. [config.watch]
     must fit the engine's queue bound. The engine stays running
     afterwards. *)
+
+val patrol_events :
+  ?config:Modchecker.Patrol.config ->
+  ?events:(float * (Mc_hypervisor.Cloud.t -> unit)) list ->
+  ?full_every_s:float ->
+  t ->
+  until:float ->
+  Modchecker.Patrol.outcome
+(** Event-driven patrol ({!Modchecker.Patrol.run_events_driven}) on this
+    engine: watches are armed from the engine's shared incremental
+    caches, trap-triggered targeted re-checks are submitted at [High]
+    priority (a write to a watched page outranks interactive traffic),
+    and the periodic safety sweeps at [Low] like polling sweeps. The
+    engine stays running afterwards. *)

@@ -367,6 +367,72 @@ let patrol_tradeoff ?(vms = 6) ?(seed = 2012L) () =
       })
     [ 10.0; 30.0; 60.0; 120.0 ]
 
+type events_row = {
+  ev_label : string;
+  ev_steady_cpu_s : float;
+  ev_ttd_s : float;
+  ev_checks : int;
+}
+
+(* X14: polling vs event-driven write-trap checking. Idle steady-state
+   cost is the Dom0 CPU burned after the first (cache-filling) sweep
+   over a 600 s quiet window: polling re-checks on every interval
+   boundary regardless, traps cost nothing until a watched page is
+   written. Detection latency is measured against the same inline hook
+   landing at t=50 s — polling waits for the next boundary, the trap
+   reaction starts at the write. *)
+let events_tradeoff ?(vms = 6) ?(seed = 2012L) () =
+  let watch = [ "hal.dll"; "http.sys"; "ntoskrnl.exe" ] in
+  let config interval =
+    {
+      Modchecker.Patrol.default_config with
+      Modchecker.Patrol.watch;
+      interval_s = interval;
+    }
+  in
+  let infect cloud =
+    match Infect.inline_hook cloud ~vm:(min 2 (vms - 1)) with
+    | Ok _ -> ()
+    | Error e -> failwith e
+  in
+  let steady (o : Modchecker.Patrol.outcome) =
+    match o.Modchecker.Patrol.sweep_cpus with
+    | first :: _ -> o.Modchecker.Patrol.cpu_spent -. first
+    | [] -> o.Modchecker.Patrol.cpu_spent
+  in
+  let row label ~detect_until run =
+    let idle = run (Cloud.create ~vms ~seed ()) [] 600.0 in
+    let cloud = Cloud.create ~vms ~seed () in
+    let o = run cloud [ (50.0, infect) ] detect_until in
+    let ttd =
+      match
+        Modchecker.Patrol.time_to_detect o ~module_name:"hal.dll"
+          ~infected_at:50.0
+      with
+      | Some t -> t
+      | None -> nan
+    in
+    {
+      ev_label = label;
+      ev_steady_cpu_s = steady idle;
+      ev_ttd_s = ttd;
+      ev_checks = o.Modchecker.Patrol.sweeps + o.Modchecker.Patrol.reactions;
+    }
+  in
+  List.map
+    (fun interval ->
+      row
+        (Printf.sprintf "poll %.0fs" interval)
+        ~detect_until:(50.0 +. interval +. 20.0)
+        (fun cloud events until ->
+          Modchecker.Patrol.run ~config:(config interval) ~events cloud ~until))
+    [ 10.0; 30.0; 60.0; 120.0 ]
+  @ [
+      row "event-driven" ~detect_until:300.0 (fun cloud events until ->
+          Modchecker.Patrol.run_events ~config:(config 30.0) ~events cloud
+            ~until);
+    ]
+
 type incremental_row = {
   ir_vms : int;
   ir_full_sweep_s : float;

@@ -115,6 +115,20 @@ val patrol_tradeoff :
     trade-off; an inline hook lands at t=50 s and each row patrols with a
     different sweep interval. *)
 
+type events_row = {
+  ev_label : string;  (** ["poll 30s"] or ["event-driven"]. *)
+  ev_steady_cpu_s : float;
+      (** Dom0 CPU after the first sweep over a 600 s idle window. *)
+  ev_ttd_s : float;  (** Time from infection to first integrity alarm. *)
+  ev_checks : int;  (** Sweeps plus trap reactions of the detection run. *)
+}
+
+val events_tradeoff : ?vms:int -> ?seed:int64 -> unit -> events_row list
+(** X14: polling at several intervals vs event-driven write-trap
+    checking, on idle steady-state cost and on time-to-detect for an
+    inline hook landing at t=50 s. One row per poll interval plus one
+    for trap mode. *)
+
 type incremental_row = {
   ir_vms : int;  (** Pool size. *)
   ir_full_sweep_s : float;

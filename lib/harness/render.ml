@@ -228,6 +228,20 @@ let patrol_table rows =
          ])
        rows)
 
+let events_table rows =
+  Table.render
+    ~header:
+      [ "mode"; "steady CPU (s / 600s idle)"; "time to detect (s)"; "checks" ]
+    (List.map
+       (fun (r : Figures.events_row) ->
+         [
+           r.ev_label;
+           Printf.sprintf "%.4f" r.ev_steady_cpu_s;
+           Printf.sprintf "%.3f" r.ev_ttd_s;
+           string_of_int r.ev_checks;
+         ])
+       rows)
+
 let fault_table rows =
   Table.render
     ~header:

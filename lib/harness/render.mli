@@ -30,6 +30,10 @@ val strategy_table : Figures.strategy_row list -> string
 
 val patrol_table : Figures.patrol_row list -> string
 
+val events_table : Figures.events_row list -> string
+(** X14 rendering: polling intervals vs event-driven write traps on idle
+    cost and time-to-detect. *)
+
 val fault_table : Figures.fault_row list -> string
 (** X9 rendering: detection suite results by injected transient-fault
     rate, with retry/abort counters. *)

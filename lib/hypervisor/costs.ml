@@ -11,6 +11,8 @@ type t = {
   dirty_scan_pfn_s : float;
   retry_backoff_s : float;
   merkle_node_s : float;
+  watch_arm_pfn_s : float;
+  trap_event_s : float;
   bus_slowdown_per_busy_vm : float;
 }
 
@@ -28,5 +30,7 @@ let default =
     dirty_scan_pfn_s = 40e-9;
     retry_backoff_s = 150e-6;
     merkle_node_s = 150e-9;
+    watch_arm_pfn_s = 1.5e-6;
+    trap_event_s = 5e-6;
     bus_slowdown_per_busy_vm = 0.06;
   }

@@ -30,6 +30,14 @@ type t = {
   merkle_node_s : float;
       (** Computing one interior Merkle node: an MD5 over the 32-byte
           concatenation of two child digests (one compression block). *)
+  watch_arm_pfn_s : float;
+      (** Write-protecting (or unprotecting) one guest frame: an EPT/shadow
+          permission flip plus TLB shootdown share, amortized over a batch
+          (the batch's domctl round trip is priced as a hypercall). *)
+  trap_event_s : float;
+      (** Delivering one write-trap event to Dom0: the guest's #PF VM-exit,
+          the hypervisor logging the event and dropping the protection, and
+          Dom0's share of reading it out of the ring. *)
   bus_slowdown_per_busy_vm : float;
       (** Fractional slowdown of memory-bound work per concurrently
           bus-hungry VM (saturating at the core count). *)

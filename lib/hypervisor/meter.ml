@@ -23,6 +23,8 @@ type counts = {
   mutable pfns_checked : int;
   mutable retry_backoffs : int;
   mutable merkle_nodes : int;
+  mutable watch_arms : int;
+  mutable trap_events : int;
 }
 
 let zero () =
@@ -39,6 +41,8 @@ let zero () =
     pfns_checked = 0;
     retry_backoffs = 0;
     merkle_nodes = 0;
+    watch_arms = 0;
+    trap_events = 0;
   }
 
 type t = {
@@ -63,7 +67,9 @@ let clear c =
   c.hypercalls <- 0;
   c.pfns_checked <- 0;
   c.retry_backoffs <- 0;
-  c.merkle_nodes <- 0
+  c.merkle_nodes <- 0;
+  c.watch_arms <- 0;
+  c.trap_events <- 0
 
 let reset t =
   clear t.searcher;
@@ -106,6 +112,10 @@ let add_retry_backoffs t n =
 
 let add_merkle_nodes t n = (current t).merkle_nodes <- (current t).merkle_nodes + n
 
+let add_watch_arms t n = (current t).watch_arms <- (current t).watch_arms + n
+
+let add_trap_events t n = (current t).trap_events <- (current t).trap_events + n
+
 let merge_counts dst src =
   dst.pages_mapped <- dst.pages_mapped + src.pages_mapped;
   dst.bytes_copied <- dst.bytes_copied + src.bytes_copied;
@@ -118,7 +128,9 @@ let merge_counts dst src =
   dst.hypercalls <- dst.hypercalls + src.hypercalls;
   dst.pfns_checked <- dst.pfns_checked + src.pfns_checked;
   dst.retry_backoffs <- dst.retry_backoffs + src.retry_backoffs;
-  dst.merkle_nodes <- dst.merkle_nodes + src.merkle_nodes
+  dst.merkle_nodes <- dst.merkle_nodes + src.merkle_nodes;
+  dst.watch_arms <- dst.watch_arms + src.watch_arms;
+  dst.trap_events <- dst.trap_events + src.trap_events
 
 let merge dst src =
   merge_counts dst.searcher src.searcher;
@@ -139,6 +151,8 @@ let pairs k =
     ("pfns_checked", k.pfns_checked);
     ("retry_backoffs", k.retry_backoffs);
     ("merkle_nodes", k.merkle_nodes);
+    ("watch_arms", k.watch_arms);
+    ("trap_events", k.trap_events);
   ]
 
 let cpu_seconds (c : Costs.t) k =
@@ -154,6 +168,8 @@ let cpu_seconds (c : Costs.t) k =
   +. (float_of_int k.pfns_checked *. c.dirty_scan_pfn_s)
   +. (float_of_int k.retry_backoffs *. c.retry_backoff_s)
   +. (float_of_int k.merkle_nodes *. c.merkle_node_s)
+  +. (float_of_int k.watch_arms *. c.watch_arm_pfn_s)
+  +. (float_of_int k.trap_events *. c.trap_event_s)
 
 let total_cpu_seconds costs t =
   cpu_seconds costs t.searcher +. cpu_seconds costs t.parser

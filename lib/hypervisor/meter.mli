@@ -27,6 +27,8 @@ type counts = {
   mutable pfns_checked : int;
   mutable retry_backoffs : int;
   mutable merkle_nodes : int;
+  mutable watch_arms : int;
+  mutable trap_events : int;
 }
 
 type t
@@ -70,6 +72,13 @@ val add_retry_backoffs : t -> int -> unit
 val add_merkle_nodes : t -> int -> unit
 (** Count interior Merkle digests computed (32-byte MD5 roll-ups); leaf
     hashing is already counted as bytes hashed. *)
+
+val add_watch_arms : t -> int -> unit
+(** Count frames write-protected or unprotected by a watch domctl; the
+    domctl round trip itself is counted as a hypercall. *)
+
+val add_trap_events : t -> int -> unit
+(** Count write-trap events delivered to Dom0 by a drain. *)
 
 val merge : t -> t -> unit
 (** [merge dst src] adds every counter of [src] into [dst], phase by

@@ -39,12 +39,17 @@ let map_foreign_page ?meter ?(attempt = 1) (dom : Dom.t) pfn =
   Phys.read_page (phys dom) pfn
 
 let read_foreign_pa ?meter dom paddr dst off len =
-  let page = Phys.frame_size in
-  let first = paddr / page and last = (paddr + len - 1) / page in
-  bump meter (fun m ->
-      Meter.add_pages_mapped m (last - first + 1);
-      Meter.add_bytes_copied m len);
-  Phys.read (phys dom) paddr dst off len
+  (* A zero-length read maps nothing and copies nothing. Without the
+     guard, [last] computes to the page *before* [first] and the meter
+     would be charged a bogus (first > last: negative) page count. *)
+  if len > 0 then begin
+    let page = Phys.frame_size in
+    let first = paddr / page and last = (paddr + len - 1) / page in
+    bump meter (fun m ->
+        Meter.add_pages_mapped m (last - first + 1);
+        Meter.add_bytes_copied m len);
+    Phys.read (phys dom) paddr dst off len
+  end
 
 (* --- log-dirty (XEN_DOMCTL_SHADOW_OP_* analogues) ---------------------- *)
 
@@ -63,6 +68,38 @@ let peek_dirty ?meter dom =
 let clean_dirty ?meter dom =
   bump meter (fun m -> Meter.add_hypercalls m 1);
   Phys.clean_dirty (phys dom)
+
+(* --- write traps (vm_event / monitor-op analogues) --------------------- *)
+
+(* Like the log-dirty domctls, watch management is Dom0 control-plane
+   traffic and is not subject to the domain's fault plan. *)
+
+let watch_pages ?meter dom pfns =
+  bump meter (fun m ->
+      Meter.add_hypercalls m 1;
+      Meter.add_watch_arms m (List.length pfns));
+  Phys.watch_frames (phys dom) pfns
+
+let unwatch_pages ?meter dom pfns =
+  bump meter (fun m ->
+      Meter.add_hypercalls m 1;
+      Meter.add_watch_arms m (List.length pfns));
+  Phys.unwatch_frames (phys dom) pfns
+
+let watched_pfns dom = Phys.watched_frames (phys dom)
+
+let pending_trap_events dom = Phys.pending_watch_events (phys dom)
+
+let drain_events ?meter dom =
+  match Phys.drain_watch_events (phys dom) with
+  | [] -> []  (* delivery is push: an empty ring costs Dom0 nothing *)
+  | evs ->
+      bump meter (fun m ->
+          Meter.add_hypercalls m 1;
+          Meter.add_trap_events m (List.length evs));
+      evs
+
+let set_trap_clock dom now = Phys.set_watch_clock (phys dom) now
 
 let memory_epoch dom = Phys.uid (phys dom)
 

@@ -31,7 +31,43 @@ val read_foreign_pa :
   ?meter:Meter.t -> Dom.t -> int -> Bytes.t -> int -> int -> unit
 (** [read_foreign_pa dom paddr dst off len] reads guest-physical memory,
     metering one page map per page boundary the range touches plus the
-    bytes copied. *)
+    bytes copied. A zero-length read is a no-op and meters nothing. *)
+
+(** {1 Write traps}
+
+    The analogue of Xen's vm_event write-monitoring: Dom0 write-protects
+    chosen guest frames; the first guest write to one raises a trap that
+    logs a timestamped event and drops the protection (so hot pages
+    coalesce to one event per arm cycle). Like the log-dirty domctls,
+    these are control-plane calls and are not subject to the domain's
+    fault plan. *)
+
+val watch_pages : ?meter:Meter.t -> Dom.t -> int list -> unit
+(** [watch_pages dom pfns] write-protects the given frames. One metered
+    hypercall for the batch plus one watch-arm unit per frame. *)
+
+val unwatch_pages : ?meter:Meter.t -> Dom.t -> int list -> unit
+(** Drop write protection without trapping; priced like {!watch_pages}. *)
+
+val watched_pfns : Dom.t -> int list
+(** Currently write-protected frames, ascending (test introspection; a
+    real Dom0 tracks this itself, so it is unmetered). *)
+
+val pending_trap_events : Dom.t -> int
+(** Undelivered trap events queued on the domain (unmetered
+    introspection). *)
+
+val drain_events : ?meter:Meter.t -> Dom.t -> Mc_memsim.Phys.watch_event list
+(** [drain_events dom] returns and clears the domain's queued write-trap
+    events, FIFO. Priced as one hypercall plus one trap-event unit per
+    event delivered; an empty queue costs nothing (delivery is push — an
+    idle domain never wakes Dom0). Each event's frame was disarmed by
+    its trap; re-arm with {!watch_pages}. *)
+
+val set_trap_clock : Dom.t -> float -> unit
+(** Advance the virtual timestamp stamped onto subsequent trap events.
+    Free: simulation plumbing standing in for the hypervisor's own
+    clock. *)
 
 (** {1 Log-dirty tracking}
 

@@ -6,12 +6,17 @@ let frame_size = 4096
    counters happen to coincide. *)
 let uid_counter = Atomic.make 1
 
+type watch_event = { we_pfn : int; we_at : float; we_version : int }
+
 type t = {
   frames : (int, Bytes.t) Hashtbl.t;
   versions : (int, int) Hashtbl.t;  (** pfn → write version (absent = 0). *)
   dirty : (int, unit) Hashtbl.t;  (** log-dirty bitmap, while enabled. *)
   mutable log_dirty : bool;
   mutable write_gen : int;
+  watched : (int, unit) Hashtbl.t;  (** write-protected frames. *)
+  traps : watch_event Queue.t;  (** undelivered write-trap events, FIFO. *)
+  mutable watch_clock : float;  (** timestamp stamped onto trap events. *)
   uid : int;
   max_frames : int;
   mutable next_pfn : int;
@@ -24,6 +29,9 @@ let create ?(max_frames = 65536) () =
     dirty = Hashtbl.create 64;
     log_dirty = false;
     write_gen = 0;
+    watched = Hashtbl.create 16;
+    traps = Queue.create ();
+    watch_clock = 0.0;
     uid = Atomic.fetch_and_add uid_counter 1;
     max_frames;
     next_pfn = 1;
@@ -40,7 +48,33 @@ let page_version t pfn =
 let touch t pfn =
   Hashtbl.replace t.versions pfn (page_version t pfn + 1);
   t.write_gen <- t.write_gen + 1;
-  if t.log_dirty then Hashtbl.replace t.dirty pfn ()
+  if t.log_dirty then Hashtbl.replace t.dirty pfn ();
+  if Hashtbl.mem t.watched pfn then begin
+    (* The first write faults; the handler records the event and drops
+       the write protection so the guest can proceed at full speed.
+       Further writes are trap-free until the page is re-armed, so
+       repeated writes to a hot page coalesce into one event. *)
+    Hashtbl.remove t.watched pfn;
+    Queue.add
+      { we_pfn = pfn; we_at = t.watch_clock; we_version = page_version t pfn }
+      t.traps
+  end
+
+let watch_frames t pfns = List.iter (fun pfn -> Hashtbl.replace t.watched pfn ()) pfns
+
+let unwatch_frames t pfns = List.iter (fun pfn -> Hashtbl.remove t.watched pfn) pfns
+
+let watched_frames t =
+  List.sort compare (Hashtbl.fold (fun pfn () acc -> pfn :: acc) t.watched [])
+
+let set_watch_clock t now = t.watch_clock <- now
+
+let pending_watch_events t = Queue.length t.traps
+
+let drain_watch_events t =
+  let evs = List.of_seq (Queue.to_seq t.traps) in
+  Queue.clear t.traps;
+  evs
 
 let set_log_dirty t on =
   t.log_dirty <- on;
@@ -113,6 +147,9 @@ let deep_copy t =
     versions = Hashtbl.copy t.versions;
     dirty = Hashtbl.create 64;
     log_dirty = false;
+    watched = Hashtbl.create 16;
+    traps = Queue.create ();
+    watch_clock = 0.0;
     write_gen = t.write_gen;
     uid = Atomic.fetch_and_add uid_counter 1;
     max_frames = t.max_frames;

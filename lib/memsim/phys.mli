@@ -42,6 +42,39 @@ val clean_dirty : t -> int list
 (** Like {!peek_dirty} but atomically clears the bitmap — Xen's
     peek-and-clean hypercall. *)
 
+type watch_event = {
+  we_pfn : int;  (** the frame that was written *)
+  we_at : float;  (** the watch clock at the moment of the write *)
+  we_version : int;  (** the frame's write version after the write *)
+}
+(** One write trap: the first guest write to a watched frame. *)
+
+val watch_frames : t -> int list -> unit
+(** [watch_frames t pfns] write-protects the given frames. The first
+    write to a watched frame enqueues a {!watch_event} and removes the
+    protection (one trap per arm cycle — repeated writes coalesce until
+    the frame is re-armed). Watching an already-watched frame is a
+    no-op. *)
+
+val unwatch_frames : t -> int list -> unit
+(** Drop write protection from the given frames without trapping. *)
+
+val watched_frames : t -> int list
+(** Currently write-protected frames, ascending. *)
+
+val set_watch_clock : t -> float -> unit
+(** Set the timestamp stamped onto subsequent trap events. Phys has no
+    clock of its own; the simulation driver advances this alongside its
+    virtual clock. *)
+
+val pending_watch_events : t -> int
+(** Number of undelivered trap events. *)
+
+val drain_watch_events : t -> watch_event list
+(** Return all undelivered trap events in FIFO order and clear the
+    queue. Each drained event's frame is no longer watched (the trap
+    disarmed it); re-arm with {!watch_frames} after reacting. *)
+
 val alloc_frame : t -> int
 (** [alloc_frame t] reserves a fresh zeroed frame and returns its frame
     number (pfn). Raises [Failure] when [max_frames] is exhausted. *)
@@ -68,7 +101,9 @@ val write_u32 : t -> int -> int32 -> unit
 val deep_copy : t -> t
 (** [deep_copy t] duplicates the whole physical memory (every allocated
     frame) — the substrate of VM snapshots. The copy gets a fresh {!uid}
-    and starts with log-dirty off. *)
+    and starts with log-dirty off, no watched frames, and an empty trap
+    queue (write protection is a property of the live mapping, not of
+    the bytes). *)
 
 val read_page : t -> int -> Bytes.t
 (** [read_page t pfn] copies out one whole frame — the unit of access used

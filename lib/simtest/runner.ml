@@ -68,6 +68,38 @@ let run ?(break_checker = false) ?(quorum = Report.default_quorum)
     |> Config.with_strategy Orchestrator.Canonical
   in
   let incr_cfg = Config.with_incremental incremental base_cfg in
+  (* The event-driven patrol session lives for the whole campaign on its
+     own incremental state (so [break_checker]'s sabotage of the survey
+     cache cannot leak into it), reacting to write traps after every
+     event against the oracle's prediction. *)
+  let ev_inc = Orchestrator.create_incremental () in
+  let ev_check =
+    base_cfg |> Config.with_incremental ev_inc |> Config.with_merkle true
+  in
+  let ev_cfg =
+    {
+      Patrol.watch;
+      interval_s = 30.0;
+      costs = Costs.default;
+      workers = 1;
+      compare_lists = true;
+      incremental = true;
+      check = ev_check;
+    }
+  in
+  let ev_survey ~high:_ module_name =
+    let meter = Meter.create () in
+    let s = Orchestrator.survey ~config:ev_check ~meter cloud ~module_name in
+    (module_name, s, meter)
+  in
+  let ev_lists ~high:_ () =
+    let m = Meter.create () in
+    Some (Orchestrator.survey_module_lists ~config:ev_check ~meter:m cloud, m)
+  in
+  let session =
+    Patrol.Events.create ~config:ev_cfg ~inc:ev_inc ~survey:ev_survey
+      ~lists:ev_lists cloud
+  in
   let pool = ref None in
   let get_pool () =
     match !pool with
@@ -235,6 +267,111 @@ let run ?(break_checker = false) ?(quorum = Report.default_quorum)
       |> List.map (fun (m, miss) -> ("list_discrepancy", m, miss))
     in
     per_watch @ lists
+  in
+
+  let norm_alarms alarms =
+    List.map
+      (fun (a : Patrol.alarm) ->
+        ( Patrol.alarm_kind_key a.Patrol.kind,
+          a.Patrol.alarm_module,
+          List.sort compare a.Patrol.alarm_vms ))
+      alarms
+    |> List.sort compare
+  in
+  let fmt_alarm_set l =
+    String.concat ";"
+      (List.map (fun (k, m, vs) -> Printf.sprintf "%s:%s:[%s]" k m (ints vs)) l)
+  in
+  let integrity_only = List.filter (fun (k, _, _) -> k <> "quorum_loss") in
+  (* Under an armed fault plan alarm sets are not exactly predictable
+     (dropouts change votes), but impossible claims never are: a
+     deviation needs an infected copy, an absence report needs a really
+     absent module. Mirrors the sweep validation. *)
+  let check_impossible_claims ~what alarms =
+    List.iter
+      (fun (kind, m, vs) ->
+        if kind = "hash_deviation" && not (Oracle.deviation_possible oracle m)
+        then
+          failf
+            "%s: hash deviation on %s but no infected copy exists (false \
+             positive)"
+            what m;
+        if kind = "missing_module" || kind = "list_discrepancy" then
+          List.iter
+            (fun v ->
+              if Oracle.visible oracle v m then
+                failf "%s: %s reported absent on VM %d but it is loaded" what m
+                  v)
+            vs)
+      alarms
+  in
+  let validate_reaction_work ~what (r : Patrol.Events.reaction) =
+    List.iter
+      (fun (m, s, _) -> validate_survey ~what m s)
+      r.Patrol.Events.rx_work.Patrol.sw_surveys;
+    (match r.Patrol.Events.rx_work.Patrol.sw_lists with
+    | Some (lc, _) -> validate_lists ~what lc
+    | None -> ());
+    (* Every trap behind this reaction was stamped at the reaction's own
+       virtual [now], so each latency is exactly the reaction's wall
+       time; a latency outside [0, wall] means a trap leaked across
+       steps or the attribution picked the wrong trap. *)
+    List.iter
+      (fun l ->
+        if l < 0.0 || l > r.Patrol.Events.rx_wall +. 1e-9 then
+          failf "%s: detection latency %.6f outside [0, %.6f]" what l
+            r.Patrol.Events.rx_wall)
+      r.Patrol.Events.rx_latencies
+  in
+  let validate_reaction ~what ~expected_before ~expected_after r =
+    let armed = Oracle.faults_armed oracle in
+    let before_i = integrity_only expected_before in
+    let after_i = integrity_only expected_after in
+    let fresh = List.filter (fun e -> not (List.mem e before_i)) after_i in
+    match r with
+    | None ->
+        if (not armed) && fresh <> [] then
+          failf
+            "%s: no trap reaction fired, but the event created alarms the \
+             oracle expects: {%s}"
+            what (fmt_alarm_set fresh)
+    | Some r ->
+        validate_reaction_work ~what r;
+        let actual_i = integrity_only (norm_alarms r.Patrol.Events.rx_alarms) in
+        if not armed then begin
+          List.iter
+            (fun e ->
+              if not (List.mem e after_i) then
+                failf "%s: alarm %s not predicted by the oracle (false \
+                       positive)"
+                  what
+                  (fmt_alarm_set [ e ]))
+            actual_i;
+          List.iter
+            (fun e ->
+              if not (List.mem e actual_i) then
+                failf
+                  "%s: expected new alarm %s was not raised by the trap \
+                   reaction"
+                  what
+                  (fmt_alarm_set [ e ]))
+            fresh
+        end
+        else check_impossible_claims ~what actual_i
+  in
+  (* A full (baseline / safety) sweep checks everything, so on a clean
+     fault plan its alarm set must equal the oracle's prediction exactly
+     — same contract as the polling sweep. *)
+  let validate_trap_full ~what (r : Patrol.Events.reaction) =
+    validate_reaction_work ~what r;
+    let actual = norm_alarms r.Patrol.Events.rx_alarms in
+    if not (Oracle.faults_armed oracle) then begin
+      let expected = List.sort compare (expected_alarms ()) in
+      if actual <> expected then
+        failf "%s alarms {%s}, oracle says {%s}" what (fmt_alarm_set actual)
+          (fmt_alarm_set expected)
+    end
+    else check_impossible_claims ~what (integrity_only actual)
   in
 
   let run_sweep () =
@@ -652,9 +789,21 @@ let run ?(break_checker = false) ?(quorum = Report.default_quorum)
 
   let failure = ref None in
   (try
+     Patrol.Events.set_now session 0.0;
+     let b = Patrol.Events.baseline session ~now:0.0 in
+     validate_trap_full ~what:"trap baseline" b;
+     out "trap baseline: %d alarms, cpu=%.6f"
+       (List.length b.Patrol.Events.rx_alarms)
+       b.Patrol.Events.rx_cpu;
      List.iteri
        (fun step ev ->
          step_ref := step;
+         (* Stamp this step's guest writes with its virtual time, and
+            remember what the oracle expected before the event so the
+            reaction can be held to exactly the alarms it created. *)
+         let ev_now = float_of_int (step + 1) in
+         Patrol.Events.set_now session ev_now;
+         let expected_before = List.sort compare (expected_alarms ()) in
          let line = Event.to_string ev in
          (match precondition ev with
          | Error reason ->
@@ -669,11 +818,31 @@ let run ?(break_checker = false) ?(quorum = Report.default_quorum)
              | Error note ->
                  incr skipped;
                  out "    -> skipped (%s)" note));
+         let expected_after = List.sort compare (expected_alarms ()) in
+         let rx = Patrol.Events.react session ~now:ev_now in
+         validate_reaction
+           ~what:(Printf.sprintf "trap reaction (step %d)" step)
+           ~expected_before ~expected_after rx;
+         (match rx with
+         | Some r ->
+             out "    trap reaction: %d trap(s), %d alarm(s), wall=%.6f"
+               r.Patrol.Events.rx_traps
+               (List.length r.Patrol.Events.rx_alarms)
+               r.Patrol.Events.rx_wall
+         | None -> ());
          if break_checker then sabotage step;
          check_phase step ev)
        sc.Event.sc_events;
      (* End-of-campaign accounting. *)
      step_ref := List.length sc.Event.sc_events;
+     (* One final safety sweep: after everything the campaign did, the
+        trap session's full re-check must land exactly on the oracle's
+        terminal state. *)
+     let fin = float_of_int (List.length sc.Event.sc_events + 1) in
+     Patrol.Events.set_now session fin;
+     let f = Patrol.Events.baseline session ~now:fin in
+     validate_trap_full ~what:"final trap sweep" f;
+     out "final trap sweep: %d alarms" (List.length f.Patrol.Events.rx_alarms);
      (match !engine with
      | Some e ->
          Mc_engine.drain e;

@@ -243,6 +243,53 @@ let test_xenctl_foreign_page () =
     (Bytes.get_uint16_le page (pa mod Mc_memsim.Phys.frame_size));
   check Alcotest.int "metered" 1 (Meter.get meter Meter.Searcher).Meter.pages_mapped
 
+let test_read_foreign_pa_zero_len () =
+  (* A zero-length read used to meter [last - first + 1] pages with
+     [last] one page before [first] — a bogus negative-ish charge. It
+     must map and copy nothing. *)
+  let cloud = Cloud.create ~vms:1 ~seed:5L () in
+  let d = Cloud.vm cloud 0 in
+  let meter = Meter.create () in
+  Xenctl.read_foreign_pa ~meter d (3 * Mc_memsim.Phys.frame_size) Bytes.empty 0 0;
+  let k = Meter.get meter Meter.Searcher in
+  check Alcotest.int "no pages mapped" 0 k.Meter.pages_mapped;
+  check Alcotest.int "no bytes copied" 0 k.Meter.bytes_copied;
+  (* And a 1-byte read still meters exactly one page. *)
+  Xenctl.read_foreign_pa ~meter d (3 * Mc_memsim.Phys.frame_size) (Bytes.create 1) 0 1;
+  check Alcotest.int "one page for one byte" 1 k.Meter.pages_mapped
+
+let test_watch_hypercalls () =
+  let cloud = Cloud.create ~vms:1 ~seed:5L () in
+  let d = Cloud.vm cloud 0 in
+  let meter = Meter.create () in
+  let kernel = Dom.kernel_exn d in
+  let phys = Kernel.phys kernel in
+  let pfn = Mc_memsim.Phys.alloc_frame phys in
+  Xenctl.watch_pages ~meter d [ pfn ];
+  let k = Meter.get meter Meter.Searcher in
+  check Alcotest.int "arm: one hypercall" 1 k.Meter.hypercalls;
+  check Alcotest.int "arm: one watch-arm unit" 1 k.Meter.watch_arms;
+  (* Draining an empty ring is free — delivery is push. *)
+  check Alcotest.int "nothing pending" 0 (Xenctl.pending_trap_events d);
+  ignore (Xenctl.drain_events ~meter d);
+  check Alcotest.int "empty drain costs nothing" 1 k.Meter.hypercalls;
+  Xenctl.set_trap_clock d 42.0;
+  Mc_memsim.Phys.write phys (pfn * Mc_memsim.Phys.frame_size)
+    (Bytes.of_string "x") 0 1;
+  (match Xenctl.drain_events ~meter d with
+  | [ e ] ->
+      check Alcotest.int "trapped pfn" pfn e.Mc_memsim.Phys.we_pfn;
+      check (Alcotest.float 1e-9) "trap clock" 42.0 e.Mc_memsim.Phys.we_at
+  | evs -> Alcotest.fail (Printf.sprintf "expected 1 event, got %d" (List.length evs)));
+  check Alcotest.int "drain: second hypercall" 2 k.Meter.hypercalls;
+  check Alcotest.int "drain: one trap-event unit" 1 k.Meter.trap_events;
+  (* The new counters price into CPU seconds. *)
+  check feq "watch work priced"
+    ((2.0 *. Costs.default.Costs.hypercall_s)
+    +. Costs.default.Costs.watch_arm_pfn_s
+    +. Costs.default.Costs.trap_event_s)
+    (Meter.cpu_seconds Costs.default k)
+
 let test_dom_kernel_exn () =
   let d = Dom.create ~dom_id:0 ~dom_name:"Domain-0" None in
   Alcotest.check_raises "no kernel" (Failure "domain Domain-0 has no kernel")
@@ -324,6 +371,10 @@ let () =
       ( "xenctl",
         [
           Alcotest.test_case "foreign page" `Quick test_xenctl_foreign_page;
+          Alcotest.test_case "zero-length read" `Quick
+            test_read_foreign_pa_zero_len;
+          Alcotest.test_case "write-trap hypercalls" `Quick
+            test_watch_hypercalls;
           Alcotest.test_case "kernel_exn" `Quick test_dom_kernel_exn;
           Alcotest.test_case "log-dirty" `Quick test_log_dirty;
           Alcotest.test_case "pages_unchanged" `Quick test_pages_unchanged;

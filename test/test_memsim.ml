@@ -111,6 +111,55 @@ let test_phys_exhaustion () =
     (Failure "Phys.alloc_frame: out of physical memory") (fun () ->
       ignore (Phys.alloc_frame phys))
 
+let test_watch_traps () =
+  let phys = Phys.create () in
+  let a = Phys.alloc_frame phys and b = Phys.alloc_frame phys in
+  Phys.watch_frames phys [ a; b ];
+  check Alcotest.(list int) "armed" (List.sort compare [ a; b ])
+    (Phys.watched_frames phys);
+  Phys.set_watch_clock phys 12.5;
+  Phys.write phys (a * page) (Bytes.of_string "x") 0 1;
+  Phys.set_watch_clock phys 13.0;
+  Phys.write phys (a * page) (Bytes.of_string "y") 0 1;
+  (* The first write trapped and disarmed the frame; the second write is
+     trap-free, so the two coalesce into one event at the first time. *)
+  check Alcotest.int "one pending event" 1 (Phys.pending_watch_events phys);
+  check Alcotest.(list int) "a disarmed, b still armed" [ b ]
+    (Phys.watched_frames phys);
+  (match Phys.drain_watch_events phys with
+  | [ e ] ->
+      check Alcotest.int "trapped pfn" a e.Phys.we_pfn;
+      check (Alcotest.float 1e-9) "stamped with the first write's clock" 12.5
+        e.Phys.we_at;
+      check Alcotest.int "version after the write" 1 e.Phys.we_version
+  | evs -> Alcotest.fail (Printf.sprintf "expected 1 event, got %d" (List.length evs)));
+  check Alcotest.int "drain cleared the queue" 0 (Phys.pending_watch_events phys);
+  (* Re-arming traps again. *)
+  Phys.watch_frames phys [ a ];
+  Phys.set_watch_clock phys 20.0;
+  Phys.write phys (a * page) (Bytes.of_string "z") 0 1;
+  check Alcotest.int "re-armed frame traps again" 1
+    (Phys.pending_watch_events phys);
+  ignore (Phys.drain_watch_events phys);
+  (* unwatch never traps. *)
+  Phys.unwatch_frames phys [ b ];
+  Phys.write phys (b * page) (Bytes.of_string "w") 0 1;
+  check Alcotest.int "unwatched frame is silent" 0
+    (Phys.pending_watch_events phys);
+  check Alcotest.(list int) "nothing armed" [] (Phys.watched_frames phys)
+
+let test_watch_not_copied () =
+  let phys = Phys.create () in
+  let a = Phys.alloc_frame phys in
+  Phys.watch_frames phys [ a ];
+  Phys.write phys (a * page) (Bytes.of_string "x") 0 1;
+  let copy = Phys.deep_copy phys in
+  check Alcotest.(list int) "copy has no watches" [] (Phys.watched_frames copy);
+  check Alcotest.int "copy has no pending events" 0
+    (Phys.pending_watch_events copy);
+  check Alcotest.int "original keeps its event" 1
+    (Phys.pending_watch_events phys)
+
 let test_read_page () =
   let phys = Phys.create () in
   let pfn = Phys.alloc_frame phys in
@@ -253,6 +302,8 @@ let () =
           Alcotest.test_case "u32" `Quick test_phys_u32;
           Alcotest.test_case "exhaustion" `Quick test_phys_exhaustion;
           Alcotest.test_case "read_page" `Quick test_read_page;
+          Alcotest.test_case "write traps" `Quick test_watch_traps;
+          Alcotest.test_case "watches not copied" `Quick test_watch_not_copied;
         ] );
       ( "pagetable",
         [
