@@ -424,6 +424,68 @@ let federation_scale () =
        (Mc_harness.Figures.federation_scale ()))
 
 (* ------------------------------------------------------------------ *)
+(* X15: million-request traffic replay over the serving stack          *)
+(* ------------------------------------------------------------------ *)
+
+let traffic_replay () =
+  section
+    "X15: million-request traffic replay — requests/s vs shards vs coalesce \
+     rate, every response attested into a hash-chained ledger \
+     (MODCHECKER_X15_REQUESTS overrides the volume for a quick pass)";
+  let total =
+    match Sys.getenv_opt "MODCHECKER_X15_REQUESTS" with
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n when n >= 3 -> n
+        | _ -> 1_000_000)
+    | None -> 1_000_000
+  in
+  let per_row = (total + 2) / 3 in
+  let rows =
+    Mc_harness.Figures.replay_throughput ~shard_counts:[ 1; 2; 4 ]
+      ~requests:per_row ()
+  in
+  print_string (Mc_harness.Render.replay_table rows);
+  let row n = List.find (fun r -> r.Mc_harness.Figures.rp_shards = n) rows in
+  let r1 = row 1 and r4 = row 4 in
+  let scale = r4.Mc_harness.Figures.rp_rps /. r1.Mc_harness.Figures.rp_rps in
+  let scale_ok = scale >= 2.0 in
+  let ledger_ok =
+    List.for_all (fun r -> r.Mc_harness.Figures.rp_ledger_ok) rows
+  in
+  Printf.printf
+    "%d requests replayed; 1->4 shard virtual throughput scaling %.2fx %s\n"
+    (3 * per_row) scale
+    (if scale_ok then "(floor is 2x: OK)" else "(REGRESSION: floor is 2x)");
+  Printf.printf "every row's ledger chain verified: %s\n"
+    (if ledger_ok then "OK" else "FAILED");
+  (* Offline tamper evidence on a file, the way an auditor meets it:
+     stream a session's ledger to disk, verify, flip one byte, verify
+     again. *)
+  let path = Filename.temp_file "modchecker_x15" ".ledger" in
+  let oc = open_out path in
+  let ledger = Mc_ledger.create ~sink:(output_string oc) () in
+  let o = Mc_simtest.Traffic.replay ~ledger ~seed:2015L ~requests:2000 () in
+  close_out oc;
+  let clean =
+    match Mc_ledger.verify_file ~expect_head:(Mc_ledger.head ledger) path with
+    | Ok s -> s.Mc_ledger.sum_entries = o.Mc_simtest.Traffic.to_responses
+    | Error _ -> false
+  in
+  let fd = open_out_gen [ Open_wronly ] 0o600 path in
+  seek_out fd 200;
+  output_char fd '!';
+  close_out fd;
+  let tampered_caught =
+    match Mc_ledger.verify_file path with Ok _ -> false | Error _ -> true
+  in
+  Printf.printf "ledger file verify: clean %s, 1-byte corruption %s\n"
+    (if clean then "OK" else "FAILED")
+    (if tampered_caught then "detected" else "MISSED");
+  Sys.remove path;
+  if not (scale_ok && ledger_ok && clean && tampered_caught) then exit 1
+
+(* ------------------------------------------------------------------ *)
 (* Telemetry snapshot of everything the harness just ran               *)
 (* ------------------------------------------------------------------ *)
 
@@ -445,6 +507,7 @@ let () =
   real_parallel ();
   engine_throughput ();
   federation_scale ();
+  traffic_replay ();
   (* Micro-benchmarks loop hot code millions of times; keep the registry
      out of their inner loops. *)
   Mc_telemetry.Registry.set_enabled false;

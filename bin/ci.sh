@@ -318,3 +318,36 @@ grep -q ' 0 reactions' "$ev" || {
   exit 1
 }
 echo "event-driven smoke OK: hook caught in ${latency}s, clean run idle"
+
+echo "== serving & attestation smoke (200-request stream, hash-chained ledger) =="
+ledger="$(mktemp -t modchecker_ledger.XXXXXX.jsonl)"
+stream_out="$(mktemp -t modchecker_stream.XXXXXX.jsonl)"
+trap 'rm -f "$trace" "$metrics" "$detect" "$reqs" "$serve_out" "$sim1" "$sim2" "$simfail" "$fed" "$merkle_fig" "$ev" "$ledger" "$stream_out"' EXIT
+
+# A clean 8-VM pool must stream all 200 mixed-priority requests to exit 0
+# (set -e enforces it), answering every frame on the wire.
+dune exec --no-build bin/modchecker_cli.exe -- \
+  serve --stream --requests bin/serve_smoke.requests --vms 8 \
+  --ledger "$ledger" > "$stream_out"
+responses="$(grep -c '"type":"response"' "$stream_out" || true)"
+if [ "$responses" -ne 200 ]; then
+  echo "ci: serve stream smoke failed: $responses wire responses (want 200)" >&2
+  exit 1
+fi
+
+# The attestation chain must verify offline...
+dune exec --no-build bin/modchecker_cli.exe -- \
+  ledger verify "$ledger" > /dev/null
+
+# ...and one flipped byte must break it with a non-zero exit.
+printf '!' | dd of="$ledger" bs=1 seek=120 conv=notrunc 2>/dev/null
+set +e
+dune exec --no-build bin/modchecker_cli.exe -- \
+  ledger verify "$ledger" > /dev/null 2>&1
+ledger_status=$?
+set -e
+if [ "$ledger_status" -eq 0 ]; then
+  echo "ci: ledger smoke failed: a corrupted chain verified" >&2
+  exit 1
+fi
+echo "serving & attestation smoke OK: 200 responses, chain verified, corruption caught"

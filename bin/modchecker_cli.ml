@@ -438,7 +438,7 @@ let detect_cmd =
 type which_figure =
   | Fig7 | Fig8 | Fig9 | Ablation | Parallelism | Baselines | Strategy
   | PatrolFig | Incremental | MerkleFig | Faults | EngineFig | FederationFig
-  | EventsFig
+  | EventsFig | ReplayFig
   | All
 
 let which_arg =
@@ -452,7 +452,7 @@ let which_arg =
              ("patrol", PatrolFig); ("incremental", Incremental);
              ("merkle", MerkleFig); ("faults", Faults); ("engine", EngineFig);
              ("federation", FederationFig); ("events", EventsFig);
-             ("all", All) ])
+             ("replay", ReplayFig); ("all", All) ])
         All
     & info [ "which" ] ~docv:"WHICH" ~doc)
 
@@ -525,6 +525,11 @@ let run_figures which vms cores seed =
       (Mc_harness.Render.events_table
          (Mc_harness.Figures.events_tradeoff ~seed ()))
   in
+  let replay_fig () =
+    print_string
+      (Mc_harness.Render.replay_table
+         (Mc_harness.Figures.replay_throughput ~seed ()))
+  in
   match which with
   | Fig7 -> fig7 ()
   | Fig8 -> fig8 ()
@@ -540,6 +545,7 @@ let run_figures which vms cores seed =
   | EngineFig -> engine_fig ()
   | FederationFig -> federation_fig ()
   | EventsFig -> events_fig ()
+  | ReplayFig -> replay_fig ()
   | All ->
       fig7 ();
       fig8 ();
@@ -554,7 +560,8 @@ let run_figures which vms cores seed =
       faults ();
       engine_fig ();
       federation_fig ();
-      events_fig ()
+      events_fig ();
+      replay_fig ()
 
 let figures_cmd =
   let doc = "Regenerate the paper's evaluation figures and the extensions." in
@@ -912,113 +919,47 @@ let patrol_cmd =
 
 (* --- serve ---------------------------------------------------------------- *)
 
-let read_request_file path =
-  let ic =
-    try open_in path
-    with Sys_error msg ->
-      prerr_endline ("error: " ^ msg);
-      exit Exit_code.error
-  in
-  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
-  let rec go lineno acc =
-    match input_line ic with
-    | exception End_of_file -> List.rev acc
-    | line ->
-        let trimmed = String.trim line in
-        if trimmed = "" || trimmed.[0] = '#' then go (lineno + 1) acc
-        else begin
-          match
-            ( Mc_engine.request_of_string trimmed,
-              Mc_engine.priority_of_request_line trimmed )
-          with
-          | Ok req, Ok prio -> go (lineno + 1) ((req, prio) :: acc)
-          | Error e, _ | _, Error e ->
-              prerr_endline
-                (Printf.sprintf "error: %s:%d: %s" path lineno e);
-              exit Exit_code.error
-        end
-  in
-  go 1 []
+module Wire = Mc_engine.Wire
 
-let response_exit (r : Mc_engine.response) =
-  match r.Mc_engine.r_outcome with
-  | Mc_engine.Checked (Ok o) ->
-      Exit_code.of_verdict o.Orchestrator.report.Report.verdict
-  | Mc_engine.Checked (Error _) -> Exit_code.error
-  | Mc_engine.Surveyed s -> Exit_code.of_survey s
-  | Mc_engine.Listed lc -> Exit_code.of_lists lc
+let reply_line (reply : Wire.reply) =
+  match reply with
+  | Wire.Resp r -> (
+      let key = Wire.frame_key r.Wire.rs_frame in
+      match r.Wire.rs_body with
+      | Wire.Report_body rep ->
+          Printf.sprintf "%-28s %s" key (Report.verdict_string rep)
+      | Wire.Error_body e -> Printf.sprintf "%-28s ERROR: %s" key e
+      | Wire.Survey_body s ->
+          Printf.sprintf "%-28s %s%s" key
+            (Report.verdict_key s.Report.s_verdict)
+            (match (s.Report.deviant_vms, s.Report.missing_on) with
+            | [], [] -> ""
+            | dev, miss ->
+                Printf.sprintf " (deviant: %s; missing: %s)"
+                  (String.concat "," (List.map string_of_int dev))
+                  (String.concat "," (List.map string_of_int miss)))
+      | Wire.Lists_body lc ->
+          Printf.sprintf "%-28s %d discrepancy(ies)" key
+            (List.length lc.Orchestrator.lc_discrepancies))
+  | Wire.Busy { b_seq; b_retry_after_s; b_queue_bound } ->
+      Printf.sprintf "#%d busy: retry after %.3fs (queue bound %d)" b_seq
+        b_retry_after_s b_queue_bound
+  | Wire.Draining { d_seq } -> Printf.sprintf "#%d draining" d_seq
+  | Wire.Invalid { i_seq; i_error } ->
+      Printf.sprintf "#%d invalid: %s" i_seq i_error
 
-let response_line (r : Mc_engine.response) =
-  let key = Mc_engine.request_key r.Mc_engine.r_request in
-  match r.Mc_engine.r_outcome with
-  | Mc_engine.Checked (Ok o) ->
-      Printf.sprintf "%-28s %s" key
-        (Report.verdict_string o.Orchestrator.report)
-  | Mc_engine.Checked (Error e) -> Printf.sprintf "%-28s ERROR: %s" key e
-  | Mc_engine.Surveyed s ->
-      Printf.sprintf "%-28s %s%s" key
-        (Report.verdict_key s.Report.s_verdict)
-        (match (s.Report.deviant_vms, s.Report.missing_on) with
-        | [], [] -> ""
-        | dev, miss ->
-            Printf.sprintf " (deviant: %s; missing: %s)"
-              (String.concat "," (List.map string_of_int dev))
-              (String.concat "," (List.map string_of_int miss)))
-  | Mc_engine.Listed lc ->
-      Printf.sprintf "%-28s %d discrepancy(ies)" key
-        (List.length lc.Orchestrator.lc_discrepancies)
-
-let response_json (r : Mc_engine.response) =
-  let open Mc_util.Json in
-  let payload =
-    match r.Mc_engine.r_outcome with
-    | Mc_engine.Checked (Ok o) -> Report.to_json o.Orchestrator.report
-    | Mc_engine.Checked (Error e) -> Obj [ ("error", String e) ]
-    | Mc_engine.Surveyed s -> Report.survey_to_json s
-    | Mc_engine.Listed lc ->
-        Obj
-          [
-            ( "discrepancies",
-              List
-                (List.map
-                   (fun (d : Orchestrator.list_discrepancy) ->
-                     Obj
-                       [
-                         ("module", String d.Orchestrator.ld_module);
-                         ( "missing_on",
-                           List
-                             (List.map
-                                (fun v -> Int v)
-                                d.Orchestrator.missing_on) );
-                       ])
-                   lc.Orchestrator.lc_discrepancies) );
-            ( "unreachable",
-              List
-                (List.map
-                   (fun (vm, reason) ->
-                     Obj [ ("vm", Int vm); ("reason", String reason) ])
-                   lc.Orchestrator.lc_unreachable) );
-          ]
-  in
-  Obj
-    [
-      ("request", String (Mc_engine.request_key r.Mc_engine.r_request));
-      ("shard", Int r.Mc_engine.r_shard);
-      ("result", payload);
-    ]
-
-let run_serve verbose vms cores seed requests_path shards workers queue_bound
-    infect vm fault_spec quorum merkle json trace metrics =
+let run_serve verbose vms cores seed requests_path stream window ledger_path
+    shards workers queue_bound infect vm fault_spec quorum merkle json trace
+    metrics =
   with_telemetry trace metrics @@ fun () ->
   setup_logs verbose;
   let cloud = make_cloud ?fault_spec vms cores seed in
   (match or_die (stage_infection cloud vm infect) with
   | Some inf ->
-      if not json then
+      if not (json || stream) then
         Printf.printf "staged: %s on Dom%d\n" inf.Mc_malware.Infect.technique
           (vm + 1)
   | None -> ());
-  let requests = read_request_file requests_path in
   let engine =
     (* The engine is always incremental (it substitutes its own shared
        cache), so --merkle only needs the flag. *)
@@ -1028,54 +969,157 @@ let run_serve verbose vms cores seed requests_path shards workers queue_bound
         |> Orchestrator.Config.with_merkle merkle)
       cloud
   in
+  let ledger_oc =
+    Option.map
+      (fun path ->
+        try open_out path
+        with Sys_error msg ->
+          prerr_endline ("error: " ^ msg);
+          exit Exit_code.error)
+      ledger_path
+  in
+  let ledger =
+    Option.map (fun oc -> Mc_ledger.create ~sink:(output_string oc) ()) ledger_oc
+  in
+  let with_input k =
+    match requests_path with
+    | None | Some "-" -> k stdin
+    | Some path -> (
+        match open_in path with
+        | ic -> Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> k ic)
+        | exception Sys_error msg ->
+            prerr_endline ("error: " ^ msg);
+            exit Exit_code.error)
+  in
+  with_input @@ fun ic ->
+  let lineno = ref 0 in
+  let next () =
+    match input_line ic with
+    | exception End_of_file -> None
+    | l ->
+        incr lineno;
+        Some l
+  in
   let started = Unix.gettimeofday () in
-  (* Submit everything up front so the shards overlap; when the bounded
-     queue pushes back, briefly yield real time and resubmit. *)
-  let rec admit req prio =
-    match Mc_engine.submit ~priority:prio engine req with
-    | Ok cell -> cell
-    | Error (Mc_engine.Queue_full _) ->
-        Unix.sleepf 0.002;
-        admit req prio
-    | Error Mc_engine.Draining -> assert false
+  let sv, stats =
+    if stream then begin
+      (* Streaming mode: one compact JSON reply per line, as it happens. *)
+      let emit reply =
+        print_endline (Mc_util.Json.to_string (Wire.reply_to_json reply))
+      in
+      let sv = Mc_engine.Serve.run ~window ?ledger ~emit engine ~next in
+      (sv, Mc_engine.stats engine)
+    end
+    else begin
+      (* Batch mode: the whole file goes in flight at once (an unbounded
+         window — the engine's queue bound is the only backpressure, as
+         before) and the ordered replies print at the end. *)
+      let replies = ref [] in
+      let emit reply =
+        match reply with
+        | Wire.Resp _ -> replies := reply :: !replies
+        | Wire.Invalid { i_error; _ } ->
+            prerr_endline
+              (Printf.sprintf "error: line %d: %s" !lineno i_error);
+            replies := reply :: !replies
+        | Wire.Busy _ | Wire.Draining _ ->
+            (* Retried internally; the stats line reports the volume. *)
+            ()
+      in
+      let sv = Mc_engine.Serve.run ~window:max_int ?ledger ~emit engine ~next in
+      let stats = Mc_engine.stats engine in
+      let replies = List.rev !replies in
+      if json then
+        print_endline
+          (Mc_util.Json.to_string_pretty
+             (Mc_util.Json.List (List.map Wire.reply_to_json replies)))
+      else begin
+        List.iter
+          (fun r ->
+            match r with
+            | Wire.Invalid _ -> ()
+            | r -> print_endline (reply_line r))
+          replies;
+        Printf.printf
+          "served %d request(s) in %.3fs real: %d coalesced, %d serviced, \
+           %d busy, max queue depth %d\n"
+          sv.Mc_engine.Serve.sv_requests
+          (Unix.gettimeofday () -. started)
+          stats.Mc_engine.st_coalesced stats.Mc_engine.st_completed
+          sv.Mc_engine.Serve.sv_busy stats.Mc_engine.st_max_queue_depth
+      end;
+      (sv, stats)
+    end
   in
-  let cells =
-    List.map (fun (req, prio) -> admit req prio) requests
-  in
-  let responses = List.map Mc_parallel.Deferred.await cells in
   Mc_engine.drain engine;
-  let wall = Unix.gettimeofday () -. started in
-  if json then
-    print_endline
-      (Mc_util.Json.to_string_pretty
-         (Mc_util.Json.List (List.map response_json responses)))
-  else begin
-    List.iter (fun r -> print_endline (response_line r)) responses;
-    let stats = Mc_engine.stats engine in
-    Printf.printf
-      "served %d request(s) in %.3fs real: %d coalesced, %d serviced, \
-       max queue depth %d\n"
-      (List.length requests) wall stats.Mc_engine.st_coalesced
-      stats.Mc_engine.st_completed stats.Mc_engine.st_max_queue_depth
-  end;
-  Exit_code.exit_with
-    (Exit_code.combine_all (List.map response_exit responses))
+  Option.iter close_out ledger_oc;
+  if stream then
+    Printf.eprintf
+      "# served %d request(s) in %.3fs real: %d response(s), %d busy, %d \
+       retr%s, %d invalid, %d coalesced, max in-flight %d\n%!"
+      sv.Mc_engine.Serve.sv_requests
+      (Unix.gettimeofday () -. started)
+      sv.Mc_engine.Serve.sv_responses sv.Mc_engine.Serve.sv_busy
+      sv.Mc_engine.Serve.sv_retries
+      (if sv.Mc_engine.Serve.sv_retries = 1 then "y" else "ies")
+      sv.Mc_engine.Serve.sv_invalid stats.Mc_engine.st_coalesced
+      sv.Mc_engine.Serve.sv_max_inflight;
+  (match (ledger, ledger_path) with
+  | Some l, Some path ->
+      let note =
+        Printf.sprintf "ledger: %d entr%s -> %s, head %s" (Mc_ledger.length l)
+          (if Mc_ledger.length l = 1 then "y" else "ies")
+          path (Mc_ledger.head l)
+      in
+      if stream || json then Printf.eprintf "# %s\n%!" note
+      else print_endline note
+  | _ -> ());
+  Exit_code.exit_with sv.Mc_engine.Serve.sv_exit
 
 let serve_cmd =
   let doc =
-    "Run a batch of check/survey/lists requests through the long-lived \
-     checking engine (sharded workers, coalescing, shared caches)."
+    "Run check/survey/lists requests through the long-lived checking \
+     engine (sharded workers, coalescing, shared caches) -- as a batch, \
+     or as a streaming session with windowed backpressure."
   in
   let requests_arg =
     Arg.(
-      required
+      value
       & opt (some string) None
       & info [ "requests" ] ~docv:"FILE"
           ~doc:
-            "Request batch file: one request per line, \
+            "Request file: one request per line, \
              'kind vm module [priority]' with '-' for unused fields. \
              Kinds: check, survey, lists; priorities: high, normal \
-             (default), low. '#' starts a comment.")
+             (default), low. '#' starts a comment. Omit (or pass '-') \
+             to read from stdin.")
+  in
+  let stream_arg =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "Streaming session: emit one JSON reply line per request as \
+             it completes (JSONL, schema-tagged), with Busy/Draining/\
+             Invalid answered on the wire; the summary goes to stderr. \
+             Without it, replies are collected and printed as a batch.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "window" ] ~docv:"N"
+          ~doc:
+            "Streaming backpressure window: at most N requests in \
+             flight; the oldest settles before the next is admitted.")
+  in
+  let ledger_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:
+            "Append one hash-chained attestation entry per response to \
+             FILE (verify offline with $(b,modchecker ledger verify)).")
   in
   let shards_arg =
     Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N"
@@ -1089,9 +1133,74 @@ let serve_cmd =
     (Cmd.info "serve" ~doc)
     Term.(
       const run_serve $ verbose_arg $ vms_arg $ cores_arg $ seed_arg
-      $ requests_arg $ shards_arg $ workers_arg $ queue_bound_arg
-      $ infect_arg $ vm_arg $ fault_spec_arg $ quorum_arg $ merkle_arg
-      $ json_arg $ trace_arg $ metrics_arg)
+      $ requests_arg $ stream_arg $ window_arg $ ledger_arg $ shards_arg
+      $ workers_arg $ queue_bound_arg $ infect_arg $ vm_arg $ fault_spec_arg
+      $ quorum_arg $ merkle_arg $ json_arg $ trace_arg $ metrics_arg)
+
+(* --- ledger -------------------------------------------------------------- *)
+
+let run_ledger_verify path expect_head json =
+  match Mc_ledger.verify_file ?expect_head path with
+  | Ok s ->
+      if json then
+        print_endline
+          (Mc_util.Json.to_string_pretty
+             (Mc_util.Json.Obj
+                [
+                  ("entries", Mc_util.Json.Int s.Mc_ledger.sum_entries);
+                  ("head", Mc_util.Json.String s.Mc_ledger.sum_head);
+                  ( "verdicts",
+                    Mc_util.Json.Obj
+                      (List.map
+                         (fun (k, n) -> (k, Mc_util.Json.Int n))
+                         s.Mc_ledger.sum_verdicts) );
+                  ("root_changes", Mc_util.Json.Int s.Mc_ledger.sum_root_changes);
+                ]))
+      else begin
+        Printf.printf "ledger OK: %d entr%s, head %s\n"
+          s.Mc_ledger.sum_entries
+          (if s.Mc_ledger.sum_entries = 1 then "y" else "ies")
+          s.Mc_ledger.sum_head;
+        List.iter
+          (fun (k, n) -> Printf.printf "  %-10s %d\n" k n)
+          s.Mc_ledger.sum_verdicts;
+        if s.Mc_ledger.sum_root_changes > 0 then
+          Printf.printf "  root changes: %d\n" s.Mc_ledger.sum_root_changes
+      end
+  | Error e ->
+      prerr_endline
+        (Printf.sprintf "ledger verification FAILED at entry %d: %s"
+           e.Mc_ledger.ve_index e.Mc_ledger.ve_reason);
+      exit Exit_code.error
+
+let ledger_cmd =
+  let doc = "Attestation-ledger operations (offline audit)." in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Serialized ledger: one compact JSON entry per line.")
+  in
+  let expect_head_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "expect-head" ] ~docv:"HEX"
+          ~doc:
+            "Externally pinned head hash; a chain that verifies but ends \
+             elsewhere (e.g. truncated) fails.")
+  in
+  let verify =
+    let doc =
+      "Re-derive the hash chain from genesis and report the first bad \
+       entry, if any."
+    in
+    Cmd.v
+      (Cmd.info "verify" ~doc)
+      Term.(const run_ledger_verify $ file_arg $ expect_head_arg $ json_arg)
+  in
+  Cmd.group (Cmd.info "ledger" ~doc) [ verify ]
 
 (* --- disasm --------------------------------------------------------------- *)
 
@@ -1296,6 +1405,6 @@ let () =
        (Cmd.group info
           [
             check_cmd; survey_cmd; list_cmd; detect_cmd; figures_cmd;
-            patrol_cmd; health_cmd; federate_cmd; serve_cmd; disasm_cmd;
-            simtest_cmd;
+            patrol_cmd; health_cmd; federate_cmd; serve_cmd; ledger_cmd;
+            disasm_cmd; simtest_cmd;
           ]))

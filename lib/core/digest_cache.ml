@@ -27,6 +27,12 @@ let store t ~vm ~key ~epoch ~footprint value =
       Hashtbl.replace t.tbl (vm, key)
         { e_epoch = epoch; e_footprint = footprint; e_value = value })
 
+let peek t ~vm ~key ~epoch =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl (vm, key) with
+      | Some e when e.e_epoch = epoch -> Some e.e_value
+      | Some _ | None -> None)
+
 let footprint_pfns t ~vm ~key ~epoch =
   locked t (fun () ->
       match Hashtbl.find_opt t.tbl (vm, key) with

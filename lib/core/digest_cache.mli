@@ -73,6 +73,15 @@ val store :
 (** [store t ~vm ~key ~epoch ~footprint v] records [v] as valid while the
     footprint's pages stay at the given versions within [epoch]. *)
 
+val peek : 'a t -> vm:int -> key:string -> epoch:int -> 'a option
+(** [peek t ~vm ~key ~epoch] is the cached value when an entry exists and
+    was recorded in [epoch], {e without} a staleness probe: Dom0-local
+    bookkeeping (no guest access, unmetered, no telemetry hit/miss), the
+    value as of its last store. It is how the attestation path reads the
+    Merkle root a just-serviced request left behind — the root the
+    verdict was actually computed from, which is exactly what the ledger
+    must anchor. *)
+
 val footprint_pfns : 'a t -> vm:int -> key:string -> epoch:int -> int list option
 (** [footprint_pfns t ~vm ~key ~epoch] is the pfn set of the entry's
     footprint when one exists and was recorded in [epoch], else [None].

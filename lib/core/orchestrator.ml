@@ -213,21 +213,22 @@ let absent_result target_artifacts =
       total_adjusted = 0;
     }
 
-let check_module ?(config = Config.default) cloud ~target_vm ~module_name =
+(* Default comparison set: the target's version cohort. Comparing a
+   patched build against an unpatched one would manufacture mismatches
+   out of a legitimate version split. In a homogeneous pool this is the
+   whole pool, as in the paper. *)
+let default_others cloud ~target_vm =
+  let cohort = Cloud.vm_patch_level cloud target_vm in
+  List.filter
+    (fun v -> v <> target_vm && Cloud.vm_patch_level cloud v = cohort)
+    (List.init (Cloud.vm_count cloud) Fun.id)
+
+let check_module_full ~config cloud ~target_vm ~module_name =
   let { Config.mode; others; quorum; deadline_s; _ } = config in
   let others =
     match others with
     | Some vs -> vs
-    | None ->
-        (* Default comparison set: the target's version cohort. Comparing
-           a patched build against an unpatched one would manufacture
-           mismatches out of a legitimate version split. In a homogeneous
-           pool this is the whole pool, as in the paper. *)
-        let cohort = Cloud.vm_patch_level cloud target_vm in
-        List.filter
-          (fun v ->
-            v <> target_vm && Cloud.vm_patch_level cloud v = cohort)
-          (List.init (Cloud.vm_count cloud) Fun.id)
+    | None -> default_others cloud ~target_vm
   in
   if others = [] then Error "no comparison VMs available"
   else
@@ -634,6 +635,83 @@ let merge_footprint old ~dirty session =
   Array.sort compare arr;
   arr
 
+(* One VM's memoized Merkle print, via the probe -> O(dirty) refresh ->
+   full-rebuild ladder. Shared by the survey Merkle path and the
+   check-module fast path, so both pay -- and cache -- identically. *)
+let merkle_probe_vm ?parent inc cloud ~relocs ~vm ~module_name =
+  Tel.with_span ?parent ~attrs:[ ("vm", Int vm) ] "vm_check"
+  @@ fun _ ->
+  let dom = Cloud.vm cloud vm in
+  let jm = Meter.create () in
+  Meter.set_phase jm Meter.Searcher;
+  let unreachable_or_reraise e =
+    match unreachable_of_exn e with
+    | Some reason ->
+        Tel.add "check.unreachable_fetches" 1;
+        Unreachable reason
+    | None -> raise e
+  in
+  let full_build () =
+    let epoch = Xenctl.memory_epoch dom in
+    let vmi =
+      Vmi.init ~meter:jm ~cache:(page_cache_for inc vm) dom
+        (profile_for dom)
+    in
+    match fetch_with_vmi vmi ~vm ~module_name ~meter:jm with
+    | exception e -> unreachable_or_reraise e
+    | None ->
+        Digest_cache.store inc.inc_merkle ~vm ~key:module_name ~epoch
+          ~footprint:(Vmi.footprint vmi) None;
+        Absent
+    | Some (info, artifacts) ->
+        Meter.set_phase jm Meter.Checker;
+        let mp =
+          build_merkle_print ~jm ~vmi ~relocs
+            ~base:info.Searcher.mi_base artifacts
+        in
+        Digest_cache.store inc.inc_merkle ~vm ~key:module_name ~epoch
+          ~footprint:(Vmi.footprint vmi) (Some mp);
+        Fetched mp
+  in
+  let outcome =
+    match
+      Digest_cache.probe_delta ~meter:jm inc.inc_merkle dom ~vm
+        ~key:module_name
+    with
+    | Digest_cache.Fresh (Some mp) -> Fetched mp
+    | Digest_cache.Fresh None -> Absent
+    | Digest_cache.Missing -> full_build ()
+    | Digest_cache.Stale { stale_value = None; _ } -> full_build ()
+    | Digest_cache.Stale
+        { stale_value = Some mp; stale_epoch; stale_footprint;
+          stale_dirty }
+      when List.for_all
+             (fun pfn -> List.mem_assoc pfn mp.mp_page_index)
+             stale_dirty -> (
+        let vmi =
+          Vmi.init ~meter:jm ~cache:(page_cache_for inc vm) dom
+            (profile_for dom)
+        in
+        Meter.set_phase jm Meter.Checker;
+        match
+          refresh_merkle_print ~jm ~vmi ~relocs mp ~dirty:stale_dirty
+        with
+        | exception e -> unreachable_or_reraise e
+        | mp' ->
+            Digest_cache.store inc.inc_merkle ~vm ~key:module_name
+              ~epoch:stale_epoch
+              ~footprint:
+                (merge_footprint stale_footprint ~dirty:stale_dirty
+                   (Vmi.footprint vmi))
+              (Some mp');
+            Fetched mp')
+    | Digest_cache.Stale _ ->
+        Tel.add "merkle.full_rebuilds" 1;
+        full_build ()
+  in
+  (vm, outcome, jm)
+
+
 (* Before escalating on a root mismatch, descend the deviant pair's trees:
    the divergent pages are localized in O(k log n) node comparisons and
    logged, so the operator (and the [merkle.descents] /
@@ -689,6 +767,160 @@ let reference_fingerprint ?meter cloud ~vm ~module_name =
   in
   (match meter with Some dst -> Meter.merge dst jm | None -> bridge_meter jm);
   result
+
+(* A pair_result synthesized from a memoized fingerprint: one verdict
+   per artifact kind, digests already reloc-adjusted (so av_adjusted is
+   0 — the adjustment happened when the print was built). *)
+let pair_of_fingerprint ~matches fp =
+  {
+    Checker.verdicts =
+      List.map
+        (fun (kname, digest) ->
+          {
+            Checker.av_kind = Artifact.kind_of_name kname;
+            av_match = matches;
+            av_digest1 = digest;
+            av_digest2 = (if matches then digest else "(absent)");
+            av_adjusted = 0;
+          })
+        fp;
+    all_match = matches;
+    total_adjusted = 0;
+  }
+
+(* Merkle fast path for a check: compare the target's memoized
+   reloc-adjusted fingerprint against each comparison VM's, at the cost
+   of staleness probes instead of full fetch+compare pipelines.
+   Fingerprints can only prove {e agreement} (identically-tampered
+   copies can fingerprint as mutually deviant, see [survey]'s escalation
+   note), so the fast path answers [Some _] only when every reachable
+   copy agrees with the target — any mismatch returns [None] and the
+   caller escalates to the full byte-level check, keeping verdict parity
+   with the non-incremental path by construction. *)
+let check_module_merkle ~config inc cloud ~target_vm ~module_name =
+  let { Config.mode; others; quorum; deadline_s; _ } = config in
+  let others =
+    match others with
+    | Some vs -> vs
+    | None -> default_others cloud ~target_vm
+  in
+  if others = [] then Some (Error "no comparison VMs available")
+  else
+    Tel.with_span
+      ~attrs:[ ("module", String module_name); ("target_vm", Int target_vm) ]
+      "check_module_merkle"
+    @@ fun root ->
+    let root_id = if root.Span.id = 0 then None else Some root.Span.id in
+    let relocs_by_level =
+      List.map
+        (fun level -> (level, module_relocs ~version:level module_name))
+        (Cloud.distinct_patch_levels cloud)
+    in
+    let probe vm =
+      let relocs =
+        List.assoc (Cloud.vm_patch_level cloud vm) relocs_by_level
+      in
+      merkle_probe_vm ?parent:root_id inc cloud ~relocs ~vm ~module_name
+    in
+    let _, target_outcome, target_jm = probe target_vm in
+    match target_outcome with
+    | Absent ->
+        bridge_meter target_jm;
+        Some
+          (Error
+             (Printf.sprintf "module %s not found in Dom%d" module_name
+                (target_vm + 1)))
+    | Unreachable reason ->
+        bridge_meter target_jm;
+        Some
+          (Error
+             (Printf.sprintf "Dom%d unreachable: %s" (target_vm + 1) reason))
+    | Fetched mp_t ->
+        let fp_t = merkle_fingerprint_of mp_t in
+        let on_timeout vm =
+          (vm, Unreachable deadline_reason, Meter.create ())
+        in
+        let results =
+          map_vms_deadline mode ?deadline_s ~on_timeout probe others
+        in
+        let deviant =
+          List.exists
+            (fun (_, o, _) ->
+              match o with
+              | Fetched mp -> merkle_fingerprint_of mp <> fp_t
+              | Absent | Unreachable _ -> false)
+            results
+        in
+        if deviant then begin
+          (* The probes' work is still accounted — it really ran. *)
+          Tel.add "check.merkle_escalations" 1;
+          bridge_meter target_jm;
+          List.iter (fun (_, _, jm) -> bridge_meter jm) results;
+          None
+        end
+        else begin
+          let comparisons =
+            List.filter_map
+              (fun (vm, o, _) ->
+                match o with
+                | Fetched _ ->
+                    Some
+                      {
+                        Report.other_vm = vm;
+                        result = pair_of_fingerprint ~matches:true fp_t;
+                      }
+                | Absent ->
+                    Some
+                      {
+                        Report.other_vm = vm;
+                        result = pair_of_fingerprint ~matches:false fp_t;
+                      }
+                | Unreachable _ -> None)
+              results
+          in
+          let unreachable =
+            List.filter_map
+              (fun (vm, o, _) ->
+                match o with
+                | Unreachable reason -> Some (vm, reason)
+                | Fetched _ | Absent -> None)
+              results
+          in
+          let work =
+            { work_vm = target_vm; work_meter = target_jm }
+            :: List.map
+                 (fun (vm, _, jm) -> { work_vm = vm; work_meter = jm })
+                 results
+          in
+          let report =
+            Report.make ~module_name ~target_vm ~unreachable
+              ~surveyed:(List.length others) ~quorum comparisons
+          in
+          if Tel.enabled () then begin
+            List.iter (fun w -> bridge_meter w.work_meter) work;
+            Tel.add "check.modules_checked" 1;
+            Tel.add "check.merkle_fast_path" 1;
+            Tel.add "check.vms_compared" (List.length others);
+            Tel.add "check.unreachable_vms" (List.length unreachable);
+            match report.Report.verdict with
+            | Report.Degraded _ -> Tel.add "check.degraded_verdicts" 1
+            | Report.Infected -> Tel.add "check.failed_votes" 1
+            | Report.Intact -> ()
+          end;
+          (match report.Report.verdict with
+          | Report.Intact -> Log.debug (fun m -> m "%a" Report.pp report)
+          | Report.Infected | Report.Degraded _ ->
+              Log.warn (fun m -> m "%a" Report.pp report));
+          Some (Ok { report; work })
+        end
+
+let check_module ?(config = Config.default) cloud ~target_vm ~module_name =
+  match config.Config.incremental with
+  | Some inc when config.Config.merkle -> (
+      match check_module_merkle ~config inc cloud ~target_vm ~module_name with
+      | Some r -> r
+      | None -> check_module_full ~config cloud ~target_vm ~module_name)
+  | Some _ | None -> check_module_full ~config cloud ~target_vm ~module_name
 
 exception Escalate_to_full
 
@@ -750,77 +982,7 @@ and survey_once ~config ?meter cloud ~module_name =
           let relocs =
             List.assoc (Cloud.vm_patch_level cloud vm) relocs_by_level
           in
-          Tel.with_span ?parent:root_id ~attrs:[ ("vm", Int vm) ] "vm_check"
-          @@ fun _ ->
-          let dom = Cloud.vm cloud vm in
-          let jm = Meter.create () in
-          Meter.set_phase jm Meter.Searcher;
-          let unreachable_or_reraise e =
-            match unreachable_of_exn e with
-            | Some reason ->
-                Tel.add "check.unreachable_fetches" 1;
-                Unreachable reason
-            | None -> raise e
-          in
-          let full_build () =
-            let epoch = Xenctl.memory_epoch dom in
-            let vmi =
-              Vmi.init ~meter:jm ~cache:(page_cache_for inc vm) dom
-                (profile_for dom)
-            in
-            match fetch_with_vmi vmi ~vm ~module_name ~meter:jm with
-            | exception e -> unreachable_or_reraise e
-            | None ->
-                Digest_cache.store inc.inc_merkle ~vm ~key:module_name ~epoch
-                  ~footprint:(Vmi.footprint vmi) None;
-                Absent
-            | Some (info, artifacts) ->
-                Meter.set_phase jm Meter.Checker;
-                let mp =
-                  build_merkle_print ~jm ~vmi ~relocs
-                    ~base:info.Searcher.mi_base artifacts
-                in
-                Digest_cache.store inc.inc_merkle ~vm ~key:module_name ~epoch
-                  ~footprint:(Vmi.footprint vmi) (Some mp);
-                Fetched mp
-          in
-          let outcome =
-            match
-              Digest_cache.probe_delta ~meter:jm inc.inc_merkle dom ~vm
-                ~key:module_name
-            with
-            | Digest_cache.Fresh (Some mp) -> Fetched mp
-            | Digest_cache.Fresh None -> Absent
-            | Digest_cache.Missing -> full_build ()
-            | Digest_cache.Stale { stale_value = None; _ } -> full_build ()
-            | Digest_cache.Stale
-                { stale_value = Some mp; stale_epoch; stale_footprint;
-                  stale_dirty }
-              when List.for_all
-                     (fun pfn -> List.mem_assoc pfn mp.mp_page_index)
-                     stale_dirty -> (
-                let vmi =
-                  Vmi.init ~meter:jm ~cache:(page_cache_for inc vm) dom
-                    (profile_for dom)
-                in
-                Meter.set_phase jm Meter.Checker;
-                match
-                  refresh_merkle_print ~jm ~vmi ~relocs mp ~dirty:stale_dirty
-                with
-                | exception e -> unreachable_or_reraise e
-                | mp' ->
-                    Digest_cache.store inc.inc_merkle ~vm ~key:module_name
-                      ~epoch:stale_epoch
-                      ~footprint:
-                        (merge_footprint stale_footprint ~dirty:stale_dirty
-                           (Vmi.footprint vmi))
-                      (Some mp');
-                    Fetched mp')
-            | Digest_cache.Stale _ ->
-                Tel.add "merkle.full_rebuilds" 1;
-                full_build ()
-          in
-          (vm, outcome, jm)
+          merkle_probe_vm ?parent:root_id inc cloud ~relocs ~vm ~module_name
         in
         let jobs =
           map_vms_deadline mode ?deadline_s ~on_timeout fingerprint_vm vms
@@ -1250,6 +1412,22 @@ let watch_pfns inc dom ~vm ~watch =
   in
   List.map (fun name -> (Watch_module name, module_pfns name)) watch
   @ [ (Watch_lists, fp inc.inc_lists list_key) ]
+
+let merkle_root inc cloud ~vm ~module_name =
+  let dom = Cloud.vm cloud vm in
+  let epoch = Xenctl.memory_epoch dom in
+  match Digest_cache.peek inc.inc_merkle ~vm ~key:module_name ~epoch with
+  | Some (Some mp) ->
+      (* One digest over the derived fingerprint (flat digests plus
+         section roots, sorted by kind): equal across clean copies of the
+         same build regardless of load base, so it doubles as the
+         out-of-band comparison value an auditor pins. *)
+      let ctx = Md5.init () in
+      List.iter
+        (fun (k, d) -> Md5.update_string ctx (k ^ ":" ^ d ^ "\n"))
+        (merkle_fingerprint_of mp);
+      Some (Md5.to_hex (Md5.final ctx))
+  | Some None | None -> None
 
 let phase_seconds costs outcome =
   let sum phase =

@@ -149,7 +149,20 @@ val check_module :
     [Parallel] mode with a deadline — its task missed the per-check
     deadline) is excluded from the vote and listed in the report's
     [unreachable] field. When fewer than [config.quorum] of the
-    comparison VMs respond, the report's verdict is [Degraded]. *)
+    comparison VMs respond, the report's verdict is [Degraded].
+
+    With [config.incremental] {e and} [config.merkle], a warm check
+    takes the Merkle fast path: the target's and every comparison VM's
+    memoized reloc-adjusted fingerprints are refreshed via log-dirty
+    staleness probes (O(dirty) like the survey's) and compared directly;
+    the full fetch-and-compare pipeline runs only on a cache miss or
+    when {e any} fingerprint disagrees — agreement is provable from
+    fingerprints, but the artifact-level evidence a deviant report needs
+    (and protection against identically-tampered copies fingerprinting
+    as mutually deviant) requires the full path. Verdicts are therefore
+    identical with and without the fast path; only the price differs
+    (the [check.merkle_fast_path] / [check.merkle_escalations] telemetry
+    counters record which path ran). *)
 
 val survey :
   ?config:Config.t ->
@@ -273,6 +286,22 @@ val watch_pfns :
     fingerprint fallback, plus the cached list walk). A source with no
     current-epoch cache entry maps to [[]]: it cannot be armed until a
     survey repopulates the cache. Dom0-local and unmetered. *)
+
+val merkle_root :
+  incremental ->
+  Mc_hypervisor.Cloud.t ->
+  vm:int ->
+  module_name:string ->
+  string option
+(** [merkle_root inc cloud ~vm ~module_name] is the hex anchor digest of
+    the VM's cached Merkle print for the module — MD5 over its derived
+    fingerprint (flat digests plus per-section Merkle roots, sorted by
+    kind) — or [None] when no current-epoch print is cached (module not
+    yet checked with [Config.merkle], absent on that VM, or the VM
+    rebooted since). Dom0-local and unmetered ({!Digest_cache.peek}):
+    it reads the value the last check computed, which is exactly what an
+    attestation entry for that check must anchor. Base-independent —
+    clean copies of one build agree on it across VMs and hosts. *)
 
 val phase_seconds : Mc_hypervisor.Costs.t -> outcome -> phase_seconds
 (** Price the outcome's metered operations into per-component virtual CPU

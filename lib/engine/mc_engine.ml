@@ -1,446 +1,9 @@
-module Cloud = Mc_hypervisor.Cloud
-module Meter = Mc_hypervisor.Meter
-module Orchestrator = Modchecker.Orchestrator
-module Report = Modchecker.Report
-module Patrol = Modchecker.Patrol
-module Pool = Mc_parallel.Pool
-module Deferred = Mc_parallel.Deferred
-module Tel = Mc_telemetry.Registry
-module Span = Mc_telemetry.Span
-
-type priority = High | Normal | Low
-
-let priority_key = function High -> "high" | Normal -> "normal" | Low -> "low"
-
-let priority_of_string s =
-  match String.lowercase_ascii s with
-  | "high" -> Ok High
-  | "normal" -> Ok Normal
-  | "low" -> Ok Low
-  | other ->
-      Error (Printf.sprintf "unknown priority %S (high|normal|low)" other)
-
-let priority_index = function High -> 0 | Normal -> 1 | Low -> 2
-
-let priorities = 3
-
-type request =
-  | Check of { vm : int; module_name : string }
-  | Survey of { module_name : string }
-  | Lists
-
-let request_key = function
-  | Check { vm; module_name } -> Printf.sprintf "check:%d:%s" vm module_name
-  | Survey { module_name } -> "survey:" ^ module_name
-  | Lists -> "lists"
-
-let fields line =
-  String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) line)
-  |> List.filter (fun s -> s <> "")
+include Engine_core
+module Wire = Wire
+module Serve = Serve
 
 let request_of_string line =
-  match fields line with
-  | "check" :: vm :: module_name :: _ -> (
-      match int_of_string_opt vm with
-      | Some vm -> Ok (Check { vm; module_name })
-      | None -> Error (Printf.sprintf "check: VM index expected, got %S" vm))
-  | "survey" :: _vm :: module_name :: _ -> Ok (Survey { module_name })
-  | "lists" :: _ -> Ok Lists
-  | kind :: _ ->
-      Error (Printf.sprintf "unknown request kind %S (check|survey|lists)" kind)
-  | [] -> Error "empty request line"
+  Result.map (fun f -> f.Wire.f_request) (Wire.parse_line line)
 
 let priority_of_request_line line =
-  match fields line with
-  | _ :: _ :: _ :: p :: _ when p <> "-" -> priority_of_string p
-  | _ -> Ok Normal
-
-type outcome =
-  | Checked of (Orchestrator.outcome, string) result
-  | Surveyed of Report.survey
-  | Listed of Orchestrator.list_comparison
-
-type response = {
-  r_request : request;
-  r_outcome : outcome;
-  r_meter : Meter.t;
-  r_shard : int;
-  r_wait_s : float;
-  r_service_s : float;
-}
-
-type rejection = Queue_full of int | Draining
-
-let rejection_message = function
-  | Queue_full n -> Printf.sprintf "queue full (bound %d)" n
-  | Draining -> "engine is draining"
-
-type entry = {
-  e_request : request;
-  e_cell : response Deferred.t;
-  e_submitted : float;
-}
-
-type shard = {
-  sh_id : int;
-  sh_pool : Pool.t;
-  sh_cond : Condition.t;
-  sh_queues : entry Queue.t array;  (* one FIFO per priority *)
-  mutable sh_serviced : int;
-  mutable sh_busy_s : float;
-}
-
-type t = {
-  eng_cloud : Cloud.t;
-  eng_config : Orchestrator.Config.t;
-  eng_inc : Orchestrator.incremental;
-      (* One incremental state for every request the engine ever
-         services: the page caches are per-VM and version-checked, the
-         digest caches footprint-keyed, so sharing across shards is safe
-         and is where the engine's cost advantage comes from. *)
-  eng_mutex : Mutex.t;
-      (* Guards queues, the pending table, and all counters. Never held
-         while a request is being serviced. *)
-  eng_shards : shard array;
-  eng_queue_bound : int;
-  eng_pending : (request, entry) Hashtbl.t;
-      (* Coalescing map: request → its queued-or-in-flight entry. An
-         entry leaves the table only when its deferred is settled, so a
-         duplicate arriving mid-service still joins. *)
-  eng_meter : Meter.t;
-  mutable eng_queued : int;
-  mutable eng_draining : bool;
-  mutable eng_submitted : int;
-  mutable eng_coalesced : int;
-  mutable eng_rejected : int;
-  mutable eng_completed : int;
-  mutable eng_max_depth : int;
-  mutable eng_dispatchers : unit Domain.t list;
-}
-
-let now () = Unix.gettimeofday ()
-
-let shard_of t = function
-  | Check { vm; _ } -> vm mod Array.length t.eng_shards
-  | Survey { module_name } ->
-      Hashtbl.hash module_name mod Array.length t.eng_shards
-  | Lists -> 0
-
-(* Caller holds the engine mutex. *)
-let take_next sh =
-  let rec go i =
-    if i >= priorities then None
-    else if Queue.is_empty sh.sh_queues.(i) then go (i + 1)
-    else Some (Queue.pop sh.sh_queues.(i))
-  in
-  go 0
-
-let execute t sh req meter =
-  let config =
-    {
-      t.eng_config with
-      Orchestrator.Config.mode = Orchestrator.Parallel sh.sh_pool;
-      incremental = Some t.eng_inc;
-    }
-  in
-  match req with
-  | Check { vm; module_name } ->
-      let r =
-        Orchestrator.check_module ~config t.eng_cloud ~target_vm:vm
-          ~module_name
-      in
-      (match r with
-      | Ok o ->
-          List.iter
-            (fun w -> Meter.merge meter w.Orchestrator.work_meter)
-            o.Orchestrator.work
-      | Error _ -> ());
-      Checked r
-  | Survey { module_name } ->
-      Surveyed (Orchestrator.survey ~config ~meter t.eng_cloud ~module_name)
-  | Lists -> Listed (Orchestrator.survey_module_lists ~config ~meter t.eng_cloud)
-
-let service t sh e =
-  let started = now () in
-  let wait_s = started -. e.e_submitted in
-  let meter = Meter.create () in
-  let result =
-    Tel.with_span
-      ~attrs:
-        [ ("request", String (request_key e.e_request)); ("shard", Int sh.sh_id) ]
-      "engine.request"
-    @@ fun _sp ->
-    try Ok (execute t sh e.e_request meter)
-    with exn -> Error (exn, Printexc.get_raw_backtrace ())
-  in
-  let service_s = now () -. started in
-  Mutex.lock t.eng_mutex;
-  Meter.merge t.eng_meter meter;
-  Hashtbl.remove t.eng_pending e.e_request;
-  t.eng_completed <- t.eng_completed + 1;
-  sh.sh_serviced <- sh.sh_serviced + 1;
-  sh.sh_busy_s <- sh.sh_busy_s +. service_s;
-  Mutex.unlock t.eng_mutex;
-  if Tel.enabled () then begin
-    Tel.add "engine.completed" 1;
-    Tel.observe "engine.wait_s" wait_s;
-    Tel.observe "engine.service_s" service_s;
-    Tel.add (Printf.sprintf "engine.shard.%d.serviced" sh.sh_id) 1;
-    Tel.set_gauge (Printf.sprintf "engine.shard.%d.busy_s" sh.sh_id)
-      sh.sh_busy_s
-  end;
-  (* try_fill, not fill: the cell is settled exactly once even if a
-     future variant races a deadline poisoner, mirroring the pool's
-     write-once discipline. *)
-  match result with
-  | Ok outcome ->
-      ignore
-        (Deferred.try_fill e.e_cell
-           (Ok
-              {
-                r_request = e.e_request;
-                r_outcome = outcome;
-                r_meter = meter;
-                r_shard = sh.sh_id;
-                r_wait_s = wait_s;
-                r_service_s = service_s;
-              }))
-  | Error (exn, bt) -> ignore (Deferred.try_fill_error e.e_cell exn bt)
-
-let dispatcher t sh =
-  let rec loop () =
-    Mutex.lock t.eng_mutex;
-    let rec next () =
-      match take_next sh with
-      | Some e ->
-          t.eng_queued <- t.eng_queued - 1;
-          Tel.set_gauge "engine.queue.depth" (float_of_int t.eng_queued);
-          Some e
-      | None ->
-          if t.eng_draining then None
-          else begin
-            Condition.wait sh.sh_cond t.eng_mutex;
-            next ()
-          end
-    in
-    let taken = next () in
-    Mutex.unlock t.eng_mutex;
-    match taken with
-    | None -> ()  (* draining and this shard's queues are empty *)
-    | Some e ->
-        service t sh e;
-        loop ()
-  in
-  loop ()
-
-let create ?(shards = 2) ?(workers_per_shard = 2) ?(queue_bound = 64)
-    ?(config = Orchestrator.Config.default) cloud =
-  if shards < 1 then invalid_arg "Mc_engine.create: shards must be >= 1";
-  if workers_per_shard < 1 then
-    invalid_arg "Mc_engine.create: workers_per_shard must be >= 1";
-  if queue_bound < 1 then
-    invalid_arg "Mc_engine.create: queue_bound must be >= 1";
-  let shard i =
-    {
-      sh_id = i;
-      sh_pool = Pool.create workers_per_shard;
-      sh_cond = Condition.create ();
-      sh_queues = Array.init priorities (fun _ -> Queue.create ());
-      sh_serviced = 0;
-      sh_busy_s = 0.0;
-    }
-  in
-  let t =
-    {
-      eng_cloud = cloud;
-      eng_config = config;
-      eng_inc = Orchestrator.create_incremental ();
-      eng_mutex = Mutex.create ();
-      eng_shards = Array.init shards shard;
-      eng_queue_bound = queue_bound;
-      eng_pending = Hashtbl.create 64;
-      eng_meter = Meter.create ();
-      eng_queued = 0;
-      eng_draining = false;
-      eng_submitted = 0;
-      eng_coalesced = 0;
-      eng_rejected = 0;
-      eng_completed = 0;
-      eng_max_depth = 0;
-      eng_dispatchers = [];
-    }
-  in
-  t.eng_dispatchers <-
-    Array.to_list
-      (Array.map (fun sh -> Domain.spawn (fun () -> dispatcher t sh))
-         t.eng_shards);
-  t
-
-let submit ?(priority = Normal) t request =
-  Mutex.lock t.eng_mutex;
-  if t.eng_draining then begin
-    t.eng_rejected <- t.eng_rejected + 1;
-    Mutex.unlock t.eng_mutex;
-    Tel.add "engine.rejected" 1;
-    Error Draining
-  end
-  else
-    match Hashtbl.find_opt t.eng_pending request with
-    | Some e ->
-        t.eng_coalesced <- t.eng_coalesced + 1;
-        Mutex.unlock t.eng_mutex;
-        Tel.add "engine.coalesce.hits" 1;
-        Ok e.e_cell
-    | None ->
-        if t.eng_queued >= t.eng_queue_bound then begin
-          t.eng_rejected <- t.eng_rejected + 1;
-          Mutex.unlock t.eng_mutex;
-          Tel.add "engine.rejected" 1;
-          Error (Queue_full t.eng_queue_bound)
-        end
-        else begin
-          let e =
-            {
-              e_request = request;
-              e_cell = Deferred.create ();
-              e_submitted = now ();
-            }
-          in
-          let sh = t.eng_shards.(shard_of t request) in
-          Hashtbl.replace t.eng_pending request e;
-          Queue.push e sh.sh_queues.(priority_index priority);
-          t.eng_queued <- t.eng_queued + 1;
-          if t.eng_queued > t.eng_max_depth then
-            t.eng_max_depth <- t.eng_queued;
-          t.eng_submitted <- t.eng_submitted + 1;
-          Tel.set_gauge "engine.queue.depth" (float_of_int t.eng_queued);
-          Condition.signal sh.sh_cond;
-          Mutex.unlock t.eng_mutex;
-          Tel.add "engine.submitted" 1;
-          Ok e.e_cell
-        end
-
-let rec run ?(priority = Normal) t request =
-  match submit ~priority t request with
-  | Ok cell -> Deferred.await cell
-  | Error (Queue_full _) ->
-      (* Real (not virtual) backoff: the queue drains at service speed. *)
-      Unix.sleepf 0.002;
-      run ~priority t request
-  | Error Draining -> failwith "Mc_engine.run: engine is draining"
-
-let drain t =
-  Mutex.lock t.eng_mutex;
-  t.eng_draining <- true;
-  Array.iter (fun sh -> Condition.broadcast sh.sh_cond) t.eng_shards;
-  let dispatchers = t.eng_dispatchers in
-  t.eng_dispatchers <- [];
-  Mutex.unlock t.eng_mutex;
-  (* Dispatchers keep servicing until their queues are empty, so joining
-     them is what guarantees every admitted deferred is settled. *)
-  List.iter Domain.join dispatchers;
-  Array.iter (fun sh -> Pool.shutdown sh.sh_pool) t.eng_shards
-
-type stats = {
-  st_submitted : int;
-  st_coalesced : int;
-  st_rejected : int;
-  st_completed : int;
-  st_max_queue_depth : int;
-  st_per_shard_serviced : int array;
-  st_per_shard_busy_s : float array;
-}
-
-let stats t =
-  Mutex.lock t.eng_mutex;
-  let s =
-    {
-      st_submitted = t.eng_submitted;
-      st_coalesced = t.eng_coalesced;
-      st_rejected = t.eng_rejected;
-      st_completed = t.eng_completed;
-      st_max_queue_depth = t.eng_max_depth;
-      st_per_shard_serviced =
-        Array.map (fun sh -> sh.sh_serviced) t.eng_shards;
-      st_per_shard_busy_s = Array.map (fun sh -> sh.sh_busy_s) t.eng_shards;
-    }
-  in
-  Mutex.unlock t.eng_mutex;
-  s
-
-let meter t = t.eng_meter
-
-let cloud t = t.eng_cloud
-
-let patrol ?(config = Patrol.default_config) ?events t ~until =
-  let await_response = function
-    | Ok cell -> Deferred.await cell
-    | Error rej -> failwith ("Mc_engine.patrol: " ^ rejection_message rej)
-  in
-  let driver () =
-    (* Submit the whole sweep first so the shards overlap its surveys,
-       then await; any identical interactive request meanwhile coalesces
-       with the sweep's. *)
-    let submitted =
-      List.map
-        (fun m -> (m, submit ~priority:Low t (Survey { module_name = m })))
-        config.Patrol.watch
-    in
-    let lists_submitted =
-      if config.Patrol.compare_lists then Some (submit ~priority:Low t Lists)
-      else None
-    in
-    let sw_surveys =
-      List.map
-        (fun (m, d) ->
-          let r = await_response d in
-          match r.r_outcome with
-          | Surveyed s -> (m, s, r.r_meter)
-          | Checked _ | Listed _ -> assert false)
-        submitted
-    in
-    let sw_lists =
-      Option.map
-        (fun d ->
-          let r = await_response d in
-          match r.r_outcome with
-          | Listed lc -> (lc, r.r_meter)
-          | Checked _ | Surveyed _ -> assert false)
-        lists_submitted
-    in
-    { Patrol.sw_surveys; sw_lists; sw_overhead = None }
-  in
-  Patrol.run_driven ~config ?events t.eng_cloud ~until driver
-
-let patrol_events ?(config = Patrol.default_config) ?events ?full_every_s t
-    ~until =
-  let await_response = function
-    | Ok cell -> Deferred.await cell
-    | Error rej -> failwith ("Mc_engine.patrol_events: " ^ rejection_message rej)
-  in
-  (* Trap reactions jump the queue: a write to a watched page is the
-     strongest signal the engine ever sees, so its targeted re-check runs
-     at High priority, ahead of interactive checks. The periodic safety
-     sweeps stay at Low, like polling patrol sweeps. *)
-  let survey ~high m =
-    let priority = if high then High else Low in
-    let r = await_response (submit ~priority t (Survey { module_name = m })) in
-    match r.r_outcome with
-    | Surveyed s -> (m, s, r.r_meter)
-    | Checked _ | Listed _ -> assert false
-  in
-  let lists ~high () =
-    let priority = if high then High else Low in
-    let r = await_response (submit ~priority t Lists) in
-    match r.r_outcome with
-    | Listed lc -> Some (lc, r.r_meter)
-    | Checked _ | Surveyed _ -> assert false
-  in
-  (* The session arms watches from [eng_inc] — the same shared caches
-     every engine request populates, so footprints are already warm for
-     anything the engine has checked before. *)
-  let session =
-    Patrol.Events.create ~config ~inc:t.eng_inc ~survey ~lists t.eng_cloud
-  in
-  Patrol.run_events_driven ~config ?events ?full_every_s t.eng_cloud ~until
-    session
+  Result.map (fun f -> f.Wire.f_priority) (Wire.parse_line line)

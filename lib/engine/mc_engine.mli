@@ -25,145 +25,27 @@
 
     Verdicts are identical to the standalone entry points' — the engine
     changes who does the work and what it costs, never what is decided
-    (a property the engine tests assert for every detection scenario). *)
+    (a property the engine tests assert for every detection scenario).
 
-type t
+    On top of the core sit the service's protocol layers: {!Wire} — the
+    typed line/JSON frames requests and responses travel as — and
+    {!Serve} — the duplex session loop with windowed backpressure,
+    protocol-level admission control, and hash-chained attestation into
+    an [Mc_ledger.t]. *)
 
-type priority = High | Normal | Low
+include module type of struct
+  include Engine_core
+end
 
-val priority_key : priority -> string
-(** ["high"], ["normal"], ["low"]. *)
-
-val priority_of_string : string -> (priority, string) result
-
-type request =
-  | Check of { vm : int; module_name : string }
-      (** One target VM voted against the pool
-          ({!Modchecker.Orchestrator.check_module}). *)
-  | Survey of { module_name : string }
-      (** Full-mesh comparison ({!Modchecker.Orchestrator.survey}). *)
-  | Lists
-      (** Cross-VM module-list comparison
-          ({!Modchecker.Orchestrator.survey_module_lists}). *)
+module Wire = Wire
+module Serve = Serve
 
 val request_of_string : string -> (request, string) result
-(** Parse one [serve] batch-file line: whitespace-separated
-    [kind vm module \[priority\]] with ["-"] for an unused field, e.g.
-    ["check 0 hal.dll high"], ["survey - http.sys"], ["lists - -"].
-    The optional fourth field is returned by {!priority_of_request_line}
-    — this function ignores it. *)
+[@@deprecated "use Mc_engine.Wire.parse_line: one parser for line, kind, and priority"]
+(** @deprecated Use {!Wire.parse_line}; this is its request projection. *)
 
 val priority_of_request_line : string -> (priority, string) result
-(** The fourth field of a batch line, defaulting to [Normal]. *)
-
-val request_key : request -> string
-(** Stable display form, e.g. ["check:0:hal.dll"]. *)
-
-type outcome =
-  | Checked of (Modchecker.Orchestrator.outcome, string) result
-      (** [Error] is {!Modchecker.Orchestrator.check_module}'s error
-          (module absent on target, target unreachable...), exactly as
-          the one-shot API reports it. *)
-  | Surveyed of Modchecker.Report.survey
-  | Listed of Modchecker.Orchestrator.list_comparison
-
-type response = {
-  r_request : request;
-  r_outcome : outcome;
-  r_meter : Mc_hypervisor.Meter.t;
-      (** Every operation performed on behalf of this request; shared by
-          all coalesced submitters — which is precisely the saving. *)
-  r_shard : int;  (** Shard that serviced it. *)
-  r_wait_s : float;  (** Real seconds queued before service began. *)
-  r_service_s : float;  (** Real seconds of service. *)
-}
-
-type rejection =
-  | Queue_full of int
-      (** The bounded queue is at the given capacity; back off and
-          resubmit. Coalesced duplicates are exempt — they consume no
-          queue slot. *)
-  | Draining  (** {!drain} has begun; no new work is admitted. *)
-
-val rejection_message : rejection -> string
-
-val create :
-  ?shards:int ->
-  ?workers_per_shard:int ->
-  ?queue_bound:int ->
-  ?config:Modchecker.Orchestrator.Config.t ->
-  Mc_hypervisor.Cloud.t ->
-  t
-(** [create cloud] starts the service: [shards] dispatcher domains
-    (default 2), each with its own [workers_per_shard]-domain pool
-    (default 2), admitting at most [queue_bound] queued requests
-    (default 64). [config] seeds every request's
-    {!Modchecker.Orchestrator.Config.t}; its [mode] and [incremental]
-    fields are overridden by the engine (each shard supplies its pool,
-    and all requests share one engine-wide incremental state). *)
-
-val submit :
-  ?priority:priority -> t -> request -> (response Mc_parallel.Deferred.t, rejection) result
-(** [submit t request] enqueues (or coalesces) and returns the deferred
-    to await. A request identical to one queued or in flight returns
-    that request's deferred and keeps its priority. The deferred is
-    always settled eventually — by a response, by the error the request
-    raised, or at the latest by {!drain}. *)
-
-val run : ?priority:priority -> t -> request -> response
-(** [submit] + await, retrying after a short real sleep while the queue
-    is full. Raises [Failure] when submitted after {!drain}, and
-    re-raises whatever exception the request's service raised. *)
-
-val drain : t -> unit
-(** Stop admitting, service everything already queued, join the
-    dispatchers, and shut down the shard pools. Every deferred ever
-    returned by {!submit} is settled when [drain] returns — no request
-    is dropped unanswered. Idempotent; submissions during and after
-    reject with {!Draining}. *)
-
-type stats = {
-  st_submitted : int;  (** Admitted requests (coalesced joins excluded). *)
-  st_coalesced : int;  (** Submissions answered by an existing deferred. *)
-  st_rejected : int;  (** Submissions refused ([Queue_full] or [Draining]). *)
-  st_completed : int;  (** Requests serviced (deferred settled). *)
-  st_max_queue_depth : int;
-  st_per_shard_serviced : int array;
-  st_per_shard_busy_s : float array;  (** Real service seconds per shard. *)
-}
-
-val stats : t -> stats
-
-val meter : t -> Mc_hypervisor.Meter.t
-(** The merge of every serviced request's meter: the engine's total
-    metered VMI work, comparable against the same requests run
-    standalone. *)
-
-val cloud : t -> Mc_hypervisor.Cloud.t
-
-val patrol :
-  ?config:Modchecker.Patrol.config ->
-  ?events:(float * (Mc_hypervisor.Cloud.t -> unit)) list ->
-  t ->
-  until:float ->
-  Modchecker.Patrol.outcome
-(** The patrol sweep loop ({!Modchecker.Patrol.run_driven}) with every
-    survey and list walk submitted to this engine as a [Low]-priority
-    request — a sweep is just another request class, sharing the queue,
-    the shards, and the caches with interactive checks. [config.watch]
-    must fit the engine's queue bound. The engine stays running
-    afterwards. *)
-
-val patrol_events :
-  ?config:Modchecker.Patrol.config ->
-  ?events:(float * (Mc_hypervisor.Cloud.t -> unit)) list ->
-  ?full_every_s:float ->
-  t ->
-  until:float ->
-  Modchecker.Patrol.outcome
-(** Event-driven patrol ({!Modchecker.Patrol.run_events_driven}) on this
-    engine: watches are armed from the engine's shared incremental
-    caches, trap-triggered targeted re-checks are submitted at [High]
-    priority (a write to a watched page outranks interactive traffic),
-    and the periodic safety sweeps at [Low] like polling sweeps. The
-    engine stays running afterwards. *)
+[@@deprecated "use Mc_engine.Wire.parse_line: one parser for line, kind, and priority"]
+(** @deprecated Use {!Wire.parse_line}; this is its priority projection.
+    (Unlike the historical two-call API, a line whose {e kind} is
+    invalid now errors here too.) *)

@@ -873,3 +873,74 @@ let federation_scale ?(hosts = [ 2; 4; 8; 16 ]) ?(vms_per_host = 5)
         fd_critical_s = r.Co.fb_critical_path_s;
       })
     hosts
+
+(* --- X15: traffic replay over the serving stack ------------------------ *)
+
+type replay_row = {
+  rp_shards : int;
+  rp_requests : int;
+  rp_responses : int;
+  rp_coalesced : int;
+  rp_busy : int;
+  rp_retries : int;
+  rp_critical_s : float;
+  rp_total_s : float;
+  rp_rps : float;
+  rp_speedup : float;
+  rp_ledger_ok : bool;
+  rp_violations : int;
+}
+
+(* X15: requests/s as the engine gains shards, measured on the metered
+   virtual clock (the critical path is the busiest shard's priced
+   seconds — what the wall clock would be with a core per shard), so the
+   scaling claim survives a one-core bench host. Every row replays the
+   same seeded traffic through a full [Serve] session — window, Busy
+   replies, ledger — and verifies its hash chain afterwards; the oracle
+   violation count must be zero for the throughput numbers to mean
+   anything. *)
+let replay_throughput ?(shard_counts = [ 1; 2; 4 ]) ?(requests = 2000)
+    ?(dup_percent = 25) ?(seed = 2014L) () =
+  let profile =
+    { Mc_simtest.Traffic.default_profile with p_dup_percent = dup_percent }
+  in
+  let rows =
+    List.map
+      (fun shards ->
+        let ledger = Mc_ledger.create () in
+        let o =
+          Mc_simtest.Traffic.replay ~profile ~shards ~queue_bound:64
+            ~window:32 ~ledger ~seed ~requests ()
+        in
+        let ledger_ok =
+          match Mc_ledger.verify (Mc_ledger.contents ledger) with
+          | Ok s -> s.Mc_ledger.sum_entries = o.Mc_simtest.Traffic.to_responses
+          | Error _ -> false
+        in
+        {
+          rp_shards = shards;
+          rp_requests = o.Mc_simtest.Traffic.to_requests;
+          rp_responses = o.Mc_simtest.Traffic.to_responses;
+          rp_coalesced = o.Mc_simtest.Traffic.to_coalesced;
+          rp_busy = o.Mc_simtest.Traffic.to_busy;
+          rp_retries = o.Mc_simtest.Traffic.to_retries;
+          rp_critical_s = o.Mc_simtest.Traffic.to_critical_s;
+          rp_total_s = o.Mc_simtest.Traffic.to_total_virtual_s;
+          rp_rps = o.Mc_simtest.Traffic.to_rps_virtual;
+          rp_speedup = 1.0;
+          rp_ledger_ok = ledger_ok;
+          rp_violations = List.length o.Mc_simtest.Traffic.to_violations;
+        })
+      shard_counts
+  in
+  match rows with
+  | [] -> []
+  | first :: _ ->
+      List.map
+        (fun r ->
+          {
+            r with
+            rp_speedup =
+              (if first.rp_rps > 0.0 then r.rp_rps /. first.rp_rps else 0.0);
+          })
+        rows

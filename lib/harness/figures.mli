@@ -250,3 +250,36 @@ val federation_scale :
     exact, skew false positives zero, and cost split into total CPU
     (grows with hosts) vs critical path (stays flat — hosts answer in
     parallel). *)
+
+type replay_row = {
+  rp_shards : int;
+  rp_requests : int;  (** Frames pushed through the session. *)
+  rp_responses : int;
+  rp_coalesced : int;  (** Submissions answered by an in-flight twin. *)
+  rp_busy : int;  (** Busy replies (admission-control events). *)
+  rp_retries : int;
+  rp_critical_s : float;
+      (** Busiest shard's priced virtual seconds — the wall clock on
+          one-core-per-shard hardware. *)
+  rp_total_s : float;  (** Total priced work across shards. *)
+  rp_rps : float;  (** Requests per virtual critical-path second. *)
+  rp_speedup : float;  (** [rp_rps] over the first row's. *)
+  rp_ledger_ok : bool;
+      (** The session's hash chain verified, one entry per response. *)
+  rp_violations : int;  (** Oracle mismatches; must be 0. *)
+}
+
+val replay_throughput :
+  ?shard_counts:int list ->
+  ?requests:int ->
+  ?dup_percent:int ->
+  ?seed:int64 ->
+  unit ->
+  replay_row list
+(** X15: seeded traffic replayed through a full [Mc_engine.Serve]
+    session per shard count — same stream, same window, ledger attested
+    and verified — reporting virtual-clock requests/s, coalesce volume,
+    and admission-control traffic as the engine gains shards. The rps
+    column should scale with shards (the bench asserts ≥2× from 1 to 4)
+    while coalesced stays roughly constant (it depends on the duplicate
+    rate, not the shard count). *)

@@ -310,3 +310,24 @@ let federation_table rows =
            Printf.sprintf "%.3f" r.fd_critical_s;
          ])
        rows)
+
+let replay_table rows =
+  Table.render
+    ~header:
+      [ "shards"; "requests"; "coalesced"; "busy"; "retries";
+        "critical (s)"; "total (s)"; "req/s (virt)"; "speedup"; "ledger" ]
+    (List.map
+       (fun (r : Figures.replay_row) ->
+         [
+           string_of_int r.rp_shards;
+           string_of_int r.rp_requests;
+           string_of_int r.rp_coalesced;
+           string_of_int r.rp_busy;
+           string_of_int r.rp_retries;
+           Printf.sprintf "%.3f" r.rp_critical_s;
+           Printf.sprintf "%.3f" r.rp_total_s;
+           Printf.sprintf "%.0f" r.rp_rps;
+           Printf.sprintf "%.2fx" r.rp_speedup;
+           (if r.rp_ledger_ok then "verified" else "FAILED");
+         ])
+       rows)

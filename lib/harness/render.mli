@@ -44,3 +44,5 @@ val engine_table : Figures.engine_row list -> string
 
 val federation_table : Figures.federation_row list -> string
 (** X12 as a table. *)
+
+val replay_table : Figures.replay_row list -> string

@@ -4,6 +4,7 @@ module Gen = Gen
 module Runner = Runner
 module Shrink = Shrink
 module Fedsim = Fedsim
+module Traffic = Traffic
 
 type campaign_failure = {
   cf_campaign : int;

@@ -12,6 +12,9 @@ module Artifact = Modchecker.Artifact
 module Patrol = Modchecker.Patrol
 module Infect = Mc_malware.Infect
 module Engine = Mc_engine
+module Wire = Mc_engine.Wire
+module Serve = Mc_engine.Serve
+module Exit_code = Modchecker.Exit_code
 module Deferred = Mc_parallel.Deferred
 
 let check = Alcotest.check
@@ -353,30 +356,153 @@ let test_engine_patrol_detects () =
 (* --- request parsing ------------------------------------------------------ *)
 
 let test_request_parsing () =
-  (match Engine.request_of_string "check 0 hal.dll high" with
-  | Ok (Engine.Check { vm = 0; module_name = "hal.dll" }) -> ()
-  | Ok _ -> Alcotest.fail "wrong request"
+  (match Wire.parse_line "check 0 hal.dll high" with
+  | Ok
+      {
+        Wire.f_priority = Engine.High;
+        f_request = Engine.Check { vm = 0; module_name = "hal.dll" };
+      } ->
+      ()
+  | Ok _ -> Alcotest.fail "wrong frame"
   | Error e -> Alcotest.fail e);
-  (match Engine.request_of_string "survey - http.sys" with
-  | Ok (Engine.Survey { module_name = "http.sys" }) -> ()
-  | Ok _ -> Alcotest.fail "wrong request"
+  (match Wire.parse_line "survey - http.sys" with
+  | Ok
+      {
+        Wire.f_priority = Engine.Normal;
+        f_request = Engine.Survey { module_name = "http.sys" };
+      } ->
+      ()
+  | Ok _ -> Alcotest.fail "wrong frame"
   | Error e -> Alcotest.fail e);
-  (match Engine.request_of_string "lists - -" with
-  | Ok Engine.Lists -> ()
-  | Ok _ -> Alcotest.fail "wrong request"
+  (match Wire.parse_line "lists - -" with
+  | Ok { Wire.f_request = Engine.Lists; _ } -> ()
+  | Ok _ -> Alcotest.fail "wrong frame"
   | Error e -> Alcotest.fail e);
-  (match Engine.request_of_string "frobnicate - -" with
+  (match Wire.parse_line "frobnicate - -" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "unknown kind must not parse");
-  (match Engine.priority_of_request_line "check 0 hal.dll low" with
-  | Ok Engine.Low -> ()
+  (match Wire.parse_line "check 0 hal.dll low" with
+  | Ok { Wire.f_priority = Engine.Low; _ } -> ()
   | _ -> Alcotest.fail "priority field");
-  (match Engine.priority_of_request_line "survey - http.sys" with
-  | Ok Engine.Normal -> ()
+  (match Wire.parse_line "survey - http.sys" with
+  | Ok { Wire.f_priority = Engine.Normal; _ } -> ()
   | _ -> Alcotest.fail "default priority");
-  match Engine.priority_of_request_line "check 1 hal.dll -" with
-  | Ok Engine.Normal -> ()
+  match Wire.parse_line "check 1 hal.dll -" with
+  | Ok { Wire.f_priority = Engine.Normal; _ } -> ()
   | _ -> Alcotest.fail "dash priority defaults"
+
+(* --- run: bounded-exponential backoff ------------------------------------- *)
+
+let test_backoff_schedule () =
+  let d0 = Engine.backoff_delay_s ~attempt:0 in
+  check (Alcotest.float 1e-9) "base delay" 0.0005 d0;
+  check (Alcotest.float 1e-9) "doubles per attempt" (2.0 *. d0)
+    (Engine.backoff_delay_s ~attempt:1);
+  let rec monotone a =
+    a > 16
+    || Engine.backoff_delay_s ~attempt:a
+       <= Engine.backoff_delay_s ~attempt:(a + 1) +. 1e-12
+       && monotone (a + 1)
+  in
+  check Alcotest.bool "monotone nondecreasing" true (monotone 0);
+  check (Alcotest.float 1e-9) "capped at 50 ms" 0.05
+    (Engine.backoff_delay_s ~attempt:1000)
+
+(* The old `run` slept a fixed interval on a full queue; the regression
+   guard: stuff the queue to rejection, then `run` must wait its turn by
+   metered backoff — and still come back with a verdict. *)
+let test_run_backs_off_on_full_queue () =
+  let cloud = Cloud.create ~vms:5 ~seed:951L () in
+  let engine =
+    Engine.create ~shards:1 ~workers_per_shard:1 ~queue_bound:2 cloud
+  in
+  let stuffing =
+    [ "hal.dll"; "ntoskrnl.exe"; "tcpip.sys"; "http.sys"; "dummy.sys";
+      "hello.sys" ]
+  in
+  let cells =
+    List.filter_map
+      (fun m ->
+        match Engine.submit engine (Engine.Survey { module_name = m }) with
+        | Ok c -> Some c
+        | Error _ -> None)
+      stuffing
+  in
+  let r = Engine.run engine (Engine.Check { vm = 1; module_name = "hal.dll" }) in
+  let st = Engine.stats engine in
+  Engine.drain engine;
+  List.iter (fun c -> ignore (Deferred.await c)) cells;
+  (match r.Engine.r_outcome with
+  | Engine.Checked (Ok _) -> ()
+  | Engine.Checked (Error e) -> Alcotest.fail e
+  | _ -> Alcotest.fail "expected a check outcome");
+  check Alcotest.bool "run backed off at least once" true
+    (st.Engine.st_run_backoffs > 0)
+
+(* --- stream vs batch: same lines, same verdicts, same exit ----------------- *)
+
+let serve_session ~seed ~infect ~request_lines ~window () =
+  let cloud = Cloud.create ~vms:5 ~seed () in
+  expect_ok (infect cloud);
+  let engine = Engine.create ~shards:2 cloud in
+  let remaining = ref request_lines in
+  let next () =
+    match !remaining with
+    | [] -> None
+    | l :: tl ->
+        remaining := tl;
+        Some l
+  in
+  let verdicts = ref [] in
+  let emit = function
+    | Wire.Resp r -> verdicts := (r.Wire.rs_seq, Wire.verdict_key r) :: !verdicts
+    | _ -> ()
+  in
+  let sv = Serve.run ~window ~emit engine ~next in
+  Engine.drain engine;
+  (List.sort compare !verdicts, sv.Serve.sv_exit)
+
+(* A window-1 stream and a whole-file batch must decide identically for
+   every detection scenario — the window changes pacing, never verdicts. *)
+let test_stream_batch_parity () =
+  let scenarios =
+    [
+      ( "E1 opcode", 931L,
+        (fun c -> Infect.single_opcode_replacement c ~vm:1),
+        [ "check 1 hal.dll high"; "survey - hal.dll"; "check 2 hal.dll low" ] );
+      ( "E2 inline hook", 932L,
+        (fun c -> Infect.inline_hook c ~vm:1),
+        [ "check 1 hal.dll"; "survey - hal.dll -"; "lists - -" ] );
+      ( "E3 stub", 933L,
+        (fun c -> Infect.stub_modification c ~vm:1),
+        [ "check 1 hello.sys"; "survey - hello.sys" ] );
+      ( "E4 injection", 934L,
+        (fun c -> Infect.dll_injection c ~vm:1),
+        [ "check 1 dummy.sys high"; "survey - dummy.sys low" ] );
+      ( "X pointer hook", 935L,
+        (fun c -> Infect.pointer_hook c ~vm:1),
+        [ "check 1 hal.dll"; "check 1 hal.dll"; "survey - hal.dll" ] );
+      ( "X DKOM lists", 936L,
+        (fun c -> Infect.hide_module c ~vm:2 ~module_name:"tcpip.sys"),
+        [ "lists - -"; "check 0 hal.dll" ] );
+    ]
+  in
+  List.iter
+    (fun (name, seed, infect, request_lines) ->
+      let batch_v, batch_exit =
+        serve_session ~seed ~infect ~request_lines ~window:max_int ()
+      in
+      let stream_v, stream_exit =
+        serve_session ~seed ~infect ~request_lines ~window:1 ()
+      in
+      check
+        Alcotest.(list (pair int string))
+        (name ^ ": per-request verdicts") batch_v stream_v;
+      check Alcotest.int (name ^ ": exit code") batch_exit stream_exit;
+      check Alcotest.int
+        (name ^ ": infection reaches the exit status")
+        Exit_code.infected stream_exit)
+    scenarios
 
 (* --- versioned report JSON ------------------------------------------------ *)
 
@@ -563,6 +689,125 @@ let prop_survey_roundtrip =
       | Ok s' -> s' = s
       | Error e -> QCheck.Test.fail_reportf "parse failed: %s" e)
 
+(* qcheck: the wire reply codec round-trips arbitrary well-formed frames.
+   Floats are drawn as multiples of 1/64 — exact in binary, so the
+   emitter's shortest-form printing cannot perturb them. *)
+
+let gen_q64 = QCheck.Gen.(map (fun n -> float_of_int n /. 64.0) (int_bound 4096))
+
+let gen_priority = QCheck.Gen.oneofl [ Engine.High; Engine.Normal; Engine.Low ]
+
+let gen_request =
+  QCheck.Gen.(
+    oneof
+      [
+        map2
+          (fun vm m -> Engine.Check { vm; module_name = m })
+          (int_bound 15)
+          (oneofl [ "hal.dll"; "http.sys" ]);
+        map
+          (fun m -> Engine.Survey { module_name = m })
+          (oneofl [ "hal.dll"; "tcpip.sys" ]);
+        return Engine.Lists;
+      ])
+
+let gen_frame =
+  QCheck.Gen.(
+    map2
+      (fun p r -> { Wire.f_priority = p; f_request = r })
+      gen_priority gen_request)
+
+let gen_lists_comparison =
+  QCheck.Gen.(
+    map2
+      (fun ds unreachable ->
+        { Orchestrator.lc_discrepancies = ds; lc_unreachable = unreachable })
+      (list_size (int_bound 3)
+         (map
+            (fun (m, p, miss) ->
+              { Orchestrator.ld_module = m; present_on = p; missing_on = miss })
+            (tup3
+               (oneofl [ "tcpip.sys"; "rootkit.sys" ])
+               (list_size (int_bound 4) (int_bound 15))
+               (list_size (int_bound 4) (int_bound 15)))))
+      (list_size (int_bound 2)
+         (tup2 (int_bound 15) (oneofl [ "gone"; "mute" ]))))
+
+(* The body shape follows the request kind, so the generator keys the
+   body on the frame — exactly the invariant the decoder relies on. *)
+let gen_resp =
+  QCheck.Gen.(
+    gen_frame >>= fun frame ->
+    let gen_err =
+      map
+        (fun e -> Wire.Error_body e)
+        (oneofl [ "Dom3 unreachable: powered off"; "module not found" ])
+    in
+    let gen_body =
+      match frame.Wire.f_request with
+      | Engine.Check _ ->
+          oneof [ map (fun r -> Wire.Report_body r) gen_module_report; gen_err ]
+      | Engine.Survey _ ->
+          oneof [ map (fun s -> Wire.Survey_body s) gen_survey; gen_err ]
+      | Engine.Lists ->
+          oneof
+            [ map (fun lc -> Wire.Lists_body lc) gen_lists_comparison; gen_err ]
+    in
+    map
+      (fun ((seq, shard, wait, service), (meter, root, body)) ->
+        {
+          Wire.rs_seq = seq;
+          rs_frame = frame;
+          rs_shard = shard;
+          rs_wait_s = wait;
+          rs_service_s = service;
+          rs_meter = meter;
+          rs_root = root;
+          rs_body = body;
+        })
+      (tup2
+         (tup4 (int_bound 10000) (int_bound 7) gen_q64 gen_q64)
+         (tup3
+            (list_size (int_bound 4)
+               (tup2
+                  (oneofl
+                     [ "searcher.vm_reads"; "parser.headers";
+                       "checker.md5_blocks" ])
+                  (int_bound 5000)))
+            (opt gen_hex) gen_body)))
+
+let gen_reply =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun r -> Wire.Resp r) gen_resp;
+        map
+          (fun (seq, retry, bound) ->
+            Wire.Busy
+              { b_seq = seq; b_retry_after_s = retry; b_queue_bound = bound })
+          (tup3 (int_bound 10000) gen_q64 (int_bound 256));
+        map (fun seq -> Wire.Draining { d_seq = seq }) (int_bound 10000);
+        map
+          (fun (seq, e) -> Wire.Invalid { i_seq = seq; i_error = e })
+          (tup2 (int_bound 10000)
+             (oneofl
+                [ "unknown request kind frobnicate"; "check: VM index expected" ]));
+      ])
+
+let prop_wire_reply_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"wire reply JSON round-trips"
+    (QCheck.make gen_reply) (fun reply ->
+      match Wire.reply_of_json (reparse (Wire.reply_to_json reply)) with
+      | Ok reply' -> reply' = reply
+      | Error e -> QCheck.Test.fail_reportf "parse failed: %s" e)
+
+let prop_frame_line_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"frame/line round-trips"
+    (QCheck.make gen_frame) (fun f ->
+      match Wire.parse_line (Wire.line_of_frame f) with
+      | Ok f' -> f' = f
+      | Error e -> QCheck.Test.fail_reportf "parse failed: %s" e)
+
 let () =
   Alcotest.run "engine"
     [
@@ -592,6 +837,11 @@ let () =
           Alcotest.test_case "patrol via engine" `Quick
             test_engine_patrol_detects;
           Alcotest.test_case "request parsing" `Quick test_request_parsing;
+          Alcotest.test_case "backoff schedule" `Quick test_backoff_schedule;
+          Alcotest.test_case "run backs off on full queue" `Quick
+            test_run_backs_off_on_full_queue;
+          Alcotest.test_case "stream/batch parity" `Quick
+            test_stream_batch_parity;
         ] );
       ( "report-json",
         [
@@ -602,5 +852,10 @@ let () =
           Alcotest.test_case "schema rejected" `Quick test_json_schema_rejected;
           QCheck_alcotest.to_alcotest prop_report_roundtrip;
           QCheck_alcotest.to_alcotest prop_survey_roundtrip;
+        ] );
+      ( "wire-json",
+        [
+          QCheck_alcotest.to_alcotest prop_wire_reply_roundtrip;
+          QCheck_alcotest.to_alcotest prop_frame_line_roundtrip;
         ] );
     ]
