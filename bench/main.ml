@@ -164,6 +164,31 @@ let ablations () =
     (if ttd_ok then "(floor is 10x: OK)" else "(REGRESSION: floor is 10x)");
   if not (cost_ok && ttd_ok) then exit 1;
 
+  section "X16: evasive TOCTOU adversary — detection probability vs \
+           patrol cadence";
+  let rows = Mc_harness.Figures.evasion_detection () in
+  print_string (Mc_harness.Render.evasion_table rows);
+  let poll30 =
+    List.find (fun r -> r.Mc_harness.Figures.ez_label = "poll 30s") rows
+  in
+  let trap =
+    List.find (fun r -> r.Mc_harness.Figures.ez_label = "event-driven") rows
+  in
+  (* Acceptance floors: the restore write itself traps, so event-driven
+     detection must be (near) certain, while 30 s polling against a
+     5 s dwell sits near the dwell-ratio floor and must NOT look
+     reliable — if it does, the adversary model has gone soft. *)
+  let trap_ok = trap.Mc_harness.Figures.ez_detect_p >= 0.99 in
+  let poll_ok = poll30.Mc_harness.Figures.ez_detect_p <= 0.5 in
+  Printf.printf "event-driven detection probability %.3f %s\n"
+    trap.Mc_harness.Figures.ez_detect_p
+    (if trap_ok then "(floor is 0.99: OK)" else "(REGRESSION: floor is 0.99)");
+  Printf.printf "poll-30s detection probability %.3f %s\n"
+    poll30.Mc_harness.Figures.ez_detect_p
+    (if poll_ok then "(ceiling is 0.5: OK)"
+     else "(REGRESSION: polling should sit near dwell/period)");
+  if not (trap_ok && poll_ok) then exit 1;
+
   section "X9: detection under injected transient VMI faults (bounded \
            retries, quorum-aware verdicts)";
   print_string

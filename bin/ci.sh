@@ -351,3 +351,66 @@ if [ "$ledger_status" -eq 0 ]; then
   exit 1
 fi
 echo "serving & attestation smoke OK: 200 responses, chain verified, corruption caught"
+
+echo "== evasion smoke (TOCTOU adversary vs patrol cadence, tamper vs anchors) =="
+evade_out="$(mktemp -t modchecker_evade.XXXXXX.txt)"
+trap 'rm -f "$trace" "$metrics" "$detect" "$reqs" "$serve_out" "$sim1" "$sim2" "$simfail" "$fed" "$merkle_fig" "$ev" "$ledger" "$stream_out" "$evade_out"' EXIT
+
+# A slow 30 s poll must lose the TOCTOU race: a restorer that dwells 25 s
+# out of every 60 s, phased between sweeps, is never caught (exit 0) and
+# the report says so in as many words.
+set +e
+dune exec --no-build bin/modchecker_cli.exe -- \
+  evade --strategy toctou --vms 4 --vm 1 --start 1 --dwell 25 \
+  --period 60 --duration 240 --interval 30 > "$evade_out" 2>&1
+evade_status=$?
+set -e
+if [ "$evade_status" -ne 0 ]; then
+  echo "ci: evasion smoke failed: phased TOCTOU run exited $evade_status (want 0, evaded)" >&2
+  cat "$evade_out" >&2
+  exit 1
+fi
+grep -q 'EVADED' "$evade_out" || {
+  echo "ci: evasion smoke failed: phased TOCTOU run did not report EVADED" >&2
+  cat "$evade_out" >&2
+  exit 1
+}
+
+# The same adversary against write traps has no window at all: the first
+# dirty byte fires a reaction (exit 2, hash deviation).
+set +e
+dune exec --no-build bin/modchecker_cli.exe -- \
+  evade --strategy toctou --vms 4 --vm 1 --start 65 --dwell 5 \
+  --period 60 --duration 240 --event-driven > "$evade_out" 2>&1
+evade_status=$?
+set -e
+if [ "$evade_status" -ne 2 ]; then
+  echo "ci: evasion smoke failed: event-driven TOCTOU run exited $evade_status (want 2)" >&2
+  cat "$evade_out" >&2
+  exit 1
+fi
+grep -q 'hash deviation' "$evade_out" || {
+  echo "ci: evasion smoke failed: no hash-deviation alarm against write traps" >&2
+  cat "$evade_out" >&2
+  exit 1
+}
+
+# A checker-tamperer that shims the foreign-read channel fools every
+# survey, but the raw-physical anchor audit contradicts the cache.
+set +e
+dune exec --no-build bin/modchecker_cli.exe -- \
+  evade --strategy tamper --vms 4 --vm 1 --start 65 --duration 240 \
+  --interval 30 --incremental > "$evade_out" 2>&1
+evade_status=$?
+set -e
+if [ "$evade_status" -ne 2 ]; then
+  echo "ci: evasion smoke failed: tamper run exited $evade_status (want 2)" >&2
+  cat "$evade_out" >&2
+  exit 1
+fi
+grep -q 'anchor mismatch' "$evade_out" || {
+  echo "ci: evasion smoke failed: no anchor-mismatch alarm against the shim" >&2
+  cat "$evade_out" >&2
+  exit 1
+}
+echo "evasion smoke OK: poll-30 evaded, write traps caught, anchor audit beat the shim"

@@ -438,7 +438,7 @@ let detect_cmd =
 type which_figure =
   | Fig7 | Fig8 | Fig9 | Ablation | Parallelism | Baselines | Strategy
   | PatrolFig | Incremental | MerkleFig | Faults | EngineFig | FederationFig
-  | EventsFig | ReplayFig
+  | EventsFig | ReplayFig | EvasionFig
   | All
 
 let which_arg =
@@ -452,7 +452,8 @@ let which_arg =
              ("patrol", PatrolFig); ("incremental", Incremental);
              ("merkle", MerkleFig); ("faults", Faults); ("engine", EngineFig);
              ("federation", FederationFig); ("events", EventsFig);
-             ("replay", ReplayFig); ("all", All) ])
+             ("replay", ReplayFig); ("evasion", EvasionFig);
+             ("all", All) ])
         All
     & info [ "which" ] ~docv:"WHICH" ~doc)
 
@@ -530,6 +531,11 @@ let run_figures which vms cores seed =
       (Mc_harness.Render.replay_table
          (Mc_harness.Figures.replay_throughput ~seed ()))
   in
+  let evasion_fig () =
+    print_string
+      (Mc_harness.Render.evasion_table
+         (Mc_harness.Figures.evasion_detection ()))
+  in
   match which with
   | Fig7 -> fig7 ()
   | Fig8 -> fig8 ()
@@ -546,6 +552,7 @@ let run_figures which vms cores seed =
   | FederationFig -> federation_fig ()
   | EventsFig -> events_fig ()
   | ReplayFig -> replay_fig ()
+  | EvasionFig -> evasion_fig ()
   | All ->
       fig7 ();
       fig8 ();
@@ -561,7 +568,8 @@ let run_figures which vms cores seed =
       engine_fig ();
       federation_fig ();
       events_fig ();
-      replay_fig ()
+      replay_fig ();
+      evasion_fig ()
 
 let figures_cmd =
   let doc = "Regenerate the paper's evaluation figures and the extensions." in
@@ -917,6 +925,178 @@ let patrol_cmd =
       $ canonical_arg $ incremental_arg $ merkle_arg $ event_driven_arg
       $ fault_spec_arg $ quorum_arg $ deadline_arg $ trace_arg $ metrics_arg)
 
+(* --- evade --------------------------------------------------------------- *)
+
+module Strategy = Mc_malware.Strategy
+
+let run_evade verbose vms cores seed strategy vm victims module_name func
+    start dwell period duration interval incremental merkle event_driven
+    quorum deadline trace metrics =
+  with_telemetry trace metrics @@ fun () ->
+  setup_logs verbose;
+  let cloud = make_cloud vms cores seed in
+  let machine =
+    or_die
+      (match strategy with
+      | Strategy.Toctou ->
+          Strategy.toctou ~module_name ?func cloud ~vm ~start ~dwell ~period
+      | Strategy.Pager -> Strategy.pager ~module_name ?func cloud ~vm ~start
+      | Strategy.Race ->
+          let vs =
+            if victims <> [] then victims
+            else List.init ((vms / 2) + 1) Fun.id
+          in
+          Strategy.race ~module_name ?func cloud ~vms:vs ~start
+      | Strategy.Tamper ->
+          Strategy.tamper ~module_name ?func cloud ~vm ~start)
+  in
+  Printf.printf
+    "adversary: %s on %s, target %s:%s, start %.1fs, dwell %s, period %s\n"
+    (Strategy.kind_key (Strategy.kind machine))
+    (String.concat ","
+       (List.map
+          (fun v -> Printf.sprintf "Dom%d" (v + 1))
+          (Strategy.vms machine)))
+    (Strategy.target machine) (Strategy.func machine)
+    (Strategy.start machine)
+    (let d = Strategy.dwell machine in
+     if d = infinity then "inf" else Printf.sprintf "%.1fs" d)
+    (let p = Strategy.period machine in
+     if p = infinity then "inf" else Printf.sprintf "%.1fs" p);
+  let events = Strategy.events machine ~until:duration in
+  let inc = incremental || merkle || event_driven in
+  let config =
+    {
+      Modchecker.Patrol.default_config with
+      Modchecker.Patrol.watch = [ module_name ];
+      interval_s = interval;
+      incremental = inc;
+      (* The read-channel anchor audit is what catches the
+         checker-tamperer; it rides on the incremental caches, so arm it
+         whenever they exist. *)
+      audit_anchors = inc;
+      check =
+        make_check_config ~merkle:(merkle || event_driven) ~quorum ?deadline
+          ();
+    }
+  in
+  let o =
+    try
+      if event_driven then
+        Modchecker.Patrol.run_events ~config ~events cloud ~until:duration
+      else Modchecker.Patrol.run ~config ~events cloud ~until:duration
+    with Failure msg ->
+      prerr_endline ("adversary mutation failed: " ^ msg);
+      exit Exit_code.error
+  in
+  Printf.printf
+    "patrol finished: %d sweeps + %d reactions over %.1fs virtual; \
+     adversary performed %d infection(s), %d restore(s)%s\n"
+    o.Modchecker.Patrol.sweeps o.Modchecker.Patrol.reactions
+    o.Modchecker.Patrol.virtual_elapsed
+    (Strategy.infections machine)
+    (Strategy.restores machine)
+    (if Strategy.masked machine then " (foreign-read shim still installed)"
+     else "");
+  (match
+     Modchecker.Patrol.time_to_detect o ~module_name ~infected_at:start
+   with
+  | Some d -> Printf.printf "detected %.3fs after the first infection\n" d
+  | None ->
+      Printf.printf "EVADED: no integrity alarm named %s after t=%.1fs\n"
+        module_name start);
+  if o.Modchecker.Patrol.alarms = [] then print_endline "no alarms."
+  else begin
+    print_endline "alarm log:";
+    List.iter
+      (fun a ->
+        Printf.printf "  [t=%6.1fs] %-25s %s on %s\n" a.Modchecker.Patrol.at
+          (Modchecker.Patrol.alarm_kind_string a.Modchecker.Patrol.kind)
+          a.Modchecker.Patrol.alarm_module
+          (String.concat ","
+             (List.map
+                (fun v -> Printf.sprintf "Dom%d" (v + 1))
+                a.Modchecker.Patrol.alarm_vms)))
+      o.Modchecker.Patrol.alarms;
+    exit Exit_code.infected
+  end
+
+let evade_cmd =
+  let doc =
+    "Launch an evasive adversary (TOCTOU restorer, pager, coordinated \
+     racer, checker-tamperer) against the patrol and report whether it \
+     was caught."
+  in
+  let strategy_arg =
+    let strategies =
+      Array.to_list
+        (Array.map
+           (fun k -> (Strategy.kind_key k, k))
+           Strategy.all_kinds)
+    in
+    Arg.(
+      value
+      & opt (enum strategies) Strategy.Toctou
+      & info [ "strategy" ] ~docv:"NAME"
+          ~doc:"Adversary strategy: 'toctou' (infect, restore after \
+                --dwell, re-infect every --period), 'pager' (hook, then \
+                make the victim unmappable from Dom0), 'race' \
+                (coordinated opcode patch on --victims to flip the \
+                vote), or 'tamper' (foreign-read shim serving clean \
+                bytes to the checker).")
+  in
+  let victims_arg =
+    Arg.(value & opt int_list_conv [] & info [ "victims" ] ~docv:"I,I,..."
+         ~doc:"VMs the coordinated racer patches (--strategy race); \
+               defaults to the smallest strict majority 0,1,...")
+  in
+  let func_arg =
+    Arg.(value & opt (some string) None & info [ "func" ] ~docv:"SYMBOL"
+         ~doc:"Exported function to hook (default HalInitSystem).")
+  in
+  let start_arg =
+    Arg.(value & opt float 65.0 & info [ "start" ] ~docv:"SECONDS"
+         ~doc:"Virtual time of the first infection.")
+  in
+  let dwell_arg =
+    Arg.(value & opt float 5.0 & info [ "dwell" ] ~docv:"SECONDS"
+         ~doc:"TOCTOU dirty-window length before the clean bytes come \
+               back.")
+  in
+  let period_arg =
+    Arg.(value & opt float 60.0 & info [ "period" ] ~docv:"SECONDS"
+         ~doc:"TOCTOU re-infection period ('inf' for one cycle).")
+  in
+  let duration_arg =
+    Arg.(value & opt float 300.0 & info [ "duration" ] ~docv:"SECONDS"
+         ~doc:"Virtual seconds to patrol.")
+  in
+  let interval_arg =
+    Arg.(value & opt float 30.0 & info [ "interval" ] ~docv:"SECONDS"
+         ~doc:"Sweep interval (a polling checker only catches a TOCTOU \
+               restorer when a sweep lands inside a dirty window).")
+  in
+  let incremental_arg =
+    Arg.(value & flag & info [ "incremental" ]
+         ~doc:"Track dirty pages between sweeps; also arms the \
+               read-channel anchor audit that catches the \
+               checker-tamperer.")
+  in
+  let event_driven_arg =
+    Arg.(value & flag & info [ "event-driven" ]
+         ~doc:"Replace polling with hypervisor write traps: the TOCTOU \
+               restorer's own restore write triggers the re-check \
+               (implies --incremental and --merkle).")
+  in
+  Cmd.v
+    (Cmd.info "evade" ~doc)
+    Term.(
+      const run_evade $ verbose_arg $ vms_arg $ cores_arg $ seed_arg
+      $ strategy_arg $ vm_arg $ victims_arg $ module_arg $ func_arg
+      $ start_arg $ dwell_arg $ period_arg $ duration_arg $ interval_arg
+      $ incremental_arg $ merkle_arg $ event_driven_arg $ quorum_arg
+      $ deadline_arg $ trace_arg $ metrics_arg)
+
 (* --- serve ---------------------------------------------------------------- *)
 
 module Wire = Mc_engine.Wire
@@ -1262,7 +1442,7 @@ let disasm_cmd =
 (* --- simtest ------------------------------------------------------------- *)
 
 let run_simtest verbose seed steps campaigns keep_going break_checker
-    shrink_budget quorum federation script transcript_out =
+    shrink_budget quorum federation require_coverage script transcript_out =
   setup_logs verbose;
   (* Thousands of deliberate infections later, per-alarm warnings are
      noise; the transcript and the oracle's verdict are the output. *)
@@ -1320,9 +1500,19 @@ let run_simtest verbose seed steps campaigns keep_going break_checker
                 f.Mc_simtest.Runner.f_step f.Mc_simtest.Runner.f_reason;
               exit Exit_code.error))
   | None ->
+      let required =
+        match require_coverage with
+        | None -> []
+        | Some "all" -> Mc_simtest.Gen.weighted_classes
+        | Some spec ->
+            String.split_on_char ',' spec
+            |> List.map String.trim
+            |> List.filter (fun s -> s <> "")
+      in
       let r =
         Mc_simtest.run_campaigns ~break_checker ~keep_going
-          ~shrink_budget ?quorum ~seed ~steps ~campaigns ()
+          ~shrink_budget ?quorum ~require_coverage:required ~seed ~steps
+          ~campaigns ()
       in
       write_transcript r.Mc_simtest.cr_transcript;
       Printf.printf
@@ -1330,11 +1520,23 @@ let run_simtest verbose seed steps campaigns keep_going break_checker
         r.Mc_simtest.cr_campaigns r.Mc_simtest.cr_applied
         r.Mc_simtest.cr_skipped
         (List.length r.Mc_simtest.cr_failures);
+      if required <> [] then
+        Printf.printf "coverage: %d/%d required class(es) fired\n"
+          (List.length required - List.length r.Mc_simtest.cr_starved)
+          (List.length required);
+      if r.Mc_simtest.cr_starved <> [] then begin
+        Printf.printf
+          "STARVED generator class(es) — whole families went untested:\n";
+        List.iter
+          (fun k -> Printf.printf "  %s\n" k)
+          r.Mc_simtest.cr_starved
+      end;
       List.iter
         (fun cf -> print_string (Mc_simtest.render_failure cf))
         r.Mc_simtest.cr_failures;
       exit
-        (if r.Mc_simtest.cr_failures = [] then Exit_code.ok
+        (if r.Mc_simtest.cr_failures = [] && r.Mc_simtest.cr_starved = []
+         then Exit_code.ok
          else Exit_code.error)
 
 let simtest_cmd =
@@ -1385,12 +1587,23 @@ let simtest_cmd =
                coordinated whole-host infections, and version skew \
                against the fleet-level oracle (Fedsim).")
   in
+  let require_coverage_arg =
+    Arg.(value & opt (some string) None & info [ "require-coverage" ]
+         ~docv:"CLASSES"
+         ~doc:"Fail (exit 1) unless every named coverage class fired at \
+               least once across the soak: 'all' for the generator's \
+               whole universe, or a comma-separated list (e.g. \
+               'evade.toctou,infect.hook'). A passing soak with a \
+               starved generator proves nothing about the starved \
+               family.")
+  in
   Cmd.v
     (Cmd.info "simtest" ~doc)
     Term.(
       const run_simtest $ verbose_arg $ seed_arg $ steps_arg $ campaigns_arg
       $ keep_going_arg $ break_checker_arg $ shrink_budget_arg
-      $ sim_quorum_arg $ federation_arg $ script_arg $ transcript_arg)
+      $ sim_quorum_arg $ federation_arg $ require_coverage_arg $ script_arg
+      $ transcript_arg)
 
 (* --- main --------------------------------------------------------------- *)
 
@@ -1405,6 +1618,6 @@ let () =
        (Cmd.group info
           [
             check_cmd; survey_cmd; list_cmd; detect_cmd; figures_cmd;
-            patrol_cmd; health_cmd; federate_cmd; serve_cmd; ledger_cmd;
-            disasm_cmd; simtest_cmd;
+            patrol_cmd; evade_cmd; health_cmd; federate_cmd; serve_cmd;
+            ledger_cmd; disasm_cmd; simtest_cmd;
           ]))

@@ -1413,6 +1413,41 @@ let watch_pfns inc dom ~vm ~watch =
   List.map (fun name -> (Watch_module name, module_pfns name)) watch
   @ [ (Watch_lists, fp inc.inc_lists list_key) ]
 
+(* Cross-check the two Dom0 read channels over the cached watch
+   footprints: the page-granular foreign mapping (what every checker
+   read uses — and what a SEVurity-style in-guest adversary can shim)
+   against the hypervisor's own byte-granular physical read path (which
+   it cannot). Any byte difference means something is lying to the
+   checker about a page it vouches for. A page whose map faults is
+   skipped rather than flagged: a dropped mapping is a fault-plan event,
+   not evidence of tampering. *)
+let audit_anchors ?meter inc cloud ~watch =
+  let page = Mc_memsim.Phys.frame_size in
+  let mismatches = ref [] in
+  for vm = 0 to Cloud.vm_count cloud - 1 do
+    let dom = Cloud.vm cloud vm in
+    List.iter
+      (fun (src, pfns) ->
+        match src with
+        | Watch_lists -> ()
+        | Watch_module m ->
+            let tampered =
+              List.exists
+                (fun pfn ->
+                  match Xenctl.map_foreign_page ?meter dom pfn with
+                  | mapped ->
+                      let raw = Bytes.create page in
+                      Xenctl.read_foreign_pa ?meter dom (pfn * page) raw 0
+                        page;
+                      not (Bytes.equal mapped raw)
+                  | exception Xenctl.Map_fault _ -> false)
+                pfns
+            in
+            if tampered then mismatches := (m, vm) :: !mismatches)
+      (watch_pfns inc dom ~vm ~watch)
+  done;
+  List.sort_uniq compare !mismatches
+
 let merkle_root inc cloud ~vm ~module_name =
   let dom = Cloud.vm cloud vm in
   let epoch = Xenctl.memory_epoch dom in

@@ -287,6 +287,24 @@ val watch_pfns :
     current-epoch cache entry maps to [[]]: it cannot be armed until a
     survey repopulates the cache. Dom0-local and unmetered. *)
 
+val audit_anchors :
+  ?meter:Mc_hypervisor.Meter.t ->
+  incremental ->
+  Mc_hypervisor.Cloud.t ->
+  watch:string list ->
+  (string * int) list
+(** [audit_anchors inc cloud ~watch] cross-checks, for every VM and every
+    cached watch footprint page of the watched modules, the page-granular
+    foreign mapping (the channel all checker reads use — and the one a
+    SEVurity-style in-guest adversary can interpose on) against the
+    hypervisor's byte-granular physical read path (which in-guest code
+    cannot reach). Returns the sorted [(module, vm)] pairs where the two
+    channels disagree on at least one byte — each is a checker-tampering
+    detection, not a guest-integrity verdict. Pages with no current-epoch
+    footprint are skipped (nothing cached to vouch for), as are pages
+    whose foreign map faults (a fault-plan dropout is not tampering).
+    Metered: one page map plus one physical read per audited page. *)
+
 val merkle_root :
   incremental ->
   Mc_hypervisor.Cloud.t ->

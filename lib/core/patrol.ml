@@ -13,6 +13,7 @@ type alarm_kind =
   | Missing_module
   | List_discrepancy
   | Quorum_loss
+  | Anchor_mismatch
 
 type alarm = {
   at : float;
@@ -28,6 +29,7 @@ type config = {
   workers : int;
   compare_lists : bool;
   incremental : bool;
+  audit_anchors : bool;
   check : Orchestrator.Config.t;
 }
 
@@ -39,6 +41,7 @@ let default_config =
     workers = 1;
     compare_lists = true;
     incremental = false;
+    audit_anchors = false;
     check = Orchestrator.Config.default;
   }
 
@@ -56,6 +59,7 @@ type outcome = {
 type sweep_work = {
   sw_surveys : (string * Report.survey * Meter.t) list;
   sw_lists : (Orchestrator.list_comparison * Meter.t) option;
+  sw_anchors : (string * int) list;
   sw_overhead : Meter.t option;
 }
 
@@ -66,12 +70,14 @@ let alarm_kind_string = function
   | Missing_module -> "missing module"
   | List_discrepancy -> "module-list discrepancy"
   | Quorum_loss -> "quorum loss"
+  | Anchor_mismatch -> "merkle anchor mismatch"
 
 let alarm_kind_key = function
   | Hash_deviation -> "hash_deviation"
   | Missing_module -> "missing_module"
   | List_discrepancy -> "list_discrepancy"
   | Quorum_loss -> "quorum_loss"
+  | Anchor_mismatch -> "anchor_mismatch"
 
 (* Keep log-dirty tracking armed on every guest. A reboot or restore
    replaces the guest's physical memory (new epoch) with tracking off, so
@@ -154,6 +160,17 @@ let alarms_of_work config work =
               }
               :: !sweep_alarms)
         comparison.Orchestrator.lc_discrepancies);
+  List.iter
+    (fun (module_name, vm) ->
+      sweep_alarms :=
+        {
+          at = 0.0;
+          alarm_module = module_name;
+          alarm_vms = [ vm ];
+          kind = Anchor_mismatch;
+        }
+        :: !sweep_alarms)
+    work.sw_anchors;
   !sweep_alarms
 
 (* Price one batch of checking work: total Dom0 CPU plus the virtual wall
@@ -334,7 +351,17 @@ let run ?(config = default_config) ?(events = []) cloud ~until =
       end
       else None
     in
-    { sw_surveys; sw_lists; sw_overhead }
+    let sw_anchors =
+      (* Cross-check the two Dom0 read channels over the footprints the
+         surveys just cached. Needs the incremental caches — without
+         them there is no footprint to vouch for. *)
+      match incremental with
+      | Some inc when config.audit_anchors ->
+          let m = match sw_overhead with Some m -> m | None -> Meter.create () in
+          Orchestrator.audit_anchors ~meter:m inc cloud ~watch:config.watch
+      | _ -> []
+    in
+    { sw_surveys; sw_lists; sw_anchors; sw_overhead }
   in
   run_driven ~config ~events cloud ~until driver
 
@@ -491,10 +518,16 @@ module Events = struct
           s.es_lists ~high:(not full) ()
         else None
       in
+      let sw_anchors =
+        if s.es_config.audit_anchors then
+          Orchestrator.audit_anchors ~meter:overhead s.es_inc s.es_cloud
+            ~watch:mods
+        else []
+      in
       (* Arm (or re-arm) against the fresh footprints the surveys just
          cached; the delta hypercalls are part of this batch's cost. *)
       List.iter (fun vm -> rearm_vm s overhead vm) (vms s);
-      let work = { sw_surveys; sw_lists; sw_overhead = Some overhead } in
+      let work = { sw_surveys; sw_lists; sw_anchors; sw_overhead = Some overhead } in
       let raw = alarms_of_work s.es_config work in
       let cpu, wall = price_work s.es_config s.es_cloud work in
       let finish = now +. wall in
@@ -509,7 +542,8 @@ module Events = struct
           (fun a ->
             match a.kind with
             | Quorum_loss -> None
-            | Hash_deviation | Missing_module | List_discrepancy -> (
+            | Hash_deviation | Missing_module | List_discrepancy
+            | Anchor_mismatch -> (
                 (* Detection latency: guest write (the trap's timestamp)
                    to alarm. An alarm with no trap behind it (a safety
                    sweep catching something watches missed) has no
@@ -713,7 +747,9 @@ let time_to_detect outcome ~module_name ~infected_at =
          made a fault burst preceding the real detection look like an
          instant catch. *)
       match a.kind with
-      | Hash_deviation | Missing_module ->
+      | Hash_deviation | Missing_module | Anchor_mismatch ->
+          (* Anchor mismatches count: catching the shim that hides an
+             infection is catching the compromise. *)
           if a.alarm_module = module_name && a.at >= infected_at then
             Some (a.at -. infected_at)
           else None

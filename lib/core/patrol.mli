@@ -25,6 +25,13 @@ type alarm_kind =
           deliberately distinct from every integrity alarm: a sweep that
           degrades raises this and {e only} this for the affected module,
           so fault bursts can never masquerade as infections. *)
+  | Anchor_mismatch
+      (** The two Dom0 read channels disagree over a cached watch
+          footprint page: the foreign mapping (which an in-guest,
+          SEVurity-style adversary can interpose on) returned different
+          bytes than the hypervisor's own physical read path. Evidence
+          the {e checker's view} is being tampered with — raised only by
+          sweeps run with [audit_anchors]. *)
 
 type alarm = {
   at : float;  (** Virtual time the sweep that saw it completed. *)
@@ -44,6 +51,13 @@ type config = {
           fingerprints across sweeps: a steady-state sweep prices as
           staleness probes plus re-checks of only the VMs whose relevant
           pages were written. Detection verdicts are unchanged. *)
+  audit_anchors : bool;
+      (** Each sweep additionally cross-checks the foreign-mapping read
+          channel against the hypervisor's physical read path over every
+          cached watch footprint page, raising [Anchor_mismatch] on any
+          disagreement ({!Orchestrator.audit_anchors}). Requires
+          [incremental] (the footprints live in its caches); without it
+          the audit has nothing to vouch for and is skipped. *)
   check : Orchestrator.Config.t;
       (** How each survey runs: strategy, quorum, deadline. The [mode]
           and [incremental] fields are overridden by the patrol itself
@@ -81,6 +95,11 @@ type sweep_work = {
           priced it (each meter is one schedulable job). *)
   sw_lists : (Orchestrator.list_comparison * Mc_hypervisor.Meter.t) option;
       (** The DKOM list comparison, when the sweep ran one. *)
+  sw_anchors : (string * int) list;
+      (** Sorted [(module, vm)] pairs where the read-channel audit found
+          the foreign mapping lying about a footprint page ([[]] when
+          the audit did not run or found nothing); each becomes an
+          [Anchor_mismatch] alarm. *)
   sw_overhead : Mc_hypervisor.Meter.t option;
       (** Maintenance work outside any survey (e.g. log-dirty arm and
           dirty-bitmap drain), priced into the sweep like a job. *)
@@ -223,11 +242,11 @@ val run :
 val time_to_detect :
   outcome -> module_name:string -> infected_at:float -> float option
 (** [time_to_detect outcome ~module_name ~infected_at] is the delay from
-    infection to the first {e integrity} alarm ([Hash_deviation] or
-    [Missing_module]) naming the module at or after that time; [None]
-    when no such alarm fired. Availability ([Quorum_loss]) and
-    list-comparison alarms never count — a degraded sweep naming the
-    module is not a detection. *)
+    infection to the first {e integrity} alarm ([Hash_deviation],
+    [Missing_module], or [Anchor_mismatch]) naming the module at or
+    after that time; [None] when no such alarm fired. Availability
+    ([Quorum_loss]) and list-comparison alarms never count — a degraded
+    sweep naming the module is not a detection. *)
 
 val alarm_kind_string : alarm_kind -> string
 (** Human-readable label, e.g. ["missing module"]. *)

@@ -108,21 +108,6 @@ let canonicalize ~bases buffers =
           let rvas =
             Array.mapi (fun i v -> (v - bases.(i)) land mask32) values
           in
-          (* A genuine slot holds [base_i + rva], so copies at different
-             bases must hold different raw words. Two distinct-base
-             copies with the same word prove the position is plain
-             content — without this, a misaligned word inside an
-             infected copy's divergence can coincidentally rva-match one
-             clean copy and outvote the identical remaining clean ones. *)
-          let content_pair = ref false in
-          for a = 0 to n - 1 do
-            for b = a + 1 to n - 1 do
-              if bases.(a) <> bases.(b) && values.(a) = values.(b) then
-                content_pair := true
-            done
-          done;
-          if !content_pair then incr j
-          else
           (* Majority RVA, voting by distinct load base: copies that
              share a base agree on the implied RVA of any byte range
              trivially, so they carry one vote together — counting them
@@ -148,12 +133,34 @@ let canonicalize ~bases buffers =
                 if c > bc then (r, c) else acc)
               support (0, 0)
           in
+          (* A genuine slot holds [base_i + rva], so two distinct-base
+             copies with the same raw word prove the position is plain
+             content for those copies. That only disqualifies the slot
+             when such a pair reaches into the winning RVA group (a
+             misaligned word inside an infected copy's divergence can
+             coincidentally rva-match one clean copy and outvote the
+             identical remaining clean ones). A pair entirely outside
+             the winner — e.g. two copies of one coordinated infection
+             whose shifted code overlays a real slot — must not veto
+             the clean majority's adjustment, or the clean copies are
+             left holding per-base absolute addresses and fragment. *)
+          let content_veto = ref false in
+          for a = 0 to n - 1 do
+            for b = a + 1 to n - 1 do
+              if
+                bases.(a) <> bases.(b)
+                && values.(a) = values.(b)
+                && (rvas.(a) = best_rva || rvas.(b) = best_rva)
+              then content_veto := true
+            done
+          done;
           if Array.for_all (Int.equal best_rva) rvas then begin
             incr unanimous;
             Array.iter (fun b -> Le.set_u32_int b start best_rva) buffers;
             j := start + 4
           end
-          else if 2 * best_support > total_bases then begin
+          else if (not !content_veto) && 2 * best_support > total_bases
+          then begin
             incr majority_slots;
             let off_deviants = ref [] in
             Array.iteri

@@ -437,7 +437,7 @@ let patrol ?(config = Patrol.default_config) ?events t ~until =
           | Checked _ | Surveyed _ -> assert false)
         lists_submitted
     in
-    { Patrol.sw_surveys; sw_lists; sw_overhead = None }
+    { Patrol.sw_surveys; sw_lists; sw_anchors = []; sw_overhead = None }
   in
   Patrol.run_driven ~config ?events t.eng_cloud ~until driver
 

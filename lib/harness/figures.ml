@@ -944,3 +944,74 @@ let replay_throughput ?(shard_counts = [ 1; 2; 4 ]) ?(requests = 2000)
               (if first.rp_rps > 0.0 then r.rp_rps /. first.rp_rps else 0.0);
           })
         rows
+
+(* --- X16: detection probability under an evasive TOCTOU adversary ------ *)
+
+type evasion_row = {
+  ez_label : string;
+  ez_detect_p : float;
+  ez_mean_ttd_s : float;
+  ez_trials : int;
+}
+
+(* X16: a TOCTOU restorer is dirty only [dwell] out of every [period]
+   seconds, so a polling patrol detects it only when a sweep boundary
+   lands inside a dirty window — the phase-averaged detection
+   probability sits near the dwell ratio once the interval outgrows the
+   window. The trials spread the machine's launch phase evenly over one
+   period; the event-driven patrol sees the infect write itself trap, so
+   it detects every phase. *)
+let evasion_detection ?(vms = 4) ?(trials = 12) ?(dwell = 5.0)
+    ?(period = 60.0) ?(seed = 2016L) () =
+  let module_name = "hal.dll" in
+  let watch = [ module_name ] in
+  let until = 241.0 in
+  let starts =
+    List.init trials (fun i ->
+        1.0 +. (period *. float_of_int i /. float_of_int trials))
+  in
+  let config interval =
+    {
+      Modchecker.Patrol.default_config with
+      Modchecker.Patrol.watch;
+      interval_s = interval;
+    }
+  in
+  let run_trial run start =
+    let cloud = Cloud.create ~vms ~seed () in
+    let machine =
+      match
+        Mc_malware.Strategy.toctou ~module_name cloud ~vm:(min 1 (vms - 1))
+          ~start ~dwell ~period
+      with
+      | Ok m -> m
+      | Error e -> failwith e
+    in
+    let events = Mc_malware.Strategy.events machine ~until in
+    let o = run cloud events until in
+    Modchecker.Patrol.time_to_detect o ~module_name ~infected_at:start
+  in
+  let row label run =
+    let ttds = List.filter_map (run_trial run) starts in
+    let detected = List.length ttds in
+    {
+      ez_label = label;
+      ez_detect_p = float_of_int detected /. float_of_int trials;
+      ez_mean_ttd_s =
+        (if detected = 0 then nan
+         else List.fold_left ( +. ) 0.0 ttds /. float_of_int detected);
+      ez_trials = trials;
+    }
+  in
+  List.map
+    (fun interval ->
+      row
+        (Printf.sprintf "poll %.0fs" interval)
+        (fun cloud events until ->
+          Modchecker.Patrol.run ~config:(config interval) ~events cloud ~until))
+    [ 5.0; 15.0; 30.0 ]
+  @ [
+      row "event-driven" (fun cloud events until ->
+          Modchecker.Patrol.run_events ~config:(config 30.0) ~events cloud
+            ~until);
+    ]

@@ -283,3 +283,29 @@ val replay_throughput :
     column should scale with shards (the bench asserts ≥2× from 1 to 4)
     while coalesced stays roughly constant (it depends on the duplicate
     rate, not the shard count). *)
+
+type evasion_row = {
+  ez_label : string;  (** ["poll 30s"] or ["event-driven"]. *)
+  ez_detect_p : float;  (** Trials detected / trials run. *)
+  ez_mean_ttd_s : float;
+      (** Mean time-to-detect over the detected trials; [nan] when
+          nothing was detected. *)
+  ez_trials : int;
+}
+
+val evasion_detection :
+  ?vms:int ->
+  ?trials:int ->
+  ?dwell:float ->
+  ?period:float ->
+  ?seed:int64 ->
+  unit ->
+  evasion_row list
+(** X16: detection probability vs patrol cadence against a TOCTOU
+    restorer ({!Mc_malware.Strategy.toctou}, dirty [dwell] of every
+    [period] seconds), with the machine's launch phase spread evenly
+    over one period across the trials. Polling detects only when a sweep
+    start lands inside a dirty window — probability decays toward the
+    dwell ratio as the interval grows — while the event-driven patrol
+    traps the infect write itself and detects every phase (the bench
+    asserts ≥ 0.99 there and ≤ 0.5 for 30 s polling). *)

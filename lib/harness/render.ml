@@ -331,3 +331,17 @@ let replay_table rows =
            (if r.rp_ledger_ok then "verified" else "FAILED");
          ])
        rows)
+
+let evasion_table rows =
+  Table.render
+    ~header:
+      [ "mode"; "detection probability"; "mean time to detect (s)"; "trials" ]
+    (List.map
+       (fun (r : Figures.evasion_row) ->
+         [
+           r.ez_label;
+           Printf.sprintf "%.3f" r.ez_detect_p;
+           Printf.sprintf "%.3f" r.ez_mean_ttd_s;
+           string_of_int r.ez_trials;
+         ])
+       rows)

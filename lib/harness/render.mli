@@ -46,3 +46,7 @@ val federation_table : Figures.federation_row list -> string
 (** X12 as a table. *)
 
 val replay_table : Figures.replay_row list -> string
+
+val evasion_table : Figures.evasion_row list -> string
+(** X16 rendering: detection probability and mean TTD per patrol mode
+    against the TOCTOU restorer. *)

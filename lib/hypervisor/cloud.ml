@@ -43,6 +43,12 @@ let plan_for spec (dom : Dom.t) =
 let set_fault_spec t spec =
   Array.iter (fun dom -> dom.Dom.faults <- plan_for spec dom) t.domus
 
+let set_vm_fault_spec t i spec =
+  if i < 0 || i >= Array.length t.domus then
+    invalid_arg (Printf.sprintf "Cloud.set_vm_fault_spec: no DomU index %d" i);
+  let dom = t.domus.(i) in
+  dom.Dom.faults <- plan_for spec dom
+
 let create ?(vms = 15) ?(cores = 8) ?(module_alignment = Mc_winkernel.Layout.default_module_alignment)
     ?(extra_modules = []) ?(seed = 2012L)
     ?(os_variant = Mc_winkernel.Layout.Xp_sp2) ?(patch_levels = [])

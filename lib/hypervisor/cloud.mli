@@ -47,6 +47,14 @@ val set_fault_spec : t -> Mc_memsim.Faultplan.spec option -> unit
 (** [set_fault_spec t spec] re-arms (or, with [None] / an all-zero spec,
     disarms) fault injection on every DomU. *)
 
+val set_vm_fault_spec : t -> int -> Mc_memsim.Faultplan.spec option -> unit
+(** [set_vm_fault_spec t i spec] arms (or disarms) fault injection on DomU
+    [i] alone, leaving the rest of the pool untouched — how an in-guest
+    adversary that pages out its own infected frames is modeled. The plan
+    persists across {!reboot_vm}/{!restore_vm} (the domain record
+    survives; only its kernel is swapped). Raises [Invalid_argument] when
+    out of range. *)
+
 val vm : t -> int -> Dom.t
 (** [vm t i] is DomU index [i] (0-based). Raises [Invalid_argument] when
     out of range. *)

@@ -36,7 +36,12 @@ let map_foreign_page ?meter ?(attempt = 1) (dom : Dom.t) pfn =
       | Some kind -> raise (Map_fault { mf_pfn = pfn; mf_kind = kind })
       | None -> ())
   | None -> ());
-  Phys.read_page (phys dom) pfn
+  (* Foreign mappings go through the guest's shim, if an adversary
+     installed one — this is the page-granular channel every checker
+     read uses, and exactly what a SEVurity-style attacker intercepts.
+     [read_foreign_pa] below stays raw: it models the hypervisor's own
+     debug read path, which in-guest tampering cannot reach. *)
+  Phys.read_page_foreign (phys dom) pfn
 
 let read_foreign_pa ?meter dom paddr dst off len =
   (* A zero-length read maps nothing and copies nothing. Without the

@@ -20,6 +20,10 @@ type t = {
   uid : int;
   max_frames : int;
   mutable next_pfn : int;
+  mutable foreign_shim : (int -> Bytes.t -> Bytes.t) option;
+      (** SEVurity-style tampering with the checker's view: when set,
+          foreign (Dom0) page mappings pass through this function while
+          the guest keeps reading/executing the real bytes. *)
 }
 
 let create ?(max_frames = 65536) () =
@@ -35,6 +39,7 @@ let create ?(max_frames = 65536) () =
     uid = Atomic.fetch_and_add uid_counter 1;
     max_frames;
     next_pfn = 1;
+    foreign_shim = None;
   }
 (* pfn 0 is reserved (a null physical page), as on real chipsets. *)
 
@@ -154,9 +159,20 @@ let deep_copy t =
     uid = Atomic.fetch_and_add uid_counter 1;
     max_frames = t.max_frames;
     next_pfn = t.next_pfn;
+    (* Like watches, the shim is a property of the live mapping, not of
+       the bytes: a reboot or restore sheds it. *)
+    foreign_shim = None;
   }
 
 let read_page t pfn =
   let b = Bytes.create frame_size in
   read t (pfn * frame_size) b 0 frame_size;
   b
+
+let set_foreign_shim t shim = t.foreign_shim <- shim
+
+let foreign_shim_installed t = t.foreign_shim <> None
+
+let read_page_foreign t pfn =
+  let b = read_page t pfn in
+  match t.foreign_shim with None -> b | Some shim -> shim pfn b

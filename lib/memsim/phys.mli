@@ -108,3 +108,20 @@ val deep_copy : t -> t
 val read_page : t -> int -> Bytes.t
 (** [read_page t pfn] copies out one whole frame — the unit of access used
     by the hypervisor's foreign-page mapping (and thus by VMI). *)
+
+val set_foreign_shim : t -> (int -> Bytes.t -> Bytes.t) option -> unit
+(** [set_foreign_shim t (Some f)] interposes [f] on {!read_page_foreign}:
+    every foreign (Dom0) page mapping returns [f pfn bytes] instead of the
+    real frame contents, while guest-side reads and writes are untouched.
+    This models a SEVurity-style adversary that controls what the checker
+    sees without changing what the guest executes. [None] removes it. Like
+    write watches, the shim is a property of the live mapping — a
+    {!deep_copy} (reboot, snapshot restore) does not carry it over. *)
+
+val foreign_shim_installed : t -> bool
+
+val read_page_foreign : t -> int -> Bytes.t
+(** The page as Dom0's foreign mapping sees it: {!read_page} filtered
+    through the installed shim, if any. Byte-granular physical reads
+    ({!read}) bypass the shim — they model the hypervisor's own debug
+    path, which an in-guest adversary cannot intercept. *)

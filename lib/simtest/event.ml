@@ -22,6 +22,23 @@ let family_of_string = function
 
 let all_families = [| Opcode; Hook; Stub; Dll_inject; Pointer; Hide |]
 
+type strategy = Toctou | Pager | Race | Tamper
+
+let strategy_key = function
+  | Toctou -> "toctou"
+  | Pager -> "pager"
+  | Race -> "race"
+  | Tamper -> "tamper"
+
+let strategy_of_string = function
+  | "toctou" -> Ok Toctou
+  | "pager" -> Ok Pager
+  | "race" -> Ok Race
+  | "tamper" -> Ok Tamper
+  | s -> Error ("unknown evasion strategy " ^ s)
+
+let all_strategies = [| Toctou; Pager; Race; Tamper |]
+
 type workload_kind = Idle | Cpu_bound | Heavy
 
 let workload_key = function
@@ -47,6 +64,14 @@ type burst_item = {
 
 type t =
   | Infect of { family : family; vm : int; module_name : string; func : string }
+  | Evade of {
+      strategy : strategy;
+      vm : int;
+      module_name : string;
+      func : string;
+      dwell : int;
+      period : int;
+    }
   | Reboot of int
   | Restore of int
   | Load of { vm : int; module_name : string }
@@ -93,6 +118,11 @@ let to_string = function
   | Infect { family; vm; module_name; func } ->
       Printf.sprintf "infect %s %d %s %s" (family_key family) vm module_name
         (if func = "" then "-" else func)
+  | Evade { strategy; vm; module_name; func; dwell; period } ->
+      Printf.sprintf "evade %s %d %s %s %d %d" (strategy_key strategy) vm
+        module_name
+        (if func = "" then "-" else func)
+        dwell period
   | Reboot vm -> Printf.sprintf "reboot %d" vm
   | Restore vm -> Printf.sprintf "restore %d" vm
   | Load { vm; module_name } -> Printf.sprintf "load %d %s" vm module_name
@@ -116,6 +146,13 @@ let of_string line =
       let* vm = int_of_field "infect vm" vm in
       let func = if func = "-" then "" else func in
       Ok (Infect { family; vm; module_name; func })
+  | [ "evade"; strategy; vm; module_name; func; dwell; period ] ->
+      let* strategy = strategy_of_string strategy in
+      let* vm = int_of_field "evade vm" vm in
+      let* dwell = int_of_field "evade dwell" dwell in
+      let* period = int_of_field "evade period" period in
+      let func = if func = "-" then "" else func in
+      Ok (Evade { strategy; vm; module_name; func; dwell; period })
   | [ "reboot"; vm ] ->
       let* vm = int_of_field "reboot vm" vm in
       Ok (Reboot vm)
@@ -147,6 +184,35 @@ let of_string line =
       parse [] (String.split_on_char ',' items)
   | [] -> Error "empty event line"
   | w :: _ -> Error ("unknown event " ^ w)
+
+(* Coverage classes: one stable key per generator weight bucket, split
+   by sub-kind for the buckets whose members exercise different code
+   paths (malware family, evasion strategy, fault kind). Campaign
+   accounting sums these over applied events to prove each class
+   actually fired. *)
+let class_keys = function
+  | Infect { family; _ } -> [ "infect." ^ family_key family ]
+  | Evade { strategy; _ } -> [ "evade." ^ strategy_key strategy ]
+  | Reboot _ -> [ "reboot" ]
+  | Restore _ -> [ "restore" ]
+  | Load _ -> [ "load" ]
+  | Workload _ -> [ "workload" ]
+  | Faults None -> [ "faults.none" ]
+  | Faults (Some spec) ->
+      let keys =
+        List.filter_map
+          (fun (rate, key) -> if rate > 0.0 then Some ("faults." ^ key) else None)
+          [
+            (spec.Faultplan.transient_rate, "transient");
+            (spec.Faultplan.paged_out_rate, "paged");
+            (spec.Faultplan.torn_rate, "torn");
+            (spec.Faultplan.pause_fail_rate, "pause");
+          ]
+      in
+      if keys = [] then [ "faults.none" ] else keys
+  | Sweep -> [ "sweep" ]
+  | Check _ -> [ "check" ]
+  | Burst _ -> [ "burst" ]
 
 type scenario = {
   sc_vms : int;

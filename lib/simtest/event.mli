@@ -21,6 +21,17 @@ val family_key : family -> string
 val family_of_string : string -> (family, string) result
 val all_families : family array
 
+type strategy = Toctou | Pager | Race | Tamper
+    (** The four evasive-adversary strategies of {!Mc_malware.Strategy}:
+        TOCTOU infect/restore cycling, paging the checker out of the
+        victim's frames, a coordinated majority-flipping race, and
+        SEVurity-style tampering with the checker's foreign-read
+        channel. *)
+
+val strategy_key : strategy -> string
+val strategy_of_string : string -> (strategy, string) result
+val all_strategies : strategy array
+
 type workload_kind = Idle | Cpu_bound | Heavy
 
 val workload_key : workload_kind -> string
@@ -36,6 +47,20 @@ type t =
   | Infect of { family : family; vm : int; module_name : string; func : string }
       (** [module_name]/[func] are fixed by the family for [Stub],
           [Dll_inject] and [Pointer]; [func] is unused by [Hide]. *)
+  | Evade of {
+      strategy : strategy;
+      vm : int;
+      module_name : string;
+      func : string;
+      dwell : int;
+      period : int;
+    }
+      (** Launch an adversary machine at the event's instant. For
+          [Race], [vm] is the {e victim count} [k]: VMs [0..k-1] are hit
+          (the event must name a whole quorum, and a count keeps the
+          script form one token). [dwell]/[period] are virtual seconds;
+          only [Toctou] cycles, the one-shot strategies ignore
+          [period]. *)
   | Reboot of int
   | Restore of int  (** Revert the VM to its campaign-start snapshot. *)
   | Load of { vm : int; module_name : string }
@@ -52,6 +77,12 @@ val to_string : t -> string
     ["faults transient=0.05,seed=9"], ["burst high:check:0:hal.dll,low:lists:-:-"]. *)
 
 val of_string : string -> (t, string) result
+
+val class_keys : t -> string list
+(** Stable coverage-class keys the event exercises when applied —
+    ["infect.opcode"], ["evade.toctou"], ["faults.paged"] (one per
+    nonzero rate), ["sweep"], ... Campaign accounting sums these to
+    prove every generator class actually fired. *)
 
 type scenario = {
   sc_vms : int;

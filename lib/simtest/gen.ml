@@ -72,6 +72,34 @@ let gen_burst rng oracle watch =
       in
       { Event.b_priority; b_request })
 
+(* Every coverage class ({!Event.class_keys}) the generator can emit —
+   what a soak run asserts actually fired. *)
+let weighted_classes =
+  [
+    "infect.opcode";
+    "infect.hook";
+    "infect.stub";
+    "infect.dll";
+    "infect.pointer";
+    "infect.hide";
+    "evade.toctou";
+    "evade.pager";
+    "evade.race";
+    "evade.tamper";
+    "check";
+    "sweep";
+    "reboot";
+    "restore";
+    "workload";
+    "faults.none";
+    "faults.transient";
+    "faults.paged";
+    "faults.torn";
+    "faults.pause";
+    "load";
+    "burst";
+  ]
+
 let scenario ~seed ~steps =
   let rng = Rng.create seed in
   let sc_vms = Rng.int_in rng 3 7 in
@@ -81,10 +109,21 @@ let scenario ~seed ~steps =
   let oracle = Oracle.create ~vms:sc_vms in
   (* In-memory infections must stay content-unique across the pool for
      the oracle's tag model to hold: never hook the same function twice,
-     and at most one pointer hook per campaign. *)
+     and at most one pointer hook per campaign. Adversary machines hook
+     too, so they draw from the same table; [machined] additionally
+     keeps two machines (or a machine and a plain hook) off the same
+     (VM, module) — their byte edits would collide. *)
   let hooked = Hashtbl.create 8 in
+  let machined = Hashtbl.create 4 in
+  let shimmed_vm = Hashtbl.create 4 in
   let pointer_used = ref false in
   let rand_vm () = Rng.int rng sc_vms in
+  let drop_vm_adversaries vm =
+    Hashtbl.fold (fun (v, m) () acc -> if v = vm then (v, m) :: acc else acc)
+      machined []
+    |> List.iter (fun k -> Hashtbl.remove machined k);
+    Hashtbl.remove shimmed_vm vm
+  in
   let gen_infect () =
     match Rng.pick rng Event.all_families with
     | Event.Opcode ->
@@ -97,7 +136,9 @@ let scenario ~seed ~steps =
         let vm = rand_vm () in
         let mods =
           Oracle.visible_modules oracle vm
-          |> List.filter (fun m -> Array.length (func_names m) > 0)
+          |> List.filter (fun m ->
+                 Array.length (func_names m) > 0
+                 && not (Hashtbl.mem machined (vm, m)))
         in
         match mods with
         | [] -> None
@@ -176,18 +217,89 @@ let scenario ~seed ~steps =
               (Event.Infect
                  { family = Event.Hide; vm; module_name; func = "" }))
   in
+  (* Evade machines hook a watched standard module so sweeps actually
+     exercise them; the target must read clean right now (a machine over
+     an infected copy would break the tag model). *)
+  let evade_pool =
+    match
+      List.filter
+        (fun m -> Array.mem m infectable_standard)
+        sc_watch
+    with
+    | [] -> Array.to_list infectable_standard
+    | ms -> ms
+  in
+  let fresh_func module_name =
+    match
+      func_names module_name |> Array.to_list
+      |> List.filter (fun f -> not (Hashtbl.mem hooked (module_name, f)))
+    with
+    | [] -> None
+    | fs ->
+        let func = Rng.pick rng (Array.of_list fs) in
+        Hashtbl.replace hooked (module_name, func) ();
+        Some func
+  in
+  let gen_evade () =
+    match Rng.pick rng Event.all_strategies with
+    | Event.Race -> (
+        let module_name = Rng.pick rng (Array.of_list evade_pool) in
+        match fresh_func module_name with
+        | None -> None
+        | Some func ->
+            let count = Rng.int_in rng 2 sc_vms in
+            Some
+              (Event.Evade
+                 {
+                   strategy = Event.Race;
+                   vm = count;
+                   module_name;
+                   func;
+                   dwell = 0;
+                   period = 0;
+                 }))
+    | (Event.Toctou | Event.Pager | Event.Tamper) as strategy -> (
+        let vm = rand_vm () in
+        if strategy = Event.Tamper && Hashtbl.mem shimmed_vm vm then None
+        else
+          match
+            List.filter
+              (fun m ->
+                Oracle.tag oracle vm m = Some Oracle.clean_tag
+                && not (Hashtbl.mem machined (vm, m)))
+              evade_pool
+          with
+          | [] -> None
+          | mods -> (
+              let module_name = Rng.pick rng (Array.of_list mods) in
+              match fresh_func module_name with
+              | None -> None
+              | Some func ->
+                  Hashtbl.replace machined (vm, module_name) ();
+                  if strategy = Event.Tamper then
+                    Hashtbl.replace shimmed_vm vm ();
+                  let dwell, period =
+                    if strategy = Event.Toctou then
+                      let d = 1 + Rng.int rng 3 in
+                      (d, d + 2 + Rng.int rng 4)
+                    else (0, 0)
+                  in
+                  Some
+                    (Event.Evade
+                       { strategy; vm; module_name; func; dwell; period })))
+  in
   let gen_event () =
     match Rng.int rng 100 with
-    | r when r < 25 -> gen_infect ()
-    | r when r < 37 ->
+    | r when r < 22 -> gen_infect ()
+    | r when r < 32 ->
         (* Mostly watched modules; sometimes a dummy driver to exercise
            the absent-on-target error path. *)
         let pool = Array.of_list (sc_watch @ [ "hello.sys"; "dummy.sys" ]) in
         Some (Event.Check { vm = rand_vm (); module_name = Rng.pick rng pool })
-    | r when r < 49 -> Some Event.Sweep
-    | r when r < 59 -> Some (Event.Reboot (rand_vm ()))
-    | r when r < 65 -> Some (Event.Restore (rand_vm ()))
-    | r when r < 73 ->
+    | r when r < 44 -> Some Event.Sweep
+    | r when r < 53 -> Some (Event.Reboot (rand_vm ()))
+    | r when r < 59 -> Some (Event.Restore (rand_vm ()))
+    | r when r < 66 ->
         Some
           (Event.Workload
              {
@@ -196,8 +308,8 @@ let scenario ~seed ~steps =
                  Rng.pick rng
                    [| Event.Idle; Event.Cpu_bound; Event.Heavy |];
              })
-    | r when r < 81 -> Some (Event.Faults (gen_fault_spec rng))
-    | r when r < 89 -> (
+    | r when r < 73 -> Some (Event.Faults (gen_fault_spec rng))
+    | r when r < 79 -> (
         let candidates =
           List.concat_map
             (fun v ->
@@ -214,14 +326,33 @@ let scenario ~seed ~steps =
         | cs ->
             let vm, module_name = Rng.pick rng (Array.of_list cs) in
             Some (Event.Load { vm; module_name }))
+    | r when r < 91 -> gen_evade ()
     | _ -> Some (Event.Burst (gen_burst rng oracle sc_watch))
   in
   let apply ev =
     match ev with
     | Event.Infect { family; vm; module_name; func } ->
         Oracle.apply_infect oracle ~family ~vm ~module_name ~func
-    | Event.Reboot vm -> Oracle.apply_reboot oracle vm
-    | Event.Restore vm -> Oracle.apply_restore oracle vm
+    | Event.Evade { strategy; vm; module_name; func; dwell; period } -> (
+        match strategy with
+        | Event.Toctou ->
+            Oracle.apply_evade_toctou oracle ~vm ~module_name ~func
+              ~dwell:(float_of_int dwell) ~period:(float_of_int period)
+        | Event.Pager -> Oracle.apply_evade_pager oracle ~vm ~module_name ~func
+        | Event.Tamper ->
+            Oracle.apply_evade_tamper oracle ~vm ~module_name ~func
+        | Event.Race ->
+            Oracle.apply_evade_race oracle ~count:vm ~module_name ~func;
+            (* The victims' implicit reboots shed any machines there. *)
+            for v = 0 to vm - 1 do
+              drop_vm_adversaries v
+            done)
+    | Event.Reboot vm ->
+        Oracle.apply_reboot oracle vm;
+        drop_vm_adversaries vm
+    | Event.Restore vm ->
+        Oracle.apply_restore oracle vm;
+        drop_vm_adversaries vm
     | Event.Load { vm; module_name } ->
         Oracle.apply_load oracle ~vm ~module_name
     | Event.Faults spec -> Oracle.apply_faults oracle spec

@@ -9,3 +9,7 @@
 
 val scenario : seed:int64 -> steps:int -> Event.scenario
 (** [scenario ~seed ~steps] — same inputs, same scenario, always. *)
+
+val weighted_classes : string list
+(** Every {!Event.class_keys} coverage class the generator can emit —
+    the universe a soak's coverage accounting checks against. *)

@@ -22,14 +22,18 @@ type campaign_result = {
   cr_failures : campaign_failure list;
   cr_applied : int;
   cr_skipped : int;
+  cr_coverage : (string * int) list;
+  cr_starved : string list;
 }
 
 let run_campaigns ?(break_checker = false) ?(keep_going = false)
-    ?(shrink_budget = 300) ?quorum ~seed ~steps ~campaigns () =
+    ?(shrink_budget = 300) ?quorum ?(require_coverage = []) ~seed ~steps
+    ~campaigns () =
   let buf = Buffer.create 4096 in
   let failures = ref [] in
   let applied = ref 0 in
   let skipped = ref 0 in
+  let coverage = Hashtbl.create 16 in
   let executed = ref 0 in
   let i = ref 0 in
   let stop = ref false in
@@ -43,6 +47,11 @@ let run_campaigns ?(break_checker = false) ?(keep_going = false)
     incr executed;
     applied := !applied + o.Runner.r_applied;
     skipped := !skipped + o.Runner.r_skipped;
+    List.iter
+      (fun (k, n) ->
+        Hashtbl.replace coverage k
+          (n + Option.value ~default:0 (Hashtbl.find_opt coverage k)))
+      o.Runner.r_classes;
     (match o.Runner.r_failure with
     | None -> ()
     | Some f ->
@@ -72,6 +81,12 @@ let run_campaigns ?(break_checker = false) ?(keep_going = false)
     cr_failures = List.rev !failures;
     cr_applied = !applied;
     cr_skipped = !skipped;
+    cr_coverage =
+      Hashtbl.fold (fun k n acc -> (k, n) :: acc) coverage []
+      |> List.sort compare;
+    cr_starved =
+      List.filter (fun k -> not (Hashtbl.mem coverage k)) require_coverage
+      |> List.sort_uniq compare;
   }
 
 let replay ?(break_checker = false) ?quorum sc =

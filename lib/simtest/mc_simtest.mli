@@ -31,6 +31,14 @@ type campaign_result = {
   cr_failures : campaign_failure list;  (** Oldest first. *)
   cr_applied : int;
   cr_skipped : int;
+  cr_coverage : (string * int) list;
+      (** Sorted per-class applied-event counts summed over every
+          campaign ({!Event.class_keys}): which generator classes
+          actually fired. *)
+  cr_starved : string list;
+      (** Required classes ([require_coverage]) that never fired — a
+          starved generator means whole attack families went untested
+          even though every campaign passed. *)
 }
 
 val run_campaigns :
@@ -38,6 +46,7 @@ val run_campaigns :
   ?keep_going:bool ->
   ?shrink_budget:int ->
   ?quorum:float ->
+  ?require_coverage:string list ->
   seed:int64 ->
   steps:int ->
   campaigns:int ->
@@ -45,7 +54,11 @@ val run_campaigns :
   campaign_result
 (** Campaign [i] uses generator seed [seed + i]. The run stops at the
     first failure unless [keep_going] (soak mode); [shrink_budget = 0]
-    skips shrinking. Same arguments, byte-identical [cr_transcript]. *)
+    skips shrinking. [require_coverage] names coverage classes
+    (typically {!Gen.weighted_classes}) that must appear in
+    [cr_coverage]; missing ones land in [cr_starved] — the run itself
+    does not fail, callers decide. Same arguments, byte-identical
+    [cr_transcript]. *)
 
 val replay :
   ?break_checker:bool -> ?quorum:float -> Event.scenario -> Runner.outcome

@@ -5,16 +5,36 @@ module Exit_code = Modchecker.Exit_code
 
 let clean_tag = "clean"
 
+(* A TOCTOU adversary on the module: in-memory bytes carry [e_tag]
+   during the dirty window of each cycle and the clean bytes otherwise.
+   The infect boundary is inclusive and the restore boundary exclusive,
+   matching [Mc_malware.Strategy.dirty_at]. *)
+type evade = {
+  e_tag : string;
+  e_start : float;
+  e_dwell : float;
+  e_period : float;
+}
+
 type mstate = {
   mutable m_disk : string option;  (** Content tag of the file on disk. *)
   mutable m_mem : string option;  (** Content tag of the loaded copy. *)
   mutable m_hidden : bool;
+  mutable m_evade : evade option;
+      (** Active TOCTOU cycle modulating the in-memory tag over time. *)
+  mutable m_shim : string option;
+      (** A checker-tamper shim freezes the {e observed} tag at this
+          value while the true memory ([m_mem]) runs dirty. *)
 }
 
 type t = {
   o_vms : int;
   tbl : (int * string, mstate) Hashtbl.t;
+  mutable o_now : float;  (** Virtual instant observations are made at. *)
   mutable o_spec : Faultplan.spec option;
+  o_paged : (int, unit) Hashtbl.t;
+      (** VMs a pager adversary made unmappable ([paged_out_rate = 1.0]
+          on that VM alone, outside [o_spec]). *)
   mutable o_ever_faulted : bool;
   mutable o_reboots : int;
   mutable o_restores : int;
@@ -28,7 +48,9 @@ let create ~vms =
     {
       o_vms = vms;
       tbl = Hashtbl.create 64;
+      o_now = 0.0;
       o_spec = None;
+      o_paged = Hashtbl.create 4;
       o_ever_faulted = false;
       o_reboots = 0;
       o_restores = 0;
@@ -39,7 +61,13 @@ let create ~vms =
     List.iter
       (fun m ->
         Hashtbl.replace t.tbl (v, m)
-          { m_disk = Some clean_tag; m_mem = Some clean_tag; m_hidden = false })
+          {
+            m_disk = Some clean_tag;
+            m_mem = Some clean_tag;
+            m_hidden = false;
+            m_evade = None;
+            m_shim = None;
+          })
       Catalog.standard_modules
   done;
   t
@@ -48,11 +76,22 @@ let state t vm m =
   match Hashtbl.find_opt t.tbl (vm, m) with
   | Some s -> s
   | None ->
-      let s = { m_disk = None; m_mem = None; m_hidden = false } in
+      let s =
+        {
+          m_disk = None;
+          m_mem = None;
+          m_hidden = false;
+          m_evade = None;
+          m_shim = None;
+        }
+      in
       Hashtbl.replace t.tbl (vm, m) s;
       s
 
 let vms t = t.o_vms
+let set_now t now = t.o_now <- now
+let now t = t.o_now
+
 let visible t vm m =
   let s = state t vm m in
   s.m_mem <> None && not s.m_hidden
@@ -60,7 +99,39 @@ let visible t vm m =
 let loaded t vm m = (state t vm m).m_mem <> None
 let hidden t vm m = (state t vm m).m_hidden
 let on_disk t vm m = (state t vm m).m_disk <> None
-let tag t vm m = if visible t vm m then (state t vm m).m_mem else None
+
+let evade_dirty e now =
+  let ph = now -. e.e_start in
+  ph >= 0.0
+  &&
+  if e.e_period = infinity then ph < e.e_dwell
+  else Float.rem ph e.e_period < e.e_dwell
+
+(* The tag a checker reading through the foreign-mapping channel sees at
+   [o_now]: a tamper shim freezes it, a TOCTOU cycle modulates it. *)
+let tag t vm m =
+  if not (visible t vm m) then None
+  else
+    let s = state t vm m in
+    match s.m_shim with
+    | Some frozen -> Some frozen
+    | None -> (
+        match s.m_evade with
+        | Some e when evade_dirty e t.o_now -> Some e.e_tag
+        | _ -> s.m_mem)
+
+(* The tag the guest actually executes at [o_now] — what the raw
+   physical read channel (and hence the anchor audit) sees. *)
+let true_tag t vm m =
+  if not (visible t vm m) then None
+  else
+    let s = state t vm m in
+    match s.m_evade with
+    | Some e when evade_dirty e t.o_now -> Some e.e_tag
+    | _ -> s.m_mem
+
+let shimmed t vm m = (state t vm m).m_shim <> None
+let evading t vm m = (state t vm m).m_evade <> None
 
 let visible_modules t vm =
   Hashtbl.fold
@@ -73,7 +144,11 @@ let known_modules t =
   |> List.sort_uniq compare
 
 let faults_armed t =
+  Hashtbl.length t.o_paged > 0
+  ||
   match t.o_spec with Some s -> not (Faultplan.is_none s) | None -> false
+
+let paged t vm = Hashtbl.mem t.o_paged vm
 
 let ever_faulted t = t.o_ever_faulted
 let reboots t = t.o_reboots
@@ -87,6 +162,12 @@ let apply_reboot t vm =
   t.o_reboots <- t.o_reboots + 1;
   per_vm t vm (fun m s ->
       s.m_hidden <- false;
+      (* Fresh guest memory sheds in-memory adversary state: the TOCTOU
+         hook and any foreign-read shim die with the old frames. The
+         pager's fault plan, a hypervisor-side property, persists —
+         [o_paged] is untouched. *)
+      s.m_evade <- None;
+      s.m_shim <- None;
       (* Standard modules reload from the VM's own (possibly infected)
          disk; dropped drivers do not survive a reboot even though their
          files stay on disk. *)
@@ -96,6 +177,8 @@ let apply_restore t vm =
   t.o_restores <- t.o_restores + 1;
   per_vm t vm (fun m s ->
       s.m_hidden <- false;
+      s.m_evade <- None;
+      s.m_shim <- None;
       if is_standard m then begin
         s.m_disk <- Some clean_tag;
         s.m_mem <- Some clean_tag
@@ -125,6 +208,9 @@ let apply_faults t spec =
     match spec with Some s when Faultplan.is_none s -> None | s -> s
   in
   if spec <> None then t.o_ever_faulted <- true;
+  (* Cloud.set_fault_spec rebuilds every DomU's plan, so it also
+     overwrites any per-VM plan a pager adversary armed. *)
+  Hashtbl.reset t.o_paged;
   t.o_spec <- spec
 
 (* Content tags. File infections are VM-independent: dropping the same
@@ -171,6 +257,55 @@ let apply_infect t ~family ~vm ~module_name ~func =
       s.m_mem <- Some clean_tag;
       s.m_hidden <- false
   | Event.Hide -> (state t vm module_name).m_hidden <- true
+
+(* Evasive strategies ({!Mc_malware.Strategy}). Each [apply_*] is called
+   at the machine's launch instant with [o_now] already advanced
+   there. *)
+
+let apply_evade_toctou t ~vm ~module_name ~func ~dwell ~period =
+  t.o_infections <- t.o_infections + 1;
+  let s = state t vm module_name in
+  s.m_evade <-
+    Some
+      {
+        e_tag = infect_tag Event.Hook ~vm ~module_name ~func;
+        e_start = t.o_now;
+        e_dwell = dwell;
+        e_period = period;
+      }
+
+let apply_evade_pager t ~vm ~module_name ~func =
+  t.o_infections <- t.o_infections + 1;
+  (state t vm module_name).m_mem <-
+    Some (infect_tag Event.Hook ~vm ~module_name ~func);
+  Hashtbl.replace t.o_paged vm ();
+  t.o_ever_faulted <- true
+
+let apply_evade_tamper t ~vm ~module_name ~func =
+  t.o_infections <- t.o_infections + 1;
+  let s = state t vm module_name in
+  (* The shim snapshots and keeps serving whatever the checker could see
+     at install time; the true memory runs hooked underneath. *)
+  s.m_shim <- tag t vm module_name;
+  s.m_mem <- Some (infect_tag Event.Hook ~vm ~module_name ~func)
+
+let apply_evade_race t ~count ~module_name ~func =
+  for v = 0 to count - 1 do
+    apply_infect t ~family:Event.Opcode ~vm:v ~module_name ~func
+  done
+
+(* (module, vm) pairs where the anchor audit's two read channels
+   disagree: a shim is serving frozen bytes over memory that actually
+   carries something else. *)
+let expect_anchors t =
+  Hashtbl.fold
+    (fun (v, m) s acc ->
+      match s.m_shim with
+      | Some frozen when visible t v m && true_tag t v m <> Some frozen ->
+          (m, v) :: acc
+      | _ -> acc)
+    t.tbl []
+  |> List.sort_uniq compare
 
 type verdict_class = Intact | Infected | Degraded
 

@@ -18,7 +18,14 @@
     splits the pool into factions. In-memory infections (inline hook,
     pointer hook) get VM-qualified tags; the generator never creates two
     in-memory infections whose contents could actually collide (same
-    function hooked on two VMs), so tag equality stays faithful. *)
+    function hooked on two VMs), so tag equality stays faithful.
+
+    Evasive adversaries make the ledger {e time-aware}: a TOCTOU machine
+    means a module's tag depends on the instant it is read, so every
+    query is answered at the clock set by {!set_now}, and the observed
+    tag ({!tag}, what the foreign-mapping channel serves — a tamper shim
+    freezes it) is distinguished from the {!true_tag} the guest actually
+    executes. *)
 
 type t
 
@@ -30,6 +37,12 @@ val create : vms:int -> t
 
 val vms : t -> int
 
+val set_now : t -> float -> unit
+(** Advance the oracle's virtual clock — every prediction is made "as
+    of" this instant. Monotonicity is the caller's business. *)
+
+val now : t -> float
+
 val visible : t -> int -> string -> bool
 (** Loaded and not DKOM-hidden — what the Module-Searcher can find. *)
 
@@ -37,7 +50,21 @@ val loaded : t -> int -> string -> bool
 val hidden : t -> int -> string -> bool
 val on_disk : t -> int -> string -> bool
 val tag : t -> int -> string -> string option
-(** Content tag of the visible copy; [None] when not visible. *)
+(** Content tag a checker reading at {!now} through the foreign-mapping
+    channel observes; [None] when not visible. A tamper shim freezes
+    this at its install-time value; a TOCTOU cycle modulates it. *)
+
+val true_tag : t -> int -> string -> string option
+(** Content tag the guest actually executes at {!now} — what the raw
+    physical read channel sees. Differs from {!tag} exactly while a
+    tamper shim is lying. *)
+
+val shimmed : t -> int -> string -> bool
+val evading : t -> int -> string -> bool
+
+val paged : t -> int -> bool
+(** A pager adversary armed [paged_out_rate = 1.0] on the VM (cleared by
+    the next pool-wide fault-spec change, which rebuilds every plan). *)
 
 val clean_tag : string
 
@@ -66,9 +93,53 @@ val apply_infect :
     reboot; stub/DLL record the everywhere-load of the dummy driver. *)
 
 val apply_reboot : t -> int -> unit
+(** Also sheds in-memory adversary state (TOCTOU cycle, tamper shim) —
+    fresh guest memory — while a pager's fault plan persists. *)
+
 val apply_restore : t -> int -> unit
 val apply_load : t -> vm:int -> module_name:string -> unit
+
 val apply_faults : t -> Mc_memsim.Faultplan.spec option -> unit
+(** Also clears every pager adversary's per-VM plan:
+    [Cloud.set_fault_spec] rebuilds all DomU plans. *)
+
+(** {1 Evasive adversaries}
+
+    Called at the machine's launch instant (with {!set_now} already
+    advanced there); the runner drives the live machine, the oracle only
+    mirrors its schedule. *)
+
+val apply_evade_toctou :
+  t ->
+  vm:int ->
+  module_name:string ->
+  func:string ->
+  dwell:float ->
+  period:float ->
+  unit
+(** In-memory tag cycles hook-dirty on [\[start + k·period,
+    start + k·period + dwell)] from now on (infect boundary inclusive,
+    restore exclusive), exactly {!Mc_malware.Strategy.dirty_at}. *)
+
+val apply_evade_pager : t -> vm:int -> module_name:string -> func:string -> unit
+(** Permanent in-memory hook plus {!paged} on the VM — from here on the
+    pool runs with faults armed, so predictions loosen accordingly. *)
+
+val apply_evade_tamper :
+  t -> vm:int -> module_name:string -> func:string -> unit
+(** Freezes the observed {!tag} at its current value while {!true_tag}
+    runs hook-dirty; {!expect_anchors} reports the lie. *)
+
+val apply_evade_race : t -> count:int -> module_name:string -> func:string -> unit
+(** The same opcode disk patch lands on VMs [0..count-1] in one instant
+    (each with its implicit reboot). The VM-independent opcode tag makes
+    the majority rule model the vote flip automatically. *)
+
+val expect_anchors : t -> (string * int) list
+(** Sorted [(module, vm)] pairs where the two Dom0 read channels must
+    disagree at {!now} — a shim serving frozen bytes over memory that
+    carries something else. The caller filters to the watch list the
+    audit actually covers. *)
 
 (** {1 Predictions} *)
 

@@ -13,6 +13,7 @@ module Patrol = Modchecker.Patrol
 module Exit_code = Modchecker.Exit_code
 module Digest_cache = Modchecker.Digest_cache
 module Infect = Mc_malware.Infect
+module Strategy = Mc_malware.Strategy
 
 exception Violation of string
 
@@ -23,6 +24,7 @@ type outcome = {
   r_failure : failure option;
   r_applied : int;
   r_skipped : int;
+  r_classes : (string * int) list;
 }
 
 let ints vs = String.concat "," (List.map string_of_int vs)
@@ -84,6 +86,7 @@ let run ?(break_checker = false) ?(quorum = Report.default_quorum)
       workers = 1;
       compare_lists = true;
       incremental = true;
+      audit_anchors = true;
       check = ev_check;
     }
   in
@@ -128,8 +131,58 @@ let run ?(break_checker = false) ?(quorum = Report.default_quorum)
   let cumulative = ref 0.0 in
   let applied = ref 0 in
   let skipped = ref 0 in
+  let classes = Hashtbl.create 16 in
+  let count_classes ev =
+    List.iter
+      (fun k ->
+        Hashtbl.replace classes k
+          (1 + Option.value ~default:0 (Hashtbl.find_opt classes k)))
+      (Event.class_keys ev)
+  in
   let step_ref = ref 0 in
+  let now_ref = ref 0.0 in
   let failf fmt = Printf.ksprintf (fun s -> raise (Violation s)) fmt in
+
+  (* Live adversary machines, keyed by (victim, module). Only machines
+     with pending transitions matter here (TOCTOU); the one-shots finish
+     at launch. A reboot/restore of the victim sheds the in-memory hook,
+     so the machine is killed rather than left re-hooking fresh
+     memory. *)
+  let machines : (int * string, Strategy.t) Hashtbl.t = Hashtbl.create 4 in
+  let kill_machines_for vm =
+    Hashtbl.iter (fun (v, _) m -> if v = vm then Strategy.kill m) machines;
+    Hashtbl.filter_map_inplace
+      (fun (v, _) m -> if v = vm then None else Some m)
+      machines
+  in
+  let adversary_held vm m =
+    Hashtbl.mem machines (vm, m)
+    || Oracle.shimmed oracle vm m
+    || Oracle.evading oracle vm m
+  in
+  let out_actions kind vm target actions =
+    List.iter
+      (fun (_, a) ->
+        out "    adversary %s %d:%s %s" kind vm target
+          (match a with
+          | Strategy.Infected -> "infected"
+          | Strategy.Restored -> "restored"))
+      actions
+  in
+  let tick_machines now =
+    Hashtbl.iter
+      (fun (vm, target) m ->
+        if Strategy.alive m then
+          match Strategy.tick m ~now with
+          | Ok [] -> ()
+          | Ok actions ->
+              Hashtbl.reset warm;
+              out_actions (Strategy.kind_key (Strategy.kind m)) vm target
+                actions
+          | Error e ->
+              failf "adversary machine on %d:%s died: %s" vm target e)
+      machines
+  in
 
   let validate_survey ~what m (s : Report.survey) =
     let armed = Oracle.faults_armed oracle in
@@ -244,7 +297,18 @@ let run ?(break_checker = false) ?(quorum = Report.default_quorum)
         actual
   in
 
-  let expected_alarms () =
+  (* [anchors] — include the read-channel audit's predicted
+     [Anchor_mismatch] alarms: the trap session audits every sweep
+     ([audit_anchors]), the plain polling sweep of [run_sweep] does
+     not. *)
+  let expected_alarms ?(anchors = false) () =
+    let anchor_alarms =
+      if not anchors then []
+      else
+        Oracle.expect_anchors oracle
+        |> List.filter (fun (m, _) -> List.mem m watch)
+        |> List.map (fun (m, v) -> ("anchor_mismatch", m, [ v ]))
+    in
     let per_watch =
       List.concat_map
         (fun m ->
@@ -266,7 +330,7 @@ let run ?(break_checker = false) ?(quorum = Report.default_quorum)
       |> List.filter (fun (m, _) -> not (List.mem m watch))
       |> List.map (fun (m, miss) -> ("list_discrepancy", m, miss))
     in
-    per_watch @ lists
+    anchor_alarms @ per_watch @ lists
   in
 
   let norm_alarms alarms =
@@ -366,7 +430,7 @@ let run ?(break_checker = false) ?(quorum = Report.default_quorum)
     validate_reaction_work ~what r;
     let actual = norm_alarms r.Patrol.Events.rx_alarms in
     if not (Oracle.faults_armed oracle) then begin
-      let expected = List.sort compare (expected_alarms ()) in
+      let expected = List.sort compare (expected_alarms ~anchors:true ()) in
       if actual <> expected then
         failf "%s alarms {%s}, oracle says {%s}" what (fmt_alarm_set actual)
           (fmt_alarm_set expected)
@@ -383,6 +447,7 @@ let run ?(break_checker = false) ?(quorum = Report.default_quorum)
         workers = 1;
         compare_lists = true;
         incremental = false;
+        audit_anchors = false;
         check = base_cfg;
       }
     in
@@ -500,6 +565,8 @@ let run ?(break_checker = false) ?(quorum = Report.default_quorum)
                 Error (module_name ^ " not visible on the target")
               else if not (has_symbol module_name func) then
                 Error (Printf.sprintf "no function %s in %s" func module_name)
+              else if adversary_held vm module_name then
+                Error (module_name ^ " under adversary control on the target")
               else Ok ()
           | Event.Stub ->
               if List.exists (fun v -> Oracle.loaded oracle v "hello.sys") all
@@ -514,12 +581,40 @@ let run ?(break_checker = false) ?(quorum = Report.default_quorum)
           | Event.Pointer ->
               if not (Oracle.visible oracle vm "hal.dll") then
                 Error "hal.dll not visible on the target"
+              else if adversary_held vm "hal.dll" then
+                Error "hal.dll under adversary control on the target"
               else Ok ()
           | Event.Hide ->
               if module_name = "ntoskrnl.exe" then
                 Error "refusing to hide the kernel image"
               else if not (Oracle.visible oracle vm module_name) then
                 Error (module_name ^ " not visible on the target")
+              else Ok ())
+    | Event.Evade { strategy; vm; module_name; func; dwell; period } -> (
+        if not (List.mem module_name Catalog.standard_modules) then
+          Error "adversaries target standard modules"
+        else if not (has_symbol module_name func) then
+          Error (Printf.sprintf "no function %s in %s" func module_name)
+        else
+          match strategy with
+          | Event.Race ->
+              (* [vm] is the victim count: VMs 0..vm-1. *)
+              if vm < 2 || vm > vms then Error "race victim count out of range"
+              else Ok ()
+          | (Event.Toctou | Event.Pager | Event.Tamper) as strategy ->
+              if not (in_range vm) then Error "vm out of range"
+              else if Oracle.tag oracle vm module_name <> Some Oracle.clean_tag
+              then Error (module_name ^ " not clean-visible on the target")
+              else if adversary_held vm module_name then
+                Error (module_name ^ " already under adversary control")
+              else if
+                strategy = Event.Tamper
+                && List.exists
+                     (fun m -> Oracle.shimmed oracle vm m)
+                     (Oracle.known_modules oracle)
+              then Error "a foreign-read shim is already installed on the VM"
+              else if strategy = Event.Toctou && not (0 < dwell && dwell < period)
+              then Error "toctou needs 0 < dwell < period"
               else Ok ())
     | Event.Reboot vm | Event.Restore vm ->
         if in_range vm then Ok () else Error "vm out of range"
@@ -579,17 +674,66 @@ let run ?(break_checker = false) ?(quorum = Report.default_quorum)
     | Event.Infect { family; vm; module_name; func } -> (
         match apply_infect family vm module_name func with
         | Ok tech ->
+            (* An opcode patch reboots the victim, shedding any live
+               adversary's in-memory state with the old frames. *)
+            if family = Event.Opcode then kill_machines_for vm;
             Hashtbl.reset warm;
             Ok tech
         | Error note -> Error note)
+    | Event.Evade { strategy; vm; module_name; func; dwell; period } -> (
+        let now = !now_ref in
+        let launched =
+          match strategy with
+          | Event.Toctou ->
+              Strategy.toctou ~module_name ~func cloud ~vm ~start:now
+                ~dwell:(float_of_int dwell) ~period:(float_of_int period)
+          | Event.Pager -> Strategy.pager ~module_name ~func cloud ~vm ~start:now
+          | Event.Tamper ->
+              Strategy.tamper ~module_name ~func cloud ~vm ~start:now
+          | Event.Race ->
+              Strategy.race ~module_name ~func cloud ~vms:(List.init vm Fun.id)
+                ~start:now
+        in
+        match launched with
+        | Error e -> Error ("not applicable: " ^ e)
+        | Ok machine -> (
+            match Strategy.tick machine ~now with
+            | Error e ->
+                (* The infection drivers underneath validate before the
+                   first guest write (same contract as the point
+                   families), so a launch error means nothing
+                   happened. *)
+                Error ("not applicable: " ^ e)
+            | Ok actions ->
+                Hashtbl.reset warm;
+                (match strategy with
+                | Event.Toctou ->
+                    Hashtbl.replace machines (vm, module_name) machine;
+                    Oracle.apply_evade_toctou oracle ~vm ~module_name ~func
+                      ~dwell:(float_of_int dwell)
+                      ~period:(float_of_int period)
+                | Event.Pager ->
+                    Oracle.apply_evade_pager oracle ~vm ~module_name ~func
+                | Event.Tamper ->
+                    Oracle.apply_evade_tamper oracle ~vm ~module_name ~func
+                | Event.Race ->
+                    (* Every victim rebooted into the patched file. *)
+                    List.iter kill_machines_for (List.init vm Fun.id);
+                    Oracle.apply_evade_race oracle ~count:vm ~module_name
+                      ~func);
+                out_actions (Event.strategy_key strategy) vm module_name
+                  actions;
+                Ok (Event.strategy_key strategy ^ " adversary launched")))
     | Event.Reboot vm ->
         Cloud.reboot_vm cloud vm;
         Oracle.apply_reboot oracle vm;
+        kill_machines_for vm;
         Hashtbl.reset warm;
         Ok "rebooted"
     | Event.Restore vm ->
         Cloud.restore_vm cloud vm snaps.(vm);
         Oracle.apply_restore oracle vm;
+        kill_machines_for vm;
         Hashtbl.reset warm;
         Ok "restored"
     | Event.Load { vm; module_name } -> (
@@ -635,7 +779,9 @@ let run ?(break_checker = false) ?(quorum = Report.default_quorum)
       | Event.Infect { family = Event.Stub; _ } -> Some "hello.sys"
       | Event.Infect { family = Event.Dll_inject; _ } -> Some "dummy.sys"
       | Event.Infect { family = Event.Pointer; _ } -> Some "hal.dll"
-      | Event.Infect { module_name; _ } | Event.Load { module_name; _ } ->
+      | Event.Infect { module_name; _ }
+      | Event.Load { module_name; _ }
+      | Event.Evade { module_name; _ } ->
           Some module_name
       | _ -> None
     in
@@ -802,8 +948,17 @@ let run ?(break_checker = false) ?(quorum = Report.default_quorum)
             remember what the oracle expected before the event so the
             reaction can be held to exactly the alarms it created. *)
          let ev_now = float_of_int (step + 1) in
+         now_ref := ev_now;
          Patrol.Events.set_now session ev_now;
-         let expected_before = List.sort compare (expected_alarms ()) in
+         (* The oracle answers "as of" this instant: TOCTOU windows and
+            shim predictions depend on it. Machines tick first, so the
+            guest's true state matches the prediction at every
+            observation this step makes. *)
+         Oracle.set_now oracle ev_now;
+         tick_machines ev_now;
+         let expected_before =
+           List.sort compare (expected_alarms ~anchors:true ())
+         in
          let line = Event.to_string ev in
          (match precondition ev with
          | Error reason ->
@@ -814,11 +969,14 @@ let run ?(break_checker = false) ?(quorum = Report.default_quorum)
              match apply_event ev with
              | Ok note ->
                  incr applied;
+                 count_classes ev;
                  out "    -> %s" note
              | Error note ->
                  incr skipped;
                  out "    -> skipped (%s)" note));
-         let expected_after = List.sort compare (expected_alarms ()) in
+         let expected_after =
+           List.sort compare (expected_alarms ~anchors:true ())
+         in
          let rx = Patrol.Events.react session ~now:ev_now in
          validate_reaction
            ~what:(Printf.sprintf "trap reaction (step %d)" step)
@@ -839,7 +997,10 @@ let run ?(break_checker = false) ?(quorum = Report.default_quorum)
         trap session's full re-check must land exactly on the oracle's
         terminal state. *)
      let fin = float_of_int (List.length sc.Event.sc_events + 1) in
+     now_ref := fin;
      Patrol.Events.set_now session fin;
+     Oracle.set_now oracle fin;
+     tick_machines fin;
      let f = Patrol.Events.baseline session ~now:fin in
      validate_trap_full ~what:"final trap sweep" f;
      out "final trap sweep: %d alarms" (List.length f.Patrol.Events.rx_alarms);
@@ -898,4 +1059,7 @@ let run ?(break_checker = false) ?(quorum = Report.default_quorum)
     r_failure = !failure;
     r_applied = !applied;
     r_skipped = !skipped;
+    r_classes =
+      Hashtbl.fold (fun k n acc -> (k, n) :: acc) classes []
+      |> List.sort compare;
   }

@@ -29,6 +29,15 @@
     VM reported as missing a module must really lack it, and a
     deviation can only ever be reported when some infected copy exists.
 
+    Evasive adversaries ({!Event.t.Evade}) launch live
+    {!Mc_malware.Strategy} machines on the campaign's virtual clock
+    (event [k] fires at [t = k+1]); the runner ticks every machine to
+    the step's instant {e before} predicting or observing anything, so
+    the time-aware oracle's windows line up with the guest's true state.
+    The trap session additionally audits the two Dom0 read channels
+    against each other every reaction ([audit_anchors]), and its alarm
+    sets are held to the oracle's [Anchor_mismatch] predictions.
+
     Everything observable lands in a transcript built only from
     deterministic inputs (no wall-clock, no scheduler-dependent meters),
     so two runs of the same scenario produce byte-identical
@@ -43,6 +52,9 @@ type outcome = {
   r_failure : failure option;
   r_applied : int;  (** Events applied. *)
   r_skipped : int;  (** Events whose precondition did not hold. *)
+  r_classes : (string * int) list;
+      (** Sorted per-class counts of {!Event.class_keys} over the
+          {e applied} events — the coverage accounting soaks aggregate. *)
 }
 
 val run :

@@ -104,6 +104,37 @@ let test_content_coincidence_rejected () =
   check Alcotest.int "clean word untouched" clean_word
     (Le.get_u32_int buffers.(1) 8)
 
+let test_coordinated_content_does_not_veto_clean_majority () =
+  (* Regression (found by the evasion soak, seed 50): two coordinated
+     copies of the same infection hold identical divergent bytes over a
+     genuine relocation slot. As a distinct-base equal-word pair they
+     used to veto the slot for everyone, leaving the clean majority
+     holding per-base absolute addresses — five distinct digests, and
+     the whole pool read deviant. The veto may only fire when such a
+     pair touches the winning RVA group. *)
+  let bases =
+    [| 0xF8000000; 0xF8100000; 0xF8200000; 0xF8300000; 0xF8400000 |]
+  in
+  let slots = [ (8, 0x500) ] in
+  let buffers =
+    Array.map
+      (fun base -> make_buffer ~len:24 ~fill:(fun _ -> '\x90') ~slots ~base)
+      bases
+  in
+  (* VMs 0 and 1 carry the same patch: plain content where the slot was. *)
+  Le.set_u32_int buffers.(0) 8 0x11223344;
+  Le.set_u32_int buffers.(1) 8 0x11223344;
+  let stats = Rva.canonicalize ~bases buffers in
+  check Alcotest.int "clean majority still adjusts the slot" 1
+    stats.Rva.slots_majority;
+  (match stats.Rva.deviants with
+  | [ (8, [ 0; 1 ]) ] -> ()
+  | _ -> Alcotest.fail "expected VMs 0 and 1 deviating at slot 8");
+  Alcotest.(check bool) "clean copies collapse" true
+    (Bytes.equal buffers.(2) buffers.(3) && Bytes.equal buffers.(3) buffers.(4));
+  check Alcotest.int "infected word untouched" 0x11223344
+    (Le.get_u32_int buffers.(0) 8)
+
 let test_no_majority_left_raw () =
   let bases = [| 0xF8000000; 0xF8100000 |] in
   let buffers =
@@ -238,6 +269,28 @@ let test_survey_shifted_code_coincidence () =
   check Alcotest.(list int) "pairwise agrees" [ 0 ]
     (deviants Orchestrator.Pairwise cloud "atapi.sys")
 
+let test_survey_coordinated_race_overlay () =
+  (* Cloud-level regression for the same bug: a coordinated two-VM
+     opcode patch (the instruction grows, shifting ~100 bytes of code
+     over 11 real slots) must leave canonical and pairwise agreeing on
+     exactly the infected pair. *)
+  let cloud = Cloud.create ~vms:5 ~cores:6 ~seed:(-4789845029019759313L) () in
+  let m =
+    match
+      Mc_malware.Strategy.race ~module_name:"disk.sys" ~func:"devhal_114"
+        cloud ~vms:[ 0; 1 ] ~start:1.0
+    with
+    | Ok m -> m
+    | Error e -> Alcotest.fail e
+  in
+  (match Mc_malware.Strategy.tick m ~now:2.0 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  check Alcotest.(list int) "canonical flags the coordinated pair" [ 0; 1 ]
+    (deviants Orchestrator.Canonical cloud "disk.sys");
+  check Alcotest.(list int) "pairwise agrees" [ 0; 1 ]
+    (deviants Orchestrator.Pairwise cloud "disk.sys")
+
 let test_canonical_cheaper () =
   let cloud = Cloud.create ~vms:8 ~seed:413L () in
   let cost strategy =
@@ -267,6 +320,8 @@ let () =
             test_shared_bases_carry_one_vote;
           Alcotest.test_case "content coincidence rejected" `Quick
             test_content_coincidence_rejected;
+          Alcotest.test_case "coordinated content does not veto" `Quick
+            test_coordinated_content_does_not_veto_clean_majority;
           Alcotest.test_case "no majority" `Quick test_no_majority_left_raw;
           Alcotest.test_case "validation" `Quick test_validation;
         ] );
@@ -282,6 +337,8 @@ let () =
             test_survey_after_reboot_base_collision;
           Alcotest.test_case "shifted-code coincidence" `Quick
             test_survey_shifted_code_coincidence;
+          Alcotest.test_case "coordinated race overlay" `Quick
+            test_survey_coordinated_race_overlay;
           Alcotest.test_case "cheaper" `Quick test_canonical_cheaper;
         ] );
       ( "properties",

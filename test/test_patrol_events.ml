@@ -43,7 +43,7 @@ let test_late_event_still_fires () =
   let cloud = Cloud.create ~vms:2 ~seed:801L () in
   let fired = ref false in
   let driver () =
-    { Patrol.sw_surveys = []; sw_lists = None; sw_overhead = None }
+    { Patrol.sw_surveys = []; sw_lists = None; sw_anchors = []; sw_overhead = None }
   in
   let config = { small_config with Patrol.interval_s = 30.0 } in
   (* Sweeps start at 0, 30, 60, 90; the loop exits with the clock jumped
@@ -61,7 +61,7 @@ let test_out_of_window_event_does_not_fire () =
   let cloud = Cloud.create ~vms:2 ~seed:802L () in
   let fired = ref false in
   let driver () =
-    { Patrol.sw_surveys = []; sw_lists = None; sw_overhead = None }
+    { Patrol.sw_surveys = []; sw_lists = None; sw_anchors = []; sw_overhead = None }
   in
   ignore
     (Patrol.run_driven ~config:small_config

@@ -77,6 +77,85 @@ let test_broken_checker_caught () =
           | Some _ -> ()
           | None -> Alcotest.fail "parsed shrunk script no longer fails"))
 
+let test_coverage_accounting_names_starved_classes () =
+  (* A soak too small to exercise everything must say so: the required
+     classes it never fired land in [cr_starved] by name, and the ones
+     it did fire are accounted in [cr_coverage]. *)
+  let r =
+    Mc_simtest.run_campaigns ~require_coverage:Gen.weighted_classes ~seed:100L
+      ~steps:3 ~campaigns:1 ()
+  in
+  Alcotest.(check bool) "a 3-step campaign starves most classes" true
+    (r.Mc_simtest.cr_starved <> []);
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (k ^ " is a real generator class")
+        true
+        (List.mem k Gen.weighted_classes);
+      Alcotest.(check bool)
+        (k ^ " is absent from the coverage table")
+        false
+        (List.mem_assoc k r.Mc_simtest.cr_coverage))
+    r.Mc_simtest.cr_starved;
+  (* A class outside the generator's universe can never fire. *)
+  let r' =
+    Mc_simtest.run_campaigns ~require_coverage:[ "evade.quantum" ] ~seed:100L
+      ~steps:5 ~campaigns:1 ()
+  in
+  Alcotest.(check (list string))
+    "impossible class reported by name" [ "evade.quantum" ]
+    r'.Mc_simtest.cr_starved
+
+let test_evasion_soak_covers_all_strategies () =
+  (* The acceptance soak: 20 campaigns x 10 steps fires all four
+     adversary strategies with zero oracle divergences, and the whole
+     run is byte-for-byte reproducible. *)
+  let required =
+    [ "evade.toctou"; "evade.pager"; "evade.race"; "evade.tamper" ]
+  in
+  let run () =
+    Mc_simtest.run_campaigns ~require_coverage:required ~seed:2100L ~steps:10
+      ~campaigns:20 ()
+  in
+  let r = run () in
+  (match r.Mc_simtest.cr_failures with
+  | [] -> ()
+  | cf :: _ ->
+      Alcotest.failf "evasion soak failed:\n%s" (Mc_simtest.render_failure cf));
+  Alcotest.(check (list string)) "every strategy fired" [] r.Mc_simtest.cr_starved;
+  Alcotest.(check string) "transcripts byte-identical" r.Mc_simtest.cr_transcript
+    (run ()).Mc_simtest.cr_transcript
+
+let test_failing_evasion_campaign_shrinks_small () =
+  (* ddmin over a 200-event campaign whose timeline includes live
+     adversaries: the failure must reduce to a handful of events and
+     still fail, with the evade event surviving the cut when it is
+     load-bearing. *)
+  let sc = Gen.scenario ~seed:3001L ~steps:200 in
+  Alcotest.(check bool) "the campaign contains adversaries" true
+    (List.exists
+       (function Event.Evade _ -> true | _ -> false)
+       sc.Event.sc_events);
+  let r =
+    Mc_simtest.run_campaigns ~break_checker:true ~shrink_budget:400 ~seed:3001L
+      ~steps:200 ~campaigns:1 ()
+  in
+  match r.Mc_simtest.cr_failures with
+  | [] -> Alcotest.fail "broken checker survived an evasion campaign"
+  | cf :: _ ->
+      let shrunk = cf.Mc_simtest.cf_shrunk in
+      Alcotest.(check bool)
+        (Printf.sprintf "shrunk to %d event(s), wanted <= 10"
+           (List.length shrunk.Event.sc_events))
+        true
+        (List.length shrunk.Event.sc_events <= 10);
+      (match
+         (Mc_simtest.replay ~break_checker:true shrunk).Runner.r_failure
+       with
+      | Some _ -> ()
+      | None -> Alcotest.fail "shrunk evasion scenario no longer fails")
+
 let () =
   Alcotest.run "simtest"
     [
@@ -91,5 +170,17 @@ let () =
             test_clean_soak;
           Alcotest.test_case "broken checker is caught and shrunk" `Quick
             test_broken_checker_caught;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "starved classes are named" `Quick
+            test_coverage_accounting_names_starved_classes;
+          Alcotest.test_case "evasion soak covers all strategies" `Slow
+            test_evasion_soak_covers_all_strategies;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "failing evasion campaign shrinks small" `Quick
+            test_failing_evasion_campaign_shrinks_small;
         ] );
     ]
